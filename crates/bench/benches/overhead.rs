@@ -1,0 +1,69 @@
+//! Figure 9a's components as separate benchmarks: per-query translation,
+//! target execution, and result transformation, on TPC-H.
+//!
+//! The paper's claim is a *ratio* — translation ≈ 0.5% and result
+//! transformation ≈ 1% of end-to-end time; these benches expose the
+//! absolute magnitudes behind that ratio.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperq_bench::harness::load_tpch;
+use hyperq_core::backend::Backend;
+use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::HyperQ;
+use hyperq_wire::{convert, ConverterConfig};
+use hyperq_workload::tpch;
+use hyperq_xtra::datum::Datum;
+use hyperq_xtra::schema::{Field, Schema};
+use hyperq_xtra::types::SqlType;
+
+fn bench_translation_vs_execution(c: &mut Criterion) {
+    let db = load_tpch(0.002, None);
+    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut group = c.benchmark_group("overhead");
+    for q in [1usize, 6] {
+        let translated = hq.translate(tpch::query(q)).unwrap();
+        group.bench_with_input(BenchmarkId::new("translation", q), &q, |b, &q| {
+            b.iter(|| hq.translate(tpch::query(q)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("execution", q), &q, |b, _| {
+            b.iter(|| db.execute_sql(&translated[0]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_result_conversion(c: &mut Criterion) {
+    let schema = Schema::new(vec![
+        Field::new(None, "K", SqlType::Integer, true),
+        Field::new(None, "AMOUNT", SqlType::Decimal { precision: 15, scale: 2 }, true),
+        Field::new(None, "NOTE", SqlType::Varchar(None), true),
+    ]);
+    let mut group = c.benchmark_group("result_conversion");
+    for &n in &[100usize, 10_000] {
+        let rows: Vec<Vec<Datum>> = (0..n)
+            .map(|i| {
+                vec![
+                    Datum::Int(i as i64),
+                    Datum::Dec(hyperq_xtra::datum::Decimal::new(i as i128 * 100, 2)),
+                    Datum::str(format!("row-{i}")),
+                ]
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("rows", n), &rows, |b, rows| {
+            b.iter(|| convert(&schema, rows, &ConverterConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_translation_vs_execution, bench_result_conversion
+}
+criterion_main!(benches);

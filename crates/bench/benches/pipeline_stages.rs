@@ -1,0 +1,91 @@
+//! Microbenchmarks for each stage of the cross-compilation pipeline on the
+//! paper's Example 2 and TPC-H queries: parse → bind → transform →
+//! serialize. The sum of these stages is the Figure 9 "query translation"
+//! component.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperq_bench::harness::load_tpch;
+use hyperq_core::backend::Backend;
+use hyperq_core::binder::Binder;
+use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::serialize::Serializer;
+use hyperq_core::session::{SessionState, ShadowCatalog};
+use hyperq_core::transform::Transformer;
+use hyperq_core::HyperQ;
+use hyperq_parser::{parse_one, Dialect};
+use hyperq_xtra::feature::FeatureSet;
+
+const EXAMPLE2: &str = "SEL * FROM SALES WHERE SALES_DATE > 1140101 \
+     AND (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY) \
+     QUALIFY RANK(AMOUNT DESC) <= 10";
+
+fn sales_backend() -> Arc<dyn Backend> {
+    let db = hyperq_engine::EngineDb::new();
+    db.execute_sql(
+        "CREATE TABLE SALES (STORE INTEGER, PRODUCT_NAME VARCHAR(40), AMOUNT INTEGER, \
+         SALES_DATE DATE)",
+    )
+    .unwrap();
+    db.execute_sql("CREATE TABLE SALES_HISTORY (GROSS INTEGER, NET INTEGER)").unwrap();
+    Arc::new(db)
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let backend = sales_backend();
+    let session = SessionState::new(1, "BENCH");
+    let caps = TargetCapabilities::simwh();
+    let transformer = Transformer::standard();
+
+    c.bench_function("parse/example2", |b| {
+        b.iter(|| parse_one(EXAMPLE2, Dialect::Teradata).unwrap())
+    });
+
+    let parsed = parse_one(EXAMPLE2, Dialect::Teradata).unwrap();
+    c.bench_function("bind/example2", |b| {
+        b.iter(|| {
+            let catalog = ShadowCatalog::new(&*backend, &session);
+            let mut binder = Binder::new(&catalog);
+            binder.bind_statement(&parsed.stmt).unwrap()
+        })
+    });
+
+    let catalog = ShadowCatalog::new(&*backend, &session);
+    let mut binder = Binder::new(&catalog);
+    let plan = binder.bind_statement(&parsed.stmt).unwrap();
+    c.bench_function("transform/example2", |b| {
+        b.iter(|| {
+            let mut fired = FeatureSet::new();
+            transformer.run_all(plan.clone(), &caps, &mut fired).unwrap()
+        })
+    });
+
+    let mut fired = FeatureSet::new();
+    let transformed = transformer.run_all(plan, &caps, &mut fired).unwrap();
+    c.bench_function("serialize/example2", |b| {
+        b.iter(|| Serializer::new(&caps).serialize_plan(&transformed).unwrap())
+    });
+}
+
+fn bench_full_translation(c: &mut Criterion) {
+    // End-to-end translation time of TPC-H queries (no execution): the
+    // per-query cost Hyper-Q adds before the target sees SQL.
+    let db = load_tpch(0.0001, None);
+    let mut hq = HyperQ::new(db as Arc<dyn Backend>, TargetCapabilities::simwh());
+    for q in [1usize, 3, 6, 13, 21] {
+        c.bench_function(&format!("translate/tpch_q{q}"), |b| {
+            b.iter(|| hq.translate(hyperq_workload::tpch::query(q)).unwrap())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_stages, bench_full_translation
+}
+criterion_main!(benches);

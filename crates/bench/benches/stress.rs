@@ -1,0 +1,58 @@
+//! Figure 9b's mechanism as a benchmark: wall-clock per batch of requests
+//! at increasing session concurrency against a slot-limited warehouse
+//! (execution queues; translation does not).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperq_bench::harness::load_tpch;
+use hyperq_core::backend::Backend;
+use hyperq_wire::{Client, Gateway, GatewayConfig};
+use hyperq_workload::tpch;
+
+fn bench_concurrency(c: &mut Criterion) {
+    let db = load_tpch(0.001, Some(2));
+    let handle =
+        Gateway::spawn(Arc::clone(&db) as Arc<dyn Backend>, GatewayConfig::default())
+            .expect("gateway");
+    let addr = handle.addr;
+
+    let mut group = c.benchmark_group("stress");
+    for &sessions in &[1usize, 4, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("sessions", sessions),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| {
+                    // Each session runs 3 fast queries; measure the batch.
+                    let threads: Vec<_> = (0..sessions)
+                        .map(|_| {
+                            std::thread::spawn(move || {
+                                let mut client =
+                                    Client::connect(addr, "APP", "secret").unwrap();
+                                for q in [6usize, 1, 13] {
+                                    client.run(tpch::query(q)).unwrap();
+                                }
+                            })
+                        })
+                        .collect();
+                    for t in threads {
+                        t.join().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_concurrency
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerate every table and figure of the paper's evaluation in order.
+fn main() {
+    let scale = hyperq_bench::harness::scale_from_env();
+    let wl_scale = std::env::var("HYPERQ_WL_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let secs = hyperq_bench::harness::stress_secs_from_env();
+    println!("{}", hyperq_bench::figures::table1(wl_scale));
+    println!("{}", hyperq_bench::figures::figure2());
+    println!("{}", hyperq_bench::figures::figure8(wl_scale));
+    println!("{}", hyperq_bench::figures::figure9a(scale));
+    println!(
+        "{}",
+        hyperq_bench::figures::figure9b(scale, 10, std::time::Duration::from_secs(secs))
+    );
+    println!("{}", hyperq_bench::figures::table2_report());
+}

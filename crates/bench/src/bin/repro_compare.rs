@@ -1,0 +1,9 @@
+//! Side-by-side candidate-target evaluation (paper §B.4) over the TPC-H
+//! workload in the Teradata dialect.
+fn main() {
+    let queries: Vec<&str> = hyperq_workload::tpch::queries()
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect();
+    print!("{}", hyperq_bench::figures::compare_targets(&queries));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 2 (feature support across cloud databases).
+fn main() {
+    print!("{}", hyperq_bench::figures::figure2());
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figures 8a/8b (customer workload characteristics) by running
+//! both synthetic workloads through the instrumented pipeline.
+fn main() {
+    let scale = std::env::var("HYPERQ_WL_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    print!("{}", hyperq_bench::figures::figure8(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 9a (Hyper-Q overhead, single sequential TPC-H run).
+fn main() {
+    let scale = hyperq_bench::harness::scale_from_env();
+    print!("{}", hyperq_bench::figures::figure9a(scale));
+}

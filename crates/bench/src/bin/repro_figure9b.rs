@@ -1,0 +1,9 @@
+//! Regenerate Figure 9b (Hyper-Q overhead under a concurrent stress test).
+fn main() {
+    let scale = hyperq_bench::harness::scale_from_env();
+    let secs = hyperq_bench::harness::stress_secs_from_env();
+    print!(
+        "{}",
+        hyperq_bench::figures::figure9b(scale, 10, std::time::Duration::from_secs(secs))
+    );
+}

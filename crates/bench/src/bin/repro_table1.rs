@@ -1,0 +1,8 @@
+//! Regenerate Table 1 (customer/workload overview).
+fn main() {
+    let scale = std::env::var("HYPERQ_WL_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    print!("{}", hyperq_bench::figures::table1(scale));
+}

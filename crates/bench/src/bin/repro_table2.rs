@@ -1,0 +1,4 @@
+//! Regenerate Table 2 (feature → category → rewrite → component).
+fn main() {
+    print!("{}", hyperq_bench::figures::table2_report());
+}

@@ -1,0 +1,45 @@
+//! Shared experiment setup.
+
+use std::sync::Arc;
+
+use hyperq_engine::EngineDb;
+use hyperq_workload::tpch;
+
+/// TPC-H scale factor, overridable with `HYPERQ_SF`.
+pub fn scale_from_env() -> f64 {
+    std::env::var("HYPERQ_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01)
+}
+
+/// Stress-test duration in seconds, overridable with `HYPERQ_STRESS_SECS`.
+pub fn stress_secs_from_env() -> u64 {
+    std::env::var("HYPERQ_STRESS_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Create and load a TPC-H warehouse. `concurrency_limit` models the
+/// paper's provisioned cluster: a bounded number of execution slots.
+pub fn load_tpch(scale: f64, concurrency_limit: Option<usize>) -> Arc<EngineDb> {
+    let db = Arc::new(match concurrency_limit {
+        Some(n) => EngineDb::with_concurrency_limit(n),
+        None => EngineDb::new(),
+    });
+    for ddl in tpch::ddl() {
+        db.execute_sql(&ddl).expect("TPC-H DDL");
+    }
+    for (table, rows) in tpch::generate(scale, 7_777).tables() {
+        db.load_rows(table, rows).expect("TPC-H load");
+    }
+    db
+}
+
+/// Render a horizontal percentage bar.
+pub fn bar(pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0) * width as f64).round() as usize;
+    let filled = filled.min(width);
+    format!("{}{}", "█".repeat(filled), "░".repeat(width - filled))
+}

@@ -1,0 +1,9 @@
+//! # hyperq-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§7) from
+//! the real pipeline. Each `figures::*` function returns the rendered
+//! report text; the `repro_*` binaries print them, and `EXPERIMENTS.md`
+//! records paper-vs-measured.
+
+pub mod figures;
+pub mod harness;

@@ -1,0 +1,121 @@
+//! The backend abstraction — the paper's "ODBC Server" component (§4.5).
+//!
+//! "An abstraction of ODBC APIs that allows Hyper-Q to communicate with
+//! different target database systems using their corresponding ODBC
+//! drivers." Here the driver FFI is replaced by a trait; the bundled
+//! implementation is `hyperq-engine`'s in-process warehouse, and tests use
+//! scripted fakes.
+
+use hyperq_xtra::catalog::TableDef;
+use hyperq_xtra::schema::Schema;
+use hyperq_xtra::Row;
+
+/// Error from the target database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendError(pub String);
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backend error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Result of executing one request on the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    /// Result schema; empty for DML/DDL.
+    pub schema: Schema,
+    /// Result rows; empty for DML/DDL.
+    pub rows: Vec<Row>,
+    /// Rows affected (DML) or returned (queries).
+    pub row_count: u64,
+}
+
+impl ExecResult {
+    /// An empty DDL/utility acknowledgement.
+    pub fn ack() -> ExecResult {
+        ExecResult { schema: Schema::empty(), rows: Vec::new(), row_count: 0 }
+    }
+
+    /// A DML acknowledgement with an affected-row count.
+    pub fn affected(n: u64) -> ExecResult {
+        ExecResult { schema: Schema::empty(), rows: Vec::new(), row_count: n }
+    }
+
+    pub fn rows(schema: Schema, rows: Vec<Row>) -> ExecResult {
+        let row_count = rows.len() as u64;
+        ExecResult { schema, rows, row_count }
+    }
+}
+
+/// A target database connection.
+///
+/// `execute` submits one SQL-B statement. `table_meta` is the catalog
+/// lookup the binder performs against the target (the ODBC catalog-function
+/// equivalent).
+pub trait Backend: Send + Sync {
+    /// Target system name (for diagnostics).
+    fn name(&self) -> &str;
+
+    /// Execute one statement of target-dialect SQL.
+    fn execute(&self, sql: &str) -> Result<ExecResult, BackendError>;
+
+    /// Look up a table's definition in the target catalog (normalized
+    /// upper-case name).
+    fn table_meta(&self, name: &str) -> Option<TableDef>;
+}
+
+/// Test-support backends (kept in the library so integration tests and
+/// downstream users can fault-inject without a real target).
+pub mod testing {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// A scripted backend: records every SQL string it is asked to run and
+    /// returns canned results (or injected faults).
+    /// Canned response function.
+    pub type Responder = Box<dyn Fn(&str) -> Result<ExecResult, BackendError> + Send + Sync>;
+
+    pub struct ScriptedBackend {
+        pub log: Mutex<Vec<String>>,
+        pub tables: Vec<TableDef>,
+        pub responder: Responder,
+    }
+
+    impl ScriptedBackend {
+        pub fn acking(tables: Vec<TableDef>) -> Self {
+            ScriptedBackend {
+                log: Mutex::new(Vec::new()),
+                tables,
+                responder: Box::new(|_| Ok(ExecResult::ack())),
+            }
+        }
+
+        pub fn sql_log(&self) -> Vec<String> {
+            self.log.lock().clone()
+        }
+    }
+
+    impl Backend for ScriptedBackend {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+
+        fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+            self.log.lock().push(sql.to_string());
+            (self.responder)(sql)
+        }
+
+        fn table_meta(&self, name: &str) -> Option<TableDef> {
+            self.tables
+                .iter()
+                .find(|t| {
+                    t.name.eq_ignore_ascii_case(name)
+                        || t.base_name().eq_ignore_ascii_case(name)
+                })
+                .cloned()
+        }
+    }
+}

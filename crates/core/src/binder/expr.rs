@@ -1,0 +1,605 @@
+//! Expression binding: name resolution, type derivation, literal typing and
+//! the expression-level tracked-feature detection (date arithmetic X6,
+//! date–integer comparison X5, chained projections X3, case-insensitive
+//! column comparisons E9).
+
+use hyperq_parser::ast as past;
+use hyperq_xtra::datum::{parse_date, parse_timestamp, Datum, Decimal, Interval};
+use hyperq_xtra::expr::{
+    AggFunc, ArithOp, ScalarExpr, ScalarFunc, SortExpr, WindowExpr, WindowFuncKind,
+};
+use hyperq_xtra::feature::Feature;
+use hyperq_xtra::types::SqlType;
+
+use super::query::BlockContext;
+use super::Binder;
+use crate::error::{HyperQError, Result};
+
+impl<'a> Binder<'a> {
+    /// Bind one AST expression in the given block context.
+    pub(crate) fn bind_expr(&mut self, e: &past::Expr, ctx: &BlockContext) -> Result<ScalarExpr> {
+        match e {
+            past::Expr::Ident(name) => self.bind_ident(name, ctx),
+            past::Expr::Literal(lit) => self.bind_literal(lit),
+            past::Expr::Parameter(name) => self.bind_parameter(name.as_deref()),
+            past::Expr::BinaryOp { op, left, right } => self.bind_binary(*op, left, right, ctx),
+            past::Expr::UnaryMinus(inner) => {
+                let e = self.bind_expr(inner, ctx)?;
+                // Fold negative numeric literals so `-1` binds as a constant.
+                Ok(match e {
+                    ScalarExpr::Literal(Datum::Int(v), t) => {
+                        ScalarExpr::Literal(Datum::Int(-v), t)
+                    }
+                    ScalarExpr::Literal(Datum::Dec(d), t) => {
+                        ScalarExpr::Literal(Datum::Dec(d.neg()), t)
+                    }
+                    ScalarExpr::Literal(Datum::Double(v), t) => {
+                        ScalarExpr::Literal(Datum::Double(-v), t)
+                    }
+                    other => ScalarExpr::Neg(Box::new(other)),
+                })
+            }
+            past::Expr::Not(inner) => {
+                Ok(ScalarExpr::Not(Box::new(self.bind_expr(inner, ctx)?)))
+            }
+            past::Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
+                expr: Box::new(self.bind_expr(expr, ctx)?),
+                negated: *negated,
+            }),
+            past::Expr::Like { expr, pattern, negated } => Ok(ScalarExpr::Like {
+                expr: Box::new(self.bind_expr(expr, ctx)?),
+                pattern: Box::new(self.bind_expr(pattern, ctx)?),
+                negated: *negated,
+            }),
+            past::Expr::Between { expr, low, high, negated } => Ok(ScalarExpr::Between {
+                expr: Box::new(self.bind_expr(expr, ctx)?),
+                low: Box::new(self.bind_expr(low, ctx)?),
+                high: Box::new(self.bind_expr(high, ctx)?),
+                negated: *negated,
+            }),
+            past::Expr::InList { expr, list, negated } => Ok(ScalarExpr::InList {
+                expr: Box::new(self.bind_expr(expr, ctx)?),
+                list: list
+                    .iter()
+                    .map(|x| self.bind_expr(x, ctx))
+                    .collect::<Result<Vec<_>>>()?,
+                negated: *negated,
+            }),
+            past::Expr::InSubquery { expr, subquery, negated } => {
+                let exprs = match expr.as_ref() {
+                    past::Expr::Row(items) => items
+                        .iter()
+                        .map(|x| self.bind_expr(x, ctx))
+                        .collect::<Result<Vec<_>>>()?,
+                    single => vec![self.bind_expr(single, ctx)?],
+                };
+                let sub = self.bind_subquery(subquery, ctx)?;
+                let width = sub.schema().len();
+                if exprs.len() != width {
+                    return self.err(format!(
+                        "IN subquery returns {width} columns but {} were compared",
+                        exprs.len()
+                    ));
+                }
+                Ok(ScalarExpr::InSubquery {
+                    exprs,
+                    subquery: Box::new(sub),
+                    negated: *negated,
+                })
+            }
+            past::Expr::Exists { subquery, negated } => Ok(ScalarExpr::Exists {
+                subquery: Box::new(self.bind_subquery(subquery, ctx)?),
+                negated: *negated,
+            }),
+            past::Expr::Subquery(q) => {
+                let sub = self.bind_subquery(q, ctx)?;
+                if sub.schema().len() != 1 {
+                    return self.err("scalar subquery must return exactly one column");
+                }
+                Ok(ScalarExpr::ScalarSubquery(Box::new(sub)))
+            }
+            past::Expr::QuantifiedCmp { left, op, quantifier, subquery } => {
+                let exprs = match left.as_ref() {
+                    past::Expr::Row(items) => {
+                        self.record(Feature::VectorSubquery);
+                        items
+                            .iter()
+                            .map(|x| self.bind_expr(x, ctx))
+                            .collect::<Result<Vec<_>>>()?
+                    }
+                    single => vec![self.bind_expr(single, ctx)?],
+                };
+                let sub = self.bind_subquery(subquery, ctx)?;
+                let width = sub.schema().len();
+                if exprs.len() != width {
+                    return self.err(format!(
+                        "quantified subquery returns {width} columns but {} were compared",
+                        exprs.len()
+                    ));
+                }
+                Ok(ScalarExpr::QuantifiedCmp {
+                    left: exprs,
+                    op: *op,
+                    quantifier: *quantifier,
+                    subquery: Box::new(sub),
+                })
+            }
+            past::Expr::Row(_) => {
+                self.err("row value expression is only allowed in quantified comparisons")
+            }
+            past::Expr::Case { operand, branches, else_expr } => Ok(ScalarExpr::Case {
+                operand: operand
+                    .as_ref()
+                    .map(|o| self.bind_expr(o, ctx).map(Box::new))
+                    .transpose()?,
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| Ok((self.bind_expr(c, ctx)?, self.bind_expr(r, ctx)?)))
+                    .collect::<Result<Vec<_>>>()?,
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|x| self.bind_expr(x, ctx).map(Box::new))
+                    .transpose()?,
+            }),
+            past::Expr::Cast { expr, ty } => Ok(ScalarExpr::Cast {
+                expr: Box::new(self.bind_expr(expr, ctx)?),
+                ty: ty.clone(),
+            }),
+            past::Expr::Extract { field, expr } => Ok(ScalarExpr::Extract {
+                field: *field,
+                expr: Box::new(self.bind_expr(expr, ctx)?),
+            }),
+            past::Expr::Position { substring, string } => Ok(ScalarExpr::Func {
+                func: ScalarFunc::Position,
+                args: vec![self.bind_expr(substring, ctx)?, self.bind_expr(string, ctx)?],
+            }),
+            past::Expr::Function { name, args, distinct, over, td_sort_arg } => {
+                self.bind_function(name, args, *distinct, over.as_ref(), td_sort_arg.as_ref(), ctx)
+            }
+            past::Expr::FunctionStar { name, over } => {
+                let upper = name.base();
+                if upper != "COUNT" {
+                    return self.err(format!("{upper}(*) is not a valid aggregate"));
+                }
+                match over {
+                    Some(spec) => self.bind_window(
+                        WindowFuncKind::Agg(AggFunc::CountStar),
+                        None,
+                        spec,
+                        ctx,
+                    ),
+                    None => {
+                        if !ctx.allow_aggregates {
+                            return self.err("aggregate not allowed in this clause");
+                        }
+                        Ok(ScalarExpr::Agg {
+                            func: AggFunc::CountStar,
+                            distinct: false,
+                            arg: None,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn bind_subquery(&mut self, q: &past::Query, ctx: &BlockContext) -> Result<RelSubquery> {
+        self.outer_scopes.push(ctx.scope.clone());
+        let result = self.bind_query(q);
+        self.outer_scopes.pop();
+        result
+    }
+
+    fn bind_ident(&mut self, name: &past::ObjectName, ctx: &BlockContext) -> Result<ScalarExpr> {
+        // Niladic reserved functions first.
+        if name.0.len() == 1 {
+            match name.base().as_str() {
+                "CURRENT_DATE" | "DATE" => {
+                    return Ok(ScalarExpr::Func { func: ScalarFunc::CurrentDate, args: vec![] })
+                }
+                "CURRENT_TIMESTAMP" => {
+                    return Ok(ScalarExpr::Func {
+                        func: ScalarFunc::CurrentTimestamp,
+                        args: vec![],
+                    })
+                }
+                _ => {}
+            }
+        }
+        let (qualifier, column) = match name.0.len() {
+            1 => (None, name.0[0].to_ascii_uppercase()),
+            _ => (
+                Some(name.0[name.0.len() - 2].to_ascii_uppercase()),
+                name.0[name.0.len() - 1].to_ascii_uppercase(),
+            ),
+        };
+        // 1. Block scope.
+        if let Some(i) = ctx
+            .scope
+            .try_resolve(qualifier.as_deref(), &column)
+            .map_err(HyperQError::Bind)?
+        {
+            let f = &ctx.scope.fields[i];
+            return Ok(ScalarExpr::Column {
+                qualifier: f.qualifier.clone(),
+                name: f.name.clone(),
+                ty: f.ty.clone(),
+            });
+        }
+        // 2. Outer scopes, innermost first (correlation).
+        for scope in self.outer_scopes.iter().rev() {
+            if let Some(i) = scope
+                .try_resolve(qualifier.as_deref(), &column)
+                .map_err(HyperQError::Bind)?
+            {
+                let f = &scope.fields[i];
+                return Ok(ScalarExpr::Column {
+                    qualifier: f.qualifier.clone(),
+                    name: f.name.clone(),
+                    ty: f.ty.clone(),
+                });
+            }
+        }
+        // 3. Select-list alias (chained projections, X3): replace the
+        //    reference by its definition, per Table 2.
+        if qualifier.is_none() {
+            if let Some(def) = ctx.aliases.get(&column) {
+                self.record(Feature::NamedExprReference);
+                return Ok(def.clone());
+            }
+        }
+        self.err(format!(
+            "column {}{column} not found",
+            qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+        ))
+    }
+
+    fn bind_literal(&mut self, lit: &past::Literal) -> Result<ScalarExpr> {
+        Ok(match lit {
+            past::Literal::Number(n) => {
+                if n.contains('e') || n.contains('E') {
+                    let v: f64 = n
+                        .parse()
+                        .map_err(|_| HyperQError::Bind(format!("bad numeric literal {n}")))?;
+                    ScalarExpr::Literal(Datum::Double(v), SqlType::Double)
+                } else if n.contains('.') {
+                    let d = Decimal::parse(n).map_err(|e| HyperQError::Bind(e.0))?;
+                    let scale = d.scale;
+                    ScalarExpr::Literal(
+                        Datum::Dec(d),
+                        SqlType::Decimal { precision: 38, scale },
+                    )
+                } else {
+                    match n.parse::<i64>() {
+                        Ok(v) => ScalarExpr::Literal(Datum::Int(v), SqlType::Integer),
+                        Err(_) => {
+                            let d = Decimal::parse(n).map_err(|e| HyperQError::Bind(e.0))?;
+                            ScalarExpr::Literal(
+                                Datum::Dec(d),
+                                SqlType::Decimal { precision: 38, scale: 0 },
+                            )
+                        }
+                    }
+                }
+            }
+            past::Literal::String(s) => {
+                ScalarExpr::Literal(Datum::str(s), SqlType::Varchar(None))
+            }
+            past::Literal::Date(s) => {
+                let d = parse_date(s).map_err(|e| HyperQError::Bind(e.0))?;
+                ScalarExpr::Literal(Datum::Date(d), SqlType::Date)
+            }
+            past::Literal::Timestamp(s) => {
+                let t = parse_timestamp(s).map_err(|e| HyperQError::Bind(e.0))?;
+                ScalarExpr::Literal(Datum::Timestamp(t), SqlType::Timestamp)
+            }
+            past::Literal::Interval { value, unit } => {
+                let v: i32 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HyperQError::Bind(format!("bad interval literal {value}")))?;
+                let iv = match unit {
+                    past::IntervalUnit::Year => Interval::months(v * 12),
+                    past::IntervalUnit::Month => Interval::months(v),
+                    past::IntervalUnit::Day => Interval::days(v),
+                };
+                ScalarExpr::Literal(Datum::Interval(iv), SqlType::Interval)
+            }
+            past::Literal::Boolean(b) => {
+                ScalarExpr::Literal(Datum::Bool(*b), SqlType::Boolean)
+            }
+            past::Literal::Null => ScalarExpr::Literal(Datum::Null, SqlType::Unknown),
+        })
+    }
+
+    fn bind_parameter(&mut self, name: Option<&str>) -> Result<ScalarExpr> {
+        let value = match name {
+            Some(key) => self
+                .params
+                .get(&key.to_ascii_uppercase())
+                .cloned()
+                .ok_or_else(|| HyperQError::Bind(format!("parameter :{key} is not bound")))?,
+            None => {
+                let v = self.positional.get(self.positional_cursor).cloned().ok_or_else(|| {
+                    HyperQError::Bind(format!(
+                        "statement uses more `?` markers than the {} value(s) supplied",
+                        self.positional.len()
+                    ))
+                })?;
+                self.positional_cursor += 1;
+                v
+            }
+        };
+        let ty = value.sql_type();
+        Ok(ScalarExpr::Literal(value, ty))
+    }
+
+    fn bind_binary(
+        &mut self,
+        op: past::BinOp,
+        left: &past::Expr,
+        right: &past::Expr,
+        ctx: &BlockContext,
+    ) -> Result<ScalarExpr> {
+        use past::BinOp as B;
+        match op {
+            B::And => {
+                let l = self.bind_expr(left, ctx)?;
+                let r = self.bind_expr(right, ctx)?;
+                Ok(ScalarExpr::and(vec![l, r]))
+            }
+            B::Or => {
+                let l = self.bind_expr(left, ctx)?;
+                let r = self.bind_expr(right, ctx)?;
+                Ok(ScalarExpr::or(vec![l, r]))
+            }
+            B::Cmp(cmp) => {
+                let mut l = self.bind_expr(left, ctx)?;
+                let mut r = self.bind_expr(right, ctx)?;
+                let (lt, rt) = (l.ty(), r.ty());
+                if matches!(
+                    (&lt, &rt),
+                    (SqlType::Date, SqlType::Integer) | (SqlType::Integer, SqlType::Date)
+                ) {
+                    // Teradata DATE-INTEGER comparison (X5); the transformer
+                    // expands the date side (paper §5.2).
+                    self.record(Feature::DateIntComparison);
+                }
+                // NOT CASESPECIFIC columns compare case-insensitively (E9):
+                // wrap both sides in UPPER.
+                if self.is_ci_column(&l) || self.is_ci_column(&r) {
+                    self.record(Feature::ColumnProperties);
+                    l = ScalarExpr::Func { func: ScalarFunc::Upper, args: vec![l] };
+                    r = ScalarExpr::Func { func: ScalarFunc::Upper, args: vec![r] };
+                }
+                Ok(ScalarExpr::cmp(cmp, l, r))
+            }
+            B::Plus | B::Minus | B::Mul | B::Div | B::Mod | B::Pow => {
+                let l = self.bind_expr(left, ctx)?;
+                let r = self.bind_expr(right, ctx)?;
+                let aop = match op {
+                    B::Plus => ArithOp::Add,
+                    B::Minus => ArithOp::Sub,
+                    B::Mul => ArithOp::Mul,
+                    B::Div => ArithOp::Div,
+                    B::Mod => ArithOp::Mod,
+                    B::Pow => ArithOp::Pow,
+                    _ => unreachable!("arith ops matched above"),
+                };
+                if matches!(aop, ArithOp::Add | ArithOp::Sub) {
+                    let (lt, rt) = (l.ty(), r.ty());
+                    if matches!(
+                        (&lt, &rt),
+                        (SqlType::Date, SqlType::Integer) | (SqlType::Integer, SqlType::Date)
+                    ) {
+                        // Teradata date arithmetic (X6); serializer rewrites
+                        // per target capability.
+                        self.record(Feature::DateArithmetic);
+                    }
+                }
+                Ok(ScalarExpr::arith(aop, l, r))
+            }
+            B::Concat => {
+                let l = self.bind_expr(left, ctx)?;
+                let r = self.bind_expr(right, ctx)?;
+                Ok(ScalarExpr::Func { func: ScalarFunc::Concat, args: vec![l, r] })
+            }
+        }
+    }
+
+    fn is_ci_column(&self, e: &ScalarExpr) -> bool {
+        match e {
+            ScalarExpr::Column { qualifier, name, .. } => self.ci_columns.iter().any(|(q, c)| {
+                c == name
+                    && qualifier
+                        .as_deref()
+                        .map(|qq| qq.eq_ignore_ascii_case(q))
+                        .unwrap_or(true)
+            }),
+            _ => false,
+        }
+    }
+
+    fn bind_function(
+        &mut self,
+        name: &past::ObjectName,
+        args: &[past::Expr],
+        distinct: bool,
+        over: Option<&past::WindowSpec>,
+        td_sort_arg: Option<&(Box<past::Expr>, bool)>,
+        ctx: &BlockContext,
+    ) -> Result<ScalarExpr> {
+        let upper = name.base();
+
+        // Teradata RANK(expr DESC) shorthand → ANSI window (X9 rewrite).
+        if let Some((expr, desc)) = td_sort_arg {
+            let kind = match upper.as_str() {
+                "RANK" => WindowFuncKind::Rank,
+                "DENSE_RANK" => WindowFuncKind::DenseRank,
+                other => return self.err(format!("{other} does not take an ordering argument")),
+            };
+            let bound = self.bind_expr(expr, ctx)?;
+            let spec = WindowExpr {
+                func: kind,
+                arg: None,
+                partition_by: Vec::new(),
+                order_by: vec![SortExpr { expr: bound, desc: *desc, nulls_first: None }],
+                output: self.fresh("W"),
+            };
+            return self.push_window(spec, ctx);
+        }
+
+        // Window function (ANSI OVER syntax).
+        if let Some(spec) = over {
+            let kind = match upper.as_str() {
+                "RANK" => WindowFuncKind::Rank,
+                "DENSE_RANK" => WindowFuncKind::DenseRank,
+                "ROW_NUMBER" => WindowFuncKind::RowNumber,
+                "SUM" => WindowFuncKind::Agg(AggFunc::Sum),
+                "MIN" => WindowFuncKind::Agg(AggFunc::Min),
+                "MAX" => WindowFuncKind::Agg(AggFunc::Max),
+                "AVG" => WindowFuncKind::Agg(AggFunc::Avg),
+                "COUNT" => WindowFuncKind::Agg(AggFunc::Count),
+                other => return self.err(format!("unsupported window function {other}")),
+            };
+            let arg = match (args.len(), &kind) {
+                (0, _) => None,
+                (1, WindowFuncKind::Agg(_)) => Some(self.bind_expr(&args[0], ctx)?),
+                (1, _) => {
+                    return self.err(format!("{upper} window function takes no arguments"))
+                }
+                _ => return self.err(format!("too many arguments to window function {upper}")),
+            };
+            return self.bind_window_spec(kind, arg, spec, ctx);
+        }
+
+        // Plain aggregate.
+        if let Some(agg) = match upper.as_str() {
+            "SUM" => Some(AggFunc::Sum),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "AVG" => Some(AggFunc::Avg),
+            "COUNT" => Some(AggFunc::Count),
+            _ => None,
+        } {
+            if !ctx.allow_aggregates {
+                return self.err(format!("aggregate {upper} not allowed in this clause"));
+            }
+            if args.len() != 1 {
+                return self.err(format!("{upper} takes exactly one argument"));
+            }
+            let arg = self.bind_expr(&args[0], ctx)?;
+            return Ok(ScalarExpr::Agg { func: agg, distinct, arg: Some(Box::new(arg)) });
+        }
+        if distinct {
+            return self.err(format!("DISTINCT is not valid in a call to {upper}"));
+        }
+
+        // Scalar functions.
+        let func = match upper.as_str() {
+            "UPPER" => ScalarFunc::Upper,
+            "LOWER" => ScalarFunc::Lower,
+            "TRIM" => ScalarFunc::Trim,
+            "LTRIM" => ScalarFunc::Ltrim,
+            "RTRIM" => ScalarFunc::Rtrim,
+            "SUBSTRING" => ScalarFunc::Substring,
+            "CHAR_LENGTH" => ScalarFunc::CharLength,
+            "POSITION" => ScalarFunc::Position,
+            "COALESCE" => ScalarFunc::Coalesce,
+            "NULLIF" => ScalarFunc::NullIf,
+            "ABS" => ScalarFunc::Abs,
+            "ROUND" => ScalarFunc::Round,
+            "FLOOR" => ScalarFunc::Floor,
+            "CEIL" | "CEILING" => ScalarFunc::Ceil,
+            "SQRT" => ScalarFunc::Sqrt,
+            "EXP" => ScalarFunc::Exp,
+            "LN" => ScalarFunc::Ln,
+            "POWER" => ScalarFunc::Power,
+            "MOD" => ScalarFunc::Mod,
+            "CONCAT" => ScalarFunc::Concat,
+            "ADD_MONTHS" => {
+                self.record(Feature::AddMonths);
+                ScalarFunc::AddMonths
+            }
+            "DATE_ADD_DAYS" => ScalarFunc::DateAddDays,
+            "CURRENT_DATE" => ScalarFunc::CurrentDate,
+            "CURRENT_TIMESTAMP" => ScalarFunc::CurrentTimestamp,
+            other => return self.err(format!("unknown function {other}")),
+        };
+        let bound_args = args
+            .iter()
+            .map(|a| self.bind_expr(a, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        let arity_ok = match func {
+            ScalarFunc::Coalesce | ScalarFunc::Concat => bound_args.len() >= 2,
+            ScalarFunc::Substring => (2..=3).contains(&bound_args.len()),
+            ScalarFunc::Round => (1..=2).contains(&bound_args.len()),
+            ScalarFunc::NullIf
+            | ScalarFunc::Position
+            | ScalarFunc::Power
+            | ScalarFunc::Mod
+            | ScalarFunc::AddMonths
+            | ScalarFunc::DateAddDays => bound_args.len() == 2,
+            ScalarFunc::CurrentDate | ScalarFunc::CurrentTimestamp => bound_args.is_empty(),
+            _ => bound_args.len() == 1,
+        };
+        if !arity_ok {
+            return self.err(format!(
+                "wrong number of arguments ({}) to {}",
+                bound_args.len(),
+                func.name()
+            ));
+        }
+        Ok(ScalarExpr::Func { func, args: bound_args })
+    }
+
+    fn bind_window(
+        &mut self,
+        kind: WindowFuncKind,
+        arg: Option<ScalarExpr>,
+        spec: &past::WindowSpec,
+        ctx: &BlockContext,
+    ) -> Result<ScalarExpr> {
+        self.bind_window_spec(kind, arg, spec, ctx)
+    }
+
+    fn bind_window_spec(
+        &mut self,
+        kind: WindowFuncKind,
+        arg: Option<ScalarExpr>,
+        spec: &past::WindowSpec,
+        ctx: &BlockContext,
+    ) -> Result<ScalarExpr> {
+        let partition_by = spec
+            .partition_by
+            .iter()
+            .map(|p| self.bind_expr(p, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        let order_by = spec
+            .order_by
+            .iter()
+            .map(|k| {
+                Ok(SortExpr {
+                    expr: self.bind_expr(&k.expr, ctx)?,
+                    desc: k.desc,
+                    nulls_first: k.nulls_first,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let w = WindowExpr { func: kind, arg, partition_by, order_by, output: self.fresh("W") };
+        self.push_window(w, ctx)
+    }
+
+    fn push_window(&mut self, w: WindowExpr, ctx: &BlockContext) -> Result<ScalarExpr> {
+        if !ctx.allow_windows {
+            return self.err("window function not allowed in this clause");
+        }
+        let ty = w.ty();
+        let name = w.output.clone();
+        self.pending_windows.push(w);
+        Ok(ScalarExpr::Column { qualifier: None, name, ty })
+    }
+}
+
+/// Alias to keep signatures readable.
+type RelSubquery = hyperq_xtra::rel::RelExpr;

@@ -1,0 +1,338 @@
+//! The Binder — second half of the paper's Algebrizer (§4.2, §5.2).
+//!
+//! Binds the parser AST into XTRA: metadata lookup, name resolution, type
+//! derivation, and the binder-stage rewrites of Table 2:
+//!
+//! * **Implicit joins** (X2) — tables referenced outside `FROM` are added
+//!   to it,
+//! * **Chained projections** (X3) — select-list aliases referenced in the
+//!   same block are replaced by their definitions,
+//! * **Ordinal GROUP BY / ORDER BY** (X4) — positions resolved to the
+//!   corresponding select items,
+//! * **QUALIFY** (X1) — lowered into a `window` operator plus a filter over
+//!   the computed columns,
+//! * **DML on views** (E6) — rewritten against the base table,
+//! * **Case-insensitive columns** (E9) — comparisons wrapped in `UPPER`.
+
+mod expr;
+mod query;
+
+use std::collections::HashMap;
+
+use hyperq_parser::ast as past;
+use hyperq_xtra::catalog::MetadataProvider;
+use hyperq_xtra::datum::Datum;
+use hyperq_xtra::expr::{ScalarExpr, WindowExpr};
+use hyperq_xtra::feature::{Feature, FeatureSet};
+use hyperq_xtra::rel::{Assignment, Plan, RelExpr};
+use hyperq_xtra::schema::Schema;
+use hyperq_xtra::types::SqlType;
+use hyperq_xtra::catalog::{ColumnDef, TableDef, TableKind};
+
+use crate::error::{HyperQError, Result};
+
+/// Binds statements against a [`MetadataProvider`].
+pub struct Binder<'a> {
+    pub(crate) catalog: &'a dyn MetadataProvider,
+    /// Tracked features observed while binding.
+    pub features: FeatureSet,
+    /// Bound values for `:name` parameters (macro/procedure expansion).
+    pub params: HashMap<String, Datum>,
+    /// Bound values for `?` positional parameters (parameterized queries,
+    /// one of the ODBC-server request kinds of §4.5), consumed in order.
+    pub positional: Vec<Datum>,
+    pub(crate) positional_cursor: usize,
+    /// Non-recursive CTEs visible to the query being bound, innermost last.
+    pub(crate) ctes: Vec<(String, RelExpr)>,
+    /// Outer query scopes for correlated subqueries, innermost last.
+    pub(crate) outer_scopes: Vec<Schema>,
+    /// Case-insensitive (NOT CASESPECIFIC) columns visible in the current
+    /// block, as (qualifier, column) pairs.
+    pub(crate) ci_columns: Vec<(String, String)>,
+    /// Window expressions collected while binding the current block.
+    pub(crate) pending_windows: Vec<WindowExpr>,
+    /// Counter for generated names.
+    pub(crate) gensym: usize,
+}
+
+impl<'a> Binder<'a> {
+    pub fn new(catalog: &'a dyn MetadataProvider) -> Self {
+        Binder {
+            catalog,
+            features: FeatureSet::new(),
+            params: HashMap::new(),
+            positional: Vec::new(),
+            positional_cursor: 0,
+            ctes: Vec::new(),
+            outer_scopes: Vec::new(),
+            ci_columns: Vec::new(),
+            pending_windows: Vec::new(),
+            gensym: 0,
+        }
+    }
+
+    pub fn with_params(mut self, params: HashMap<String, Datum>) -> Self {
+        self.params = params;
+        self
+    }
+
+    pub fn with_positional(mut self, values: Vec<Datum>) -> Self {
+        self.positional = values;
+        self
+    }
+
+    pub(crate) fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(HyperQError::Bind(msg.into()))
+    }
+
+    pub(crate) fn record(&mut self, f: Feature) {
+        self.features.insert(f);
+    }
+
+    pub(crate) fn fresh(&mut self, prefix: &str) -> String {
+        self.gensym += 1;
+        format!("__{}{}", prefix, self.gensym)
+    }
+
+    /// Bind a top-level statement into an executable [`Plan`].
+    ///
+    /// Statements that need emulation (`MERGE`, macros, `HELP`, recursive
+    /// queries, …) must be routed to the emulator *before* this is called;
+    /// encountering one here is an internal error.
+    pub fn bind_statement(&mut self, stmt: &past::Statement) -> Result<Plan> {
+        match stmt {
+            past::Statement::Query(q) => Ok(Plan::Query(self.bind_query(q)?)),
+            past::Statement::Insert { table, columns, source } => {
+                self.bind_insert(table, columns, source)
+            }
+            past::Statement::Update { table, alias, assignments, where_clause } => {
+                self.bind_update(table, alias.as_deref(), assignments, where_clause.as_ref())
+            }
+            past::Statement::Delete { table, alias, where_clause } => {
+                self.bind_delete(table, alias.as_deref(), where_clause.as_ref())
+            }
+            past::Statement::CreateTable { name, columns, set_semantics, kind, as_query } => {
+                self.bind_create_table(name, columns, *set_semantics, *kind, as_query.as_deref())
+            }
+            past::Statement::DropTable { name, if_exists } => Ok(Plan::DropTable {
+                name: name.canonical(),
+                if_exists: *if_exists,
+            }),
+            past::Statement::DropView { name, if_exists } => Ok(Plan::DropView {
+                name: name.canonical(),
+                if_exists: *if_exists,
+            }),
+            other => self.err(format!(
+                "statement requires emulation and cannot be bound directly: {other:?}"
+            )),
+        }
+    }
+
+    // --- DML ------------------------------------------------------------
+
+    fn bind_insert(
+        &mut self,
+        table: &past::ObjectName,
+        columns: &[String],
+        source: &past::Query,
+    ) -> Result<Plan> {
+        let name = table.canonical();
+        let def = self.lookup_table(&name)?;
+        let source_rel = self.bind_query(source)?;
+        let src_schema = source_rel.schema();
+        let target_cols: Vec<&ColumnDef> = if columns.is_empty() {
+            def.columns.iter().collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    def.columns
+                        .iter()
+                        .find(|d| d.name.eq_ignore_ascii_case(c))
+                        .ok_or_else(|| {
+                            HyperQError::Bind(format!("column {c} not found in {name}"))
+                        })
+                })
+                .collect::<Result<Vec<_>>>()?
+        };
+        if target_cols.len() != src_schema.len() {
+            return self.err(format!(
+                "INSERT into {name} provides {} values for {} columns",
+                src_schema.len(),
+                target_cols.len()
+            ));
+        }
+        Ok(Plan::Insert {
+            table: def.name.clone(),
+            columns: target_cols.iter().map(|c| c.name.clone()).collect(),
+            source: source_rel,
+        })
+    }
+
+    fn bind_update(
+        &mut self,
+        table: &past::ObjectName,
+        alias: Option<&str>,
+        assignments: &[past::AssignmentAst],
+        where_clause: Option<&past::Expr>,
+    ) -> Result<Plan> {
+        let name = table.canonical();
+        let def = self.lookup_table(&name)?;
+        let scope = def.schema(alias);
+        self.register_ci_columns(&def, alias);
+        let mut bound = Vec::with_capacity(assignments.len());
+        for a in assignments {
+            let col = def
+                .columns
+                .iter()
+                .find(|c| c.name.eq_ignore_ascii_case(&a.column))
+                .ok_or_else(|| {
+                    HyperQError::Bind(format!("column {} not found in {name}", a.column))
+                })?;
+            let value = self.bind_expr_in(&a.value, &scope)?;
+            bound.push(Assignment { column: col.name.clone(), value });
+        }
+        let predicate = where_clause
+            .map(|w| self.bind_expr_in(w, &scope))
+            .transpose()?;
+        Ok(Plan::Update {
+            table: def.name.clone(),
+            alias: alias.map(|a| a.to_ascii_uppercase()),
+            assignments: bound,
+            predicate,
+        })
+    }
+
+    fn bind_delete(
+        &mut self,
+        table: &past::ObjectName,
+        alias: Option<&str>,
+        where_clause: Option<&past::Expr>,
+    ) -> Result<Plan> {
+        let name = table.canonical();
+        let def = self.lookup_table(&name)?;
+        let scope = def.schema(alias);
+        self.register_ci_columns(&def, alias);
+        let predicate = where_clause
+            .map(|w| self.bind_expr_in(w, &scope))
+            .transpose()?;
+        Ok(Plan::Delete {
+            table: def.name.clone(),
+            alias: alias.map(|a| a.to_ascii_uppercase()),
+            predicate,
+        })
+    }
+
+    // --- DDL ------------------------------------------------------------
+
+    fn bind_create_table(
+        &mut self,
+        name: &past::ObjectName,
+        columns: &[past::ColumnDefAst],
+        set_semantics: Option<bool>,
+        kind: past::CreateTableKind,
+        as_query: Option<&past::Query>,
+    ) -> Result<Plan> {
+        let source = as_query.map(|q| self.bind_query(q)).transpose()?;
+        let mut defs: Vec<ColumnDef> = Vec::new();
+        if let Some(src) = &source {
+            for f in &src.schema().fields {
+                defs.push(ColumnDef::new(&f.name, f.ty.clone(), f.nullable));
+            }
+        }
+        for c in columns {
+            match &c.ty {
+                // PERIOD columns are decomposed into begin/end halves — the
+                // paper's Assumed-Independence example (§2.2.2): "a simple
+                // translation would be breaking it into two separate
+                // fields".
+                SqlType::Period(inner) => {
+                    self.record(Feature::ColumnProperties);
+                    let mut begin = ColumnDef::new(
+                        &format!("{}_BEGIN", c.name.to_ascii_uppercase()),
+                        (**inner).clone(),
+                        !c.not_null,
+                    );
+                    let mut end = ColumnDef::new(
+                        &format!("{}_END", c.name.to_ascii_uppercase()),
+                        (**inner).clone(),
+                        !c.not_null,
+                    );
+                    begin.case_insensitive = false;
+                    end.case_insensitive = false;
+                    defs.push(begin);
+                    defs.push(end);
+                }
+                ty => {
+                    let mut def = ColumnDef::new(
+                        &c.name.to_ascii_uppercase(),
+                        ty.clone(),
+                        !c.not_null,
+                    );
+                    if c.not_casespecific {
+                        self.record(Feature::ColumnProperties);
+                        def.case_insensitive = true;
+                    }
+                    if let Some(d) = &c.default {
+                        // Bind the default in an empty scope.
+                        let bound = self.bind_expr_in(d, &Schema::empty())?;
+                        if !matches!(bound, ScalarExpr::Literal(..)) {
+                            self.record(Feature::ColumnProperties);
+                        }
+                        def.default = Some(bound);
+                    }
+                    defs.push(def);
+                }
+            }
+        }
+        let table_kind = match kind {
+            past::CreateTableKind::Permanent => TableKind::Permanent,
+            past::CreateTableKind::Volatile => TableKind::Temporary,
+            past::CreateTableKind::GlobalTemporary => {
+                self.record(Feature::GlobalTempTable);
+                TableKind::GlobalTemporary
+            }
+        };
+        if set_semantics == Some(true) {
+            self.record(Feature::SetTableSemantics);
+        }
+        Ok(Plan::CreateTable {
+            def: TableDef {
+                name: name.canonical(),
+                columns: defs,
+                set_semantics: set_semantics.unwrap_or(false),
+                kind: table_kind,
+            },
+            source,
+        })
+    }
+
+    // --- helpers ----------------------------------------------------------
+
+    pub(crate) fn lookup_table(&self, name: &str) -> Result<TableDef> {
+        self.catalog
+            .table(name)
+            .ok_or_else(|| HyperQError::Bind(format!("table {name} not found")))
+    }
+
+    pub(crate) fn register_ci_columns(&mut self, def: &TableDef, alias: Option<&str>) {
+        let qualifier = alias
+            .map(|a| a.to_ascii_uppercase())
+            .unwrap_or_else(|| def.base_name().to_string());
+        for c in &def.columns {
+            if c.case_insensitive {
+                self.ci_columns.push((qualifier.clone(), c.name.clone()));
+            }
+        }
+    }
+
+    /// Bind an expression against a single fixed scope (DML clauses).
+    pub(crate) fn bind_expr_in(
+        &mut self,
+        e: &past::Expr,
+        scope: &Schema,
+    ) -> Result<ScalarExpr> {
+        let ctx = query::BlockContext::for_scope(scope.clone());
+        self.bind_expr(e, &ctx)
+    }
+}

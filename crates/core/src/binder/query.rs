@@ -1,0 +1,904 @@
+//! Query binding: SELECT blocks, FROM resolution, aggregate/window
+//! assembly, set operations and CTEs.
+
+use std::collections::HashMap;
+use std::mem;
+
+use hyperq_parser::ast as past;
+use hyperq_parser::{parse_one, Dialect};
+use hyperq_xtra::expr::{ScalarExpr, SortExpr};
+use hyperq_xtra::feature::Feature;
+use hyperq_xtra::rel::{Grouping, JoinKind, RelExpr};
+use hyperq_xtra::schema::{Field, Schema};
+use hyperq_xtra::types::SqlType;
+
+use super::Binder;
+use crate::error::{HyperQError, Result};
+
+/// Per-block binding context.
+#[derive(Clone, Default)]
+pub(crate) struct BlockContext {
+    /// The block's FROM scope.
+    pub scope: Schema,
+    /// Select-list aliases bound so far (upper-cased name → bound
+    /// definition) — the substrate for chained-projection resolution (X3).
+    pub aliases: HashMap<String, ScalarExpr>,
+    pub allow_aggregates: bool,
+    pub allow_windows: bool,
+}
+
+impl BlockContext {
+    pub fn for_scope(scope: Schema) -> Self {
+        BlockContext { scope, ..Default::default() }
+    }
+}
+
+impl<'a> Binder<'a> {
+    /// Bind a query expression (WITH + body + final ORDER BY).
+    pub fn bind_query(&mut self, q: &past::Query) -> Result<RelExpr> {
+        if q.recursive {
+            return self.err(
+                "recursive query reached the binder; it must be emulated by the mid tier",
+            );
+        }
+        let cte_mark = self.ctes.len();
+        for cte in &q.ctes {
+            let rel = self.bind_query(&cte.query)?;
+            let name = cte.name.to_ascii_uppercase();
+            let cols: Option<Vec<String>> = if cte.columns.is_empty() {
+                None
+            } else {
+                Some(cte.columns.iter().map(|c| c.to_ascii_uppercase()).collect())
+            };
+            let schema = rel
+                .schema()
+                .with_alias(&name, cols.as_deref())
+                .map_err(HyperQError::Bind)?;
+            self.ctes.push((
+                name.clone(),
+                RelExpr::Alias { input: Box::new(rel), alias: name, schema },
+            ));
+        }
+        // A query-level ORDER BY on a plain select block belongs to the
+        // block (it may reference non-projected input columns, which the
+        // block's hidden-column machinery handles); on a set operation it
+        // sorts the output by name/ordinal.
+        let result = match (&q.body, q.order_by.is_empty()) {
+            (past::QueryBody::Select(block), false) if block.order_by.is_empty() => {
+                let mut merged = (**block).clone();
+                merged.order_by = q.order_by.clone();
+                self.bind_select_block(&merged)
+            }
+            _ => {
+                let rel = self.bind_query_body(&q.body)?;
+                if q.order_by.is_empty() {
+                    Ok(rel)
+                } else {
+                    self.bind_output_order(rel, &q.order_by)
+                }
+            }
+        };
+        self.ctes.truncate(cte_mark);
+        result
+    }
+
+    fn bind_query_body(&mut self, body: &past::QueryBody) -> Result<RelExpr> {
+        match body {
+            past::QueryBody::Select(block) => self.bind_select_block(block),
+            past::QueryBody::SetOp { kind, all, left, right } => {
+                let l = self.bind_query_body(left)?;
+                let r = self.bind_query_body(right)?;
+                let (ls, rs) = (l.schema(), r.schema());
+                if ls.len() != rs.len() {
+                    return self.err(format!(
+                        "{} requires equally wide inputs ({} vs {} columns)",
+                        kind.name(),
+                        ls.len(),
+                        rs.len()
+                    ));
+                }
+                Ok(RelExpr::SetOp {
+                    kind: *kind,
+                    all: *all,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })
+            }
+        }
+    }
+
+    /// Sort an already-projected relation by output-schema names/ordinals
+    /// (query-level ORDER BY above a set operation or CTE body).
+    fn bind_output_order(
+        &mut self,
+        rel: RelExpr,
+        order_by: &[past::OrderByItem],
+    ) -> Result<RelExpr> {
+        let schema = rel.schema();
+        let mut keys = Vec::with_capacity(order_by.len());
+        for item in order_by {
+            let expr = match ordinal_of(&item.expr) {
+                Some(k) => {
+                    self.record(Feature::OrdinalGroupBy);
+                    let f = schema.fields.get(k - 1).ok_or_else(|| {
+                        HyperQError::Bind(format!("ORDER BY position {k} is out of range"))
+                    })?;
+                    ScalarExpr::Column {
+                        qualifier: f.qualifier.clone(),
+                        name: f.name.clone(),
+                        ty: f.ty.clone(),
+                    }
+                }
+                None => {
+                    let ctx = BlockContext::for_scope(schema.clone());
+                    self.bind_expr(&item.expr, &ctx)?
+                }
+            };
+            keys.push(SortExpr { expr, desc: item.desc, nulls_first: item.nulls_first });
+        }
+        Ok(RelExpr::Sort { input: Box::new(rel), keys })
+    }
+
+    /// Bind one SELECT block into a pipeline of XTRA operators:
+    ///
+    /// `FROM → WHERE → AGGREGATE → HAVING → WINDOW → QUALIFY → PROJECT →
+    /// DISTINCT → SORT → LIMIT`.
+    pub(crate) fn bind_select_block(&mut self, block: &past::SelectBlock) -> Result<RelExpr> {
+        // Literal VALUES.
+        if !block.value_rows.is_empty() {
+            return self.bind_values(&block.value_rows);
+        }
+
+        let saved_windows = mem::take(&mut self.pending_windows);
+        let ci_mark = self.ci_columns.len();
+        let result = self.bind_select_block_inner(block);
+        self.pending_windows = saved_windows;
+        self.ci_columns.truncate(ci_mark);
+        result
+    }
+
+    fn bind_select_block_inner(&mut self, block: &past::SelectBlock) -> Result<RelExpr> {
+        // --- FROM ---------------------------------------------------------
+        let mut rel: Option<RelExpr> = None;
+        for tr in &block.from {
+            let r = self.bind_table_ref(tr)?;
+            rel = Some(match rel {
+                None => r,
+                Some(prev) => RelExpr::Join {
+                    kind: JoinKind::Cross,
+                    left: Box::new(prev),
+                    right: Box::new(r),
+                    condition: None,
+                },
+            });
+        }
+        let mut rel = match rel {
+            Some(r) => r,
+            // SELECT without FROM: a single empty row.
+            None => RelExpr::Values { rows: vec![Vec::new()], schema: Schema::empty() },
+        };
+
+        // --- Implicit joins (X2) -------------------------------------------
+        // Tables referenced by qualifier anywhere in the block but missing
+        // from FROM are appended as cross-join factors.
+        for table in self.find_implicit_tables(block, &rel.schema())? {
+            let def = self.lookup_table(&table)?;
+            self.record(Feature::ImplicitJoin);
+            self.register_ci_columns(&def, None);
+            let get = RelExpr::Get {
+                table: def.name.clone(),
+                alias: Some(def.base_name().to_string()),
+                schema: def.schema(None),
+            };
+            rel = RelExpr::Join {
+                kind: JoinKind::Cross,
+                left: Box::new(rel),
+                right: Box::new(get),
+                condition: None,
+            };
+        }
+
+        let mut ctx = BlockContext {
+            scope: rel.schema(),
+            aliases: HashMap::new(),
+            allow_aggregates: false,
+            allow_windows: false,
+        };
+
+        // --- WHERE ---------------------------------------------------------
+        if let Some(w) = &block.where_clause {
+            let predicate = self.bind_expr(w, &ctx)?;
+            rel = RelExpr::Select { input: Box::new(rel), predicate };
+        }
+
+        // --- GROUP BY specification ----------------------------------------
+        let (group_asts, grouping) = self.flatten_group_by(&block.group_by)?;
+
+        // --- Select list -----------------------------------------------------
+        ctx.allow_aggregates = true;
+        ctx.allow_windows = true;
+        let mut projections: Vec<(ScalarExpr, String)> = Vec::new();
+        for (i, item) in block.items.iter().enumerate() {
+            match item {
+                past::SelectItem::Wildcard => {
+                    for f in &ctx.scope.fields {
+                        projections.push((
+                            ScalarExpr::Column {
+                                qualifier: f.qualifier.clone(),
+                                name: f.name.clone(),
+                                ty: f.ty.clone(),
+                            },
+                            f.name.clone(),
+                        ));
+                    }
+                }
+                past::SelectItem::QualifiedWildcard(q) => {
+                    let qual = q.base();
+                    let mut matched = false;
+                    for f in &ctx.scope.fields {
+                        if f.qualifier.as_deref().map(|fq| fq.eq_ignore_ascii_case(&qual))
+                            == Some(true)
+                        {
+                            matched = true;
+                            projections.push((
+                                ScalarExpr::Column {
+                                    qualifier: f.qualifier.clone(),
+                                    name: f.name.clone(),
+                                    ty: f.ty.clone(),
+                                },
+                                f.name.clone(),
+                            ));
+                        }
+                    }
+                    if !matched {
+                        return self.err(format!("unknown table qualifier {qual}.*"));
+                    }
+                }
+                past::SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_expr(expr, &ctx)?;
+                    let name = alias
+                        .as_ref()
+                        .map(|a| a.to_ascii_uppercase())
+                        .unwrap_or_else(|| match &bound {
+                            ScalarExpr::Column { name, .. } => name.clone(),
+                            _ => format!("EXPR_{}", i + 1),
+                        });
+                    if let Some(a) = alias {
+                        // Later items (and other clauses) may reference this
+                        // alias — Teradata chained projections (X3).
+                        ctx.aliases.insert(a.to_ascii_uppercase(), bound.clone());
+                    }
+                    projections.push((bound, name));
+                }
+            }
+        }
+
+        // --- HAVING / QUALIFY / ORDER BY (bound before aggregate assembly) --
+        let mut having = match &block.having {
+            Some(h) => Some(self.bind_expr(h, &ctx)?),
+            None => None,
+        };
+        let mut qualify = match &block.qualify {
+            Some(q) => Some(self.bind_expr(q, &ctx)?),
+            None => None,
+        };
+        let mut group_bound: Vec<ScalarExpr> = Vec::with_capacity(group_asts.len());
+        {
+            // Group expressions may not contain aggregates or windows.
+            let gctx = BlockContext { allow_aggregates: false, allow_windows: false, ..ctx.clone() };
+            for g in &group_asts {
+                match ordinal_of(g) {
+                    Some(k) => {
+                        self.record(Feature::OrdinalGroupBy);
+                        let (e, _) = projections.get(k - 1).ok_or_else(|| {
+                            HyperQError::Bind(format!("GROUP BY position {k} is out of range"))
+                        })?;
+                        group_bound.push(e.clone());
+                    }
+                    None => group_bound.push(self.bind_expr(g, &gctx)?),
+                }
+            }
+        }
+
+        // Bind ORDER BY keys against the block scope + aliases (resolution
+        // against projected outputs happens during assembly below).
+        let mut order_keys: Vec<(ScalarExpr, bool, Option<bool>)> = Vec::new();
+        for item in &block.order_by {
+            let bound = match ordinal_of(&item.expr) {
+                Some(k) => {
+                    self.record(Feature::OrdinalGroupBy);
+                    let (e, _) = projections.get(k - 1).ok_or_else(|| {
+                        HyperQError::Bind(format!("ORDER BY position {k} is out of range"))
+                    })?;
+                    e.clone()
+                }
+                None => self.bind_expr(&item.expr, &ctx)?,
+            };
+            order_keys.push((bound, item.desc, item.nulls_first));
+        }
+
+        // --- Aggregate assembly ---------------------------------------------
+        let mut windows = mem::take(&mut self.pending_windows);
+        let has_aggregates = !group_bound.is_empty()
+            || projections.iter().any(|(e, _)| e.contains_aggregate())
+            || having.as_ref().map(|h| h.contains_aggregate()).unwrap_or(false)
+            || order_keys.iter().any(|(e, ..)| e.contains_aggregate())
+            || windows.iter().any(|w| {
+                w.arg.as_ref().map(|a| a.contains_aggregate()).unwrap_or(false)
+                    || w.partition_by.iter().any(|p| p.contains_aggregate())
+                    || w.order_by.iter().any(|k| k.expr.contains_aggregate())
+            });
+
+        if has_aggregates {
+            rel = self.assemble_aggregate(
+                rel,
+                &group_bound,
+                grouping,
+                &mut projections,
+                &mut having,
+                &mut qualify,
+                &mut order_keys,
+                &mut windows,
+            )?;
+            if let Some(h) = having.take() {
+                rel = RelExpr::Select { input: Box::new(rel), predicate: h };
+            }
+        } else if having.is_some() {
+            return self.err("HAVING requires aggregation");
+        }
+
+        // --- Window / QUALIFY (X1 lowering) -----------------------------------
+        if !windows.is_empty() {
+            rel = RelExpr::Window { input: Box::new(rel), exprs: windows };
+        }
+        if let Some(q) = qualify.take() {
+            // The paper's Table 2 rewrite: window functions computed by the
+            // operator above; the QUALIFY predicate now refers to the
+            // computed columns.
+            rel = RelExpr::Select { input: Box::new(rel), predicate: q };
+        }
+
+        // --- Projection / DISTINCT / ORDER / LIMIT ----------------------------
+        // Resolve every sort key to a projection index, appending hidden
+        // projections for keys not in the select list.
+        let visible = projections.len();
+        let mut key_specs: Vec<(usize, bool, Option<bool>)> = Vec::new();
+        for (bound, desc, nulls_first) in order_keys {
+            let idx = match projections.iter().position(|(e, _)| *e == bound) {
+                Some(i) => i,
+                None => {
+                    if block.distinct {
+                        return self.err(
+                            "ORDER BY expression must appear in the select list when \
+                             DISTINCT is specified",
+                        );
+                    }
+                    projections.push((bound, self.fresh("S")));
+                    projections.len() - 1
+                }
+            };
+            key_specs.push((idx, desc, nulls_first));
+        }
+        let hidden = projections.len() - visible;
+
+        // Output names may be duplicated (legal in SQL); if the sort or the
+        // hidden-column strip must reference them, uniquify internal names
+        // and restore the user-visible names in a final projection.
+        let duplicated = |name: &String| projections.iter().filter(|(_, n)| n == name).count() > 1;
+        let needs_rename = hidden > 0
+            || key_specs
+                .iter()
+                .any(|(i, ..)| duplicated(&projections[*i].1));
+        let originals: Vec<String> = projections.iter().map(|(_, n)| n.clone()).collect();
+        if needs_rename {
+            for (i, (_, name)) in projections.iter_mut().enumerate() {
+                *name = format!("__P{i}");
+            }
+        }
+        let keys: Vec<SortExpr> = key_specs
+            .into_iter()
+            .map(|(i, desc, nulls_first)| SortExpr {
+                expr: ScalarExpr::Column {
+                    qualifier: None,
+                    name: projections[i].1.clone(),
+                    ty: projections[i].0.ty(),
+                },
+                desc,
+                nulls_first,
+            })
+            .collect();
+
+        rel = RelExpr::Project { input: Box::new(rel), exprs: projections };
+        if block.distinct {
+            rel = RelExpr::Distinct { input: Box::new(rel) };
+        }
+        if !keys.is_empty() {
+            rel = RelExpr::Sort { input: Box::new(rel), keys };
+        }
+        if let Some(top) = &block.top {
+            rel = RelExpr::Limit {
+                input: Box::new(rel),
+                limit: Some(top.n),
+                offset: 0,
+                with_ties: top.with_ties,
+            };
+        } else if let Some(n) = block.limit {
+            rel = RelExpr::Limit {
+                input: Box::new(rel),
+                limit: Some(n),
+                offset: 0,
+                with_ties: false,
+            };
+        }
+        if needs_rename {
+            // Strip hidden sort columns and restore user-visible names.
+            let schema = rel.schema();
+            rel = RelExpr::Project {
+                input: Box::new(rel),
+                exprs: schema.fields[..visible]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        (
+                            ScalarExpr::Column {
+                                qualifier: f.qualifier.clone(),
+                                name: f.name.clone(),
+                                ty: f.ty.clone(),
+                            },
+                            originals[i].clone(),
+                        )
+                    })
+                    .collect(),
+            };
+        }
+        Ok(rel)
+    }
+
+    /// Pull every distinct aggregate out of the bound expressions, build
+    /// the `Aggregate` operator, and rewrite all expressions to reference
+    /// its outputs.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_aggregate(
+        &mut self,
+        input: RelExpr,
+        group_bound: &[ScalarExpr],
+        grouping: Grouping,
+        projections: &mut [(ScalarExpr, String)],
+        having: &mut Option<ScalarExpr>,
+        qualify: &mut Option<ScalarExpr>,
+        order_keys: &mut [(ScalarExpr, bool, Option<bool>)],
+        windows: &mut [hyperq_xtra::expr::WindowExpr],
+    ) -> Result<RelExpr> {
+        // Name group outputs: plain columns keep their identity, complex
+        // expressions get generated names.
+        let mut group_by: Vec<(ScalarExpr, String)> = Vec::with_capacity(group_bound.len());
+        for g in group_bound {
+            let name = match g {
+                ScalarExpr::Column { name, .. } => name.clone(),
+                _ => self.fresh("G"),
+            };
+            group_by.push((g.clone(), name));
+        }
+
+        // Collect distinct aggregates from every expression.
+        let mut aggs: Vec<(ScalarExpr, String)> = Vec::new();
+        let collect = |e: &ScalarExpr, aggs: &mut Vec<(ScalarExpr, String)>, b: &mut Binder| {
+            let mut found: Vec<ScalarExpr> = Vec::new();
+            // Do not cross subquery boundaries: an inner query's aggregates
+            // belong to its own Aggregate operator.
+            e.visit_no_subquery(&mut |x| {
+                if matches!(x, ScalarExpr::Agg { .. }) && !found.contains(x) {
+                    found.push(x.clone());
+                }
+            });
+            for f in found {
+                if !aggs.iter().any(|(a, _)| *a == f) {
+                    let name = b.fresh("A");
+                    aggs.push((f, name));
+                }
+            }
+        };
+        for (e, _) in projections.iter() {
+            collect(e, &mut aggs, self);
+        }
+        if let Some(h) = having.as_ref() {
+            collect(h, &mut aggs, self);
+        }
+        if let Some(q) = qualify.as_ref() {
+            collect(q, &mut aggs, self);
+        }
+        for (e, ..) in order_keys.iter() {
+            collect(e, &mut aggs, self);
+        }
+        for w in windows.iter() {
+            if let Some(a) = &w.arg {
+                collect(a, &mut aggs, self);
+            }
+            for p in &w.partition_by {
+                collect(p, &mut aggs, self);
+            }
+            for k in &w.order_by {
+                collect(&k.expr, &mut aggs, self);
+            }
+        }
+
+        // Rewriter: aggregates and complex group expressions become column
+        // references into the Aggregate's output schema.
+        let agg_repl: Vec<(ScalarExpr, ScalarExpr)> = aggs
+            .iter()
+            .map(|(a, n)| {
+                (
+                    a.clone(),
+                    ScalarExpr::Column { qualifier: None, name: n.clone(), ty: a.ty() },
+                )
+            })
+            .collect();
+        // Every group key — including plain columns, whose qualifier is
+        // stripped by the Aggregate's output schema — is referenced by
+        // output name above the aggregate.
+        let group_repl: Vec<(ScalarExpr, ScalarExpr)> = group_by
+            .iter()
+            .map(|(g, n)| {
+                (
+                    g.clone(),
+                    ScalarExpr::Column { qualifier: None, name: n.clone(), ty: g.ty() },
+                )
+            })
+            .collect();
+        // Two passes: aggregates first (whole-node match requires their
+        // arguments untouched), then group keys for the remaining
+        // occurrences outside aggregates.
+        let replace = |e: ScalarExpr| -> ScalarExpr {
+            let e = e.rewrite_no_subquery(&mut |x| {
+                for (from, to) in &agg_repl {
+                    if x == *from {
+                        return to.clone();
+                    }
+                }
+                x
+            });
+            e.rewrite_no_subquery(&mut |x| {
+                for (from, to) in &group_repl {
+                    if x == *from {
+                        return to.clone();
+                    }
+                }
+                x
+            })
+        };
+        for (e, _) in projections.iter_mut() {
+            *e = replace(e.clone());
+        }
+        if let Some(h) = having.take() {
+            *having = Some(replace(h));
+        }
+        if let Some(q) = qualify.take() {
+            *qualify = Some(replace(q));
+        }
+        for (e, ..) in order_keys.iter_mut() {
+            *e = replace(e.clone());
+        }
+        for w in windows.iter_mut() {
+            if let Some(a) = w.arg.take() {
+                w.arg = Some(replace(a));
+            }
+            for p in w.partition_by.iter_mut() {
+                *p = replace(p.clone());
+            }
+            for k in w.order_by.iter_mut() {
+                k.expr = replace(k.expr.clone());
+            }
+        }
+
+        Ok(RelExpr::Aggregate {
+            input: Box::new(input),
+            group_by,
+            grouping,
+            aggs,
+        })
+    }
+
+    fn bind_values(&mut self, value_rows: &[Vec<past::Expr>]) -> Result<RelExpr> {
+        let empty = BlockContext::default();
+        let mut rows: Vec<Vec<ScalarExpr>> = Vec::with_capacity(value_rows.len());
+        for row in value_rows {
+            let mut bound = Vec::with_capacity(row.len());
+            for e in row {
+                bound.push(self.bind_expr(e, &empty)?);
+            }
+            rows.push(bound);
+        }
+        let width = rows.first().map(|r| r.len()).unwrap_or(0);
+        if rows.iter().any(|r| r.len() != width) {
+            return self.err("VALUES rows must all have the same width");
+        }
+        let schema = Schema::new(
+            (0..width)
+                .map(|i| {
+                    // The column type is the supertype across rows.
+                    let mut ty = SqlType::Unknown;
+                    for r in &rows {
+                        ty = ty.common_supertype(&r[i].ty()).unwrap_or(SqlType::Unknown);
+                    }
+                    Field {
+                        qualifier: None,
+                        name: format!("COL{}", i + 1),
+                        ty,
+                        nullable: true,
+                    }
+                })
+                .collect(),
+        );
+        Ok(RelExpr::Values { rows, schema })
+    }
+
+    fn flatten_group_by(
+        &mut self,
+        items: &[past::GroupByItem],
+    ) -> Result<(Vec<past::Expr>, Grouping)> {
+        let mut plain: Vec<past::Expr> = Vec::new();
+        let mut extension: Option<&past::GroupByItem> = None;
+        for item in items {
+            match item {
+                past::GroupByItem::Expr(e) => plain.push(e.clone()),
+                ext => {
+                    if extension.is_some() {
+                        return self.err(
+                            "multiple OLAP grouping extensions in one GROUP BY are not supported",
+                        );
+                    }
+                    extension = Some(ext);
+                }
+            }
+        }
+        match extension {
+            None => Ok((plain, Grouping::Simple)),
+            Some(past::GroupByItem::Rollup(exprs)) => {
+                self.record(Feature::GroupingExtensions);
+                let offset = plain.len();
+                let n = exprs.len();
+                plain.extend(exprs.iter().cloned());
+                let sets = match Grouping::rollup(n) {
+                    Grouping::Sets(s) => s,
+                    _ => unreachable!("rollup returns sets"),
+                };
+                Ok((plain, Grouping::Sets(prefix_sets(sets, offset))))
+            }
+            Some(past::GroupByItem::Cube(exprs)) => {
+                self.record(Feature::GroupingExtensions);
+                let offset = plain.len();
+                let n = exprs.len();
+                plain.extend(exprs.iter().cloned());
+                let sets = match Grouping::cube(n) {
+                    Grouping::Sets(s) => s,
+                    _ => unreachable!("cube returns sets"),
+                };
+                Ok((plain, Grouping::Sets(prefix_sets(sets, offset))))
+            }
+            Some(past::GroupByItem::GroupingSets(sets)) => {
+                self.record(Feature::GroupingExtensions);
+                let offset = plain.len();
+                // Deduplicate expressions across sets.
+                let mut exprs: Vec<past::Expr> = Vec::new();
+                let mut index_sets: Vec<Vec<usize>> = Vec::new();
+                for set in sets {
+                    let mut indices: Vec<usize> = (0..offset).collect();
+                    for e in set {
+                        let idx = match exprs.iter().position(|x| x == e) {
+                            Some(i) => i,
+                            None => {
+                                exprs.push(e.clone());
+                                exprs.len() - 1
+                            }
+                        };
+                        indices.push(offset + idx);
+                    }
+                    index_sets.push(indices);
+                }
+                plain.extend(exprs);
+                Ok((plain, Grouping::Sets(index_sets)))
+            }
+            Some(past::GroupByItem::Expr(_)) => unreachable!("handled above"),
+        }
+    }
+
+    // --- FROM binding --------------------------------------------------------
+
+    pub(crate) fn bind_table_ref(&mut self, tr: &past::TableRef) -> Result<RelExpr> {
+        match tr {
+            past::TableRef::Table { name, alias } => self.bind_named_table(name, alias.as_ref()),
+            past::TableRef::Derived { query, alias } => {
+                let rel = self.bind_query(query)?;
+                // Column names in a derived table alias (a Figure 2 feature
+                // many targets lack) are normalized into the Alias schema so
+                // the serializer can always emit plain column aliases.
+                let cols: Option<Vec<String>> = if alias.columns.is_empty() {
+                    None
+                } else {
+                    Some(
+                        alias
+                            .columns
+                            .iter()
+                            .map(|c| c.to_ascii_uppercase())
+                            .collect(),
+                    )
+                };
+                let name = alias.name.to_ascii_uppercase();
+                let schema = rel
+                    .schema()
+                    .with_alias(&name, cols.as_deref())
+                    .map_err(HyperQError::Bind)?;
+                Ok(RelExpr::Alias { input: Box::new(rel), alias: name, schema })
+            }
+            past::TableRef::Join { left, right, kind, constraint } => {
+                let l = self.bind_table_ref(left)?;
+                let r = self.bind_table_ref(right)?;
+                let condition = match constraint {
+                    past::JoinConstraint::On(e) => {
+                        let scope = l.schema().join(&r.schema());
+                        let ctx = BlockContext::for_scope(scope);
+                        Some(self.bind_expr(e, &ctx)?)
+                    }
+                    past::JoinConstraint::None => None,
+                };
+                Ok(RelExpr::Join {
+                    kind: *kind,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    condition,
+                })
+            }
+        }
+    }
+
+    fn bind_named_table(
+        &mut self,
+        name: &past::ObjectName,
+        alias: Option<&past::TableAlias>,
+    ) -> Result<RelExpr> {
+        let base = name.base();
+        let alias_name = alias.map(|a| a.name.to_ascii_uppercase());
+
+        // 1. CTE reference.
+        if name.0.len() == 1 {
+            if let Some((_, rel)) = self.ctes.iter().rev().find(|(n, _)| *n == base) {
+                let rel = rel.clone();
+                return Ok(match &alias_name {
+                    Some(a) if *a != base => {
+                        let schema = rel
+                            .schema()
+                            .with_alias(a, None)
+                            .map_err(HyperQError::Bind)?;
+                        RelExpr::Alias { input: Box::new(rel), alias: a.clone(), schema }
+                    }
+                    _ => rel,
+                });
+            }
+        }
+
+        // 2. View: inline its body (views live in the mid-tier DTM catalog,
+        //    never on the target — which is what makes DML-on-view
+        //    emulation possible).
+        if let Some(view) = self.catalog.view(&name.canonical()) {
+            let parsed = parse_one(&view.body_sql, Dialect::Teradata)
+                .map_err(|e| HyperQError::Bind(format!("invalid view body: {e}")))?;
+            // The DTM catalog stores the full CREATE VIEW statement text;
+            // accept either a bare query or the wrapped definition.
+            let q = match parsed.stmt {
+                past::Statement::Query(q) => q,
+                past::Statement::CreateView { query, .. } => query,
+                _ => return self.err(format!("view {} body is not a query", view.name)),
+            };
+            let rel = self.bind_query(&q)?;
+            let vname = alias_name.unwrap_or_else(|| {
+                view.name
+                    .rsplit('.')
+                    .next()
+                    .unwrap_or(&view.name)
+                    .to_ascii_uppercase()
+            });
+            let cols: Option<Vec<String>> = if view.columns.is_empty() {
+                None
+            } else {
+                Some(view.columns.iter().map(|c| c.to_ascii_uppercase()).collect())
+            };
+            let schema = rel
+                .schema()
+                .with_alias(&vname, cols.as_deref())
+                .map_err(HyperQError::Bind)?;
+            return Ok(RelExpr::Alias { input: Box::new(rel), alias: vname, schema });
+        }
+
+        // 3. Base table.
+        let def = self.lookup_table(&name.canonical())?;
+        self.register_ci_columns(&def, alias_name.as_deref());
+        // The range variable is the name *as referenced* (not the resolved
+        // physical name) so that overlay mappings — e.g. a recursive CTE
+        // name resolved to a WorkTable — keep qualified references working.
+        let effective = alias_name.unwrap_or_else(|| name.base());
+        Ok(RelExpr::Get {
+            table: def.name.clone(),
+            alias: Some(effective.clone()),
+            schema: def.schema(Some(&effective)),
+        })
+    }
+
+    /// Discover implicit-join tables: qualifiers used in the block that are
+    /// not FROM-visible, not outer-scope-visible, but name catalog tables.
+    fn find_implicit_tables(
+        &self,
+        block: &past::SelectBlock,
+        scope: &Schema,
+    ) -> Result<Vec<String>> {
+        let mut out: Vec<String> = Vec::new();
+        let check = |e: &past::Expr, out: &mut Vec<String>| {
+            e.walk_no_subquery(&mut |x| {
+                if let past::Expr::Ident(name) = x {
+                    if name.0.len() >= 2 {
+                        let qualifier = name.0[name.0.len() - 2].to_ascii_uppercase();
+                        let visible = scope
+                            .fields
+                            .iter()
+                            .any(|f| f.qualifier.as_deref() == Some(qualifier.as_str()))
+                            || self.outer_scopes.iter().any(|s| {
+                                s.fields
+                                    .iter()
+                                    .any(|f| f.qualifier.as_deref() == Some(qualifier.as_str()))
+                            })
+                            || out.iter().any(|t| {
+                                t == &qualifier || t.ends_with(&format!(".{qualifier}"))
+                            });
+                        if !visible && self.catalog.table(&qualifier).is_some() {
+                            out.push(qualifier);
+                        }
+                    }
+                }
+            });
+        };
+        for item in &block.items {
+            if let past::SelectItem::Expr { expr, .. } = item {
+                check(expr, &mut out);
+            }
+        }
+        if let Some(w) = &block.where_clause {
+            check(w, &mut out);
+        }
+        if let Some(h) = &block.having {
+            check(h, &mut out);
+        }
+        if let Some(q) = &block.qualify {
+            check(q, &mut out);
+        }
+        for k in &block.order_by {
+            check(&k.expr, &mut out);
+        }
+        for g in &block.group_by {
+            if let past::GroupByItem::Expr(e) = g {
+                check(e, &mut out);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Shift every index in the grouping sets by `offset` and prepend the
+/// always-grouped plain columns `0..offset`.
+fn prefix_sets(sets: Vec<Vec<usize>>, offset: usize) -> Vec<Vec<usize>> {
+    sets.into_iter()
+        .map(|s| {
+            let mut v: Vec<usize> = (0..offset).collect();
+            v.extend(s.into_iter().map(|i| i + offset));
+            v
+        })
+        .collect()
+}
+
+/// If the AST expression is a bare positive integer literal, its value.
+pub(crate) fn ordinal_of(e: &past::Expr) -> Option<usize> {
+    match e {
+        past::Expr::Literal(past::Literal::Number(n)) if !n.contains('.') => {
+            n.parse::<usize>().ok().filter(|v| *v >= 1)
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,523 @@
+//! Target-database capability profiles.
+//!
+//! The paper's Figure 2 surveys "support for select Teradata features across
+//! major cloud databases"; the Transformer and Serializer consult the same
+//! capability model to decide which system-specific rewrites to trigger
+//! (§5.3: "for target database systems that support vector comparison in
+//! subqueries, this transformation would not be triggered").
+//!
+//! Six anonymized profiles model the documented behavior of 2017-era cloud
+//! warehouses; `simwh()` describes the bundled `hyperq-engine` substrate,
+//! which is the only profile whose serialized SQL is actually executed.
+
+use hyperq_xtra::feature::Feature;
+
+/// How the target spells modulo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModStyle {
+    /// `a % b`.
+    Percent,
+    /// `MOD(a, b)`.
+    Function,
+}
+
+/// How the target spells "add N days to a date".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DateAddStyle {
+    /// Native `d + n` integer arithmetic (Teradata-compatible).
+    PlusInteger,
+    /// `DATEADD(DAY, n, d)`.
+    DateAddFn,
+    /// `DATE_ADD(d, INTERVAL n DAY)`.
+    IntervalFn,
+    /// `d + INTERVAL 'n' DAY`.
+    IntervalLiteral,
+}
+
+/// How the target spells "add N months to a date".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddMonthsStyle {
+    /// `ADD_MONTHS(d, n)`.
+    AddMonthsFn,
+    /// `DATEADD(MONTH, n, d)`.
+    DateAddFn,
+    /// `d + INTERVAL 'n' MONTH`.
+    IntervalLiteral,
+}
+
+/// Feature support and dialect spellings of one target database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetCapabilities {
+    pub name: &'static str,
+    // --- feature support (drives Figure 2 and rewrite triggering) ---
+    pub qualify: bool,
+    pub implicit_joins: bool,
+    pub named_expr_reuse: bool,
+    pub ordinal_group_by: bool,
+    pub date_int_comparison: bool,
+    pub date_arithmetic: bool,
+    pub vector_subquery: bool,
+    pub grouping_sets: bool,
+    pub td_window_syntax: bool,
+    pub recursive_cte: bool,
+    pub macros: bool,
+    pub stored_procedures: bool,
+    pub merge: bool,
+    pub help_commands: bool,
+    pub updatable_views: bool,
+    pub global_temp_tables: bool,
+    pub set_tables: bool,
+    pub column_properties: bool,
+    pub derived_table_column_aliases: bool,
+    pub keyword_shortcuts: bool,
+    pub keyword_comparisons: bool,
+    pub mod_operator_infix: bool,
+    pub exponent_operator: bool,
+    pub chars_function: bool,
+    pub zeroifnull: bool,
+    pub index_function: bool,
+    pub substr_function: bool,
+    pub add_months_function: bool,
+    pub top_clause: bool,
+    pub with_ties: bool,
+    pub limit_clause: bool,
+    // --- dialect spellings ---
+    pub mod_style: ModStyle,
+    pub date_add_style: DateAddStyle,
+    pub add_months_style: AddMonthsStyle,
+}
+
+impl TargetCapabilities {
+    /// Does this target natively support the tracked feature?
+    pub fn supports(&self, f: Feature) -> bool {
+        use Feature::*;
+        match f {
+            KeywordShortcut => self.keyword_shortcuts,
+            KeywordComparison => self.keyword_comparisons,
+            ModOperator => self.mod_operator_infix,
+            ExponentOperator => self.exponent_operator,
+            CharsFunction => self.chars_function,
+            ZeroIfNull => self.zeroifnull,
+            IndexFunction => self.index_function,
+            SubstrFunction => self.substr_function,
+            AddMonths => self.add_months_function,
+            Qualify => self.qualify,
+            ImplicitJoin => self.implicit_joins,
+            NamedExprReference => self.named_expr_reuse,
+            OrdinalGroupBy => self.ordinal_group_by,
+            DateIntComparison => self.date_int_comparison,
+            DateArithmetic => self.date_arithmetic,
+            VectorSubquery => self.vector_subquery,
+            GroupingExtensions => self.grouping_sets,
+            NonAnsiWindowSyntax => self.td_window_syntax,
+            RecursiveQuery => self.recursive_cte,
+            MacroStatement => self.macros,
+            StoredProcedureCall => self.stored_procedures,
+            MergeStatement => self.merge,
+            HelpCommand => self.help_commands,
+            DmlOnView => self.updatable_views,
+            GlobalTempTable => self.global_temp_tables,
+            SetTableSemantics => self.set_tables,
+            ColumnProperties => self.column_properties,
+        }
+    }
+
+    /// The bundled engine substrate: a deliberately minimal ANSI target so
+    /// every rewrite class is exercised end-to-end.
+    pub fn simwh() -> TargetCapabilities {
+        TargetCapabilities {
+            name: "SimWH",
+            qualify: false,
+            implicit_joins: false,
+            named_expr_reuse: false,
+            ordinal_group_by: false,
+            date_int_comparison: false,
+            // The engine evaluates `date + n` natively, so the DATEADD
+            // rewrite is not triggered for it (matching systems with native
+            // date arithmetic).
+            date_arithmetic: true,
+            vector_subquery: false,
+            grouping_sets: false,
+            td_window_syntax: false,
+            recursive_cte: false,
+            macros: false,
+            stored_procedures: false,
+            merge: false,
+            help_commands: false,
+            updatable_views: false,
+            global_temp_tables: false,
+            set_tables: false,
+            column_properties: false,
+            derived_table_column_aliases: true,
+            keyword_shortcuts: false,
+            keyword_comparisons: false,
+            mod_operator_infix: false,
+            exponent_operator: false,
+            chars_function: false,
+            zeroifnull: false,
+            index_function: false,
+            substr_function: false,
+            add_months_function: true,
+            top_clause: false,
+            with_ties: false,
+            limit_clause: true,
+            mod_style: ModStyle::Percent,
+            date_add_style: DateAddStyle::PlusInteger,
+            add_months_style: AddMonthsStyle::AddMonthsFn,
+        }
+    }
+
+    /// Modeled on a 2017-era MPP SQL warehouse with T-SQL heritage.
+    pub fn cloud_a() -> TargetCapabilities {
+        TargetCapabilities {
+            name: "CloudWH-A",
+            qualify: false,
+            implicit_joins: false,
+            named_expr_reuse: false,
+            ordinal_group_by: true,
+            date_int_comparison: false,
+            date_arithmetic: false,
+            vector_subquery: false,
+            grouping_sets: true,
+            td_window_syntax: false,
+            recursive_cte: false,
+            macros: false,
+            stored_procedures: true,
+            merge: false,
+            help_commands: false,
+            updatable_views: false,
+            global_temp_tables: false,
+            set_tables: false,
+            column_properties: false,
+            derived_table_column_aliases: false,
+            keyword_shortcuts: false,
+            keyword_comparisons: false,
+            mod_operator_infix: false,
+            exponent_operator: false,
+            chars_function: false,
+            zeroifnull: false,
+            index_function: false,
+            substr_function: true,
+            add_months_function: false,
+            top_clause: true,
+            with_ties: true,
+            limit_clause: false,
+            mod_style: ModStyle::Percent,
+            date_add_style: DateAddStyle::DateAddFn,
+            add_months_style: AddMonthsStyle::DateAddFn,
+        }
+    }
+
+    /// Modeled on a 2017-era columnar cloud warehouse with Postgres
+    /// heritage.
+    pub fn cloud_b() -> TargetCapabilities {
+        TargetCapabilities {
+            name: "CloudWH-B",
+            qualify: false,
+            implicit_joins: true,
+            named_expr_reuse: false,
+            ordinal_group_by: true,
+            date_int_comparison: false,
+            date_arithmetic: true,
+            vector_subquery: false,
+            grouping_sets: false,
+            td_window_syntax: false,
+            recursive_cte: false,
+            macros: false,
+            stored_procedures: false,
+            merge: false,
+            help_commands: false,
+            updatable_views: false,
+            global_temp_tables: false,
+            set_tables: false,
+            column_properties: false,
+            derived_table_column_aliases: true,
+            keyword_shortcuts: false,
+            keyword_comparisons: false,
+            mod_operator_infix: false,
+            exponent_operator: false,
+            chars_function: false,
+            zeroifnull: false,
+            index_function: false,
+            substr_function: true,
+            add_months_function: true,
+            top_clause: true,
+            with_ties: false,
+            limit_clause: true,
+            mod_style: ModStyle::Percent,
+            date_add_style: DateAddStyle::PlusInteger,
+            add_months_style: AddMonthsStyle::AddMonthsFn,
+        }
+    }
+
+    /// Modeled on a 2017-era serverless query service with its own SQL
+    /// dialect.
+    pub fn cloud_c() -> TargetCapabilities {
+        TargetCapabilities {
+            name: "CloudWH-C",
+            qualify: false,
+            implicit_joins: false,
+            named_expr_reuse: false,
+            ordinal_group_by: true,
+            date_int_comparison: false,
+            date_arithmetic: false,
+            vector_subquery: false,
+            grouping_sets: false,
+            td_window_syntax: false,
+            recursive_cte: false,
+            macros: false,
+            stored_procedures: false,
+            merge: false,
+            help_commands: false,
+            updatable_views: false,
+            global_temp_tables: false,
+            set_tables: false,
+            column_properties: false,
+            derived_table_column_aliases: false,
+            keyword_shortcuts: false,
+            keyword_comparisons: false,
+            mod_operator_infix: false,
+            exponent_operator: false,
+            chars_function: false,
+            zeroifnull: false,
+            index_function: false,
+            substr_function: true,
+            add_months_function: false,
+            top_clause: false,
+            with_ties: false,
+            limit_clause: true,
+            mod_style: ModStyle::Function,
+            date_add_style: DateAddStyle::IntervalFn,
+            add_months_style: AddMonthsStyle::IntervalLiteral,
+        }
+    }
+
+    /// Modeled on a 2017-era elastic multi-cluster warehouse.
+    pub fn cloud_d() -> TargetCapabilities {
+        TargetCapabilities {
+            name: "CloudWH-D",
+            qualify: true,
+            implicit_joins: false,
+            named_expr_reuse: true,
+            ordinal_group_by: true,
+            date_int_comparison: false,
+            date_arithmetic: true,
+            vector_subquery: false,
+            grouping_sets: true,
+            td_window_syntax: false,
+            recursive_cte: true,
+            macros: false,
+            stored_procedures: false,
+            merge: true,
+            help_commands: false,
+            updatable_views: false,
+            global_temp_tables: false,
+            set_tables: false,
+            column_properties: false,
+            derived_table_column_aliases: true,
+            keyword_shortcuts: false,
+            keyword_comparisons: false,
+            mod_operator_infix: false,
+            exponent_operator: false,
+            chars_function: false,
+            zeroifnull: true,
+            index_function: false,
+            substr_function: true,
+            add_months_function: true,
+            top_clause: true,
+            with_ties: false,
+            limit_clause: true,
+            mod_style: ModStyle::Percent,
+            date_add_style: DateAddStyle::DateAddFn,
+            add_months_style: AddMonthsStyle::AddMonthsFn,
+        }
+    }
+
+    /// Modeled on a 2017-era federated SQL-on-anything engine.
+    pub fn cloud_e() -> TargetCapabilities {
+        TargetCapabilities {
+            name: "CloudWH-E",
+            qualify: false,
+            implicit_joins: false,
+            named_expr_reuse: false,
+            ordinal_group_by: true,
+            date_int_comparison: false,
+            date_arithmetic: false,
+            vector_subquery: true,
+            grouping_sets: true,
+            td_window_syntax: false,
+            recursive_cte: false,
+            macros: false,
+            stored_procedures: false,
+            merge: false,
+            help_commands: false,
+            updatable_views: false,
+            global_temp_tables: false,
+            set_tables: false,
+            column_properties: false,
+            derived_table_column_aliases: true,
+            keyword_shortcuts: false,
+            keyword_comparisons: false,
+            mod_operator_infix: false,
+            exponent_operator: false,
+            chars_function: false,
+            zeroifnull: false,
+            index_function: false,
+            substr_function: true,
+            add_months_function: false,
+            top_clause: false,
+            with_ties: false,
+            limit_clause: true,
+            mod_style: ModStyle::Function,
+            date_add_style: DateAddStyle::IntervalLiteral,
+            add_months_style: AddMonthsStyle::IntervalLiteral,
+        }
+    }
+
+    /// Modeled on a 2017-era managed Postgres-compatible service.
+    pub fn cloud_f() -> TargetCapabilities {
+        TargetCapabilities {
+            name: "CloudWH-F",
+            qualify: false,
+            implicit_joins: true,
+            named_expr_reuse: false,
+            ordinal_group_by: true,
+            date_int_comparison: false,
+            date_arithmetic: true,
+            vector_subquery: true,
+            grouping_sets: true,
+            td_window_syntax: false,
+            recursive_cte: true,
+            macros: false,
+            stored_procedures: true,
+            merge: false,
+            help_commands: false,
+            updatable_views: true,
+            global_temp_tables: false,
+            set_tables: false,
+            column_properties: false,
+            derived_table_column_aliases: true,
+            keyword_shortcuts: false,
+            keyword_comparisons: false,
+            mod_operator_infix: false,
+            exponent_operator: false,
+            chars_function: false,
+            zeroifnull: false,
+            index_function: false,
+            substr_function: true,
+            add_months_function: false,
+            top_clause: false,
+            with_ties: false,
+            limit_clause: true,
+            mod_style: ModStyle::Percent,
+            date_add_style: DateAddStyle::IntervalLiteral,
+            add_months_style: AddMonthsStyle::IntervalLiteral,
+        }
+    }
+
+    /// The six surveyed cloud profiles (Figure 2's population).
+    pub fn surveyed() -> Vec<TargetCapabilities> {
+        vec![
+            Self::cloud_a(),
+            Self::cloud_b(),
+            Self::cloud_c(),
+            Self::cloud_d(),
+            Self::cloud_e(),
+            Self::cloud_f(),
+        ]
+    }
+}
+
+/// The Figure 2 feature selection: frequently-used Teradata features whose
+/// cloud support the paper charts.
+pub fn figure2_features() -> Vec<Feature> {
+    use Feature::*;
+    vec![
+        Qualify,
+        ImplicitJoin,
+        NamedExprReference,
+        OrdinalGroupBy,
+        DateArithmetic,
+        VectorSubquery,
+        GroupingExtensions,
+        RecursiveQuery,
+        MacroStatement,
+        StoredProcedureCall,
+        MergeStatement,
+        DmlOnView,
+        GlobalTempTable,
+        SetTableSemantics,
+        ColumnProperties,
+    ]
+}
+
+/// One row of Figure 2: a feature and the percentage of surveyed cloud
+/// databases supporting it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportRow {
+    pub feature: Feature,
+    pub percent_supported: f64,
+    pub supporting: Vec<&'static str>,
+}
+
+/// Compute Figure 2 from the capability profiles.
+pub fn figure2_rows() -> Vec<SupportRow> {
+    let targets = TargetCapabilities::surveyed();
+    figure2_features()
+        .into_iter()
+        .map(|feature| {
+            let supporting: Vec<&'static str> = targets
+                .iter()
+                .filter(|t| t.supports(feature))
+                .map(|t| t.name)
+                .collect();
+            SupportRow {
+                feature,
+                percent_supported: 100.0 * supporting.len() as f64 / targets.len() as f64,
+                supporting,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cloud_target_supports_macros_or_help() {
+        for t in TargetCapabilities::surveyed() {
+            assert!(!t.supports(Feature::MacroStatement), "{}", t.name);
+            assert!(!t.supports(Feature::HelpCommand), "{}", t.name);
+            assert!(!t.supports(Feature::DateIntComparison), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn figure2_rows_are_percentages() {
+        for row in figure2_rows() {
+            assert!((0.0..=100.0).contains(&row.percent_supported));
+            assert_eq!(
+                row.percent_supported,
+                100.0 * row.supporting.len() as f64 / 6.0
+            );
+        }
+    }
+
+    #[test]
+    fn qualify_is_rare_across_clouds() {
+        let rows = figure2_rows();
+        let q = rows
+            .iter()
+            .find(|r| r.feature == Feature::Qualify)
+            .expect("qualify row");
+        assert!(q.percent_supported < 50.0);
+    }
+
+    #[test]
+    fn simwh_is_minimal_on_purpose() {
+        let s = TargetCapabilities::simwh();
+        assert!(!s.qualify && !s.vector_subquery && !s.recursive_cte && !s.merge);
+        assert!(s.limit_clause && !s.top_clause);
+    }
+}

@@ -1,0 +1,964 @@
+//! The cross compiler: the façade that drives parse → bind → transform →
+//! serialize → execute, routes emulated features through the mid tier, and
+//! instruments per-stage timing (the Figure 9 measurements).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hyperq_parser::ast as past;
+use hyperq_parser::{parse_statements, Dialect, ParsedStatement};
+use hyperq_xtra::catalog::{ColumnDef, MetadataProvider, TableDef, TableKind, ViewDef};
+use hyperq_xtra::datum::Datum;
+use hyperq_xtra::expr::ScalarExpr;
+use hyperq_xtra::feature::{Feature, FeatureSet};
+use hyperq_xtra::rel::{Plan, RelExpr, SetOpKind};
+
+use crate::backend::{Backend, ExecResult};
+use crate::binder::Binder;
+use crate::capability::TargetCapabilities;
+use crate::emulate;
+use crate::error::{HyperQError, Result};
+use crate::serialize::Serializer;
+use crate::session::{RoutineDef, SessionState, ShadowCatalog};
+use crate::transform::Transformer;
+
+/// Per-statement stage timings (the paper's Figure 9 instrumentation):
+/// `translation` covers "parsing, binding, backend-specific transformations
+/// and emitting the final query into the target language"; `execution` is
+/// the time the target database took.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timings {
+    pub translation: Duration,
+    pub execution: Duration,
+}
+
+impl Timings {
+    pub fn merge(&mut self, other: Timings) {
+        self.translation += other.translation;
+        self.execution += other.execution;
+    }
+}
+
+/// The outcome of one application statement.
+#[derive(Debug, Clone)]
+pub struct StatementOutcome {
+    pub result: ExecResult,
+    /// All tracked features observed across parse, bind and transform.
+    pub features: FeatureSet,
+    pub timings: Timings,
+    /// Every SQL request sent to the target for this statement (emulated
+    /// features send several).
+    pub sql_sent: Vec<String>,
+}
+
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Hard bound on emulated recursion depth.
+const MAX_RECURSION_STEPS: usize = 10_000;
+
+/// One virtualized connection: Teradata-dialect SQL in, target execution
+/// out.
+pub struct HyperQ {
+    backend: Arc<dyn Backend>,
+    caps: TargetCapabilities,
+    transformer: Transformer,
+    pub session: SessionState,
+    /// The single-row DML batching transformation (§4.3). On by default;
+    /// the ablation benchmark turns it off.
+    pub dml_batching: bool,
+}
+
+impl HyperQ {
+    pub fn new(backend: Arc<dyn Backend>, caps: TargetCapabilities) -> Self {
+        let id = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
+        HyperQ {
+            backend,
+            caps,
+            transformer: Transformer::standard(),
+            session: SessionState::new(id, "APP"),
+            dml_batching: true,
+        }
+    }
+
+    pub fn capabilities(&self) -> &TargetCapabilities {
+        &self.caps
+    }
+
+    /// Run a script of one or more Teradata-dialect statements.
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementOutcome>> {
+        let t0 = Instant::now();
+        let mut stmts = parse_statements(sql, Dialect::Teradata)?;
+        if self.dml_batching {
+            stmts = batch_single_row_inserts(stmts);
+        }
+        let parse_time = t0.elapsed();
+        let mut outcomes = Vec::with_capacity(stmts.len());
+        for (i, ps) in stmts.into_iter().enumerate() {
+            let mut outcome = self.process(ps)?;
+            if i == 0 {
+                outcome.timings.translation += parse_time;
+            }
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+
+    /// Run exactly one statement.
+    pub fn run_one(&mut self, sql: &str) -> Result<StatementOutcome> {
+        let mut outcomes = self.run_script(sql)?;
+        outcomes
+            .pop()
+            .ok_or_else(|| HyperQError::Emulation("empty statement".into()))
+    }
+
+    /// Run one statement with positional (`?`) parameter values — the
+    /// parameterized-query request kind of the ODBC-server abstraction
+    /// (§4.5).
+    pub fn run_with_params(
+        &mut self,
+        sql: &str,
+        values: &[Datum],
+    ) -> Result<StatementOutcome> {
+        let mut stmts = parse_statements(sql, Dialect::Teradata)?;
+        if stmts.len() != 1 {
+            return Err(HyperQError::Emulation(
+                "parameterized execution takes exactly one statement".into(),
+            ));
+        }
+        let ps = stmts.remove(0);
+        let mut features = ps.features.clone();
+        let o = self.run_pipeline_with(&ps.stmt, HashMap::new(), values.to_vec(), &mut features)?;
+        Ok(StatementOutcome { features, ..o })
+    }
+
+    /// Translate without executing: the SQL that *would* be sent. Used by
+    /// benchmarks to isolate translation cost and by tests to inspect the
+    /// generated SQL.
+    pub fn translate(&mut self, sql: &str) -> Result<Vec<String>> {
+        let stmts = parse_statements(sql, Dialect::Teradata)?;
+        let mut out = Vec::new();
+        for ps in stmts {
+            let (plan_sql, _features) = self.translate_statement(&ps.stmt)?;
+            out.push(plan_sql);
+        }
+        Ok(out)
+    }
+
+    fn translate_statement(&mut self, stmt: &past::Statement) -> Result<(String, FeatureSet)> {
+        let mut features = FeatureSet::new();
+        let backend = Arc::clone(&self.backend);
+        let catalog = ShadowCatalog::new(&*backend, &self.session);
+        let mut binder = Binder::new(&catalog);
+        let plan = binder.bind_statement(stmt)?;
+        features.union(&binder.features);
+        let plan = self.transformer.run_all(plan, &self.caps, &mut features)?;
+        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        Ok((sql, features))
+    }
+
+    // -----------------------------------------------------------------------
+    // Statement routing
+    // -----------------------------------------------------------------------
+
+    fn process(&mut self, ps: ParsedStatement) -> Result<StatementOutcome> {
+        let mut features = ps.features.clone();
+        match &ps.stmt {
+            // --- E5: informational commands, answered mid-tier -------------
+            past::Statement::Help(target) => {
+                let result = match target {
+                    past::HelpTarget::Session => emulate::help_session(&self.session),
+                    past::HelpTarget::Table(name) => {
+                        let backend = Arc::clone(&self.backend);
+                        let catalog = ShadowCatalog::new(&*backend, &self.session);
+                        let def = catalog.table(&name.canonical()).ok_or_else(|| {
+                            HyperQError::Emulation(format!("table {name} not found"))
+                        })?;
+                        emulate::help_table(&def)
+                    }
+                };
+                Ok(StatementOutcome {
+                    result,
+                    features,
+                    timings: Timings::default(),
+                    sql_sent: Vec::new(),
+                })
+            }
+
+            // --- EXPLAIN: answered by the mid tier ---------------------------
+            past::Statement::Explain(inner) => {
+                let report = self.explain(inner, &mut features)?;
+                let schema = hyperq_xtra::schema::Schema::new(vec![
+                    hyperq_xtra::schema::Field::new(
+                        None,
+                        "EXPLANATION",
+                        hyperq_xtra::types::SqlType::Varchar(None),
+                        false,
+                    ),
+                ]);
+                let rows: Vec<hyperq_xtra::Row> = report
+                    .lines()
+                    .map(|l| vec![hyperq_xtra::datum::Datum::str(l)])
+                    .collect();
+                Ok(StatementOutcome {
+                    result: ExecResult::rows(schema, rows),
+                    features,
+                    timings: Timings::default(),
+                    sql_sent: Vec::new(),
+                })
+            }
+
+            // --- E2/E3: routine definitions ---------------------------------
+            past::Statement::CreateMacro { name, params, body } => {
+                self.session.macros.insert(
+                    name.canonical(),
+                    RoutineDef {
+                        name: name.canonical(),
+                        params: params.clone(),
+                        body: body.clone(),
+                        features: ps.features.clone(),
+                    },
+                );
+                Ok(ack(features))
+            }
+            past::Statement::DropMacro { name } => {
+                self.session.macros.remove(&name.canonical());
+                Ok(ack(features))
+            }
+            past::Statement::CreateProcedure { name, params, body } => {
+                self.session.procedures.insert(
+                    name.canonical(),
+                    RoutineDef {
+                        name: name.canonical(),
+                        params: params.clone(),
+                        body: body.clone(),
+                        features: ps.features.clone(),
+                    },
+                );
+                Ok(ack(features))
+            }
+            past::Statement::ExecuteMacro { name, args } => {
+                let routine = self
+                    .session
+                    .macros
+                    .get(&name.canonical())
+                    .cloned()
+                    .ok_or_else(|| {
+                        HyperQError::Emulation(format!("macro {name} is not defined"))
+                    })?;
+                self.run_routine(&routine, args, features)
+            }
+            past::Statement::Call { name, args } => {
+                let routine = self
+                    .session
+                    .procedures
+                    .get(&name.canonical())
+                    .cloned()
+                    .ok_or_else(|| {
+                        HyperQError::Emulation(format!("procedure {name} is not defined"))
+                    })?;
+                let wrapped: Vec<(Option<String>, past::Expr)> =
+                    args.iter().map(|a| (None, a.clone())).collect();
+                self.run_routine(&routine, &wrapped, features)
+            }
+
+            // --- E6 substrate: views live in the DTM catalog -----------------
+            past::Statement::CreateView { name, columns, or_replace, .. } => {
+                let key = name.canonical();
+                if !or_replace && self.session.views.contains_key(&key) {
+                    return Err(HyperQError::Emulation(format!(
+                        "view {key} already exists"
+                    )));
+                }
+                self.session.views.insert(
+                    key.clone(),
+                    ViewDef {
+                        name: key,
+                        columns: columns.iter().map(|c| c.to_ascii_uppercase()).collect(),
+                        // The full statement text; the binder re-parses it
+                        // and extracts the query.
+                        body_sql: ps.text.clone(),
+                    },
+                );
+                Ok(ack(features))
+            }
+            past::Statement::DropView { name, if_exists } => {
+                let existed = self.session.views.remove(&name.canonical()).is_some();
+                if !existed && !if_exists {
+                    return Err(HyperQError::Emulation(format!("view {name} not found")));
+                }
+                Ok(ack(features))
+            }
+
+            // --- E4: MERGE → UPDATE + guarded INSERT -------------------------
+            past::Statement::Merge(m) => {
+                features.insert(Feature::MergeStatement);
+                let steps = emulate::decompose_merge(m)?;
+                let mut timings = Timings::default();
+                let mut sql_sent = Vec::new();
+                let mut affected = 0u64;
+                for step in &steps {
+                    let o = self.run_pipeline(step, HashMap::new(), &mut features)?;
+                    affected += o.result.row_count;
+                    timings.merge(o.timings);
+                    sql_sent.extend(o.sql_sent);
+                }
+                Ok(StatementOutcome {
+                    result: ExecResult::affected(affected),
+                    features,
+                    timings,
+                    sql_sent,
+                })
+            }
+
+            // --- E1: recursive queries ---------------------------------------
+            past::Statement::Query(q) if q.recursive => {
+                features.insert(Feature::RecursiveQuery);
+                self.emulate_recursive(q, features)
+            }
+
+            // --- session settings (reflected by HELP SESSION) ----------------
+            past::Statement::SetSession { name, value } => {
+                let rendered = match emulate::ast_const(value) {
+                    Ok(d) => d.to_sql_string(),
+                    Err(_) => format!("{value:?}"),
+                };
+                let key = name.to_ascii_uppercase();
+                if let Some(slot) = self
+                    .session
+                    .settings
+                    .iter_mut()
+                    .find(|(k, _)| k.eq_ignore_ascii_case(&key))
+                {
+                    slot.1 = rendered;
+                } else {
+                    self.session.settings.push((key, rendered));
+                }
+                Ok(ack(features))
+            }
+
+            // --- transactions ------------------------------------------------
+            past::Statement::BeginTransaction => {
+                self.session.in_transaction = true;
+                Ok(ack(features))
+            }
+            past::Statement::Commit | past::Statement::Rollback => {
+                self.session.in_transaction = false;
+                Ok(ack(features))
+            }
+
+            // --- E6: DML against a DTM-cataloged view -------------------------
+            past::Statement::Update { table, .. }
+            | past::Statement::Delete { table, .. }
+            | past::Statement::Insert { table, .. }
+                if self.session.views.contains_key(&table.canonical()) =>
+            {
+                features.insert(Feature::DmlOnView);
+                let view = self.session.views[&table.canonical()].clone();
+                let parsed = parse_statements(&view.body_sql, Dialect::Teradata)
+                    .map_err(HyperQError::Parse)?;
+                let view_query = match parsed.into_iter().next().map(|p| p.stmt) {
+                    Some(past::Statement::CreateView { query, .. }) => *query,
+                    Some(past::Statement::Query(q)) => *q,
+                    _ => {
+                        return Err(HyperQError::Emulation(format!(
+                            "stored view {} body is not a query",
+                            view.name
+                        )))
+                    }
+                };
+                let rewritten =
+                    emulate::rewrite_dml_on_view(&ps.stmt, &view_query, &view.columns)?;
+                let o = self.run_pipeline(&rewritten, HashMap::new(), &mut features)?;
+                Ok(StatementOutcome { features, ..o })
+            }
+
+            // --- standard path ----------------------------------------------
+            stmt => {
+                let o = self.run_pipeline(stmt, HashMap::new(), &mut features)?;
+                Ok(StatementOutcome { features, ..o })
+            }
+        }
+    }
+
+    /// Produce an EXPLAIN report: tracked features, the final XTRA plan
+    /// tree, and the SQL that would be sent to the target. Nothing reaches
+    /// the backend.
+    fn explain(
+        &mut self,
+        stmt: &past::Statement,
+        features: &mut FeatureSet,
+    ) -> Result<String> {
+        use std::fmt::Write as _;
+        // Emulated statements: explain the decomposition.
+        match stmt {
+            past::Statement::Merge(m) => {
+                features.insert(Feature::MergeStatement);
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "MERGE is emulated as {} request(s) against {}:",
+                    emulate::decompose_merge(m)?.len(),
+                    self.caps.name
+                );
+                for step in emulate::decompose_merge(m)? {
+                    let _ = writeln!(out, "--- step ---");
+                    out.push_str(&self.explain(&step, features)?);
+                }
+                return Ok(out);
+            }
+            past::Statement::Query(q) if q.recursive => {
+                features.insert(Feature::RecursiveQuery);
+                let parts = emulate::split_recursive(q)?;
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "recursive query emulated via WorkTable/TempTable on {} \
+                     (requests repeat until the step produces no rows):",
+                    self.caps.name
+                );
+                let _ = writeln!(out, "--- seed (initializes WorkTable and TempTable) ---");
+                out.push_str(&self.explain(
+                    &past::Statement::Query(Box::new(parts.seed)),
+                    features,
+                )?);
+                let _ = writeln!(out, "--- recursive step (joins against TempTable '{}') ---", parts.name);
+                return Ok(out);
+            }
+            past::Statement::Help(_)
+            | past::Statement::CreateMacro { .. }
+            | past::Statement::ExecuteMacro { .. }
+            | past::Statement::CreateProcedure { .. }
+            | past::Statement::Call { .. }
+            | past::Statement::CreateView { .. } => {
+                return Ok(
+                    "handled entirely by the Hyper-Q mid tier (DTM catalog / session state); \
+                     no single target statement to show\n"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+        let backend = Arc::clone(&self.backend);
+        let plan = {
+            let catalog = ShadowCatalog::new(&*backend, &self.session);
+            let mut binder = Binder::new(&catalog);
+            let plan = binder.bind_statement(stmt)?;
+            features.union(&binder.features);
+            plan
+        };
+        let plan = self.transformer.run_all(plan, &self.caps, features)?;
+        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "Hyper-Q translation for target {}", self.caps.name);
+        if !features.is_empty() {
+            let _ = writeln!(out, "tracked features:");
+            for f in features.iter() {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+        if let Plan::Query(rel) = &plan {
+            let _ = writeln!(out, "XTRA plan:");
+            for line in hyperq_xtra::display::render_rel(rel).lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        let _ = writeln!(out, "target SQL:");
+        let _ = writeln!(out, "  {sql}");
+        Ok(out)
+    }
+
+    fn run_routine(
+        &mut self,
+        routine: &RoutineDef,
+        args: &[(Option<String>, past::Expr)],
+        mut features: FeatureSet,
+    ) -> Result<StatementOutcome> {
+        features.union(&routine.features);
+        let env = emulate::bind_routine_args(routine, args)?;
+        let mut timings = Timings::default();
+        let mut sql_sent = Vec::new();
+        let mut last = ExecResult::ack();
+        for stmt in &routine.body {
+            let substituted = emulate::substitute_params(stmt, &env);
+            // Bodies may themselves contain emulated statements (MERGE,
+            // HELP, recursive queries, even nested macro executions), so
+            // each step goes through the full router. Definitions that need
+            // the original statement text cannot come from a routine body.
+            if matches!(substituted, past::Statement::CreateView { .. }) {
+                return Err(HyperQError::Emulation(
+                    "CREATE VIEW inside a macro/procedure body is not supported".into(),
+                ));
+            }
+            let o = self.process(ParsedStatement {
+                stmt: substituted,
+                features: FeatureSet::new(),
+                text: String::new(),
+            })?;
+            features.union(&o.features);
+            timings.merge(o.timings);
+            sql_sent.extend(o.sql_sent);
+            // Macros return the (last) result set; DML steps contribute
+            // their counts.
+            if !o.result.schema.is_empty() || last.schema.is_empty() {
+                last = o.result;
+            }
+        }
+        Ok(StatementOutcome { result: last, features, timings, sql_sent })
+    }
+
+    /// The standard bind → transform → serialize → execute path, plus the
+    /// plan-level emulations that piggyback on it (E7 lazily materialized
+    /// global temp tables, E8 SET-table dedup, E9 default injection).
+    fn run_pipeline(
+        &mut self,
+        stmt: &past::Statement,
+        params: HashMap<String, Datum>,
+        features: &mut FeatureSet,
+    ) -> Result<StatementOutcome> {
+        self.run_pipeline_with(stmt, params, Vec::new(), features)
+    }
+
+    fn run_pipeline_with(
+        &mut self,
+        stmt: &past::Statement,
+        params: HashMap<String, Datum>,
+        positional: Vec<Datum>,
+        features: &mut FeatureSet,
+    ) -> Result<StatementOutcome> {
+        let t0 = Instant::now();
+        let backend = Arc::clone(&self.backend);
+        let (plan, gtts) = {
+            let catalog = ShadowCatalog::new(&*backend, &self.session);
+            let mut binder = Binder::new(&catalog)
+                .with_params(params)
+                .with_positional(positional);
+            let plan = binder.bind_statement(stmt)?;
+            features.union(&binder.features);
+            (plan, catalog.gtt_touched.into_inner())
+        };
+
+        // Record sidecar properties (E8/E9) the target cannot hold.
+        match &plan {
+            Plan::CreateTable { def, .. } if def.kind != TableKind::GlobalTemporary => {
+                let interesting = def.set_semantics
+                    || def.columns.iter().any(|c| c.default.is_some() || c.case_insensitive);
+                if interesting {
+                    self.session.dtm_tables.insert(def.name.clone(), def.clone());
+                }
+            }
+            Plan::DropTable { name, .. } => {
+                self.session.dtm_tables.remove(name);
+            }
+            _ => {}
+        }
+
+        // E7: definition of a global temporary table → DTM catalog only.
+        if let Plan::CreateTable { def, source: None } = &plan {
+            if def.kind == TableKind::GlobalTemporary {
+                features.insert(Feature::GlobalTempTable);
+                self.session
+                    .global_temp_defs
+                    .insert(def.name.clone(), def.clone());
+                return Ok(StatementOutcome {
+                    result: ExecResult::ack(),
+                    features: features.clone(),
+                    timings: Timings { translation: t0.elapsed(), execution: Duration::ZERO },
+                    sql_sent: Vec::new(),
+                });
+            }
+        }
+
+        let plan = self.apply_insert_emulations(plan, features)?;
+        let plan = self.transformer.run_all(plan, &self.caps, features)?;
+        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        let mut timings = Timings { translation: t0.elapsed(), execution: Duration::ZERO };
+        let mut sql_sent = Vec::new();
+
+        // E7: statements touching a global temporary table are emulated
+        // through the per-session instance; record the tracked feature and
+        // lazily materialize.
+        if !gtts.is_empty() {
+            features.insert(Feature::GlobalTempTable);
+        }
+        for logical in gtts {
+            if self.session.materialized_gtts.contains(&logical) {
+                continue;
+            }
+            let def = self
+                .session
+                .global_temp_defs
+                .get(&logical)
+                .cloned()
+                .ok_or_else(|| {
+                    HyperQError::Emulation(format!("missing GTT definition {logical}"))
+                })?;
+            let mut instance = def;
+            instance.name = self.session.gtt_target_name(&logical);
+            instance.kind = TableKind::Temporary;
+            let tt = Instant::now();
+            let ddl = Serializer::new(&self.caps)
+                .serialize_plan(&Plan::CreateTable { def: instance, source: None })?;
+            timings.translation += tt.elapsed();
+            let te = Instant::now();
+            self.backend.execute(&ddl)?;
+            timings.execution += te.elapsed();
+            sql_sent.push(ddl);
+            self.session.materialized_gtts.insert(logical);
+        }
+
+        let te = Instant::now();
+        let result = self.backend.execute(&sql)?;
+        timings.execution += te.elapsed();
+        sql_sent.push(sql);
+        Ok(StatementOutcome { result, features: features.clone(), timings, sql_sent })
+    }
+
+    /// E8 (SET-table dedup) and E9 (default injection) on INSERT plans.
+    fn apply_insert_emulations(&self, plan: Plan, features: &mut FeatureSet) -> Result<Plan> {
+        let (table, mut columns, mut source) = match plan {
+            Plan::Insert { table, columns, source } => (table, columns, source),
+            other => return Ok(other),
+        };
+        let def = self
+            .session
+            .dtm_tables
+            .get(&table)
+            .cloned()
+            .or_else(|| self.backend.table_meta(&table))
+            .or_else(|| {
+                self.session
+                    .global_temp_defs
+                    .values()
+                    .find(|d| self.session.gtt_target_name(&d.name) == table)
+                    .cloned()
+            })
+            .ok_or_else(|| HyperQError::Bind(format!("table {table} not found")))?;
+
+        // E9: inject mid-tier defaults for omitted columns whose default the
+        // target cannot express (e.g. DEFAULT CURRENT_DATE).
+        let missing: Vec<&ColumnDef> = def
+            .columns
+            .iter()
+            .filter(|c| {
+                c.default.is_some() && !columns.iter().any(|x| x.eq_ignore_ascii_case(&c.name))
+            })
+            .collect();
+        if !missing.is_empty() {
+            let schema = source.schema();
+            let mut exprs: Vec<(ScalarExpr, String)> = schema
+                .fields
+                .iter()
+                .map(|f| {
+                    (
+                        ScalarExpr::Column {
+                            qualifier: f.qualifier.clone(),
+                            name: f.name.clone(),
+                            ty: f.ty.clone(),
+                        },
+                        f.name.clone(),
+                    )
+                })
+                .collect();
+            for c in &missing {
+                let default = c.default.as_ref().expect("filtered on is_some");
+                if !matches!(default, ScalarExpr::Literal(..)) {
+                    features.insert(Feature::ColumnProperties);
+                }
+                let value = emulate::const_eval(default)?;
+                let ty = value.sql_type();
+                exprs.push((ScalarExpr::Literal(value, ty), c.name.clone()));
+                columns.push(c.name.clone());
+            }
+            source = RelExpr::Project { input: Box::new(source), exprs };
+        }
+
+        // E8: SET-table semantics — dedupe the source and anti-join against
+        // existing rows. (Comparison is over the inserted columns; with
+        // constant defaults this matches full-row SET semantics.)
+        if def.set_semantics {
+            features.insert(Feature::SetTableSemantics);
+            let get = RelExpr::Get {
+                table: def.name.clone(),
+                alias: Some(def.base_name().to_string()),
+                schema: def.schema(None),
+            };
+            let existing = RelExpr::Project {
+                input: Box::new(get),
+                exprs: columns
+                    .iter()
+                    .map(|c| {
+                        let col = def
+                            .columns
+                            .iter()
+                            .find(|d| d.name.eq_ignore_ascii_case(c))
+                            .expect("insert columns validated by binder");
+                        (
+                            ScalarExpr::Column {
+                                qualifier: Some(def.base_name().to_string()),
+                                name: col.name.clone(),
+                                ty: col.ty.clone(),
+                            },
+                            col.name.clone(),
+                        )
+                    })
+                    .collect(),
+            };
+            source = RelExpr::SetOp {
+                kind: SetOpKind::Except,
+                all: false,
+                left: Box::new(RelExpr::Distinct { input: Box::new(source) }),
+                right: Box::new(existing),
+            };
+        }
+
+        Ok(Plan::Insert { table, columns, source })
+    }
+
+    // -----------------------------------------------------------------------
+    // E1: recursion via WorkTable/TempTable (§6)
+    // -----------------------------------------------------------------------
+
+    fn emulate_recursive(
+        &mut self,
+        q: &past::Query,
+        mut features: FeatureSet,
+    ) -> Result<StatementOutcome> {
+        let parts = emulate::split_recursive(q)?;
+        let mut timings = Timings::default();
+        let mut sql_sent = Vec::new();
+
+        // Bind the seed to learn the CTE schema.
+        let t0 = Instant::now();
+        let backend = Arc::clone(&self.backend);
+        let seed_rel = {
+            let catalog = ShadowCatalog::new(&*backend, &self.session);
+            let mut binder = Binder::new(&catalog);
+            let rel = binder.bind_query(&parts.seed)?;
+            features.union(&binder.features);
+            rel
+        };
+        let seed_schema = seed_rel.schema();
+        let columns: Vec<String> = if parts.columns.is_empty() {
+            seed_schema.fields.iter().map(|f| f.name.clone()).collect()
+        } else {
+            parts.columns.clone()
+        };
+        if columns.len() != seed_schema.len() {
+            return Err(HyperQError::Emulation(format!(
+                "recursive CTE {} declares {} columns but its seed produces {}",
+                parts.name,
+                columns.len(),
+                seed_schema.len()
+            )));
+        }
+        let col_defs: Vec<ColumnDef> = columns
+            .iter()
+            .zip(seed_schema.fields.iter())
+            .map(|(name, f)| ColumnDef::new(name, f.ty.clone(), true))
+            .collect();
+        timings.translation += t0.elapsed();
+
+        let work_table = self.session.fresh_name("WT");
+        let mut temp_table = self.session.fresh_name("TT");
+        let table_def = |name: &str| TableDef {
+            name: name.to_string(),
+            columns: col_defs.clone(),
+            set_semantics: false,
+            kind: TableKind::Temporary,
+        };
+
+        // Step 1: initialize WorkTable and TempTable with the seed.
+        self.exec_plan(
+            Plan::CreateTable { def: table_def(&work_table), source: Some(seed_rel) },
+            &mut timings,
+            &mut sql_sent,
+        )?;
+        self.exec_plan(
+            Plan::CreateTable {
+                def: table_def(&temp_table),
+                source: Some(RelExpr::Get {
+                    table: work_table.clone(),
+                    alias: Some(work_table.clone()),
+                    schema: table_def(&work_table).schema(None),
+                }),
+            },
+            &mut timings,
+            &mut sql_sent,
+        )?;
+
+        // Steps 2..: run the recursive expression joined against TempTable
+        // until it produces no new rows (paper §6, steps 2–4).
+        let mut converged = false;
+        for _ in 0..MAX_RECURSION_STEPS {
+            let next_table = self.session.fresh_name("TT");
+            let t = Instant::now();
+            let step_rel = {
+                let catalog = ShadowCatalog::new(&*backend, &self.session)
+                    .with_overlay(&parts.name, table_def(&temp_table));
+                let mut binder = Binder::new(&catalog);
+                let rel = binder.bind_query(&parts.recursive)?;
+                features.union(&binder.features);
+                rel
+            };
+            timings.translation += t.elapsed();
+            let produced = self.exec_plan(
+                Plan::CreateTable { def: table_def(&next_table), source: Some(step_rel) },
+                &mut timings,
+                &mut sql_sent,
+            )?;
+            if produced.row_count == 0 {
+                self.exec_plan(
+                    Plan::DropTable { name: next_table, if_exists: false },
+                    &mut timings,
+                    &mut sql_sent,
+                )?;
+                converged = true;
+                break;
+            }
+            self.exec_plan(
+                Plan::Insert {
+                    table: work_table.clone(),
+                    columns: columns.clone(),
+                    source: RelExpr::Get {
+                        table: next_table.clone(),
+                        alias: Some(next_table.clone()),
+                        schema: table_def(&next_table).schema(None),
+                    },
+                },
+                &mut timings,
+                &mut sql_sent,
+            )?;
+            self.exec_plan(
+                Plan::DropTable { name: temp_table.clone(), if_exists: false },
+                &mut timings,
+                &mut sql_sent,
+            )?;
+            temp_table = next_table;
+        }
+        if !converged {
+            return Err(HyperQError::Emulation(format!(
+                "recursive query did not converge within {MAX_RECURSION_STEPS} steps"
+            )));
+        }
+
+        // Step 5: main query with the CTE name bound to the WorkTable.
+        let t = Instant::now();
+        let main_plan = {
+            let catalog = ShadowCatalog::new(&*backend, &self.session)
+                .with_overlay(&parts.name, table_def(&work_table));
+            let mut binder = Binder::new(&catalog);
+            let plan = Plan::Query(binder.bind_query(&parts.main)?);
+            features.union(&binder.features);
+            plan
+        };
+        timings.translation += t.elapsed();
+        let result = self.exec_plan_full(main_plan, &mut timings, &mut sql_sent)?;
+
+        // Step 6: drop the temporary tables.
+        self.exec_plan(
+            Plan::DropTable { name: temp_table, if_exists: false },
+            &mut timings,
+            &mut sql_sent,
+        )?;
+        self.exec_plan(
+            Plan::DropTable { name: work_table, if_exists: false },
+            &mut timings,
+            &mut sql_sent,
+        )?;
+
+        Ok(StatementOutcome { result, features, timings, sql_sent })
+    }
+
+    /// Transform, serialize and execute one already-bound plan, charging
+    /// the stage timers.
+    fn exec_plan(
+        &mut self,
+        plan: Plan,
+        timings: &mut Timings,
+        sql_sent: &mut Vec<String>,
+    ) -> Result<ExecResult> {
+        self.exec_plan_full(plan, timings, sql_sent)
+    }
+
+    fn exec_plan_full(
+        &mut self,
+        plan: Plan,
+        timings: &mut Timings,
+        sql_sent: &mut Vec<String>,
+    ) -> Result<ExecResult> {
+        let t = Instant::now();
+        let mut scratch = FeatureSet::new();
+        let plan = self.transformer.run_all(plan, &self.caps, &mut scratch)?;
+        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        timings.translation += t.elapsed();
+        let te = Instant::now();
+        let result = self.backend.execute(&sql)?;
+        timings.execution += te.elapsed();
+        sql_sent.push(sql);
+        Ok(result)
+    }
+}
+
+fn ack(features: FeatureSet) -> StatementOutcome {
+    StatementOutcome {
+        result: ExecResult::ack(),
+        features,
+        timings: Timings::default(),
+        sql_sent: Vec::new(),
+    }
+}
+
+/// The Transformer's DML-batching example (§4.3): "if the target database
+/// incurs a large overhead in executing single-row DML requests, a
+/// transformation that groups a large number of contiguous single-row DML
+/// statements into one large statement could be applied." Consecutive
+/// single-row `INSERT … VALUES` against the same table and column list are
+/// merged into one multi-row insert.
+pub fn batch_single_row_inserts(stmts: Vec<ParsedStatement>) -> Vec<ParsedStatement> {
+    let mut out: Vec<ParsedStatement> = Vec::with_capacity(stmts.len());
+    for ps in stmts {
+        let mergeable = insert_values_parts(&ps).is_some();
+        if mergeable {
+            if let Some(prev) = out.last_mut() {
+                let can_merge = match (insert_values_parts(prev), insert_values_parts(&ps)) {
+                    (Some((pt, pc, _)), Some((ct, cc, _))) => pt == ct && pc == cc,
+                    _ => false,
+                };
+                if can_merge {
+                    let new_rows = match &ps.stmt {
+                        past::Statement::Insert { source, .. } => match &source.body {
+                            past::QueryBody::Select(b) => b.value_rows.clone(),
+                            _ => unreachable!("checked by insert_values_parts"),
+                        },
+                        _ => unreachable!("checked by insert_values_parts"),
+                    };
+                    if let past::Statement::Insert { source, .. } = &mut prev.stmt {
+                        if let past::QueryBody::Select(b) = &mut source.body {
+                            b.value_rows.extend(new_rows);
+                        }
+                    }
+                    prev.features.union(&ps.features);
+                    continue;
+                }
+            }
+        }
+        out.push(ps);
+    }
+    out
+}
+
+/// If the statement is a single-table `INSERT … VALUES`, its (table,
+/// columns, row-count).
+fn insert_values_parts(ps: &ParsedStatement) -> Option<(String, Vec<String>, usize)> {
+    match &ps.stmt {
+        past::Statement::Insert { table, columns, source } => match &source.body {
+            past::QueryBody::Select(b) if !b.value_rows.is_empty() && source.ctes.is_empty() => {
+                Some((table.canonical(), columns.clone(), b.value_rows.len()))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}

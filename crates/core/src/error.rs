@@ -1,0 +1,60 @@
+//! Unified error type for the Hyper-Q pipeline.
+
+use std::fmt;
+
+use crate::backend::BackendError;
+use hyperq_parser::ParseError;
+use hyperq_xtra::ValueError;
+
+/// Any error that can surface while processing an application request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HyperQError {
+    /// Frontend syntax error.
+    Parse(ParseError),
+    /// Name resolution / typing error.
+    Bind(String),
+    /// Transformation error (e.g. unsupported construct with no rewrite).
+    Transform(String),
+    /// The target database rejected or failed a request.
+    Backend(BackendError),
+    /// Emulation-layer failure (e.g. recursion limit exceeded).
+    Emulation(String),
+    /// Value-level error during mid-tier evaluation.
+    Value(ValueError),
+}
+
+impl fmt::Display for HyperQError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperQError::Parse(e) => write!(f, "{e}"),
+            HyperQError::Bind(m) => write!(f, "binder error: {m}"),
+            HyperQError::Transform(m) => write!(f, "transform error: {m}"),
+            HyperQError::Backend(e) => write!(f, "{e}"),
+            HyperQError::Emulation(m) => write!(f, "emulation error: {m}"),
+            HyperQError::Value(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HyperQError {}
+
+impl From<ParseError> for HyperQError {
+    fn from(e: ParseError) -> Self {
+        HyperQError::Parse(e)
+    }
+}
+
+impl From<BackendError> for HyperQError {
+    fn from(e: BackendError) -> Self {
+        HyperQError::Backend(e)
+    }
+}
+
+impl From<ValueError> for HyperQError {
+    fn from(e: ValueError) -> Self {
+        HyperQError::Value(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, HyperQError>;

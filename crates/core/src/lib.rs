@@ -1,0 +1,43 @@
+//! # hyperq-core — the Hyper-Q pipeline
+//!
+//! The paper's contribution (§4): an adaptive-data-virtualization engine
+//! that intercepts application requests in one SQL dialect and executes
+//! them, unchanged from the application's point of view, on a different
+//! target database.
+//!
+//! Pipeline components, mirroring Figure 3:
+//!
+//! * [`binder`] — the Algebrizer's binding half: AST → XTRA with metadata
+//!   lookup and binder-stage rewrites,
+//! * [`transform`] — the Transformer: pluggable rewrite rules cascaded to a
+//!   fixed point, split into target-agnostic (binding-stage) and
+//!   target-specific (serialization-stage) phases,
+//! * [`serialize`] — per-target SQL serializers driven by
+//!   [`capability::TargetCapabilities`],
+//! * [`emulate`] — the mid-tier emulation layer (§6): recursion via
+//!   temporary tables, macros, procedures, `MERGE`, `HELP`, views, global
+//!   temporary tables, SET-table semantics,
+//! * [`backend`] — the ODBC-Server abstraction over target databases,
+//! * [`session`] — per-connection state and the DTM shadow catalog,
+//! * [`crosscompiler`] — the façade tying it all together, with per-stage
+//!   timing instrumentation for the Figure 9 experiments,
+//! * [`tracker`] — the workload-study instrumentation (Figures 8a/8b,
+//!   Tables 1–2).
+
+pub mod backend;
+pub mod binder;
+pub mod capability;
+pub mod crosscompiler;
+pub mod emulate;
+pub mod error;
+pub mod replicate;
+pub mod serialize;
+pub mod session;
+pub mod tracker;
+pub mod transform;
+
+pub use backend::{Backend, BackendError, ExecResult};
+pub use capability::TargetCapabilities;
+pub use crosscompiler::{HyperQ, StatementOutcome, Timings};
+pub use error::{HyperQError, Result};
+pub use replicate::ReplicatedBackend;

@@ -1,0 +1,226 @@
+//! Scale-out across replicas (paper §B.3 — listed as in-progress work).
+//!
+//! "A common solution … is to maintain multiple replicas of the data
+//! warehouse and load balance queries across them. The ADV solution on top
+//! can then automatically route the queries to the different replicas,
+//! without sacrificing consistency, and without requiring changes to the
+//! application logic."
+//!
+//! [`ReplicatedBackend`] implements exactly that behind the ordinary
+//! [`Backend`] interface: reads round-robin across replicas; writes (DML,
+//! DDL) are applied to **every** replica in order, and a replica that
+//! fails a write is fenced off from further routing rather than allowed to
+//! serve stale data.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::backend::{Backend, BackendError, ExecResult};
+use hyperq_xtra::catalog::TableDef;
+
+/// Statement classification for routing.
+fn is_read_only(sql: &str) -> bool {
+    let trimmed = sql.trim_start();
+    let first = trimmed
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_ascii_uppercase();
+    matches!(first.as_str(), "SELECT" | "SEL" | "WITH")
+}
+
+struct Replica {
+    backend: Arc<dyn Backend>,
+    /// A replica that failed a write is fenced: it no longer serves reads
+    /// (it may be stale) and is skipped by subsequent writes.
+    fenced: RwLock<bool>,
+}
+
+/// A set of replicas behind one [`Backend`] face.
+pub struct ReplicatedBackend {
+    name: String,
+    replicas: Vec<Replica>,
+    next: AtomicUsize,
+}
+
+impl ReplicatedBackend {
+    /// Build from at least one replica.
+    pub fn new(replicas: Vec<Arc<dyn Backend>>) -> Result<Self, BackendError> {
+        if replicas.is_empty() {
+            return Err(BackendError("replica set must not be empty".into()));
+        }
+        Ok(ReplicatedBackend {
+            name: format!("replicated({})", replicas.len()),
+            replicas: replicas
+                .into_iter()
+                .map(|backend| Replica { backend, fenced: RwLock::new(false) })
+                .collect(),
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of replicas still serving traffic.
+    pub fn healthy_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| !*r.fenced.read()).count()
+    }
+
+    /// Pick the next healthy replica round-robin.
+    fn route_read(&self) -> Result<&Replica, BackendError> {
+        let n = self.replicas.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let r = &self.replicas[(start + k) % n];
+            if !*r.fenced.read() {
+                return Ok(r);
+            }
+        }
+        Err(BackendError("no healthy replica available".into()))
+    }
+}
+
+impl Backend for ReplicatedBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        if is_read_only(sql) {
+            return self.route_read()?.backend.execute(sql);
+        }
+        // Writes: apply to every healthy replica; fence replicas whose
+        // write fails so they cannot serve stale reads. The write succeeds
+        // if at least one replica applied it.
+        let mut last_ok: Option<ExecResult> = None;
+        let mut last_err: Option<BackendError> = None;
+        for r in &self.replicas {
+            if *r.fenced.read() {
+                continue;
+            }
+            match r.backend.execute(sql) {
+                Ok(res) => last_ok = Some(res),
+                Err(e) => {
+                    *r.fenced.write() = true;
+                    last_err = Some(e);
+                }
+            }
+        }
+        match (last_ok, last_err) {
+            (Some(res), _) => Ok(res),
+            (None, Some(e)) => Err(e),
+            (None, None) => Err(BackendError("no healthy replica available".into())),
+        }
+    }
+
+    fn table_meta(&self, name: &str) -> Option<TableDef> {
+        self.replicas
+            .iter()
+            .find(|r| !*r.fenced.read())
+            .and_then(|r| r.backend.table_meta(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperq_xtra::schema::Schema;
+    use parking_lot::Mutex;
+
+    /// Counting fake backend.
+    struct Counting {
+        reads: Mutex<u64>,
+        writes: Mutex<u64>,
+        fail_writes: bool,
+    }
+
+    impl Counting {
+        fn new(fail_writes: bool) -> Arc<Self> {
+            Arc::new(Counting { reads: Mutex::new(0), writes: Mutex::new(0), fail_writes })
+        }
+    }
+
+    impl Backend for Counting {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+            if is_read_only(sql) {
+                *self.reads.lock() += 1;
+                Ok(ExecResult::rows(Schema::empty(), vec![]))
+            } else if self.fail_writes {
+                Err(BackendError("disk full".into()))
+            } else {
+                *self.writes.lock() += 1;
+                Ok(ExecResult::affected(1))
+            }
+        }
+
+        fn table_meta(&self, _name: &str) -> Option<TableDef> {
+            None
+        }
+    }
+
+    #[test]
+    fn reads_round_robin() {
+        let (a, b) = (Counting::new(false), Counting::new(false));
+        let rep = ReplicatedBackend::new(vec![
+            Arc::clone(&a) as Arc<dyn Backend>,
+            Arc::clone(&b) as Arc<dyn Backend>,
+        ])
+        .unwrap();
+        for _ in 0..10 {
+            rep.execute("SELECT 1").unwrap();
+        }
+        assert_eq!(*a.reads.lock(), 5);
+        assert_eq!(*b.reads.lock(), 5);
+    }
+
+    #[test]
+    fn writes_broadcast() {
+        let (a, b) = (Counting::new(false), Counting::new(false));
+        let rep = ReplicatedBackend::new(vec![
+            Arc::clone(&a) as Arc<dyn Backend>,
+            Arc::clone(&b) as Arc<dyn Backend>,
+        ])
+        .unwrap();
+        rep.execute("INSERT INTO T VALUES (1)").unwrap();
+        assert_eq!(*a.writes.lock(), 1);
+        assert_eq!(*b.writes.lock(), 1);
+    }
+
+    #[test]
+    fn failed_write_fences_replica_from_reads() {
+        let (good, bad) = (Counting::new(false), Counting::new(true));
+        let rep = ReplicatedBackend::new(vec![
+            Arc::clone(&good) as Arc<dyn Backend>,
+            Arc::clone(&bad) as Arc<dyn Backend>,
+        ])
+        .unwrap();
+        assert_eq!(rep.healthy_replicas(), 2);
+        // The write succeeds overall (one replica applied it), the bad
+        // replica is fenced.
+        rep.execute("DELETE FROM T").unwrap();
+        assert_eq!(rep.healthy_replicas(), 1);
+        // All subsequent reads go to the good replica only.
+        for _ in 0..6 {
+            rep.execute("SELECT 1").unwrap();
+        }
+        assert_eq!(*good.reads.lock(), 6);
+        assert_eq!(*bad.reads.lock(), 0);
+    }
+
+    #[test]
+    fn all_replicas_failing_is_an_error() {
+        let bad = Counting::new(true);
+        let rep = ReplicatedBackend::new(vec![Arc::clone(&bad) as Arc<dyn Backend>]).unwrap();
+        assert!(rep.execute("DELETE FROM T").is_err());
+        assert!(rep.execute("SELECT 1").is_err(), "fenced replica must not serve reads");
+    }
+
+    #[test]
+    fn empty_replica_set_rejected() {
+        assert!(ReplicatedBackend::new(vec![]).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! The Transformer (§4.3): pluggable rewrite rules cascaded to a fixed
+//! point.
+//!
+//! "The Transformer takes care of running all relevant transformations
+//! repeatedly until reaching a fixed point, where no further modifications
+//! to the XTRA expression via transformation is possible."
+//!
+//! Rules are split into two phases, following §5:
+//!
+//! * **Binding** — target-agnostic normalization, applied as early as
+//!   possible ("applying this rewrite as early as possible is important to
+//!   create a normalized representation", §5.2). Example: the
+//!   `comp_date_to_int` expansion.
+//! * **Serialization** — target-specific, "designed to match the
+//!   capabilities of a particular target database system and hence …
+//!   triggered right before serialization" (§5.3). Example: the vector
+//!   subquery → correlated EXISTS rewrite. Each rule consults the target's
+//!   [`TargetCapabilities`] and does not fire when the target supports the
+//!   construct natively.
+
+mod rules;
+
+use hyperq_xtra::expr::ScalarExpr;
+use hyperq_xtra::feature::FeatureSet;
+use hyperq_xtra::rel::{Plan, RelExpr};
+
+use crate::capability::TargetCapabilities;
+use crate::error::{HyperQError, Result};
+
+pub use rules::standard_rules;
+
+/// When a rule runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Target-agnostic, right after binding.
+    Binding,
+    /// Target-specific, right before serialization.
+    Serialization,
+}
+
+/// A pluggable transformation (paper: "the transformations are plug-able
+/// components that could be shared across different databases and
+/// application requests").
+pub trait TransformRule: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// The tracked feature this rule rewrites, if any (Figure 8
+    /// instrumentation).
+    fn tracked_feature(&self) -> Option<hyperq_xtra::feature::Feature> {
+        None
+    }
+
+    fn phase(&self) -> Phase;
+
+    /// Serialization-phase rules return `false` when the target natively
+    /// supports the construct, so the rewrite is not triggered (§5.3).
+    fn enabled_for(&self, caps: &TargetCapabilities) -> bool {
+        let _ = caps;
+        true
+    }
+
+    /// Rewrite one expression node (children already rewritten). Return
+    /// `(expr, true)` when a change was made.
+    fn rewrite_expr(&self, expr: ScalarExpr) -> (ScalarExpr, bool) {
+        (expr, false)
+    }
+
+    /// Rewrite one relational node (children already rewritten).
+    fn rewrite_rel(&self, rel: RelExpr) -> (RelExpr, bool) {
+        (rel, false)
+    }
+}
+
+/// The rule engine. Holds the rule registry and drives passes to a fixed
+/// point.
+pub struct Transformer {
+    rules: Vec<Box<dyn TransformRule>>,
+    /// Safety bound on fixed-point iterations.
+    max_passes: usize,
+    /// When true (the default), exhausting `max_passes` while still
+    /// changing is an error (a cyclic rule is a bug). Ablation
+    /// configurations relax this to observe bounded-pass behavior.
+    strict: bool,
+}
+
+impl Default for Transformer {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl Transformer {
+    /// The standard rule set (Table 2).
+    pub fn standard() -> Self {
+        Transformer { rules: standard_rules(), max_passes: 32, strict: true }
+    }
+
+    /// A transformer with a custom rule set (tests, ablations).
+    pub fn with_rules(rules: Vec<Box<dyn TransformRule>>) -> Self {
+        Transformer { rules, max_passes: 32, strict: true }
+    }
+
+    /// Cap the fixed-point iteration count (ablation: a cap of 1 models a
+    /// single-pass rewriter that never re-scans after a change).
+    pub fn with_max_passes(mut self, max_passes: usize) -> Self {
+        self.max_passes = max_passes.max(1);
+        self.strict = false;
+        self
+    }
+
+    /// Run one phase over a plan until fixed point. `fired` accumulates the
+    /// tracked features of rules that actually changed something.
+    pub fn run(
+        &self,
+        mut plan: Plan,
+        phase: Phase,
+        caps: &TargetCapabilities,
+        fired: &mut FeatureSet,
+    ) -> Result<Plan> {
+        let active: Vec<&dyn TransformRule> = self
+            .rules
+            .iter()
+            .map(|r| r.as_ref())
+            .filter(|r| r.phase() == phase && r.enabled_for(caps))
+            .collect();
+        if active.is_empty() {
+            return Ok(plan);
+        }
+        for _pass in 0..self.max_passes {
+            // Both rewrite closures need shared access to the pass state,
+            // so it lives in cells.
+            let changed = std::cell::Cell::new(false);
+            let pass_fired = std::cell::RefCell::new(FeatureSet::new());
+            plan = plan.rewrite(
+                &mut |mut rel| {
+                    for rule in &active {
+                        let (next, did) = rule.rewrite_rel(rel);
+                        rel = next;
+                        if did {
+                            changed.set(true);
+                            if let Some(f) = rule.tracked_feature() {
+                                pass_fired.borrow_mut().insert(f);
+                            }
+                        }
+                    }
+                    rel
+                },
+                &mut |mut expr| {
+                    for rule in &active {
+                        let (next, did) = rule.rewrite_expr(expr);
+                        expr = next;
+                        if did {
+                            changed.set(true);
+                            if let Some(f) = rule.tracked_feature() {
+                                pass_fired.borrow_mut().insert(f);
+                            }
+                        }
+                    }
+                    expr
+                },
+            );
+            fired.union(&pass_fired.into_inner());
+            if !changed.get() {
+                return Ok(plan);
+            }
+        }
+        if self.strict {
+            Err(HyperQError::Transform(format!(
+                "transformation did not reach a fixed point within {} passes",
+                self.max_passes
+            )))
+        } else {
+            Ok(plan)
+        }
+    }
+
+    /// Convenience: run both phases in order.
+    pub fn run_all(
+        &self,
+        plan: Plan,
+        caps: &TargetCapabilities,
+        fired: &mut FeatureSet,
+    ) -> Result<Plan> {
+        let plan = self.run(plan, Phase::Binding, caps, fired)?;
+        self.run(plan, Phase::Serialization, caps, fired)
+    }
+}

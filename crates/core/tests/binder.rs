@@ -1,0 +1,275 @@
+//! Binder unit tests: name resolution, diagnostics, the binder-stage
+//! rewrites, and typing.
+
+use hyperq_core::binder::Binder;
+use hyperq_core::HyperQError;
+use hyperq_parser::{parse_one, Dialect};
+use hyperq_xtra::catalog::{ColumnDef, MemoryCatalog, TableDef, ViewDef};
+use hyperq_xtra::display::render_rel;
+use hyperq_xtra::feature::Feature;
+use hyperq_xtra::rel::Plan;
+use hyperq_xtra::types::SqlType;
+
+fn catalog() -> MemoryCatalog {
+    MemoryCatalog::new()
+        .with_table(TableDef::new(
+            "T",
+            vec![
+                ColumnDef::new("A", SqlType::Integer, true),
+                ColumnDef::new("B", SqlType::Integer, true),
+                ColumnDef::new("D", SqlType::Date, true),
+                ColumnDef::new("S", SqlType::Varchar(Some(20)), true),
+            ],
+        ))
+        .with_table(TableDef::new(
+            "U",
+            vec![
+                ColumnDef::new("A", SqlType::Integer, true),
+                ColumnDef::new("X", SqlType::Integer, true),
+            ],
+        ))
+        .with_view(ViewDef {
+            name: "V".to_string(),
+            columns: vec![],
+            body_sql: "SELECT A, B FROM T WHERE B > 0".to_string(),
+        })
+}
+
+fn bind(sql: &str) -> Result<(Plan, Binder<'static>), HyperQError> {
+    // Leak the catalog so the Binder's lifetime is 'static for the test.
+    let cat: &'static MemoryCatalog = Box::leak(Box::new(catalog()));
+    let parsed = parse_one(sql, Dialect::Teradata).map_err(HyperQError::Parse)?;
+    let mut binder = Binder::new(cat);
+    let plan = binder.bind_statement(&parsed.stmt)?;
+    Ok((plan, binder))
+}
+
+fn bind_err(sql: &str) -> String {
+    match bind(sql) {
+        Err(e) => e.to_string(),
+        Ok((plan, _)) => panic!("expected bind error, got {plan:?}"),
+    }
+}
+
+#[test]
+fn unknown_table_reported() {
+    let err = bind_err("SEL * FROM NOPE");
+    assert!(err.contains("NOPE"), "{err}");
+}
+
+#[test]
+fn unknown_column_reported() {
+    let err = bind_err("SEL NOPE FROM T");
+    assert!(err.contains("NOPE"), "{err}");
+}
+
+#[test]
+fn ambiguous_column_reported() {
+    let err = bind_err("SEL A FROM T, U");
+    assert!(err.contains("ambiguous"), "{err}");
+}
+
+#[test]
+fn qualified_reference_disambiguates() {
+    let (plan, _) = bind("SEL T.A, U.A FROM T, U").unwrap();
+    match plan {
+        Plan::Query(rel) => assert_eq!(rel.schema().len(), 2),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn self_join_requires_aliases() {
+    let (plan, _) = bind("SEL X.A, Y.A FROM T X, T Y WHERE X.A = Y.B").unwrap();
+    match plan {
+        Plan::Query(rel) => {
+            let tree = render_rel(&rel);
+            assert!(tree.contains("get (T 'X')"), "{tree}");
+            assert!(tree.contains("get (T 'Y')"), "{tree}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn ordinal_out_of_range() {
+    let err = bind_err("SEL A FROM T GROUP BY 5");
+    assert!(err.contains("position 5"), "{err}");
+    let err = bind_err("SEL A FROM T ORDER BY 9");
+    assert!(err.contains("position 9"), "{err}");
+}
+
+#[test]
+fn having_without_aggregate_rejected() {
+    let err = bind_err("SEL A FROM T HAVING A > 1");
+    assert!(err.contains("HAVING"), "{err}");
+}
+
+#[test]
+fn distinct_with_hidden_sort_column_rejected() {
+    let err = bind_err("SEL DISTINCT A FROM T ORDER BY B");
+    assert!(err.contains("DISTINCT"), "{err}");
+}
+
+#[test]
+fn aggregate_in_where_rejected() {
+    let err = bind_err("SEL A FROM T WHERE SUM(B) > 1");
+    assert!(err.contains("not allowed"), "{err}");
+}
+
+#[test]
+fn window_in_where_rejected() {
+    let err = bind_err("SEL A FROM T WHERE RANK() OVER (ORDER BY A) = 1");
+    assert!(err.contains("window"), "{err}");
+}
+
+#[test]
+fn unknown_function_rejected() {
+    let err = bind_err("SEL FROBNICATE(A) FROM T");
+    assert!(err.contains("FROBNICATE"), "{err}");
+}
+
+#[test]
+fn function_arity_checked() {
+    let err = bind_err("SEL SUBSTRING(S) FROM T");
+    assert!(err.contains("arguments"), "{err}");
+    let err = bind_err("SEL NULLIF(A) FROM T");
+    assert!(err.contains("arguments"), "{err}");
+}
+
+#[test]
+fn scalar_subquery_width_checked() {
+    let err = bind_err("SEL A FROM T WHERE B = (SEL A, B FROM T)");
+    assert!(err.contains("one column"), "{err}");
+}
+
+#[test]
+fn in_subquery_width_checked() {
+    let err = bind_err("SEL A FROM T WHERE (A, B) IN (SEL A FROM U)");
+    assert!(err.contains("columns"), "{err}");
+}
+
+#[test]
+fn insert_width_checked() {
+    let err = bind_err("INSERT INTO T (A, B) VALUES (1)");
+    assert!(err.contains("values"), "{err}");
+}
+
+#[test]
+fn update_unknown_column_checked() {
+    let err = bind_err("UPD T SET NOPE = 1");
+    assert!(err.contains("NOPE"), "{err}");
+}
+
+#[test]
+fn chained_projection_inlines_alias() {
+    let (plan, binder) = bind("SEL A AS BASE, BASE + 10 AS NEXT FROM T").unwrap();
+    assert!(binder.features.contains(Feature::NamedExprReference));
+    match plan {
+        Plan::Query(rel) => {
+            let schema = rel.schema();
+            assert_eq!(schema.fields[1].name, "NEXT");
+            assert_eq!(schema.fields[1].ty, SqlType::Integer);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn alias_chain_left_to_right_only() {
+    // Referencing an alias defined *later* in the list is an error.
+    let err = bind_err("SEL LATER + 1 AS FIRST, A AS LATER FROM T");
+    assert!(err.contains("LATER"), "{err}");
+}
+
+#[test]
+fn implicit_join_adds_table_and_feature() {
+    let (plan, binder) = bind("SEL T.A FROM T WHERE T.A = U.X").unwrap();
+    assert!(binder.features.contains(Feature::ImplicitJoin));
+    match plan {
+        Plan::Query(rel) => {
+            let tables = rel.referenced_tables();
+            assert!(tables.contains(&"U".to_string()), "{tables:?}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn view_reference_inlines_body() {
+    let (plan, _) = bind("SEL A FROM V WHERE A > 5").unwrap();
+    match plan {
+        Plan::Query(rel) => {
+            // The view body's base table appears; no view object remains.
+            assert_eq!(rel.referenced_tables(), vec!["T".to_string()]);
+            let tree = render_rel(&rel);
+            assert!(tree.contains("alias 'V'"), "{tree}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn date_int_comparison_feature_recorded() {
+    let (_, binder) = bind("SEL A FROM T WHERE D > 1200101").unwrap();
+    assert!(binder.features.contains(Feature::DateIntComparison));
+}
+
+#[test]
+fn date_arithmetic_feature_recorded() {
+    let (_, binder) = bind("SEL D + 7 FROM T").unwrap();
+    assert!(binder.features.contains(Feature::DateArithmetic));
+}
+
+#[test]
+fn recursive_query_must_not_reach_binder() {
+    let err = bind_err("WITH RECURSIVE R (N) AS (SEL 1 UNION ALL SEL N + 1 FROM R) SEL * FROM R");
+    assert!(err.contains("emulated"), "{err}");
+}
+
+#[test]
+fn set_op_arity_checked() {
+    let err = bind_err("SEL A FROM T UNION ALL SEL A, B FROM T");
+    assert!(err.contains("equally wide"), "{err}");
+}
+
+#[test]
+fn group_by_alias_resolves() {
+    let (plan, _) = bind("SEL A + 1 AS BUCKET, COUNT(*) FROM T GROUP BY BUCKET").unwrap();
+    match plan {
+        Plan::Query(rel) => {
+            let tree = render_rel(&rel);
+            assert!(tree.contains("gbagg"), "{tree}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn values_width_checked() {
+    let err = bind_err("INSERT INTO T (A, B) VALUES (1, 2), (3)");
+    assert!(err.contains("width") || err.contains("values"), "{err}");
+}
+
+#[test]
+fn derived_table_alias_arity_checked() {
+    let err = bind_err("SEL * FROM (SEL A, B FROM T) AS X (P)");
+    assert!(err.contains("columns"), "{err}");
+}
+
+#[test]
+fn cte_shadowing_and_reuse() {
+    let (plan, _) = bind(
+        "WITH C AS (SEL A FROM T WHERE A > 0) \
+         SEL X.A FROM C X, C Y WHERE X.A = Y.A",
+    )
+    .unwrap();
+    match plan {
+        Plan::Query(rel) => {
+            // The CTE is inlined twice.
+            let tree = render_rel(&rel);
+            assert_eq!(tree.matches("get (T").count(), 2, "{tree}");
+        }
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,216 @@
+//! Fault injection: the pipeline's behavior when the target database
+//! rejects or fails requests, and the exact SQL traffic it generates.
+
+use std::sync::Arc;
+
+use hyperq_core::backend::testing::ScriptedBackend;
+use hyperq_core::backend::{Backend, BackendError, ExecResult};
+use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::HyperQ;
+use hyperq_xtra::catalog::{ColumnDef, TableDef};
+use hyperq_xtra::types::SqlType;
+
+fn sales_table() -> TableDef {
+    TableDef::new(
+        "SALES",
+        vec![
+            ColumnDef::new("STORE", SqlType::Integer, true),
+            ColumnDef::new("AMOUNT", SqlType::Integer, true),
+        ],
+    )
+}
+
+#[test]
+fn backend_error_propagates_with_message() {
+    let backend = ScriptedBackend {
+        log: parking_lot::Mutex::new(Vec::new()),
+        tables: vec![sales_table()],
+        responder: Box::new(|_| Err(BackendError("disk quota exceeded".into()))),
+    };
+    let mut hq = HyperQ::new(Arc::new(backend), TargetCapabilities::simwh());
+    let err = hq.run_one("SEL * FROM SALES").unwrap_err();
+    assert!(err.to_string().contains("disk quota exceeded"), "{err}");
+}
+
+#[test]
+fn translation_errors_do_not_reach_the_backend() {
+    let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
+    let mut hq = HyperQ::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    // Bind error: unknown column.
+    assert!(hq.run_one("SEL NOPE FROM SALES").is_err());
+    // Parse error.
+    assert!(hq.run_one("SELEKT 1").is_err());
+    assert!(
+        backend.sql_log().is_empty(),
+        "failed translations must not generate target traffic: {:?}",
+        backend.sql_log()
+    );
+}
+
+#[test]
+fn exactly_one_request_for_a_simple_query() {
+    let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
+    let mut hq = HyperQ::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    hq.run_one("SEL STORE FROM SALES WHERE AMOUNT > 10").unwrap();
+    assert_eq!(backend.sql_log().len(), 1);
+}
+
+#[test]
+fn merge_generates_update_then_insert() {
+    let backend = Arc::new(ScriptedBackend {
+        log: parking_lot::Mutex::new(Vec::new()),
+        tables: vec![
+            sales_table(),
+            TableDef::new(
+                "FEED",
+                vec![
+                    ColumnDef::new("STORE", SqlType::Integer, true),
+                    ColumnDef::new("AMOUNT", SqlType::Integer, true),
+                ],
+            ),
+        ],
+        responder: Box::new(|_| Ok(ExecResult::affected(1))),
+    });
+    let mut hq = HyperQ::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    hq.run_one(
+        "MERGE INTO SALES S USING FEED F ON S.STORE = F.STORE \
+         WHEN MATCHED THEN UPDATE SET AMOUNT = F.AMOUNT \
+         WHEN NOT MATCHED THEN INSERT (STORE, AMOUNT) VALUES (F.STORE, F.AMOUNT)",
+    )
+    .unwrap();
+    let log = backend.sql_log();
+    assert_eq!(log.len(), 2, "{log:?}");
+    assert!(log[0].starts_with("UPDATE SALES"), "{}", log[0]);
+    assert!(log[1].starts_with("INSERT INTO SALES"), "{}", log[1]);
+    assert!(log[1].contains("NOT EXISTS"), "{}", log[1]);
+}
+
+#[test]
+fn recursion_failure_mid_emulation_surfaces() {
+    // The seed CTAS succeeds, the first recursive-step CTAS fails: the
+    // error must surface rather than hang or corrupt state.
+    let calls = Arc::new(parking_lot::Mutex::new(0usize));
+    let calls2 = Arc::clone(&calls);
+    let backend = ScriptedBackend {
+        log: parking_lot::Mutex::new(Vec::new()),
+        tables: vec![TableDef::new(
+            "EMP",
+            vec![
+                ColumnDef::new("EMPNO", SqlType::Integer, true),
+                ColumnDef::new("MGRNO", SqlType::Integer, true),
+            ],
+        )],
+        responder: Box::new(move |_| {
+            let mut n = calls2.lock();
+            *n += 1;
+            if *n >= 3 {
+                Err(BackendError("temp space exhausted".into()))
+            } else {
+                Ok(ExecResult::affected(1))
+            }
+        }),
+    };
+    let mut hq = HyperQ::new(Arc::new(backend), TargetCapabilities::simwh());
+    let err = hq
+        .run_one(
+            "WITH RECURSIVE R (EMPNO, MGRNO) AS ( \
+               SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 1 \
+               UNION ALL SELECT E.EMPNO, E.MGRNO FROM EMP E, R WHERE R.EMPNO = E.MGRNO) \
+             SELECT EMPNO FROM R",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("temp space exhausted"), "{err}");
+}
+
+#[test]
+fn runaway_recursion_hits_the_step_limit() {
+    // A backend that always reports progress: the emulation must stop at
+    // its bound instead of spinning forever.
+    let backend = ScriptedBackend {
+        log: parking_lot::Mutex::new(Vec::new()),
+        tables: vec![TableDef::new(
+            "EMP",
+            vec![ColumnDef::new("EMPNO", SqlType::Integer, true)],
+        )],
+        responder: Box::new(|_| Ok(ExecResult::affected(1))),
+    };
+    let mut hq = HyperQ::new(Arc::new(backend), TargetCapabilities::simwh());
+    let err = hq
+        .run_one(
+            "WITH RECURSIVE R (EMPNO) AS ( \
+               SELECT EMPNO FROM EMP UNION ALL SELECT R.EMPNO FROM EMP, R) \
+             SELECT EMPNO FROM R",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("converge"), "{err}");
+}
+
+#[test]
+fn unknown_macro_and_procedure_errors() {
+    let backend = ScriptedBackend::acking(vec![]);
+    let mut hq = HyperQ::new(Arc::new(backend), TargetCapabilities::simwh());
+    assert!(hq.run_one("EXEC NO_SUCH_MACRO(1)").unwrap_err().to_string().contains("NO_SUCH_MACRO"));
+    assert!(hq.run_one("CALL NO_SUCH_PROC(1)").unwrap_err().to_string().contains("NO_SUCH_PROC"));
+}
+
+#[test]
+fn duplicate_view_without_replace_is_error() {
+    let backend = ScriptedBackend::acking(vec![sales_table()]);
+    let mut hq = HyperQ::new(Arc::new(backend), TargetCapabilities::simwh());
+    hq.run_one("CREATE VIEW V AS SEL STORE FROM SALES").unwrap();
+    assert!(hq.run_one("CREATE VIEW V AS SEL AMOUNT FROM SALES").is_err());
+    // REPLACE VIEW succeeds.
+    hq.run_one("REPLACE VIEW V AS SEL AMOUNT FROM SALES").unwrap();
+}
+
+#[test]
+fn session_isolation_of_dtm_objects() {
+    // Two sessions against the same backend: DTM objects (macros, views)
+    // are per-session state, like Teradata volatile objects.
+    let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
+    let mut s1 = HyperQ::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut s2 = HyperQ::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    s1.run_one("CREATE MACRO M AS (SEL STORE FROM SALES;)").unwrap();
+    assert!(s1.run_one("EXEC M").is_ok());
+    assert!(s2.run_one("EXEC M").is_err(), "macros are session-scoped DTM state");
+}
+
+#[test]
+fn procedure_body_may_contain_emulated_statements() {
+    // MERGE inside a procedure: the body router must emulate it.
+    let backend = Arc::new(ScriptedBackend {
+        log: parking_lot::Mutex::new(Vec::new()),
+        tables: vec![
+            sales_table(),
+            TableDef::new(
+                "FEED",
+                vec![
+                    ColumnDef::new("STORE", SqlType::Integer, true),
+                    ColumnDef::new("AMOUNT", SqlType::Integer, true),
+                ],
+            ),
+        ],
+        responder: Box::new(|_| Ok(ExecResult::affected(1))),
+    });
+    let mut hq = HyperQ::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    hq.run_one(
+        "CREATE PROCEDURE SYNC (S INTEGER) BEGIN \
+           MERGE INTO SALES T USING FEED F ON T.STORE = F.STORE AND T.STORE = :S \
+           WHEN MATCHED THEN UPDATE SET AMOUNT = F.AMOUNT; \
+         END",
+    )
+    .unwrap();
+    let o = hq.run_one("CALL SYNC(3)").unwrap();
+    assert!(o.features.contains(hyperq_xtra::feature::Feature::MergeStatement));
+    let log = backend.sql_log();
+    assert!(log.iter().any(|s| s.starts_with("UPDATE SALES")), "{log:?}");
+}
+
+#[test]
+fn create_view_in_macro_body_is_a_clear_error() {
+    let backend = ScriptedBackend::acking(vec![sales_table()]);
+    let mut hq = HyperQ::new(Arc::new(backend), TargetCapabilities::simwh());
+    hq.run_one("CREATE MACRO M AS (CREATE VIEW V AS SEL STORE FROM SALES;)").unwrap();
+    let err = hq.run_one("EXEC M").unwrap_err();
+    assert!(err.to_string().contains("not supported"), "{err}");
+}

@@ -1,0 +1,433 @@
+//! The engine's catalog, storage and statement execution, including the
+//! [`Backend`] implementation Hyper-Q talks to.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hyperq_core::backend::{Backend, BackendError, ExecResult};
+use hyperq_core::binder::Binder;
+use hyperq_parser::{parse_statements, Dialect};
+use hyperq_xtra::catalog::{ColumnDef, MetadataProvider, TableDef, ViewDef};
+use hyperq_xtra::datum::Datum;
+use hyperq_xtra::rel::Plan;
+use hyperq_xtra::Row;
+
+use crate::eval::{eval, eval_truth, EvalContext, EvalError};
+use crate::exec::execute_rel;
+
+/// One stored table: definition plus copy-on-write contents.
+#[derive(Clone)]
+struct TableData {
+    def: TableDef,
+    rows: Arc<Vec<Row>>,
+}
+
+/// Admission control: cloud warehouses queue queries into a bounded number
+/// of execution slots (workload-management queues). Modeling this is what
+/// makes the paper's stress-test observation reproducible: under
+/// concurrency, *execution* time (including queueing at the warehouse)
+/// grows while Hyper-Q's per-query translation cost stays constant.
+struct Slots {
+    max: usize,
+    in_use: parking_lot::Mutex<usize>,
+    available: parking_lot::Condvar,
+}
+
+impl Slots {
+    fn acquire(&self) {
+        let mut in_use = self.in_use.lock();
+        while *in_use >= self.max {
+            self.available.wait(&mut in_use);
+        }
+        *in_use += 1;
+    }
+
+    fn release(&self) {
+        let mut in_use = self.in_use.lock();
+        *in_use -= 1;
+        self.available.notify_one();
+    }
+}
+
+/// The in-memory warehouse.
+#[derive(Default)]
+pub struct EngineDb {
+    tables: RwLock<HashMap<String, TableData>>,
+    slots: Option<Slots>,
+}
+
+impl EngineDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A warehouse with a bounded number of concurrent query slots
+    /// (admission control); additional requests queue.
+    pub fn with_concurrency_limit(max_concurrent: usize) -> Self {
+        EngineDb {
+            tables: RwLock::new(HashMap::new()),
+            slots: Some(Slots {
+                max: max_concurrent.max(1),
+                in_use: parking_lot::Mutex::new(0),
+                available: parking_lot::Condvar::new(),
+            }),
+        }
+    }
+
+    /// Create a table; errors if it already exists.
+    pub fn create_table(&self, def: TableDef) -> Result<(), EvalError> {
+        let key = def.name.to_ascii_uppercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(format!("table {key} already exists"));
+        }
+        tables.insert(key, TableData { def, rows: Arc::new(Vec::new()) });
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<(), EvalError> {
+        let key = name.to_ascii_uppercase();
+        let removed = self.tables.write().remove(&key).is_some();
+        if !removed && !if_exists {
+            return Err(format!("table {key} does not exist"));
+        }
+        Ok(())
+    }
+
+    /// Snapshot a table's rows (copy-on-write: cheap Arc clone).
+    pub fn scan(&self, name: &str) -> Result<Arc<Vec<Row>>, EvalError> {
+        let key = name.to_ascii_uppercase();
+        self.tables
+            .read()
+            .get(&key)
+            .map(|t| Arc::clone(&t.rows))
+            .ok_or_else(|| format!("table {key} does not exist"))
+    }
+
+    pub fn table_def(&self, name: &str) -> Option<TableDef> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_uppercase())
+            .map(|t| t.def.clone())
+    }
+
+    /// Bulk-load rows, coercing each value to the column type. Used by the
+    /// workload generators.
+    pub fn load_rows(&self, name: &str, rows: Vec<Row>) -> Result<u64, EvalError> {
+        let key = name.to_ascii_uppercase();
+        let def = self
+            .table_def(&key)
+            .ok_or_else(|| format!("table {key} does not exist"))?;
+        let coerced: Result<Vec<Row>, EvalError> = rows
+            .into_iter()
+            .map(|row| coerce_row(&def, row))
+            .collect();
+        let coerced = coerced?;
+        let n = coerced.len() as u64;
+        let mut tables = self.tables.write();
+        let t = tables.get_mut(&key).ok_or_else(|| format!("table {key} dropped"))?;
+        Arc::make_mut(&mut t.rows).extend(coerced);
+        Ok(n)
+    }
+
+    /// Execute one or more ANSI-dialect statements; returns the last
+    /// statement's result. Waits for an execution slot when admission
+    /// control is configured.
+    pub fn execute_sql(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        if let Some(slots) = &self.slots {
+            slots.acquire();
+        }
+        let result = self.execute_sql_inner(sql);
+        if let Some(slots) = &self.slots {
+            slots.release();
+        }
+        result
+    }
+
+    fn execute_sql_inner(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        let stmts =
+            parse_statements(sql, Dialect::Ansi).map_err(|e| BackendError(e.to_string()))?;
+        let mut last = ExecResult::ack();
+        for ps in stmts {
+            last = self.execute_stmt(&ps.stmt)?;
+        }
+        Ok(last)
+    }
+
+    fn execute_stmt(
+        &self,
+        stmt: &hyperq_parser::ast::Statement,
+    ) -> Result<ExecResult, BackendError> {
+        let catalog = EngineCatalog(self);
+        let mut binder = Binder::new(&catalog);
+        let plan = binder
+            .bind_statement(stmt)
+            .map_err(|e| BackendError(e.to_string()))?;
+        self.execute_plan(&plan).map_err(BackendError)
+    }
+
+    fn execute_plan(&self, plan: &Plan) -> Result<ExecResult, EvalError> {
+        match plan {
+            Plan::Query(rel) => {
+                let optimized = crate::optimize::optimize(rel.clone());
+                let rows = execute_rel(&optimized, self, &[])?;
+                Ok(ExecResult::rows(rel.schema(), rows))
+            }
+            Plan::Insert { table, columns, source } => {
+                let source = crate::optimize::optimize(source.clone());
+                let rows = execute_rel(&source, self, &[])?;
+                let n = self.insert_rows(table, columns, rows)?;
+                Ok(ExecResult::affected(n))
+            }
+            Plan::Update { table, alias, assignments, predicate } => {
+                self.update_rows(table, alias.as_deref(), assignments, predicate.as_ref())
+                    .map(ExecResult::affected)
+            }
+            Plan::Delete { table, alias, predicate } => self
+                .delete_rows(table, alias.as_deref(), predicate.as_ref())
+                .map(ExecResult::affected),
+            Plan::CreateTable { def, source } => {
+                self.create_table(def.clone())?;
+                match source {
+                    Some(src) => {
+                        let src = crate::optimize::optimize(src.clone());
+                        let rows = execute_rel(&src, self, &[])?;
+                        let columns: Vec<String> =
+                            def.columns.iter().map(|c| c.name.clone()).collect();
+                        let n = self.insert_rows(&def.name, &columns, rows)?;
+                        Ok(ExecResult::affected(n))
+                    }
+                    None => Ok(ExecResult::ack()),
+                }
+            }
+            Plan::DropTable { name, if_exists } => {
+                self.drop_table(name, *if_exists)?;
+                Ok(ExecResult::ack())
+            }
+            Plan::CreateView { .. } | Plan::DropView { .. } => {
+                // Faithful to the SimWH capability profile: views never
+                // reach the target (Hyper-Q keeps them in the DTM catalog).
+                Err("views are not supported by this warehouse".to_string())
+            }
+        }
+    }
+
+    fn insert_rows(
+        &self,
+        table: &str,
+        columns: &[String],
+        rows: Vec<Row>,
+    ) -> Result<u64, EvalError> {
+        let key = table.to_ascii_uppercase();
+        let def = self
+            .table_def(&key)
+            .ok_or_else(|| format!("table {key} does not exist"))?;
+        // Map provided columns to table positions.
+        let positions: Vec<usize> = if columns.is_empty() {
+            (0..def.columns.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    def.columns
+                        .iter()
+                        .position(|d| d.name.eq_ignore_ascii_case(c))
+                        .ok_or_else(|| format!("column {c} not found in {key}"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let mut full_rows: Vec<Row> = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != positions.len() {
+                return Err(format!(
+                    "INSERT provides {} values for {} columns",
+                    row.len(),
+                    positions.len()
+                ));
+            }
+            let mut full: Row = vec![Datum::Null; def.columns.len()];
+            for (value, &pos) in row.into_iter().zip(positions.iter()) {
+                full[pos] = value;
+            }
+            // Defaults for unprovided columns.
+            for (i, col) in def.columns.iter().enumerate() {
+                if !positions.contains(&i) {
+                    if let Some(d) = &col.default {
+                        let mut ctx = EvalContext::new(self);
+                        full[i] = eval(d, &mut ctx)?;
+                    }
+                }
+            }
+            full_rows.push(coerce_row(&def, full)?);
+        }
+        let n = full_rows.len() as u64;
+        let mut tables = self.tables.write();
+        let t = tables.get_mut(&key).ok_or_else(|| format!("table {key} dropped"))?;
+        Arc::make_mut(&mut t.rows).extend(full_rows);
+        Ok(n)
+    }
+
+    fn update_rows(
+        &self,
+        table: &str,
+        alias: Option<&str>,
+        assignments: &[hyperq_xtra::rel::Assignment],
+        predicate: Option<&hyperq_xtra::expr::ScalarExpr>,
+    ) -> Result<u64, EvalError> {
+        let key = table.to_ascii_uppercase();
+        let (def, snapshot) = {
+            let tables = self.tables.read();
+            let t = tables
+                .get(&key)
+                .ok_or_else(|| format!("table {key} does not exist"))?;
+            (t.def.clone(), Arc::clone(&t.rows))
+        };
+        let schema = def.schema(alias);
+        let targets: Vec<usize> = assignments
+            .iter()
+            .map(|a| {
+                def.columns
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(&a.column))
+                    .ok_or_else(|| format!("column {} not found in {key}", a.column))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut updated = 0u64;
+        let mut new_rows: Vec<Row> = Vec::with_capacity(snapshot.len());
+        for row in snapshot.iter() {
+            let matches = match predicate {
+                None => true,
+                Some(p) => {
+                    let mut ctx = EvalContext { db: self, scopes: vec![(&schema, row)] };
+                    eval_truth(p, &mut ctx)? == Some(true)
+                }
+            };
+            if matches {
+                let mut new_row = row.clone();
+                for (a, &pos) in assignments.iter().zip(targets.iter()) {
+                    let mut ctx = EvalContext { db: self, scopes: vec![(&schema, row)] };
+                    let v = eval(&a.value, &mut ctx)?;
+                    new_row[pos] = coerce_value(&def.columns[pos], v)?;
+                }
+                updated += 1;
+                new_rows.push(new_row);
+            } else {
+                new_rows.push(row.clone());
+            }
+        }
+        let mut tables = self.tables.write();
+        let t = tables.get_mut(&key).ok_or_else(|| format!("table {key} dropped"))?;
+        t.rows = Arc::new(new_rows);
+        Ok(updated)
+    }
+
+    fn delete_rows(
+        &self,
+        table: &str,
+        alias: Option<&str>,
+        predicate: Option<&hyperq_xtra::expr::ScalarExpr>,
+    ) -> Result<u64, EvalError> {
+        let key = table.to_ascii_uppercase();
+        let (def, snapshot) = {
+            let tables = self.tables.read();
+            let t = tables
+                .get(&key)
+                .ok_or_else(|| format!("table {key} does not exist"))?;
+            (t.def.clone(), Arc::clone(&t.rows))
+        };
+        let schema = def.schema(alias);
+        let mut kept: Vec<Row> = Vec::with_capacity(snapshot.len());
+        let mut deleted = 0u64;
+        for row in snapshot.iter() {
+            let matches = match predicate {
+                None => true,
+                Some(p) => {
+                    let mut ctx = EvalContext { db: self, scopes: vec![(&schema, row)] };
+                    eval_truth(p, &mut ctx)? == Some(true)
+                }
+            };
+            if matches {
+                deleted += 1;
+            } else {
+                kept.push(row.clone());
+            }
+        }
+        let mut tables = self.tables.write();
+        let t = tables.get_mut(&key).ok_or_else(|| format!("table {key} dropped"))?;
+        t.rows = Arc::new(kept);
+        Ok(deleted)
+    }
+
+    /// Names of all tables (diagnostics / tests).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Coerce a full-width row to the table's column types; enforces NOT NULL.
+fn coerce_row(def: &TableDef, row: Row) -> Result<Row, EvalError> {
+    if row.len() != def.columns.len() {
+        return Err(format!(
+            "row width {} does not match table {} width {}",
+            row.len(),
+            def.name,
+            def.columns.len()
+        ));
+    }
+    row.into_iter()
+        .zip(def.columns.iter())
+        .map(|(v, c)| coerce_value(c, v))
+        .collect()
+}
+
+fn coerce_value(col: &ColumnDef, v: Datum) -> Result<Datum, EvalError> {
+    if v.is_null() {
+        if !col.nullable {
+            return Err(format!("NULL value in NOT NULL column {}", col.name));
+        }
+        return Ok(Datum::Null);
+    }
+    v.cast_to(&col.ty).map_err(|e| {
+        format!("column {}: {}", col.name, e.0)
+    })
+}
+
+/// The engine's catalog viewed through the binder's interface.
+struct EngineCatalog<'a>(&'a EngineDb);
+
+impl<'a> MetadataProvider for EngineCatalog<'a> {
+    fn table(&self, name: &str) -> Option<TableDef> {
+        self.0.table_def(name).or_else(|| {
+            // Allow unqualified lookup of qualified names.
+            let tables = self.0.tables.read();
+            tables
+                .values()
+                .find(|t| t.def.base_name().eq_ignore_ascii_case(name))
+                .map(|t| t.def.clone())
+        })
+    }
+
+    fn view(&self, _name: &str) -> Option<ViewDef> {
+        None
+    }
+}
+
+impl Backend for EngineDb {
+    fn name(&self) -> &str {
+        "SimWH"
+    }
+
+    fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        self.execute_sql(sql)
+    }
+
+    fn table_meta(&self, name: &str) -> Option<TableDef> {
+        EngineCatalog(self).table(name)
+    }
+}
+
+

@@ -1,0 +1,716 @@
+//! Relational operator execution.
+
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+use hyperq_xtra::datum::Datum;
+use hyperq_xtra::expr::{CmpOp, ScalarExpr, SortExpr, WindowFuncKind};
+use hyperq_xtra::rel::{Grouping, JoinKind, RelExpr, SetOpKind};
+use hyperq_xtra::schema::Schema;
+use hyperq_xtra::Row;
+
+use crate::db::EngineDb;
+use crate::eval::{eval, eval_truth, AggState, EvalContext, EvalError};
+
+type Scopes<'a> = [(&'a Schema, &'a Row)];
+
+/// Execute a relational tree, with `outer` scopes available for correlated
+/// column references.
+pub fn execute_rel(
+    rel: &RelExpr,
+    db: &EngineDb,
+    outer: &Scopes<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    match rel {
+        RelExpr::Get { table, .. } => {
+            let data = db.scan(table)?;
+            Ok(data.iter().cloned().collect())
+        }
+        RelExpr::Values { rows, .. } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut ctx = EvalContext { db, scopes: outer.to_vec() };
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    vals.push(eval(e, &mut ctx)?);
+                }
+                out.push(vals);
+            }
+            Ok(out)
+        }
+        RelExpr::Select { input, predicate } => {
+            let schema = input.schema();
+            let rows = execute_rel(input, db, outer)?;
+            let mut out = Vec::new();
+            for row in rows {
+                let mut scopes = outer.to_vec();
+                scopes.push((&schema, &row));
+                let mut ctx = EvalContext { db, scopes };
+                if eval_truth(predicate, &mut ctx)? == Some(true) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        RelExpr::Project { input, exprs } => {
+            let schema = input.schema();
+            let rows = execute_rel(input, db, outer)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut scopes = outer.to_vec();
+                scopes.push((&schema, &row));
+                let mut ctx = EvalContext { db, scopes };
+                let mut projected = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    projected.push(eval(e, &mut ctx)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        RelExpr::Window { input, exprs } => {
+            execute_window(input, exprs, db, outer)
+        }
+        RelExpr::Join { kind, left, right, condition } => {
+            execute_join(*kind, left, right, condition.as_ref(), db, outer)
+        }
+        RelExpr::Aggregate { input, group_by, grouping, aggs } => {
+            if matches!(grouping, Grouping::Sets(_)) {
+                // SimWH truthfully lacks OLAP grouping extensions; Hyper-Q's
+                // expansion rule must fire before SQL reaches the engine.
+                return Err("GROUPING SETS are not supported by this warehouse".to_string());
+            }
+            execute_aggregate(input, group_by, aggs, db, outer)
+        }
+        RelExpr::Distinct { input } => {
+            let rows = execute_rel(input, db, outer)?;
+            let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+        RelExpr::Sort { input, keys } => {
+            let schema = input.schema();
+            let rows = execute_rel(input, db, outer)?;
+            sort_rows(rows, &schema, keys, db, outer)
+        }
+        RelExpr::Limit { input, limit, offset, with_ties } => {
+            if *with_ties {
+                return Err("FETCH ... WITH TIES is not supported by this warehouse".to_string());
+            }
+            let mut rows = execute_rel(input, db, outer)?;
+            let start = (*offset as usize).min(rows.len());
+            rows.drain(..start);
+            if let Some(n) = limit {
+                rows.truncate(*n as usize);
+            }
+            Ok(rows)
+        }
+        RelExpr::SetOp { kind, all, left, right } => {
+            let l = execute_rel(left, db, outer)?;
+            let r = execute_rel(right, db, outer)?;
+            Ok(execute_setop(*kind, *all, l, r))
+        }
+        RelExpr::Alias { input, .. } => execute_rel(input, db, outer),
+    }
+}
+
+/// Sort rows by the given keys. NULL placement defaults to "NULLs high"
+/// (last ascending, first descending) — deliberately *different* from
+/// Teradata, so the explicit-NULL-ordering rewrite is observable.
+pub fn sort_rows(
+    rows: Vec<Row>,
+    schema: &Schema,
+    keys: &[SortExpr],
+    db: &EngineDb,
+    outer: &Scopes<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    let mut keyed: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut scopes = outer.to_vec();
+        scopes.push((schema, &row));
+        let mut ctx = EvalContext { db, scopes };
+        let mut kv = Vec::with_capacity(keys.len());
+        for k in keys {
+            kv.push(eval(&k.expr, &mut ctx)?);
+        }
+        keyed.push((kv, row));
+    }
+    keyed.sort_by(|(a, _), (b, _)| compare_key_rows(a, b, keys));
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Compare two pre-computed key vectors.
+pub fn compare_key_rows(a: &[Datum], b: &[Datum], keys: &[SortExpr]) -> Ordering {
+    for (i, k) in keys.iter().enumerate() {
+        let nulls_first = k.nulls_first.unwrap_or(k.desc);
+        let ord = match (a[i].is_null(), b[i].is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => {
+                if nulls_first {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, true) => {
+                if nulls_first {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, false) => {
+                let o = a[i].sql_cmp(&b[i]).unwrap_or(Ordering::Equal);
+                if k.desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            }
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+// ---------------------------------------------------------------------------
+// Window functions
+// ---------------------------------------------------------------------------
+
+fn execute_window(
+    input: &RelExpr,
+    exprs: &[hyperq_xtra::expr::WindowExpr],
+    db: &EngineDb,
+    outer: &Scopes<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    let schema = input.schema();
+    let rows = execute_rel(input, db, outer)?;
+    let n = rows.len();
+    // Each window function appends one column; computed independently.
+    let mut appended: Vec<Vec<Datum>> = vec![Vec::with_capacity(exprs.len()); n];
+
+    for w in exprs {
+        // Evaluate partition and order keys per row.
+        let mut part_keys: Vec<Vec<Datum>> = Vec::with_capacity(n);
+        let mut order_keys: Vec<Vec<Datum>> = Vec::with_capacity(n);
+        let mut args: Vec<Option<Datum>> = Vec::with_capacity(n);
+        for row in &rows {
+            let mut scopes = outer.to_vec();
+            scopes.push((&schema, row));
+            let mut ctx = EvalContext { db, scopes };
+            let mut pk = Vec::with_capacity(w.partition_by.len());
+            for p in &w.partition_by {
+                pk.push(eval(p, &mut ctx)?);
+            }
+            part_keys.push(pk);
+            let mut ok = Vec::with_capacity(w.order_by.len());
+            for k in &w.order_by {
+                ok.push(eval(&k.expr, &mut ctx)?);
+            }
+            order_keys.push(ok);
+            args.push(match &w.arg {
+                Some(a) => Some(eval(a, &mut ctx)?),
+                None => None,
+            });
+        }
+
+        // Group row indices by partition.
+        let mut partitions: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
+        for (i, key) in part_keys.iter().enumerate() {
+            partitions.entry(key.clone()).or_default().push(i);
+        }
+
+        let mut results: Vec<Datum> = vec![Datum::Null; n];
+        for (_, mut indices) in partitions {
+            indices.sort_by(|&a, &b| {
+                compare_key_rows(&order_keys[a], &order_keys[b], &w.order_by)
+            });
+            match &w.func {
+                WindowFuncKind::RowNumber => {
+                    for (pos, &i) in indices.iter().enumerate() {
+                        results[i] = Datum::Int(pos as i64 + 1);
+                    }
+                }
+                WindowFuncKind::Rank | WindowFuncKind::DenseRank => {
+                    let dense = matches!(w.func, WindowFuncKind::DenseRank);
+                    let mut rank = 0i64;
+                    let mut dense_rank = 0i64;
+                    let mut prev: Option<&Vec<Datum>> = None;
+                    for (pos, &i) in indices.iter().enumerate() {
+                        let tie = prev
+                            .map(|p| {
+                                compare_key_rows(p, &order_keys[i], &w.order_by)
+                                    == Ordering::Equal
+                            })
+                            .unwrap_or(false);
+                        if !tie {
+                            rank = pos as i64 + 1;
+                            dense_rank += 1;
+                        }
+                        results[i] = Datum::Int(if dense { dense_rank } else { rank });
+                        prev = Some(&order_keys[i]);
+                    }
+                }
+                WindowFuncKind::Agg(agg) => {
+                    if w.order_by.is_empty() {
+                        // Whole-partition aggregate broadcast.
+                        let mut state = AggState::new(*agg, false, w.ty());
+                        for &i in &indices {
+                            state.update(match agg {
+                                hyperq_xtra::expr::AggFunc::CountStar => None,
+                                _ => args[i].as_ref(),
+                            })?;
+                        }
+                        let v = state.finish()?;
+                        for &i in &indices {
+                            results[i] = v.clone();
+                        }
+                    } else {
+                        // Default frame: RANGE UNBOUNDED PRECEDING — running
+                        // aggregate including peers.
+                        let mut pos = 0usize;
+                        let mut state = AggState::new(*agg, false, w.ty());
+                        let mut finished: Vec<(usize, Datum)> = Vec::new();
+                        while pos < indices.len() {
+                            // Find the peer group [pos, end).
+                            let mut end = pos + 1;
+                            while end < indices.len()
+                                && compare_key_rows(
+                                    &order_keys[indices[pos]],
+                                    &order_keys[indices[end]],
+                                    &w.order_by,
+                                ) == Ordering::Equal
+                            {
+                                end += 1;
+                            }
+                            for &i in &indices[pos..end] {
+                                state.update(match agg {
+                                    hyperq_xtra::expr::AggFunc::CountStar => None,
+                                    _ => args[i].as_ref(),
+                                })?;
+                            }
+                            // Snapshot requires finishing; AggState is not
+                            // cloneable, so recompute via a fresh pass.
+                            let mut snapshot =
+                                AggState::new(*agg, false, w.ty());
+                            for &i in &indices[..end] {
+                                snapshot.update(match agg {
+                                    hyperq_xtra::expr::AggFunc::CountStar => None,
+                                    _ => args[i].as_ref(),
+                                })?;
+                            }
+                            let v = snapshot.finish()?;
+                            for &i in &indices[pos..end] {
+                                finished.push((i, v.clone()));
+                            }
+                            pos = end;
+                        }
+                        for (i, v) in finished {
+                            results[i] = v;
+                        }
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            appended[i].push(results[i].clone());
+        }
+    }
+
+    Ok(rows
+        .into_iter()
+        .zip(appended)
+        .map(|(mut row, extra)| {
+            row.extend(extra);
+            row
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+fn execute_aggregate(
+    input: &RelExpr,
+    group_by: &[(ScalarExpr, String)],
+    aggs: &[(ScalarExpr, String)],
+    db: &EngineDb,
+    outer: &Scopes<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    let schema = input.schema();
+    let rows = execute_rel(input, db, outer)?;
+
+    struct AggSpec<'e> {
+        func: hyperq_xtra::expr::AggFunc,
+        distinct: bool,
+        arg: Option<&'e ScalarExpr>,
+        ty: hyperq_xtra::types::SqlType,
+    }
+    let specs: Vec<AggSpec> = aggs
+        .iter()
+        .map(|(a, _)| match a {
+            ScalarExpr::Agg { func, distinct, arg } => Ok(AggSpec {
+                func: *func,
+                distinct: *distinct,
+                arg: arg.as_deref(),
+                ty: a.ty(),
+            }),
+            other => Err(format!("aggregate list contains non-aggregate {other}")),
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Group — preserving first-seen order for determinism.
+    let mut groups: HashMap<Vec<Datum>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Datum>> = Vec::new();
+    for row in &rows {
+        let mut scopes = outer.to_vec();
+        scopes.push((&schema, row));
+        let mut ctx = EvalContext { db, scopes };
+        let mut key = Vec::with_capacity(group_by.len());
+        for (g, _) in group_by {
+            key.push(eval(g, &mut ctx)?);
+        }
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups.entry(key.clone()).or_insert_with(|| {
+                    specs
+                        .iter()
+                        .map(|s| AggState::new(s.func, s.distinct, s.ty.clone()))
+                        .collect()
+                })
+            }
+        };
+        for (state, spec) in states.iter_mut().zip(specs.iter()) {
+            match spec.arg {
+                Some(a) => {
+                    let mut scopes = outer.to_vec();
+                    scopes.push((&schema, row));
+                    let mut actx = EvalContext { db, scopes };
+                    let v = eval(a, &mut actx)?;
+                    state.update(Some(&v))?;
+                }
+                None => state.update(None)?,
+            }
+        }
+    }
+
+    // Global aggregate over empty input still produces one row.
+    if groups.is_empty() && group_by.is_empty() {
+        let states: Vec<AggState> = specs
+            .iter()
+            .map(|s| AggState::new(s.func, s.distinct, s.ty.clone()))
+            .collect();
+        let mut row = Vec::with_capacity(specs.len());
+        for s in states {
+            row.push(s.finish()?);
+        }
+        return Ok(vec![row]);
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let states = groups.remove(&key).expect("key recorded on insert");
+        let mut row = key;
+        for s in states {
+            row.push(s.finish()?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+fn execute_join(
+    kind: JoinKind,
+    left: &RelExpr,
+    right: &RelExpr,
+    condition: Option<&ScalarExpr>,
+    db: &EngineDb,
+    outer: &Scopes<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    let lschema = left.schema();
+    let rschema = right.schema();
+    // Residual predicates always see the concatenated row, regardless of
+    // the join's output schema (semi/anti joins output only the left side).
+    let combined_schema = lschema.join(&rschema);
+    let lrows = execute_rel(left, db, outer)?;
+    let rrows = execute_rel(right, db, outer)?;
+    let lwidth = lschema.len();
+    let rwidth = rschema.len();
+
+    // Try to extract hash keys from the condition.
+    let (lkeys, rkeys, residual) = match condition {
+        Some(c) if kind != JoinKind::Cross => split_equi_condition(c, &lschema, &rschema),
+        _ => (Vec::new(), Vec::new(), condition.cloned()),
+    };
+
+    let eval_keys = |exprs: &[ScalarExpr],
+                     schema: &Schema,
+                     row: &Row|
+     -> Result<Option<Vec<Datum>>, EvalError> {
+        let mut scopes = outer.to_vec();
+        scopes.push((schema, row));
+        let mut ctx = EvalContext { db, scopes };
+        let mut key = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            let v = eval(e, &mut ctx)?;
+            if v.is_null() {
+                return Ok(None); // NULL keys never join.
+            }
+            key.push(v);
+        }
+        Ok(Some(key))
+    };
+
+    let residual_ok = |combined: &Row| -> Result<bool, EvalError> {
+        match &residual {
+            None => Ok(true),
+            Some(p) => {
+                let mut scopes = outer.to_vec();
+                scopes.push((&combined_schema, combined));
+                let mut ctx = EvalContext { db, scopes };
+                Ok(eval_truth(p, &mut ctx)? == Some(true))
+            }
+        }
+    };
+
+    let mut out: Vec<Row> = Vec::new();
+    let mut right_matched = vec![false; rrows.len()];
+
+    let semi_anti = matches!(kind, JoinKind::Semi | JoinKind::Anti);
+    if !lkeys.is_empty() {
+        // Hash join: build on the right.
+        let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
+        for (i, row) in rrows.iter().enumerate() {
+            if let Some(key) = eval_keys(&rkeys, &rschema, row)? {
+                table.entry(key).or_default().push(i);
+            }
+        }
+        for lrow in &lrows {
+            let mut matched = false;
+            if let Some(key) = eval_keys(&lkeys, &lschema, lrow)? {
+                if let Some(candidates) = table.get(&key) {
+                    for &ri in candidates {
+                        let mut combined = lrow.clone();
+                        combined.extend(rrows[ri].iter().cloned());
+                        if residual_ok(&combined)? {
+                            matched = true;
+                            right_matched[ri] = true;
+                            if !semi_anti {
+                                out.push(combined);
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            match kind {
+                JoinKind::Semi if matched => out.push(lrow.clone()),
+                JoinKind::Anti if !matched => out.push(lrow.clone()),
+                JoinKind::Left | JoinKind::Full if !matched => {
+                    let mut padded = lrow.clone();
+                    padded.extend(std::iter::repeat_n(Datum::Null, rwidth));
+                    out.push(padded);
+                }
+                _ => {}
+            }
+        }
+    } else {
+        // Nested-loop join.
+        for lrow in &lrows {
+            let mut matched = false;
+            for (ri, rrow) in rrows.iter().enumerate() {
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                let ok = match (&residual, kind) {
+                    (None, _) => true,
+                    (Some(_), _) => residual_ok(&combined)?,
+                };
+                if ok {
+                    matched = true;
+                    right_matched[ri] = true;
+                    if !semi_anti {
+                        out.push(combined);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            match kind {
+                JoinKind::Semi if matched => out.push(lrow.clone()),
+                JoinKind::Anti if !matched => out.push(lrow.clone()),
+                JoinKind::Left | JoinKind::Full if !matched => {
+                    let mut padded = lrow.clone();
+                    padded.extend(std::iter::repeat_n(Datum::Null, rwidth));
+                    out.push(padded);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, m) in right_matched.iter().enumerate() {
+            if !m {
+                let mut padded: Row = std::iter::repeat_n(Datum::Null, lwidth).collect();
+                padded.extend(rrows[ri].iter().cloned());
+                out.push(padded);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Split an AND-tree into hash-joinable equi-pairs plus a residual.
+fn split_equi_condition(
+    c: &ScalarExpr,
+    lschema: &Schema,
+    rschema: &Schema,
+) -> (Vec<ScalarExpr>, Vec<ScalarExpr>, Option<ScalarExpr>) {
+    let mut conjuncts: Vec<ScalarExpr> = Vec::new();
+    flatten_and(c, &mut conjuncts);
+    let mut lkeys = Vec::new();
+    let mut rkeys = Vec::new();
+    let mut residual = Vec::new();
+    for conj in conjuncts {
+        if let ScalarExpr::Cmp { op: CmpOp::Eq, left, right } = &conj {
+            let l_in_l = resolves_in(left, lschema);
+            let r_in_r = resolves_in(right, rschema);
+            if l_in_l && r_in_r {
+                lkeys.push((**left).clone());
+                rkeys.push((**right).clone());
+                continue;
+            }
+            let l_in_r = resolves_in(left, rschema);
+            let r_in_l = resolves_in(right, lschema);
+            if l_in_r && r_in_l {
+                lkeys.push((**right).clone());
+                rkeys.push((**left).clone());
+                continue;
+            }
+        }
+        residual.push(conj);
+    }
+    let residual = if residual.is_empty() {
+        None
+    } else {
+        Some(ScalarExpr::and(residual))
+    };
+    (lkeys, rkeys, residual)
+}
+
+fn flatten_and(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    match e {
+        ScalarExpr::BoolExpr { op: hyperq_xtra::expr::BoolOp::And, args } => {
+            for a in args {
+                flatten_and(a, out);
+            }
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Does every column reference in `e` resolve in `schema`, with at least
+/// one column and no subqueries?
+fn resolves_in(e: &ScalarExpr, schema: &Schema) -> bool {
+    let mut has_column = false;
+    let mut all_resolve = true;
+    let mut has_subquery = false;
+    e.visit(
+        &mut |x| match x {
+            ScalarExpr::Column { qualifier, name, .. } => {
+                has_column = true;
+                if !matches!(schema.try_resolve(qualifier.as_deref(), name), Ok(Some(_))) {
+                    all_resolve = false;
+                }
+            }
+            ScalarExpr::ScalarSubquery(_)
+            | ScalarExpr::Exists { .. }
+            | ScalarExpr::InSubquery { .. }
+            | ScalarExpr::QuantifiedCmp { .. } => has_subquery = true,
+            _ => {}
+        },
+        &mut |_| {},
+    );
+    has_column && all_resolve && !has_subquery
+}
+
+// ---------------------------------------------------------------------------
+// Set operations
+// ---------------------------------------------------------------------------
+
+fn execute_setop(kind: SetOpKind, all: bool, l: Vec<Row>, r: Vec<Row>) -> Vec<Row> {
+    match (kind, all) {
+        (SetOpKind::Union, true) => {
+            let mut out = l;
+            out.extend(r);
+            out
+        }
+        (SetOpKind::Union, false) => {
+            let mut seen: HashSet<Row> = HashSet::new();
+            let mut out = Vec::new();
+            for row in l.into_iter().chain(r) {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            out
+        }
+        (SetOpKind::Intersect, false) => {
+            let rset: HashSet<Row> = r.into_iter().collect();
+            let mut seen: HashSet<Row> = HashSet::new();
+            l.into_iter()
+                .filter(|row| rset.contains(row) && seen.insert(row.clone()))
+                .collect()
+        }
+        (SetOpKind::Intersect, true) => {
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            for row in r {
+                *counts.entry(row).or_insert(0) += 1;
+            }
+            l.into_iter()
+                .filter(|row| {
+                    if let Some(c) = counts.get_mut(row) {
+                        if *c > 0 {
+                            *c -= 1;
+                            return true;
+                        }
+                    }
+                    false
+                })
+                .collect()
+        }
+        (SetOpKind::Except, false) => {
+            let rset: HashSet<Row> = r.into_iter().collect();
+            let mut seen: HashSet<Row> = HashSet::new();
+            l.into_iter()
+                .filter(|row| !rset.contains(row) && seen.insert(row.clone()))
+                .collect()
+        }
+        (SetOpKind::Except, true) => {
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            for row in r {
+                *counts.entry(row).or_insert(0) += 1;
+            }
+            l.into_iter()
+                .filter(|row| {
+                    if let Some(c) = counts.get_mut(row) {
+                        if *c > 0 {
+                            *c -= 1;
+                            return false;
+                        }
+                    }
+                    true
+                })
+                .collect()
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # hyperq-engine — the simulated cloud data warehouse
+//!
+//! The substrate standing in for the paper's target database (DB-B): an
+//! in-memory analytical SQL engine that parses the **ANSI target dialect**
+//! (what Hyper-Q's serializer emits), binds it with the shared binder, and
+//! executes the resulting XTRA plan.
+//!
+//! Fidelity rules:
+//!
+//! * the engine accepts *only* the ANSI dialect — Teradata-isms are syntax
+//!   errors, so a serializer leak fails loudly;
+//! * the engine's feature surface matches
+//!   [`hyperq_core::capability::TargetCapabilities::simwh`] exactly: no
+//!   `QUALIFY`, no vector subquery comparison, no recursion, no `MERGE`,
+//!   no grouping sets — requests using them are rejected, which is what
+//!   forces Hyper-Q's rewrites and emulations to actually run;
+//! * execution is correct rather than clever: hash joins and hash
+//!   aggregation where possible, nested loops otherwise, naive (re-executed)
+//!   correlated subqueries.
+//!
+//! Concurrency: the catalog is guarded by an `RwLock` and table contents
+//! are copy-on-write (`Arc<Vec<Row>>`), so concurrent analytical readers —
+//! the paper's stress-test scenario (§7.3) — proceed without blocking each
+//! other.
+
+mod db;
+mod eval;
+mod exec;
+mod optimize;
+
+pub use db::EngineDb;

@@ -1,0 +1,254 @@
+//! Engine edge cases: joins with residuals, window peers, set-operation
+//! semantics, DML with subqueries, admission control, concurrency.
+
+use std::sync::Arc;
+
+use hyperq_engine::EngineDb;
+use hyperq_xtra::datum::Datum;
+
+fn ints(r: &hyperq_core::ExecResult, col: usize) -> Vec<i64> {
+    r.rows.iter().map(|row| row[col].to_i64().unwrap()).collect()
+}
+
+#[test]
+fn left_join_with_non_equi_residual() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE L (K INTEGER, V INTEGER)").unwrap();
+    db.execute_sql("CREATE TABLE R (K INTEGER, W INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO L VALUES (1, 10), (2, 20)").unwrap();
+    db.execute_sql("INSERT INTO R VALUES (1, 5), (1, 15), (2, 100)").unwrap();
+    // Residual W < V on top of the equi key: row (1,10) matches only (1,5);
+    // (2,20) matches nothing → padded.
+    let r = db
+        .execute_sql(
+            "SELECT L.K, R.W FROM L LEFT JOIN R ON L.K = R.K AND R.W < L.V ORDER BY L.K",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][1], Datum::Int(5));
+    assert_eq!(r.rows[1][1], Datum::Null);
+}
+
+#[test]
+fn join_on_null_keys_never_matches() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE A (K INTEGER)").unwrap();
+    db.execute_sql("CREATE TABLE B (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO A VALUES (NULL), (1)").unwrap();
+    db.execute_sql("INSERT INTO B VALUES (NULL), (1)").unwrap();
+    let inner = db
+        .execute_sql("SELECT COUNT(*) FROM A INNER JOIN B ON A.K = B.K")
+        .unwrap();
+    assert_eq!(ints(&inner, 0), vec![1]);
+    let left = db
+        .execute_sql("SELECT COUNT(*) FROM A LEFT JOIN B ON A.K = B.K")
+        .unwrap();
+    assert_eq!(ints(&left, 0), vec![2]); // NULL row padded, not matched
+}
+
+#[test]
+fn window_running_sum_counts_peers_together() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE S (G INTEGER, V INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO S VALUES (1, 10), (1, 10), (2, 5)").unwrap();
+    // Default frame is RANGE: peers (equal order keys) share the running
+    // value.
+    let r = db
+        .execute_sql("SELECT G, SUM(V) OVER (ORDER BY G) AS RS FROM S ORDER BY G")
+        .unwrap();
+    assert_eq!(ints(&r, 1), vec![20, 20, 25]);
+}
+
+#[test]
+fn window_count_star_over_partition() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE S (G INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO S VALUES (1), (1), (2)").unwrap();
+    let r = db
+        .execute_sql("SELECT G, COUNT(*) OVER (PARTITION BY G) AS N FROM S ORDER BY G")
+        .unwrap();
+    assert_eq!(ints(&r, 1), vec![2, 2, 1]);
+}
+
+#[test]
+fn intersect_and_except_all_multiset_semantics() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE A (K INTEGER)").unwrap();
+    db.execute_sql("CREATE TABLE B (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO A VALUES (1), (1), (1), (2)").unwrap();
+    db.execute_sql("INSERT INTO B VALUES (1), (1), (3)").unwrap();
+    let i = db
+        .execute_sql("SELECT K FROM A INTERSECT ALL SELECT K FROM B")
+        .unwrap();
+    assert_eq!(i.rows.len(), 2, "1 appears min(3,2)=2 times");
+    let e = db
+        .execute_sql("SELECT K FROM A EXCEPT ALL SELECT K FROM B ORDER BY 1")
+        .unwrap();
+    assert_eq!(ints(&e, 0), vec![1, 2], "3-2 copies of 1 remain, plus the 2");
+}
+
+#[test]
+fn union_distinct_dedups_across_inputs() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE A (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO A VALUES (1), (2), (2)").unwrap();
+    let r = db
+        .execute_sql("SELECT K FROM A UNION SELECT K FROM A ORDER BY 1")
+        .unwrap();
+    assert_eq!(ints(&r, 0), vec![1, 2]);
+}
+
+#[test]
+fn update_with_correlated_subquery_sees_pre_update_state() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE T (K INTEGER, V INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO T VALUES (1, 10), (2, 20), (3, 30)").unwrap();
+    // Every row set to the pre-update maximum: all must become 30, not a
+    // cascading value.
+    db.execute_sql("UPDATE T SET V = (SELECT MAX(V) FROM T)").unwrap();
+    let r = db.execute_sql("SELECT DISTINCT V FROM T").unwrap();
+    assert_eq!(ints(&r, 0), vec![30]);
+}
+
+#[test]
+fn delete_with_subquery_predicate() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE T (K INTEGER)").unwrap();
+    db.execute_sql("CREATE TABLE KILL (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO T VALUES (1), (2), (3)").unwrap();
+    db.execute_sql("INSERT INTO KILL VALUES (2)").unwrap();
+    let d = db
+        .execute_sql("DELETE FROM T WHERE K IN (SELECT K FROM KILL)")
+        .unwrap();
+    assert_eq!(d.row_count, 1);
+    let r = db.execute_sql("SELECT K FROM T ORDER BY K").unwrap();
+    assert_eq!(ints(&r, 0), vec![1, 3]);
+}
+
+#[test]
+fn duplicate_table_creation_rejected() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE T (K INTEGER)").unwrap();
+    assert!(db.execute_sql("CREATE TABLE T (K INTEGER)").is_err());
+}
+
+#[test]
+fn drop_if_exists_is_idempotent() {
+    let db = EngineDb::new();
+    assert!(db.execute_sql("DROP TABLE NOPE").is_err());
+    db.execute_sql("DROP TABLE IF EXISTS NOPE").unwrap();
+}
+
+#[test]
+fn division_by_zero_surfaces_as_error() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE T (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO T VALUES (0)").unwrap();
+    let err = db.execute_sql("SELECT 1 / K FROM T").unwrap_err();
+    assert!(err.to_string().contains("zero"), "{err}");
+}
+
+#[test]
+fn admission_control_queues_but_completes() {
+    let db = Arc::new(EngineDb::with_concurrency_limit(1));
+    db.execute_sql("CREATE TABLE T (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO T VALUES (1), (2), (3)").unwrap();
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let r = db.execute_sql("SELECT COUNT(*) FROM T").unwrap();
+                    assert_eq!(r.rows[0][0], Datum::Int(3));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_readers_and_writer() {
+    let db = Arc::new(EngineDb::new());
+    db.execute_sql("CREATE TABLE T (K INTEGER)").unwrap();
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for i in 0..200 {
+                db.execute_sql(&format!("INSERT INTO T VALUES ({i})")).unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut last = 0i64;
+                for _ in 0..50 {
+                    let n = db.execute_sql("SELECT COUNT(*) FROM T").unwrap().rows[0][0]
+                        .to_i64()
+                        .unwrap();
+                    // Counts are monotone under copy-on-write snapshots.
+                    assert!(n >= last);
+                    last = n;
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    let n = db.execute_sql("SELECT COUNT(*) FROM T").unwrap().rows[0][0]
+        .to_i64()
+        .unwrap();
+    assert_eq!(n, 200);
+}
+
+#[test]
+fn order_by_is_stable_for_equal_keys() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE T (K INTEGER, SEQ INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO T VALUES (1, 1), (1, 2), (1, 3), (0, 4)").unwrap();
+    let r = db.execute_sql("SELECT SEQ FROM T ORDER BY K").unwrap();
+    // Rows with K=1 keep insertion order after the K=0 row.
+    assert_eq!(ints(&r, 0), vec![4, 1, 2, 3]);
+}
+
+#[test]
+fn case_insensitive_table_lookup() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE MiXeD (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO mixed VALUES (1)").unwrap();
+    let r = db.execute_sql("SELECT COUNT(*) FROM MIXED").unwrap();
+    assert_eq!(ints(&r, 0), vec![1]);
+}
+
+#[test]
+fn coalesce_and_case_null_paths() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE T (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO T VALUES (NULL), (5)").unwrap();
+    let r = db
+        .execute_sql(
+            "SELECT COALESCE(K, -1), CASE WHEN K IS NULL THEN 'none' ELSE 'some' END \
+             FROM T ORDER BY 1",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(-1));
+    assert_eq!(r.rows[0][1], Datum::str("none"));
+    assert_eq!(r.rows[1][1], Datum::str("some"));
+}
+
+#[test]
+fn scalar_subquery_multiple_rows_is_error() {
+    let db = EngineDb::new();
+    db.execute_sql("CREATE TABLE T (K INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO T VALUES (1), (2)").unwrap();
+    let err = db
+        .execute_sql("SELECT (SELECT K FROM T) FROM T")
+        .unwrap_err();
+    assert!(err.to_string().contains("rows"), "{err}");
+}

@@ -1,0 +1,617 @@
+//! The parser's abstract syntax tree.
+//!
+//! Per the paper (§5.1) the AST is "a mix of generic and specific parse
+//! nodes": generic nodes model ANSI constructs, while vendor-specific
+//! information — `QUALIFY`, Teradata window shorthand, `SET` table options,
+//! macros, `HELP` — is carried in dedicated fields/variants that only the
+//! Teradata dialect produces.
+
+use hyperq_xtra::types::SqlType;
+use hyperq_xtra::expr::{CmpOp, DateField, Quantifier};
+
+/// An identifier as written (case preserved; normalization is the binder's
+/// job so diagnostics can echo the user's spelling).
+pub type Ident = String;
+
+/// Possibly-qualified object name (`db.table`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectName(pub Vec<Ident>);
+
+impl ObjectName {
+    pub fn single(name: &str) -> Self {
+        ObjectName(vec![name.to_string()])
+    }
+
+    /// Dot-joined, upper-cased canonical form.
+    pub fn canonical(&self) -> String {
+        self.0
+            .iter()
+            .map(|p| p.to_ascii_uppercase())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// Last name component, upper-cased.
+    pub fn base(&self) -> String {
+        self.0
+            .last()
+            .map(|s| s.to_ascii_uppercase())
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0.join("."))
+    }
+}
+
+/// Literal values as parsed (numbers kept verbatim for exact decimal
+/// handling).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Number(String),
+    String(String),
+    /// `DATE '2014-01-01'`.
+    Date(String),
+    /// `TIMESTAMP '2014-01-01 10:00:00'`.
+    Timestamp(String),
+    /// `INTERVAL '3' MONTH`.
+    Interval { value: String, unit: IntervalUnit },
+    Boolean(bool),
+    Null,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalUnit {
+    Year,
+    Month,
+    Day,
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Plus,
+    Minus,
+    Mul,
+    Div,
+    /// `%` or infix `MOD`.
+    Mod,
+    /// `**`.
+    Pow,
+    /// `||`.
+    Concat,
+    Cmp(CmpOp),
+    And,
+    Or,
+}
+
+/// Window specification: `OVER (PARTITION BY … ORDER BY … )`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowSpec {
+    pub partition_by: Vec<Expr>,
+    pub order_by: Vec<OrderByItem>,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Possibly-qualified column reference `a.b`.
+    Ident(ObjectName),
+    Literal(Literal),
+    /// `:name` or `?` parameter.
+    Parameter(Option<Ident>),
+    BinaryOp {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    UnaryMinus(Box<Expr>),
+    Not(Box<Expr>),
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        subquery: Box<Query>,
+        negated: bool,
+    },
+    Exists {
+        subquery: Box<Query>,
+        negated: bool,
+    },
+    /// Scalar subquery.
+    Subquery(Box<Query>),
+    /// Quantified comparison, possibly over a row/vector left side — the
+    /// paper's `(AMOUNT, AMOUNT*0.85) > ANY (SEL GROSS, NET FROM …)`.
+    QuantifiedCmp {
+        left: Box<Expr>,
+        op: CmpOp,
+        quantifier: Quantifier,
+        subquery: Box<Query>,
+    },
+    /// Parenthesized row `(a, b)`; a 1-element row collapses to the inner
+    /// expression during parsing.
+    Row(Vec<Expr>),
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        ty: SqlType,
+    },
+    Extract {
+        field: DateField,
+        expr: Box<Expr>,
+    },
+    /// `POSITION(sub IN str)`.
+    Position {
+        substring: Box<Expr>,
+        string: Box<Expr>,
+    },
+    /// Function call, possibly aggregate (`distinct`) and possibly windowed
+    /// (`over`). `td_sort_arg` carries Teradata's non-ANSI shorthand
+    /// `RANK(expr [ASC|DESC])` argument (tracked feature X9).
+    Function {
+        name: ObjectName,
+        args: Vec<Expr>,
+        distinct: bool,
+        over: Option<WindowSpec>,
+        td_sort_arg: Option<(Box<Expr>, bool)>,
+    },
+    /// `COUNT(*)` and friends.
+    FunctionStar {
+        name: ObjectName,
+        over: Option<WindowSpec>,
+    },
+}
+
+/// `SELECT` list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Wildcard,
+    QualifiedWildcard(ObjectName),
+    Expr { expr: Expr, alias: Option<Ident> },
+}
+
+/// `ORDER BY` item; `ordinal` notes a bare position (tracked feature X4)
+/// after parsing, still carried as the literal for the binder to resolve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub desc: bool,
+    pub nulls_first: Option<bool>,
+}
+
+/// One `GROUP BY` element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupByItem {
+    Expr(Expr),
+    Rollup(Vec<Expr>),
+    Cube(Vec<Expr>),
+    GroupingSets(Vec<Vec<Expr>>),
+}
+
+/// Table alias with optional column renaming (`AS T (a, b)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableAlias {
+    pub name: Ident,
+    pub columns: Vec<Ident>,
+}
+
+/// Join constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinConstraint {
+    On(Expr),
+    None,
+}
+
+pub use hyperq_xtra::rel::JoinKind;
+
+/// A table reference in `FROM`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Table {
+        name: ObjectName,
+        alias: Option<TableAlias>,
+    },
+    Derived {
+        query: Box<Query>,
+        alias: TableAlias,
+    },
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        constraint: JoinConstraint,
+    },
+}
+
+/// One `SELECT` block (the paper's `ansi_select` node), with the
+/// vendor-specific `QUALIFY` (`td_qualify`) attached.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub struct SelectBlock {
+    pub distinct: bool,
+    /// Teradata `TOP n [WITH TIES]`.
+    pub top: Option<TopClause>,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<GroupByItem>,
+    pub having: Option<Expr>,
+    /// Teradata `QUALIFY` (tracked feature X1).
+    pub qualify: Option<Expr>,
+    /// `ORDER BY` attached directly to the block; in standard SQL it
+    /// belongs to the query expression, but Teradata accepts it interleaved
+    /// with other clauses (Example 1 of the paper).
+    pub order_by: Vec<OrderByItem>,
+    /// `LIMIT n` (ANSI target dialect).
+    pub limit: Option<u64>,
+    /// True when clauses appeared out of standard order (e.g. `ORDER BY`
+    /// before `WHERE`) — part of tracked feature X9.
+    pub nonstandard_clause_order: bool,
+    /// When non-empty this block represents a literal `VALUES` list and the
+    /// other clauses are unused (items is a single wildcard).
+    pub value_rows: Vec<Vec<Expr>>,
+}
+
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopClause {
+    pub n: u64,
+    pub with_ties: bool,
+}
+
+/// Query body: select block or set operation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBody {
+    Select(Box<SelectBlock>),
+    SetOp {
+        kind: hyperq_xtra::rel::SetOpKind,
+        all: bool,
+        left: Box<QueryBody>,
+        right: Box<QueryBody>,
+    },
+}
+
+/// A common table expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    pub name: Ident,
+    pub columns: Vec<Ident>,
+    pub query: Query,
+}
+
+/// A full query expression: WITH + body + final ORDER BY.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub recursive: bool,
+    pub ctes: Vec<Cte>,
+    pub body: QueryBody,
+    pub order_by: Vec<OrderByItem>,
+}
+
+/// `UPDATE`/`MERGE` assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentAst {
+    pub column: Ident,
+    pub value: Expr,
+}
+
+/// Column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDefAst {
+    pub name: Ident,
+    pub ty: SqlType,
+    pub not_null: bool,
+    pub default: Option<Expr>,
+    /// Teradata `NOT CASESPECIFIC` (tracked feature E9).
+    pub not_casespecific: bool,
+}
+
+/// Table kind options in `CREATE TABLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateTableKind {
+    Permanent,
+    /// `CREATE VOLATILE TABLE` (session temp).
+    Volatile,
+    /// `CREATE GLOBAL TEMPORARY TABLE` (tracked feature E7).
+    GlobalTemporary,
+}
+
+/// Macro parameter (`CREATE MACRO m (p INTEGER DEFAULT 0) AS (...)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroParam {
+    pub name: Ident,
+    pub ty: SqlType,
+    pub default: Option<Expr>,
+}
+
+/// `HELP` command targets (tracked feature E5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HelpTarget {
+    Session,
+    Table(ObjectName),
+}
+
+/// `MERGE` statement (tracked feature E4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeStmt {
+    pub target: ObjectName,
+    pub target_alias: Option<Ident>,
+    pub source: TableRef,
+    pub on: Expr,
+    pub when_matched_update: Option<Vec<AssignmentAst>>,
+    pub when_not_matched_insert: Option<(Vec<Ident>, Vec<Expr>)>,
+}
+
+/// Top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Box<Query>),
+    Insert {
+        table: ObjectName,
+        columns: Vec<Ident>,
+        source: Box<Query>,
+    },
+    Update {
+        table: ObjectName,
+        alias: Option<Ident>,
+        assignments: Vec<AssignmentAst>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: ObjectName,
+        alias: Option<Ident>,
+        where_clause: Option<Expr>,
+    },
+    Merge(Box<MergeStmt>),
+    CreateTable {
+        name: ObjectName,
+        columns: Vec<ColumnDefAst>,
+        /// `Some(true)` = SET, `Some(false)` = MULTISET, `None` = default.
+        set_semantics: Option<bool>,
+        kind: CreateTableKind,
+        as_query: Option<Box<Query>>,
+    },
+    DropTable {
+        name: ObjectName,
+        if_exists: bool,
+    },
+    CreateView {
+        name: ObjectName,
+        columns: Vec<Ident>,
+        query: Box<Query>,
+        or_replace: bool,
+    },
+    DropView {
+        name: ObjectName,
+        if_exists: bool,
+    },
+    CreateMacro {
+        name: ObjectName,
+        params: Vec<MacroParam>,
+        body: Vec<Statement>,
+    },
+    DropMacro {
+        name: ObjectName,
+    },
+    /// `EXECUTE macro(args)`; values may be positional or `name = value`.
+    ExecuteMacro {
+        name: ObjectName,
+        args: Vec<(Option<Ident>, Expr)>,
+    },
+    CreateProcedure {
+        name: ObjectName,
+        params: Vec<MacroParam>,
+        body: Vec<Statement>,
+    },
+    Call {
+        name: ObjectName,
+        args: Vec<Expr>,
+    },
+    Help(HelpTarget),
+    /// `EXPLAIN <statement>` — answered by the mid tier with the
+    /// translation plan (tracked features, XTRA tree, target SQL).
+    Explain(Box<Statement>),
+    /// `SET SESSION <name> = <value>` — session setting, kept in the mid
+    /// tier and reflected by `HELP SESSION`.
+    SetSession { name: Ident, value: Expr },
+    BeginTransaction,
+    Commit,
+    Rollback,
+}
+
+impl Expr {
+    /// Walk this expression tree pre-order, *without* descending into
+    /// subqueries. Used by the binder's implicit-join discovery, which is
+    /// per query block: each subquery block runs its own pass when bound.
+    pub fn walk_no_subquery(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Ident(_)
+            | Expr::Literal(_)
+            | Expr::Parameter(_)
+            | Expr::Subquery(_)
+            | Expr::Exists { .. } => {}
+            Expr::BinaryOp { left, right, .. } => {
+                left.walk_no_subquery(f);
+                right.walk_no_subquery(f);
+            }
+            Expr::UnaryMinus(e) | Expr::Not(e) => e.walk_no_subquery(f),
+            Expr::IsNull { expr, .. } => expr.walk_no_subquery(f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk_no_subquery(f);
+                pattern.walk_no_subquery(f);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk_no_subquery(f);
+                low.walk_no_subquery(f);
+                high.walk_no_subquery(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk_no_subquery(f);
+                for e in list {
+                    e.walk_no_subquery(f);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.walk_no_subquery(f),
+            Expr::QuantifiedCmp { left, .. } => left.walk_no_subquery(f),
+            Expr::Row(items) => {
+                for e in items {
+                    e.walk_no_subquery(f);
+                }
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                if let Some(o) = operand {
+                    o.walk_no_subquery(f);
+                }
+                for (c, r) in branches {
+                    c.walk_no_subquery(f);
+                    r.walk_no_subquery(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk_no_subquery(f);
+                }
+            }
+            Expr::Cast { expr, .. } | Expr::Extract { expr, .. } => expr.walk_no_subquery(f),
+            Expr::Position { substring, string } => {
+                substring.walk_no_subquery(f);
+                string.walk_no_subquery(f);
+            }
+            Expr::Function { args, over, td_sort_arg, .. } => {
+                for a in args {
+                    a.walk_no_subquery(f);
+                }
+                if let Some(spec) = over {
+                    for p in &spec.partition_by {
+                        p.walk_no_subquery(f);
+                    }
+                    for k in &spec.order_by {
+                        k.expr.walk_no_subquery(f);
+                    }
+                }
+                if let Some((e, _)) = td_sort_arg {
+                    e.walk_no_subquery(f);
+                }
+            }
+            Expr::FunctionStar { over, .. } => {
+                if let Some(spec) = over {
+                    for p in &spec.partition_by {
+                        p.walk_no_subquery(f);
+                    }
+                    for k in &spec.order_by {
+                        k.expr.walk_no_subquery(f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rewrite this expression bottom-up (including into subqueries is NOT
+    /// performed; statement-level rewriters handle nested queries
+    /// explicitly). Used by macro parameter substitution and MERGE
+    /// decomposition.
+    pub fn rewrite(self, f: &mut dyn FnMut(Expr) -> Expr) -> Expr {
+        let node = match self {
+            Expr::Ident(_) | Expr::Literal(_) | Expr::Parameter(_) => self,
+            Expr::BinaryOp { op, left, right } => Expr::BinaryOp {
+                op,
+                left: Box::new(left.rewrite(f)),
+                right: Box::new(right.rewrite(f)),
+            },
+            Expr::UnaryMinus(e) => Expr::UnaryMinus(Box::new(e.rewrite(f))),
+            Expr::Not(e) => Expr::Not(Box::new(e.rewrite(f))),
+            Expr::IsNull { expr, negated } => {
+                Expr::IsNull { expr: Box::new(expr.rewrite(f)), negated }
+            }
+            Expr::Like { expr, pattern, negated } => Expr::Like {
+                expr: Box::new(expr.rewrite(f)),
+                pattern: Box::new(pattern.rewrite(f)),
+                negated,
+            },
+            Expr::Between { expr, low, high, negated } => Expr::Between {
+                expr: Box::new(expr.rewrite(f)),
+                low: Box::new(low.rewrite(f)),
+                high: Box::new(high.rewrite(f)),
+                negated,
+            },
+            Expr::InList { expr, list, negated } => Expr::InList {
+                expr: Box::new(expr.rewrite(f)),
+                list: list.into_iter().map(|e| e.rewrite(f)).collect(),
+                negated,
+            },
+            Expr::InSubquery { expr, subquery, negated } => Expr::InSubquery {
+                expr: Box::new(expr.rewrite(f)),
+                subquery,
+                negated,
+            },
+            Expr::Exists { subquery, negated } => Expr::Exists { subquery, negated },
+            Expr::Subquery(q) => Expr::Subquery(q),
+            Expr::QuantifiedCmp { left, op, quantifier, subquery } => Expr::QuantifiedCmp {
+                left: Box::new(left.rewrite(f)),
+                op,
+                quantifier,
+                subquery,
+            },
+            Expr::Row(items) => Expr::Row(items.into_iter().map(|e| e.rewrite(f)).collect()),
+            Expr::Case { operand, branches, else_expr } => Expr::Case {
+                operand: operand.map(|o| Box::new(o.rewrite(f))),
+                branches: branches
+                    .into_iter()
+                    .map(|(c, r)| (c.rewrite(f), r.rewrite(f)))
+                    .collect(),
+                else_expr: else_expr.map(|e| Box::new(e.rewrite(f))),
+            },
+            Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(expr.rewrite(f)), ty },
+            Expr::Extract { field, expr } => {
+                Expr::Extract { field, expr: Box::new(expr.rewrite(f)) }
+            }
+            Expr::Position { substring, string } => Expr::Position {
+                substring: Box::new(substring.rewrite(f)),
+                string: Box::new(string.rewrite(f)),
+            },
+            Expr::Function { name, args, distinct, over, td_sort_arg } => Expr::Function {
+                name,
+                args: args.into_iter().map(|e| e.rewrite(f)).collect(),
+                distinct,
+                over: over.map(|spec| WindowSpec {
+                    partition_by: spec
+                        .partition_by
+                        .into_iter()
+                        .map(|e| e.rewrite(f))
+                        .collect(),
+                    order_by: spec
+                        .order_by
+                        .into_iter()
+                        .map(|k| OrderByItem { expr: k.expr.rewrite(f), ..k })
+                        .collect(),
+                }),
+                td_sort_arg: td_sort_arg.map(|(e, d)| (Box::new(e.rewrite(f)), d)),
+            },
+            Expr::FunctionStar { name, over } => Expr::FunctionStar { name, over },
+        };
+        f(node)
+    }
+}

@@ -1,0 +1,81 @@
+//! SQL dialects understood by the parser.
+//!
+//! The Hyper-Q architecture makes the parser "a system-specific plugin
+//! implemented according to the language specifications of the original
+//! database" (§4.2). We parameterize one rule-based parser by dialect: the
+//! **Teradata** frontend accepts the vendor extensions (the paper's query
+//! surface plus the 27 tracked features), while the **Ansi** dialect — used
+//! by the backend engine to parse serialized SQL — rejects them, which is
+//! what makes round-trip tests meaningful: a serializer bug that leaks a
+//! Teradata-ism fails to parse on the target.
+
+/// A SQL dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// Teradata frontend dialect (SQL-A in the paper).
+    Teradata,
+    /// ANSI-ish target dialect (SQL-B): what the simulated cloud warehouse
+    /// accepts.
+    Ansi,
+}
+
+impl Dialect {
+    /// `SEL`/`DEL`/`INS`/`UPD` keyword shortcuts (T1).
+    pub fn allows_keyword_shortcuts(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// `EQ`/`NE`/`LT`/`LE`/`GT`/`GE` keyword comparison operators (T2).
+    pub fn allows_keyword_comparisons(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// Infix `MOD` (T3) and `**` (T4).
+    pub fn allows_td_operators(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// `QUALIFY` clause (X1).
+    pub fn allows_qualify(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// Clauses in non-standard order: `ORDER BY` before `WHERE` etc. (X9).
+    pub fn allows_clause_reordering(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// Teradata window shorthand `RANK(expr DESC)` (X9).
+    pub fn allows_td_window_syntax(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// `TOP n [WITH TIES]` after SELECT.
+    pub fn allows_top(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// `LIMIT n` at the end of a query (target dialect).
+    pub fn allows_limit(&self) -> bool {
+        matches!(self, Dialect::Ansi)
+    }
+
+    /// Macros, `HELP`, volatile/global-temporary tables, `MERGE`,
+    /// procedures: frontend-only statements.
+    pub fn allows_td_statements(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// `WITH RECURSIVE` — the frontend accepts it (and Hyper-Q emulates
+    /// it); the simulated target does **not** support recursion, which is
+    /// exactly the gap the paper's §6 emulation closes.
+    pub fn allows_recursive_cte(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+
+    /// Vector (row-valued) quantified subquery comparison (X7): frontend
+    /// feature the target lacks.
+    pub fn allows_vector_subquery(&self) -> bool {
+        matches!(self, Dialect::Teradata)
+    }
+}

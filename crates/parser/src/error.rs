@@ -1,0 +1,24 @@
+//! Parser error type.
+
+use std::fmt;
+
+/// A syntax error with the line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

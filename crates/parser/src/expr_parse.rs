@@ -1,0 +1,644 @@
+//! Expression grammar (precedence-climbing).
+//!
+//! Precedence, low to high: `OR` < `AND` < `NOT` < comparison / `IS` /
+//! `IN` / `BETWEEN` / `LIKE` / quantified subqueries < `+` `-` `||` <
+//! `*` `/` `%` `MOD` < `**` (right-assoc) < unary minus < atoms.
+//!
+//! Teradata-only productions guarded by the dialect: keyword comparison
+//! operators (`EQ`, `NE`, …), infix `MOD`, `**`, the `RANK(expr DESC)`
+//! window shorthand, and row-valued (vector) left sides of quantified
+//! comparisons.
+
+use hyperq_xtra::expr::{CmpOp, DateField, Quantifier};
+use hyperq_xtra::feature::Feature;
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::parser::Parser;
+use crate::token::Token;
+
+impl Parser {
+    pub(crate) fn parse_expr_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut out = vec![self.parse_expr()?];
+        while self.consume(&Token::Comma) {
+            out.push(self.parse_expr()?);
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.consume_kw("OR") {
+            let right = self.parse_and()?;
+            left = Expr::BinaryOp { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.consume_kw("AND") {
+            let right = self.parse_not()?;
+            left = Expr::BinaryOp { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        // `NOT EXISTS` is handled in the primary; `NOT <comparison>` here.
+        if self.peek_kw("NOT") && !self.peek_kw_at(1, "EXISTS") {
+            self.advance();
+            let inner = self.parse_not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    /// Try to read a comparison operator at the cursor.
+    fn peek_cmp_op(&self) -> Option<(CmpOp, usize)> {
+        match self.peek() {
+            Token::Eq => Some((CmpOp::Eq, 1)),
+            Token::Neq => Some((CmpOp::Ne, 1)),
+            Token::Lt => Some((CmpOp::Lt, 1)),
+            Token::Le => Some((CmpOp::Le, 1)),
+            Token::Gt => Some((CmpOp::Gt, 1)),
+            Token::Ge => Some((CmpOp::Ge, 1)),
+            Token::Word(w) if self.dialect.allows_keyword_comparisons() => {
+                match w.to_ascii_uppercase().as_str() {
+                    "EQ" => Some((CmpOp::Eq, 1)),
+                    "NE" => Some((CmpOp::Ne, 1)),
+                    "LT" => Some((CmpOp::Lt, 1)),
+                    "LE" => Some((CmpOp::Le, 1)),
+                    "GT" => Some((CmpOp::Gt, 1)),
+                    "GE" => Some((CmpOp::Ge, 1)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_additive()?;
+        // Comparison operators (symbolic or keyword).
+        if let Some((op, _)) = self.peek_cmp_op() {
+            let keyword_form = matches!(self.peek(), Token::Word(_));
+            self.advance();
+            if keyword_form {
+                self.record(Feature::KeywordComparison);
+            }
+            // Quantified subquery: `op ANY|ALL|SOME (query)`.
+            if self.peek_kw("ANY") || self.peek_kw("ALL") || self.peek_kw("SOME") {
+                let quantifier = if self.consume_kw("ALL") {
+                    Quantifier::All
+                } else {
+                    self.advance(); // ANY or SOME
+                    Quantifier::Any
+                };
+                self.expect(&Token::LParen)?;
+                let subquery = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                if matches!(left, Expr::Row(_)) {
+                    if !self.dialect.allows_vector_subquery() {
+                        return Err(
+                            self.err("vector comparison in subquery is not supported")
+                        );
+                    }
+                    self.record(Feature::VectorSubquery);
+                }
+                return Ok(Expr::QuantifiedCmp {
+                    left: Box::new(left),
+                    op,
+                    quantifier,
+                    subquery: Box::new(subquery),
+                });
+            }
+            let right = self.parse_additive()?;
+            return Ok(Expr::BinaryOp {
+                op: BinOp::Cmp(op),
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        // Postfix predicates.
+        if self.peek_kw("IS") {
+            self.advance();
+            let negated = self.consume_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = if self.peek_kw("NOT")
+            && (self.peek_kw_at(1, "IN") || self.peek_kw_at(1, "BETWEEN") || self.peek_kw_at(1, "LIKE"))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.consume_kw("IN") {
+            self.expect(&Token::LParen)?;
+            if self.peek_kw("SELECT") || self.peek_kw("SEL") || self.peek_kw("WITH") {
+                let subquery = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                if matches!(left, Expr::Row(_)) {
+                    self.record(Feature::VectorSubquery);
+                }
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(subquery),
+                    negated,
+                });
+            }
+            let list = self.parse_expr_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.consume_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.consume_kw("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return Err(self.err("expected IN, BETWEEN or LIKE after NOT"));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.consume(&Token::Plus) {
+                BinOp::Plus
+            } else if self.consume(&Token::Minus) {
+                BinOp::Minus
+            } else if self.consume(&Token::Concat) {
+                BinOp::Concat
+            } else {
+                break;
+            };
+            let right = self.parse_multiplicative()?;
+            left = Expr::BinaryOp { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_power()?;
+        loop {
+            let op = if self.consume(&Token::Star) {
+                BinOp::Mul
+            } else if self.consume(&Token::Slash) {
+                BinOp::Div
+            } else if self.consume(&Token::Percent) {
+                BinOp::Mod
+            } else if self.peek_kw("MOD") && self.dialect.allows_td_operators() {
+                self.advance();
+                self.record(Feature::ModOperator);
+                BinOp::Mod
+            } else {
+                break;
+            };
+            let right = self.parse_power()?;
+            left = Expr::BinaryOp { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_power(&mut self) -> Result<Expr, ParseError> {
+        let base = self.parse_unary()?;
+        if self.peek_is(&Token::Power) {
+            if !self.dialect.allows_td_operators() {
+                return Err(self.err("operator ** is not supported in this dialect"));
+            }
+            self.advance();
+            self.record(Feature::ExponentOperator);
+            // Right-associative.
+            let exp = self.parse_power()?;
+            return Ok(Expr::BinaryOp {
+                op: BinOp::Pow,
+                left: Box::new(base),
+                right: Box::new(exp),
+            });
+        }
+        Ok(base)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.consume(&Token::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::UnaryMinus(Box::new(inner)));
+        }
+        if self.consume(&Token::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Number(n)))
+            }
+            Token::StringLit(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            Token::NamedParam(p) => {
+                self.advance();
+                Ok(Expr::Parameter(Some(p)))
+            }
+            Token::Question => {
+                self.advance();
+                Ok(Expr::Parameter(None))
+            }
+            Token::LParen => {
+                self.advance();
+                if self.peek_kw("SELECT") || self.peek_kw("SEL") || self.peek_kw("WITH") {
+                    let q = self.parse_query()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(q)));
+                }
+                let exprs = self.parse_expr_list()?;
+                self.expect(&Token::RParen)?;
+                if exprs.len() == 1 {
+                    Ok(exprs.into_iter().next().expect("len checked"))
+                } else {
+                    Ok(Expr::Row(exprs))
+                }
+            }
+            Token::Word(_) | Token::QuotedIdent(_) => self.parse_word_primary(),
+            other => Err(self.err(format!("unexpected token {other} in expression"))),
+        }
+    }
+
+    fn parse_word_primary(&mut self) -> Result<Expr, ParseError> {
+        let kw = self.peek().keyword().unwrap_or_default();
+        match kw.as_str() {
+            "NULL" => {
+                self.advance();
+                return Ok(Expr::Literal(Literal::Null));
+            }
+            "TRUE" => {
+                self.advance();
+                return Ok(Expr::Literal(Literal::Boolean(true)));
+            }
+            "FALSE" => {
+                self.advance();
+                return Ok(Expr::Literal(Literal::Boolean(false)));
+            }
+            "DATE" if matches!(self.peek_at(1), Token::StringLit(_)) => {
+                self.advance();
+                if let Token::StringLit(s) = self.advance() {
+                    return Ok(Expr::Literal(Literal::Date(s)));
+                }
+                unreachable!("peeked string literal");
+            }
+            "TIMESTAMP" if matches!(self.peek_at(1), Token::StringLit(_)) => {
+                self.advance();
+                if let Token::StringLit(s) = self.advance() {
+                    return Ok(Expr::Literal(Literal::Timestamp(s)));
+                }
+                unreachable!("peeked string literal");
+            }
+            "INTERVAL" if matches!(self.peek_at(1), Token::StringLit(_)) => {
+                self.advance();
+                let value = match self.advance() {
+                    Token::StringLit(s) => s,
+                    _ => unreachable!("peeked string literal"),
+                };
+                let unit = if self.consume_kw("YEAR") {
+                    IntervalUnit::Year
+                } else if self.consume_kw("MONTH") {
+                    IntervalUnit::Month
+                } else {
+                    self.expect_kw("DAY")?;
+                    IntervalUnit::Day
+                };
+                return Ok(Expr::Literal(Literal::Interval { value, unit }));
+            }
+            "CASE" => return self.parse_case(),
+            "CAST" => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let expr = self.parse_expr()?;
+                self.expect_kw("AS")?;
+                let ty = self.parse_type()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Cast { expr: Box::new(expr), ty });
+            }
+            "EXTRACT" => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let field = self.parse_date_field()?;
+                self.expect_kw("FROM")?;
+                let expr = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Extract { field, expr: Box::new(expr) });
+            }
+            "POSITION" if self.peek_at(1) == &Token::LParen => {
+                self.advance();
+                self.advance();
+                let substring = self.parse_additive()?;
+                self.expect_kw("IN")?;
+                let string = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Position {
+                    substring: Box::new(substring),
+                    string: Box::new(string),
+                });
+            }
+            "EXISTS" => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let q = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Exists { subquery: Box::new(q), negated: false });
+            }
+            "NOT" if self.peek_kw_at(1, "EXISTS") => {
+                self.advance();
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let q = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Exists { subquery: Box::new(q), negated: true });
+            }
+            "TRIM" if self.peek_at(1) == &Token::LParen => {
+                return self.parse_trim();
+            }
+            "SUBSTRING" | "SUBSTR" if self.peek_at(1) == &Token::LParen => {
+                return self.parse_substring(&kw);
+            }
+            _ => {}
+        }
+        // Plain identifier, qualified identifier, or function call.
+        let name = self.parse_object_name()?;
+        if self.peek_is(&Token::LParen) {
+            return self.parse_function(name);
+        }
+        Ok(Expr::Ident(name))
+    }
+
+    fn parse_date_field(&mut self) -> Result<DateField, ParseError> {
+        let w = self.parse_ident()?.to_ascii_uppercase();
+        Ok(match w.as_str() {
+            "YEAR" => DateField::Year,
+            "MONTH" => DateField::Month,
+            "DAY" => DateField::Day,
+            "HOUR" => DateField::Hour,
+            "MINUTE" => DateField::Minute,
+            "SECOND" => DateField::Second,
+            other => return Err(self.err(format!("unknown EXTRACT field {other}"))),
+        })
+    }
+
+    fn parse_case(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("CASE")?;
+        let operand = if self.peek_kw("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.consume_kw("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_kw("THEN")?;
+            let result = self.parse_expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.consume_kw("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { operand, branches, else_expr })
+    }
+
+    fn parse_trim(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("TRIM")?;
+        self.expect(&Token::LParen)?;
+        // TRIM([LEADING|TRAILING|BOTH] [FROM] expr) — trim character operand
+        // not supported (not exercised by the workloads).
+        let mode = if self.consume_kw("LEADING") {
+            Some("LTRIM")
+        } else if self.consume_kw("TRAILING") {
+            Some("RTRIM")
+        } else if self.consume_kw("BOTH") {
+            Some("TRIM")
+        } else {
+            None
+        };
+        if mode.is_some() {
+            self.consume_kw("FROM");
+        }
+        let expr = self.parse_expr()?;
+        self.expect(&Token::RParen)?;
+        Ok(Expr::Function {
+            name: ObjectName::single(mode.unwrap_or("TRIM")),
+            args: vec![expr],
+            distinct: false,
+            over: None,
+            td_sort_arg: None,
+        })
+    }
+
+    fn parse_substring(&mut self, spelling: &str) -> Result<Expr, ParseError> {
+        if spelling == "SUBSTR" {
+            self.record(Feature::SubstrFunction);
+            if !self.dialect.allows_td_statements() {
+                return Err(self.err("SUBSTR is not supported; use SUBSTRING"));
+            }
+        }
+        self.advance(); // function word
+        self.expect(&Token::LParen)?;
+        let s = self.parse_expr()?;
+        let mut args = vec![s];
+        // ANSI FROM/FOR form or comma form.
+        if self.consume_kw("FROM") {
+            args.push(self.parse_expr()?);
+            if self.consume_kw("FOR") {
+                args.push(self.parse_expr()?);
+            }
+        } else {
+            while self.consume(&Token::Comma) {
+                args.push(self.parse_expr()?);
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Expr::Function {
+            name: ObjectName::single("SUBSTRING"),
+            args,
+            distinct: false,
+            over: None,
+            td_sort_arg: None,
+        })
+    }
+
+    /// Parse a function call after its name; normalizes Teradata spellings
+    /// and records their tracked features.
+    fn parse_function(&mut self, name: ObjectName) -> Result<Expr, ParseError> {
+        self.expect(&Token::LParen)?;
+        let upper = name.base();
+        let is_td = self.dialect.allows_td_statements();
+
+        // Teradata-only function spellings: record and normalize (the
+        // paper's translation-class rewrites, applied during parsing).
+        let normalized: Option<&str> = match upper.as_str() {
+            "CHARS" | "CHARACTERS" if is_td => {
+                self.record(Feature::CharsFunction);
+                Some("CHAR_LENGTH")
+            }
+            "CHARACTER_LENGTH" => Some("CHAR_LENGTH"),
+            _ => None,
+        };
+
+        // COUNT(*) and windowed COUNT(*).
+        if self.consume(&Token::Star) {
+            self.expect(&Token::RParen)?;
+            let over = self.parse_over()?;
+            return Ok(Expr::FunctionStar { name, over });
+        }
+
+        // ZEROIFNULL/NULLIFZERO: one-arg rewrites to COALESCE/NULLIF.
+        if (upper == "ZEROIFNULL" || upper == "NULLIFZERO") && is_td {
+            self.record(Feature::ZeroIfNull);
+            let arg = self.parse_expr()?;
+            self.expect(&Token::RParen)?;
+            let zero = Expr::Literal(Literal::Number("0".into()));
+            return Ok(Expr::Function {
+                name: ObjectName::single(if upper == "ZEROIFNULL" { "COALESCE" } else { "NULLIF" }),
+                args: vec![arg, zero],
+                distinct: false,
+                over: None,
+                td_sort_arg: None,
+            });
+        }
+
+        // INDEX(str, sub) → POSITION(sub IN str).
+        if upper == "INDEX" && is_td {
+            self.record(Feature::IndexFunction);
+            let s = self.parse_expr()?;
+            self.expect(&Token::Comma)?;
+            let sub = self.parse_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Position { substring: Box::new(sub), string: Box::new(s) });
+        }
+
+        if upper == "ADD_MONTHS" && is_td {
+            self.record(Feature::AddMonths);
+        }
+
+        let distinct = self.consume_kw("DISTINCT");
+
+        // Empty argument list: RANK() OVER (...), CURRENT_DATE() etc.
+        if self.consume(&Token::RParen) {
+            let over = self.parse_over()?;
+            return Ok(Expr::Function {
+                name: normalized.map(ObjectName::single).unwrap_or(name),
+                args: Vec::new(),
+                distinct,
+                over,
+                td_sort_arg: None,
+            });
+        }
+
+        let first = self.parse_expr()?;
+
+        // Teradata window shorthand: RANK(expr [ASC|DESC]) — the ordering
+        // is a function argument rather than an OVER clause (X9).
+        if (upper == "RANK" || upper == "DENSE_RANK")
+            && self.dialect.allows_td_window_syntax()
+            && (self.peek_kw("ASC") || self.peek_kw("DESC") || self.peek_is(&Token::RParen))
+        {
+            let desc = if self.consume_kw("DESC") {
+                true
+            } else {
+                self.consume_kw("ASC");
+                false
+            };
+            self.expect(&Token::RParen)?;
+            // Only the shorthand form (no OVER) is the tracked feature.
+            if !self.peek_kw("OVER") {
+                self.record(Feature::NonAnsiWindowSyntax);
+                return Ok(Expr::Function {
+                    name,
+                    args: Vec::new(),
+                    distinct: false,
+                    over: None,
+                    td_sort_arg: Some((Box::new(first), desc)),
+                });
+            }
+            let over = self.parse_over()?;
+            return Ok(Expr::Function {
+                name,
+                args: vec![first],
+                distinct: false,
+                over,
+                td_sort_arg: None,
+            });
+        }
+
+        let mut args = vec![first];
+        while self.consume(&Token::Comma) {
+            args.push(self.parse_expr()?);
+        }
+        self.expect(&Token::RParen)?;
+        let over = self.parse_over()?;
+        Ok(Expr::Function {
+            name: normalized.map(ObjectName::single).unwrap_or(name),
+            args,
+            distinct,
+            over,
+            td_sort_arg: None,
+        })
+    }
+
+    fn parse_over(&mut self) -> Result<Option<WindowSpec>, ParseError> {
+        if !self.consume_kw("OVER") {
+            return Ok(None);
+        }
+        self.expect(&Token::LParen)?;
+        let mut spec = WindowSpec::default();
+        if self.consume_kw("PARTITION") {
+            self.expect_kw("BY")?;
+            spec.partition_by = self.parse_expr_list()?;
+        }
+        if self.consume_kw("ORDER") {
+            self.expect_kw("BY")?;
+            spec.order_by = self.parse_order_by_list()?;
+        }
+        // Frame clauses (ROWS BETWEEN ...) — accepted and ignored; the
+        // engine evaluates the default frame.
+        if self.peek_kw("ROWS") || self.peek_kw("RANGE") {
+            let mut depth = 0usize;
+            while !(self.peek_is(&Token::RParen) && depth == 0) {
+                match self.advance() {
+                    Token::LParen => depth += 1,
+                    Token::RParen => depth -= 1,
+                    Token::Eof => return Err(self.err("unterminated window frame")),
+                    _ => {}
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Some(spec))
+    }
+}

@@ -1,0 +1,406 @@
+//! Hand-written SQL lexer.
+//!
+//! Handles line (`--`) and block (`/* */`) comments, single-quoted string
+//! literals with `''` escaping, double-quoted identifiers, numeric literals
+//! (including decimals such as `0.85`), named (`:p`) and positional (`?`)
+//! parameters, and the multi-character operators of both dialects
+//! (`<>`, `<=`, `>=`, `!=`, `^=`, `~=`, `||`, `**`).
+
+use crate::error::ParseError;
+use crate::token::{Spanned, Token};
+
+/// Tokenize `input` completely, appending a final [`Token::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $start:expr) => {
+            tokens.push(Spanned { token: $tok, offset: $start, line })
+        };
+    }
+
+    while i < bytes.len() {
+        // Decode the full character at this position (the input is UTF-8;
+        // treating a continuation byte as a char would split sequences).
+        let c = match input[i..].chars().next() {
+            Some(c) => c,
+            None => break,
+        };
+        let start = i;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        closed = true;
+                        break;
+                    }
+                    i += 1;
+                }
+                if !closed {
+                    return Err(ParseError::new(line, "unterminated block comment"));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut raw: Vec<u8> = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::new(line, "unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            raw.push(b'\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            if b == b'\n' {
+                                line += 1;
+                            }
+                            raw.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                let s = String::from_utf8(raw)
+                    .map_err(|_| ParseError::new(line, "string literal is not valid UTF-8"))?;
+                push!(Token::StringLit(s), start);
+            }
+            '"' => {
+                i += 1;
+                let mut raw: Vec<u8> = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError::new(line, "unterminated quoted identifier"))
+                        }
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            raw.push(b'"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            raw.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                let s = String::from_utf8(raw)
+                    .map_err(|_| ParseError::new(line, "quoted identifier is not valid UTF-8"))?;
+                push!(Token::QuotedIdent(s), start);
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // Fractional part — but not `1..2` style ranges (not SQL) and
+                // not `1.` followed by an identifier char.
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && bytes[j + 1].is_ascii_digit()
+                {
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                // Exponent part (1e5, 1.5E-3).
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                push!(Token::Number(input[i..j].to_string()), start);
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                for (off, ch) in input[i..].char_indices() {
+                    if ch.is_alphanumeric() || ch == '_' || ch == '$' || ch == '#' {
+                        j = i + off + ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Token::Word(input[i..j].to_string()), start);
+                i = j;
+            }
+            ':' => {
+                let mut j = i + 1;
+                for (off, ch) in input[i + 1..].char_indices() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j = i + 1 + off + ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                if j == i + 1 {
+                    return Err(ParseError::new(line, "bare ':' without parameter name"));
+                }
+                push!(Token::NamedParam(input[i + 1..j].to_string()), start);
+                i = j;
+            }
+            '?' => {
+                push!(Token::Question, start);
+                i += 1;
+            }
+            ',' => {
+                push!(Token::Comma, start);
+                i += 1;
+            }
+            '(' => {
+                push!(Token::LParen, start);
+                i += 1;
+            }
+            ')' => {
+                push!(Token::RParen, start);
+                i += 1;
+            }
+            '.' => {
+                push!(Token::Dot, start);
+                i += 1;
+            }
+            ';' => {
+                push!(Token::Semicolon, start);
+                i += 1;
+            }
+            '+' => {
+                push!(Token::Plus, start);
+                i += 1;
+            }
+            '-' => {
+                push!(Token::Minus, start);
+                i += 1;
+            }
+            '*' if bytes.get(i + 1) == Some(&b'*') => {
+                push!(Token::Power, start);
+                i += 2;
+            }
+            '*' => {
+                push!(Token::Star, start);
+                i += 1;
+            }
+            '/' => {
+                push!(Token::Slash, start);
+                i += 1;
+            }
+            '%' => {
+                push!(Token::Percent, start);
+                i += 1;
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                push!(Token::Concat, start);
+                i += 2;
+            }
+            '=' => {
+                push!(Token::Eq, start);
+                i += 1;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    push!(Token::Le, start);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    push!(Token::Neq, start);
+                    i += 2;
+                }
+                _ => {
+                    push!(Token::Lt, start);
+                    i += 1;
+                }
+            },
+            '>' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    push!(Token::Ge, start);
+                    i += 2;
+                }
+                _ => {
+                    push!(Token::Gt, start);
+                    i += 1;
+                }
+            },
+            '!' | '^' | '~' if bytes.get(i + 1) == Some(&b'=') => {
+                push!(Token::Neq, start);
+                i += 2;
+            }
+            other => {
+                // Skip the full character width even on error paths taken
+                // after recovery attempts.
+                let _ = other.len_utf8();
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected character {other:?}"),
+                ));
+            }
+        }
+    }
+    tokens.push(Spanned { token: Token::Eof, offset: input.len(), line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn words_numbers_strings() {
+        assert_eq!(
+            toks("SEL x, 'a''b', 0.85"),
+            vec![
+                Token::Word("SEL".into()),
+                Token::Word("x".into()),
+                Token::Comma,
+                Token::StringLit("a'b".into()),
+                Token::Comma,
+                Token::Number("0.85".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a<>b a!=b a^=b a~=b a**2 x||y"),
+            vec![
+                Token::Word("a".into()),
+                Token::Neq,
+                Token::Word("b".into()),
+                Token::Word("a".into()),
+                Token::Neq,
+                Token::Word("b".into()),
+                Token::Word("a".into()),
+                Token::Neq,
+                Token::Word("b".into()),
+                Token::Word("a".into()),
+                Token::Neq,
+                Token::Word("b".into()),
+                Token::Word("a".into()),
+                Token::Power,
+                Token::Number("2".into()),
+                Token::Word("x".into()),
+                Token::Concat,
+                Token::Word("y".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- trailing\n/* block\n comment */ 1"),
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Number("1".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let spanned = tokenize("a\nb\n\nc").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 4);
+    }
+
+    #[test]
+    fn named_and_positional_params() {
+        assert_eq!(
+            toks("WHERE x = :p1 AND y = ?"),
+            vec![
+                Token::Word("WHERE".into()),
+                Token::Word("x".into()),
+                Token::Eq,
+                Token::NamedParam("p1".into()),
+                Token::Word("AND".into()),
+                Token::Word("y".into()),
+                Token::Eq,
+                Token::Question,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(
+            toks(r#""Group" "a""b""#),
+            vec![
+                Token::QuotedIdent("Group".into()),
+                Token::QuotedIdent("a\"b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("/* abc").is_err());
+    }
+
+    #[test]
+    fn decimal_vs_qualified_name() {
+        // `T.c` must lex as word-dot-word, not a malformed number.
+        assert_eq!(
+            toks("T.c 1.5"),
+            vec![
+                Token::Word("T".into()),
+                Token::Dot,
+                Token::Word("c".into()),
+                Token::Number("1.5".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(toks("1e5")[0], Token::Number("1e5".into()));
+        assert_eq!(toks("1.5E-3")[0], Token::Number("1.5E-3".into()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # hyperq-parser — dialect-parameterized SQL parser
+//!
+//! Implements the paper's Algebrizer front half (§4.2): "a rule-based
+//! parser that implements the full query surface of the original database",
+//! producing an AST of mixed generic and vendor-specific nodes.
+//!
+//! Two dialects are supported:
+//!
+//! * [`dialect::Dialect::Teradata`] — the frontend language (SQL-A):
+//!   keyword shortcuts, `QUALIFY`, `TOP … WITH TIES`, keyword comparison
+//!   operators, `MOD`/`**`, clause reordering, vector subqueries,
+//!   macros/procedures/`HELP`, `MERGE`, volatile and global temporary
+//!   tables, `WITH RECURSIVE`.
+//! * [`dialect::Dialect::Ansi`] — the target language (SQL-B) accepted by
+//!   the simulated cloud warehouse; Teradata-isms are syntax errors here,
+//!   so a serializer that leaks one fails loudly in round-trip tests.
+//!
+//! Parsing already performs the paper's *translation-class* rewrites
+//! (normalizing `SEL`, `CHARS`, `ZEROIFNULL`, `INDEX`, `SUBSTR`, …) and
+//! records every tracked feature it observes into a
+//! [`hyperq_xtra::feature::FeatureSet`] for the workload-study
+//! instrumentation (Figure 8).
+
+pub mod ast;
+pub mod dialect;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+mod expr_parse;
+mod select;
+
+pub use dialect::Dialect;
+pub use error::ParseError;
+pub use parser::{parse_one, parse_statements, ParsedStatement};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,932 @@
+//! Recursive-descent parser: machinery and statement-level grammar.
+//!
+//! Query (`SELECT`) and expression grammars live in `crate::select` and
+//! `crate::expr_parse`; this module owns the token cursor, the observed
+//! [`FeatureSet`], and DDL/DML/utility statements.
+
+use hyperq_xtra::feature::{Feature, FeatureSet};
+use hyperq_xtra::types::SqlType;
+
+use crate::ast::*;
+use crate::dialect::Dialect;
+use crate::error::ParseError;
+use crate::lexer::tokenize;
+use crate::token::{Spanned, Token};
+
+/// A parsed statement together with the tracked features the parser
+/// observed in it. Binder and transformer add their own observations later;
+/// the union feeds the Figure 8 instrumentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedStatement {
+    pub stmt: Statement,
+    pub features: FeatureSet,
+    /// Source text of the statement (trimmed slice of the input script).
+    pub text: String,
+}
+
+/// Parse a semicolon-separated script into statements.
+pub fn parse_statements(sql: &str, dialect: Dialect) -> Result<Vec<ParsedStatement>, ParseError> {
+    let mut p = Parser::new(sql, dialect)?;
+    let mut out = Vec::new();
+    loop {
+        while p.consume(&Token::Semicolon) {}
+        if p.peek_is(&Token::Eof) {
+            break;
+        }
+        p.features = FeatureSet::new();
+        let start = p.current_offset();
+        let stmt = p.parse_statement()?;
+        let end = p.current_offset();
+        out.push(ParsedStatement {
+            stmt,
+            features: p.features.clone(),
+            text: sql[start..end.max(start)].trim().to_string(),
+        });
+        if !p.peek_is(&Token::Semicolon) && !p.peek_is(&Token::Eof) {
+            return Err(p.err("expected ';' or end of input after statement"));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse exactly one statement.
+pub fn parse_one(sql: &str, dialect: Dialect) -> Result<ParsedStatement, ParseError> {
+    let stmts = parse_statements(sql, dialect)?;
+    match stmts.len() {
+        1 => Ok(stmts.into_iter().next().expect("len checked")),
+        0 => Err(ParseError::new(1, "empty statement")),
+        n => Err(ParseError::new(1, format!("expected one statement, found {n}"))),
+    }
+}
+
+pub struct Parser {
+    tokens: Vec<Spanned>,
+    pub(crate) pos: usize,
+    pub dialect: Dialect,
+    pub features: FeatureSet,
+}
+
+impl Parser {
+    pub fn new(sql: &str, dialect: Dialect) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+            dialect,
+            features: FeatureSet::new(),
+        })
+    }
+
+    // --- token cursor -----------------------------------------------------
+
+    pub(crate) fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].token
+    }
+
+    pub(crate) fn peek_at(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].token
+    }
+
+    pub(crate) fn peek_is(&self, t: &Token) -> bool {
+        self.peek() == t
+    }
+
+    pub(crate) fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    pub(crate) fn peek_kw_at(&self, n: usize, kw: &str) -> bool {
+        self.peek_at(n).is_kw(kw)
+    }
+
+    pub(crate) fn current_offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+    }
+
+    pub(crate) fn line(&self) -> u32 {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    pub(crate) fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn consume(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn consume_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.consume(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.consume_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {}", self.peek())))
+        }
+    }
+
+    pub(crate) fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line(), msg)
+    }
+
+    pub(crate) fn record(&mut self, f: Feature) {
+        self.features.insert(f);
+    }
+
+    // --- identifiers and names --------------------------------------------
+
+    pub(crate) fn parse_ident(&mut self) -> Result<Ident, ParseError> {
+        match self.advance() {
+            Token::Word(w) => Ok(w),
+            Token::QuotedIdent(w) => Ok(w),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    pub(crate) fn parse_object_name(&mut self) -> Result<ObjectName, ParseError> {
+        let mut parts = vec![self.parse_ident()?];
+        while self.consume(&Token::Dot) {
+            parts.push(self.parse_ident()?);
+        }
+        Ok(ObjectName(parts))
+    }
+
+    pub(crate) fn parse_ident_list(&mut self) -> Result<Vec<Ident>, ParseError> {
+        let mut out = vec![self.parse_ident()?];
+        while self.consume(&Token::Comma) {
+            out.push(self.parse_ident()?);
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn parse_u64(&mut self) -> Result<u64, ParseError> {
+        match self.advance() {
+            Token::Number(n) => n
+                .parse::<u64>()
+                .map_err(|_| self.err(format!("expected integer, found {n}"))),
+            other => Err(self.err(format!("expected integer, found {other}"))),
+        }
+    }
+
+    // --- types -------------------------------------------------------------
+
+    /// Parse a type name into the shared [`SqlType`].
+    pub(crate) fn parse_type(&mut self) -> Result<SqlType, ParseError> {
+        let name = self.parse_ident()?.to_ascii_uppercase();
+        let ty = match name.as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "BYTEINT" => SqlType::Integer,
+            "FLOAT" | "REAL" => SqlType::Double,
+            "DOUBLE" => {
+                self.consume_kw("PRECISION");
+                SqlType::Double
+            }
+            "DECIMAL" | "NUMERIC" | "DEC" => {
+                if self.consume(&Token::LParen) {
+                    let p = self.parse_u64()? as u8;
+                    let s = if self.consume(&Token::Comma) {
+                        self.parse_u64()? as u8
+                    } else {
+                        0
+                    };
+                    self.expect(&Token::RParen)?;
+                    SqlType::Decimal { precision: p, scale: s }
+                } else {
+                    SqlType::Decimal { precision: 18, scale: 0 }
+                }
+            }
+            "DATE" => SqlType::Date,
+            "TIMESTAMP" => {
+                // Optional fractional-seconds precision, ignored.
+                if self.consume(&Token::LParen) {
+                    self.parse_u64()?;
+                    self.expect(&Token::RParen)?;
+                }
+                SqlType::Timestamp
+            }
+            "CHAR" | "CHARACTER" => {
+                if self.consume(&Token::LParen) {
+                    let n = self.parse_u64()? as u32;
+                    self.expect(&Token::RParen)?;
+                    SqlType::Char(n)
+                } else {
+                    SqlType::Char(1)
+                }
+            }
+            "VARCHAR" => {
+                if self.consume(&Token::LParen) {
+                    let n = self.parse_u64()? as u32;
+                    self.expect(&Token::RParen)?;
+                    SqlType::Varchar(Some(n))
+                } else {
+                    SqlType::Varchar(None)
+                }
+            }
+            "BOOLEAN" | "BOOL" => SqlType::Boolean,
+            "PERIOD" => {
+                self.expect(&Token::LParen)?;
+                let inner = self.parse_type()?;
+                self.expect(&Token::RParen)?;
+                self.record(Feature::ColumnProperties);
+                SqlType::Period(Box::new(inner))
+            }
+            other => return Err(self.err(format!("unknown type name {other}"))),
+        };
+        Ok(ty)
+    }
+
+    // --- statement dispatch -------------------------------------------------
+
+    pub(crate) fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        let kw = match self.peek().keyword() {
+            Some(kw) => kw,
+            None if self.peek_is(&Token::LParen) => {
+                return Ok(Statement::Query(Box::new(self.parse_query()?)));
+            }
+            _ => return Err(self.err(format!("expected statement, found {}", self.peek()))),
+        };
+        match kw.as_str() {
+            "SELECT" | "WITH" => Ok(Statement::Query(Box::new(self.parse_query()?))),
+            "SEL" if self.dialect.allows_keyword_shortcuts() => {
+                Ok(Statement::Query(Box::new(self.parse_query()?)))
+            }
+            "INSERT" => self.parse_insert(false),
+            "INS" if self.dialect.allows_keyword_shortcuts() => self.parse_insert(true),
+            "UPDATE" => self.parse_update(false),
+            "UPD" if self.dialect.allows_keyword_shortcuts() => self.parse_update(true),
+            "DELETE" => self.parse_delete(false),
+            "DEL" if self.dialect.allows_keyword_shortcuts() => self.parse_delete(true),
+            "MERGE" if self.dialect.allows_td_statements() => self.parse_merge(),
+            "CREATE" => self.parse_create(),
+            "REPLACE" if self.dialect.allows_td_statements() => self.parse_replace(),
+            "DROP" => self.parse_drop(),
+            "EXECUTE" | "EXEC" if self.dialect.allows_td_statements() => self.parse_execute(),
+            "CALL" if self.dialect.allows_td_statements() => self.parse_call(),
+            "HELP" if self.dialect.allows_td_statements() => self.parse_help(),
+            "EXPLAIN" if self.dialect.allows_td_statements() => {
+                self.advance();
+                let inner = self.parse_statement()?;
+                Ok(Statement::Explain(Box::new(inner)))
+            }
+            // Teradata `LOCKING <object> FOR ACCESS|READ|WRITE` prefix:
+            // a locking-level modifier ubiquitous in BI workloads. The
+            // target manages its own concurrency control; the modifier is
+            // parsed and dropped.
+            "LOCKING" if self.dialect.allows_td_statements() => {
+                self.advance();
+                self.consume_kw("TABLE");
+                self.consume_kw("ROW");
+                if !self.peek_kw("FOR") {
+                    // Object name (e.g. LOCKING SALES FOR ACCESS).
+                    self.parse_object_name()?;
+                }
+                self.expect_kw("FOR")?;
+                if !self.consume_kw("ACCESS") && !self.consume_kw("READ") {
+                    self.expect_kw("WRITE")?;
+                }
+                self.parse_statement()
+            }
+            "SET" if self.dialect.allows_td_statements() && self.peek_kw_at(1, "SESSION") => {
+                self.advance();
+                self.advance();
+                let name = self.parse_ident()?;
+                self.expect(&Token::Eq)?;
+                let value = self.parse_expr()?;
+                Ok(Statement::SetSession { name, value })
+            }
+            "BT" if self.dialect.allows_td_statements() => {
+                self.advance();
+                Ok(Statement::BeginTransaction)
+            }
+            "BEGIN" => {
+                self.advance();
+                self.consume_kw("TRANSACTION");
+                Ok(Statement::BeginTransaction)
+            }
+            "ET" if self.dialect.allows_td_statements() => {
+                self.advance();
+                Ok(Statement::Commit)
+            }
+            "COMMIT" => {
+                self.advance();
+                self.consume_kw("WORK");
+                Ok(Statement::Commit)
+            }
+            "END" => {
+                self.advance();
+                self.expect_kw("TRANSACTION")?;
+                Ok(Statement::Commit)
+            }
+            "ROLLBACK" | "ABORT" => {
+                self.advance();
+                self.consume_kw("WORK");
+                Ok(Statement::Rollback)
+            }
+            other => Err(self.err(format!("unexpected statement keyword {other}"))),
+        }
+    }
+
+    // --- DML ----------------------------------------------------------------
+
+    fn parse_insert(&mut self, shortcut: bool) -> Result<Statement, ParseError> {
+        self.advance(); // INSERT | INS
+        if shortcut {
+            self.record(Feature::KeywordShortcut);
+        }
+        // INTO is mandatory in ANSI, optional in Teradata.
+        if !self.consume_kw("INTO") && !self.dialect.allows_td_statements() {
+            return Err(self.err("expected INTO after INSERT"));
+        }
+        let table = self.parse_object_name()?;
+        let mut columns = Vec::new();
+        if self.peek_is(&Token::LParen) {
+            // Either a column list or (Teradata) a bare VALUES list:
+            // `INS t (1, 'a')`. Disambiguate: a column list is all idents
+            // and is followed by VALUES/SELECT/SEL/(.
+            let save = self.pos;
+            self.advance();
+            let all_idents = self.looks_like_ident_list();
+            self.pos = save;
+            if all_idents {
+                self.advance();
+                columns = self.parse_ident_list()?;
+                self.expect(&Token::RParen)?;
+            } else {
+                // Teradata shorthand: values without the VALUES keyword.
+                self.advance();
+                let row = self.parse_expr_list()?;
+                self.expect(&Token::RParen)?;
+                let query = Query {
+                    recursive: false,
+                    ctes: Vec::new(),
+                    body: QueryBody::Select(Box::new(values_block(vec![row]))),
+                    order_by: Vec::new(),
+                };
+                return Ok(Statement::Insert { table, columns, source: Box::new(query) });
+            }
+        }
+        if self.consume_kw("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                rows.push(self.parse_expr_list()?);
+                self.expect(&Token::RParen)?;
+                if !self.consume(&Token::Comma) {
+                    break;
+                }
+            }
+            let query = Query {
+                recursive: false,
+                ctes: Vec::new(),
+                body: QueryBody::Select(Box::new(values_block(rows))),
+                order_by: Vec::new(),
+            };
+            Ok(Statement::Insert { table, columns, source: Box::new(query) })
+        } else {
+            let source = self.parse_query()?;
+            Ok(Statement::Insert { table, columns, source: Box::new(source) })
+        }
+    }
+
+    /// After `(`, check whether the parenthesized list is a pure identifier
+    /// list (column names) rather than expressions.
+    fn looks_like_ident_list(&self) -> bool {
+        let mut n = 0usize;
+        loop {
+            match self.peek_at(n) {
+                Token::Word(_) | Token::QuotedIdent(_) => {}
+                _ => return false,
+            }
+            match self.peek_at(n + 1) {
+                Token::Comma => n += 2,
+                Token::RParen => {
+                    // A column list is followed by VALUES, SELECT/SEL or a
+                    // parenthesized query.
+                    return matches!(self.peek_at(n + 2), Token::LParen)
+                        || self.peek_at(n + 2).is_kw("VALUES")
+                        || self.peek_at(n + 2).is_kw("SELECT")
+                        || self.peek_at(n + 2).is_kw("SEL")
+                        || self.peek_at(n + 2).is_kw("WITH");
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn parse_update(&mut self, shortcut: bool) -> Result<Statement, ParseError> {
+        self.advance();
+        if shortcut {
+            self.record(Feature::KeywordShortcut);
+        }
+        let table = self.parse_object_name()?;
+        let explicit_as = self.consume_kw("AS");
+        let alias = if explicit_as || !self.peek_kw("SET") {
+            match self.peek() {
+                Token::Word(_) | Token::QuotedIdent(_) => Some(self.parse_ident()?),
+                _ if explicit_as => return Err(self.err("expected alias after AS")),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.parse_ident()?;
+            self.expect(&Token::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push(AssignmentAst { column, value });
+            if !self.consume(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.consume_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update { table, alias, assignments, where_clause })
+    }
+
+    fn parse_delete(&mut self, shortcut: bool) -> Result<Statement, ParseError> {
+        self.advance();
+        if shortcut {
+            self.record(Feature::KeywordShortcut);
+        }
+        // ANSI: DELETE FROM t; Teradata also allows DELETE t.
+        let had_from = self.consume_kw("FROM");
+        if !had_from && !self.dialect.allows_td_statements() {
+            return Err(self.err("expected FROM after DELETE"));
+        }
+        let table = self.parse_object_name()?;
+        let explicit_as = self.consume_kw("AS");
+        let alias = match self.peek() {
+            Token::Word(w)
+                if explicit_as
+                    || (!w.eq_ignore_ascii_case("WHERE") && !w.eq_ignore_ascii_case("ALL")) =>
+            {
+                Some(self.parse_ident()?)
+            }
+            _ if explicit_as => return Err(self.err("expected alias after AS")),
+            _ => None,
+        };
+        // Teradata `DELETE t ALL` = unconditional delete.
+        self.consume_kw("ALL");
+        let where_clause = if self.consume_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, alias, where_clause })
+    }
+
+    fn parse_merge(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("MERGE")?;
+        self.record(Feature::MergeStatement);
+        self.consume_kw("INTO");
+        let target = self.parse_object_name()?;
+        let target_alias = if self.consume_kw("AS")
+            || matches!(self.peek(), Token::Word(w) if !w.eq_ignore_ascii_case("USING"))
+        {
+            Some(self.parse_ident()?)
+        } else {
+            None
+        };
+        self.expect_kw("USING")?;
+        let source = self.parse_table_factor()?;
+        self.expect_kw("ON")?;
+        let on = self.parse_expr()?;
+        let mut when_matched_update = None;
+        let mut when_not_matched_insert = None;
+        while self.consume_kw("WHEN") {
+            if self.consume_kw("MATCHED") {
+                self.expect_kw("THEN")?;
+                self.expect_kw("UPDATE")?;
+                self.expect_kw("SET")?;
+                let mut assignments = Vec::new();
+                loop {
+                    let column = self.parse_ident()?;
+                    self.expect(&Token::Eq)?;
+                    let value = self.parse_expr()?;
+                    assignments.push(AssignmentAst { column, value });
+                    if !self.consume(&Token::Comma) {
+                        break;
+                    }
+                }
+                when_matched_update = Some(assignments);
+            } else {
+                self.expect_kw("NOT")?;
+                self.expect_kw("MATCHED")?;
+                self.expect_kw("THEN")?;
+                self.expect_kw("INSERT")?;
+                let mut cols = Vec::new();
+                if self.consume(&Token::LParen) {
+                    cols = self.parse_ident_list()?;
+                    self.expect(&Token::RParen)?;
+                }
+                self.expect_kw("VALUES")?;
+                self.expect(&Token::LParen)?;
+                let vals = self.parse_expr_list()?;
+                self.expect(&Token::RParen)?;
+                when_not_matched_insert = Some((cols, vals));
+            }
+        }
+        if when_matched_update.is_none() && when_not_matched_insert.is_none() {
+            return Err(self.err("MERGE requires at least one WHEN clause"));
+        }
+        Ok(Statement::Merge(Box::new(MergeStmt {
+            target,
+            target_alias,
+            source,
+            on,
+            when_matched_update,
+            when_not_matched_insert,
+        })))
+    }
+
+    // --- DDL ----------------------------------------------------------------
+
+    fn parse_create(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("CREATE")?;
+        let mut set_semantics = None;
+        let mut kind = CreateTableKind::Permanent;
+        loop {
+            if self.peek_kw("SET") && self.peek_kw_at(1, "TABLE") {
+                self.advance();
+                set_semantics = Some(true);
+                self.record(Feature::SetTableSemantics);
+            } else if self.consume_kw("MULTISET") {
+                set_semantics = Some(false);
+            } else if self.consume_kw("VOLATILE") {
+                kind = CreateTableKind::Volatile;
+            } else if self.peek_kw("GLOBAL") {
+                self.advance();
+                self.expect_kw("TEMPORARY")?;
+                kind = CreateTableKind::GlobalTemporary;
+                self.record(Feature::GlobalTempTable);
+            } else if self.consume_kw("TEMPORARY") || self.consume_kw("TEMP") {
+                kind = CreateTableKind::Volatile;
+            } else {
+                break;
+            }
+        }
+        if self.consume_kw("TABLE") {
+            return self.parse_create_table(set_semantics, kind);
+        }
+        if set_semantics.is_some() || kind != CreateTableKind::Permanent {
+            return Err(self.err("expected TABLE"));
+        }
+        let or_replace = if self.consume_kw("OR") {
+            self.expect_kw("REPLACE")?;
+            true
+        } else {
+            false
+        };
+        if self.consume_kw("VIEW") {
+            return self.parse_create_view(or_replace);
+        }
+        if self.dialect.allows_td_statements() {
+            if self.consume_kw("MACRO") {
+                return self.parse_create_macro();
+            }
+            if self.consume_kw("PROCEDURE") {
+                return self.parse_create_procedure();
+            }
+        }
+        Err(self.err("expected TABLE, VIEW, MACRO or PROCEDURE after CREATE"))
+    }
+
+    fn parse_create_table(
+        &mut self,
+        set_semantics: Option<bool>,
+        kind: CreateTableKind,
+    ) -> Result<Statement, ParseError> {
+        let name = self.parse_object_name()?;
+        // CTAS: Teradata `AS (SELECT ...) WITH DATA` or ANSI `AS SELECT ...`.
+        if self.consume_kw("AS") {
+            let parenthesized = self.consume(&Token::LParen);
+            let q = self.parse_query()?;
+            if parenthesized {
+                self.expect(&Token::RParen)?;
+            }
+            self.consume_kw("WITH");
+            self.consume_kw("DATA");
+            return Ok(Statement::CreateTable {
+                name,
+                columns: Vec::new(),
+                set_semantics,
+                kind,
+                as_query: Some(Box::new(q)),
+            });
+        }
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            // Table-level constraints: PRIMARY KEY (...), UNIQUE (...).
+            if self.peek_kw("PRIMARY") || self.peek_kw("UNIQUE") || self.peek_kw("CONSTRAINT") {
+                self.skip_constraint()?;
+            } else {
+                columns.push(self.parse_column_def()?);
+            }
+            if !self.consume(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        // Teradata physical design clauses: PRIMARY INDEX (...), etc.
+        // Physical design "does not necessarily need to be transferred"
+        // (paper Appendix A) — parsed and dropped.
+        if self.consume_kw("UNIQUE") {
+            self.expect_kw("PRIMARY")?;
+            self.expect_kw("INDEX")?;
+            self.skip_paren_group()?;
+        } else if self.peek_kw("PRIMARY") && self.peek_kw_at(1, "INDEX") {
+            self.advance();
+            self.advance();
+            self.skip_paren_group()?;
+        }
+        if self.consume_kw("ON") {
+            // ON COMMIT PRESERVE/DELETE ROWS for global temporary tables.
+            self.expect_kw("COMMIT")?;
+            if !self.consume_kw("PRESERVE") {
+                self.expect_kw("DELETE")?;
+            }
+            self.expect_kw("ROWS")?;
+        }
+        Ok(Statement::CreateTable { name, columns, set_semantics, kind, as_query: None })
+    }
+
+    fn parse_column_def(&mut self) -> Result<ColumnDefAst, ParseError> {
+        let name = self.parse_ident()?;
+        let ty = self.parse_type()?;
+        let mut not_null = false;
+        let mut default = None;
+        let mut not_casespecific = false;
+        loop {
+            if self.peek_kw("NOT") && self.peek_kw_at(1, "NULL") {
+                self.advance();
+                self.advance();
+                not_null = true;
+            } else if self.peek_kw("NOT") && self.peek_kw_at(1, "CASESPECIFIC") {
+                self.advance();
+                self.advance();
+                not_casespecific = true;
+                self.record(Feature::ColumnProperties);
+            } else if self.consume_kw("CASESPECIFIC") {
+                // Explicit default; nothing to remember.
+            } else if self.consume_kw("DEFAULT") {
+                let e = self.parse_expr()?;
+                if !matches!(e, Expr::Literal(_)) {
+                    // Non-constant default (e.g. CURRENT_DATE): a column
+                    // property most targets cannot store (E9).
+                    self.record(Feature::ColumnProperties);
+                }
+                default = Some(e);
+            } else if self.peek_kw("PRIMARY") && self.peek_kw_at(1, "KEY") {
+                self.advance();
+                self.advance();
+                not_null = true;
+            } else if self.consume_kw("UNIQUE") {
+                // Accepted and ignored.
+            } else {
+                break;
+            }
+        }
+        Ok(ColumnDefAst { name, ty, not_null, default, not_casespecific })
+    }
+
+    fn skip_constraint(&mut self) -> Result<(), ParseError> {
+        // PRIMARY KEY (...) | UNIQUE (...) | CONSTRAINT name ...
+        if self.consume_kw("CONSTRAINT") {
+            self.parse_ident()?;
+        }
+        if self.consume_kw("PRIMARY") {
+            self.expect_kw("KEY")?;
+        } else if self.consume_kw("UNIQUE") {
+        }
+        self.skip_paren_group()?;
+        Ok(())
+    }
+
+    fn skip_paren_group(&mut self) -> Result<(), ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut depth = 1usize;
+        loop {
+            match self.advance() {
+                Token::LParen => depth += 1,
+                Token::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Token::Eof => return Err(self.err("unterminated parenthesized group")),
+                _ => {}
+            }
+        }
+    }
+
+    fn parse_create_view(&mut self, or_replace: bool) -> Result<Statement, ParseError> {
+        let name = self.parse_object_name()?;
+        let mut columns = Vec::new();
+        if self.consume(&Token::LParen) {
+            columns = self.parse_ident_list()?;
+            self.expect(&Token::RParen)?;
+        }
+        self.expect_kw("AS")?;
+        let query = self.parse_query()?;
+        Ok(Statement::CreateView { name, columns, query: Box::new(query), or_replace })
+    }
+
+    fn parse_replace(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("REPLACE")?;
+        if self.consume_kw("VIEW") {
+            return self.parse_create_view(true);
+        }
+        if self.consume_kw("MACRO") {
+            return self.parse_create_macro();
+        }
+        Err(self.err("expected VIEW or MACRO after REPLACE"))
+    }
+
+    fn parse_drop(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("DROP")?;
+        if self.consume_kw("TABLE") {
+            let if_exists = self.parse_if_exists()?;
+            let name = self.parse_object_name()?;
+            Ok(Statement::DropTable { name, if_exists })
+        } else if self.consume_kw("VIEW") {
+            let if_exists = self.parse_if_exists()?;
+            let name = self.parse_object_name()?;
+            Ok(Statement::DropView { name, if_exists })
+        } else if self.dialect.allows_td_statements() && self.consume_kw("MACRO") {
+            let name = self.parse_object_name()?;
+            self.record(Feature::MacroStatement);
+            Ok(Statement::DropMacro { name })
+        } else {
+            Err(self.err("expected TABLE, VIEW or MACRO after DROP"))
+        }
+    }
+
+    fn parse_if_exists(&mut self) -> Result<bool, ParseError> {
+        if self.consume_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    // --- macros / procedures / utility ---------------------------------------
+
+    fn parse_macro_params(&mut self) -> Result<Vec<MacroParam>, ParseError> {
+        let mut params = Vec::new();
+        if self.consume(&Token::LParen) {
+            loop {
+                let name = self.parse_ident()?;
+                let ty = self.parse_type()?;
+                let default = if self.consume_kw("DEFAULT") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                params.push(MacroParam { name, ty, default });
+                if !self.consume(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(params)
+    }
+
+    fn parse_create_macro(&mut self) -> Result<Statement, ParseError> {
+        self.record(Feature::MacroStatement);
+        let name = self.parse_object_name()?;
+        let params = self.parse_macro_params()?;
+        self.expect_kw("AS")?;
+        self.expect(&Token::LParen)?;
+        let mut body = Vec::new();
+        loop {
+            while self.consume(&Token::Semicolon) {}
+            if self.peek_is(&Token::RParen) {
+                break;
+            }
+            body.push(self.parse_statement()?);
+            if !self.peek_is(&Token::Semicolon) && !self.peek_is(&Token::RParen) {
+                return Err(self.err("expected ';' between macro body statements"));
+            }
+        }
+        self.expect(&Token::RParen)?;
+        if body.is_empty() {
+            return Err(self.err("macro body must contain at least one statement"));
+        }
+        Ok(Statement::CreateMacro { name, params, body })
+    }
+
+    fn parse_create_procedure(&mut self) -> Result<Statement, ParseError> {
+        self.record(Feature::StoredProcedureCall);
+        let name = self.parse_object_name()?;
+        let params = self.parse_macro_params()?;
+        self.expect_kw("BEGIN")?;
+        let mut body = Vec::new();
+        loop {
+            while self.consume(&Token::Semicolon) {}
+            if self.peek_kw("END") {
+                break;
+            }
+            body.push(self.parse_statement()?);
+            if !self.peek_is(&Token::Semicolon) && !self.peek_kw("END") {
+                return Err(self.err("expected ';' between procedure body statements"));
+            }
+        }
+        self.expect_kw("END")?;
+        Ok(Statement::CreateProcedure { name, params, body })
+    }
+
+    fn parse_execute(&mut self) -> Result<Statement, ParseError> {
+        self.advance(); // EXEC | EXECUTE
+        self.record(Feature::MacroStatement);
+        let name = self.parse_object_name()?;
+        let mut args = Vec::new();
+        if self.consume(&Token::LParen) {
+            if !self.peek_is(&Token::RParen) {
+                loop {
+                    // `name = value` or positional value.
+                    if matches!(self.peek(), Token::Word(_)) && self.peek_at(1) == &Token::Eq {
+                        let pname = self.parse_ident()?;
+                        self.expect(&Token::Eq)?;
+                        let v = self.parse_expr()?;
+                        args.push((Some(pname), v));
+                    } else {
+                        args.push((None, self.parse_expr()?));
+                    }
+                    if !self.consume(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(Statement::ExecuteMacro { name, args })
+    }
+
+    fn parse_call(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("CALL")?;
+        self.record(Feature::StoredProcedureCall);
+        let name = self.parse_object_name()?;
+        let mut args = Vec::new();
+        if self.consume(&Token::LParen) {
+            if !self.peek_is(&Token::RParen) {
+                args = self.parse_expr_list()?;
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(Statement::Call { name, args })
+    }
+
+    fn parse_help(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("HELP")?;
+        self.record(Feature::HelpCommand);
+        if self.consume_kw("SESSION") {
+            Ok(Statement::Help(HelpTarget::Session))
+        } else if self.consume_kw("TABLE") {
+            let name = self.parse_object_name()?;
+            Ok(Statement::Help(HelpTarget::Table(name)))
+        } else {
+            Err(self.err("expected SESSION or TABLE after HELP"))
+        }
+    }
+}
+
+/// Build a `SELECT`-block carrying literal rows (used to represent
+/// `VALUES`); the binder turns this into a `Values` operator.
+pub(crate) fn values_block(rows: Vec<Vec<Expr>>) -> SelectBlock {
+    SelectBlock {
+        items: vec![SelectItem::Wildcard],
+        value_rows: rows,
+        ..SelectBlock::default()
+    }
+}

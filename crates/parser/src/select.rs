@@ -1,0 +1,501 @@
+//! Query expression grammar: WITH / set operations / SELECT blocks / FROM.
+//!
+//! In the Teradata dialect, block-level clauses may appear in non-standard
+//! order (the paper's Example 1 places `ORDER BY` before `WHERE`); the
+//! parser accepts any order, records tracked feature X9, and normalizes the
+//! clause into its canonical slot — the paper's "Syntactic Rewrites during
+//! parsing".
+
+use hyperq_xtra::feature::Feature;
+use hyperq_xtra::rel::{JoinKind, SetOpKind};
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::parser::Parser;
+use crate::token::Token;
+
+/// Which clause slot a keyword fills, in canonical order. Used to detect
+/// out-of-order clauses.
+#[derive(PartialEq, PartialOrd, Clone, Copy)]
+enum ClauseSlot {
+    Where = 1,
+    GroupBy = 2,
+    Having = 3,
+    Qualify = 4,
+    OrderBy = 5,
+    Limit = 6,
+}
+
+impl Parser {
+    /// Parse a full query expression: `[WITH …] body [ORDER BY …] [LIMIT n]`.
+    pub fn parse_query(&mut self) -> Result<Query, ParseError> {
+        let mut recursive = false;
+        let mut ctes = Vec::new();
+        if self.consume_kw("WITH") {
+            if self.consume_kw("RECURSIVE") {
+                if !self.dialect.allows_recursive_cte() {
+                    return Err(self.err("RECURSIVE common table expressions are not supported"));
+                }
+                recursive = true;
+                self.record(Feature::RecursiveQuery);
+            }
+            loop {
+                let name = self.parse_ident()?;
+                let mut columns = Vec::new();
+                if self.consume(&Token::LParen) {
+                    columns = self.parse_ident_list()?;
+                    self.expect(&Token::RParen)?;
+                }
+                self.expect_kw("AS")?;
+                self.expect(&Token::LParen)?;
+                let query = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                ctes.push(Cte { name, columns, query });
+                if !self.consume(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.parse_query_body()?;
+        // Query-level ORDER BY / LIMIT (unless already captured inside the
+        // block via Teradata clause interleave).
+        let mut order_by = Vec::new();
+        if self.peek_kw("ORDER") {
+            self.advance();
+            self.expect_kw("BY")?;
+            order_by = self.parse_order_by_list()?;
+        }
+        let mut query = Query { recursive, ctes, body, order_by };
+        if self.dialect.allows_limit() && self.consume_kw("LIMIT") {
+            let n = self.parse_u64()?;
+            if let QueryBody::Select(ref mut block) = query.body {
+                block.limit = Some(n);
+            } else {
+                // LIMIT over a set operation: wrap in a derived block.
+                let inner = std::mem::replace(
+                    &mut query.body,
+                    QueryBody::Select(Box::default()),
+                );
+                let derived = Query {
+                    recursive: false,
+                    ctes: Vec::new(),
+                    body: inner,
+                    order_by: std::mem::take(&mut query.order_by),
+                };
+                query.body = QueryBody::Select(Box::new(SelectBlock {
+                    items: vec![SelectItem::Wildcard],
+                    from: vec![TableRef::Derived {
+                        query: Box::new(derived),
+                        alias: TableAlias { name: "LIMITED".into(), columns: Vec::new() },
+                    }],
+                    limit: Some(n),
+                    ..SelectBlock::default()
+                }));
+            }
+        }
+        Ok(query)
+    }
+
+    fn parse_query_body(&mut self) -> Result<QueryBody, ParseError> {
+        let mut left = self.parse_query_primary()?;
+        loop {
+            let kind = if self.peek_kw("UNION") {
+                SetOpKind::Union
+            } else if self.peek_kw("INTERSECT") {
+                SetOpKind::Intersect
+            } else if self.peek_kw("EXCEPT") || self.peek_kw("MINUS") {
+                SetOpKind::Except
+            } else {
+                break;
+            };
+            self.advance();
+            let all = self.consume_kw("ALL");
+            if !all {
+                self.consume_kw("DISTINCT");
+            }
+            let right = self.parse_query_primary()?;
+            left = QueryBody::SetOp {
+                kind,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_query_primary(&mut self) -> Result<QueryBody, ParseError> {
+        if self.consume(&Token::LParen) {
+            let body = self.parse_query_body()?;
+            self.expect(&Token::RParen)?;
+            Ok(body)
+        } else {
+            Ok(QueryBody::Select(Box::new(self.parse_select_block()?)))
+        }
+    }
+
+    /// Parse one `SELECT` block with dialect-dependent clause ordering.
+    pub(crate) fn parse_select_block(&mut self) -> Result<SelectBlock, ParseError> {
+        if self.peek_kw("SEL") && self.dialect.allows_keyword_shortcuts() {
+            self.advance();
+            self.record(Feature::KeywordShortcut);
+        } else {
+            self.expect_kw("SELECT")?;
+        }
+        let mut block = SelectBlock::default();
+        if self.consume_kw("DISTINCT") {
+            block.distinct = true;
+        } else {
+            self.consume_kw("ALL");
+        }
+        if self.dialect.allows_top() && self.consume_kw("TOP") {
+            let n = self.parse_u64()?;
+            let with_ties = if self.consume_kw("WITH") {
+                self.expect_kw("TIES")?;
+                true
+            } else {
+                false
+            };
+            block.top = Some(TopClause { n, with_ties });
+        }
+        // Select list.
+        loop {
+            block.items.push(self.parse_select_item()?);
+            if !self.consume(&Token::Comma) {
+                break;
+            }
+        }
+        if self.consume_kw("FROM") {
+            loop {
+                block.from.push(self.parse_table_ref()?);
+                if !self.consume(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        // Remaining clauses; Teradata tolerates arbitrary order.
+        let mut max_slot: Option<ClauseSlot> = None;
+        loop {
+            let slot = if self.peek_kw("WHERE") {
+                ClauseSlot::Where
+            } else if self.peek_kw("GROUP") {
+                ClauseSlot::GroupBy
+            } else if self.peek_kw("HAVING") {
+                ClauseSlot::Having
+            } else if self.peek_kw("QUALIFY") {
+                ClauseSlot::Qualify
+            } else if self.peek_kw("ORDER") && self.dialect.allows_clause_reordering() {
+                // In ANSI mode ORDER BY belongs to the query level; here the
+                // Teradata block may own it (and possibly out of order).
+                ClauseSlot::OrderBy
+            } else if self.peek_kw("LIMIT") && self.dialect.allows_limit() {
+                ClauseSlot::Limit
+            } else {
+                break;
+            };
+            if let Some(prev) = max_slot {
+                if (slot as u8) < (prev as u8) {
+                    block.nonstandard_clause_order = true;
+                    self.record(Feature::NonAnsiWindowSyntax);
+                }
+            }
+            if max_slot.map(|p| (p as u8) < (slot as u8)).unwrap_or(true) {
+                max_slot = Some(slot);
+            }
+            match slot {
+                ClauseSlot::Where => {
+                    self.advance();
+                    if block.where_clause.is_some() {
+                        return Err(self.err("duplicate WHERE clause"));
+                    }
+                    block.where_clause = Some(self.parse_expr()?);
+                }
+                ClauseSlot::GroupBy => {
+                    self.advance();
+                    self.expect_kw("BY")?;
+                    if !block.group_by.is_empty() {
+                        return Err(self.err("duplicate GROUP BY clause"));
+                    }
+                    block.group_by = self.parse_group_by_list()?;
+                }
+                ClauseSlot::Having => {
+                    self.advance();
+                    if block.having.is_some() {
+                        return Err(self.err("duplicate HAVING clause"));
+                    }
+                    block.having = Some(self.parse_expr()?);
+                }
+                ClauseSlot::Qualify => {
+                    self.advance();
+                    if !self.dialect.allows_qualify() {
+                        return Err(self.err("QUALIFY is not supported in this dialect"));
+                    }
+                    if block.qualify.is_some() {
+                        return Err(self.err("duplicate QUALIFY clause"));
+                    }
+                    self.record(Feature::Qualify);
+                    block.qualify = Some(self.parse_expr()?);
+                }
+                ClauseSlot::OrderBy => {
+                    self.advance();
+                    self.expect_kw("BY")?;
+                    if !block.order_by.is_empty() {
+                        return Err(self.err("duplicate ORDER BY clause"));
+                    }
+                    block.order_by = self.parse_order_by_list()?;
+                    // If ORDER BY was the last clause in canonical position
+                    // it could equally belong to the query level; keeping it
+                    // on the block is equivalent for a non-set-op query.
+                }
+                ClauseSlot::Limit => {
+                    self.advance();
+                    block.limit = Some(self.parse_u64()?);
+                }
+            }
+        }
+        Ok(block)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.consume(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Qualified wildcard `t.*`.
+        if matches!(self.peek(), Token::Word(_) | Token::QuotedIdent(_)) {
+            let mut n = 0usize;
+            while matches!(self.peek_at(n), Token::Word(_) | Token::QuotedIdent(_))
+                && self.peek_at(n + 1) == &Token::Dot
+            {
+                if self.peek_at(n + 2) == &Token::Star {
+                    let name = self.parse_object_name_prefix((n / 2) + 1)?;
+                    self.expect(&Token::Dot)?;
+                    self.expect(&Token::Star)?;
+                    return Ok(SelectItem::QualifiedWildcard(name));
+                }
+                n += 2;
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.consume_kw("AS") {
+            Some(self.parse_ident()?)
+        } else {
+            match self.peek() {
+                Token::Word(w) if !is_clause_keyword(w) => Some(self.parse_ident()?),
+                Token::QuotedIdent(_) => Some(self.parse_ident()?),
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_object_name_prefix(&mut self, parts: usize) -> Result<ObjectName, ParseError> {
+        let mut out = vec![self.parse_ident()?];
+        for _ in 1..parts {
+            self.expect(&Token::Dot)?;
+            out.push(self.parse_ident()?);
+        }
+        Ok(ObjectName(out))
+    }
+
+    pub(crate) fn parse_order_by_list(&mut self) -> Result<Vec<OrderByItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            let expr = self.parse_expr()?;
+            if matches!(&expr, Expr::Literal(Literal::Number(n)) if !n.contains('.')) {
+                self.record(Feature::OrdinalGroupBy);
+            }
+            let desc = if self.consume_kw("DESC") {
+                true
+            } else {
+                self.consume_kw("ASC");
+                false
+            };
+            let nulls_first = if self.consume_kw("NULLS") {
+                if self.consume_kw("FIRST") {
+                    Some(true)
+                } else {
+                    self.expect_kw("LAST")?;
+                    Some(false)
+                }
+            } else {
+                None
+            };
+            items.push(OrderByItem { expr, desc, nulls_first });
+            if !self.consume(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_group_by_list(&mut self) -> Result<Vec<GroupByItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            if self.consume_kw("ROLLUP") {
+                self.record(Feature::GroupingExtensions);
+                self.expect(&Token::LParen)?;
+                let exprs = self.parse_expr_list()?;
+                self.expect(&Token::RParen)?;
+                items.push(GroupByItem::Rollup(exprs));
+            } else if self.consume_kw("CUBE") {
+                self.record(Feature::GroupingExtensions);
+                self.expect(&Token::LParen)?;
+                let exprs = self.parse_expr_list()?;
+                self.expect(&Token::RParen)?;
+                items.push(GroupByItem::Cube(exprs));
+            } else if self.peek_kw("GROUPING") && self.peek_kw_at(1, "SETS") {
+                self.advance();
+                self.advance();
+                self.record(Feature::GroupingExtensions);
+                self.expect(&Token::LParen)?;
+                let mut sets = Vec::new();
+                loop {
+                    self.expect(&Token::LParen)?;
+                    let set = if self.peek_is(&Token::RParen) {
+                        Vec::new()
+                    } else {
+                        self.parse_expr_list()?
+                    };
+                    self.expect(&Token::RParen)?;
+                    sets.push(set);
+                    if !self.consume(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                items.push(GroupByItem::GroupingSets(sets));
+            } else {
+                let e = self.parse_expr()?;
+                if matches!(&e, Expr::Literal(Literal::Number(n)) if !n.contains('.')) {
+                    self.record(Feature::OrdinalGroupBy);
+                }
+                items.push(GroupByItem::Expr(e));
+            }
+            if !self.consume(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // --- FROM clause ---------------------------------------------------------
+
+    pub(crate) fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            let kind = if self.peek_kw("JOIN") || self.peek_kw("INNER") {
+                self.consume_kw("INNER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.peek_kw("LEFT") {
+                self.advance();
+                self.consume_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.peek_kw("RIGHT") {
+                self.advance();
+                self.consume_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Right
+            } else if self.peek_kw("FULL") {
+                self.advance();
+                self.consume_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Full
+            } else if self.peek_kw("CROSS") {
+                self.advance();
+                self.expect_kw("JOIN")?;
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            let constraint = if kind != JoinKind::Cross && self.consume_kw("ON") {
+                JoinConstraint::On(self.parse_expr()?)
+            } else if kind == JoinKind::Cross {
+                JoinConstraint::None
+            } else {
+                return Err(self.err("expected ON after JOIN"));
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                constraint,
+            };
+        }
+        Ok(left)
+    }
+
+    pub(crate) fn parse_table_factor(&mut self) -> Result<TableRef, ParseError> {
+        if self.consume(&Token::LParen) {
+            // Either a derived table or a parenthesized join.
+            if self.peek_kw("SELECT") || self.peek_kw("SEL") || self.peek_kw("WITH") {
+                let query = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                let alias = self.parse_table_alias()?.ok_or_else(|| {
+                    self.err("derived table requires an alias")
+                })?;
+                return Ok(TableRef::Derived { query: Box::new(query), alias });
+            }
+            let inner = self.parse_table_ref()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.parse_object_name()?;
+        let alias = self.parse_table_alias()?;
+        Ok(TableRef::Table { name, alias })
+    }
+
+    fn parse_table_alias(&mut self) -> Result<Option<TableAlias>, ParseError> {
+        let explicit = self.consume_kw("AS");
+        let name = match self.peek() {
+            Token::Word(w) if explicit || !is_table_clause_keyword(w) => self.parse_ident()?,
+            Token::QuotedIdent(_) => self.parse_ident()?,
+            _ if explicit => return Err(self.err("expected alias after AS")),
+            _ => return Ok(None),
+        };
+        let mut columns = Vec::new();
+        // Column renaming `AS t (a, b)` — only when followed by a pure
+        // identifier list (disambiguates from a function-style name).
+        if self.peek_is(&Token::LParen) {
+            let save = self.pos;
+            self.advance();
+            match self.parse_ident_list() {
+                Ok(cols) if self.consume(&Token::RParen) => columns = cols,
+                _ => self.pos = save,
+            }
+        }
+        Ok(Some(TableAlias { name, columns }))
+    }
+}
+
+/// Keywords that terminate a select-list alias position.
+fn is_clause_keyword(w: &str) -> bool {
+    matches!(
+        w.to_ascii_uppercase().as_str(),
+        "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "HAVING"
+            | "QUALIFY"
+            | "ORDER"
+            | "LIMIT"
+            | "UNION"
+            | "INTERSECT"
+            | "EXCEPT"
+            | "MINUS"
+            | "WITH"
+            | "SAMPLE"
+    )
+}
+
+/// Keywords that terminate a table alias position.
+fn is_table_clause_keyword(w: &str) -> bool {
+    is_clause_keyword(w)
+        || matches!(
+            w.to_ascii_uppercase().as_str(),
+            "JOIN" | "INNER" | "LEFT" | "RIGHT" | "FULL" | "CROSS" | "ON" | "USING" | "SET"
+                | "WHEN" | "AS"
+        )
+}

@@ -1,0 +1,523 @@
+//! Parser unit tests, including the paper's worked examples.
+
+use hyperq_xtra::expr::{CmpOp, Quantifier};
+use hyperq_xtra::feature::Feature;
+
+use crate::ast::*;
+use crate::dialect::Dialect;
+use crate::parser::{parse_one, parse_statements};
+
+fn td(sql: &str) -> Statement {
+    parse_one(sql, Dialect::Teradata).unwrap().stmt
+}
+
+fn td_features(sql: &str) -> Vec<Feature> {
+    parse_one(sql, Dialect::Teradata).unwrap().features.iter().collect()
+}
+
+fn ansi(sql: &str) -> Statement {
+    parse_one(sql, Dialect::Ansi).unwrap().stmt
+}
+
+fn select_block(stmt: Statement) -> SelectBlock {
+    match stmt {
+        Statement::Query(q) => match q.body {
+            QueryBody::Select(b) => *b,
+            other => panic!("expected select, got {other:?}"),
+        },
+        other => panic!("expected query, got {other:?}"),
+    }
+}
+
+#[test]
+fn paper_example_1_parses() {
+    // Example 1 from the paper: SEL, named expressions, QUALIFY, ORDER BY
+    // before WHERE.
+    let stmt = td(
+        "SEL PRODUCT_NAME, SALES AS SALES_BASE, SALES_BASE + 100 AS SALES_OFFSET \
+         FROM PRODUCT \
+         QUALIFY 10 < SUM(SALES) OVER (PARTITION BY STORE) \
+         ORDER BY STORE, PRODUCT_NAME \
+         WHERE CHARS(PRODUCT_NAME) > 4",
+    );
+    let b = select_block(stmt);
+    assert_eq!(b.items.len(), 3);
+    assert!(b.qualify.is_some());
+    assert!(b.where_clause.is_some());
+    assert_eq!(b.order_by.len(), 2);
+    assert!(b.nonstandard_clause_order, "WHERE after ORDER BY is non-standard");
+}
+
+#[test]
+fn paper_example_1_features() {
+    let f = td_features(
+        "SEL PRODUCT_NAME, SALES AS SALES_BASE, SALES_BASE + 100 AS SALES_OFFSET \
+         FROM PRODUCT \
+         QUALIFY 10 < SUM(SALES) OVER (PARTITION BY STORE) \
+         ORDER BY STORE, PRODUCT_NAME \
+         WHERE CHARS(PRODUCT_NAME) > 4",
+    );
+    assert!(f.contains(&Feature::KeywordShortcut));
+    assert!(f.contains(&Feature::Qualify));
+    assert!(f.contains(&Feature::CharsFunction));
+    assert!(f.contains(&Feature::NonAnsiWindowSyntax));
+}
+
+#[test]
+fn paper_example_2_parses() {
+    // Example 2: date-int comparison, vector subquery, QUALIFY RANK(x DESC).
+    let stmt = td(
+        "SEL * FROM SALES WHERE SALES_DATE > 1140101 \
+         AND (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY) \
+         QUALIFY RANK(AMOUNT DESC) <= 10",
+    );
+    let b = select_block(stmt);
+    // WHERE: AND of comparison and quantified vector subquery.
+    let w = b.where_clause.as_ref().unwrap();
+    match w {
+        Expr::BinaryOp { op: BinOp::And, right, .. } => match right.as_ref() {
+            Expr::QuantifiedCmp { left, op, quantifier, .. } => {
+                assert!(matches!(left.as_ref(), Expr::Row(v) if v.len() == 2));
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(*quantifier, Quantifier::Any);
+            }
+            other => panic!("expected quantified cmp, got {other:?}"),
+        },
+        other => panic!("expected AND, got {other:?}"),
+    }
+    // QUALIFY: RANK(AMOUNT DESC) <= 10 using the fn-arg shorthand.
+    match b.qualify.as_ref().unwrap() {
+        Expr::BinaryOp { op: BinOp::Cmp(CmpOp::Le), left, .. } => match left.as_ref() {
+            Expr::Function { td_sort_arg: Some((_, desc)), .. } => assert!(*desc),
+            other => panic!("expected RANK shorthand, got {other:?}"),
+        },
+        other => panic!("expected <=, got {other:?}"),
+    }
+}
+
+#[test]
+fn paper_example_2_features() {
+    let f = td_features(
+        "SEL * FROM SALES WHERE SALES_DATE > 1140101 \
+         AND (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY) \
+         QUALIFY RANK(AMOUNT DESC) <= 10",
+    );
+    assert!(f.contains(&Feature::KeywordShortcut));
+    assert!(f.contains(&Feature::VectorSubquery));
+    assert!(f.contains(&Feature::Qualify));
+    assert!(f.contains(&Feature::NonAnsiWindowSyntax));
+}
+
+#[test]
+fn paper_example_4_recursive_query() {
+    let stmt = td(
+        "WITH RECURSIVE REPORTS (EMPNO, MGRNO) AS ( \
+           SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 10 \
+           UNION ALL \
+           SELECT EMP.EMPNO, EMP.MGRNO FROM EMP, REPORTS \
+           WHERE REPORTS.EMPNO = EMP.MGRNO ) \
+         SELECT EMPNO FROM REPORTS ORDER BY EMPNO",
+    );
+    match &stmt {
+        Statement::Query(q) => {
+            assert!(q.recursive);
+            assert_eq!(q.ctes.len(), 1);
+            assert_eq!(q.ctes[0].name, "REPORTS");
+            assert_eq!(q.ctes[0].columns, vec!["EMPNO".to_string(), "MGRNO".to_string()]);
+            assert!(matches!(q.ctes[0].query.body, QueryBody::SetOp { all: true, .. }));
+        }
+        other => panic!("expected query, got {other:?}"),
+    }
+    assert!(td_features(
+        "WITH RECURSIVE R (A) AS (SELECT 1) SELECT A FROM R"
+    )
+    .contains(&Feature::RecursiveQuery));
+}
+
+#[test]
+fn ansi_rejects_teradata_constructs() {
+    assert!(parse_one("SEL * FROM T", Dialect::Ansi).is_err());
+    assert!(parse_one("SELECT * FROM T QUALIFY RANK() OVER (ORDER BY A) <= 1", Dialect::Ansi).is_err());
+    assert!(parse_one("SELECT A ** 2 FROM T", Dialect::Ansi).is_err());
+    assert!(parse_one("SELECT * FROM T WHERE A EQ 1", Dialect::Ansi).is_err());
+    assert!(parse_one("HELP SESSION", Dialect::Ansi).is_err());
+    assert!(parse_one("SELECT TOP 5 * FROM T", Dialect::Ansi).is_err());
+    assert!(parse_one("WITH RECURSIVE R AS (SELECT 1) SELECT * FROM R", Dialect::Ansi).is_err());
+}
+
+#[test]
+fn ansi_accepts_standard_sql() {
+    ansi("SELECT A, COUNT(*) FROM T WHERE A > 1 GROUP BY A HAVING COUNT(*) > 2 ORDER BY A LIMIT 10");
+    ansi("SELECT RANK() OVER (PARTITION BY A ORDER BY B DESC) FROM T");
+    ansi("SELECT * FROM A JOIN B ON A.X = B.X LEFT JOIN C ON B.Y = C.Y");
+    ansi("SELECT CASE WHEN A = 1 THEN 'x' ELSE 'y' END FROM T");
+    ansi("SELECT * FROM T WHERE EXISTS (SELECT 1 FROM S WHERE S.A = T.A)");
+}
+
+#[test]
+fn keyword_comparisons_record_feature() {
+    let f = td_features("SELECT * FROM T WHERE A EQ 1 AND B GT 2");
+    assert!(f.contains(&Feature::KeywordComparison));
+    let b = select_block(td("SELECT * FROM T WHERE A EQ 1"));
+    match b.where_clause.as_ref().unwrap() {
+        Expr::BinaryOp { op: BinOp::Cmp(CmpOp::Eq), .. } => {}
+        other => panic!("expected =, got {other:?}"),
+    }
+}
+
+#[test]
+fn mod_and_power_operators() {
+    let f = td_features("SELECT A MOD 7, B ** 2 FROM T");
+    assert!(f.contains(&Feature::ModOperator));
+    assert!(f.contains(&Feature::ExponentOperator));
+}
+
+#[test]
+fn power_is_right_associative() {
+    let b = select_block(td("SELECT 2 ** 3 ** 2 FROM T"));
+    match &b.items[0] {
+        SelectItem::Expr { expr: Expr::BinaryOp { op: BinOp::Pow, right, .. }, .. } => {
+            assert!(matches!(right.as_ref(), Expr::BinaryOp { op: BinOp::Pow, .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn zeroifnull_normalizes_to_coalesce() {
+    let b = select_block(td("SELECT ZEROIFNULL(X), NULLIFZERO(Y) FROM T"));
+    match &b.items[0] {
+        SelectItem::Expr { expr: Expr::Function { name, args, .. }, .. } => {
+            assert_eq!(name.base(), "COALESCE");
+            assert_eq!(args.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+    match &b.items[1] {
+        SelectItem::Expr { expr: Expr::Function { name, .. }, .. } => {
+            assert_eq!(name.base(), "NULLIF");
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(td_features("SELECT ZEROIFNULL(X) FROM T").contains(&Feature::ZeroIfNull));
+}
+
+#[test]
+fn index_normalizes_to_position() {
+    let b = select_block(td("SELECT INDEX(NAME, 'abc') FROM T"));
+    assert!(matches!(
+        &b.items[0],
+        SelectItem::Expr { expr: Expr::Position { .. }, .. }
+    ));
+    assert!(td_features("SELECT INDEX(NAME, 'a') FROM T").contains(&Feature::IndexFunction));
+}
+
+#[test]
+fn substr_normalizes_to_substring() {
+    let b = select_block(td("SELECT SUBSTR(NAME, 1, 3) FROM T"));
+    match &b.items[0] {
+        SelectItem::Expr { expr: Expr::Function { name, args, .. }, .. } => {
+            assert_eq!(name.base(), "SUBSTRING");
+            assert_eq!(args.len(), 3);
+        }
+        other => panic!("{other:?}"),
+    }
+    // ANSI FROM/FOR form also accepted.
+    let b2 = select_block(ansi("SELECT SUBSTRING(NAME FROM 2 FOR 3) FROM T"));
+    match &b2.items[0] {
+        SelectItem::Expr { expr: Expr::Function { args, .. }, .. } => assert_eq!(args.len(), 3),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn ordinal_group_by_recorded() {
+    let f = td_features("SELECT A, COUNT(*) FROM T GROUP BY 1 ORDER BY 2");
+    assert!(f.contains(&Feature::OrdinalGroupBy));
+}
+
+#[test]
+fn grouping_extensions() {
+    let f = td_features("SELECT A, B, SUM(C) FROM T GROUP BY ROLLUP(A, B)");
+    assert!(f.contains(&Feature::GroupingExtensions));
+    let stmt = td("SELECT A, SUM(C) FROM T GROUP BY GROUPING SETS ((A), ())");
+    let b = select_block(stmt);
+    assert!(matches!(&b.group_by[0], GroupByItem::GroupingSets(s) if s.len() == 2));
+}
+
+#[test]
+fn top_with_ties() {
+    let b = select_block(td("SELECT TOP 10 WITH TIES * FROM T ORDER BY A"));
+    assert_eq!(b.top, Some(TopClause { n: 10, with_ties: true }));
+}
+
+#[test]
+fn merge_statement() {
+    let stmt = td(
+        "MERGE INTO TARGET T USING (SELECT * FROM SRC) S ON T.ID = S.ID \
+         WHEN MATCHED THEN UPDATE SET V = S.V \
+         WHEN NOT MATCHED THEN INSERT (ID, V) VALUES (S.ID, S.V)",
+    );
+    match stmt {
+        Statement::Merge(m) => {
+            assert_eq!(m.target.base(), "TARGET");
+            assert!(m.when_matched_update.is_some());
+            assert!(m.when_not_matched_insert.is_some());
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(td_features("MERGE INTO T USING S ON T.A = S.A WHEN MATCHED THEN UPDATE SET B = 1")
+        .contains(&Feature::MergeStatement));
+}
+
+#[test]
+fn create_macro_and_execute() {
+    let stmt = td(
+        "CREATE MACRO SALES_REPORT (STORE_ID INTEGER, LO DATE DEFAULT DATE '2014-01-01') AS ( \
+           SELECT * FROM SALES WHERE STORE = :STORE_ID AND SALES_DATE >= :LO; \
+           UPDATE STATS SET HITS = HITS + 1 WHERE ID = :STORE_ID; )",
+    );
+    match stmt {
+        Statement::CreateMacro { name, params, body } => {
+            assert_eq!(name.base(), "SALES_REPORT");
+            assert_eq!(params.len(), 2);
+            assert!(params[1].default.is_some());
+            assert_eq!(body.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+    let exec = td("EXEC SALES_REPORT(42, LO = DATE '2015-06-01')");
+    match exec {
+        Statement::ExecuteMacro { args, .. } => {
+            assert_eq!(args.len(), 2);
+            assert!(args[0].0.is_none());
+            assert_eq!(args[1].0.as_deref(), Some("LO"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn create_table_variants() {
+    match td("CREATE SET TABLE T (A INTEGER NOT NULL, B VARCHAR(10) NOT CASESPECIFIC) PRIMARY INDEX (A)") {
+        Statement::CreateTable { set_semantics, columns, .. } => {
+            assert_eq!(set_semantics, Some(true));
+            assert!(columns[0].not_null);
+            assert!(columns[1].not_casespecific);
+        }
+        other => panic!("{other:?}"),
+    }
+    match td("CREATE GLOBAL TEMPORARY TABLE G (A INTEGER) ON COMMIT PRESERVE ROWS") {
+        Statement::CreateTable { kind, .. } => assert_eq!(kind, CreateTableKind::GlobalTemporary),
+        other => panic!("{other:?}"),
+    }
+    let f = td_features("CREATE SET TABLE T (A INTEGER)");
+    assert!(f.contains(&Feature::SetTableSemantics));
+    let f = td_features("CREATE GLOBAL TEMPORARY TABLE T (A INTEGER)");
+    assert!(f.contains(&Feature::GlobalTempTable));
+    let f = td_features("CREATE TABLE T (A DATE DEFAULT CURRENT_DATE)");
+    assert!(f.contains(&Feature::ColumnProperties));
+    let f = td_features("CREATE TABLE T (P PERIOD(DATE))");
+    assert!(f.contains(&Feature::ColumnProperties));
+}
+
+#[test]
+fn help_commands() {
+    assert_eq!(td("HELP SESSION"), Statement::Help(HelpTarget::Session));
+    match td("HELP TABLE DB1.SALES") {
+        Statement::Help(HelpTarget::Table(n)) => assert_eq!(n.canonical(), "DB1.SALES"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn insert_forms() {
+    // ANSI VALUES.
+    match td("INSERT INTO T (A, B) VALUES (1, 'x'), (2, 'y')") {
+        Statement::Insert { columns, source, .. } => {
+            assert_eq!(columns.len(), 2);
+            match source.body {
+                QueryBody::Select(b) => assert_eq!(b.value_rows.len(), 2),
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+    // Teradata INS shortcut with bare value list.
+    match td("INS T (1, 'x')") {
+        Statement::Insert { columns, source, .. } => {
+            assert!(columns.is_empty());
+            match source.body {
+                QueryBody::Select(b) => assert_eq!(b.value_rows.len(), 1),
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+    // INSERT ... SELECT.
+    match td("INSERT INTO T SELECT * FROM S") {
+        Statement::Insert { source, .. } => {
+            assert!(matches!(source.body, QueryBody::Select(_)));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn update_delete_shortcuts() {
+    assert!(td_features("UPD T SET A = 1 WHERE B = 2").contains(&Feature::KeywordShortcut));
+    assert!(td_features("DEL FROM T WHERE A = 1").contains(&Feature::KeywordShortcut));
+    match td("DELETE T ALL") {
+        Statement::Delete { where_clause, .. } => assert!(where_clause.is_none()),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn derived_table_with_column_alias() {
+    let stmt = ansi("SELECT X FROM (SELECT A FROM T) AS D (X)");
+    let b = select_block(stmt);
+    match &b.from[0] {
+        TableRef::Derived { alias, .. } => {
+            assert_eq!(alias.name, "D");
+            assert_eq!(alias.columns, vec!["X".to_string()]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn implicit_cross_join_list_in_from() {
+    let b = select_block(td("SELECT * FROM A, B, C WHERE A.X = B.X"));
+    assert_eq!(b.from.len(), 3);
+}
+
+#[test]
+fn between_binds_tighter_than_and() {
+    let b = select_block(td("SELECT * FROM T WHERE A BETWEEN 1 AND 2 AND B = 3"));
+    match b.where_clause.as_ref().unwrap() {
+        Expr::BinaryOp { op: BinOp::And, left, .. } => {
+            assert!(matches!(left.as_ref(), Expr::Between { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn interval_and_date_literals() {
+    let b = select_block(ansi(
+        "SELECT DATE '1995-01-01' + INTERVAL '3' MONTH FROM T",
+    ));
+    match &b.items[0] {
+        SelectItem::Expr { expr: Expr::BinaryOp { op: BinOp::Plus, left, right }, .. } => {
+            assert!(matches!(left.as_ref(), Expr::Literal(Literal::Date(_))));
+            assert!(matches!(
+                right.as_ref(),
+                Expr::Literal(Literal::Interval { unit: IntervalUnit::Month, .. })
+            ));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn multiple_statements_with_semicolons() {
+    let stmts = parse_statements("SELECT 1; SELECT 2;; SELECT 3", Dialect::Ansi).unwrap();
+    assert_eq!(stmts.len(), 3);
+}
+
+#[test]
+fn features_are_per_statement() {
+    let stmts =
+        parse_statements("SEL * FROM T; SELECT * FROM T", Dialect::Teradata).unwrap();
+    assert!(stmts[0].features.contains(Feature::KeywordShortcut));
+    assert!(stmts[1].features.is_empty());
+}
+
+#[test]
+fn call_statement() {
+    match td("CALL NIGHTLY_LOAD(1, 'full')") {
+        Statement::Call { name, args } => {
+            assert_eq!(name.base(), "NIGHTLY_LOAD");
+            assert_eq!(args.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(td_features("CALL P()").contains(&Feature::StoredProcedureCall));
+}
+
+#[test]
+fn qualified_wildcard() {
+    let b = select_block(ansi("SELECT T.*, S.A FROM T, S"));
+    assert!(matches!(&b.items[0], SelectItem::QualifiedWildcard(n) if n.base() == "T"));
+}
+
+#[test]
+fn set_operations_parse() {
+    match ansi("SELECT A FROM T UNION ALL SELECT A FROM S EXCEPT SELECT A FROM U") {
+        Statement::Query(q) => match q.body {
+            QueryBody::SetOp { kind, all, .. } => {
+                // Left-associative: (T UNION ALL S) EXCEPT U.
+                assert_eq!(kind, hyperq_xtra::rel::SetOpKind::Except);
+                assert!(!all);
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nulls_ordering_parsed() {
+    let b = select_block(ansi("SELECT A FROM T ORDER BY A DESC NULLS LAST"));
+    let _ = b;
+    match ansi("SELECT A FROM T ORDER BY A DESC NULLS LAST") {
+        Statement::Query(q) => {
+            assert_eq!(q.order_by.len(), 1);
+            assert!(q.order_by[0].desc);
+            assert_eq!(q.order_by[0].nulls_first, Some(false));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn error_messages_carry_line_numbers() {
+    let err = parse_one("SELECT *\nFROM\n+", Dialect::Ansi).unwrap_err();
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn transaction_statements() {
+    assert_eq!(td("BT"), Statement::BeginTransaction);
+    assert_eq!(td("ET"), Statement::Commit);
+    assert_eq!(ansi("BEGIN TRANSACTION"), Statement::BeginTransaction);
+    assert_eq!(ansi("COMMIT"), Statement::Commit);
+    assert_eq!(ansi("ROLLBACK"), Statement::Rollback);
+}
+
+#[test]
+fn create_procedure_with_body() {
+    match td("CREATE PROCEDURE P (N INTEGER) BEGIN UPDATE T SET A = :N; DELETE FROM U WHERE B = :N; END") {
+        Statement::CreateProcedure { params, body, .. } => {
+            assert_eq!(params.len(), 1);
+            assert_eq!(body.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn count_star_and_windowed_aggregates() {
+    let b = select_block(ansi(
+        "SELECT COUNT(*), SUM(X) OVER (PARTITION BY G ORDER BY O) FROM T",
+    ));
+    assert!(matches!(&b.items[0], SelectItem::Expr { expr: Expr::FunctionStar { over: None, .. }, .. }));
+    match &b.items[1] {
+        SelectItem::Expr { expr: Expr::Function { over: Some(spec), .. }, .. } => {
+            assert_eq!(spec.partition_by.len(), 1);
+            assert_eq!(spec.order_by.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}

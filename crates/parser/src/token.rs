@@ -1,0 +1,101 @@
+//! Lexical tokens.
+
+use std::fmt;
+
+/// A lexical token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    /// Byte offset of the token start in the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// The token kinds produced by [`crate::lexer::tokenize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted word: identifier or keyword, as written.
+    Word(String),
+    /// `"quoted identifier"` with quotes stripped.
+    QuotedIdent(String),
+    /// Numeric literal, digits preserved verbatim.
+    Number(String),
+    /// `'string literal'` with quotes stripped and `''` unescaped.
+    StringLit(String),
+    /// `:name` named parameter (macro/procedure argument reference).
+    NamedParam(String),
+    /// `?` positional parameter marker.
+    Question,
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Semicolon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// `||` string concatenation.
+    Concat,
+    /// `**` Teradata exponentiation.
+    Power,
+    Eq,
+    /// `<>`, `!=`, `^=` or `~=`.
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl Token {
+    /// The word in upper case if this is an unquoted word, else `None`.
+    /// Keyword recognition is case-insensitive but quoted identifiers are
+    /// never keywords.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Token::Word(w) => Some(w.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::QuotedIdent(w) => write!(f, "\"{w}\""),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::NamedParam(n) => write!(f, ":{n}"),
+            Token::Question => write!(f, "?"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Concat => write!(f, "||"),
+            Token::Power => write!(f, "**"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}

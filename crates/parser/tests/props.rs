@@ -1,0 +1,72 @@
+//! Property tests for the lexer/parser: total functions over arbitrary
+//! input (errors, never panics), and identifier/literal round-trips.
+
+use proptest::prelude::*;
+
+use hyperq_parser::lexer::tokenize;
+use hyperq_parser::{parse_statements, Dialect};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(input in ".{0,200}") {
+        let _ = parse_statements(&input, Dialect::Teradata);
+        let _ = parse_statements(&input, Dialect::Ansi);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sql_shaped_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()), Just("SEL".to_string()),
+                Just("FROM".to_string()), Just("WHERE".to_string()),
+                Just("GROUP".to_string()), Just("BY".to_string()),
+                Just("QUALIFY".to_string()), Just("ORDER".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just(",".to_string()), Just("*".to_string()),
+                Just("=".to_string()), Just("AND".to_string()),
+                Just("T1".to_string()), Just("C1".to_string()),
+                Just("42".to_string()), Just("'x'".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let soup = words.join(" ");
+        let _ = parse_statements(&soup, Dialect::Teradata);
+    }
+
+    #[test]
+    fn string_literal_round_trips(content in "[a-zA-Z0-9 ']{0,30}") {
+        let sql = format!("SELECT '{}' FROM T", content.replace('\'', "''"));
+        let parsed = hyperq_parser::parse_one(&sql, Dialect::Ansi).unwrap();
+        let debug = format!("{:?}", parsed.stmt);
+        // The unescaped content must be preserved in the AST.
+        prop_assert!(debug.contains(&format!("{:?}", content)), "{debug}");
+    }
+
+    #[test]
+    fn integer_literals_preserved(n in 0u64..1_000_000_000_000) {
+        let sql = format!("SELECT {n} FROM T");
+        let parsed = hyperq_parser::parse_one(&sql, Dialect::Ansi).unwrap();
+        let needle = format!("\"{n}\"");
+        let debug = format!("{:?}", parsed.stmt);
+        prop_assert!(debug.contains(&needle), "missing literal in AST");
+    }
+
+    #[test]
+    fn where_expression_depth_is_handled(depth in 1usize..30) {
+        // Deeply nested parentheses parse without stack issues at sane depth.
+        let mut expr = "1".to_string();
+        for _ in 0..depth {
+            expr = format!("({expr} + 1)");
+        }
+        let sql = format!("SELECT * FROM T WHERE A = {expr}");
+        prop_assert!(parse_statements(&sql, Dialect::Ansi).is_ok());
+    }
+}

@@ -1,0 +1,92 @@
+//! Logon handshake (paper §4.1: "authentication handshake to establish
+//! secure connection between the application and the database").
+//!
+//! TDWP models the structure of a salted challenge–response logon: the
+//! gateway issues a random salt, the client answers with a digest of
+//! `password ‖ salt`, and the gateway verifies against its credential
+//! store. The digest is FNV-1a — a stand-in for the real protocol's
+//! cryptography, keeping the repository dependency-free; the *shape* of
+//! the exchange (no plaintext password on the wire, per-session salt) is
+//! what the Protocol Handler must reproduce.
+
+/// FNV-1a over the UTF-8 password bytes followed by the salt bytes.
+pub fn digest(password: &str, salt: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in password.bytes().chain(salt.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Credential store for the gateway.
+#[derive(Debug, Clone, Default)]
+pub struct Credentials {
+    users: Vec<(String, String)>,
+}
+
+impl Credentials {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_user(mut self, user: &str, password: &str) -> Self {
+        self.users.push((user.to_ascii_uppercase(), password.to_string()));
+        self
+    }
+
+    /// Verify a digest for the given user and salt.
+    pub fn verify(&self, user: &str, salt: u64, presented: u64) -> bool {
+        self.users
+            .iter()
+            .find(|(u, _)| u.eq_ignore_ascii_case(user))
+            .map(|(_, p)| digest(p, salt) == presented)
+            .unwrap_or(false)
+    }
+}
+
+/// Deterministic-enough salt source (wall clock + counter); sessions only
+/// need distinct salts, not cryptographic randomness.
+pub fn fresh_salt() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    t ^ COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_depends_on_password_and_salt() {
+        let a = digest("secret", 1);
+        assert_ne!(a, digest("secret", 2));
+        assert_ne!(a, digest("other", 1));
+        assert_eq!(a, digest("secret", 1));
+    }
+
+    #[test]
+    fn verify_accepts_correct_and_rejects_wrong() {
+        let creds = Credentials::new().with_user("app", "secret");
+        let salt = 12345;
+        assert!(creds.verify("APP", salt, digest("secret", salt)));
+        assert!(!creds.verify("APP", salt, digest("wrong", salt)));
+        assert!(!creds.verify("NOBODY", salt, digest("secret", salt)));
+        // A digest for one salt must not validate for another.
+        assert!(!creds.verify("APP", salt + 1, digest("secret", salt)));
+    }
+
+    #[test]
+    fn salts_are_distinct() {
+        let a = fresh_salt();
+        let b = fresh_salt();
+        assert_ne!(a, b);
+    }
+}

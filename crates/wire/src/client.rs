@@ -1,0 +1,134 @@
+//! A `bteq`-style client: the stand-in for the unchanged Teradata
+//! application of the paper's experiments ("we used Teradata's bteq client
+//! to submit queries to Hyper-Q", §7.2).
+//!
+//! The client speaks only WP-A (TDWP): it has no idea whether a real
+//! Teradata or Hyper-Q answers — which is the entire point of ADV.
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use hyperq_xtra::schema::Schema;
+use hyperq_xtra::Row;
+
+use crate::auth::digest;
+use crate::message::{decode_client_row, schema_from_header, Message, WireError};
+
+/// One result set (or DML acknowledgement) of a request.
+#[derive(Debug, Clone)]
+pub struct ClientResultSet {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    /// Rows returned or affected.
+    pub activity_count: u64,
+}
+
+/// A connected TDWP session.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    pub session_id: u64,
+}
+
+impl Client {
+    /// Connect and run the logon handshake.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        user: &str,
+        password: &str,
+    ) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream);
+        let mut reader = reader;
+        use std::io::Write as _;
+
+        Message::LogonRequest { user: user.to_string() }.write_to(&mut writer)?;
+        writer.flush()?;
+        let salt = match Message::read_from(&mut reader)? {
+            Message::AuthChallenge { salt } => salt,
+            Message::ErrorResponse { message, .. } => {
+                return Err(WireError::Protocol(format!("logon rejected: {message}")))
+            }
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected AuthChallenge, got {other:?}"
+                )))
+            }
+        };
+        Message::LogonDigest { digest: digest(password, salt) }.write_to(&mut writer)?;
+        writer.flush()?;
+        let session_id = match Message::read_from(&mut reader)? {
+            Message::LogonOk { session_id } => session_id,
+            Message::ErrorResponse { message, .. } => {
+                return Err(WireError::Protocol(format!("logon failed: {message}")))
+            }
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected LogonOk, got {other:?}"
+                )))
+            }
+        };
+        Ok(Client { reader, writer, session_id })
+    }
+
+    /// Submit a request (one or more statements) and collect all result
+    /// sets. Statement errors surface as `Err`.
+    pub fn run(&mut self, sql: &str) -> Result<Vec<ClientResultSet>, WireError> {
+        use std::io::Write as _;
+        Message::SqlRequest { sql: sql.to_string() }.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        // (header columns, decoded schema, accumulated rows) of the result
+        // set currently streaming in.
+        type InFlight = (Vec<(String, u8)>, Schema, Vec<Row>);
+        let mut results = Vec::new();
+        let mut current: Option<InFlight> = None;
+        let mut error: Option<String> = None;
+        loop {
+            match Message::read_from(&mut self.reader)? {
+                Message::RecordSetHeader { columns } => {
+                    let schema = schema_from_header(&columns);
+                    current = Some((columns, schema, Vec::new()));
+                }
+                Message::Record { row_bytes } => match &mut current {
+                    Some((columns, _, rows)) => {
+                        rows.push(decode_client_row(&row_bytes, columns)?);
+                    }
+                    None => {
+                        return Err(WireError::Protocol(
+                            "Record before RecordSetHeader".into(),
+                        ))
+                    }
+                },
+                Message::StatementOk { activity_count } => {
+                    let (schema, rows) = match current.take() {
+                        Some((_, schema, rows)) => (schema, rows),
+                        None => (Schema::empty(), Vec::new()),
+                    };
+                    results.push(ClientResultSet { schema, rows, activity_count });
+                }
+                Message::ErrorResponse { message, .. } => {
+                    error = Some(message);
+                }
+                Message::EndRequest => break,
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected message {other:?}"
+                    )))
+                }
+            }
+        }
+        match error {
+            Some(m) => Err(WireError::Protocol(m)),
+            None => Ok(results),
+        }
+    }
+
+    /// Close the session.
+    pub fn logoff(mut self) -> Result<(), WireError> {
+        use std::io::Write as _;
+        Message::Logoff.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}

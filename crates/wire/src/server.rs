@@ -1,0 +1,282 @@
+//! The gateway: TCP front door speaking TDWP, one Hyper-Q session per
+//! connection (paper Figure 1b / §4.1 Gateway Manager + Protocol Handler).
+//!
+//! Per request the gateway records the three stage timings of the paper's
+//! Figure 9: **query translation** (parse/bind/transform/serialize),
+//! **execution** (target database), and **result transformation**
+//! (TDF → client binary format, including spill handling).
+
+use std::io::BufWriter;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hyperq_core::backend::Backend;
+use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::HyperQ;
+use parking_lot::Mutex;
+
+use crate::auth::{fresh_salt, Credentials};
+use crate::convert::{convert, ConverterConfig};
+use crate::message::{Message, WireError};
+
+/// Aggregated per-stage timings across all requests served (Figure 9's
+/// three components).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireStats {
+    pub requests: u64,
+    pub translation: Duration,
+    pub execution: Duration,
+    pub conversion: Duration,
+    pub rows_returned: u64,
+    pub spilled_chunks: u64,
+}
+
+impl WireStats {
+    pub fn end_to_end(&self) -> Duration {
+        self.translation + self.execution + self.conversion
+    }
+
+    /// Percentage shares of total response time, as plotted in Figure 9.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let total = self.end_to_end().as_secs_f64().max(f64::MIN_POSITIVE);
+        (
+            100.0 * self.translation.as_secs_f64() / total,
+            100.0 * self.execution.as_secs_f64() / total,
+            100.0 * self.conversion.as_secs_f64() / total,
+        )
+    }
+
+    pub fn merge(&mut self, other: &WireStats) {
+        self.requests += other.requests;
+        self.translation += other.translation;
+        self.execution += other.execution;
+        self.conversion += other.conversion;
+        self.rows_returned += other.rows_returned;
+        self.spilled_chunks += other.spilled_chunks;
+    }
+}
+
+/// Gateway configuration.
+pub struct GatewayConfig {
+    pub credentials: Credentials,
+    pub capabilities: TargetCapabilities,
+    pub converter: ConverterConfig,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            credentials: Credentials::new().with_user("APP", "secret"),
+            capabilities: TargetCapabilities::simwh(),
+            converter: ConverterConfig::default(),
+        }
+    }
+}
+
+/// A running gateway.
+pub struct Gateway {
+    backend: Arc<dyn Backend>,
+    config: GatewayConfig,
+    stats: Mutex<WireStats>,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+}
+
+/// Handle to a gateway serving on a background thread.
+pub struct GatewayHandle {
+    pub addr: std::net::SocketAddr,
+    gateway: Arc<Gateway>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    pub fn new(backend: Arc<dyn Backend>, config: GatewayConfig) -> Arc<Self> {
+        Arc::new(Gateway {
+            backend,
+            config,
+            stats: Mutex::new(WireStats::default()),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+        })
+    }
+
+    /// Bind to an ephemeral local port and serve in the background.
+    pub fn spawn(
+        backend: Arc<dyn Backend>,
+        config: GatewayConfig,
+    ) -> std::io::Result<GatewayHandle> {
+        let gateway = Gateway::new(backend, config);
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let g = Arc::clone(&gateway);
+        let accept_thread = std::thread::spawn(move || {
+            // Connection workers are detached: a session blocked reading
+            // from an idle client must not prevent gateway shutdown.
+            while !g.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let g2 = Arc::clone(&g);
+                        std::thread::spawn(move || {
+                            g2.connections.fetch_add(1, Ordering::Relaxed);
+                            let _ = g2.handle_connection(stream);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(GatewayHandle { addr, gateway, accept_thread: Some(accept_thread) })
+    }
+
+    /// Serve one connection: logon handshake, then request/response loop.
+    fn handle_connection(&self, stream: TcpStream) -> Result<(), WireError> {
+        let mut reader = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream);
+        use std::io::Write as _;
+
+        // --- logon handshake ---------------------------------------------
+        let user = match Message::read_from(&mut reader)? {
+            Message::LogonRequest { user } => user,
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected LogonRequest, got {other:?}"
+                )))
+            }
+        };
+        let salt = fresh_salt();
+        Message::AuthChallenge { salt }.write_to(&mut writer)?;
+        writer.flush()?;
+        let digest = match Message::read_from(&mut reader)? {
+            Message::LogonDigest { digest } => digest,
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected LogonDigest, got {other:?}"
+                )))
+            }
+        };
+        if !self.config.credentials.verify(&user, salt, digest) {
+            Message::ErrorResponse { code: 8017, message: "invalid logon".into() }
+                .write_to(&mut writer)?;
+            writer.flush()?;
+            return Ok(());
+        }
+
+        let mut hq = HyperQ::new(Arc::clone(&self.backend), self.config.capabilities.clone());
+        hq.session.user = user;
+        Message::LogonOk { session_id: hq.session.session_id }.write_to(&mut writer)?;
+        writer.flush()?;
+
+        // --- request loop ---------------------------------------------------
+        loop {
+            match Message::read_from(&mut reader) {
+                Ok(Message::SqlRequest { sql }) => {
+                    let mut request_stats = WireStats { requests: 1, ..Default::default() };
+                    match hq.run_script(&sql) {
+                        Ok(outcomes) => {
+                            for outcome in outcomes {
+                                request_stats.translation += outcome.timings.translation;
+                                request_stats.execution += outcome.timings.execution;
+                                let t0 = Instant::now();
+                                if outcome.result.schema.is_empty() {
+                                    Message::StatementOk {
+                                        activity_count: outcome.result.row_count,
+                                    }
+                                    .write_to(&mut writer)?;
+                                } else {
+                                    let converted = convert(
+                                        &outcome.result.schema,
+                                        &outcome.result.rows,
+                                        &self.config.converter,
+                                    )
+                                    .map_err(WireError::Protocol)?;
+                                    request_stats.conversion += t0.elapsed();
+                                    request_stats.rows_returned += converted.total_rows;
+                                    request_stats.spilled_chunks +=
+                                        converted.spilled_chunks as u64;
+                                    Message::RecordSetHeader {
+                                        columns: converted.header.clone(),
+                                    }
+                                    .write_to(&mut writer)?;
+                                    let total = converted.total_rows;
+                                    let t1 = Instant::now();
+                                    let mut werr: Option<std::io::Error> = None;
+                                    {
+                                        let w = &mut writer;
+                                        converted
+                                            .for_each_row(|frame| {
+                                                Message::Record {
+                                                    row_bytes: frame.to_vec(),
+                                                }
+                                                .write_to(w)
+                                                .map_err(|e| match e {
+                                                    WireError::Io(io) => io,
+                                                    WireError::Protocol(p) => {
+                                                        std::io::Error::other(p)
+                                                    }
+                                                })
+                                            })
+                                            .unwrap_or_else(|e| werr = Some(e));
+                                    }
+                                    if let Some(e) = werr {
+                                        return Err(WireError::Io(e));
+                                    }
+                                    request_stats.conversion += t1.elapsed();
+                                    Message::StatementOk { activity_count: total }
+                                        .write_to(&mut writer)?;
+                                }
+                            }
+                            Message::EndRequest.write_to(&mut writer)?;
+                        }
+                        Err(e) => {
+                            Message::ErrorResponse { code: 3807, message: e.to_string() }
+                                .write_to(&mut writer)?;
+                            Message::EndRequest.write_to(&mut writer)?;
+                        }
+                    }
+                    // Publish stats before the client can observe the
+                    // response (tests read them right after EndRequest).
+                    self.stats.lock().merge(&request_stats);
+                    writer.flush()?;
+                }
+                Ok(Message::Logoff) | Err(WireError::Io(_)) => break,
+                Ok(other) => {
+                    Message::ErrorResponse {
+                        code: 3700,
+                        message: format!("unexpected message {other:?}"),
+                    }
+                    .write_to(&mut writer)?;
+                    writer.flush()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl GatewayHandle {
+    /// Snapshot of the aggregated stage timings.
+    pub fn stats(&self) -> WireStats {
+        *self.gateway.stats.lock()
+    }
+
+    pub fn connections_served(&self) -> u64 {
+        self.gateway.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting new connections. In-flight sessions end when their
+    /// clients disconnect.
+    pub fn shutdown(mut self) {
+        self.gateway.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}

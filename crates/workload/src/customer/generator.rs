@@ -1,0 +1,455 @@
+//! Workload synthesis calibrated to the paper's Table 1 and Figure 8.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Published statistics of one customer workload (Table 1) plus the
+/// Figure 8b calibration targets used for *generation*. Measurement always
+/// happens downstream through Hyper-Q's instrumentation.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    pub name: &'static str,
+    pub sector: &'static str,
+    pub total_queries: u64,
+    pub distinct_queries: u64,
+    /// Fraction of distinct queries with ≥1 translation-class feature.
+    pub translation_share: f64,
+    pub transformation_share: f64,
+    pub emulation_share: f64,
+}
+
+/// A fully generated workload.
+pub struct CustomerWorkload {
+    pub profile: WorkloadProfile,
+    /// DDL executed directly on the target (the content-transfer side
+    /// channel, not part of the virtualized application).
+    pub target_ddl: Vec<String>,
+    /// Setup statements submitted through Hyper-Q (view, macro and global
+    /// temporary table definitions the application created over time).
+    pub hyperq_setup: Vec<String>,
+    /// The distinct application queries.
+    pub distinct: Vec<String>,
+    /// Replay order: indices into `distinct`, `total_queries` long.
+    pub sequence: Vec<u32>,
+}
+
+impl CustomerWorkload {
+    /// Replay iterator over query texts.
+    pub fn replay(&self) -> impl Iterator<Item = &str> {
+        self.sequence.iter().map(|&i| self.distinct[i as usize].as_str())
+    }
+}
+
+fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale) as u64).max(1)
+}
+
+/// Build the replay sequence: every distinct query at least once, the rest
+/// of the volume skewed toward a hot set (real report workloads repeat a
+/// small set of parameterized queries most).
+fn build_sequence(distinct: usize, total: u64, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seq: Vec<u32> = (0..distinct as u32).collect();
+    while (seq.len() as u64) < total {
+        // 80% of repeats from the first 20% of queries.
+        let hot = (distinct / 5).max(1);
+        let idx = if rng.gen_bool(0.8) {
+            rng.gen_range(0..hot)
+        } else {
+            rng.gen_range(0..distinct)
+        };
+        seq.push(idx as u32);
+    }
+    seq.truncate(total as usize);
+    // Deterministic shuffle.
+    for i in (1..seq.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        seq.swap(i, j);
+    }
+    seq
+}
+
+// ---------------------------------------------------------------------------
+// Workload 1: Health (paper: 39,731 total, 3,778 distinct; Figure 8:
+// translation 55.6% of features / 1.4% of queries, transformation 77.8% /
+// 33.6%, emulation 33.3% / 0.2%).
+// ---------------------------------------------------------------------------
+
+/// Generate the Health workload at the given scale (1.0 = published size).
+pub fn health(scale: f64) -> CustomerWorkload {
+    let profile = WorkloadProfile {
+        name: "Workload 1",
+        sector: "Health",
+        total_queries: scaled(39_731, scale),
+        distinct_queries: scaled(3_778, scale),
+        translation_share: 0.014,
+        transformation_share: 0.336,
+        emulation_share: 0.002,
+    };
+    let target_ddl = vec![
+        "CREATE TABLE PATIENTS (PATIENT_ID INTEGER NOT NULL, NAME VARCHAR(60), \
+         BIRTH_DATE DATE, REGION_CODE INTEGER)"
+            .to_string(),
+        "CREATE TABLE CLAIMS (CLAIM_ID INTEGER NOT NULL, PATIENT_ID INTEGER, \
+         PROVIDER_ID INTEGER, CLAIM_DATE DATE, AMOUNT DECIMAL(12,2), STATUS VARCHAR(16))"
+            .to_string(),
+        "CREATE TABLE PROVIDERS (PROVIDER_ID INTEGER NOT NULL, PNAME VARCHAR(60), \
+         SPECIALTY VARCHAR(30))"
+            .to_string(),
+        "CREATE TABLE VISITS (VISIT_ID INTEGER NOT NULL, PATIENT_ID INTEGER, \
+         VISIT_DATE DATE, COST DECIMAL(12,2))"
+            .to_string(),
+    ];
+    let hyperq_setup = vec![
+        "CREATE VIEW ACTIVE_CLAIMS AS SELECT CLAIM_ID, PATIENT_ID, AMOUNT, STATUS \
+         FROM CLAIMS WHERE STATUS = 'OPEN'"
+            .to_string(),
+    ];
+
+    let d = profile.distinct_queries as usize;
+    let n_translation = ((d as f64) * profile.translation_share).round() as usize;
+    let n_transformation = ((d as f64) * profile.transformation_share).round() as usize;
+    let n_emulation = (((d as f64) * profile.emulation_share).round() as usize).max(3);
+
+    let mut distinct: Vec<String> = Vec::with_capacity(d);
+
+    // Translation-affected: 5 of the 9 tracked translation features.
+    for i in 0..n_translation {
+        distinct.push(match i % 5 {
+            0 => format!("SEL COUNT(*) FROM CLAIMS WHERE CLAIM_ID = {}", 1000 + i),
+            1 => format!(
+                "SELECT COUNT(*) FROM PATIENTS WHERE CHARS(NAME) > {} AND PATIENT_ID <> {}",
+                3 + i % 20,
+                i
+            ),
+            2 => format!(
+                "SELECT ZEROIFNULL(AMOUNT) FROM CLAIMS WHERE CLAIM_ID = {}",
+                2000 + i
+            ),
+            3 => format!(
+                "SELECT SUBSTR(NAME, 1, {}) FROM PATIENTS WHERE PATIENT_ID = {}",
+                1 + i % 8,
+                i
+            ),
+            _ => format!(
+                "SELECT ADD_MONTHS(CLAIM_DATE, {}) FROM CLAIMS WHERE CLAIM_ID = {}",
+                1 + i % 12,
+                3000 + i
+            ),
+        });
+    }
+
+    // Transformation-affected: 7 of the 9 tracked transformation features.
+    for i in 0..n_transformation {
+        distinct.push(match i % 7 {
+            0 => format!(
+                "SELECT PROVIDER_ID, AMOUNT FROM CLAIMS WHERE CLAIM_ID > {} \
+                 QUALIFY RANK() OVER (ORDER BY AMOUNT DESC) <= {}",
+                i,
+                1 + i % 25
+            ),
+            1 => format!(
+                "SELECT PATIENTS.NAME FROM PATIENTS \
+                 WHERE PATIENTS.PATIENT_ID = CLAIMS.PATIENT_ID AND CLAIMS.AMOUNT > {}",
+                100 + i
+            ),
+            2 => format!(
+                "SELECT AMOUNT AS BASE, BASE * 1.1 AS ADJUSTED FROM CLAIMS \
+                 WHERE CLAIM_ID = {}",
+                i
+            ),
+            3 => format!(
+                "SELECT PROVIDER_ID, SUM(AMOUNT) FROM CLAIMS WHERE AMOUNT > {} \
+                 GROUP BY 1 ORDER BY 2 DESC",
+                i
+            ),
+            4 => format!(
+                "SELECT COUNT(*) FROM CLAIMS WHERE CLAIM_DATE > {} AND CLAIM_ID <> {}",
+                1_140_101 + (i % 28) as i64,
+                i
+            ),
+            5 => format!(
+                "SELECT CLAIM_DATE + {} FROM CLAIMS WHERE CLAIM_ID = {}",
+                1 + i % 30,
+                i
+            ),
+            _ => format!(
+                "SELECT AMOUNT FROM CLAIMS WHERE PROVIDER_ID <> {} \
+                 QUALIFY RANK(AMOUNT DESC) <= {}",
+                i,
+                1 + i % 10
+            ),
+        });
+    }
+
+    // Emulation-affected: 3 of the 9 tracked emulation features.
+    for i in 0..n_emulation {
+        distinct.push(match i % 3 {
+            0 => format!(
+                "MERGE INTO CLAIMS C USING VISITS V ON C.PATIENT_ID = V.PATIENT_ID \
+                 AND C.CLAIM_ID = {} \
+                 WHEN MATCHED THEN UPDATE SET STATUS = 'REVIEWED'",
+                i
+            ),
+            1 => format!(
+                "HELP TABLE {}",
+                ["CLAIMS", "PATIENTS", "PROVIDERS", "VISITS"][(i / 3) % 4]
+            ),
+            _ => format!(
+                "UPDATE ACTIVE_CLAIMS SET STATUS = 'PAID' WHERE CLAIM_ID = {}",
+                5000 + i
+            ),
+        });
+    }
+
+    // Plain (standard SQL) queries fill the rest.
+    let mut i = 0usize;
+    while distinct.len() < d {
+        distinct.push(match i % 5 {
+            0 => format!(
+                "SELECT STATUS, COUNT(*) FROM CLAIMS WHERE AMOUNT > {} GROUP BY STATUS",
+                i * 10
+            ),
+            1 => format!(
+                "SELECT P.NAME, C.AMOUNT FROM PATIENTS P \
+                 INNER JOIN CLAIMS C ON P.PATIENT_ID = C.PATIENT_ID WHERE C.CLAIM_ID = {}",
+                i
+            ),
+            2 => format!(
+                "SELECT COUNT(*) FROM VISITS WHERE COST BETWEEN {} AND {}",
+                i,
+                i + 250
+            ),
+            3 => format!(
+                "SELECT SPECIALTY, COUNT(*) FROM PROVIDERS \
+                 WHERE PROVIDER_ID < {} GROUP BY SPECIALTY",
+                10 + i
+            ),
+            _ => format!(
+                "SELECT AVG(AMOUNT) FROM CLAIMS WHERE STATUS = 'OPEN' AND PROVIDER_ID = {}",
+                i
+            ),
+        });
+        i += 1;
+    }
+    distinct.truncate(d);
+
+    let sequence = build_sequence(distinct.len(), profile.total_queries, 0x48454C54);
+    CustomerWorkload { profile, target_ddl, hyperq_setup, distinct, sequence }
+}
+
+// ---------------------------------------------------------------------------
+// Workload 2: Telco (paper: 192,753 total, 10,446 distinct; Figure 8:
+// translation 22.2% of features / 0.2% of queries, transformation 66.7% /
+// 4.0%, emulation 33.3% / 79.1% — "Customer 2 has selected to wrap a large
+// portion of their business logic in macros … and queries simply call
+// these macros with different parameters").
+// ---------------------------------------------------------------------------
+
+/// Generate the Telco workload at the given scale.
+pub fn telco(scale: f64) -> CustomerWorkload {
+    let profile = WorkloadProfile {
+        name: "Workload 2",
+        sector: "Telco",
+        total_queries: scaled(192_753, scale),
+        distinct_queries: scaled(10_446, scale),
+        translation_share: 0.002,
+        transformation_share: 0.040,
+        emulation_share: 0.791,
+    };
+    let target_ddl = vec![
+        "CREATE TABLE SUBSCRIBERS (SUB_ID INTEGER NOT NULL, SNAME VARCHAR(60), \
+         PLAN_ID INTEGER, SIGNUP_DATE DATE, REGION INTEGER)"
+            .to_string(),
+        "CREATE TABLE CALLS (CALL_ID INTEGER NOT NULL, SUB_ID INTEGER, CALL_DATE DATE, \
+         DURATION INTEGER, CHARGE DECIMAL(12,2))"
+            .to_string(),
+        "CREATE TABLE PLANS (PLAN_ID INTEGER NOT NULL, PLAN_NAME VARCHAR(30), \
+         MONTHLY_FEE DECIMAL(10,2))"
+            .to_string(),
+        "CREATE TABLE INVOICES (INVOICE_ID INTEGER NOT NULL, SUB_ID INTEGER, \
+         INVOICE_DATE DATE, TOTAL DECIMAL(12,2))"
+            .to_string(),
+        "CREATE TABLE REFERRALS (SUB_ID INTEGER NOT NULL, REFERRED_BY INTEGER)"
+            .to_string(),
+    ];
+    let hyperq_setup = vec![
+        "CREATE MACRO USAGE_REPORT (S INTEGER) AS ( \
+           SELECT CALL_DATE, COUNT(*), SUM(CHARGE) FROM CALLS WHERE SUB_ID = :S \
+           GROUP BY CALL_DATE; )"
+            .to_string(),
+        "CREATE MACRO BILLING_SUMMARY (S INTEGER, MIN_TOTAL INTEGER DEFAULT 0) AS ( \
+           SELECT INVOICE_DATE, TOTAL FROM INVOICES \
+           WHERE SUB_ID = :S AND TOTAL >= :MIN_TOTAL; )"
+            .to_string(),
+        "CREATE MACRO PLAN_AUDIT (P INTEGER) AS ( \
+           SELECT S.SNAME, PL.PLAN_NAME FROM SUBSCRIBERS S \
+           INNER JOIN PLANS PL ON S.PLAN_ID = PL.PLAN_ID WHERE PL.PLAN_ID = :P; )"
+            .to_string(),
+        "CREATE GLOBAL TEMPORARY TABLE STAGING_CALLS (SUB_ID INTEGER, TOTAL_CHARGE \
+         DECIMAL(14,2))"
+            .to_string(),
+    ];
+
+    let d = profile.distinct_queries as usize;
+    let n_translation = (((d as f64) * profile.translation_share).round() as usize).max(2);
+    let n_transformation = ((d as f64) * profile.transformation_share).round() as usize;
+    let n_emulation = ((d as f64) * profile.emulation_share).round() as usize;
+
+    let mut distinct: Vec<String> = Vec::with_capacity(d);
+
+    // Translation: 2 of 9 features (SEL shortcut, INDEX function).
+    for i in 0..n_translation {
+        distinct.push(match i % 2 {
+            0 => format!("SEL COUNT(*) FROM CALLS WHERE SUB_ID = {}", 100 + i),
+            _ => format!(
+                "SELECT COUNT(*) FROM SUBSCRIBERS WHERE INDEX(SNAME, 'a{}') > 0 \
+                 AND SUB_ID <> {}",
+                i % 9,
+                i
+            ),
+        });
+    }
+
+    // Transformation: 6 of 9 features.
+    for i in 0..n_transformation {
+        distinct.push(match i % 6 {
+            0 => format!(
+                "SELECT SUB_ID, CHARGE FROM CALLS WHERE CALL_ID > {} \
+                 QUALIFY RANK() OVER (PARTITION BY SUB_ID ORDER BY CHARGE DESC) <= {}",
+                i,
+                1 + i % 5
+            ),
+            1 => format!(
+                "SELECT SUBSCRIBERS.SNAME FROM SUBSCRIBERS \
+                 WHERE SUBSCRIBERS.SUB_ID = CALLS.SUB_ID AND CALLS.DURATION > {}",
+                i
+            ),
+            2 => format!(
+                "SELECT CHARGE AS BASE_CHARGE, BASE_CHARGE * 1.2 AS TAXED FROM CALLS \
+                 WHERE CALL_ID = {}",
+                i
+            ),
+            3 => format!(
+                "SELECT REGION, COUNT(*) FROM SUBSCRIBERS WHERE SUB_ID > {} \
+                 GROUP BY 1 ORDER BY 2 DESC",
+                i
+            ),
+            4 => format!(
+                "SELECT SIGNUP_DATE + {} FROM SUBSCRIBERS WHERE SUB_ID = {}",
+                1 + i % 90,
+                7 * i
+            ),
+            _ => format!(
+                "SELECT CALL_ID FROM CALLS WHERE (DURATION, CHARGE) > ANY \
+                 (SELECT DURATION, CHARGE FROM CALLS WHERE SUB_ID = {})",
+                200 + i
+            ),
+        });
+    }
+
+    // Emulation: dominated by macro executions (E2), plus global temp
+    // tables (E7) and recursive referral chains (E1).
+    for i in 0..n_emulation {
+        distinct.push(match i % 100 {
+            97 => format!(
+                "INSERT INTO STAGING_CALLS SELECT SUB_ID, SUM(CHARGE) FROM CALLS \
+                 WHERE SUB_ID = {} GROUP BY SUB_ID",
+                i
+            ),
+            98 => format!(
+                "WITH RECURSIVE CHAIN (SUB_ID) AS ( \
+                   SELECT SUB_ID FROM REFERRALS WHERE REFERRED_BY = {} \
+                   UNION ALL \
+                   SELECT R.SUB_ID FROM REFERRALS R, CHAIN \
+                   WHERE R.REFERRED_BY = CHAIN.SUB_ID) \
+                 SELECT COUNT(*) FROM CHAIN",
+                i
+            ),
+            99 => format!("SELECT COUNT(*) FROM STAGING_CALLS WHERE SUB_ID < {i}"),
+            k if k % 3 == 0 => format!("EXEC USAGE_REPORT({})", 1000 + i),
+            k if k % 3 == 1 => {
+                format!("EXEC BILLING_SUMMARY({}, MIN_TOTAL = {})", 2000 + i, i % 500)
+            }
+            _ => format!("EXEC PLAN_AUDIT({})", 1 + i),
+        });
+    }
+
+    // Plain queries fill the rest.
+    let mut i = 0usize;
+    while distinct.len() < d {
+        distinct.push(match i % 4 {
+            0 => format!(
+                "SELECT REGION, AVG(DURATION) FROM SUBSCRIBERS S \
+                 INNER JOIN CALLS C ON S.SUB_ID = C.SUB_ID WHERE C.CHARGE > {} GROUP BY REGION",
+                i
+            ),
+            1 => format!("SELECT COUNT(*) FROM INVOICES WHERE TOTAL > {}", i * 5),
+            2 => format!(
+                "SELECT PLAN_NAME, MONTHLY_FEE FROM PLANS WHERE PLAN_ID = {} \
+                 AND PLAN_ID <> -{}",
+                1 + i % 50,
+                1 + i
+            ),
+            _ => format!(
+                "SELECT SNAME FROM SUBSCRIBERS WHERE SIGNUP_DATE > DATE '199{}-0{}-01' \
+                 AND SUB_ID <> {}",
+                2 + i % 8,
+                1 + i % 9,
+                i
+            ),
+        });
+        i += 1;
+    }
+    distinct.truncate(d);
+
+    let sequence = build_sequence(distinct.len(), profile.total_queries, 0x54454C43);
+    CustomerWorkload { profile, target_ddl, hyperq_setup, distinct, sequence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_match_published_sizes() {
+        let h = health(1.0);
+        assert_eq!(h.profile.total_queries, 39_731);
+        assert_eq!(h.profile.distinct_queries, 3_778);
+        assert_eq!(h.distinct.len(), 3_778);
+        assert_eq!(h.sequence.len(), 39_731);
+        let t = telco(1.0);
+        assert_eq!(t.profile.total_queries, 192_753);
+        assert_eq!(t.profile.distinct_queries, 10_446);
+        assert_eq!(t.distinct.len(), 10_446);
+        assert_eq!(t.sequence.len(), 192_753);
+    }
+
+    #[test]
+    fn distinct_texts_are_actually_distinct() {
+        let h = health(0.1);
+        let set: std::collections::HashSet<&String> = h.distinct.iter().collect();
+        assert_eq!(set.len(), h.distinct.len());
+        let t = telco(0.05);
+        let set: std::collections::HashSet<&String> = t.distinct.iter().collect();
+        assert_eq!(set.len(), t.distinct.len());
+    }
+
+    #[test]
+    fn sequence_covers_every_distinct_query() {
+        let h = health(0.05);
+        let mut seen = vec![false; h.distinct.len()];
+        for &i in &h.sequence {
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = telco(0.02);
+        let b = telco(0.02);
+        assert_eq!(a.distinct, b.distinct);
+        assert_eq!(a.sequence, b.sequence);
+    }
+}

@@ -1,0 +1,19 @@
+//! # hyperq-workload — workload substrates for the evaluation
+//!
+//! Two workload families, matching the paper's §7:
+//!
+//! * [`tpch`] — the TPC-H schema, a deterministic data generator, and the
+//!   22 benchmark queries written in the **Teradata dialect** (the paper
+//!   submits them "using Teradata's bteq client … through Hyper-Q", §7.2);
+//! * [`customer`] — synthetic re-creations of the two customer workloads of
+//!   Table 1 (Health: 39,731 queries / 3,778 distinct; Telco: 192,753 /
+//!   10,446), with the 27 tracked features injected at per-class
+//!   frequencies calibrated to the published Figure 8 statistics.
+//!
+//! Both generators are fully deterministic given a seed: the corpus itself
+//! is synthetic (the real customer workloads are proprietary), but the
+//! *measurement* pipeline that consumes it — Hyper-Q's instrumented rewrite
+//! engine — is the real one.
+
+pub mod customer;
+pub mod tpch;

@@ -1,0 +1,357 @@
+//! Deterministic TPC-H data generator.
+//!
+//! Produces the standard row-count ratios (`LINEITEM` ≈ 6,000,000 × SF) at
+//! small scale factors with value distributions close enough to dbgen for
+//! every query predicate to be selective in the intended way (brands,
+//! containers, segments, date ranges, comment patterns for Q13/Q16,
+//! country codes for Q22).
+
+use hyperq_xtra::datum::{date_from_ymd, Datum, Decimal};
+use hyperq_xtra::Row;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generated rows for all eight TPC-H tables.
+pub struct TpchData {
+    pub region: Vec<Row>,
+    pub nation: Vec<Row>,
+    pub supplier: Vec<Row>,
+    pub part: Vec<Row>,
+    pub partsupp: Vec<Row>,
+    pub customer: Vec<Row>,
+    pub orders: Vec<Row>,
+    pub lineitem: Vec<Row>,
+}
+
+impl TpchData {
+    /// (table name, rows) pairs in load order.
+    pub fn tables(self) -> Vec<(&'static str, Vec<Row>)> {
+        vec![
+            ("REGION", self.region),
+            ("NATION", self.nation),
+            ("SUPPLIER", self.supplier),
+            ("PART", self.part),
+            ("PARTSUPP", self.partsupp),
+            ("CUSTOMER", self.customer),
+            ("ORDERS", self.orders),
+            ("LINEITEM", self.lineitem),
+        ]
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.region.len()
+            + self.nation.len()
+            + self.supplier.len()
+            + self.part.len()
+            + self.partsupp.len()
+            + self.customer.len()
+            + self.orders.len()
+            + self.lineitem.len()
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_SYL1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_SYL2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const NAME_WORDS: [&str; 12] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "blanched", "blue", "blush",
+    "brown", "burlywood", "chartreuse", "chiffon",
+];
+
+fn dec(cents: i128) -> Datum {
+    Datum::Dec(Decimal::new(cents, 2))
+}
+
+fn s(v: impl AsRef<str>) -> Datum {
+    Datum::str(v)
+}
+
+/// Generate all tables at the given scale factor (1.0 = standard TPC-H
+/// sizes; use 0.01 or smaller for the in-memory substrate).
+pub fn generate(scale: f64, seed: u64) -> TpchData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_supplier = ((10_000.0 * scale) as usize).max(10);
+    let n_part = ((200_000.0 * scale) as usize).max(40);
+    let n_customer = ((150_000.0 * scale) as usize).max(30);
+    let n_orders = ((1_500_000.0 * scale) as usize).max(100);
+
+    let region: Vec<Row> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            vec![
+                Datum::Int(i as i64),
+                s(name),
+                s(format!("comment on region {name}")),
+            ]
+        })
+        .collect();
+
+    let nation: Vec<Row> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, region))| {
+            vec![
+                Datum::Int(i as i64),
+                s(name),
+                Datum::Int(*region),
+                s(format!("nation {name} commentary")),
+            ]
+        })
+        .collect();
+
+    let supplier: Vec<Row> = (1..=n_supplier)
+        .map(|k| {
+            let nationkey = rng.gen_range(0..25) as i64;
+            // ~1% of suppliers carry the Q16 complaints pattern.
+            let comment = if rng.gen_bool(0.01) {
+                "wake Customer slyly Complaints sleep".to_string()
+            } else {
+                format!("supplier comment {k}")
+            };
+            vec![
+                Datum::Int(k as i64),
+                s(format!("Supplier#{k:09}")),
+                s(format!("address {k}")),
+                Datum::Int(nationkey),
+                s(format!("{:02}-{:03}-{:03}-{:04}", nationkey + 10, k % 999, k % 997, k % 9973)),
+                dec(rng.gen_range(-99_999..999_999)),
+                s(comment),
+            ]
+        })
+        .collect();
+
+    let part: Vec<Row> = (1..=n_part)
+        .map(|k| {
+            let brand_m = rng.gen_range(1..=5);
+            let brand_n = rng.gen_range(1..=5);
+            let ty = format!(
+                "{} {} {}",
+                TYPE_SYL1[rng.gen_range(0..TYPE_SYL1.len())],
+                TYPE_SYL2[rng.gen_range(0..TYPE_SYL2.len())],
+                TYPE_SYL3[rng.gen_range(0..TYPE_SYL3.len())]
+            );
+            let container = format!(
+                "{} {}",
+                CONTAINER_SYL1[rng.gen_range(0..CONTAINER_SYL1.len())],
+                CONTAINER_SYL2[rng.gen_range(0..CONTAINER_SYL2.len())]
+            );
+            let name = format!(
+                "{} {} {}",
+                NAME_WORDS[rng.gen_range(0..NAME_WORDS.len())],
+                NAME_WORDS[rng.gen_range(0..NAME_WORDS.len())],
+                NAME_WORDS[rng.gen_range(0..NAME_WORDS.len())]
+            );
+            vec![
+                Datum::Int(k as i64),
+                s(name),
+                s(format!("Manufacturer#{brand_m}")),
+                s(format!("Brand#{brand_m}{brand_n}")),
+                s(ty),
+                Datum::Int(rng.gen_range(1..=50)),
+                s(container),
+                dec(90_000 + (k as i128 % 20_000) * 10),
+                s(format!("part note {k}")),
+            ]
+        })
+        .collect();
+
+    let partsupp: Vec<Row> = (1..=n_part)
+        .flat_map(|p| {
+            let mut rows = Vec::with_capacity(4);
+            for i in 0..4u64 {
+                let suppkey = ((p as u64 + i * (n_supplier as u64 / 4 + 1)) % n_supplier as u64) + 1;
+                rows.push(vec![
+                    Datum::Int(p as i64),
+                    Datum::Int(suppkey as i64),
+                    Datum::Int(((p as u64 * 7 + i * 13) % 9999 + 1) as i64),
+                    dec(((p as i128 * 31 + i as i128 * 17) % 100_000) + 100),
+                    s(format!("partsupp {p}/{suppkey}")),
+                ]);
+            }
+            rows
+        })
+        .collect();
+
+    let customer: Vec<Row> = (1..=n_customer)
+        .map(|k| {
+            let nationkey = rng.gen_range(0..25) as i64;
+            vec![
+                Datum::Int(k as i64),
+                s(format!("Customer#{k:09}")),
+                s(format!("cust address {k}")),
+                Datum::Int(nationkey),
+                // Country code = nationkey + 10 (Q22 depends on this).
+                s(format!("{:02}-{:03}-{:03}-{:04}", nationkey + 10, k % 999, k % 997, k % 9973)),
+                dec(rng.gen_range(-99_999..999_999)),
+                s(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                s(format!("customer note {k}")),
+            ]
+        })
+        .collect();
+
+    let epoch_1992 = date_from_ymd(1992, 1, 1);
+    let mut orders: Vec<Row> = Vec::with_capacity(n_orders);
+    let mut lineitem: Vec<Row> = Vec::new();
+    for k in 1..=n_orders {
+        let orderkey = k as i64;
+        let custkey = rng.gen_range(1..=n_customer) as i64;
+        let orderdate = epoch_1992 + rng.gen_range(0..2406); // 1992-01-01 .. 1998-08-02
+        let n_lines = rng.gen_range(1..=7);
+        let mut total: i128 = 0;
+        let mut any_open = false;
+        for line in 1..=n_lines {
+            let partkey = rng.gen_range(1..=n_part) as i64;
+            let suppkey =
+                ((partkey as u64 + (line as u64 % 4) * (n_supplier as u64 / 4 + 1))
+                    % n_supplier as u64) as i64
+                    + 1;
+            let quantity = rng.gen_range(1..=50) as i128;
+            let price_per = 90_000 + (partkey as i128 % 20_000) * 10;
+            let extended = quantity * price_per / 100;
+            let discount = rng.gen_range(0..=10) as i128; // 0.00 .. 0.10
+            let tax = rng.gen_range(0..=8) as i128;
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let commitdate = orderdate + rng.gen_range(30..=90);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let cutoff = date_from_ymd(1995, 6, 17);
+            let (returnflag, linestatus) = if shipdate > cutoff {
+                any_open = true;
+                ("N", "O")
+            } else if rng.gen_bool(0.5) {
+                ("R", "F")
+            } else {
+                ("A", "F")
+            };
+            total += extended;
+            lineitem.push(vec![
+                Datum::Int(orderkey),
+                Datum::Int(partkey),
+                Datum::Int(suppkey),
+                Datum::Int(line as i64),
+                dec(quantity * 100),
+                dec(extended),
+                dec(discount),
+                dec(tax),
+                s(returnflag),
+                s(linestatus),
+                Datum::Date(shipdate),
+                Datum::Date(commitdate),
+                Datum::Date(receiptdate),
+                s(INSTRUCTIONS[rng.gen_range(0..INSTRUCTIONS.len())]),
+                s(SHIPMODES[rng.gen_range(0..SHIPMODES.len())]),
+                s(format!("line {orderkey}/{line}")),
+            ]);
+        }
+        // ~1% of orders carry the Q13 "special requests" pattern.
+        let comment = if rng.gen_bool(0.01) {
+            format!("handle special requests for order {k}")
+        } else {
+            format!("order note {k}")
+        };
+        orders.push(vec![
+            Datum::Int(orderkey),
+            Datum::Int(custkey),
+            s(if any_open { "O" } else { "F" }),
+            dec(total),
+            Datum::Date(orderdate),
+            s(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+            s(format!("Clerk#{:09}", rng.gen_range(1..=1000))),
+            Datum::Int(0),
+            s(comment),
+        ]);
+    }
+
+    TpchData { region, nation, supplier, part, partsupp, customer, orders, lineitem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(0.001, 42);
+        let b = generate(0.001, 42);
+        assert_eq!(a.lineitem.len(), b.lineitem.len());
+        assert_eq!(a.lineitem[0], b.lineitem[0]);
+        assert_eq!(a.orders.last(), b.orders.last());
+    }
+
+    #[test]
+    fn ratios_roughly_standard() {
+        let d = generate(0.01, 1);
+        assert_eq!(d.region.len(), 5);
+        assert_eq!(d.nation.len(), 25);
+        assert_eq!(d.supplier.len(), 100);
+        assert_eq!(d.part.len(), 2000);
+        assert_eq!(d.partsupp.len(), 8000);
+        assert_eq!(d.customer.len(), 1500);
+        assert_eq!(d.orders.len(), 15000);
+        let avg_lines = d.lineitem.len() as f64 / d.orders.len() as f64;
+        assert!((1.0..=7.0).contains(&avg_lines));
+    }
+
+    #[test]
+    fn q22_country_codes_present() {
+        let d = generate(0.001, 7);
+        // Phone numbers start with nationkey+10, i.e. 10..34.
+        for row in d.customer.iter().take(20) {
+            let phone = row[4].to_sql_string();
+            let code: i64 = phone[..2].parse().unwrap();
+            assert!((10..=34).contains(&code), "{phone}");
+        }
+    }
+
+    #[test]
+    fn lineitem_dates_consistent() {
+        let d = generate(0.001, 9);
+        for row in d.lineitem.iter().take(100) {
+            let ship = match row[10] {
+                Datum::Date(d) => d,
+                _ => panic!(),
+            };
+            let receipt = match row[12] {
+                Datum::Date(d) => d,
+                _ => panic!(),
+            };
+            assert!(receipt > ship);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! TPC-H substrate: schema, deterministic data generator, and the 22
+//! queries in the Teradata frontend dialect.
+
+mod datagen;
+mod queries;
+mod schema;
+
+pub use datagen::{generate, TpchData};
+pub use queries::{queries, query, QUERY_COUNT};
+pub use schema::{ddl, TABLE_NAMES};

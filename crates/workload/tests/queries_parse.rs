@@ -1,0 +1,61 @@
+//! The workload corpora must be valid Teradata-dialect SQL: every TPC-H
+//! query and every generated customer query parses.
+
+use hyperq_parser::{parse_one, Dialect};
+use hyperq_workload::customer::{health, telco};
+use hyperq_workload::tpch;
+
+#[test]
+fn all_tpch_queries_parse_as_teradata() {
+    for (n, sql) in tpch::queries() {
+        parse_one(sql, Dialect::Teradata)
+            .unwrap_or_else(|e| panic!("Q{n} does not parse: {e}"));
+    }
+    assert_eq!(tpch::QUERY_COUNT, 22);
+}
+
+#[test]
+fn tpch_queries_use_the_teradata_dialect_somewhere() {
+    // The workload must actually exercise the frontend dialect: at least
+    // the SEL shortcut everywhere, and dialect features that the ANSI
+    // parser rejects in several queries.
+    let mut rejected_by_ansi = 0;
+    for (_, sql) in tpch::queries() {
+        if parse_one(sql, Dialect::Ansi).is_err() {
+            rejected_by_ansi += 1;
+        }
+    }
+    assert_eq!(
+        rejected_by_ansi, 22,
+        "every query should be Teradata-flavored (SEL keyword at minimum)"
+    );
+}
+
+#[test]
+fn customer_workload_queries_parse() {
+    for w in [health(0.05), telco(0.02)] {
+        for sql in &w.hyperq_setup {
+            parse_one(sql, Dialect::Teradata)
+                .unwrap_or_else(|e| panic!("setup does not parse: {sql}: {e}"));
+        }
+        for sql in &w.distinct {
+            parse_one(sql, Dialect::Teradata)
+                .unwrap_or_else(|e| panic!("query does not parse: {sql}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn scaled_workloads_preserve_shares() {
+    // The class shares must be stable across corpus scales (the repro runs
+    // at 1.0, tests at small scales).
+    for scale in [0.05, 0.2] {
+        let w = health(scale);
+        let d = w.distinct.len() as f64;
+        let merges = w.distinct.iter().filter(|q| q.starts_with("MERGE")).count();
+        assert!(merges >= 1);
+        let qualifies = w.distinct.iter().filter(|q| q.contains("QUALIFY")).count();
+        let share = qualifies as f64 / d;
+        assert!(share > 0.05 && share < 0.15, "QUALIFY share {share} at {scale}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Catalog metadata: table/view definitions and the provider interface the
+//! binder resolves names against.
+//!
+//! The paper's binder performs "metadata lookup" (§4.2); this module defines
+//! what it looks up. It also carries the *sidecar* properties the emulation
+//! layer needs — SET-table semantics, global temporary tables, non-constant
+//! column defaults, case-insensitive columns (Table 2, rows "SET tables",
+//! "Unsupported column properties") — which the middle tier must remember
+//! because the target database cannot represent them.
+
+use crate::expr::ScalarExpr;
+use crate::schema::{Field, Schema};
+use crate::types::SqlType;
+
+/// What kind of table this is, in the *source* system's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Ordinary persistent table.
+    Permanent,
+    /// Session-scoped temporary table (also the emulation vehicle for
+    /// recursion WorkTable/TempTable, paper §6).
+    Temporary,
+    /// Teradata GLOBAL TEMPORARY: persistent definition, per-session
+    /// contents. Tracked feature E7.
+    GlobalTemporary,
+}
+
+/// One column of a table definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: SqlType,
+    pub nullable: bool,
+    /// Default value; may be non-constant (e.g. `CURRENT_DATE`), which many
+    /// targets reject — kept here so the middle tier can inject it (E9).
+    pub default: Option<ScalarExpr>,
+    /// Teradata `NOT CASESPECIFIC` comparison semantics (E9).
+    pub case_insensitive: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: &str, ty: SqlType, nullable: bool) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+            nullable,
+            default: None,
+            case_insensitive: false,
+        }
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Fully-qualified, dialect-normalized name (`DB.TABLE` or `TABLE`).
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Teradata `SET` semantics: duplicate rows are silently discarded on
+    /// insert (tracked feature E8). `false` = MULTISET.
+    pub set_semantics: bool,
+    pub kind: TableKind,
+}
+
+impl TableDef {
+    pub fn new(name: &str, columns: Vec<ColumnDef>) -> Self {
+        TableDef {
+            name: name.to_string(),
+            columns,
+            set_semantics: false,
+            kind: TableKind::Permanent,
+        }
+    }
+
+    /// The schema exposed when this table is scanned under `alias` (or its
+    /// own unqualified name).
+    pub fn schema(&self, alias: Option<&str>) -> Schema {
+        let qualifier = alias
+            .map(str::to_string)
+            .unwrap_or_else(|| self.base_name().to_string());
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| Field {
+                    qualifier: Some(qualifier.clone()),
+                    name: c.name.clone(),
+                    ty: c.ty.clone(),
+                    nullable: c.nullable,
+                })
+                .collect(),
+        )
+    }
+
+    /// Last component of the qualified name.
+    pub fn base_name(&self) -> &str {
+        self.name.rsplit('.').next().unwrap_or(&self.name)
+    }
+}
+
+/// A view definition. The body is stored as *source-dialect SQL text*, as
+/// real catalogs do; the binder re-binds it on reference, which is also how
+/// DML-on-view emulation (E6) recovers the base table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    pub name: String,
+    /// Optional explicit column list.
+    pub columns: Vec<String>,
+    pub body_sql: String,
+}
+
+/// Name resolution interface used by the binder.
+///
+/// Implemented by the engine's catalog (for direct execution) and by
+/// Hyper-Q's session-scoped shadow catalog (which layers emulated objects —
+/// global temporary tables, macros, views — over the backend's).
+pub trait MetadataProvider {
+    /// Look up a table by (possibly qualified) name, already normalized to
+    /// upper case.
+    fn table(&self, name: &str) -> Option<TableDef>;
+    /// Look up a view by normalized name.
+    fn view(&self, name: &str) -> Option<ViewDef>;
+}
+
+/// A trivial in-memory provider for tests and for the binder's unit tests.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryCatalog {
+    pub tables: Vec<TableDef>,
+    pub views: Vec<ViewDef>,
+}
+
+impl MemoryCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_table(mut self, def: TableDef) -> Self {
+        self.tables.push(def);
+        self
+    }
+
+    pub fn with_view(mut self, def: ViewDef) -> Self {
+        self.views.push(def);
+        self
+    }
+}
+
+impl MetadataProvider for MemoryCatalog {
+    fn table(&self, name: &str) -> Option<TableDef> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name) || t.base_name().eq_ignore_ascii_case(name))
+            .cloned()
+    }
+
+    fn view(&self, name: &str) -> Option<ViewDef> {
+        self.views
+            .iter()
+            .find(|v| v.name.eq_ignore_ascii_case(name))
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> TableDef {
+        TableDef::new(
+            "SALES",
+            vec![
+                ColumnDef::new("AMOUNT", SqlType::Integer, true),
+                ColumnDef::new("SALES_DATE", SqlType::Date, true),
+            ],
+        )
+    }
+
+    #[test]
+    fn table_schema_qualified_by_alias() {
+        let t = sales();
+        let s = t.schema(Some("S1"));
+        assert_eq!(s.resolve(Some("S1"), "AMOUNT"), Ok(0));
+        assert!(s.resolve(Some("SALES"), "AMOUNT").is_err());
+        let s2 = t.schema(None);
+        assert_eq!(s2.resolve(Some("SALES"), "AMOUNT"), Ok(0));
+    }
+
+    #[test]
+    fn memory_catalog_lookup_ignores_case_and_qualification() {
+        let cat = MemoryCatalog::new().with_table(TableDef::new("DB1.SALES", vec![]));
+        assert!(cat.table("db1.sales").is_some());
+        assert!(cat.table("SALES").is_some());
+        assert!(cat.table("OTHER").is_none());
+    }
+
+    #[test]
+    fn base_name_strips_database() {
+        assert_eq!(TableDef::new("DB1.SALES", vec![]).base_name(), "SALES");
+        assert_eq!(TableDef::new("SALES", vec![]).base_name(), "SALES");
+    }
+}

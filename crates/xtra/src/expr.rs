@@ -1,0 +1,1129 @@
+//! Scalar expression trees of the XTRA algebra.
+//!
+//! Expressions cover the constructs named in the paper: arithmetic and
+//! comparisons (`arith`, `comp`), boolean connectives (`boolexpr`), column
+//! identifiers (`ident`), constants (`const`), `extract`, aggregate and
+//! window function references, and the subquery family — including the
+//! *quantified vector comparison* `subq(ANY, GT, [GROSS, NET])` central to
+//! the paper's Example 2.
+
+use std::fmt;
+
+use crate::datum::Datum;
+use crate::rel::RelExpr;
+use crate::types::SqlType;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Teradata `MOD` infix operator (tracked feature T3).
+    Mod,
+    /// Teradata `**` exponentiation (tracked feature T4).
+    Pow,
+}
+
+impl ArithOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+            ArithOp::Pow => "**",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The operator with sides exchanged (`a < b` ⇔ `b > a`).
+    pub fn flip(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation (`NOT (a < b)` ⇔ `a >= b`).
+    pub fn negate(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "EQ",
+            CmpOp::Ne => "NE",
+            CmpOp::Lt => "LT",
+            CmpOp::Le => "LTE",
+            CmpOp::Gt => "GT",
+            CmpOp::Ge => "GTE",
+        }
+    }
+}
+
+/// Boolean connectives (n-ary, as in the paper's `boolexpr(AND)` node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOp {
+    And,
+    Or,
+}
+
+/// Fields extractable from dates/timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateField {
+    Year,
+    Month,
+    Day,
+    Hour,
+    Minute,
+    Second,
+}
+
+impl DateField {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DateField::Year => "YEAR",
+            DateField::Month => "MONTH",
+            DateField::Day => "DAY",
+            DateField::Hour => "HOUR",
+            DateField::Minute => "MINUTE",
+            DateField::Second => "SECOND",
+        }
+    }
+}
+
+/// Built-in scalar functions in their *normalized* (XTRA) form. Dialect
+/// spellings (`CHARS`, `SUBSTR`, `INDEX`, `ZEROIFNULL`, …) are translated to
+/// these during parsing/binding and serialized back out per target dialect.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    Upper,
+    Lower,
+    Trim,
+    Ltrim,
+    Rtrim,
+    /// `SUBSTRING(str, start [, len])`, 1-based.
+    Substring,
+    /// ANSI `CHAR_LENGTH`; Teradata spells it `CHARS`/`CHARACTERS` (T5).
+    CharLength,
+    /// ANSI `POSITION(sub IN str)`; Teradata spells it `INDEX(str, sub)` (T7).
+    Position,
+    Coalesce,
+    NullIf,
+    Abs,
+    Round,
+    Floor,
+    Ceil,
+    Sqrt,
+    Exp,
+    Ln,
+    Power,
+    Mod,
+    Concat,
+    /// Add whole months with day clamping; Teradata `ADD_MONTHS` (T9).
+    AddMonths,
+    /// Add days; the normalized form of Teradata date±integer arithmetic
+    /// for targets without native date arithmetic (X6).
+    DateAddDays,
+    CurrentDate,
+    CurrentTimestamp,
+    /// Escape hatch for functions the IR does not model; carried through
+    /// and serialized verbatim.
+    Other(String),
+}
+
+impl ScalarFunc {
+    pub fn name(&self) -> &str {
+        match self {
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::Lower => "LOWER",
+            ScalarFunc::Trim => "TRIM",
+            ScalarFunc::Ltrim => "LTRIM",
+            ScalarFunc::Rtrim => "RTRIM",
+            ScalarFunc::Substring => "SUBSTRING",
+            ScalarFunc::CharLength => "CHAR_LENGTH",
+            ScalarFunc::Position => "POSITION",
+            ScalarFunc::Coalesce => "COALESCE",
+            ScalarFunc::NullIf => "NULLIF",
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Round => "ROUND",
+            ScalarFunc::Floor => "FLOOR",
+            ScalarFunc::Ceil => "CEIL",
+            ScalarFunc::Sqrt => "SQRT",
+            ScalarFunc::Exp => "EXP",
+            ScalarFunc::Ln => "LN",
+            ScalarFunc::Power => "POWER",
+            ScalarFunc::Mod => "MOD",
+            ScalarFunc::Concat => "CONCAT",
+            ScalarFunc::AddMonths => "ADD_MONTHS",
+            ScalarFunc::DateAddDays => "DATE_ADD_DAYS",
+            ScalarFunc::CurrentDate => "CURRENT_DATE",
+            ScalarFunc::CurrentTimestamp => "CURRENT_TIMESTAMP",
+            ScalarFunc::Other(n) => n,
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    CountStar,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count | AggFunc::CountStar => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// Window function kinds computed by the [`crate::rel::RelExpr::Window`]
+/// operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowFuncKind {
+    Rank,
+    DenseRank,
+    RowNumber,
+    /// An aggregate evaluated over the window partition (`SUM(x) OVER (...)`).
+    Agg(AggFunc),
+}
+
+impl WindowFuncKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            WindowFuncKind::Rank => "RANK",
+            WindowFuncKind::DenseRank => "DENSE_RANK",
+            WindowFuncKind::RowNumber => "ROW_NUMBER",
+            WindowFuncKind::Agg(a) => a.name(),
+        }
+    }
+}
+
+/// One sort key: expression, direction, and NULL placement.
+///
+/// `nulls_first: None` means "dialect default" — a deliberate modeling of
+/// the paper's warning (§2.1) that the default NULL ordering differs between
+/// systems and silently compromises correctness; the transformer makes it
+/// explicit for the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortExpr {
+    pub expr: ScalarExpr,
+    pub desc: bool,
+    pub nulls_first: Option<bool>,
+}
+
+impl SortExpr {
+    pub fn asc(expr: ScalarExpr) -> Self {
+        SortExpr { expr, desc: false, nulls_first: None }
+    }
+    pub fn desc(expr: ScalarExpr) -> Self {
+        SortExpr { expr, desc: true, nulls_first: None }
+    }
+}
+
+/// A window computation appended by the `window` operator, e.g. the paper's
+/// `window(RANK, DESC, AMOUNT)` producing column `R`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowExpr {
+    pub func: WindowFuncKind,
+    /// Argument for aggregate window functions; `None` for RANK/ROW_NUMBER.
+    pub arg: Option<ScalarExpr>,
+    pub partition_by: Vec<ScalarExpr>,
+    pub order_by: Vec<SortExpr>,
+    /// Output column name in the operator's schema.
+    pub output: String,
+}
+
+impl WindowExpr {
+    /// Output type of the window function.
+    pub fn ty(&self) -> SqlType {
+        match &self.func {
+            WindowFuncKind::Rank | WindowFuncKind::DenseRank | WindowFuncKind::RowNumber => {
+                SqlType::Integer
+            }
+            WindowFuncKind::Agg(agg) => {
+                agg_result_type(*agg, self.arg.as_ref().map(|a| a.ty()))
+            }
+        }
+    }
+}
+
+/// Quantifier of a quantified subquery comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    Any,
+    All,
+}
+
+impl Quantifier {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Quantifier::Any => "ANY",
+            Quantifier::All => "ALL",
+        }
+    }
+}
+
+/// Result type of an aggregate given its argument type.
+pub fn agg_result_type(func: AggFunc, arg: Option<SqlType>) -> SqlType {
+    match func {
+        AggFunc::Count | AggFunc::CountStar => SqlType::Integer,
+        AggFunc::Sum => match arg {
+            Some(SqlType::Double) => SqlType::Double,
+            Some(SqlType::Decimal { scale, .. }) => SqlType::Decimal { precision: 38, scale },
+            Some(SqlType::Integer) => SqlType::Integer,
+            Some(t) => t,
+            None => SqlType::Unknown,
+        },
+        AggFunc::Min | AggFunc::Max => arg.unwrap_or(SqlType::Unknown),
+        AggFunc::Avg => match arg {
+            Some(SqlType::Decimal { scale, .. }) => SqlType::Decimal {
+                precision: 38,
+                scale: (scale + 6).min(30),
+            },
+            _ => SqlType::Double,
+        },
+    }
+}
+
+/// A scalar expression in XTRA.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Bound column reference (`ident` in the paper's trees). The binder
+    /// annotates the resolved type; the qualifier is the range variable.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+        ty: SqlType,
+    },
+    /// Constant (`const`).
+    Literal(Datum, SqlType),
+    /// Binary arithmetic (`arith`).
+    Arith {
+        op: ArithOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    /// Unary minus.
+    Neg(Box<ScalarExpr>),
+    /// Comparison (`comp`).
+    Cmp {
+        op: CmpOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    /// N-ary AND/OR (`boolexpr`).
+    BoolExpr { op: BoolOp, args: Vec<ScalarExpr> },
+    Not(Box<ScalarExpr>),
+    IsNull { expr: Box<ScalarExpr>, negated: bool },
+    Like {
+        expr: Box<ScalarExpr>,
+        pattern: Box<ScalarExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<ScalarExpr>,
+        list: Vec<ScalarExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<ScalarExpr>,
+        low: Box<ScalarExpr>,
+        high: Box<ScalarExpr>,
+        negated: bool,
+    },
+    Case {
+        /// `CASE operand WHEN …` simple form; `None` for searched CASE.
+        operand: Option<Box<ScalarExpr>>,
+        branches: Vec<(ScalarExpr, ScalarExpr)>,
+        else_expr: Option<Box<ScalarExpr>>,
+    },
+    Cast { expr: Box<ScalarExpr>, ty: SqlType },
+    /// `extract(FIELD, expr)`.
+    Extract {
+        field: DateField,
+        expr: Box<ScalarExpr>,
+    },
+    /// Built-in scalar function call.
+    Func { func: ScalarFunc, args: Vec<ScalarExpr> },
+    /// Aggregate reference — valid only directly under an `Aggregate`
+    /// operator's agg list.
+    Agg {
+        func: AggFunc,
+        distinct: bool,
+        arg: Option<Box<ScalarExpr>>,
+    },
+    /// Scalar subquery producing a single value.
+    ScalarSubquery(Box<RelExpr>),
+    /// `[NOT] EXISTS (subquery)` — the shape the vector-comparison rewrite
+    /// targets (paper Figure 6/7).
+    Exists {
+        subquery: Box<RelExpr>,
+        negated: bool,
+    },
+    /// `(e1, …, ek) [NOT] IN (subquery)`.
+    InSubquery {
+        exprs: Vec<ScalarExpr>,
+        subquery: Box<RelExpr>,
+        negated: bool,
+    },
+    /// Quantified (possibly *vector*) comparison:
+    /// `(e1, …, ek) op ANY/ALL (subquery)` — the paper's
+    /// `subq(ANY, GT, [GROSS, NET])` node.
+    QuantifiedCmp {
+        left: Vec<ScalarExpr>,
+        op: CmpOp,
+        quantifier: Quantifier,
+        subquery: Box<RelExpr>,
+    },
+}
+
+impl ScalarExpr {
+    /// Convenience constructors ------------------------------------------------
+    pub fn column(qualifier: Option<&str>, name: &str, ty: SqlType) -> ScalarExpr {
+        ScalarExpr::Column {
+            qualifier: qualifier.map(str::to_string),
+            name: name.to_string(),
+            ty,
+        }
+    }
+
+    pub fn int(v: i64) -> ScalarExpr {
+        ScalarExpr::Literal(Datum::Int(v), SqlType::Integer)
+    }
+
+    pub fn string(s: &str) -> ScalarExpr {
+        ScalarExpr::Literal(Datum::str(s), SqlType::Varchar(None))
+    }
+
+    pub fn null() -> ScalarExpr {
+        ScalarExpr::Literal(Datum::Null, SqlType::Unknown)
+    }
+
+    pub fn boolean(b: bool) -> ScalarExpr {
+        ScalarExpr::Literal(Datum::Bool(b), SqlType::Boolean)
+    }
+
+    pub fn cmp(op: CmpOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Cmp { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    pub fn arith(op: ArithOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Arith { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Flattening AND constructor.
+    pub fn and(args: Vec<ScalarExpr>) -> ScalarExpr {
+        let mut flat = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                ScalarExpr::BoolExpr { op: BoolOp::And, args } => flat.extend(args),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => ScalarExpr::boolean(true),
+            1 => flat.into_iter().next().expect("len checked"),
+            _ => ScalarExpr::BoolExpr { op: BoolOp::And, args: flat },
+        }
+    }
+
+    pub fn or(args: Vec<ScalarExpr>) -> ScalarExpr {
+        let mut flat = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                ScalarExpr::BoolExpr { op: BoolOp::Or, args } => flat.extend(args),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => ScalarExpr::boolean(false),
+            1 => flat.into_iter().next().expect("len checked"),
+            _ => ScalarExpr::BoolExpr { op: BoolOp::Or, args: flat },
+        }
+    }
+
+    /// Derived type of this expression.
+    pub fn ty(&self) -> SqlType {
+        match self {
+            ScalarExpr::Column { ty, .. } => ty.clone(),
+            ScalarExpr::Literal(_, ty) => ty.clone(),
+            ScalarExpr::Arith { op, left, right } => {
+                let (lt, rt) = (left.ty(), right.ty());
+                match (op, &lt, &rt) {
+                    (ArithOp::Sub, SqlType::Date, SqlType::Date) => SqlType::Integer,
+                    (ArithOp::Add | ArithOp::Sub, SqlType::Date, SqlType::Integer) => SqlType::Date,
+                    (ArithOp::Add, SqlType::Integer, SqlType::Date) => SqlType::Date,
+                    (ArithOp::Add | ArithOp::Sub, SqlType::Date, SqlType::Interval) => SqlType::Date,
+                    (ArithOp::Add | ArithOp::Sub, SqlType::Timestamp, SqlType::Interval) => {
+                        SqlType::Timestamp
+                    }
+                    (ArithOp::Pow, _, _) => SqlType::Double,
+                    (ArithOp::Div, SqlType::Integer, SqlType::Integer) => SqlType::Integer,
+                    _ => lt.common_supertype(&rt).unwrap_or(SqlType::Unknown),
+                }
+            }
+            ScalarExpr::Neg(e) => e.ty(),
+            ScalarExpr::Cmp { .. }
+            | ScalarExpr::BoolExpr { .. }
+            | ScalarExpr::Not(_)
+            | ScalarExpr::IsNull { .. }
+            | ScalarExpr::Like { .. }
+            | ScalarExpr::InList { .. }
+            | ScalarExpr::Between { .. }
+            | ScalarExpr::Exists { .. }
+            | ScalarExpr::InSubquery { .. }
+            | ScalarExpr::QuantifiedCmp { .. } => SqlType::Boolean,
+            ScalarExpr::Case { branches, else_expr, .. } => {
+                let mut ty = SqlType::Unknown;
+                for (_, r) in branches {
+                    ty = ty.common_supertype(&r.ty()).unwrap_or(SqlType::Unknown);
+                }
+                if let Some(e) = else_expr {
+                    ty = ty.common_supertype(&e.ty()).unwrap_or(ty);
+                }
+                ty
+            }
+            ScalarExpr::Cast { ty, .. } => ty.clone(),
+            ScalarExpr::Extract { .. } => SqlType::Integer,
+            ScalarExpr::Func { func, args } => match func {
+                ScalarFunc::Upper
+                | ScalarFunc::Lower
+                | ScalarFunc::Trim
+                | ScalarFunc::Ltrim
+                | ScalarFunc::Rtrim
+                | ScalarFunc::Substring
+                | ScalarFunc::Concat => SqlType::Varchar(None),
+                ScalarFunc::CharLength | ScalarFunc::Position | ScalarFunc::Mod => {
+                    SqlType::Integer
+                }
+                ScalarFunc::Coalesce | ScalarFunc::NullIf => {
+                    args.first().map(|a| a.ty()).unwrap_or(SqlType::Unknown)
+                }
+                ScalarFunc::Abs | ScalarFunc::Round | ScalarFunc::Floor | ScalarFunc::Ceil => {
+                    args.first().map(|a| a.ty()).unwrap_or(SqlType::Unknown)
+                }
+                ScalarFunc::Sqrt | ScalarFunc::Exp | ScalarFunc::Ln | ScalarFunc::Power => {
+                    SqlType::Double
+                }
+                ScalarFunc::AddMonths | ScalarFunc::DateAddDays | ScalarFunc::CurrentDate => {
+                    SqlType::Date
+                }
+                ScalarFunc::CurrentTimestamp => SqlType::Timestamp,
+                ScalarFunc::Other(_) => SqlType::Unknown,
+            },
+            ScalarExpr::Agg { func, arg, .. } => {
+                agg_result_type(*func, arg.as_ref().map(|a| a.ty()))
+            }
+            ScalarExpr::ScalarSubquery(rel) => rel
+                .schema()
+                .fields
+                .first()
+                .map(|f| f.ty.clone())
+                .unwrap_or(SqlType::Unknown),
+        }
+    }
+
+    /// Visit this expression and every descendant (including into
+    /// subqueries), pre-order.
+    pub fn visit(&self, exprv: &mut dyn FnMut(&ScalarExpr), relv: &mut dyn FnMut(&RelExpr)) {
+        exprv(self);
+        match self {
+            ScalarExpr::Column { .. } | ScalarExpr::Literal(..) => {}
+            ScalarExpr::Arith { left, right, .. } | ScalarExpr::Cmp { left, right, .. } => {
+                left.visit(exprv, relv);
+                right.visit(exprv, relv);
+            }
+            ScalarExpr::Neg(e) | ScalarExpr::Not(e) => e.visit(exprv, relv),
+            ScalarExpr::BoolExpr { args, .. } => {
+                for a in args {
+                    a.visit(exprv, relv);
+                }
+            }
+            ScalarExpr::IsNull { expr, .. } => expr.visit(exprv, relv),
+            ScalarExpr::Like { expr, pattern, .. } => {
+                expr.visit(exprv, relv);
+                pattern.visit(exprv, relv);
+            }
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.visit(exprv, relv);
+                for e in list {
+                    e.visit(exprv, relv);
+                }
+            }
+            ScalarExpr::Between { expr, low, high, .. } => {
+                expr.visit(exprv, relv);
+                low.visit(exprv, relv);
+                high.visit(exprv, relv);
+            }
+            ScalarExpr::Case { operand, branches, else_expr } => {
+                if let Some(o) = operand {
+                    o.visit(exprv, relv);
+                }
+                for (c, r) in branches {
+                    c.visit(exprv, relv);
+                    r.visit(exprv, relv);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(exprv, relv);
+                }
+            }
+            ScalarExpr::Cast { expr, .. } | ScalarExpr::Extract { expr, .. } => {
+                expr.visit(exprv, relv)
+            }
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.visit(exprv, relv);
+                }
+            }
+            ScalarExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit(exprv, relv);
+                }
+            }
+            ScalarExpr::ScalarSubquery(rel) => rel.visit(exprv, relv),
+            ScalarExpr::Exists { subquery, .. } => subquery.visit(exprv, relv),
+            ScalarExpr::InSubquery { exprs, subquery, .. } => {
+                for e in exprs {
+                    e.visit(exprv, relv);
+                }
+                subquery.visit(exprv, relv);
+            }
+            ScalarExpr::QuantifiedCmp { left, subquery, .. } => {
+                for e in left {
+                    e.visit(exprv, relv);
+                }
+                subquery.visit(exprv, relv);
+            }
+        }
+    }
+
+    /// Bottom-up rewrite: children (and subqueries) first, then `exprf` on
+    /// the resulting node. Subquery relational trees are rewritten with
+    /// `relf`/`exprf` via [`RelExpr::rewrite`].
+    pub fn rewrite(
+        self,
+        relf: &mut dyn FnMut(RelExpr) -> RelExpr,
+        exprf: &mut dyn FnMut(ScalarExpr) -> ScalarExpr,
+    ) -> ScalarExpr {
+        let node = match self {
+            e @ (ScalarExpr::Column { .. } | ScalarExpr::Literal(..)) => e,
+            ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+                op,
+                left: Box::new(left.rewrite(relf, exprf)),
+                right: Box::new(right.rewrite(relf, exprf)),
+            },
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.rewrite(relf, exprf))),
+            ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                op,
+                left: Box::new(left.rewrite(relf, exprf)),
+                right: Box::new(right.rewrite(relf, exprf)),
+            },
+            ScalarExpr::BoolExpr { op, args } => ScalarExpr::BoolExpr {
+                op,
+                args: args.into_iter().map(|a| a.rewrite(relf, exprf)).collect(),
+            },
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.rewrite(relf, exprf))),
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.rewrite(relf, exprf)),
+                negated,
+            },
+            ScalarExpr::Like { expr, pattern, negated } => ScalarExpr::Like {
+                expr: Box::new(expr.rewrite(relf, exprf)),
+                pattern: Box::new(pattern.rewrite(relf, exprf)),
+                negated,
+            },
+            ScalarExpr::InList { expr, list, negated } => ScalarExpr::InList {
+                expr: Box::new(expr.rewrite(relf, exprf)),
+                list: list.into_iter().map(|e| e.rewrite(relf, exprf)).collect(),
+                negated,
+            },
+            ScalarExpr::Between { expr, low, high, negated } => ScalarExpr::Between {
+                expr: Box::new(expr.rewrite(relf, exprf)),
+                low: Box::new(low.rewrite(relf, exprf)),
+                high: Box::new(high.rewrite(relf, exprf)),
+                negated,
+            },
+            ScalarExpr::Case { operand, branches, else_expr } => ScalarExpr::Case {
+                operand: operand.map(|o| Box::new(o.rewrite(relf, exprf))),
+                branches: branches
+                    .into_iter()
+                    .map(|(c, r)| (c.rewrite(relf, exprf), r.rewrite(relf, exprf)))
+                    .collect(),
+                else_expr: else_expr.map(|e| Box::new(e.rewrite(relf, exprf))),
+            },
+            ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
+                expr: Box::new(expr.rewrite(relf, exprf)),
+                ty,
+            },
+            ScalarExpr::Extract { field, expr } => ScalarExpr::Extract {
+                field,
+                expr: Box::new(expr.rewrite(relf, exprf)),
+            },
+            ScalarExpr::Func { func, args } => ScalarExpr::Func {
+                func,
+                args: args.into_iter().map(|a| a.rewrite(relf, exprf)).collect(),
+            },
+            ScalarExpr::Agg { func, distinct, arg } => ScalarExpr::Agg {
+                func,
+                distinct,
+                arg: arg.map(|a| Box::new(a.rewrite(relf, exprf))),
+            },
+            ScalarExpr::ScalarSubquery(rel) => {
+                ScalarExpr::ScalarSubquery(Box::new(rel.rewrite(relf, exprf)))
+            }
+            ScalarExpr::Exists { subquery, negated } => ScalarExpr::Exists {
+                subquery: Box::new(subquery.rewrite(relf, exprf)),
+                negated,
+            },
+            ScalarExpr::InSubquery { exprs, subquery, negated } => ScalarExpr::InSubquery {
+                exprs: exprs.into_iter().map(|e| e.rewrite(relf, exprf)).collect(),
+                subquery: Box::new(subquery.rewrite(relf, exprf)),
+                negated,
+            },
+            ScalarExpr::QuantifiedCmp { left, op, quantifier, subquery } => {
+                ScalarExpr::QuantifiedCmp {
+                    left: left.into_iter().map(|e| e.rewrite(relf, exprf)).collect(),
+                    op,
+                    quantifier,
+                    subquery: Box::new(subquery.rewrite(relf, exprf)),
+                }
+            }
+        };
+        exprf(node)
+    }
+
+    /// Visit this node and its descendants *without* crossing subquery
+    /// boundaries (subquery relational bodies are opaque). Used by the
+    /// binder's aggregate assembly, where an inner query's aggregates must
+    /// not be captured by the outer aggregate.
+    pub fn visit_no_subquery(&self, f: &mut dyn FnMut(&ScalarExpr)) {
+        f(self);
+        match self {
+            ScalarExpr::Column { .. }
+            | ScalarExpr::Literal(..)
+            | ScalarExpr::ScalarSubquery(_)
+            | ScalarExpr::Exists { .. } => {}
+            ScalarExpr::Arith { left, right, .. } | ScalarExpr::Cmp { left, right, .. } => {
+                left.visit_no_subquery(f);
+                right.visit_no_subquery(f);
+            }
+            ScalarExpr::Neg(e) | ScalarExpr::Not(e) => e.visit_no_subquery(f),
+            ScalarExpr::BoolExpr { args, .. } => {
+                for a in args {
+                    a.visit_no_subquery(f);
+                }
+            }
+            ScalarExpr::IsNull { expr, .. }
+            | ScalarExpr::Cast { expr, .. }
+            | ScalarExpr::Extract { expr, .. } => expr.visit_no_subquery(f),
+            ScalarExpr::Like { expr, pattern, .. } => {
+                expr.visit_no_subquery(f);
+                pattern.visit_no_subquery(f);
+            }
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.visit_no_subquery(f);
+                for e in list {
+                    e.visit_no_subquery(f);
+                }
+            }
+            ScalarExpr::Between { expr, low, high, .. } => {
+                expr.visit_no_subquery(f);
+                low.visit_no_subquery(f);
+                high.visit_no_subquery(f);
+            }
+            ScalarExpr::Case { operand, branches, else_expr } => {
+                if let Some(o) = operand {
+                    o.visit_no_subquery(f);
+                }
+                for (c, r) in branches {
+                    c.visit_no_subquery(f);
+                    r.visit_no_subquery(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit_no_subquery(f);
+                }
+            }
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.visit_no_subquery(f);
+                }
+            }
+            ScalarExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit_no_subquery(f);
+                }
+            }
+            ScalarExpr::InSubquery { exprs, .. } => {
+                for e in exprs {
+                    e.visit_no_subquery(f);
+                }
+            }
+            ScalarExpr::QuantifiedCmp { left, .. } => {
+                for e in left {
+                    e.visit_no_subquery(f);
+                }
+            }
+        }
+    }
+
+    /// Bottom-up rewrite *without* crossing subquery boundaries: subquery
+    /// nodes pass through untouched (their scalar left-hand sides *are*
+    /// rewritten).
+    pub fn rewrite_no_subquery(
+        self,
+        f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr,
+    ) -> ScalarExpr {
+        let node = match self {
+            e @ (ScalarExpr::Column { .. }
+            | ScalarExpr::Literal(..)
+            | ScalarExpr::ScalarSubquery(_)
+            | ScalarExpr::Exists { .. }) => e,
+            ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+                op,
+                left: Box::new(left.rewrite_no_subquery(f)),
+                right: Box::new(right.rewrite_no_subquery(f)),
+            },
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.rewrite_no_subquery(f))),
+            ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                op,
+                left: Box::new(left.rewrite_no_subquery(f)),
+                right: Box::new(right.rewrite_no_subquery(f)),
+            },
+            ScalarExpr::BoolExpr { op, args } => ScalarExpr::BoolExpr {
+                op,
+                args: args.into_iter().map(|a| a.rewrite_no_subquery(f)).collect(),
+            },
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.rewrite_no_subquery(f))),
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.rewrite_no_subquery(f)),
+                negated,
+            },
+            ScalarExpr::Like { expr, pattern, negated } => ScalarExpr::Like {
+                expr: Box::new(expr.rewrite_no_subquery(f)),
+                pattern: Box::new(pattern.rewrite_no_subquery(f)),
+                negated,
+            },
+            ScalarExpr::InList { expr, list, negated } => ScalarExpr::InList {
+                expr: Box::new(expr.rewrite_no_subquery(f)),
+                list: list.into_iter().map(|e| e.rewrite_no_subquery(f)).collect(),
+                negated,
+            },
+            ScalarExpr::Between { expr, low, high, negated } => ScalarExpr::Between {
+                expr: Box::new(expr.rewrite_no_subquery(f)),
+                low: Box::new(low.rewrite_no_subquery(f)),
+                high: Box::new(high.rewrite_no_subquery(f)),
+                negated,
+            },
+            ScalarExpr::Case { operand, branches, else_expr } => ScalarExpr::Case {
+                operand: operand.map(|o| Box::new(o.rewrite_no_subquery(f))),
+                branches: branches
+                    .into_iter()
+                    .map(|(c, r)| (c.rewrite_no_subquery(f), r.rewrite_no_subquery(f)))
+                    .collect(),
+                else_expr: else_expr.map(|e| Box::new(e.rewrite_no_subquery(f))),
+            },
+            ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
+                expr: Box::new(expr.rewrite_no_subquery(f)),
+                ty,
+            },
+            ScalarExpr::Extract { field, expr } => ScalarExpr::Extract {
+                field,
+                expr: Box::new(expr.rewrite_no_subquery(f)),
+            },
+            ScalarExpr::Func { func, args } => ScalarExpr::Func {
+                func,
+                args: args.into_iter().map(|a| a.rewrite_no_subquery(f)).collect(),
+            },
+            ScalarExpr::Agg { func, distinct, arg } => ScalarExpr::Agg {
+                func,
+                distinct,
+                arg: arg.map(|a| Box::new(a.rewrite_no_subquery(f))),
+            },
+            ScalarExpr::InSubquery { exprs, subquery, negated } => ScalarExpr::InSubquery {
+                exprs: exprs.into_iter().map(|e| e.rewrite_no_subquery(f)).collect(),
+                subquery,
+                negated,
+            },
+            ScalarExpr::QuantifiedCmp { left, op, quantifier, subquery } => {
+                ScalarExpr::QuantifiedCmp {
+                    left: left.into_iter().map(|e| e.rewrite_no_subquery(f)).collect(),
+                    op,
+                    quantifier,
+                    subquery,
+                }
+            }
+        };
+        f(node)
+    }
+
+    /// True if the tree contains an aggregate reference *outside* of any
+    /// subquery (used by the binder to decide whether a scalar projection
+    /// implies aggregation).
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            ScalarExpr::Agg { .. } => true,
+            ScalarExpr::Column { .. }
+            | ScalarExpr::Literal(..)
+            | ScalarExpr::ScalarSubquery(_)
+            | ScalarExpr::Exists { .. } => false,
+            ScalarExpr::Arith { left, right, .. } | ScalarExpr::Cmp { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            ScalarExpr::Neg(e) | ScalarExpr::Not(e) => e.contains_aggregate(),
+            ScalarExpr::BoolExpr { args, .. } => args.iter().any(|a| a.contains_aggregate()),
+            ScalarExpr::IsNull { expr, .. }
+            | ScalarExpr::Cast { expr, .. }
+            | ScalarExpr::Extract { expr, .. } => expr.contains_aggregate(),
+            ScalarExpr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            ScalarExpr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            ScalarExpr::Case { operand, branches, else_expr } => {
+                operand.as_ref().map(|o| o.contains_aggregate()).unwrap_or(false)
+                    || branches
+                        .iter()
+                        .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
+                    || else_expr
+                        .as_ref()
+                        .map(|e| e.contains_aggregate())
+                        .unwrap_or(false)
+            }
+            ScalarExpr::Func { args, .. } => args.iter().any(|a| a.contains_aggregate()),
+            ScalarExpr::InSubquery { exprs, .. } => {
+                exprs.iter().any(|e| e.contains_aggregate())
+            }
+            ScalarExpr::QuantifiedCmp { left, .. } => {
+                left.iter().any(|e| e.contains_aggregate())
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    /// Compact single-line rendering for diagnostics (not target SQL — that
+    /// is the serializer's job).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column { qualifier, name, .. } => {
+                if let Some(q) = qualifier {
+                    write!(f, "{q}.{name}")
+                } else {
+                    write!(f, "{name}")
+                }
+            }
+            ScalarExpr::Literal(d, _) => write!(f, "{d}"),
+            ScalarExpr::Arith { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            ScalarExpr::Neg(e) => write!(f, "(-{e})"),
+            ScalarExpr::Cmp { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            ScalarExpr::BoolExpr { op, args } => {
+                let sep = match op {
+                    BoolOp::And => " AND ",
+                    BoolOp::Or => " OR ",
+                };
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "{sep}")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::Not(e) => write!(f, "(NOT {e})"),
+            ScalarExpr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            ScalarExpr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            }
+            ScalarExpr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            ScalarExpr::Between { expr, low, high, negated } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            ScalarExpr::Case { .. } => write!(f, "CASE(..)"),
+            ScalarExpr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+            ScalarExpr::Extract { field, expr } => {
+                write!(f, "EXTRACT({} FROM {expr})", field.name())
+            }
+            ScalarExpr::Func { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::Agg { func, distinct, arg } => {
+                write!(f, "{}(", func.name())?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match arg {
+                    Some(a) => write!(f, "{a})"),
+                    None => write!(f, "*)"),
+                }
+            }
+            ScalarExpr::ScalarSubquery(_) => write!(f, "(subquery)"),
+            ScalarExpr::Exists { negated, .. } => {
+                write!(f, "{}EXISTS(subquery)", if *negated { "NOT " } else { "" })
+            }
+            ScalarExpr::InSubquery { negated, .. } => {
+                write!(f, "{}IN(subquery)", if *negated { "NOT " } else { "" })
+            }
+            ScalarExpr::QuantifiedCmp { op, quantifier, .. } => {
+                write!(f, "{} {}(subquery)", op.symbol(), quantifier.name())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_flip_and_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Ne.negate(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn and_constructor_flattens() {
+        let e = ScalarExpr::and(vec![
+            ScalarExpr::and(vec![ScalarExpr::boolean(true), ScalarExpr::boolean(false)]),
+            ScalarExpr::boolean(true),
+        ]);
+        match e {
+            ScalarExpr::BoolExpr { op: BoolOp::And, args } => assert_eq!(args.len(), 3),
+            other => panic!("expected flat AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_of_one_collapses() {
+        let e = ScalarExpr::and(vec![ScalarExpr::boolean(true)]);
+        assert_eq!(e, ScalarExpr::boolean(true));
+    }
+
+    #[test]
+    fn date_minus_date_types_as_integer() {
+        let d = ScalarExpr::column(None, "D", SqlType::Date);
+        let e = ScalarExpr::arith(ArithOp::Sub, d.clone(), d);
+        assert_eq!(e.ty(), SqlType::Integer);
+    }
+
+    #[test]
+    fn date_plus_int_types_as_date() {
+        let d = ScalarExpr::column(None, "D", SqlType::Date);
+        let e = ScalarExpr::arith(ArithOp::Add, d, ScalarExpr::int(3));
+        assert_eq!(e.ty(), SqlType::Date);
+    }
+
+    #[test]
+    fn avg_of_decimal_widens_scale() {
+        let t = agg_result_type(
+            AggFunc::Avg,
+            Some(SqlType::Decimal { precision: 15, scale: 2 }),
+        );
+        assert_eq!(t, SqlType::Decimal { precision: 38, scale: 8 });
+    }
+
+    #[test]
+    fn rewrite_is_bottom_up() {
+        // Replace every integer literal with literal+1; the outer Arith must
+        // see already-rewritten children.
+        let e = ScalarExpr::arith(ArithOp::Add, ScalarExpr::int(1), ScalarExpr::int(2));
+        let mut relf = |r: RelExpr| r;
+        let mut exprf = |e: ScalarExpr| match e {
+            ScalarExpr::Literal(Datum::Int(v), t) => ScalarExpr::Literal(Datum::Int(v + 1), t),
+            other => other,
+        };
+        let out = e.rewrite(&mut relf, &mut exprf);
+        assert_eq!(
+            out,
+            ScalarExpr::arith(ArithOp::Add, ScalarExpr::int(2), ScalarExpr::int(3))
+        );
+    }
+
+    #[test]
+    fn contains_aggregate_ignores_subqueries() {
+        let sub = RelExpr::Values { rows: vec![], schema: crate::Schema::empty() };
+        let e = ScalarExpr::Exists { subquery: Box::new(sub), negated: false };
+        assert!(!e.contains_aggregate());
+        let agg = ScalarExpr::Agg { func: AggFunc::CountStar, distinct: false, arg: None };
+        assert!(ScalarExpr::and(vec![e, ScalarExpr::cmp(CmpOp::Gt, agg, ScalarExpr::int(0))])
+            .contains_aggregate());
+    }
+}

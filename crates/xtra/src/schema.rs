@@ -1,0 +1,210 @@
+//! Relational schemas: ordered, optionally qualified, typed column lists.
+
+use std::fmt;
+
+use crate::types::SqlType;
+
+/// One output column of a relational operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Range-variable qualifier (table alias) the column is visible under.
+    pub qualifier: Option<String>,
+    /// Column name, normalized to upper case by the binder.
+    pub name: String,
+    pub ty: SqlType,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(qualifier: Option<&str>, name: &str, ty: SqlType, nullable: bool) -> Self {
+        Field {
+            qualifier: qualifier.map(|s| s.to_string()),
+            name: name.to_string(),
+            ty,
+            nullable,
+        }
+    }
+
+    /// Does `qualifier.name` (or bare `name`) refer to this field?
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .map(|fq| fq.eq_ignore_ascii_case(q))
+                .unwrap_or(false),
+        }
+    }
+}
+
+/// An ordered list of fields; the output description of every [`crate::rel::RelExpr`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Resolve a possibly-qualified column reference to its index.
+    ///
+    /// Returns `Err` with a descriptive message on ambiguity (two distinct
+    /// unqualified matches) or absence, mirroring a real binder's
+    /// diagnostics.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize, String> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if let Some(prev) = found {
+                    // Same qualifier+name appearing twice (e.g. after a
+                    // self-join both sides expose T.C): ambiguous.
+                    return Err(format!(
+                        "ambiguous column reference {}{name} (columns {prev} and {i})",
+                        qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+                    ));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            format!(
+                "column {}{name} not found",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+            )
+        })
+    }
+
+    /// Like [`Schema::resolve`], but distinguishes "not found" (`Ok(None)`)
+    /// from ambiguity (`Err`). The binder uses this to fall through to
+    /// outer scopes and select-list aliases.
+    pub fn try_resolve(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+    ) -> Result<Option<usize>, String> {
+        match self.resolve(qualifier, name) {
+            Ok(i) => Ok(Some(i)),
+            Err(e) if e.starts_with("ambiguous") => Err(e),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Re-qualify every field under a new range variable (derived-table
+    /// alias), optionally renaming columns (`FROM (...) AS T (a, b, c)` —
+    /// the "column names in a derived table alias" feature of Figure 2).
+    pub fn with_alias(&self, alias: &str, column_names: Option<&[String]>) -> Result<Schema, String> {
+        if let Some(names) = column_names {
+            if names.len() != self.fields.len() {
+                return Err(format!(
+                    "derived table alias {alias} lists {} columns, query produces {}",
+                    names.len(),
+                    self.fields.len()
+                ));
+            }
+        }
+        Ok(Schema {
+            fields: self
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| Field {
+                    qualifier: Some(alias.to_string()),
+                    name: column_names
+                        .map(|n| n[i].clone())
+                        .unwrap_or_else(|| f.name.clone()),
+                    ty: f.ty.clone(),
+                    nullable: f.nullable,
+                })
+                .collect(),
+        })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if let Some(q) = &field.qualifier {
+                write!(f, "{q}.")?;
+            }
+            write!(f, "{} {}", field.name, field.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new(Some("S"), "AMOUNT", SqlType::Integer, true),
+            Field::new(Some("S"), "SALES_DATE", SqlType::Date, true),
+            Field::new(Some("H"), "AMOUNT", SqlType::Integer, true),
+        ])
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let s = schema();
+        assert_eq!(s.resolve(Some("S"), "AMOUNT"), Ok(0));
+        assert_eq!(s.resolve(Some("H"), "amount"), Ok(2));
+        assert_eq!(s.resolve(Some("S"), "SALES_DATE"), Ok(1));
+    }
+
+    #[test]
+    fn unqualified_ambiguity_detected() {
+        let s = schema();
+        assert!(s.resolve(None, "AMOUNT").is_err());
+        assert_eq!(s.resolve(None, "SALES_DATE"), Ok(1));
+    }
+
+    #[test]
+    fn missing_column_reported() {
+        let err = schema().resolve(Some("S"), "NET").unwrap_err();
+        assert!(err.contains("S.NET"), "{err}");
+    }
+
+    #[test]
+    fn alias_renames_and_requalifies() {
+        let s = schema()
+            .with_alias("T", Some(&["A".into(), "B".into(), "C".into()]))
+            .unwrap();
+        assert_eq!(s.resolve(Some("T"), "B"), Ok(1));
+        assert!(s.resolve(Some("S"), "AMOUNT").is_err());
+    }
+
+    #[test]
+    fn alias_arity_mismatch_is_error() {
+        assert!(schema().with_alias("T", Some(&["A".into()])).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: run unmodified Teradata-dialect SQL against a different
+//! warehouse through Hyper-Q.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::{Backend, HyperQ};
+use hyperq::engine::EngineDb;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The target cloud warehouse (DB-B). In production this would be a real
+    // system reached over ODBC; here it is the bundled engine.
+    let warehouse = Arc::new(EngineDb::new());
+    warehouse.execute_sql(
+        "CREATE TABLE SALES (STORE INTEGER, PRODUCT_NAME VARCHAR(40), AMOUNT INTEGER, \
+         SALES_DATE DATE)",
+    )?;
+    warehouse.execute_sql(
+        "INSERT INTO SALES VALUES \
+         (1, 'widget', 500, DATE '2014-03-01'), \
+         (1, 'gadget', 300, DATE '2014-04-01'), \
+         (2, 'widget', 500, DATE '2013-12-31'), \
+         (3, 'gizmo', 700, DATE '2015-01-01')",
+    )?;
+
+    // One virtualized session: the application side speaks Teradata SQL.
+    let mut hyperq = HyperQ::new(
+        Arc::clone(&warehouse) as Arc<dyn Backend>,
+        TargetCapabilities::simwh(),
+    );
+
+    // Teradata-isms everywhere: SEL, integer-encoded date comparison,
+    // QUALIFY with the RANK(expr DESC) shorthand. None of this is valid on
+    // the target — Hyper-Q rewrites it on the fly.
+    let outcome = hyperq.run_one(
+        "SEL STORE, PRODUCT_NAME, AMOUNT \
+         FROM SALES \
+         WHERE SALES_DATE > 1140101 \
+         QUALIFY RANK(AMOUNT DESC) <= 2",
+    )?;
+
+    println!("SQL sent to the target warehouse:");
+    for sql in &outcome.sql_sent {
+        println!("  {sql}");
+    }
+    println!();
+    println!("Tracked non-standard features observed:");
+    for f in outcome.features.iter() {
+        println!("  {f}");
+    }
+    println!();
+    println!("Results:");
+    let names: Vec<&str> = outcome
+        .result
+        .schema
+        .fields
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    println!("  {}", names.join(" | "));
+    for row in &outcome.result.rows {
+        let values: Vec<String> = row.iter().map(|v| v.to_sql_string()).collect();
+        println!("  {}", values.join(" | "));
+    }
+    println!();
+    println!(
+        "translation: {:?}, execution: {:?}",
+        outcome.timings.translation, outcome.timings.execution
+    );
+    Ok(())
+}

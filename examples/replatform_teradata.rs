@@ -1,0 +1,99 @@
+//! The drop-in-replace scenario (paper §B.1 and Figure 1b): an unchanged
+//! "application" — complete with its Teradata driver, macros, MERGE-based
+//! upserts and informational commands — pointed at the Hyper-Q gateway over
+//! the wire protocol instead of at Teradata.
+//!
+//! ```sh
+//! cargo run --example replatform_teradata
+//! ```
+
+use std::sync::Arc;
+
+use hyperq::core::Backend;
+use hyperq::engine::EngineDb;
+use hyperq::wire::{Client, Gateway, GatewayConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- the new cloud warehouse, loaded out of band -----------------------
+    let warehouse = Arc::new(EngineDb::new());
+    warehouse.execute_sql(
+        "CREATE TABLE ACCOUNTS (ACCT_ID INTEGER NOT NULL, HOLDER VARCHAR(40), \
+         BALANCE DECIMAL(12,2), OPENED DATE)",
+    )?;
+    warehouse.execute_sql(
+        "INSERT INTO ACCOUNTS VALUES \
+         (100, 'acme corp', 2500.00, DATE '2010-06-01'), \
+         (200, 'globex', 120.50, DATE '2015-02-11'), \
+         (300, 'initech', 9800.75, DATE '2012-09-30')",
+    )?;
+    warehouse.execute_sql(
+        "CREATE TABLE FEED (ACCT_ID INTEGER, HOLDER VARCHAR(40), BALANCE DECIMAL(12,2))",
+    )?;
+    warehouse
+        .execute_sql("INSERT INTO FEED VALUES (200, 'globex', 180.25), (400, 'hooli', 50.00)")?;
+
+    // --- Hyper-Q in the data path -------------------------------------------
+    let gateway = Gateway::spawn(
+        Arc::clone(&warehouse) as Arc<dyn Backend>,
+        GatewayConfig::default(),
+    )?;
+    println!("gateway listening on {} (speaking the Teradata-style protocol)\n", gateway.addr);
+
+    // --- the unchanged application ------------------------------------------
+    // It logs on with its existing credentials and runs its existing SQL.
+    let mut app = Client::connect(gateway.addr, "APP", "secret")?;
+
+    // 1. The nightly upsert, written as Teradata MERGE (not supported by
+    //    the target — emulated as UPDATE + guarded INSERT).
+    let merge = app.run(
+        "MERGE INTO ACCOUNTS A USING FEED F ON A.ACCT_ID = F.ACCT_ID \
+         WHEN MATCHED THEN UPDATE SET BALANCE = F.BALANCE \
+         WHEN NOT MATCHED THEN INSERT (ACCT_ID, HOLDER, BALANCE) \
+           VALUES (F.ACCT_ID, F.HOLDER, F.BALANCE)",
+    )?;
+    println!("MERGE affected {} rows", merge[0].activity_count);
+
+    // 2. A reporting macro the application defined years ago.
+    app.run(
+        "CREATE MACRO TOP_ACCOUNTS (MIN_BAL INTEGER) AS ( \
+           SEL TOP 3 ACCT_ID, HOLDER, BALANCE FROM ACCOUNTS \
+           WHERE BALANCE >= :MIN_BAL ORDER BY BALANCE DESC; )",
+    )?;
+    let report = app.run("EXEC TOP_ACCOUNTS(100)")?;
+    println!("\nTOP_ACCOUNTS(100):");
+    for row in &report[0].rows {
+        println!(
+            "  {:<6} {:<12} {}",
+            row[0].to_sql_string(),
+            row[1].to_sql_string(),
+            row[2].to_sql_string()
+        );
+    }
+
+    // 3. The session introspection its connection pool performs.
+    let help = app.run("HELP SESSION")?;
+    println!("\nHELP SESSION ({} settings, answered by the mid tier):", help[0].rows.len());
+    for row in help[0].rows.iter().take(3) {
+        println!("  {} = {}", row[0].to_sql_string(), row[1].to_sql_string());
+    }
+
+    // 4. Ad-hoc analytics with QUALIFY over account tenure in integer-date
+    //    arithmetic.
+    let adhoc = app.run(
+        "SEL HOLDER, BALANCE FROM ACCOUNTS WHERE OPENED > 1100101 \
+         QUALIFY RANK(BALANCE DESC) <= 2",
+    )?;
+    println!("\nTop balances among accounts opened after 2010-01-01:");
+    for row in &adhoc[0].rows {
+        println!("  {:<12} {}", row[0].to_sql_string(), row[1].to_sql_string());
+    }
+
+    app.logoff()?;
+    let stats = gateway.stats();
+    let (t, e, c) = stats.shares();
+    println!(
+        "\ngateway stage shares — translation {t:.2}%, execution {e:.2}%, conversion {c:.2}%"
+    );
+    gateway.shutdown();
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # hyperq — facade for the Hyper-Q reproduction
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can write `use hyperq::core::...` etc. See the README
+//! for the architecture overview and DESIGN.md for the paper mapping.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hyperq::core::{Backend, HyperQ, capability::TargetCapabilities};
+//! use hyperq::engine::EngineDb;
+//!
+//! let warehouse = Arc::new(EngineDb::new());
+//! warehouse
+//!     .execute_sql("CREATE TABLE SALES (AMOUNT INTEGER, SALES_DATE DATE)")
+//!     .unwrap();
+//! warehouse
+//!     .execute_sql("INSERT INTO SALES VALUES (500, DATE '2014-03-01')")
+//!     .unwrap();
+//!
+//! let mut hq = HyperQ::new(warehouse as Arc<dyn Backend>, TargetCapabilities::simwh());
+//! // Teradata dialect in (SEL, integer-coded date, QUALIFY shorthand)…
+//! let out = hq
+//!     .run_one("SEL * FROM SALES WHERE SALES_DATE > 1140101 QUALIFY RANK(AMOUNT DESC) <= 10")
+//!     .unwrap();
+//! // …ANSI SQL out, executed on the target.
+//! assert_eq!(out.result.rows.len(), 1);
+//! assert!(!out.sql_sent[0].contains("QUALIFY"));
+//! ```
+
+pub use hyperq_core as core;
+pub use hyperq_engine as engine;
+pub use hyperq_parser as parser;
+pub use hyperq_wire as wire;
+pub use hyperq_workload as workload;
+pub use hyperq_xtra as xtra;

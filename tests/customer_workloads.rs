@@ -1,0 +1,94 @@
+//! Customer workload integration: every distinct query of both synthetic
+//! workloads processes through the full pipeline, and the measured
+//! Figure 8 statistics land near the published values.
+
+use std::sync::Arc;
+
+use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::tracker::WorkloadTracker;
+use hyperq::core::{Backend, HyperQ};
+use hyperq::engine::EngineDb;
+use hyperq::workload::customer::{health, telco, CustomerWorkload};
+use hyperq::xtra::feature::FeatureClass;
+
+fn run_workload(w: &CustomerWorkload) -> (WorkloadTracker, u64) {
+    let db = Arc::new(EngineDb::new());
+    for ddl in &w.target_ddl {
+        db.execute_sql(ddl).unwrap();
+    }
+    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    for setup in &w.hyperq_setup {
+        hq.run_one(setup).unwrap();
+    }
+    let mut tracker = WorkloadTracker::new();
+    let mut failures = 0u64;
+    for text in &w.distinct {
+        match hq.run_one(text) {
+            Ok(outcome) => tracker.observe(text, &outcome.features),
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAILED: {text}\n  -> {e}");
+            }
+        }
+    }
+    (tracker, failures)
+}
+
+#[test]
+fn health_distinct_queries_all_process() {
+    let w = health(0.05);
+    let (tracker, failures) = run_workload(&w);
+    assert_eq!(failures, 0);
+    assert_eq!(tracker.distinct_queries(), w.distinct.len() as u64);
+}
+
+#[test]
+fn telco_distinct_queries_all_process() {
+    let w = telco(0.02);
+    let (tracker, failures) = run_workload(&w);
+    assert_eq!(failures, 0);
+    assert_eq!(tracker.distinct_queries(), w.distinct.len() as u64);
+}
+
+#[test]
+fn health_figure8_statistics_near_paper() {
+    // At scale 0.2 the shares stabilize; the paper reports (8a) 55.6 / 77.8
+    // / 33.3 % of tracked features and (8b) 1.4 / 33.6 / 0.2 % of distinct
+    // queries for translation / transformation / emulation.
+    let w = health(0.2);
+    let (tracker, failures) = run_workload(&w);
+    assert_eq!(failures, 0);
+    let stats = tracker.class_stats();
+    let get = |c: FeatureClass| stats.iter().find(|s| s.class == c).unwrap();
+    let tr = get(FeatureClass::Translation);
+    let xf = get(FeatureClass::Transformation);
+    let em = get(FeatureClass::Emulation);
+    // 8a: feature coverage per class.
+    assert!((tr.feature_coverage_pct - 55.6).abs() < 0.2, "{}", tr.feature_coverage_pct);
+    assert!((xf.feature_coverage_pct - 77.8).abs() < 0.2, "{}", xf.feature_coverage_pct);
+    assert!((em.feature_coverage_pct - 33.3).abs() < 0.2, "{}", em.feature_coverage_pct);
+    // 8b: distinct queries affected, within a couple of points.
+    assert!((tr.queries_affected_pct - 1.4).abs() < 1.0, "{}", tr.queries_affected_pct);
+    assert!((xf.queries_affected_pct - 33.6).abs() < 2.0, "{}", xf.queries_affected_pct);
+    assert!(em.queries_affected_pct < 2.0, "{}", em.queries_affected_pct);
+}
+
+#[test]
+fn telco_figure8_statistics_near_paper() {
+    // Paper: (8a) 22.2 / 66.7 / 33.3; (8b) 0.2 / 4.0 / 79.1 — macros
+    // dominate.
+    let w = telco(0.1);
+    let (tracker, failures) = run_workload(&w);
+    assert_eq!(failures, 0);
+    let stats = tracker.class_stats();
+    let get = |c: FeatureClass| stats.iter().find(|s| s.class == c).unwrap();
+    let tr = get(FeatureClass::Translation);
+    let xf = get(FeatureClass::Transformation);
+    let em = get(FeatureClass::Emulation);
+    assert!((tr.feature_coverage_pct - 22.2).abs() < 0.2, "{}", tr.feature_coverage_pct);
+    assert!((xf.feature_coverage_pct - 66.7).abs() < 0.2, "{}", xf.feature_coverage_pct);
+    assert!((em.feature_coverage_pct - 33.3).abs() < 0.2, "{}", em.feature_coverage_pct);
+    assert!(tr.queries_affected_pct < 1.0, "{}", tr.queries_affected_pct);
+    assert!((xf.queries_affected_pct - 4.0).abs() < 1.5, "{}", xf.queries_affected_pct);
+    assert!((em.queries_affected_pct - 79.1).abs() < 2.0, "{}", em.queries_affected_pct);
+}

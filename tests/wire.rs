@@ -1,0 +1,175 @@
+//! Full-stack wire tests: bteq-style client → TCP gateway → Hyper-Q →
+//! SimWH, over the simulated Teradata wire protocol.
+
+use std::sync::Arc;
+
+use hyperq::core::Backend;
+use hyperq::engine::EngineDb;
+use hyperq::wire::{Client, ConverterConfig, Gateway, GatewayConfig};
+use hyperq::xtra::datum::Datum;
+
+fn gateway() -> (hyperq::wire::GatewayHandle, Arc<EngineDb>) {
+    let db = Arc::new(EngineDb::new());
+    db.execute_sql("CREATE TABLE SALES (STORE INTEGER, AMOUNT INTEGER, SALES_DATE DATE)")
+        .unwrap();
+    db.execute_sql(
+        "INSERT INTO SALES VALUES (1, 500, DATE '2014-03-01'), (2, 300, DATE '2014-04-01'), \
+         (3, 700, DATE '2015-01-01')",
+    )
+    .unwrap();
+    let handle = Gateway::spawn(
+        Arc::clone(&db) as Arc<dyn Backend>,
+        GatewayConfig::default(),
+    )
+    .unwrap();
+    (handle, db)
+}
+
+#[test]
+fn logon_and_query_round_trip() {
+    let (handle, _db) = gateway();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    let results = client
+        .run("SEL STORE, AMOUNT, SALES_DATE FROM SALES WHERE AMOUNT GT 400 ORDER BY AMOUNT")
+        .unwrap();
+    assert_eq!(results.len(), 1);
+    let rs = &results[0];
+    assert_eq!(rs.activity_count, 2);
+    assert_eq!(rs.rows[0][1], Datum::Int(500));
+    assert_eq!(rs.rows[1][1], Datum::Int(700));
+    // Dates travel in the Teradata integer encoding and come back as dates.
+    assert_eq!(rs.rows[0][2].to_sql_string(), "2014-03-01");
+    client.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn wrong_password_rejected() {
+    let (handle, _db) = gateway();
+    let err = match Client::connect(handle.addr, "APP", "wrong") {
+        Err(e) => e,
+        Ok(_) => panic!("wrong password must be rejected"),
+    };
+    assert!(err.to_string().contains("logon"), "{err}");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_user_rejected() {
+    let (handle, _db) = gateway();
+    assert!(Client::connect(handle.addr, "NOBODY", "secret").is_err());
+    handle.shutdown();
+}
+
+#[test]
+fn statement_error_reported_and_session_survives() {
+    let (handle, _db) = gateway();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    let err = client.run("SEL * FROM NO_SUCH_TABLE").unwrap_err();
+    assert!(err.to_string().contains("NO_SUCH_TABLE"), "{err}");
+    // The session is still usable after an error.
+    let ok = client.run("SEL COUNT(*) FROM SALES").unwrap();
+    assert_eq!(ok[0].rows[0][0], Datum::Int(3));
+    handle.shutdown();
+}
+
+#[test]
+fn multi_statement_request() {
+    let (handle, db) = gateway();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    let results = client
+        .run("INSERT INTO SALES VALUES (4, 900, DATE '2016-01-01'); SEL COUNT(*) FROM SALES")
+        .unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].activity_count, 1);
+    assert_eq!(results[1].rows[0][0], Datum::Int(4));
+    let _ = db;
+    handle.shutdown();
+}
+
+#[test]
+fn emulated_features_work_over_the_wire() {
+    let (handle, _db) = gateway();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    // HELP SESSION answered entirely by the mid tier.
+    let help = client.run("HELP SESSION").unwrap();
+    assert!(help[0]
+        .rows
+        .iter()
+        .any(|r| r[0] == Datum::str("DATEFORM")));
+    // Macro definition + execution across requests in one session.
+    client
+        .run("CREATE MACRO TOPSALES (N INTEGER) AS (SEL TOP 2 STORE, AMOUNT FROM SALES WHERE AMOUNT >= :N ORDER BY AMOUNT DESC;)")
+        .unwrap();
+    let r = client.run("EXEC TOPSALES(400)").unwrap();
+    assert_eq!(r[0].rows.len(), 2);
+    assert_eq!(r[0].rows[0][1], Datum::Int(700));
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_sessions() {
+    let (handle, _db) = gateway();
+    let addr = handle.addr;
+    let threads: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, "APP", "secret").unwrap();
+                for _ in 0..10 {
+                    let r = c.run("SEL COUNT(*) FROM SALES WHERE AMOUNT > 0").unwrap();
+                    assert_eq!(r[0].rows[0][0], Datum::Int(3));
+                }
+                c.logoff().unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert!(handle.connections_served() >= 6);
+    let stats = handle.stats();
+    assert_eq!(stats.requests, 60);
+    assert!(stats.execution > std::time::Duration::ZERO);
+    handle.shutdown();
+}
+
+#[test]
+fn gateway_stats_record_all_three_stages() {
+    let (handle, _db) = gateway();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    client.run("SEL * FROM SALES").unwrap();
+    let stats = handle.stats();
+    assert!(stats.translation > std::time::Duration::ZERO);
+    assert!(stats.execution > std::time::Duration::ZERO);
+    assert!(stats.conversion > std::time::Duration::ZERO);
+    assert_eq!(stats.rows_returned, 3);
+    let (t, e, c) = stats.shares();
+    assert!((t + e + c - 100.0).abs() < 1e-6);
+    handle.shutdown();
+}
+
+#[test]
+fn large_result_spills_and_arrives_intact() {
+    let db = Arc::new(EngineDb::new());
+    db.execute_sql("CREATE TABLE BIG (K INTEGER, PAD VARCHAR(100))").unwrap();
+    let rows: Vec<Vec<Datum>> = (0..20_000)
+        .map(|i| vec![Datum::Int(i), Datum::str(format!("padding-{i:0>60}"))])
+        .collect();
+    db.load_rows("BIG", rows).unwrap();
+    let config = GatewayConfig {
+        converter: ConverterConfig {
+            batch_size: 512,
+            memory_budget: 64 * 1024, // force spilling
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let handle = Gateway::spawn(Arc::clone(&db) as Arc<dyn Backend>, config).unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    let r = client.run("SEL K FROM BIG ORDER BY K").unwrap();
+    assert_eq!(r[0].rows.len(), 20_000);
+    assert_eq!(r[0].rows[0][0], Datum::Int(0));
+    assert_eq!(r[0].rows[19_999][0], Datum::Int(19_999));
+    assert!(handle.stats().spilled_chunks > 0, "must have spilled");
+    handle.shutdown();
+}
