@@ -68,13 +68,31 @@ fn bench_stages(c: &mut Criterion) {
     });
 }
 
+fn bench_observability_overhead(c: &mut Criterion) {
+    // The same end-to-end statement against an instrumented session with
+    // span tracing on vs off; the difference is the observability tax
+    // (histogram atomics are always on).
+    let caps = TargetCapabilities::simwh();
+    let on = hyperq_obs::ObsContext::new();
+    let mut hq_on = HyperQ::with_obs(sales_backend(), caps.clone(), Arc::clone(&on));
+    let off = hyperq_obs::ObsContext::new();
+    off.traces.set_enabled(false);
+    let mut hq_off = HyperQ::with_obs(sales_backend(), caps, Arc::clone(&off));
+    c.bench_function("run/example2_tracing_on", |b| {
+        b.iter(|| hq_on.run_one(EXAMPLE2).unwrap())
+    });
+    c.bench_function("run/example2_tracing_off", |b| {
+        b.iter(|| hq_off.run_one(EXAMPLE2).unwrap())
+    });
+}
+
 fn bench_full_translation(c: &mut Criterion) {
     // End-to-end translation time of TPC-H queries (no execution): the
     // per-query cost Hyper-Q adds before the target sees SQL.
     let db = load_tpch(0.0001, None);
     let mut hq = HyperQ::new(db as Arc<dyn Backend>, TargetCapabilities::simwh());
     for q in [1usize, 3, 6, 13, 21] {
-        c.bench_function(&format!("translate/tpch_q{q}"), |b| {
+        c.bench_function(format!("translate/tpch_q{q}"), |b| {
             b.iter(|| hq.translate(hyperq_workload::tpch::query(q)).unwrap())
         });
     }
@@ -86,6 +104,6 @@ criterion_group! {
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_stages, bench_full_translation
+    targets = bench_stages, bench_full_translation, bench_observability_overhead
 }
 criterion_main!(benches);

@@ -6,6 +6,9 @@
 //! implementation is `hyperq-engine`'s in-process warehouse, and tests use
 //! scripted fakes.
 
+use std::sync::Arc;
+
+use hyperq_obs::{Counter, Histogram, ObsContext};
 use hyperq_xtra::catalog::TableDef;
 use hyperq_xtra::schema::Schema;
 use hyperq_xtra::Row;
@@ -65,6 +68,59 @@ pub trait Backend: Send + Sync {
     /// Look up a table's definition in the target catalog (normalized
     /// upper-case name).
     fn table_meta(&self, name: &str) -> Option<TableDef>;
+}
+
+/// A transparent [`Backend`] wrapper that reports per-call metrics into an
+/// observability context: round-trips, errors, rows returned/affected, a
+/// call-latency histogram, and catalog-lookup counts — all labeled with the
+/// wrapped backend's name.
+pub struct InstrumentedBackend {
+    inner: Arc<dyn Backend>,
+    calls: Arc<Counter>,
+    errors: Arc<Counter>,
+    rows: Arc<Counter>,
+    catalog_lookups: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl InstrumentedBackend {
+    /// Wrap `inner`, resolving metric handles once. The wrapper is
+    /// transparent — callers still see the inner backend's `name()`.
+    pub fn wrap(inner: Arc<dyn Backend>, obs: &ObsContext) -> Arc<dyn Backend> {
+        let labels = &[("backend", inner.name())][..];
+        let m = &obs.metrics;
+        Arc::new(InstrumentedBackend {
+            calls: m.counter("hyperq_backend_requests_total", labels),
+            errors: m.counter("hyperq_backend_errors_total", labels),
+            rows: m.counter("hyperq_backend_rows_total", labels),
+            catalog_lookups: m.counter("hyperq_backend_catalog_lookups_total", labels),
+            latency: m.histogram("hyperq_backend_request_duration_seconds", labels),
+            inner,
+        })
+    }
+}
+
+impl Backend for InstrumentedBackend {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        self.calls.inc();
+        let t0 = std::time::Instant::now();
+        let result = self.inner.execute(sql);
+        self.latency.record(t0.elapsed());
+        match &result {
+            Ok(r) => self.rows.add(r.row_count),
+            Err(_) => self.errors.inc(),
+        }
+        result
+    }
+
+    fn table_meta(&self, name: &str) -> Option<TableDef> {
+        self.catalog_lookups.inc();
+        self.inner.table_meta(name)
+    }
 }
 
 /// Test-support backends (kept in the library so integration tests and

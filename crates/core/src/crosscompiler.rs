@@ -15,31 +15,25 @@ use hyperq_xtra::expr::ScalarExpr;
 use hyperq_xtra::feature::{Feature, FeatureSet};
 use hyperq_xtra::rel::{Plan, RelExpr, SetOpKind};
 
-use crate::backend::{Backend, ExecResult};
+use hyperq_obs::{Counter, Histogram, ObsContext, TraceId};
+
+use crate::backend::{Backend, ExecResult, InstrumentedBackend};
 use crate::binder::Binder;
 use crate::capability::TargetCapabilities;
 use crate::emulate;
 use crate::error::{HyperQError, Result};
 use crate::serialize::Serializer;
 use crate::session::{RoutineDef, SessionState, ShadowCatalog};
+use crate::tracker::WorkloadTracker;
 use crate::transform::Transformer;
 
-/// Per-statement stage timings (the paper's Figure 9 instrumentation):
-/// `translation` covers "parsing, binding, backend-specific transformations
-/// and emitting the final query into the target language"; `execution` is
-/// the time the target database took.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Timings {
-    pub translation: Duration,
-    pub execution: Duration,
-}
+/// Per-statement stage timings (the paper's Figure 9 instrumentation),
+/// now defined in `hyperq-obs` so every layer can report timings without
+/// depending on this crate.
+pub use hyperq_obs::StageTimings;
 
-impl Timings {
-    pub fn merge(&mut self, other: Timings) {
-        self.translation += other.translation;
-        self.execution += other.execution;
-    }
-}
+/// Backwards-compatible alias for the pre-observability name.
+pub type Timings = StageTimings;
 
 /// The outcome of one application statement.
 #[derive(Debug, Clone)]
@@ -51,12 +45,64 @@ pub struct StatementOutcome {
     /// Every SQL request sent to the target for this statement (emulated
     /// features send several).
     pub sql_sent: Vec<String>,
+    /// Trace id of the statement's span tree (set by `run_script` /
+    /// `run_with_params`; `None` for internal sub-statements).
+    pub trace_id: Option<TraceId>,
 }
 
 static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
 
 /// Hard bound on emulated recursion depth.
 const MAX_RECURSION_STEPS: usize = 10_000;
+
+/// Pre-resolved handles for the per-stage latency histograms and statement
+/// counters, looked up once per session so the hot path touches atomics
+/// only.
+struct StageHandles {
+    parse: Arc<Histogram>,
+    bind: Arc<Histogram>,
+    transform: Arc<Histogram>,
+    serialize: Arc<Histogram>,
+    execute: Arc<Histogram>,
+    statement: Arc<Histogram>,
+    statements_ok: Arc<Counter>,
+    statements_err: Arc<Counter>,
+    /// Workload-study gauges (Figure 8), per session: statements observed
+    /// and distinct query texts seen.
+    workload_total: Arc<hyperq_obs::Gauge>,
+    workload_distinct: Arc<hyperq_obs::Gauge>,
+}
+
+/// The stage-latency histogram family shared by the whole pipeline
+/// (`convert` is recorded by the wire layer under the same name).
+pub const STAGE_DURATION_METRIC: &str = "hyperq_stage_duration_seconds";
+
+impl StageHandles {
+    fn new(obs: &ObsContext, session_id: u64) -> Self {
+        let stage = |s| obs.metrics.histogram(STAGE_DURATION_METRIC, &[("stage", s)]);
+        let sid = session_id.to_string();
+        StageHandles {
+            parse: stage("parse"),
+            bind: stage("bind"),
+            transform: stage("transform"),
+            serialize: stage("serialize"),
+            execute: stage("execute"),
+            statement: stage("statement"),
+            statements_ok: obs
+                .metrics
+                .counter("hyperq_statements_total", &[("outcome", "ok")]),
+            statements_err: obs
+                .metrics
+                .counter("hyperq_statements_total", &[("outcome", "error")]),
+            workload_total: obs
+                .metrics
+                .gauge("hyperq_workload_queries", &[("session", &sid)]),
+            workload_distinct: obs
+                .metrics
+                .gauge("hyperq_workload_distinct_queries", &[("session", &sid)]),
+        }
+    }
+}
 
 /// One virtualized connection: Teradata-dialect SQL in, target execution
 /// out.
@@ -68,22 +114,52 @@ pub struct HyperQ {
     /// The single-row DML batching transformation (§4.3). On by default;
     /// the ablation benchmark turns it off.
     pub dml_batching: bool,
+    obs: Arc<ObsContext>,
+    stages: StageHandles,
+    /// Workload-study statistics (Figure 8), fed automatically by
+    /// `run_script` / `run_with_params`.
+    tracker: WorkloadTracker,
 }
 
 impl HyperQ {
     pub fn new(backend: Arc<dyn Backend>, caps: TargetCapabilities) -> Self {
+        Self::with_obs(backend, caps, Arc::clone(ObsContext::global()))
+    }
+
+    /// A session reporting into the given observability context instead of
+    /// the process-wide one (isolated metrics/traces for tests).
+    pub fn with_obs(
+        backend: Arc<dyn Backend>,
+        caps: TargetCapabilities,
+        obs: Arc<ObsContext>,
+    ) -> Self {
         let id = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let stages = StageHandles::new(&obs, id);
         HyperQ {
-            backend,
+            backend: InstrumentedBackend::wrap(backend, &obs),
             caps,
-            transformer: Transformer::standard(),
+            transformer: Transformer::standard().instrumented(&obs.metrics),
             session: SessionState::new(id, "APP"),
             dml_batching: true,
+            obs,
+            stages,
+            tracker: WorkloadTracker::new(),
         }
     }
 
     pub fn capabilities(&self) -> &TargetCapabilities {
         &self.caps
+    }
+
+    /// The observability context this session reports into.
+    pub fn obs(&self) -> &Arc<ObsContext> {
+        &self.obs
+    }
+
+    /// Workload-study statistics accumulated over every statement this
+    /// session has run.
+    pub fn tracker(&self) -> &WorkloadTracker {
+        &self.tracker
     }
 
     /// Run a script of one or more Teradata-dialect statements.
@@ -95,14 +171,64 @@ impl HyperQ {
         }
         let parse_time = t0.elapsed();
         let mut outcomes = Vec::with_capacity(stmts.len());
+        let obs = Arc::clone(&self.obs);
         for (i, ps) in stmts.into_iter().enumerate() {
-            let mut outcome = self.process(ps)?;
+            let text = ps.text.clone();
+            let root = obs.traces.enter("statement");
+            let trace = root.trace_id();
+            if i == 0 {
+                // Script parsing happened before any statement trace
+                // existed; charge it to the first statement, mirroring the
+                // timings accounting below.
+                obs.traces.record_manual(trace, Some(root.id()), "parse", parse_time);
+                self.stages.parse.record(parse_time);
+            }
+            let processed = self.process(ps);
+            let total = root.finish();
+            let mut outcome = self.observe_statement(processed, trace, &text, total)?;
             if i == 0 {
                 outcome.timings.translation += parse_time;
             }
             outcomes.push(outcome);
         }
         Ok(outcomes)
+    }
+
+    /// Common statement epilogue: statement histogram and outcome counters,
+    /// workload tracking, slow-query capture, trace-id stamping.
+    fn observe_statement(
+        &mut self,
+        processed: Result<StatementOutcome>,
+        trace: TraceId,
+        text: &str,
+        total: Duration,
+    ) -> Result<StatementOutcome> {
+        self.stages.statement.record(total);
+        match processed {
+            Ok(mut outcome) => {
+                self.stages.statements_ok.inc();
+                self.tracker.observe(text, &outcome.features);
+                self.stages.workload_total.set(self.tracker.total_queries as i64);
+                self.stages.workload_distinct.set(self.tracker.distinct_queries() as i64);
+                for feature in outcome.features.iter() {
+                    self.obs
+                        .metrics
+                        .counter(
+                            "hyperq_feature_statements_total",
+                            &[("feature", &format!("{feature}"))],
+                        )
+                        .inc();
+                }
+                self.obs.slowlog.observe(&self.obs.traces, trace, text, total);
+                outcome.trace_id = Some(trace);
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.stages.statements_err.inc();
+                self.obs.slowlog.observe(&self.obs.traces, trace, text, total);
+                Err(e)
+            }
+        }
     }
 
     /// Run exactly one statement.
@@ -121,7 +247,9 @@ impl HyperQ {
         sql: &str,
         values: &[Datum],
     ) -> Result<StatementOutcome> {
+        let t0 = Instant::now();
         let mut stmts = parse_statements(sql, Dialect::Teradata)?;
+        let parse_time = t0.elapsed();
         if stmts.len() != 1 {
             return Err(HyperQError::Emulation(
                 "parameterized execution takes exactly one statement".into(),
@@ -129,8 +257,18 @@ impl HyperQ {
         }
         let ps = stmts.remove(0);
         let mut features = ps.features.clone();
-        let o = self.run_pipeline_with(&ps.stmt, HashMap::new(), values.to_vec(), &mut features)?;
-        Ok(StatementOutcome { features, ..o })
+        let obs = Arc::clone(&self.obs);
+        let root = obs.traces.enter("statement");
+        let trace = root.trace_id();
+        obs.traces.record_manual(trace, Some(root.id()), "parse", parse_time);
+        self.stages.parse.record(parse_time);
+        let processed = self
+            .run_pipeline_with(&ps.stmt, HashMap::new(), values.to_vec(), &mut features)
+            .map(|o| StatementOutcome { features, ..o });
+        let total = root.finish();
+        let mut outcome = self.observe_statement(processed, trace, &ps.text, total)?;
+        outcome.timings.translation += parse_time;
+        Ok(outcome)
     }
 
     /// Translate without executing: the SQL that *would* be sent. Used by
@@ -162,11 +300,22 @@ impl HyperQ {
     // Statement routing
     // -----------------------------------------------------------------------
 
+    /// Count one emulated-feature request (the per-emulation fan-out of
+    /// `hyperq_emulation_requests_total`). Cold paths only, so the registry
+    /// lookup per call is fine.
+    fn emu(&self, kind: &'static str) {
+        self.obs
+            .metrics
+            .counter("hyperq_emulation_requests_total", &[("kind", kind)])
+            .inc();
+    }
+
     fn process(&mut self, ps: ParsedStatement) -> Result<StatementOutcome> {
         let mut features = ps.features.clone();
         match &ps.stmt {
             // --- E5: informational commands, answered mid-tier -------------
             past::Statement::Help(target) => {
+                self.emu("help");
                 let result = match target {
                     past::HelpTarget::Session => emulate::help_session(&self.session),
                     past::HelpTarget::Table(name) => {
@@ -183,11 +332,13 @@ impl HyperQ {
                     features,
                     timings: Timings::default(),
                     sql_sent: Vec::new(),
+                    trace_id: None,
                 })
             }
 
             // --- EXPLAIN: answered by the mid tier ---------------------------
             past::Statement::Explain(inner) => {
+                self.emu("explain");
                 let report = self.explain(inner, &mut features)?;
                 let schema = hyperq_xtra::schema::Schema::new(vec![
                     hyperq_xtra::schema::Field::new(
@@ -206,11 +357,13 @@ impl HyperQ {
                     features,
                     timings: Timings::default(),
                     sql_sent: Vec::new(),
+                    trace_id: None,
                 })
             }
 
             // --- E2/E3: routine definitions ---------------------------------
             past::Statement::CreateMacro { name, params, body } => {
+                self.emu("macro");
                 self.session.macros.insert(
                     name.canonical(),
                     RoutineDef {
@@ -223,10 +376,12 @@ impl HyperQ {
                 Ok(ack(features))
             }
             past::Statement::DropMacro { name } => {
+                self.emu("macro");
                 self.session.macros.remove(&name.canonical());
                 Ok(ack(features))
             }
             past::Statement::CreateProcedure { name, params, body } => {
+                self.emu("procedure");
                 self.session.procedures.insert(
                     name.canonical(),
                     RoutineDef {
@@ -239,6 +394,7 @@ impl HyperQ {
                 Ok(ack(features))
             }
             past::Statement::ExecuteMacro { name, args } => {
+                self.emu("macro");
                 let routine = self
                     .session
                     .macros
@@ -250,6 +406,7 @@ impl HyperQ {
                 self.run_routine(&routine, args, features)
             }
             past::Statement::Call { name, args } => {
+                self.emu("procedure");
                 let routine = self
                     .session
                     .procedures
@@ -265,6 +422,7 @@ impl HyperQ {
 
             // --- E6 substrate: views live in the DTM catalog -----------------
             past::Statement::CreateView { name, columns, or_replace, .. } => {
+                self.emu("view");
                 let key = name.canonical();
                 if !or_replace && self.session.views.contains_key(&key) {
                     return Err(HyperQError::Emulation(format!(
@@ -284,6 +442,7 @@ impl HyperQ {
                 Ok(ack(features))
             }
             past::Statement::DropView { name, if_exists } => {
+                self.emu("view");
                 let existed = self.session.views.remove(&name.canonical()).is_some();
                 if !existed && !if_exists {
                     return Err(HyperQError::Emulation(format!("view {name} not found")));
@@ -293,6 +452,7 @@ impl HyperQ {
 
             // --- E4: MERGE → UPDATE + guarded INSERT -------------------------
             past::Statement::Merge(m) => {
+                self.emu("merge");
                 features.insert(Feature::MergeStatement);
                 let steps = emulate::decompose_merge(m)?;
                 let mut timings = Timings::default();
@@ -309,17 +469,20 @@ impl HyperQ {
                     features,
                     timings,
                     sql_sent,
+                    trace_id: None,
                 })
             }
 
             // --- E1: recursive queries ---------------------------------------
             past::Statement::Query(q) if q.recursive => {
+                self.emu("recursive");
                 features.insert(Feature::RecursiveQuery);
                 self.emulate_recursive(q, features)
             }
 
             // --- session settings (reflected by HELP SESSION) ----------------
             past::Statement::SetSession { name, value } => {
+                self.emu("set_session");
                 let rendered = match emulate::ast_const(value) {
                     Ok(d) => d.to_sql_string(),
                     Err(_) => format!("{value:?}"),
@@ -340,10 +503,12 @@ impl HyperQ {
 
             // --- transactions ------------------------------------------------
             past::Statement::BeginTransaction => {
+                self.emu("transaction");
                 self.session.in_transaction = true;
                 Ok(ack(features))
             }
             past::Statement::Commit | past::Statement::Rollback => {
+                self.emu("transaction");
                 self.session.in_transaction = false;
                 Ok(ack(features))
             }
@@ -354,6 +519,7 @@ impl HyperQ {
             | past::Statement::Insert { table, .. }
                 if self.session.views.contains_key(&table.canonical()) =>
             {
+                self.emu("view_dml");
                 features.insert(Feature::DmlOnView);
                 let view = self.session.views[&table.canonical()].clone();
                 let parsed = parse_statements(&view.body_sql, Dialect::Teradata)
@@ -505,7 +671,7 @@ impl HyperQ {
                 last = o.result;
             }
         }
-        Ok(StatementOutcome { result: last, features, timings, sql_sent })
+        Ok(StatementOutcome { result: last, features, timings, sql_sent, trace_id: None })
     }
 
     /// The standard bind → transform → serialize → execute path, plus the
@@ -527,8 +693,8 @@ impl HyperQ {
         positional: Vec<Datum>,
         features: &mut FeatureSet,
     ) -> Result<StatementOutcome> {
-        let t0 = Instant::now();
         let backend = Arc::clone(&self.backend);
+        let bind_span = self.obs.traces.enter("bind");
         let (plan, gtts) = {
             let catalog = ShadowCatalog::new(&*backend, &self.session);
             let mut binder = Binder::new(&catalog)
@@ -538,6 +704,9 @@ impl HyperQ {
             features.union(&binder.features);
             (plan, catalog.gtt_touched.into_inner())
         };
+        let bind_time = bind_span.finish();
+        self.stages.bind.record(bind_time);
+        let mut timings = Timings { translation: bind_time, execution: Duration::ZERO };
 
         // Record sidecar properties (E8/E9) the target cannot hold.
         match &plan {
@@ -557,6 +726,7 @@ impl HyperQ {
         // E7: definition of a global temporary table → DTM catalog only.
         if let Plan::CreateTable { def, source: None } = &plan {
             if def.kind == TableKind::GlobalTemporary {
+                self.emu("gtt_define");
                 features.insert(Feature::GlobalTempTable);
                 self.session
                     .global_temp_defs
@@ -564,16 +734,25 @@ impl HyperQ {
                 return Ok(StatementOutcome {
                     result: ExecResult::ack(),
                     features: features.clone(),
-                    timings: Timings { translation: t0.elapsed(), execution: Duration::ZERO },
+                    timings,
                     sql_sent: Vec::new(),
+                    trace_id: None,
                 });
             }
         }
 
+        let transform_span = self.obs.traces.enter("transform");
         let plan = self.apply_insert_emulations(plan, features)?;
         let plan = self.transformer.run_all(plan, &self.caps, features)?;
+        let transform_time = transform_span.finish();
+        self.stages.transform.record(transform_time);
+        timings.translation += transform_time;
+
+        let serialize_span = self.obs.traces.enter("serialize");
         let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
-        let mut timings = Timings { translation: t0.elapsed(), execution: Duration::ZERO };
+        let serialize_time = serialize_span.finish();
+        self.stages.serialize.record(serialize_time);
+        timings.translation += serialize_time;
         let mut sql_sent = Vec::new();
 
         // E7: statements touching a global temporary table are emulated
@@ -586,6 +765,7 @@ impl HyperQ {
             if self.session.materialized_gtts.contains(&logical) {
                 continue;
             }
+            self.emu("gtt_materialize");
             let def = self
                 .session
                 .global_temp_defs
@@ -597,22 +777,34 @@ impl HyperQ {
             let mut instance = def;
             instance.name = self.session.gtt_target_name(&logical);
             instance.kind = TableKind::Temporary;
-            let tt = Instant::now();
+            let ser_span = self.obs.traces.enter("serialize");
             let ddl = Serializer::new(&self.caps)
                 .serialize_plan(&Plan::CreateTable { def: instance, source: None })?;
-            timings.translation += tt.elapsed();
-            let te = Instant::now();
+            let d = ser_span.finish();
+            self.stages.serialize.record(d);
+            timings.translation += d;
+            let exec_span = self.obs.traces.enter("execute");
             self.backend.execute(&ddl)?;
-            timings.execution += te.elapsed();
+            let d = exec_span.finish();
+            self.stages.execute.record(d);
+            timings.execution += d;
             sql_sent.push(ddl);
             self.session.materialized_gtts.insert(logical);
         }
 
-        let te = Instant::now();
+        let exec_span = self.obs.traces.enter("execute");
         let result = self.backend.execute(&sql)?;
-        timings.execution += te.elapsed();
+        let exec_time = exec_span.finish();
+        self.stages.execute.record(exec_time);
+        timings.execution += exec_time;
         sql_sent.push(sql);
-        Ok(StatementOutcome { result, features: features.clone(), timings, sql_sent })
+        Ok(StatementOutcome {
+            result,
+            features: features.clone(),
+            timings,
+            sql_sent,
+            trace_id: None,
+        })
     }
 
     /// E8 (SET-table dedup) and E9 (default injection) on INSERT plans.
@@ -646,6 +838,7 @@ impl HyperQ {
             })
             .collect();
         if !missing.is_empty() {
+            self.emu("default_injection");
             let schema = source.schema();
             let mut exprs: Vec<(ScalarExpr, String)> = schema
                 .fields
@@ -678,6 +871,7 @@ impl HyperQ {
         // existing rows. (Comparison is over the inserted columns; with
         // constant defaults this matches full-row SET semantics.)
         if def.set_semantics {
+            self.emu("set_table_dedup");
             features.insert(Feature::SetTableSemantics);
             let get = RelExpr::Get {
                 table: def.name.clone(),
@@ -868,7 +1062,7 @@ impl HyperQ {
             &mut sql_sent,
         )?;
 
-        Ok(StatementOutcome { result, features, timings, sql_sent })
+        Ok(StatementOutcome { result, features, timings, sql_sent, trace_id: None })
     }
 
     /// Transform, serialize and execute one already-bound plan, charging
@@ -888,14 +1082,22 @@ impl HyperQ {
         timings: &mut Timings,
         sql_sent: &mut Vec<String>,
     ) -> Result<ExecResult> {
-        let t = Instant::now();
+        let span = self.obs.traces.enter("transform");
         let mut scratch = FeatureSet::new();
         let plan = self.transformer.run_all(plan, &self.caps, &mut scratch)?;
+        let d = span.finish();
+        self.stages.transform.record(d);
+        timings.translation += d;
+        let span = self.obs.traces.enter("serialize");
         let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
-        timings.translation += t.elapsed();
-        let te = Instant::now();
+        let d = span.finish();
+        self.stages.serialize.record(d);
+        timings.translation += d;
+        let span = self.obs.traces.enter("execute");
         let result = self.backend.execute(&sql)?;
-        timings.execution += te.elapsed();
+        let d = span.finish();
+        self.stages.execute.record(d);
+        timings.execution += d;
         sql_sent.push(sql);
         Ok(result)
     }
@@ -907,6 +1109,7 @@ fn ack(features: FeatureSet) -> StatementOutcome {
         features,
         timings: Timings::default(),
         sql_sent: Vec::new(),
+        trace_id: None,
     }
 }
 

@@ -36,8 +36,9 @@ pub mod session;
 pub mod tracker;
 pub mod transform;
 
-pub use backend::{Backend, BackendError, ExecResult};
+pub use backend::{Backend, BackendError, ExecResult, InstrumentedBackend};
 pub use capability::TargetCapabilities;
-pub use crosscompiler::{HyperQ, StatementOutcome, Timings};
+pub use crosscompiler::{HyperQ, StageTimings, StatementOutcome, Timings, STAGE_DURATION_METRIC};
 pub use error::{HyperQError, Result};
+pub use hyperq_obs::{ObsContext, TraceId};
 pub use replicate::ReplicatedBackend;

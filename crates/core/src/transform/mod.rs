@@ -20,6 +20,9 @@
 
 mod rules;
 
+use std::sync::Arc;
+
+use hyperq_obs::{Counter, MetricsRegistry};
 use hyperq_xtra::expr::ScalarExpr;
 use hyperq_xtra::feature::FeatureSet;
 use hyperq_xtra::rel::{Plan, RelExpr};
@@ -81,6 +84,9 @@ pub struct Transformer {
     /// changing is an error (a cyclic rule is a bug). Ablation
     /// configurations relax this to observe bounded-pass behavior.
     strict: bool,
+    /// Per-rule (fired, noop) counters aligned with `rules`; populated by
+    /// [`Transformer::instrumented`], otherwise empty and free.
+    rule_counters: Vec<Option<(Arc<Counter>, Arc<Counter>)>>,
 }
 
 impl Default for Transformer {
@@ -92,12 +98,34 @@ impl Default for Transformer {
 impl Transformer {
     /// The standard rule set (Table 2).
     pub fn standard() -> Self {
-        Transformer { rules: standard_rules(), max_passes: 32, strict: true }
+        Self::with_rules(standard_rules())
     }
 
     /// A transformer with a custom rule set (tests, ablations).
     pub fn with_rules(rules: Vec<Box<dyn TransformRule>>) -> Self {
-        Transformer { rules, max_passes: 32, strict: true }
+        let rule_counters = rules.iter().map(|_| None).collect();
+        Transformer { rules, max_passes: 32, strict: true, rule_counters }
+    }
+
+    /// Report per-rule activity into `metrics`: each `run` flushes one
+    /// `hyperq_transform_rule_total{rule,outcome=fired|noop}` observation
+    /// per active rule — `fired` counts node rewrites, `noop` counts runs
+    /// where the rule was consulted but matched nothing.
+    pub fn instrumented(mut self, metrics: &MetricsRegistry) -> Self {
+        self.rule_counters = self
+            .rules
+            .iter()
+            .map(|r| {
+                let counter = |outcome| {
+                    metrics.counter(
+                        "hyperq_transform_rule_total",
+                        &[("rule", r.name()), ("outcome", outcome)],
+                    )
+                };
+                Some((counter("fired"), counter("noop")))
+            })
+            .collect();
+        self
     }
 
     /// Cap the fixed-point iteration count (ablation: a cap of 1 models a
@@ -117,27 +145,33 @@ impl Transformer {
         caps: &TargetCapabilities,
         fired: &mut FeatureSet,
     ) -> Result<Plan> {
-        let active: Vec<&dyn TransformRule> = self
+        let active: Vec<(usize, &dyn TransformRule)> = self
             .rules
             .iter()
-            .map(|r| r.as_ref())
-            .filter(|r| r.phase() == phase && r.enabled_for(caps))
+            .enumerate()
+            .filter(|(_, r)| r.phase() == phase && r.enabled_for(caps))
+            .map(|(i, r)| (i, r.as_ref()))
             .collect();
         if active.is_empty() {
             return Ok(plan);
         }
+        // Node-level rewrite counts per active rule, accumulated across
+        // passes and flushed to the rule counters on exit.
+        let mut fires = vec![0u64; active.len()];
         for _pass in 0..self.max_passes {
             // Both rewrite closures need shared access to the pass state,
             // so it lives in cells.
             let changed = std::cell::Cell::new(false);
             let pass_fired = std::cell::RefCell::new(FeatureSet::new());
+            let pass_fires = std::cell::RefCell::new(vec![0u64; active.len()]);
             plan = plan.rewrite(
                 &mut |mut rel| {
-                    for rule in &active {
+                    for (slot, (_, rule)) in active.iter().enumerate() {
                         let (next, did) = rule.rewrite_rel(rel);
                         rel = next;
                         if did {
                             changed.set(true);
+                            pass_fires.borrow_mut()[slot] += 1;
                             if let Some(f) = rule.tracked_feature() {
                                 pass_fired.borrow_mut().insert(f);
                             }
@@ -146,11 +180,12 @@ impl Transformer {
                     rel
                 },
                 &mut |mut expr| {
-                    for rule in &active {
+                    for (slot, (_, rule)) in active.iter().enumerate() {
                         let (next, did) = rule.rewrite_expr(expr);
                         expr = next;
                         if did {
                             changed.set(true);
+                            pass_fires.borrow_mut()[slot] += 1;
                             if let Some(f) = rule.tracked_feature() {
                                 pass_fired.borrow_mut().insert(f);
                             }
@@ -160,7 +195,11 @@ impl Transformer {
                 },
             );
             fired.union(&pass_fired.into_inner());
+            for (slot, n) in pass_fires.into_inner().into_iter().enumerate() {
+                fires[slot] += n;
+            }
             if !changed.get() {
+                self.flush_rule_counters(&active, &fires);
                 return Ok(plan);
             }
         }
@@ -170,7 +209,20 @@ impl Transformer {
                 self.max_passes
             )))
         } else {
+            self.flush_rule_counters(&active, &fires);
             Ok(plan)
+        }
+    }
+
+    fn flush_rule_counters(&self, active: &[(usize, &dyn TransformRule)], fires: &[u64]) {
+        for (slot, &(idx, _)) in active.iter().enumerate() {
+            if let Some((fired, noop)) = &self.rule_counters[idx] {
+                if fires[slot] > 0 {
+                    fired.add(fires[slot]);
+                } else {
+                    noop.inc();
+                }
+            }
         }
     }
 

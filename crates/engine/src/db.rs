@@ -52,10 +52,28 @@ impl Slots {
 }
 
 /// The in-memory warehouse.
-#[derive(Default)]
 pub struct EngineDb {
     tables: RwLock<HashMap<String, TableData>>,
     slots: Option<Slots>,
+    /// Statements executed, reported into the process-wide metrics.
+    statements: Arc<hyperq_obs::Counter>,
+    /// Statements currently holding an execution slot (or running, when no
+    /// admission control is configured).
+    inflight: Arc<hyperq_obs::Gauge>,
+}
+
+impl Default for EngineDb {
+    fn default() -> Self {
+        let metrics = &hyperq_obs::ObsContext::global().metrics;
+        EngineDb {
+            tables: RwLock::new(HashMap::new()),
+            slots: None,
+            statements: metrics
+                .counter("hyperq_engine_statements_total", &[("engine", "SimWH")]),
+            inflight: metrics
+                .gauge("hyperq_engine_statements_inflight", &[("engine", "SimWH")]),
+        }
+    }
 }
 
 impl EngineDb {
@@ -67,12 +85,12 @@ impl EngineDb {
     /// (admission control); additional requests queue.
     pub fn with_concurrency_limit(max_concurrent: usize) -> Self {
         EngineDb {
-            tables: RwLock::new(HashMap::new()),
             slots: Some(Slots {
                 max: max_concurrent.max(1),
                 in_use: parking_lot::Mutex::new(0),
                 available: parking_lot::Condvar::new(),
             }),
+            ..Default::default()
         }
     }
 
@@ -139,7 +157,10 @@ impl EngineDb {
         if let Some(slots) = &self.slots {
             slots.acquire();
         }
+        self.statements.inc();
+        self.inflight.add(1);
         let result = self.execute_sql_inner(sql);
+        self.inflight.sub(1);
         if let Some(slots) = &self.slots {
             slots.release();
         }

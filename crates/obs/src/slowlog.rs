@@ -1,0 +1,114 @@
+//! Slow-query log: statements whose end-to-end latency crosses a threshold
+//! are captured with their full span tree for post-hoc inspection.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::trace::{TraceId, TraceSink};
+
+/// One captured slow statement.
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    pub trace: TraceId,
+    pub sql: String,
+    pub total: Duration,
+    /// Indented span-tree rendering at capture time.
+    pub spans: String,
+}
+
+pub const DEFAULT_SLOWLOG_CAPACITY: usize = 128;
+
+/// Bounded ring of slow statements. The threshold check on the hot path is
+/// a single relaxed atomic load; 0 means disabled.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    threshold_micros: AtomicU64,
+    ring: Mutex<VecDeque<SlowQueryEntry>>,
+    capacity: usize,
+}
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        SlowQueryLog {
+            threshold_micros: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+            capacity: DEFAULT_SLOWLOG_CAPACITY,
+        }
+    }
+}
+
+impl SlowQueryLog {
+    pub fn set_threshold(&self, threshold: Option<Duration>) {
+        let micros = threshold
+            .map(|d| (d.as_micros().min(u64::MAX as u128) as u64).max(1))
+            .unwrap_or(0);
+        self.threshold_micros.store(micros, Ordering::Relaxed);
+    }
+
+    pub fn threshold(&self) -> Option<Duration> {
+        match self.threshold_micros.load(Ordering::Relaxed) {
+            0 => None,
+            micros => Some(Duration::from_micros(micros)),
+        }
+    }
+
+    /// Capture `sql` if it ran longer than the threshold. Returns whether
+    /// it was captured.
+    pub fn observe(
+        &self,
+        traces: &TraceSink,
+        trace: TraceId,
+        sql: &str,
+        total: Duration,
+    ) -> bool {
+        let threshold = self.threshold_micros.load(Ordering::Relaxed);
+        if threshold == 0 || (total.as_micros() as u64) < threshold {
+            return false;
+        }
+        let entry = SlowQueryEntry {
+            trace,
+            sql: sql.to_string(),
+            total,
+            spans: traces.render_tree(trace),
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter().cloned().collect()
+    }
+
+    pub fn clear(&self) {
+        self.ring.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_threshold_gates_capture() {
+        let log = SlowQueryLog::default();
+        let traces = TraceSink::default();
+        let trace = traces.enter("statement").trace_id();
+        assert!(!log.observe(&traces, trace, "SELECT 1", Duration::from_secs(5)));
+        log.set_threshold(Some(Duration::from_millis(100)));
+        assert!(!log.observe(&traces, trace, "SELECT 1", Duration::from_millis(99)));
+        assert!(log.observe(&traces, trace, "SELECT 1", Duration::from_millis(100)));
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].sql, "SELECT 1");
+        assert!(entries[0].spans.starts_with("statement "), "{}", entries[0].spans);
+        log.set_threshold(None);
+        assert!(!log.observe(&traces, trace, "SELECT 1", Duration::from_secs(9)));
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench-definition API (`Criterion`, groups, `iter`,
+//! `iter_batched`, the `criterion_group!`/`criterion_main!` macros) so the
+//! workspace's benches compile and run without crates.io access. The
+//! statistics are deliberately simple: warm up for `warm_up_time`, take
+//! `sample_size` wall-clock samples sized to fill `measurement_time`, and
+//! report min/median/max ns per iteration on stdout. No HTML reports, no
+//! regression analysis — this is a smoke-and-ballpark harness.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time, self.warm_up_time);
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// How `iter_batched` amortizes setup; only affects batching granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration, warm_up_time: Duration) -> Bencher {
+        Bencher { sample_size, measurement_time, warm_up_time, samples: Vec::new() }
+    }
+
+    /// Time `routine` end-to-end, auto-scaling iterations per sample so the
+    /// run roughly fills `measurement_time`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.warm_up_time;
+        let mut one = Duration::from_nanos(1);
+        while Instant::now() < warm_until {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            one = t.elapsed().max(Duration::from_nanos(1));
+        }
+        let per_sample = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let iters = ((per_sample / one.as_nanos().max(1)) as u64).clamp(1, 1_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` only, regenerating its input with `setup` outside the
+    /// timed region each iteration.
+    pub fn iter_batched<I, S, F, R>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine(setup()));
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos().max(1) as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench: {name:<48} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "bench: {name:<48} median {} (min {}, max {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Identity helper kept for API compatibility; the sampling loops already
+/// black-box values internally.
+pub fn black_box<T>(v: T) -> T {
+    std::hint::black_box(v)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("smoke", |b| b.iter(|| 2u64 + 2));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::new("fn", 3), &3u64, |b, &n| {
+            b.iter_batched(|| n, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

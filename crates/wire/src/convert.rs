@@ -135,18 +135,20 @@ pub fn convert(
             (0..batches.len()).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results_mutex = parking_lot::Mutex::new(&mut results);
-        crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= batches.len() {
-                        break;
-                    }
-                    let r = convert_batch(&batches[i]);
-                    results_mutex.lock()[i] = Some(r);
-                });
-            }
-        })
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= batches.len() {
+                            break;
+                        }
+                        let r = convert_batch(&batches[i]);
+                        results_mutex.lock()[i] = Some(r);
+                    });
+                }
+            })
+        }))
         .map_err(|_| "converter worker panicked".to_string())?;
         results
             .into_iter()
@@ -184,6 +186,28 @@ pub fn convert(
         }
     }
     Ok(ConvertedResult { header, total_rows, chunks, spilled_chunks })
+}
+
+/// [`convert`] wrapped in observability: emits a `convert` span (attached to
+/// `trace` when the statement's pipeline trace is known) and records the
+/// duration in the shared per-stage histogram family.
+pub fn convert_traced(
+    schema: &Schema,
+    rows: &[Row],
+    config: &ConverterConfig,
+    obs: &hyperq_obs::ObsContext,
+    trace: Option<hyperq_obs::TraceId>,
+) -> Result<ConvertedResult, String> {
+    let span = match trace {
+        Some(t) => obs.traces.enter_in(t, "convert"),
+        None => obs.traces.enter("convert"),
+    };
+    let result = convert(schema, rows, config);
+    let d = span.finish();
+    obs.metrics
+        .histogram(hyperq_core::STAGE_DURATION_METRIC, &[("stage", "convert")])
+        .record(d);
+    result
 }
 
 /// Unwrap one TDF batch and encode its rows in the client format.

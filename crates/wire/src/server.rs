@@ -14,12 +14,31 @@ use std::time::{Duration, Instant};
 
 use hyperq_core::backend::Backend;
 use hyperq_core::capability::TargetCapabilities;
-use hyperq_core::HyperQ;
+use hyperq_core::{HyperQ, ObsContext};
+use hyperq_obs::io::{CountingReader, CountingWriter};
+use hyperq_obs::Gauge;
 use parking_lot::Mutex;
 
 use crate::auth::{fresh_salt, Credentials};
-use crate::convert::{convert, ConverterConfig};
+use crate::convert::{convert_traced, ConverterConfig};
 use crate::message::{Message, WireError};
+
+/// Decrements a gauge when dropped — keeps `sessions_active` honest on
+/// every exit path of `handle_connection`, including protocol errors.
+struct GaugeGuard(Arc<Gauge>);
+
+impl GaugeGuard {
+    fn acquire(gauge: Arc<Gauge>) -> GaugeGuard {
+        gauge.add(1);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
 
 /// Aggregated per-stage timings across all requests served (Figure 9's
 /// three components).
@@ -137,8 +156,19 @@ impl Gateway {
 
     /// Serve one connection: logon handshake, then request/response loop.
     fn handle_connection(&self, stream: TcpStream) -> Result<(), WireError> {
-        let mut reader = stream.try_clone()?;
-        let mut writer = BufWriter::new(stream);
+        let obs = Arc::clone(ObsContext::global());
+        obs.metrics.counter("hyperq_wire_connections_total", &[]).inc();
+        let _session = GaugeGuard::acquire(obs.metrics.gauge("hyperq_wire_sessions_active", &[]));
+        let queries = obs.metrics.counter("hyperq_wire_requests_total", &[]);
+        let errors = obs.metrics.counter("hyperq_wire_errors_total", &[]);
+        let mut reader = CountingReader::new(
+            stream.try_clone()?,
+            obs.metrics.counter("hyperq_wire_bytes_total", &[("direction", "in")]),
+        );
+        let mut writer = CountingWriter::new(
+            BufWriter::new(stream),
+            obs.metrics.counter("hyperq_wire_bytes_total", &[("direction", "out")]),
+        );
         use std::io::Write as _;
 
         // --- logon handshake ---------------------------------------------
@@ -177,6 +207,7 @@ impl Gateway {
         loop {
             match Message::read_from(&mut reader) {
                 Ok(Message::SqlRequest { sql }) => {
+                    queries.inc();
                     let mut request_stats = WireStats { requests: 1, ..Default::default() };
                     match hq.run_script(&sql) {
                         Ok(outcomes) => {
@@ -190,10 +221,12 @@ impl Gateway {
                                     }
                                     .write_to(&mut writer)?;
                                 } else {
-                                    let converted = convert(
+                                    let converted = convert_traced(
                                         &outcome.result.schema,
                                         &outcome.result.rows,
                                         &self.config.converter,
+                                        &obs,
+                                        outcome.trace_id,
                                     )
                                     .map_err(WireError::Protocol)?;
                                     request_stats.conversion += t0.elapsed();
@@ -235,6 +268,7 @@ impl Gateway {
                             Message::EndRequest.write_to(&mut writer)?;
                         }
                         Err(e) => {
+                            errors.inc();
                             Message::ErrorResponse { code: 3807, message: e.to_string() }
                                 .write_to(&mut writer)?;
                             Message::EndRequest.write_to(&mut writer)?;
@@ -247,6 +281,7 @@ impl Gateway {
                 }
                 Ok(Message::Logoff) | Err(WireError::Io(_)) => break,
                 Ok(other) => {
+                    errors.inc();
                     Message::ErrorResponse {
                         code: 3700,
                         message: format!("unexpected message {other:?}"),

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 gate, runnable fully offline: lint clean, release build, tests.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo build --offline --release
+cargo test -q --offline

@@ -28,6 +28,7 @@
 //! ```
 
 pub use hyperq_core as core;
+pub use hyperq_obs as obs;
 pub use hyperq_engine as engine;
 pub use hyperq_parser as parser;
 pub use hyperq_wire as wire;

@@ -1,0 +1,270 @@
+//! End-to-end observability: a TPC-H query through the full pipeline must
+//! leave a complete trail — one span and one histogram observation per
+//! stage, rewrite-rule counters, a parseable Prometheus snapshot, and a
+//! slow-query capture when the threshold is crossed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::{Backend, HyperQ, ObsContext, STAGE_DURATION_METRIC};
+use hyperq::engine::EngineDb;
+use hyperq::wire::convert::{convert_traced, ConverterConfig};
+use hyperq::workload::tpch;
+
+const SCALE: f64 = 0.002;
+
+fn load() -> Arc<EngineDb> {
+    let db = Arc::new(EngineDb::new());
+    for ddl in tpch::ddl() {
+        db.execute_sql(&ddl).unwrap();
+    }
+    for (table, rows) in tpch::generate(SCALE, 1234).tables() {
+        db.load_rows(table, rows).unwrap();
+    }
+    db
+}
+
+fn session(obs: &Arc<ObsContext>) -> HyperQ {
+    let db = load();
+    HyperQ::with_obs(
+        db as Arc<dyn Backend>,
+        TargetCapabilities::simwh(),
+        Arc::clone(obs),
+    )
+}
+
+/// The acceptance path: translate and execute TPC-H Q1, convert its result,
+/// and check the whole pipeline reported itself.
+#[test]
+fn tpch_q1_emits_one_span_and_histogram_per_stage() {
+    let obs = ObsContext::new();
+    let mut hq = session(&obs);
+    let outcome = hq.run_one(tpch::query(1)).unwrap();
+    let trace = outcome.trace_id.expect("run_one must stamp a trace id");
+
+    // Result conversion joins the same trace (the wire layer's stage).
+    convert_traced(
+        &outcome.result.schema,
+        &outcome.result.rows,
+        &ConverterConfig::default(),
+        &obs,
+        Some(trace),
+    )
+    .unwrap();
+
+    let spans = obs.traces.spans_for(trace);
+    let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+    for stage in ["parse", "bind", "transform", "serialize", "execute", "convert"] {
+        assert_eq!(count(stage), 1, "stage {stage} must emit exactly one span");
+    }
+    assert_eq!(count("statement"), 1, "exactly one root span");
+    let root = spans.iter().find(|s| s.name == "statement").unwrap();
+    for stage in ["parse", "bind", "transform", "serialize", "execute"] {
+        let s = spans.iter().find(|s| s.name == stage).unwrap();
+        assert_eq!(s.parent, Some(root.span), "{stage} must hang off the root");
+    }
+
+    // Each stage histogram saw exactly this statement.
+    for stage in ["parse", "bind", "transform", "serialize", "execute", "convert"] {
+        let h = obs
+            .metrics
+            .histogram(STAGE_DURATION_METRIC, &[("stage", stage)]);
+        assert_eq!(h.count(), 1, "stage {stage} histogram must have one sample");
+    }
+    assert_eq!(
+        obs.metrics
+            .counter_value("hyperq_statements_total", &[("outcome", "ok")]),
+        1
+    );
+
+    // Q1's Teradata-isms (date arithmetic, ordinal ORDER BY) must have
+    // fired at least one rewrite rule.
+    let fired: Vec<&str> = obs
+        .metrics
+        .render_prometheus()
+        .lines()
+        .filter(|l| {
+            l.starts_with("hyperq_transform_rule_total{")
+                && l.contains("outcome=\"fired\"")
+                && !l.ends_with(" 0")
+        })
+        .map(|_| "")
+        .collect();
+    assert!(
+        !fired.is_empty(),
+        "at least one transform rule must report fired > 0:\n{}",
+        obs.metrics.render_prometheus()
+    );
+
+    // The exposition names every stage series.
+    let prom = obs.metrics.render_prometheus();
+    for stage in ["parse", "bind", "transform", "serialize", "execute", "convert"] {
+        let series = format!("hyperq_stage_duration_seconds_count{{stage=\"{stage}\"}} 1");
+        assert!(prom.contains(&series), "missing {series} in:\n{prom}");
+    }
+
+    // The backend wrapper saw the round-trip and the returned rows.
+    assert!(
+        obs.metrics
+            .counter_value("hyperq_backend_requests_total", &[("backend", "SimWH")])
+            >= 1
+    );
+    assert_eq!(
+        obs.metrics
+            .counter_value("hyperq_backend_rows_total", &[("backend", "SimWH")]),
+        outcome.result.row_count
+    );
+}
+
+/// Every line of the Prometheus exposition must parse: `# HELP`/`# TYPE`
+/// comments or `name{labels} value` samples with a finite numeric value,
+/// and cumulative bucket counts ending in the `+Inf` bucket equal to
+/// `_count`.
+#[test]
+fn prometheus_snapshot_parses_line_by_line() {
+    let obs = ObsContext::new();
+    let mut hq = session(&obs);
+    hq.run_one(tpch::query(1)).unwrap();
+    hq.run_one("HELP SESSION").unwrap();
+
+    let text = obs.metrics.render_prometheus();
+    assert!(!text.is_empty());
+    let mut inf_buckets: Vec<(String, f64)> = Vec::new();
+    let mut counts: Vec<(String, f64)> = Vec::new();
+    let mut last_bucket: Option<(String, f64)> = None;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "unknown comment: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line must be `series value`: {line}")
+        });
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value in: {line}"));
+        assert!(value.is_finite(), "{line}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+        if name.ends_with("_bucket") {
+            // Within one histogram the bucket counts are cumulative.
+            if let Some((prev_series, prev_value)) = &last_bucket {
+                let same_hist =
+                    prev_series.split("le=\"").next() == series.split("le=\"").next();
+                if same_hist && !prev_series.contains("le=\"+Inf\"") {
+                    assert!(
+                        value >= *prev_value,
+                        "buckets must be cumulative: {line} after {prev_series} {prev_value}"
+                    );
+                }
+            }
+            if series.contains("le=\"+Inf\"") {
+                inf_buckets.push((name.trim_end_matches("_bucket").into(), value));
+            }
+            last_bucket = Some((series.to_string(), value));
+        } else if name.ends_with("_count") {
+            counts.push((name.trim_end_matches("_count").into(), value));
+        }
+    }
+    assert!(!inf_buckets.is_empty(), "histograms must render buckets");
+    for (hist, inf) in &inf_buckets {
+        let total: f64 = counts
+            .iter()
+            .filter(|(n, _)| n == hist)
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(*inf <= total, "+Inf bucket of {hist} exceeds its _count sum");
+    }
+
+    // The emulation fan-out shows up by kind.
+    assert_eq!(
+        obs.metrics
+            .counter_value("hyperq_emulation_requests_total", &[("kind", "help")]),
+        1
+    );
+
+    // And the JSON snapshot mirrors the same registry.
+    let json = obs.metrics.render_json();
+    assert!(json.contains("\"hyperq_statements_total\""), "{json}");
+}
+
+/// `run_script` gives every statement its own trace, and failures land in
+/// the error counter while still closing the span tree.
+#[test]
+fn run_script_trace_ids_and_error_accounting() {
+    let obs = ObsContext::new();
+    let mut hq = session(&obs);
+    let outcomes = hq
+        .run_script("SEL COUNT(*) FROM REGION; SEL COUNT(*) FROM NATION")
+        .unwrap();
+    assert_eq!(outcomes.len(), 2);
+    let a = outcomes[0].trace_id.unwrap();
+    let b = outcomes[1].trace_id.unwrap();
+    assert_ne!(a, b, "statements must get distinct traces");
+    // First statement carries the script parse; the second has no parse
+    // span of its own.
+    assert_eq!(
+        obs.traces
+            .spans_for(a)
+            .iter()
+            .filter(|s| s.name == "parse")
+            .count(),
+        1
+    );
+    assert_eq!(
+        obs.traces
+            .spans_for(b)
+            .iter()
+            .filter(|s| s.name == "parse")
+            .count(),
+        0
+    );
+    for trace in [a, b] {
+        for stage in ["bind", "transform", "serialize", "execute"] {
+            assert_eq!(
+                obs.traces
+                    .spans_for(trace)
+                    .iter()
+                    .filter(|s| s.name == stage)
+                    .count(),
+                1,
+                "stage {stage} in trace {trace}"
+            );
+        }
+    }
+
+    assert!(hq.run_one("SEL * FROM NO_SUCH_TABLE").is_err());
+    assert_eq!(
+        obs.metrics
+            .counter_value("hyperq_statements_total", &[("outcome", "error")]),
+        1
+    );
+    // The session tracker observed the two successful statements.
+    assert_eq!(hq.tracker().total_queries, 2);
+}
+
+/// Statements crossing the slow-query threshold are captured with their
+/// span tree.
+#[test]
+fn slow_query_log_captures_span_tree() {
+    let obs = ObsContext::new();
+    obs.slowlog.set_threshold(Some(Duration::from_nanos(1)));
+    let mut hq = session(&obs);
+    hq.run_one(tpch::query(1)).unwrap();
+    let entries = obs.slowlog.entries();
+    assert_eq!(entries.len(), 1);
+    assert!(entries[0].sql.starts_with("SEL L_RETURNFLAG"), "{}", entries[0].sql);
+    let tree = &entries[0].spans;
+    assert!(tree.starts_with("statement "), "{tree}");
+    for stage in ["parse", "bind", "transform", "serialize", "execute"] {
+        assert!(tree.contains(&format!("  {stage} ")), "{stage} missing in:\n{tree}");
+    }
+}
