@@ -5,6 +5,11 @@
 //! drivers." Here the driver FFI is replaced by a trait; the bundled
 //! implementation is `hyperq-engine`'s in-process warehouse, and tests use
 //! scripted fakes.
+//!
+//! Errors carry a [`BackendErrorKind`] taxonomy so the layers above —
+//! notably [`crate::resilience::ResilientBackend`] — can tell a transient
+//! hiccup worth retrying from a semantic rejection that will fail
+//! identically forever.
 
 use std::sync::Arc;
 
@@ -13,17 +18,201 @@ use hyperq_xtra::catalog::TableDef;
 use hyperq_xtra::schema::Schema;
 use hyperq_xtra::Row;
 
-/// Error from the target database.
+/// Classification of a target-database failure, driving retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendErrorKind {
+    /// Momentary failure (deadlock victim, resource blip); retry is safe
+    /// once the statement itself is replay-safe.
+    Transient,
+    /// A per-attempt or per-request deadline expired.
+    Timeout,
+    /// The link to the target died; the request outcome may be unknown, so
+    /// only replay-safe statements may retry.
+    ConnectionLost,
+    /// The target refused the request before doing work (admission control,
+    /// overload shedding, an open circuit breaker) — retryable after
+    /// backoff.
+    Rejected,
+    /// A semantic error (syntax, missing object, constraint violation) that
+    /// will fail identically on every retry.
+    Fatal,
+}
+
+impl BackendErrorKind {
+    /// Whether a retry can possibly change the outcome. The statement-level
+    /// replay-safety check ([`RequestContext::allows_retry`]) is a separate
+    /// gate.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, BackendErrorKind::Fatal)
+    }
+
+    /// Stable lowercase name, used as a metric label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendErrorKind::Transient => "transient",
+            BackendErrorKind::Timeout => "timeout",
+            BackendErrorKind::ConnectionLost => "connection_lost",
+            BackendErrorKind::Rejected => "rejected",
+            BackendErrorKind::Fatal => "fatal",
+        }
+    }
+
+    /// All kinds, in display order (used to pre-resolve labeled metric
+    /// handles).
+    pub const ALL: [BackendErrorKind; 5] = [
+        BackendErrorKind::Transient,
+        BackendErrorKind::Timeout,
+        BackendErrorKind::ConnectionLost,
+        BackendErrorKind::Rejected,
+        BackendErrorKind::Fatal,
+    ];
+}
+
+impl std::fmt::Display for BackendErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from the target database: a taxonomy kind plus the driver-level
+/// message.
 #[derive(Debug, Clone, PartialEq)]
-pub struct BackendError(pub String);
+pub struct BackendError {
+    pub kind: BackendErrorKind,
+    pub message: String,
+}
+
+impl BackendError {
+    pub fn new(kind: BackendErrorKind, message: impl Into<String>) -> BackendError {
+        BackendError { kind, message: message.into() }
+    }
+
+    pub fn transient(message: impl Into<String>) -> BackendError {
+        BackendError::new(BackendErrorKind::Transient, message)
+    }
+
+    pub fn timeout(message: impl Into<String>) -> BackendError {
+        BackendError::new(BackendErrorKind::Timeout, message)
+    }
+
+    pub fn connection_lost(message: impl Into<String>) -> BackendError {
+        BackendError::new(BackendErrorKind::ConnectionLost, message)
+    }
+
+    pub fn rejected(message: impl Into<String>) -> BackendError {
+        BackendError::new(BackendErrorKind::Rejected, message)
+    }
+
+    pub fn fatal(message: impl Into<String>) -> BackendError {
+        BackendError::new(BackendErrorKind::Fatal, message)
+    }
+
+    /// Classify a string-shaped driver error by message content — the
+    /// fallback for ODBC drivers that return flat text. Unrecognized
+    /// messages default to `Fatal`: never retry what we don't understand.
+    pub fn classify(message: impl Into<String>) -> BackendError {
+        let message = message.into();
+        let kind = classify_message(&message);
+        BackendError { kind, message }
+    }
+}
+
+fn classify_message(message: &str) -> BackendErrorKind {
+    let m = message.to_ascii_lowercase();
+    let any = |needles: &[&str]| needles.iter().any(|n| m.contains(n));
+    if any(&["timeout", "timed out", "deadline exceeded"]) {
+        BackendErrorKind::Timeout
+    } else if any(&[
+        "connection reset",
+        "connection lost",
+        "connection closed",
+        "connection refused",
+        "broken pipe",
+        "network",
+    ]) {
+        BackendErrorKind::ConnectionLost
+    } else if any(&[
+        "too many",
+        "admission",
+        "overload",
+        "throttl",
+        "rejected",
+        "at capacity",
+        "server busy",
+    ]) {
+        BackendErrorKind::Rejected
+    } else if any(&[
+        "transient",
+        "temporar",
+        "try again",
+        "retry",
+        "deadlock",
+        "serialization failure",
+        "unavailable",
+    ]) {
+        BackendErrorKind::Transient
+    } else {
+        BackendErrorKind::Fatal
+    }
+}
 
 impl std::fmt::Display for BackendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "backend error: {}", self.0)
+        write!(f, "backend error ({}): {}", self.kind, self.message)
     }
 }
 
 impl std::error::Error for BackendError {}
+
+/// Per-request execution context the pipeline passes down to the backend
+/// stack so wrappers can make replay-safety decisions the SQL text alone
+/// cannot justify: whether the statement is idempotent, and whether the
+/// session currently has a transaction open (a retried statement inside a
+/// transaction could be applied twice if the first attempt actually
+/// committed on the target before the error surfaced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestContext {
+    /// Re-executing the statement cannot change the outcome (read-only
+    /// queries; not DML/DDL).
+    pub idempotent: bool,
+    /// The session has an open transaction.
+    pub in_transaction: bool,
+}
+
+impl RequestContext {
+    /// Context for a replay-safe read outside any transaction.
+    pub fn read_only() -> RequestContext {
+        RequestContext { idempotent: true, in_transaction: false }
+    }
+
+    /// Context for a non-idempotent statement (DML/DDL): never blind-retried.
+    pub fn write() -> RequestContext {
+        RequestContext { idempotent: false, in_transaction: false }
+    }
+
+    /// Conservative keyword classification for callers entering through the
+    /// plain [`Backend::execute`] path: only obvious reads are idempotent.
+    pub fn from_sql(sql: &str) -> RequestContext {
+        let first = sql.split_whitespace().next().unwrap_or("").to_ascii_uppercase();
+        RequestContext {
+            idempotent: matches!(first.as_str(), "SELECT" | "SEL" | "WITH" | "HELP" | "SHOW"),
+            in_transaction: false,
+        }
+    }
+
+    /// The replay-safety gate: blind retry is permitted only for idempotent
+    /// statements outside an open transaction.
+    pub fn allows_retry(&self) -> bool {
+        self.idempotent && !self.in_transaction
+    }
+}
+
+impl Default for RequestContext {
+    /// Conservative default: assume non-idempotent.
+    fn default() -> RequestContext {
+        RequestContext::write()
+    }
+}
 
 /// Result of executing one request on the target.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,19 +254,29 @@ pub trait Backend: Send + Sync {
     /// Execute one statement of target-dialect SQL.
     fn execute(&self, sql: &str) -> Result<ExecResult, BackendError>;
 
+    /// Execute with an explicit replay-safety context. Plain backends ignore
+    /// the context; policy wrappers (retry, replication) use it to decide
+    /// what they may replay. Wrappers MUST forward it to their inner
+    /// backend.
+    fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+        let _ = ctx;
+        self.execute(sql)
+    }
+
     /// Look up a table's definition in the target catalog (normalized
     /// upper-case name).
     fn table_meta(&self, name: &str) -> Option<TableDef>;
 }
 
 /// A transparent [`Backend`] wrapper that reports per-call metrics into an
-/// observability context: round-trips, errors, rows returned/affected, a
-/// call-latency histogram, and catalog-lookup counts — all labeled with the
-/// wrapped backend's name.
+/// observability context: round-trips, errors (total and by taxonomy kind),
+/// rows returned/affected, a call-latency histogram, and catalog-lookup
+/// counts — all labeled with the wrapped backend's name.
 pub struct InstrumentedBackend {
     inner: Arc<dyn Backend>,
     calls: Arc<Counter>,
     errors: Arc<Counter>,
+    errors_by_kind: [Arc<Counter>; BackendErrorKind::ALL.len()],
     rows: Arc<Counter>,
     catalog_lookups: Arc<Counter>,
     latency: Arc<Histogram>,
@@ -92,11 +291,35 @@ impl InstrumentedBackend {
         Arc::new(InstrumentedBackend {
             calls: m.counter("hyperq_backend_requests_total", labels),
             errors: m.counter("hyperq_backend_errors_total", labels),
+            errors_by_kind: BackendErrorKind::ALL.map(|k| {
+                m.counter(
+                    "hyperq_backend_errors_by_kind_total",
+                    &[("backend", inner.name()), ("kind", k.as_str())],
+                )
+            }),
             rows: m.counter("hyperq_backend_rows_total", labels),
             catalog_lookups: m.counter("hyperq_backend_catalog_lookups_total", labels),
             latency: m.histogram("hyperq_backend_request_duration_seconds", labels),
             inner,
         })
+    }
+
+    fn observe(
+        &self,
+        result: Result<ExecResult, BackendError>,
+    ) -> Result<ExecResult, BackendError> {
+        match &result {
+            Ok(r) => self.rows.add(r.row_count),
+            Err(e) => {
+                self.errors.inc();
+                let idx = BackendErrorKind::ALL
+                    .iter()
+                    .position(|k| *k == e.kind)
+                    .unwrap_or(BackendErrorKind::ALL.len() - 1);
+                self.errors_by_kind[idx].inc();
+            }
+        }
+        result
     }
 }
 
@@ -110,11 +333,15 @@ impl Backend for InstrumentedBackend {
         let t0 = std::time::Instant::now();
         let result = self.inner.execute(sql);
         self.latency.record(t0.elapsed());
-        match &result {
-            Ok(r) => self.rows.add(r.row_count),
-            Err(_) => self.errors.inc(),
-        }
-        result
+        self.observe(result)
+    }
+
+    fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+        self.calls.inc();
+        let t0 = std::time::Instant::now();
+        let result = self.inner.execute_ctx(sql, ctx);
+        self.latency.record(t0.elapsed());
+        self.observe(result)
     }
 
     fn table_meta(&self, name: &str) -> Option<TableDef> {
@@ -128,6 +355,10 @@ impl Backend for InstrumentedBackend {
 pub mod testing {
     use super::*;
     use parking_lot::Mutex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
 
     /// A scripted backend: records every SQL string it is asked to run and
     /// returns canned results (or injected faults).
@@ -173,5 +404,209 @@ pub mod testing {
                 })
                 .cloned()
         }
+    }
+
+    /// One fault-injection schedule. Schedules only decide *whether* a call
+    /// fails; calls that pass are delegated to the wrapped backend.
+    pub enum FaultMode {
+        /// Never inject a failure.
+        None,
+        /// Fail the next `remaining` calls with `kind`, then pass.
+        FailNext { remaining: u64, kind: BackendErrorKind },
+        /// Fail every call with `kind`.
+        AlwaysFail { kind: BackendErrorKind },
+        /// Fail each call independently with probability `rate`, drawn from
+        /// a seeded (deterministic) generator.
+        Flaky { rate: f64, rng: StdRng, kind: BackendErrorKind },
+    }
+
+    /// Scriptable fault schedule: a failure mode plus optional per-call
+    /// latency injection.
+    pub struct FaultPlan {
+        pub mode: FaultMode,
+        /// Injected before every call (models a slow target).
+        pub latency: Duration,
+    }
+
+    impl FaultPlan {
+        pub fn none() -> FaultPlan {
+            FaultPlan { mode: FaultMode::None, latency: Duration::ZERO }
+        }
+
+        /// Fail the first `n` calls with `kind`, then succeed.
+        pub fn fail_n_then_succeed(n: u64, kind: BackendErrorKind) -> FaultPlan {
+            FaultPlan { mode: FaultMode::FailNext { remaining: n, kind }, latency: Duration::ZERO }
+        }
+
+        pub fn always_fail(kind: BackendErrorKind) -> FaultPlan {
+            FaultPlan { mode: FaultMode::AlwaysFail { kind }, latency: Duration::ZERO }
+        }
+
+        /// Fail each call with probability `rate`; deterministic for a seed.
+        pub fn flaky(rate: f64, seed: u64, kind: BackendErrorKind) -> FaultPlan {
+            FaultPlan {
+                mode: FaultMode::Flaky { rate, rng: StdRng::seed_from_u64(seed), kind },
+                latency: Duration::ZERO,
+            }
+        }
+
+        /// Add per-call latency injection to this plan.
+        pub fn with_latency(mut self, latency: Duration) -> FaultPlan {
+            self.latency = latency;
+            self
+        }
+    }
+
+    /// A [`Backend`] wrapper that injects faults and latency according to a
+    /// [`FaultPlan`], so every layer above the ODBC-server abstraction can
+    /// be exercised against a misbehaving target without a real one.
+    ///
+    /// Counts the calls that actually reached it — the ground truth for
+    /// retry and fast-fail assertions.
+    pub struct FaultInjectingBackend {
+        inner: Arc<dyn Backend>,
+        plan: Mutex<FaultPlan>,
+        attempts: AtomicU64,
+        injected: AtomicU64,
+    }
+
+    impl FaultInjectingBackend {
+        pub fn wrap(inner: Arc<dyn Backend>, plan: FaultPlan) -> Arc<FaultInjectingBackend> {
+            Arc::new(FaultInjectingBackend {
+                inner,
+                plan: Mutex::new(plan),
+                attempts: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            })
+        }
+
+        /// Calls that reached this backend (including injected failures).
+        pub fn attempts(&self) -> u64 {
+            self.attempts.load(Ordering::Relaxed)
+        }
+
+        /// Failures injected so far.
+        pub fn injected_faults(&self) -> u64 {
+            self.injected.load(Ordering::Relaxed)
+        }
+
+        /// Replace the active schedule (e.g. heal the target mid-test).
+        pub fn set_plan(&self, plan: FaultPlan) {
+            *self.plan.lock() = plan;
+        }
+
+        fn next_fault(&self) -> Option<BackendErrorKind> {
+            let mut plan = self.plan.lock();
+            if !plan.latency.is_zero() {
+                std::thread::sleep(plan.latency);
+            }
+            match &mut plan.mode {
+                FaultMode::None => None,
+                FaultMode::FailNext { remaining, kind } => {
+                    if *remaining > 0 {
+                        *remaining -= 1;
+                        Some(*kind)
+                    } else {
+                        None
+                    }
+                }
+                FaultMode::AlwaysFail { kind } => Some(*kind),
+                FaultMode::Flaky { rate, rng, kind } => rng.gen_bool(*rate).then_some(*kind),
+            }
+        }
+    }
+
+    impl Backend for FaultInjectingBackend {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+
+        fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+            self.execute_ctx(sql, RequestContext::from_sql(sql))
+        }
+
+        fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            if let Some(kind) = self.next_fault() {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(BackendError::new(
+                    kind,
+                    format!("injected {kind} fault from {}", self.inner.name()),
+                ));
+            }
+            self.inner.execute_ctx(sql, ctx)
+        }
+
+        fn table_meta(&self, name: &str) -> Option<TableDef> {
+            self.inner.table_meta(name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_maps_common_messages() {
+        let cases = [
+            ("query timed out after 30s", BackendErrorKind::Timeout),
+            ("connection reset by peer", BackendErrorKind::ConnectionLost),
+            ("too many concurrent requests", BackendErrorKind::Rejected),
+            ("admission control queue full", BackendErrorKind::Rejected),
+            ("deadlock detected", BackendErrorKind::Transient),
+            ("resource temporarily unavailable", BackendErrorKind::Transient),
+            ("syntax error at or near FROM", BackendErrorKind::Fatal),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(BackendError::classify(msg).kind, want, "{msg}");
+        }
+    }
+
+    #[test]
+    fn unknown_messages_default_to_fatal() {
+        assert_eq!(BackendError::classify("disk quota exceeded").kind, BackendErrorKind::Fatal);
+        assert!(!BackendError::classify("whatever").kind.is_retryable());
+    }
+
+    #[test]
+    fn request_context_replay_safety() {
+        assert!(RequestContext::read_only().allows_retry());
+        assert!(!RequestContext::write().allows_retry());
+        assert!(!RequestContext { idempotent: true, in_transaction: true }.allows_retry());
+        assert!(RequestContext::from_sql("  SEL * FROM T").idempotent);
+        assert!(RequestContext::from_sql("WITH X AS (SELECT 1) SELECT * FROM X").idempotent);
+        assert!(!RequestContext::from_sql("INSERT INTO T VALUES (1)").idempotent);
+        assert!(!RequestContext::from_sql("").idempotent);
+    }
+
+    #[test]
+    fn fault_plan_fail_n_then_succeed() {
+        use testing::*;
+        let inner = Arc::new(ScriptedBackend::acking(vec![]));
+        let fb = FaultInjectingBackend::wrap(
+            inner as Arc<dyn Backend>,
+            FaultPlan::fail_n_then_succeed(2, BackendErrorKind::Transient),
+        );
+        assert_eq!(fb.execute("SEL 1").unwrap_err().kind, BackendErrorKind::Transient);
+        assert_eq!(fb.execute("SEL 1").unwrap_err().kind, BackendErrorKind::Transient);
+        assert!(fb.execute("SEL 1").is_ok());
+        assert_eq!(fb.attempts(), 3);
+        assert_eq!(fb.injected_faults(), 2);
+    }
+
+    #[test]
+    fn flaky_plan_is_deterministic_for_a_seed() {
+        use testing::*;
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let inner = Arc::new(ScriptedBackend::acking(vec![]));
+            let fb = FaultInjectingBackend::wrap(
+                inner as Arc<dyn Backend>,
+                FaultPlan::flaky(0.5, seed, BackendErrorKind::Transient),
+            );
+            (0..32).map(|_| fb.execute("SEL 1").is_ok()).collect()
+        };
+        assert_eq!(outcomes(7), outcomes(7), "same seed, same schedule");
+        assert_ne!(outcomes(7), outcomes(8), "different seeds should diverge");
     }
 }

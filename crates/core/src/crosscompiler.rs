@@ -17,7 +17,7 @@ use hyperq_xtra::rel::{Plan, RelExpr, SetOpKind};
 
 use hyperq_obs::{Counter, Histogram, ObsContext, TraceId};
 
-use crate::backend::{Backend, ExecResult, InstrumentedBackend};
+use crate::backend::{Backend, ExecResult, InstrumentedBackend, RequestContext};
 use crate::binder::Binder;
 use crate::capability::TargetCapabilities;
 use crate::emulate;
@@ -784,7 +784,7 @@ impl HyperQ {
             self.stages.serialize.record(d);
             timings.translation += d;
             let exec_span = self.obs.traces.enter("execute");
-            self.backend.execute(&ddl)?;
+            self.backend.execute_ctx(&ddl, self.request_ctx(false))?;
             let d = exec_span.finish();
             self.stages.execute.record(d);
             timings.execution += d;
@@ -793,7 +793,7 @@ impl HyperQ {
         }
 
         let exec_span = self.obs.traces.enter("execute");
-        let result = self.backend.execute(&sql)?;
+        let result = self.backend.execute_ctx(&sql, self.request_ctx(matches!(plan, Plan::Query(_))))?;
         let exec_time = exec_span.finish();
         self.stages.execute.record(exec_time);
         timings.execution += exec_time;
@@ -919,9 +919,50 @@ impl HyperQ {
         q: &past::Query,
         mut features: FeatureSet,
     ) -> Result<StatementOutcome> {
-        let parts = emulate::split_recursive(q)?;
         let mut timings = Timings::default();
         let mut sql_sent = Vec::new();
+        // Temp tables created so far; on a mid-sequence failure they are
+        // best-effort dropped so a retried statement starts clean instead
+        // of colliding with leftovers on the target.
+        let mut live: Vec<String> = Vec::new();
+        match self.emulate_recursive_inner(q, &mut features, &mut timings, &mut sql_sent, &mut live)
+        {
+            Ok(result) => Ok(StatementOutcome { result, features, timings, sql_sent, trace_id: None }),
+            Err(e) => {
+                self.cleanup_temp_tables(&live, &mut timings, &mut sql_sent);
+                Err(e)
+            }
+        }
+    }
+
+    /// Best-effort `DROP TABLE IF EXISTS` for temp tables left behind by a
+    /// failed emulation sequence. Errors are swallowed: cleanup must never
+    /// mask the original failure.
+    fn cleanup_temp_tables(
+        &mut self,
+        live: &[String],
+        timings: &mut Timings,
+        sql_sent: &mut Vec<String>,
+    ) {
+        for name in live.iter().rev() {
+            self.emu("cleanup");
+            let _ = self.exec_plan(
+                Plan::DropTable { name: name.clone(), if_exists: true },
+                timings,
+                sql_sent,
+            );
+        }
+    }
+
+    fn emulate_recursive_inner(
+        &mut self,
+        q: &past::Query,
+        features: &mut FeatureSet,
+        timings: &mut Timings,
+        sql_sent: &mut Vec<String>,
+        live: &mut Vec<String>,
+    ) -> Result<ExecResult> {
+        let parts = emulate::split_recursive(q)?;
 
         // Bind the seed to learn the CTE schema.
         let t0 = Instant::now();
@@ -963,12 +1004,16 @@ impl HyperQ {
             kind: TableKind::Temporary,
         };
 
-        // Step 1: initialize WorkTable and TempTable with the seed.
+        // Step 1: initialize WorkTable and TempTable with the seed. Names
+        // go on the live list *before* execution: a failed CTAS may leave
+        // a partial table behind, and cleanup drops with IF EXISTS.
+        live.push(work_table.clone());
         self.exec_plan(
             Plan::CreateTable { def: table_def(&work_table), source: Some(seed_rel) },
-            &mut timings,
-            &mut sql_sent,
+            timings,
+            sql_sent,
         )?;
+        live.push(temp_table.clone());
         self.exec_plan(
             Plan::CreateTable {
                 def: table_def(&temp_table),
@@ -978,8 +1023,8 @@ impl HyperQ {
                     schema: table_def(&work_table).schema(None),
                 }),
             },
-            &mut timings,
-            &mut sql_sent,
+            timings,
+            sql_sent,
         )?;
 
         // Steps 2..: run the recursive expression joined against TempTable
@@ -997,17 +1042,19 @@ impl HyperQ {
                 rel
             };
             timings.translation += t.elapsed();
+            live.push(next_table.clone());
             let produced = self.exec_plan(
                 Plan::CreateTable { def: table_def(&next_table), source: Some(step_rel) },
-                &mut timings,
-                &mut sql_sent,
+                timings,
+                sql_sent,
             )?;
             if produced.row_count == 0 {
                 self.exec_plan(
-                    Plan::DropTable { name: next_table, if_exists: false },
-                    &mut timings,
-                    &mut sql_sent,
+                    Plan::DropTable { name: next_table.clone(), if_exists: false },
+                    timings,
+                    sql_sent,
                 )?;
+                live.retain(|n| n != &next_table);
                 converged = true;
                 break;
             }
@@ -1021,14 +1068,15 @@ impl HyperQ {
                         schema: table_def(&next_table).schema(None),
                     },
                 },
-                &mut timings,
-                &mut sql_sent,
+                timings,
+                sql_sent,
             )?;
             self.exec_plan(
                 Plan::DropTable { name: temp_table.clone(), if_exists: false },
-                &mut timings,
-                &mut sql_sent,
+                timings,
+                sql_sent,
             )?;
+            live.retain(|n| n != &temp_table);
             temp_table = next_table;
         }
         if !converged {
@@ -1048,21 +1096,31 @@ impl HyperQ {
             plan
         };
         timings.translation += t.elapsed();
-        let result = self.exec_plan_full(main_plan, &mut timings, &mut sql_sent)?;
+        let result = self.exec_plan_full(main_plan, timings, sql_sent)?;
 
         // Step 6: drop the temporary tables.
         self.exec_plan(
-            Plan::DropTable { name: temp_table, if_exists: false },
-            &mut timings,
-            &mut sql_sent,
+            Plan::DropTable { name: temp_table.clone(), if_exists: false },
+            timings,
+            sql_sent,
         )?;
+        live.retain(|n| n != &temp_table);
         self.exec_plan(
-            Plan::DropTable { name: work_table, if_exists: false },
-            &mut timings,
-            &mut sql_sent,
+            Plan::DropTable { name: work_table.clone(), if_exists: false },
+            timings,
+            sql_sent,
         )?;
+        live.retain(|n| n != &work_table);
 
-        Ok(StatementOutcome { result, features, timings, sql_sent, trace_id: None })
+        Ok(result)
+    }
+
+    /// Replay-safety context for a backend request: only pure queries are
+    /// idempotent, and nothing inside an open transaction may be blindly
+    /// retried (a replay could double-apply effects the target already
+    /// holds in its transaction state).
+    fn request_ctx(&self, idempotent: bool) -> RequestContext {
+        RequestContext { idempotent, in_transaction: self.session.in_transaction }
     }
 
     /// Transform, serialize and execute one already-bound plan, charging
@@ -1094,7 +1152,8 @@ impl HyperQ {
         self.stages.serialize.record(d);
         timings.translation += d;
         let span = self.obs.traces.enter("execute");
-        let result = self.backend.execute(&sql)?;
+        let result =
+            self.backend.execute_ctx(&sql, self.request_ctx(matches!(plan, Plan::Query(_))))?;
         let d = span.finish();
         self.stages.execute.record(d);
         timings.execution += d;

@@ -31,14 +31,20 @@ pub mod crosscompiler;
 pub mod emulate;
 pub mod error;
 pub mod replicate;
+pub mod resilience;
 pub mod serialize;
 pub mod session;
 pub mod tracker;
 pub mod transform;
 
-pub use backend::{Backend, BackendError, ExecResult, InstrumentedBackend};
+pub use backend::{
+    Backend, BackendError, BackendErrorKind, ExecResult, InstrumentedBackend, RequestContext,
+};
 pub use capability::TargetCapabilities;
 pub use crosscompiler::{HyperQ, StageTimings, StatementOutcome, Timings, STAGE_DURATION_METRIC};
 pub use error::{HyperQError, Result};
 pub use hyperq_obs::{ObsContext, TraceId};
 pub use replicate::ReplicatedBackend;
+pub use resilience::{
+    BreakerConfig, BreakerState, ResilienceConfig, ResilientBackend, RetryPolicy,
+};

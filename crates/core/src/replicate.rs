@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::backend::{Backend, BackendError, ExecResult};
+use crate::backend::{Backend, BackendError, ExecResult, RequestContext};
 use hyperq_xtra::catalog::TableDef;
 
 /// Statement classification for routing.
@@ -49,7 +49,7 @@ impl ReplicatedBackend {
     /// Build from at least one replica.
     pub fn new(replicas: Vec<Arc<dyn Backend>>) -> Result<Self, BackendError> {
         if replicas.is_empty() {
-            return Err(BackendError("replica set must not be empty".into()));
+            return Err(BackendError::fatal("replica set must not be empty"));
         }
         Ok(ReplicatedBackend {
             name: format!("replicated({})", replicas.len()),
@@ -76,7 +76,7 @@ impl ReplicatedBackend {
                 return Ok(r);
             }
         }
-        Err(BackendError("no healthy replica available".into()))
+        Err(BackendError::rejected("no healthy replica available"))
     }
 }
 
@@ -86,8 +86,12 @@ impl Backend for ReplicatedBackend {
     }
 
     fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        self.execute_ctx(sql, RequestContext::from_sql(sql))
+    }
+
+    fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
         if is_read_only(sql) {
-            return self.route_read()?.backend.execute(sql);
+            return self.route_read()?.backend.execute_ctx(sql, ctx);
         }
         // Writes: apply to every healthy replica; fence replicas whose
         // write fails so they cannot serve stale reads. The write succeeds
@@ -98,7 +102,7 @@ impl Backend for ReplicatedBackend {
             if *r.fenced.read() {
                 continue;
             }
-            match r.backend.execute(sql) {
+            match r.backend.execute_ctx(sql, ctx) {
                 Ok(res) => last_ok = Some(res),
                 Err(e) => {
                     *r.fenced.write() = true;
@@ -109,7 +113,7 @@ impl Backend for ReplicatedBackend {
         match (last_ok, last_err) {
             (Some(res), _) => Ok(res),
             (None, Some(e)) => Err(e),
-            (None, None) => Err(BackendError("no healthy replica available".into())),
+            (None, None) => Err(BackendError::rejected("no healthy replica available")),
         }
     }
 
@@ -150,7 +154,7 @@ mod tests {
                 *self.reads.lock() += 1;
                 Ok(ExecResult::rows(Schema::empty(), vec![]))
             } else if self.fail_writes {
-                Err(BackendError("disk full".into()))
+                Err(BackendError::fatal("disk full"))
             } else {
                 *self.writes.lock() += 1;
                 Ok(ExecResult::affected(1))

@@ -1,0 +1,579 @@
+//! Fault-tolerant backend execution.
+//!
+//! The paper positions Hyper-Q as production middleware in front of an
+//! entire warehouse workload (§4, §6): a flaky or slow cloud target must
+//! degrade gracefully at the middle tier instead of cascading into dropped
+//! client connections. [`ResilientBackend`] is the policy layer that sits
+//! between the pipeline and the ODBC-server abstraction:
+//!
+//! * **bounded retries** with exponential backoff and seedable jitter —
+//!   only for errors whose [`BackendErrorKind`] is retryable AND statements
+//!   whose [`RequestContext`] is replay-safe (idempotent, not inside an
+//!   open transaction);
+//! * **per-request deadlines** — a wall-clock budget across all attempts,
+//!   checked cooperatively between attempts (the synchronous `Backend`
+//!   trait cannot interrupt an in-flight call; the gateway's socket
+//!   timeouts bound the client-facing side);
+//! * a three-state **circuit breaker** (closed → open → half-open probe)
+//!   shared by every session on the wrapped backend, so a dead target is
+//!   answered fast-fail at the middle tier instead of queueing threads.
+//!
+//! Everything reports through [`ObsContext`]:
+//! `hyperq_backend_retries_total`, `hyperq_backend_deadline_exceeded_total`,
+//! `hyperq_backend_breaker_state` (0 = closed, 1 = open, 2 = half-open),
+//! `hyperq_backend_breaker_fastfail_total`,
+//! `hyperq_backend_breaker_transitions_total{to=…}` and the per-attempt
+//! histogram `hyperq_backend_attempt_duration_seconds`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use hyperq_obs::{Counter, Gauge, Histogram, ObsContext};
+use hyperq_xtra::catalog::TableDef;
+
+use crate::backend::{Backend, BackendError, ExecResult, RequestContext};
+
+/// Retry/backoff/deadline policy.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^(n-1)`, capped at
+    /// `max_backoff`, then jittered.
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Fraction of the backoff randomized away: the sleep is drawn
+    /// uniformly from `[(1 - jitter) * b, b]`. 0 disables jitter.
+    pub jitter: f64,
+    /// Seed for the jitter generator — deterministic timing under test.
+    pub seed: u64,
+    /// Wall-clock budget for the whole request across attempts and
+    /// backoffs. `None` = unbounded.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+            seed: 0x5EED_CAFE,
+            deadline: None,
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before letting a half-open probe
+    /// through.
+    pub cooldown: Duration,
+    /// Consecutive half-open successes required to close again.
+    pub success_threshold: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(1),
+            success_threshold: 1,
+        }
+    }
+}
+
+/// Combined resilience configuration for one wrapped backend.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    pub retry: RetryPolicy,
+    pub breaker: BreakerConfig,
+}
+
+/// Breaker states, in gauge encoding order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    opened_at: Option<Instant>,
+}
+
+/// A three-state circuit breaker. Shared across sessions of one target.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    state_gauge: Arc<Gauge>,
+    transitions: [Arc<Counter>; 3],
+}
+
+impl CircuitBreaker {
+    fn new(config: BreakerConfig, backend: &str, obs: &ObsContext) -> CircuitBreaker {
+        let state_gauge =
+            obs.metrics.gauge("hyperq_backend_breaker_state", &[("backend", backend)]);
+        state_gauge.set(0);
+        let transition = |to: BreakerState| {
+            obs.metrics.counter(
+                "hyperq_backend_breaker_transitions_total",
+                &[("backend", backend), ("to", to.as_str())],
+            )
+        };
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                half_open_successes: 0,
+                opened_at: None,
+            }),
+            state_gauge,
+            transitions: [
+                transition(BreakerState::Closed),
+                transition(BreakerState::Open),
+                transition(BreakerState::HalfOpen),
+            ],
+        }
+    }
+
+    fn transition(&self, inner: &mut BreakerInner, to: BreakerState) {
+        inner.state = to;
+        self.state_gauge.set(to.gauge_value());
+        self.transitions[to.gauge_value() as usize].inc();
+        match to {
+            BreakerState::Closed => {
+                inner.consecutive_failures = 0;
+                inner.half_open_successes = 0;
+                inner.opened_at = None;
+            }
+            BreakerState::Open => {
+                inner.opened_at = Some(Instant::now());
+                inner.half_open_successes = 0;
+            }
+            BreakerState::HalfOpen => {
+                inner.half_open_successes = 0;
+            }
+        }
+    }
+
+    /// Whether a request may proceed right now. An open breaker past its
+    /// cooldown flips to half-open and admits the caller as the probe.
+    fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.config.cooldown)
+                    .unwrap_or(true);
+                if cooled {
+                    self.transition(&mut inner, BreakerState::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.half_open_successes += 1;
+                if inner.half_open_successes >= self.config.success_threshold {
+                    self.transition(&mut inner, BreakerState::Closed);
+                }
+            }
+            // A success completing after the breaker re-opened: stale, keep
+            // the open state authoritative.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn on_failure(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    self.transition(&mut inner, BreakerState::Open);
+                }
+            }
+            // A failed probe re-opens immediately and restarts the cooldown.
+            BreakerState::HalfOpen => self.transition(&mut inner, BreakerState::Open),
+            BreakerState::Open => {}
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+}
+
+/// A [`Backend`] wrapper implementing retries, deadlines and the circuit
+/// breaker. Stack it *under* [`crate::backend::InstrumentedBackend`] (the
+/// crosscompiler wraps instrumentation around whatever backend it is
+/// given), and share one instance across sessions so the breaker sees the
+/// target's aggregate health.
+pub struct ResilientBackend {
+    inner: Arc<dyn Backend>,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    jitter_rng: Mutex<StdRng>,
+    retries: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    fast_fails: Arc<Counter>,
+    attempt_latency: Arc<Histogram>,
+}
+
+impl ResilientBackend {
+    /// Wrap `inner` with the given policy, reporting into `obs`. Returns
+    /// the concrete type so callers can inspect [`ResilientBackend::breaker_state`];
+    /// it coerces to `Arc<dyn Backend>` where needed.
+    pub fn wrap(
+        inner: Arc<dyn Backend>,
+        config: ResilienceConfig,
+        obs: &ObsContext,
+    ) -> Arc<ResilientBackend> {
+        let labels = &[("backend", inner.name())][..];
+        let m = &obs.metrics;
+        Arc::new(ResilientBackend {
+            breaker: CircuitBreaker::new(config.breaker, inner.name(), obs),
+            jitter_rng: Mutex::new(StdRng::seed_from_u64(config.retry.seed)),
+            retries: m.counter("hyperq_backend_retries_total", labels),
+            deadline_exceeded: m.counter("hyperq_backend_deadline_exceeded_total", labels),
+            fast_fails: m.counter("hyperq_backend_breaker_fastfail_total", labels),
+            attempt_latency: m.histogram("hyperq_backend_attempt_duration_seconds", labels),
+            policy: config.retry,
+            inner,
+        })
+    }
+
+    /// Current breaker state (diagnostics / tests).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Backoff before retry number `retry` (1-based), jittered. With
+    /// `jitter = 0` the sequence is exactly `base * 2^(retry-1)` capped at
+    /// `max_backoff`; with a fixed seed the jittered sequence is
+    /// deterministic too.
+    fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(retry.saturating_sub(1)).unwrap_or(u32::MAX))
+            .min(self.policy.max_backoff);
+        let jitter = self.policy.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 || exp.is_zero() {
+            return exp;
+        }
+        // 53 high bits of the seeded generator → uniform unit draw.
+        let unit = (self.jitter_rng.lock().next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(1.0 - jitter * unit)
+    }
+}
+
+impl Backend for ResilientBackend {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        self.execute_ctx(sql, RequestContext::from_sql(sql))
+    }
+
+    fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if !self.breaker.try_acquire() {
+                self.fast_fails.inc();
+                return Err(BackendError::rejected(format!(
+                    "circuit breaker open for target {}; request failed fast",
+                    self.inner.name()
+                )));
+            }
+            let t0 = Instant::now();
+            let result = self.inner.execute_ctx(sql, ctx);
+            self.attempt_latency.record(t0.elapsed());
+            let err = match result {
+                Ok(r) => {
+                    self.breaker.on_success();
+                    return Ok(r);
+                }
+                Err(e) => {
+                    self.breaker.on_failure();
+                    e
+                }
+            };
+            if !(ctx.allows_retry() && err.kind.is_retryable())
+                || attempt >= self.policy.max_attempts
+            {
+                return Err(err);
+            }
+            let backoff = self.backoff(attempt);
+            if let Some(deadline) = self.policy.deadline {
+                if start.elapsed() + backoff >= deadline {
+                    self.deadline_exceeded.inc();
+                    return Err(BackendError::timeout(format!(
+                        "request deadline of {deadline:?} exceeded after {attempt} attempt(s); \
+                         last error: {}",
+                        err.message
+                    )));
+                }
+            }
+            self.retries.inc();
+            std::thread::sleep(backoff);
+        }
+    }
+
+    fn table_meta(&self, name: &str) -> Option<TableDef> {
+        self.inner.table_meta(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::testing::{FaultInjectingBackend, FaultPlan, ScriptedBackend};
+    use crate::backend::BackendErrorKind;
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.5,
+            seed: 42,
+            deadline: None,
+        }
+    }
+
+    fn resilient(
+        plan: FaultPlan,
+        retry: RetryPolicy,
+        breaker: BreakerConfig,
+    ) -> (Arc<ResilientBackend>, Arc<FaultInjectingBackend>, Arc<ObsContext>) {
+        let obs = ObsContext::new();
+        let inner = Arc::new(ScriptedBackend::acking(vec![]));
+        let fault = FaultInjectingBackend::wrap(inner as Arc<dyn Backend>, plan);
+        let rb = ResilientBackend::wrap(
+            Arc::clone(&fault) as Arc<dyn Backend>,
+            ResilienceConfig { retry, breaker },
+            &obs,
+        );
+        (rb, fault, obs)
+    }
+
+    #[test]
+    fn backoff_sequence_is_deterministic_for_a_seed() {
+        let seq = |seed: u64| -> Vec<Duration> {
+            let obs = ObsContext::new();
+            let inner = Arc::new(ScriptedBackend::acking(vec![]));
+            let rb = ResilientBackend::wrap(
+                inner as Arc<dyn Backend>,
+                ResilienceConfig {
+                    retry: RetryPolicy { seed, ..fast_policy() },
+                    breaker: BreakerConfig::default(),
+                },
+                &obs,
+            );
+            (1..=6).map(|n| rb.backoff(n)).collect()
+        };
+        assert_eq!(seq(7), seq(7), "same seed, same jittered backoffs");
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let obs = ObsContext::new();
+        let inner = Arc::new(ScriptedBackend::acking(vec![]));
+        let rb = ResilientBackend::wrap(
+            inner as Arc<dyn Backend>,
+            ResilienceConfig {
+                retry: RetryPolicy {
+                    base_backoff: Duration::from_millis(10),
+                    max_backoff: Duration::from_millis(40),
+                    jitter: 0.0,
+                    ..fast_policy()
+                },
+                breaker: BreakerConfig::default(),
+            },
+            &obs,
+        );
+        assert_eq!(rb.backoff(1), Duration::from_millis(10));
+        assert_eq!(rb.backoff(2), Duration::from_millis(20));
+        assert_eq!(rb.backoff(3), Duration::from_millis(40));
+        assert_eq!(rb.backoff(4), Duration::from_millis(40), "capped at max_backoff");
+        assert_eq!(rb.backoff(40), Duration::from_millis(40), "huge retry counts don't overflow");
+    }
+
+    #[test]
+    fn retries_until_success_and_counts() {
+        let (rb, fault, obs) = resilient(
+            FaultPlan::fail_n_then_succeed(2, BackendErrorKind::Transient),
+            fast_policy(),
+            BreakerConfig::default(),
+        );
+        rb.execute_ctx("SEL 1", RequestContext::read_only()).unwrap();
+        assert_eq!(fault.attempts(), 3, "2 failures + 1 success");
+        assert_eq!(
+            obs.metrics.counter_value("hyperq_backend_retries_total", &[("backend", "scripted")]),
+            2
+        );
+        assert_eq!(rb.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn fatal_errors_are_never_retried() {
+        let (rb, fault, _obs) = resilient(
+            FaultPlan::always_fail(BackendErrorKind::Fatal),
+            fast_policy(),
+            BreakerConfig::default(),
+        );
+        let err = rb.execute_ctx("SEL 1", RequestContext::read_only()).unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::Fatal);
+        assert_eq!(fault.attempts(), 1);
+    }
+
+    #[test]
+    fn non_idempotent_and_in_transaction_requests_are_never_retried() {
+        for ctx in [
+            RequestContext::write(),
+            RequestContext { idempotent: true, in_transaction: true },
+        ] {
+            let (rb, fault, _obs) = resilient(
+                FaultPlan::fail_n_then_succeed(1, BackendErrorKind::Transient),
+                fast_policy(),
+                BreakerConfig::default(),
+            );
+            assert!(rb.execute_ctx("INSERT INTO T VALUES (1)", ctx).is_err());
+            assert_eq!(fault.attempts(), 1, "{ctx:?} must not be retried");
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_total_retry_time() {
+        let (rb, fault, obs) = resilient(
+            FaultPlan::always_fail(BackendErrorKind::Transient),
+            RetryPolicy {
+                max_attempts: 100,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(5),
+                jitter: 0.0,
+                seed: 1,
+                deadline: Some(Duration::from_millis(12)),
+            },
+            BreakerConfig { failure_threshold: 1000, ..Default::default() },
+        );
+        let err = rb.execute_ctx("SEL 1", RequestContext::read_only()).unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::Timeout, "{err}");
+        assert!(fault.attempts() < 100, "deadline must cut retries short");
+        assert_eq!(
+            obs.metrics.counter_value(
+                "hyperq_backend_deadline_exceeded_total",
+                &[("backend", "scripted")]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn breaker_opens_fast_fails_then_recovers_via_half_open() {
+        let (rb, fault, obs) = resilient(
+            FaultPlan::always_fail(BackendErrorKind::Transient),
+            RetryPolicy { max_attempts: 1, ..fast_policy() },
+            BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(30),
+                success_threshold: 1,
+            },
+        );
+        for _ in 0..3 {
+            assert!(rb.execute_ctx("SEL 1", RequestContext::read_only()).is_err());
+        }
+        assert_eq!(rb.breaker_state(), BreakerState::Open);
+        let reached = fault.attempts();
+
+        // While open: fail fast without touching the backend.
+        let err = rb.execute_ctx("SEL 1", RequestContext::read_only()).unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::Rejected);
+        assert!(err.message.contains("circuit breaker open"), "{err}");
+        assert_eq!(fault.attempts(), reached, "open breaker must not reach the backend");
+        assert!(
+            obs.metrics.counter_value(
+                "hyperq_backend_breaker_fastfail_total",
+                &[("backend", "scripted")]
+            ) >= 1
+        );
+
+        // Heal the target, wait out the cooldown: the next call is the
+        // half-open probe, succeeds, and closes the breaker.
+        fault.set_plan(FaultPlan::none());
+        std::thread::sleep(Duration::from_millis(40));
+        rb.execute_ctx("SEL 1", RequestContext::read_only()).unwrap();
+        assert_eq!(rb.breaker_state(), BreakerState::Closed);
+        assert_eq!(
+            obs.metrics.counter_value(
+                "hyperq_backend_breaker_transitions_total",
+                &[("backend", "scripted"), ("to", "half_open")]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens() {
+        let (rb, _fault, _obs) = resilient(
+            FaultPlan::always_fail(BackendErrorKind::Transient),
+            RetryPolicy { max_attempts: 1, ..fast_policy() },
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_millis(10),
+                success_threshold: 1,
+            },
+        );
+        assert!(rb.execute_ctx("SEL 1", RequestContext::read_only()).is_err());
+        assert_eq!(rb.breaker_state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(15));
+        // Probe admitted, fails → straight back to open.
+        assert!(rb.execute_ctx("SEL 1", RequestContext::read_only()).is_err());
+        assert_eq!(rb.breaker_state(), BreakerState::Open);
+    }
+}

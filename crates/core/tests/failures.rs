@@ -1,12 +1,16 @@
 //! Fault injection: the pipeline's behavior when the target database
-//! rejects or fails requests, and the exact SQL traffic it generates.
+//! rejects or fails requests, and the exact SQL traffic it generates —
+//! including the resilience layer (retry/backoff, deadlines, circuit
+//! breaker, replay safety).
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use hyperq_core::backend::testing::ScriptedBackend;
-use hyperq_core::backend::{Backend, BackendError, ExecResult};
+use hyperq_core::backend::testing::{FaultInjectingBackend, FaultPlan, ScriptedBackend};
+use hyperq_core::backend::{Backend, BackendError, BackendErrorKind, ExecResult};
 use hyperq_core::capability::TargetCapabilities;
-use hyperq_core::HyperQ;
+use hyperq_core::resilience::{BreakerConfig, ResilienceConfig, ResilientBackend, RetryPolicy};
+use hyperq_core::{HyperQ, ObsContext};
 use hyperq_xtra::catalog::{ColumnDef, TableDef};
 use hyperq_xtra::types::SqlType;
 
@@ -25,7 +29,7 @@ fn backend_error_propagates_with_message() {
     let backend = ScriptedBackend {
         log: parking_lot::Mutex::new(Vec::new()),
         tables: vec![sales_table()],
-        responder: Box::new(|_| Err(BackendError("disk quota exceeded".into()))),
+        responder: Box::new(|_| Err(BackendError::fatal("disk quota exceeded"))),
     };
     let mut hq = HyperQ::new(Arc::new(backend), TargetCapabilities::simwh());
     let err = hq.run_one("SEL * FROM SALES").unwrap_err();
@@ -104,7 +108,7 @@ fn recursion_failure_mid_emulation_surfaces() {
             let mut n = calls2.lock();
             *n += 1;
             if *n >= 3 {
-                Err(BackendError("temp space exhausted".into()))
+                Err(BackendError::fatal("temp space exhausted"))
             } else {
                 Ok(ExecResult::affected(1))
             }
@@ -204,6 +208,232 @@ fn procedure_body_may_contain_emulated_statements() {
     assert!(o.features.contains(hyperq_xtra::feature::Feature::MergeStatement));
     let log = backend.sql_log();
     assert!(log.iter().any(|s| s.starts_with("UPDATE SALES")), "{log:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Resilience layer: retry/backoff, deadlines, breaker, replay safety
+// ---------------------------------------------------------------------------
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(2),
+        jitter: 0.5,
+        seed: 7,
+        deadline: None,
+    }
+}
+
+/// A HyperQ session over Instrumented → Resilient → FaultInjecting →
+/// Scripted, with an isolated obs context.
+fn resilient_session(
+    tables: Vec<TableDef>,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    breaker: BreakerConfig,
+) -> (HyperQ, Arc<FaultInjectingBackend>, Arc<ObsContext>) {
+    let obs = ObsContext::new();
+    let inner = Arc::new(ScriptedBackend::acking(tables));
+    let fault = FaultInjectingBackend::wrap(inner as Arc<dyn Backend>, plan);
+    let resilient = ResilientBackend::wrap(
+        Arc::clone(&fault) as Arc<dyn Backend>,
+        ResilienceConfig { retry, breaker },
+        &obs,
+    );
+    let hq = HyperQ::with_obs(
+        resilient as Arc<dyn Backend>,
+        TargetCapabilities::simwh(),
+        Arc::clone(&obs),
+    );
+    (hq, fault, obs)
+}
+
+#[test]
+fn transient_failures_are_retried_transparently() {
+    let (mut hq, fault, obs) = resilient_session(
+        vec![sales_table()],
+        FaultPlan::fail_n_then_succeed(2, BackendErrorKind::Transient),
+        fast_retry(),
+        BreakerConfig::default(),
+    );
+    hq.run_one("SEL STORE FROM SALES").unwrap();
+    assert_eq!(fault.attempts(), 3, "2 transient failures + 1 success");
+    assert_eq!(
+        obs.metrics.counter_value("hyperq_backend_retries_total", &[("backend", "scripted")]),
+        2
+    );
+}
+
+#[test]
+fn fatal_backend_errors_are_not_retried_by_the_pipeline() {
+    let (mut hq, fault, _obs) = resilient_session(
+        vec![sales_table()],
+        FaultPlan::always_fail(BackendErrorKind::Fatal),
+        fast_retry(),
+        BreakerConfig::default(),
+    );
+    let err = hq.run_one("SEL STORE FROM SALES").unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    assert_eq!(fault.attempts(), 1);
+}
+
+#[test]
+fn statements_inside_an_open_transaction_are_never_retried() {
+    let (mut hq, fault, _obs) = resilient_session(
+        vec![sales_table()],
+        FaultPlan::fail_n_then_succeed(1, BackendErrorKind::Transient),
+        fast_retry(),
+        BreakerConfig::default(),
+    );
+    hq.run_one("BT").unwrap();
+    assert!(hq.run_one("SEL STORE FROM SALES").is_err(), "single failure must surface");
+    assert_eq!(fault.attempts(), 1, "in-transaction statements must not be replayed");
+
+    // After ET the same failure mode is retried again.
+    hq.run_one("ET").unwrap();
+    fault.set_plan(FaultPlan::fail_n_then_succeed(1, BackendErrorKind::Transient));
+    hq.run_one("SEL STORE FROM SALES").unwrap();
+}
+
+#[test]
+fn non_idempotent_dml_is_never_retried() {
+    let (mut hq, fault, _obs) = resilient_session(
+        vec![sales_table()],
+        FaultPlan::fail_n_then_succeed(1, BackendErrorKind::Transient),
+        fast_retry(),
+        BreakerConfig::default(),
+    );
+    assert!(hq.run_one("INSERT INTO SALES (STORE, AMOUNT) VALUES (1, 2)").is_err());
+    assert_eq!(fault.attempts(), 1, "INSERT must not be blindly replayed");
+}
+
+#[test]
+fn deadline_caps_total_time_across_attempts() {
+    let (mut hq, _fault, obs) = resilient_session(
+        vec![sales_table()],
+        FaultPlan::always_fail(BackendErrorKind::Transient),
+        RetryPolicy {
+            max_attempts: 1_000,
+            base_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(4),
+            jitter: 0.0,
+            seed: 1,
+            deadline: Some(Duration::from_millis(15)),
+        },
+        BreakerConfig { failure_threshold: 10_000, ..Default::default() },
+    );
+    let err = hq.run_one("SEL STORE FROM SALES").unwrap_err();
+    assert!(err.to_string().contains("deadline"), "{err}");
+    assert_eq!(
+        obs.metrics
+            .counter_value("hyperq_backend_deadline_exceeded_total", &[("backend", "scripted")]),
+        1
+    );
+}
+
+#[test]
+fn breaker_opens_under_persistent_failure_and_fails_fast() {
+    let (mut hq, fault, obs) = resilient_session(
+        vec![sales_table()],
+        FaultPlan::always_fail(BackendErrorKind::ConnectionLost),
+        RetryPolicy { max_attempts: 1, ..fast_retry() },
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(60),
+            success_threshold: 1,
+        },
+    );
+    for _ in 0..3 {
+        assert!(hq.run_one("SEL STORE FROM SALES").is_err());
+    }
+    let reached = fault.attempts();
+    let err = hq.run_one("SEL STORE FROM SALES").unwrap_err();
+    assert!(err.to_string().contains("circuit breaker open"), "{err}");
+    assert_eq!(fault.attempts(), reached, "open breaker must not reach the backend");
+    assert_eq!(
+        obs.metrics.counter_value(
+            "hyperq_backend_breaker_transitions_total",
+            &[("backend", "scripted"), ("to", "open")]
+        ),
+        1
+    );
+}
+
+#[test]
+fn breaker_recovers_through_half_open_probe() {
+    let (mut hq, fault, obs) = resilient_session(
+        vec![sales_table()],
+        FaultPlan::always_fail(BackendErrorKind::ConnectionLost),
+        RetryPolicy { max_attempts: 1, ..fast_retry() },
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(20),
+            success_threshold: 1,
+        },
+    );
+    for _ in 0..2 {
+        assert!(hq.run_one("SEL STORE FROM SALES").is_err());
+    }
+    fault.set_plan(FaultPlan::none());
+    std::thread::sleep(Duration::from_millis(30));
+    hq.run_one("SEL STORE FROM SALES").unwrap();
+    assert_eq!(
+        obs.metrics.counter_value(
+            "hyperq_backend_breaker_transitions_total",
+            &[("backend", "scripted"), ("to", "half_open")]
+        ),
+        1
+    );
+    assert_eq!(
+        obs.metrics.counter_value(
+            "hyperq_backend_breaker_transitions_total",
+            &[("backend", "scripted"), ("to", "closed")]
+        ),
+        1
+    );
+}
+
+#[test]
+fn failed_recursion_drops_its_temp_tables() {
+    // The seed CTAS and the WT→TT copy succeed; the first recursive-step
+    // CTAS fails fatally. The emulation must issue best-effort
+    // DROP TABLE IF EXISTS for the tables it created.
+    let calls = Arc::new(parking_lot::Mutex::new(0usize));
+    let calls2 = Arc::clone(&calls);
+    let backend = Arc::new(ScriptedBackend {
+        log: parking_lot::Mutex::new(Vec::new()),
+        tables: vec![TableDef::new(
+            "EMP",
+            vec![
+                ColumnDef::new("EMPNO", SqlType::Integer, true),
+                ColumnDef::new("MGRNO", SqlType::Integer, true),
+            ],
+        )],
+        responder: Box::new(move |sql| {
+            let mut n = calls2.lock();
+            *n += 1;
+            if *n == 3 {
+                Err(BackendError::fatal("temp space exhausted"))
+            } else if sql.starts_with("DROP") {
+                Ok(ExecResult::ack())
+            } else {
+                Ok(ExecResult::affected(1))
+            }
+        }),
+    });
+    let mut hq = HyperQ::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    hq.run_one(
+        "WITH RECURSIVE R (EMPNO, MGRNO) AS ( \
+           SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 1 \
+           UNION ALL SELECT E.EMPNO, E.MGRNO FROM EMP E, R WHERE R.EMPNO = E.MGRNO) \
+         SELECT EMPNO FROM R",
+    )
+    .unwrap_err();
+    let log = backend.sql_log();
+    let cleanups: Vec<&String> =
+        log.iter().filter(|s| s.starts_with("DROP TABLE IF EXISTS")).collect();
+    assert_eq!(cleanups.len(), 3, "WT + TT + failed-step TT must be cleaned up: {log:?}");
 }
 
 #[test]

@@ -169,7 +169,7 @@ impl EngineDb {
 
     fn execute_sql_inner(&self, sql: &str) -> Result<ExecResult, BackendError> {
         let stmts =
-            parse_statements(sql, Dialect::Ansi).map_err(|e| BackendError(e.to_string()))?;
+            parse_statements(sql, Dialect::Ansi).map_err(|e| BackendError::fatal(e.to_string()))?;
         let mut last = ExecResult::ack();
         for ps in stmts {
             last = self.execute_stmt(&ps.stmt)?;
@@ -185,8 +185,11 @@ impl EngineDb {
         let mut binder = Binder::new(&catalog);
         let plan = binder
             .bind_statement(stmt)
-            .map_err(|e| BackendError(e.to_string()))?;
-        self.execute_plan(&plan).map_err(BackendError)
+            .map_err(|e| BackendError::fatal(e.to_string()))?;
+        // Evaluator errors are free-form strings (e.g. admission-control
+        // rejections); classify them so the resilience layer can tell
+        // retryable overload apart from genuine statement failures.
+        self.execute_plan(&plan).map_err(BackendError::classify)
     }
 
     fn execute_plan(&self, plan: &Plan) -> Result<ExecResult, EvalError> {

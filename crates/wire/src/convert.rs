@@ -152,7 +152,12 @@ pub fn convert(
         .map_err(|_| "converter worker panicked".to_string())?;
         results
             .into_iter()
-            .map(|r| r.expect("every batch converted"))
+            .enumerate()
+            .map(|(i, r)| {
+                // A worker that exited without recording a result (e.g. its
+                // thread died) is a converter error, not a session panic.
+                r.unwrap_or_else(|| Err(format!("converter produced no result for batch {i}")))
+            })
             .collect::<Result<_, _>>()?
     };
 

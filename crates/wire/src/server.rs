@@ -8,12 +8,13 @@
 
 use std::io::BufWriter;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hyperq_core::backend::Backend;
 use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::resilience::{ResilienceConfig, ResilientBackend};
 use hyperq_core::{HyperQ, ObsContext};
 use hyperq_obs::io::{CountingReader, CountingWriter};
 use hyperq_obs::Gauge;
@@ -82,6 +83,21 @@ pub struct GatewayConfig {
     pub credentials: Credentials,
     pub capabilities: TargetCapabilities,
     pub converter: ConverterConfig,
+    /// Hard cap on concurrent sessions; connections beyond it are answered
+    /// with a wire error and closed instead of queueing unboundedly.
+    pub max_connections: usize,
+    /// Socket read/write timeout: a client that stalls mid-protocol for
+    /// longer than this has its session reaped instead of leaking the
+    /// worker thread forever. `None` disables.
+    pub io_timeout: Option<Duration>,
+    /// How long `shutdown()` waits for in-flight sessions to finish.
+    /// The default is zero — shutdown only stops the acceptor, matching
+    /// callers that keep clients open across `shutdown()`.
+    pub drain_timeout: Duration,
+    /// Retry/breaker policy wrapped around the backend, shared by all
+    /// sessions so the breaker sees the target's aggregate health.
+    /// `None` executes against the backend unwrapped.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -90,6 +106,10 @@ impl Default for GatewayConfig {
             credentials: Credentials::new().with_user("APP", "secret"),
             capabilities: TargetCapabilities::simwh(),
             converter: ConverterConfig::default(),
+            max_connections: 256,
+            io_timeout: Some(Duration::from_secs(120)),
+            drain_timeout: Duration::ZERO,
+            resilience: Some(ResilienceConfig::default()),
         }
     }
 }
@@ -101,6 +121,17 @@ pub struct Gateway {
     stats: Mutex<WireStats>,
     shutdown: AtomicBool,
     connections: AtomicU64,
+    active: AtomicUsize,
+}
+
+/// Decrements the gateway's active-session count when a worker exits,
+/// on every path (clean logoff, protocol error, panic unwind).
+struct ActiveGuard(Arc<Gateway>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Handle to a gateway serving on a background thread.
@@ -112,12 +143,22 @@ pub struct GatewayHandle {
 
 impl Gateway {
     pub fn new(backend: Arc<dyn Backend>, config: GatewayConfig) -> Arc<Self> {
+        // One resilience wrapper shared by every session: retries and
+        // deadlines apply per request, while the circuit breaker tracks
+        // the target's aggregate health across the whole gateway.
+        let backend: Arc<dyn Backend> = match &config.resilience {
+            Some(resilience) => {
+                ResilientBackend::wrap(backend, resilience.clone(), ObsContext::global())
+            }
+            None => backend,
+        };
         Arc::new(Gateway {
             backend,
             config,
             stats: Mutex::new(WireStats::default()),
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
         })
     }
 
@@ -132,30 +173,83 @@ impl Gateway {
         listener.set_nonblocking(true)?;
         let g = Arc::clone(&gateway);
         let accept_thread = std::thread::spawn(move || {
+            let obs = ObsContext::global();
+            let accept_errors = obs.metrics.counter("hyperq_wire_accept_errors_total", &[]);
+            let rejected = obs.metrics.counter("hyperq_wire_rejected_connections_total", &[]);
+            const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(5);
+            const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+            let mut backoff = ACCEPT_BACKOFF_MIN;
             // Connection workers are detached: a session blocked reading
             // from an idle client must not prevent gateway shutdown.
             while !g.shutdown.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        backoff = ACCEPT_BACKOFF_MIN;
                         stream.set_nonblocking(false).ok();
+                        if g.active.fetch_add(1, Ordering::Relaxed) >= g.config.max_connections {
+                            g.active.fetch_sub(1, Ordering::Relaxed);
+                            rejected.inc();
+                            // Rejection reads the pending logon first; do it
+                            // off-thread so a stalled client cannot wedge
+                            // the acceptor.
+                            let g2 = Arc::clone(&g);
+                            std::thread::spawn(move || g2.reject_connection(stream));
+                            continue;
+                        }
+                        let guard = ActiveGuard(Arc::clone(&g));
                         let g2 = Arc::clone(&g);
                         std::thread::spawn(move || {
+                            let _guard = guard;
                             g2.connections.fetch_add(1, Ordering::Relaxed);
                             let _ = g2.handle_connection(stream);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
+                        std::thread::sleep(ACCEPT_BACKOFF_MIN);
                     }
-                    Err(_) => break,
+                    // Transient accept failures (EMFILE, ECONNABORTED, …):
+                    // back off and keep the acceptor alive instead of
+                    // silently killing the front door.
+                    Err(_) => {
+                        accept_errors.inc();
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    }
                 }
             }
         });
         Ok(GatewayHandle { addr, gateway, accept_thread: Some(accept_thread) })
     }
 
+    /// Turn away a connection over the cap: best-effort wire error so the
+    /// client sees "at capacity" instead of an unexplained hangup. The
+    /// pending logon request is consumed first — closing with unread bytes
+    /// in the receive buffer would RST the socket and the client could
+    /// lose the error message.
+    fn reject_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+        if let Ok(mut reader) = stream.try_clone() {
+            let _ = Message::read_from(&mut reader);
+        }
+        let mut writer = BufWriter::new(stream);
+        let _ = Message::ErrorResponse {
+            code: 3134,
+            message: format!(
+                "gateway at capacity ({} sessions); try again later",
+                self.config.max_connections
+            ),
+        }
+        .write_to(&mut writer);
+        use std::io::Write as _;
+        let _ = writer.flush();
+    }
+
     /// Serve one connection: logon handshake, then request/response loop.
     fn handle_connection(&self, stream: TcpStream) -> Result<(), WireError> {
+        // A client stalled mid-read or mid-write past the budget gets its
+        // session reaped; without this a dead peer leaks the thread forever.
+        stream.set_read_timeout(self.config.io_timeout)?;
+        stream.set_write_timeout(self.config.io_timeout)?;
         let obs = Arc::clone(ObsContext::global());
         obs.metrics.counter("hyperq_wire_connections_total", &[]).inc();
         let _session = GaugeGuard::acquire(obs.metrics.gauge("hyperq_wire_sessions_active", &[]));
@@ -279,7 +373,24 @@ impl Gateway {
                     self.stats.lock().merge(&request_stats);
                     writer.flush()?;
                 }
-                Ok(Message::Logoff) | Err(WireError::Io(_)) => break,
+                Ok(Message::Logoff) => break,
+                Err(WireError::Io(e)) => {
+                    // A read timeout means an idle/stalled client, not a
+                    // dead socket: tell it why before reaping the session.
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        obs.metrics.counter("hyperq_wire_idle_timeouts_total", &[]).inc();
+                        let _ = Message::ErrorResponse {
+                            code: 3403,
+                            message: "session idle timeout; reconnect to continue".into(),
+                        }
+                        .write_to(&mut writer);
+                        let _ = writer.flush();
+                    }
+                    break;
+                }
                 Ok(other) => {
                     errors.inc();
                     Message::ErrorResponse {
@@ -306,12 +417,23 @@ impl GatewayHandle {
         self.gateway.connections.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting new connections. In-flight sessions end when their
-    /// clients disconnect.
+    /// Sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.gateway.active.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting new connections, then wait up to
+    /// `GatewayConfig::drain_timeout` for in-flight sessions to finish.
+    /// With the default zero drain budget this only stops the acceptor;
+    /// in-flight sessions end when their clients disconnect.
     pub fn shutdown(mut self) {
         self.gateway.shutdown.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        let deadline = Instant::now() + self.gateway.config.drain_timeout;
+        while self.gateway.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 }

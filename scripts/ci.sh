@@ -7,3 +7,8 @@ cd "$(dirname "$0")/.."
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo build --offline --release
 cargo test -q --offline
+
+# Fault-injection suites explicitly (retry/backoff, deadlines, breaker,
+# replay safety, gateway hardening) — offline, std/shim-only.
+cargo test -q --offline -p hyperq-core --test failures
+cargo test -q --offline --test resilience

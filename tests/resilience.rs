@@ -1,0 +1,253 @@
+//! Resilience acceptance tests through the full stack: TPC-H workload via
+//! Hyper-Q over a fault-injected SimWH target, plus gateway hardening
+//! (connection cap, idle reap, backend faults on a live session).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hyperq::core::backend::testing::{FaultInjectingBackend, FaultPlan};
+use hyperq::core::backend::BackendErrorKind;
+use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::resilience::{
+    BreakerConfig, BreakerState, ResilienceConfig, ResilientBackend, RetryPolicy,
+};
+use hyperq::core::{Backend, HyperQ, ObsContext};
+use hyperq::engine::EngineDb;
+use hyperq::wire::{Client, Gateway, GatewayConfig};
+use hyperq::workload::tpch;
+use hyperq::xtra::datum::Datum;
+
+const SCALE: f64 = 0.002;
+
+fn tpch_db() -> Arc<EngineDb> {
+    let db = Arc::new(EngineDb::new());
+    for ddl in tpch::ddl() {
+        db.execute_sql(&ddl).unwrap();
+    }
+    for (table, rows) in tpch::generate(SCALE, 1234).tables() {
+        db.load_rows(table, rows).unwrap();
+    }
+    db
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_micros(500),
+        max_backoff: Duration::from_millis(5),
+        jitter: 0.5,
+        seed: 99,
+        deadline: None,
+    }
+}
+
+/// Hyper-Q session over Instrumented → Resilient → FaultInjecting → SimWH
+/// with an isolated metrics registry.
+fn stack(
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    breaker: BreakerConfig,
+) -> (HyperQ, Arc<FaultInjectingBackend>, Arc<ResilientBackend>, Arc<ObsContext>) {
+    let obs = ObsContext::new();
+    let fault = FaultInjectingBackend::wrap(tpch_db() as Arc<dyn Backend>, plan);
+    let resilient = ResilientBackend::wrap(
+        Arc::clone(&fault) as Arc<dyn Backend>,
+        ResilienceConfig { retry, breaker },
+        &obs,
+    );
+    let hq = HyperQ::with_obs(
+        Arc::clone(&resilient) as Arc<dyn Backend>,
+        TargetCapabilities::simwh(),
+        Arc::clone(&obs),
+    );
+    (hq, fault, resilient, obs)
+}
+
+#[test]
+fn tpch_query_survives_two_transient_failures() {
+    // Acceptance: fail-twice-then-succeed ⇒ exactly 3 backend attempts,
+    // retries counter = 2 in the Prometheus exposition, breaker closed.
+    let (mut hq, fault, resilient, obs) = stack(
+        FaultPlan::fail_n_then_succeed(2, BackendErrorKind::Transient),
+        fast_retry(),
+        BreakerConfig::default(),
+    );
+    let o = hq.run_one(tpch::query(6)).unwrap();
+    assert!(!o.result.rows.is_empty(), "Q6 must return its revenue row");
+    assert_eq!(fault.attempts(), 3, "2 injected failures + 1 success");
+    assert_eq!(fault.injected_faults(), 2);
+
+    let prom = obs.metrics.render_prometheus();
+    let line = prom
+        .lines()
+        .find(|l| l.starts_with("hyperq_backend_retries_total") && l.contains("SimWH"))
+        .unwrap_or_else(|| panic!("retries counter missing from exposition:\n{prom}"));
+    assert!(line.ends_with(" 2"), "expected 2 retries: {line}");
+    assert_eq!(resilient.breaker_state(), BreakerState::Closed);
+}
+
+#[test]
+fn persistent_failure_opens_breaker_and_fails_fast() {
+    let (mut hq, fault, resilient, obs) = stack(
+        FaultPlan::always_fail(BackendErrorKind::ConnectionLost),
+        RetryPolicy { max_attempts: 1, ..fast_retry() },
+        BreakerConfig {
+            failure_threshold: 4,
+            cooldown: Duration::from_secs(300),
+            success_threshold: 1,
+        },
+    );
+    for _ in 0..4 {
+        assert!(hq.run_one(tpch::query(6)).is_err());
+    }
+    assert_eq!(resilient.breaker_state(), BreakerState::Open);
+    let reached = fault.attempts();
+
+    let err = hq.run_one(tpch::query(6)).unwrap_err();
+    assert!(err.to_string().contains("circuit breaker open"), "{err}");
+    assert_eq!(fault.attempts(), reached, "open breaker must not reach the backend");
+    assert_eq!(
+        obs.metrics.gauge("hyperq_backend_breaker_state", &[("backend", "SimWH")]).get(),
+        1,
+        "breaker-state gauge must read open"
+    );
+}
+
+#[test]
+fn injected_latency_is_visible_in_attempt_histogram() {
+    let (mut hq, _fault, _resilient, obs) = stack(
+        FaultPlan::none().with_latency(Duration::from_millis(3)),
+        fast_retry(),
+        BreakerConfig::default(),
+    );
+    hq.run_one(tpch::query(6)).unwrap();
+    let h = obs
+        .metrics
+        .histogram("hyperq_backend_attempt_duration_seconds", &[("backend", "SimWH")]);
+    assert!(h.count() >= 1);
+    assert!(h.max() >= Duration::from_millis(3), "latency injection must register: {:?}", h.max());
+}
+
+// ---------------------------------------------------------------------------
+// Gateway hardening
+// ---------------------------------------------------------------------------
+
+fn sales_db() -> Arc<EngineDb> {
+    let db = Arc::new(EngineDb::new());
+    db.execute_sql("CREATE TABLE SALES (STORE INTEGER, AMOUNT INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO SALES VALUES (1, 500), (2, 300), (3, 700)").unwrap();
+    db
+}
+
+#[test]
+fn backend_fault_mid_session_leaves_connection_usable() {
+    // A backend failure must come back as a wire error on a connection
+    // that still serves the next request.
+    let fault = FaultInjectingBackend::wrap(
+        sales_db() as Arc<dyn Backend>,
+        FaultPlan::fail_n_then_succeed(1, BackendErrorKind::Fatal),
+    );
+    let handle = Gateway::spawn(
+        Arc::clone(&fault) as Arc<dyn Backend>,
+        GatewayConfig { resilience: None, ..Default::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    let err = client.run("SEL COUNT(*) FROM SALES").unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    let ok = client.run("SEL COUNT(*) FROM SALES").unwrap();
+    assert_eq!(ok[0].rows[0][0], Datum::Int(3));
+    client.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn gateway_retries_transient_backend_faults_transparently() {
+    // With the default resilience config the client never sees the two
+    // transient failures.
+    let fault = FaultInjectingBackend::wrap(
+        sales_db() as Arc<dyn Backend>,
+        FaultPlan::fail_n_then_succeed(2, BackendErrorKind::Transient),
+    );
+    let handle =
+        Gateway::spawn(Arc::clone(&fault) as Arc<dyn Backend>, GatewayConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    let ok = client.run("SEL COUNT(*) FROM SALES").unwrap();
+    assert_eq!(ok[0].rows[0][0], Datum::Int(3));
+    assert_eq!(fault.attempts(), 3);
+    client.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn connections_over_the_cap_are_rejected_gracefully() {
+    let handle = Gateway::spawn(
+        sales_db() as Arc<dyn Backend>,
+        GatewayConfig { max_connections: 1, ..Default::default() },
+    )
+    .unwrap();
+    let mut first = Client::connect(handle.addr, "APP", "secret").unwrap();
+    first.run("SEL COUNT(*) FROM SALES").unwrap();
+
+    let err = match Client::connect(handle.addr, "APP", "secret") {
+        Err(e) => e,
+        Ok(_) => panic!("second connection must be rejected at capacity"),
+    };
+    assert!(err.to_string().contains("capacity"), "{err}");
+
+    // The rejected connection freed nothing: the first session still works,
+    // and once it logs off a new connection is admitted.
+    first.run("SEL COUNT(*) FROM SALES").unwrap();
+    first.logoff().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match Client::connect(handle.addr, "APP", "secret") {
+            Ok(mut c) => {
+                c.run("SEL COUNT(*) FROM SALES").unwrap();
+                c.logoff().unwrap();
+                break;
+            }
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("slot never freed after logoff: {e}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_reaped_by_the_io_timeout() {
+    let handle = Gateway::spawn(
+        sales_db() as Arc<dyn Backend>,
+        GatewayConfig { io_timeout: Some(Duration::from_millis(50)), ..Default::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    client.run("SEL COUNT(*) FROM SALES").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        client.run("SEL COUNT(*) FROM SALES").is_err(),
+        "session past the idle budget must be gone"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_sessions() {
+    let handle = Gateway::spawn(
+        sales_db() as Arc<dyn Backend>,
+        GatewayConfig { drain_timeout: Duration::from_secs(5), ..Default::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    client.run("SEL COUNT(*) FROM SALES").unwrap();
+    assert_eq!(handle.active_sessions(), 1);
+    client.logoff().unwrap();
+    let t0 = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drain must return as soon as sessions finish, not burn the whole budget"
+    );
+}
