@@ -5,5 +5,7 @@
 //! report text; the `repro_*` binaries print them, and `EXPERIMENTS.md`
 //! records paper-vs-measured.
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 pub mod harness;

@@ -17,6 +17,7 @@ use hyperq_xtra::rel::{Plan, RelExpr, SetOpKind};
 
 use hyperq_obs::{Counter, Histogram, ObsContext, TraceId};
 
+use crate::analyze::{AnalyzeMode, Analyzer};
 use crate::backend::{Backend, ExecResult, InstrumentedBackend, RequestContext};
 use crate::binder::Binder;
 use crate::capability::TargetCapabilities;
@@ -119,6 +120,9 @@ pub struct HyperQ {
     /// Workload-study statistics (Figure 8), fed automatically by
     /// `run_script` / `run_with_params`.
     tracker: WorkloadTracker,
+    /// Static-analysis driver: plan validation at stage boundaries,
+    /// per-rule transformation audits, serializer round-trip checks.
+    analyzer: Analyzer,
 }
 
 impl HyperQ {
@@ -135,6 +139,7 @@ impl HyperQ {
     ) -> Self {
         let id = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
         let stages = StageHandles::new(&obs, id);
+        let analyzer = Analyzer::new(AnalyzeMode::default(), &obs);
         HyperQ {
             backend: InstrumentedBackend::wrap(backend, &obs),
             caps,
@@ -144,7 +149,22 @@ impl HyperQ {
             obs,
             stages,
             tracker: WorkloadTracker::new(),
+            analyzer,
         }
+    }
+
+    /// Set the static-analysis mode: `Strict` fails statements on any
+    /// invariant violation, rule-audit failure, or serializer round-trip
+    /// divergence (tests, CI); `LogOnly` (the default) only counts them;
+    /// `Off` skips the validation walks.
+    pub fn with_analysis(mut self, mode: AnalyzeMode) -> Self {
+        self.analyzer = Analyzer::new(mode, &self.obs);
+        self
+    }
+
+    /// The active static-analysis mode.
+    pub fn analysis_mode(&self) -> AnalyzeMode {
+        self.analyzer.mode()
     }
 
     pub fn capabilities(&self) -> &TargetCapabilities {
@@ -291,8 +311,13 @@ impl HyperQ {
         let mut binder = Binder::new(&catalog);
         let plan = binder.bind_statement(stmt)?;
         features.union(&binder.features);
-        let plan = self.transformer.run_all(plan, &self.caps, &mut features)?;
+        self.analyzer.check_plan(&plan, "bind")?;
+        let plan = self
+            .analyzer
+            .transform(&self.transformer, plan, &self.caps, &mut features)?;
+        self.analyzer.check_plan(&plan, "serializer")?;
         let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        self.analyzer.audit_roundtrip(&sql, &plan, &catalog)?;
         Ok((sql, features))
     }
 
@@ -706,6 +731,7 @@ impl HyperQ {
         };
         let bind_time = bind_span.finish();
         self.stages.bind.record(bind_time);
+        self.analyzer.check_plan(&plan, "bind")?;
         let mut timings = Timings { translation: bind_time, execution: Duration::ZERO };
 
         // Record sidecar properties (E8/E9) the target cannot hold.
@@ -743,16 +769,27 @@ impl HyperQ {
 
         let transform_span = self.obs.traces.enter("transform");
         let plan = self.apply_insert_emulations(plan, features)?;
-        let plan = self.transformer.run_all(plan, &self.caps, features)?;
+        let plan = self
+            .analyzer
+            .transform(&self.transformer, plan, &self.caps, features)?;
         let transform_time = transform_span.finish();
         self.stages.transform.record(transform_time);
         timings.translation += transform_time;
 
+        self.analyzer.check_plan(&plan, "serializer")?;
         let serialize_span = self.obs.traces.enter("serialize");
         let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
         let serialize_time = serialize_span.finish();
         self.stages.serialize.record(serialize_time);
         timings.translation += serialize_time;
+
+        // Strict mode: the serializer round-trip audit. Restricted to plain
+        // queries with no GTT involvement — GTT instance names resolve
+        // against per-session backend temp tables that may not exist yet.
+        if matches!(plan, Plan::Query(_)) && gtts.is_empty() {
+            let catalog = ShadowCatalog::new(&*backend, &self.session);
+            self.analyzer.audit_roundtrip(&sql, &plan, &catalog)?;
+        }
         let mut sql_sent = Vec::new();
 
         // E7: statements touching a global temporary table are emulated
@@ -1142,10 +1179,15 @@ impl HyperQ {
     ) -> Result<ExecResult> {
         let span = self.obs.traces.enter("transform");
         let mut scratch = FeatureSet::new();
-        let plan = self.transformer.run_all(plan, &self.caps, &mut scratch)?;
+        let plan = self
+            .analyzer
+            .transform(&self.transformer, plan, &self.caps, &mut scratch)?;
         let d = span.finish();
         self.stages.transform.record(d);
         timings.translation += d;
+        // No round-trip audit here: emulation plans reference freshly
+        // created per-session temp tables the shadow catalog cannot rebind.
+        self.analyzer.check_plan(&plan, "serializer")?;
         let span = self.obs.traces.enter("serialize");
         let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
         let d = span.finish();

@@ -21,6 +21,10 @@ pub enum HyperQError {
     Emulation(String),
     /// Value-level error during mid-tier evaluation.
     Value(ValueError),
+    /// Static-analysis failure: a plan broke a structural invariant, a
+    /// rewrite rule was caught changing plan semantics, or the serializer
+    /// round-trip diverged (strict analysis mode only).
+    Validation(String),
 }
 
 impl fmt::Display for HyperQError {
@@ -32,6 +36,7 @@ impl fmt::Display for HyperQError {
             HyperQError::Backend(e) => write!(f, "{e}"),
             HyperQError::Emulation(m) => write!(f, "emulation error: {m}"),
             HyperQError::Value(e) => write!(f, "{e}"),
+            HyperQError::Validation(m) => write!(f, "validation error: {m}"),
         }
     }
 }

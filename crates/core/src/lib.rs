@@ -22,8 +22,14 @@
 //! * [`crosscompiler`] — the façade tying it all together, with per-stage
 //!   timing instrumentation for the Figure 9 experiments,
 //! * [`tracker`] — the workload-study instrumentation (Figures 8a/8b,
-//!   Tables 1–2).
+//!   Tables 1–2),
+//! * [`analyze`] — the static-analysis layer: plan validation at stage
+//!   boundaries, per-rule transformation audits, and the serializer
+//!   round-trip check, in strict / log-only / off modes.
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 pub mod backend;
 pub mod binder;
 pub mod capability;
@@ -37,6 +43,7 @@ pub mod session;
 pub mod tracker;
 pub mod transform;
 
+pub use analyze::{AnalyzeMode, Analyzer};
 pub use backend::{
     Backend, BackendError, BackendErrorKind, ExecResult, InstrumentedBackend, RequestContext,
 };

@@ -7,8 +7,9 @@
 //! between the pipeline and the ODBC-server abstraction:
 //!
 //! * **bounded retries** with exponential backoff and seedable jitter —
-//!   only for errors whose [`BackendErrorKind`] is retryable AND statements
-//!   whose [`RequestContext`] is replay-safe (idempotent, not inside an
+//!   only for errors whose [`BackendErrorKind`](crate::backend::BackendErrorKind)
+//!   is retryable AND statements whose
+//!   [`RequestContext`] is replay-safe (idempotent, not inside an
 //!   open transaction);
 //! * **per-request deadlines** — a wall-clock budget across all attempts,
 //!   checked cooperatively between attempts (the synchronous `Backend`

@@ -236,4 +236,88 @@ impl Transformer {
         let plan = self.run(plan, Phase::Binding, caps, fired)?;
         self.run(plan, Phase::Serialization, caps, fired)
     }
+
+    /// Like [`Transformer::run`], but applies rules one at a time — a full
+    /// tree pass per rule — and calls `audit` after every application that
+    /// changed the tree, so a broken rewrite is attributed to the rule by
+    /// name. An `Err` from the hook aborts the run (strict auditing);
+    /// exceeding the convergence budget names the rules still firing.
+    pub fn run_audited(
+        &self,
+        mut plan: Plan,
+        phase: Phase,
+        caps: &TargetCapabilities,
+        fired: &mut FeatureSet,
+        audit: &mut dyn FnMut(&'static str, &Plan) -> Result<()>,
+    ) -> Result<Plan> {
+        let active: Vec<(usize, &dyn TransformRule)> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.phase() == phase && r.enabled_for(caps))
+            .map(|(i, r)| (i, r.as_ref()))
+            .collect();
+        if active.is_empty() {
+            return Ok(plan);
+        }
+        let mut fires = vec![0u64; active.len()];
+        let mut last_changed: Vec<&'static str> = Vec::new();
+        for _pass in 0..self.max_passes {
+            last_changed.clear();
+            for (slot, (_, rule)) in active.iter().enumerate() {
+                let rewrites = std::cell::Cell::new(0u64);
+                plan = plan.rewrite(
+                    &mut |rel| {
+                        let (next, did) = rule.rewrite_rel(rel);
+                        if did {
+                            rewrites.set(rewrites.get() + 1);
+                        }
+                        next
+                    },
+                    &mut |expr| {
+                        let (next, did) = rule.rewrite_expr(expr);
+                        if did {
+                            rewrites.set(rewrites.get() + 1);
+                        }
+                        next
+                    },
+                );
+                if rewrites.get() > 0 {
+                    fires[slot] += rewrites.get();
+                    if let Some(f) = rule.tracked_feature() {
+                        fired.insert(f);
+                    }
+                    last_changed.push(rule.name());
+                    audit(rule.name(), &plan)?;
+                }
+            }
+            if last_changed.is_empty() {
+                self.flush_rule_counters(&active, &fires);
+                return Ok(plan);
+            }
+        }
+        if self.strict {
+            Err(HyperQError::Transform(format!(
+                "transformation did not reach a fixed point within {} passes \
+                 (rules still firing: {})",
+                self.max_passes,
+                last_changed.join(", ")
+            )))
+        } else {
+            self.flush_rule_counters(&active, &fires);
+            Ok(plan)
+        }
+    }
+
+    /// Audited variant of [`Transformer::run_all`].
+    pub fn run_all_audited(
+        &self,
+        plan: Plan,
+        caps: &TargetCapabilities,
+        fired: &mut FeatureSet,
+        audit: &mut dyn FnMut(&'static str, &Plan) -> Result<()>,
+    ) -> Result<Plan> {
+        let plan = self.run_audited(plan, Phase::Binding, caps, fired, audit)?;
+        self.run_audited(plan, Phase::Serialization, caps, fired, audit)
+    }
 }

@@ -23,6 +23,8 @@
 //! the paper's stress-test scenario (§7.3) — proceed without blocking each
 //! other.
 
+#![forbid(unsafe_code)]
+
 mod db;
 mod eval;
 mod exec;

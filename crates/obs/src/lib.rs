@@ -16,6 +16,8 @@
 //! Recording on the hot path is atomics-only; registry lookups happen once
 //! at construction time and hand out `Arc` handles.
 
+#![forbid(unsafe_code)]
+
 pub mod io;
 pub mod metrics;
 pub mod slowlog;

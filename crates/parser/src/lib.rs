@@ -21,6 +21,8 @@
 //! [`hyperq_xtra::feature::FeatureSet`] for the workload-study
 //! instrumentation (Figure 8).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod dialect;
 pub mod error;

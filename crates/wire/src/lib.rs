@@ -18,6 +18,8 @@
 //! * [`client`] — a `bteq`-style client for tests, examples and the stress
 //!   benchmark.
 
+#![forbid(unsafe_code)]
+
 pub mod auth;
 pub mod client;
 pub mod convert;

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use hyperq_core::backend::Backend;
 use hyperq_core::capability::TargetCapabilities;
 use hyperq_core::resilience::{ResilienceConfig, ResilientBackend};
-use hyperq_core::{HyperQ, ObsContext};
+use hyperq_core::{AnalyzeMode, HyperQ, ObsContext};
 use hyperq_obs::io::{CountingReader, CountingWriter};
 use hyperq_obs::Gauge;
 use parking_lot::Mutex;
@@ -98,6 +98,10 @@ pub struct GatewayConfig {
     /// sessions so the breaker sees the target's aggregate health.
     /// `None` executes against the backend unwrapped.
     pub resilience: Option<ResilienceConfig>,
+    /// Static-analysis mode for every session's pipeline. The gateway
+    /// defaults to `LogOnly`: violations are counted in the metrics
+    /// registry but never fail live traffic. CI and tests run `Strict`.
+    pub analyze: AnalyzeMode,
 }
 
 impl Default for GatewayConfig {
@@ -110,6 +114,7 @@ impl Default for GatewayConfig {
             io_timeout: Some(Duration::from_secs(120)),
             drain_timeout: Duration::ZERO,
             resilience: Some(ResilienceConfig::default()),
+            analyze: AnalyzeMode::LogOnly,
         }
     }
 }
@@ -292,7 +297,8 @@ impl Gateway {
             return Ok(());
         }
 
-        let mut hq = HyperQ::new(Arc::clone(&self.backend), self.config.capabilities.clone());
+        let mut hq = HyperQ::new(Arc::clone(&self.backend), self.config.capabilities.clone())
+            .with_analysis(self.config.analyze);
         hq.session.user = user;
         Message::LogonOk { session_id: hq.session.session_id }.write_to(&mut writer)?;
         writer.flush()?;

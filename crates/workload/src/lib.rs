@@ -15,5 +15,7 @@
 //! *measurement* pipeline that consumes it — Hyper-Q's instrumented rewrite
 //! engine — is the real one.
 
+#![forbid(unsafe_code)]
+
 pub mod customer;
 pub mod tpch;

@@ -26,6 +26,8 @@
 //! that every other component (binder, transformer, serializer, engine, wire
 //! format) can depend on it without cycles.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod datum;
 pub mod display;
@@ -34,6 +36,7 @@ pub mod feature;
 pub mod rel;
 pub mod schema;
 pub mod types;
+pub mod validate;
 
 pub use catalog::{ColumnDef, MetadataProvider, TableDef, TableKind, ViewDef};
 pub use datum::{Datum, Decimal, Interval};
@@ -45,6 +48,10 @@ pub use expr::{
 pub use rel::{Assignment, Grouping, JoinKind, Plan, RelExpr, SetOpKind};
 pub use schema::{Field, Schema};
 pub use types::SqlType;
+pub use validate::{
+    plan_output_schema, validate_plan, validate_rel, Invariant, ValidateOptions,
+    ValidationReport, Violation,
+};
 
 /// A materialized row of values: the unit of data exchanged between the
 /// engine, the TDF format and the result converter.

@@ -1,5 +1,6 @@
-//! Property-based tests for the value layer: decimals, dates, comparison
-//! semantics.
+//! Property-based tests for the value layer (decimals, dates, comparison
+//! semantics) and the plan validator (generated trees stay clean,
+//! mutated trees are flagged).
 
 use proptest::prelude::*;
 
@@ -7,7 +8,11 @@ use hyperq_xtra::datum::{
     add_months, date_from_teradata_int, date_from_ymd, parse_date, teradata_int_from_date,
     ymd_from_date, Datum, Decimal,
 };
+use hyperq_xtra::expr::{CmpOp, ScalarExpr, SortExpr};
+use hyperq_xtra::rel::RelExpr;
+use hyperq_xtra::schema::{Field, Schema};
 use hyperq_xtra::types::SqlType;
+use hyperq_xtra::validate::{validate_rel, Invariant, ValidateOptions};
 
 proptest! {
     #[test]
@@ -126,5 +131,112 @@ proptest! {
         prop_assert!(x.add(&Datum::Null).unwrap().is_null());
         prop_assert!(Datum::Null.mul(&x).unwrap().is_null());
         prop_assert!(x.sub(&Datum::Null).unwrap().is_null());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan validator properties: random operator stacks over a base table stay
+// violation-free, and a dangling column reference is always flagged.
+
+const BASE_COLS: [(&str, SqlType); 3] = [
+    ("A", SqlType::Integer),
+    ("B", SqlType::Integer),
+    ("S", SqlType::Varchar(None)),
+];
+
+fn base_get() -> RelExpr {
+    RelExpr::Get {
+        table: "T".into(),
+        alias: None,
+        schema: Schema::new(
+            BASE_COLS
+                .iter()
+                .map(|(name, ty)| Field {
+                    qualifier: Some("T".into()),
+                    name: (*name).to_string(),
+                    ty: ty.clone(),
+                    nullable: true,
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn column(rel: &RelExpr, idx: usize) -> ScalarExpr {
+    let schema = rel.schema();
+    let f = &schema.fields[idx % schema.len()];
+    ScalarExpr::Column {
+        qualifier: f.qualifier.clone(),
+        name: f.name.clone(),
+        ty: f.ty.clone(),
+    }
+}
+
+/// Stack one well-formed operator on `input`, driven by `pick`.
+fn grow(input: RelExpr, pick: u8, n: i64) -> RelExpr {
+    match pick % 5 {
+        0 => {
+            let pred = ScalarExpr::Cmp {
+                op: CmpOp::Gt,
+                left: Box::new(column(&input, 0)),
+                right: Box::new(ScalarExpr::Literal(Datum::Int(n), SqlType::Integer)),
+            };
+            RelExpr::Select { input: Box::new(input), predicate: pred }
+        }
+        1 => {
+            let exprs = (0..input.schema().len().max(1))
+                .map(|i| (column(&input, i), format!("C{i}")))
+                .collect();
+            RelExpr::Project { input: Box::new(input), exprs }
+        }
+        2 => {
+            let key = SortExpr::asc(column(&input, n.unsigned_abs() as usize));
+            RelExpr::Sort { input: Box::new(input), keys: vec![key] }
+        }
+        3 => RelExpr::Limit {
+            input: Box::new(input),
+            limit: Some(n.unsigned_abs().max(1)),
+            offset: 0,
+            with_ties: false,
+        },
+        _ => RelExpr::Distinct { input: Box::new(input) },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_operator_stacks_validate_clean(
+        picks in proptest::collection::vec((0u8..5, -50i64..50), 0..8),
+    ) {
+        let mut rel = base_get();
+        for (pick, n) in picks {
+            rel = grow(rel, pick, n);
+        }
+        let report = validate_rel(&rel, &ValidateOptions::default());
+        prop_assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn dangling_reference_is_always_flagged(
+        picks in proptest::collection::vec((0u8..5, -50i64..50), 0..6),
+    ) {
+        let mut rel = base_get();
+        for (pick, n) in picks {
+            rel = grow(rel, pick, n);
+        }
+        // Mutate: project a column name that resolves nowhere.
+        let ghost = ScalarExpr::Column {
+            qualifier: None,
+            name: "NO_SUCH_COLUMN".into(),
+            ty: SqlType::Integer,
+        };
+        let rel = RelExpr::Project {
+            input: Box::new(rel),
+            exprs: vec![(ghost, "G".into())],
+        };
+        let report = validate_rel(&rel, &ValidateOptions::default());
+        prop_assert!(report.has(Invariant::UnresolvedColumn), "{report}");
     }
 }

@@ -1,14 +1,43 @@
 #!/usr/bin/env sh
-# Tier-1 gate, runnable fully offline: lint clean, release build, tests.
+# Tier-1 gate, runnable fully offline: lint clean, docs clean, release
+# build, tests, static-analysis suites, unsafe-code gate.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 cargo build --offline --release
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 # Fault-injection suites explicitly (retry/backoff, deadlines, breaker,
 # replay safety, gateway hardening) — offline, std/shim-only.
 cargo test -q --offline -p hyperq-core --test failures
 cargo test -q --offline --test resilience
+
+# Static-analysis suites: validator invariants + property coverage, rule
+# audit attribution, and the strict-mode acceptance corpora (TPC-H + the
+# customer workloads with zero violations).
+cargo test -q --offline -p hyperq-xtra validate
+cargo test -q --offline -p hyperq-xtra --test props
+cargo test -q --offline -p hyperq-core --test analyze
+cargo test -q --offline --test analyze_strict
+
+# Validator metrics must surface in the exposition formats end to end.
+cargo test -q --offline --test observability validator_metrics_appear_in_exposition
+
+# No unsafe code outside the vendored shims: every workspace crate roots
+# a `#![forbid(unsafe_code)]`, and nothing sneaks an `unsafe` block in.
+for lib in src/lib.rs crates/xtra/src/lib.rs crates/parser/src/lib.rs \
+    crates/core/src/lib.rs crates/engine/src/lib.rs crates/wire/src/lib.rs \
+    crates/workload/src/lib.rs crates/obs/src/lib.rs crates/bench/src/lib.rs; do
+    grep -q '#!\[forbid(unsafe_code)\]' "$lib" || {
+        echo "missing #![forbid(unsafe_code)] in $lib" >&2
+        exit 1
+    }
+done
+if grep -rn --include='*.rs' -w 'unsafe' src crates --exclude-dir=shims \
+    | grep -v 'forbid(unsafe_code)' | grep -v 'unsafe_code'; then
+    echo 'unsafe code found outside crates/shims' >&2
+    exit 1
+fi

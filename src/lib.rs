@@ -27,6 +27,8 @@
 //! assert!(!out.sql_sent[0].contains("QUALIFY"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use hyperq_core as core;
 pub use hyperq_obs as obs;
 pub use hyperq_engine as engine;

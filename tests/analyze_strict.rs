@@ -1,0 +1,93 @@
+//! Strict-mode static analysis over the acceptance corpora: every TPC-H
+//! query and every distinct customer-workload statement must pass the plan
+//! validator, the per-rule transformation audit, and the serializer
+//! round-trip check without a single violation.
+
+use std::sync::Arc;
+
+use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::{AnalyzeMode, Backend, HyperQ, ObsContext};
+use hyperq::engine::EngineDb;
+use hyperq::workload::customer::{health, telco, CustomerWorkload};
+use hyperq::workload::tpch;
+
+const SCALE: f64 = 0.002;
+
+fn strict_session(db: Arc<EngineDb>, obs: &Arc<ObsContext>) -> HyperQ {
+    HyperQ::with_obs(
+        db as Arc<dyn Backend>,
+        TargetCapabilities::simwh(),
+        Arc::clone(obs),
+    )
+    .with_analysis(AnalyzeMode::Strict)
+}
+
+#[test]
+fn tpch_corpus_passes_strict_analysis() {
+    let db = Arc::new(EngineDb::new());
+    for ddl in tpch::ddl() {
+        db.execute_sql(&ddl).unwrap();
+    }
+    for (table, rows) in tpch::generate(SCALE, 1234).tables() {
+        db.load_rows(table, rows).unwrap();
+    }
+    let obs = ObsContext::new();
+    let mut hq = strict_session(db, &obs);
+    for (n, sql) in tpch::queries() {
+        hq.run_one(sql)
+            .unwrap_or_else(|e| panic!("Q{n} failed strict analysis: {e}"));
+    }
+    // Every statement crossed both validation boundaries, and nothing
+    // was ever flagged.
+    assert!(
+        obs.metrics
+            .counter_value("hyperq_validation_checks_total", &[("stage", "bind")])
+            >= 22
+    );
+    assert!(
+        obs.metrics
+            .counter_value("hyperq_validation_checks_total", &[("stage", "roundtrip")])
+            >= 22
+    );
+    assert_violation_free(&obs);
+}
+
+fn run_strict(w: &CustomerWorkload) -> Arc<ObsContext> {
+    let db = Arc::new(EngineDb::new());
+    for ddl in &w.target_ddl {
+        db.execute_sql(ddl).unwrap();
+    }
+    let obs = ObsContext::new();
+    let mut hq = strict_session(db, &obs);
+    for setup in &w.hyperq_setup {
+        hq.run_one(setup).unwrap();
+    }
+    for text in &w.distinct {
+        hq.run_one(text)
+            .unwrap_or_else(|e| panic!("failed strict analysis: {text}\n  -> {e}"));
+    }
+    assert_violation_free(&obs);
+    obs
+}
+
+fn assert_violation_free(obs: &Arc<ObsContext>) {
+    let prom = obs.metrics.render_prometheus();
+    for line in prom.lines() {
+        if (line.starts_with("hyperq_validation_violations_total")
+            || line.starts_with("hyperq_rule_audit_failures_total"))
+            && !line.ends_with(" 0")
+        {
+            panic!("strict corpus run recorded a violation: {line}");
+        }
+    }
+}
+
+#[test]
+fn health_workload_passes_strict_analysis() {
+    run_strict(&health(0.05));
+}
+
+#[test]
+fn telco_workload_passes_strict_analysis() {
+    run_strict(&telco(0.02));
+}

@@ -117,6 +117,72 @@ fn tpch_q1_emits_one_span_and_histogram_per_stage() {
     );
 }
 
+/// The static-analysis layer reports through the same registry: every
+/// statement crosses the bind and serializer validation boundaries, the
+/// walks land in the shared stage-duration histogram, and an induced
+/// violation surfaces in both the Prometheus and JSON expositions.
+#[test]
+fn validator_metrics_appear_in_exposition() {
+    let obs = ObsContext::new();
+    let mut hq = session(&obs);
+    hq.run_one(tpch::query(1)).unwrap();
+
+    for stage in ["bind", "serializer"] {
+        assert_eq!(
+            obs.metrics
+                .counter_value("hyperq_validation_checks_total", &[("stage", stage)]),
+            1,
+            "stage {stage} must be checked once"
+        );
+    }
+    let h = obs
+        .metrics
+        .histogram(STAGE_DURATION_METRIC, &[("stage", "validate")]);
+    assert!(h.count() >= 2, "validation walks must record durations");
+
+    // Induce a violation through the log-only analyzer: a plan whose
+    // projection references a column its input does not produce.
+    use hyperq::core::{AnalyzeMode, Analyzer};
+    use hyperq::xtra::expr::ScalarExpr;
+    use hyperq::xtra::rel::{Plan, RelExpr};
+    use hyperq::xtra::schema::{Field, Schema};
+    use hyperq::xtra::types::SqlType;
+    let broken = Plan::Query(RelExpr::Project {
+        input: Box::new(RelExpr::Get {
+            table: "T".into(),
+            alias: None,
+            schema: Schema::new(vec![Field {
+                qualifier: Some("T".into()),
+                name: "A".into(),
+                ty: SqlType::Integer,
+                nullable: true,
+            }]),
+        }),
+        exprs: vec![(
+            ScalarExpr::Column {
+                qualifier: None,
+                name: "GHOST".into(),
+                ty: SqlType::Integer,
+            },
+            "G".into(),
+        )],
+    });
+    let analyzer = Analyzer::new(AnalyzeMode::LogOnly, &obs);
+    analyzer.check_plan(&broken, "serializer").unwrap();
+
+    let prom = obs.metrics.render_prometheus();
+    assert!(
+        prom.contains("hyperq_validation_violations_total{invariant=\"unresolved_column\"} 1"),
+        "violation counter missing in:\n{prom}"
+    );
+    assert!(
+        obs.metrics
+            .render_json()
+            .contains("\"hyperq_validation_violations_total\""),
+        "violation counter missing from JSON exposition"
+    );
+}
+
 /// Every line of the Prometheus exposition must parse: `# HELP`/`# TYPE`
 /// comments or `name{labels} value` samples with a finite numeric value,
 /// and cumulative bucket counts ending in the `+Inf` bucket equal to
