@@ -266,6 +266,16 @@ pub trait Backend: Send + Sync {
     /// Look up a table's definition in the target catalog (normalized
     /// upper-case name).
     fn table_meta(&self, name: &str) -> Option<TableDef>;
+
+    /// Re-establish the backend session after a lost connection — the ODBC
+    /// reconnect. A fresh session has *none* of the old session's scoped
+    /// state (settings, temp tables); re-creating it is the caller's job
+    /// (see [`crate::recover::RecoveringBackend`]). Backends without
+    /// per-session connection state succeed trivially; policy wrappers MUST
+    /// forward the call to their inner backend.
+    fn reset_session(&self) -> Result<(), BackendError> {
+        Ok(())
+    }
 }
 
 /// A transparent [`Backend`] wrapper that reports per-call metrics into an
@@ -348,6 +358,10 @@ impl Backend for InstrumentedBackend {
         self.catalog_lookups.inc();
         self.inner.table_meta(name)
     }
+
+    fn reset_session(&self) -> Result<(), BackendError> {
+        self.inner.reset_session()
+    }
 }
 
 /// Test-support backends (kept in the library so integration tests and
@@ -404,7 +418,17 @@ pub mod testing {
                 })
                 .cloned()
         }
+
+        fn reset_session(&self) -> Result<(), BackendError> {
+            // The marker lets tests assert replay ordering relative to the
+            // reconnect itself.
+            self.log.lock().push(RESET_MARKER.to_string());
+            Ok(())
+        }
     }
+
+    /// Log entry [`ScriptedBackend`] records for a `reset_session` call.
+    pub const RESET_MARKER: &str = "/* session reset */";
 
     /// One fault-injection schedule. Schedules only decide *whether* a call
     /// fails; calls that pass are delegated to the wrapped backend.
@@ -418,6 +442,37 @@ pub mod testing {
         /// Fail each call independently with probability `rate`, drawn from
         /// a seeded (deterministic) generator.
         Flaky { rate: f64, rng: StdRng, kind: BackendErrorKind },
+        /// Fail every `period`-th in-scope call with `kind` (calls `period`,
+        /// `2*period`, …) — a deterministic connection-kill cadence for soak
+        /// schedules. `seen` counts in-scope calls so far.
+        KillEvery { period: u64, seen: u64, kind: BackendErrorKind },
+        /// Fail the next `remaining` in-scope calls whose SQL contains
+        /// `needle` (case-insensitive) — kills a specific step of a
+        /// multi-statement emulation sequence.
+        KillOnSqlMatch { needle: String, remaining: u64, kind: BackendErrorKind },
+    }
+
+    /// Which requests a fault schedule may hit, by replay-safety context.
+    /// Out-of-scope calls pass through without consuming the schedule.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub enum FaultScope {
+        /// Every call is in scope.
+        #[default]
+        All,
+        /// Only replay-safe calls (`idempotent ∧ ¬in_transaction`).
+        IdempotentOnly,
+        /// Only calls made inside an open transaction.
+        InTransactionOnly,
+    }
+
+    impl FaultScope {
+        fn matches(self, ctx: RequestContext) -> bool {
+            match self {
+                FaultScope::All => true,
+                FaultScope::IdempotentOnly => ctx.allows_retry(),
+                FaultScope::InTransactionOnly => ctx.in_transaction,
+            }
+        }
     }
 
     /// Scriptable fault schedule: a failure mode plus optional per-call
@@ -426,33 +481,66 @@ pub mod testing {
         pub mode: FaultMode,
         /// Injected before every call (models a slow target).
         pub latency: Duration,
+        /// Which calls the mode may fault (default: all).
+        pub scope: FaultScope,
     }
 
     impl FaultPlan {
         pub fn none() -> FaultPlan {
-            FaultPlan { mode: FaultMode::None, latency: Duration::ZERO }
+            FaultPlan::with_mode(FaultMode::None)
+        }
+
+        fn with_mode(mode: FaultMode) -> FaultPlan {
+            FaultPlan { mode, latency: Duration::ZERO, scope: FaultScope::All }
         }
 
         /// Fail the first `n` calls with `kind`, then succeed.
         pub fn fail_n_then_succeed(n: u64, kind: BackendErrorKind) -> FaultPlan {
-            FaultPlan { mode: FaultMode::FailNext { remaining: n, kind }, latency: Duration::ZERO }
+            FaultPlan::with_mode(FaultMode::FailNext { remaining: n, kind })
         }
 
         pub fn always_fail(kind: BackendErrorKind) -> FaultPlan {
-            FaultPlan { mode: FaultMode::AlwaysFail { kind }, latency: Duration::ZERO }
+            FaultPlan::with_mode(FaultMode::AlwaysFail { kind })
         }
 
         /// Fail each call with probability `rate`; deterministic for a seed.
         pub fn flaky(rate: f64, seed: u64, kind: BackendErrorKind) -> FaultPlan {
-            FaultPlan {
-                mode: FaultMode::Flaky { rate, rng: StdRng::seed_from_u64(seed), kind },
-                latency: Duration::ZERO,
-            }
+            FaultPlan::with_mode(FaultMode::Flaky {
+                rate,
+                rng: StdRng::seed_from_u64(seed),
+                kind,
+            })
+        }
+
+        /// Kill the connection on every `period`-th in-scope call
+        /// (deterministic cadence; `period` 0 means never).
+        pub fn kill_every(period: u64) -> FaultPlan {
+            FaultPlan::with_mode(FaultMode::KillEvery {
+                period,
+                seen: 0,
+                kind: BackendErrorKind::ConnectionLost,
+            })
+        }
+
+        /// Kill the connection on the next `n` calls whose SQL contains
+        /// `needle` (case-insensitive).
+        pub fn kill_on_sql(needle: impl Into<String>, n: u64) -> FaultPlan {
+            FaultPlan::with_mode(FaultMode::KillOnSqlMatch {
+                needle: needle.into().to_ascii_uppercase(),
+                remaining: n,
+                kind: BackendErrorKind::ConnectionLost,
+            })
         }
 
         /// Add per-call latency injection to this plan.
         pub fn with_latency(mut self, latency: Duration) -> FaultPlan {
             self.latency = latency;
+            self
+        }
+
+        /// Restrict the mode to a subset of calls by request context.
+        pub fn with_scope(mut self, scope: FaultScope) -> FaultPlan {
+            self.scope = scope;
             self
         }
     }
@@ -468,6 +556,8 @@ pub mod testing {
         plan: Mutex<FaultPlan>,
         attempts: AtomicU64,
         injected: AtomicU64,
+        resets: AtomicU64,
+        failing_resets: AtomicU64,
     }
 
     impl FaultInjectingBackend {
@@ -477,6 +567,8 @@ pub mod testing {
                 plan: Mutex::new(plan),
                 attempts: AtomicU64::new(0),
                 injected: AtomicU64::new(0),
+                resets: AtomicU64::new(0),
+                failing_resets: AtomicU64::new(0),
             })
         }
 
@@ -490,15 +582,29 @@ pub mod testing {
             self.injected.load(Ordering::Relaxed)
         }
 
+        /// `reset_session` calls that reached this backend.
+        pub fn resets(&self) -> u64 {
+            self.resets.load(Ordering::Relaxed)
+        }
+
+        /// Make the next `n` `reset_session` calls fail with
+        /// `ConnectionLost` (reconnect storms).
+        pub fn fail_next_resets(&self, n: u64) {
+            self.failing_resets.store(n, Ordering::Relaxed);
+        }
+
         /// Replace the active schedule (e.g. heal the target mid-test).
         pub fn set_plan(&self, plan: FaultPlan) {
             *self.plan.lock() = plan;
         }
 
-        fn next_fault(&self) -> Option<BackendErrorKind> {
+        fn next_fault(&self, sql: &str, ctx: RequestContext) -> Option<BackendErrorKind> {
             let mut plan = self.plan.lock();
             if !plan.latency.is_zero() {
                 std::thread::sleep(plan.latency);
+            }
+            if !plan.scope.matches(ctx) {
+                return None;
             }
             match &mut plan.mode {
                 FaultMode::None => None,
@@ -512,6 +618,21 @@ pub mod testing {
                 }
                 FaultMode::AlwaysFail { kind } => Some(*kind),
                 FaultMode::Flaky { rate, rng, kind } => rng.gen_bool(*rate).then_some(*kind),
+                FaultMode::KillEvery { period, seen, kind } => {
+                    if *period == 0 {
+                        return None;
+                    }
+                    *seen += 1;
+                    (*seen % *period == 0).then_some(*kind)
+                }
+                FaultMode::KillOnSqlMatch { needle, remaining, kind } => {
+                    if *remaining > 0 && sql.to_ascii_uppercase().contains(needle.as_str()) {
+                        *remaining -= 1;
+                        Some(*kind)
+                    } else {
+                        None
+                    }
+                }
             }
         }
     }
@@ -527,7 +648,7 @@ pub mod testing {
 
         fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
             self.attempts.fetch_add(1, Ordering::Relaxed);
-            if let Some(kind) = self.next_fault() {
+            if let Some(kind) = self.next_fault(sql, ctx) {
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 return Err(BackendError::new(
                     kind,
@@ -539,6 +660,16 @@ pub mod testing {
 
         fn table_meta(&self, name: &str) -> Option<TableDef> {
             self.inner.table_meta(name)
+        }
+
+        fn reset_session(&self) -> Result<(), BackendError> {
+            self.resets.fetch_add(1, Ordering::Relaxed);
+            let failing = self.failing_resets.load(Ordering::Relaxed);
+            if failing > 0 {
+                self.failing_resets.store(failing - 1, Ordering::Relaxed);
+                return Err(BackendError::connection_lost("injected reconnect failure"));
+            }
+            self.inner.reset_session()
         }
     }
 }

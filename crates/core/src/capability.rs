@@ -81,6 +81,10 @@ pub struct TargetCapabilities {
     pub top_clause: bool,
     pub with_ties: bool,
     pub limit_clause: bool,
+    /// The target accepts session-scoped `SET <name> = <value>` statements,
+    /// so Hyper-Q pushes settings through (and journals them for replay on
+    /// reconnect) instead of keeping them purely mid-tier.
+    pub session_settings: bool,
     // --- dialect spellings ---
     pub mod_style: ModStyle,
     pub date_add_style: DateAddStyle,
@@ -161,6 +165,7 @@ impl TargetCapabilities {
             top_clause: false,
             with_ties: false,
             limit_clause: true,
+            session_settings: true,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::PlusInteger,
             add_months_style: AddMonthsStyle::AddMonthsFn,
@@ -202,6 +207,7 @@ impl TargetCapabilities {
             top_clause: true,
             with_ties: true,
             limit_clause: false,
+            session_settings: false,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::DateAddFn,
             add_months_style: AddMonthsStyle::DateAddFn,
@@ -244,6 +250,7 @@ impl TargetCapabilities {
             top_clause: true,
             with_ties: false,
             limit_clause: true,
+            session_settings: false,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::PlusInteger,
             add_months_style: AddMonthsStyle::AddMonthsFn,
@@ -286,6 +293,7 @@ impl TargetCapabilities {
             top_clause: false,
             with_ties: false,
             limit_clause: true,
+            session_settings: false,
             mod_style: ModStyle::Function,
             date_add_style: DateAddStyle::IntervalFn,
             add_months_style: AddMonthsStyle::IntervalLiteral,
@@ -327,6 +335,7 @@ impl TargetCapabilities {
             top_clause: true,
             with_ties: false,
             limit_clause: true,
+            session_settings: false,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::DateAddFn,
             add_months_style: AddMonthsStyle::AddMonthsFn,
@@ -368,6 +377,7 @@ impl TargetCapabilities {
             top_clause: false,
             with_ties: false,
             limit_clause: true,
+            session_settings: false,
             mod_style: ModStyle::Function,
             date_add_style: DateAddStyle::IntervalLiteral,
             add_months_style: AddMonthsStyle::IntervalLiteral,
@@ -409,6 +419,7 @@ impl TargetCapabilities {
             top_clause: false,
             with_ties: false,
             limit_clause: true,
+            session_settings: false,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::IntervalLiteral,
             add_months_style: AddMonthsStyle::IntervalLiteral,

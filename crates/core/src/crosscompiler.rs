@@ -23,6 +23,7 @@ use crate::binder::Binder;
 use crate::capability::TargetCapabilities;
 use crate::emulate;
 use crate::error::{HyperQError, Result};
+use crate::recover::{RecoverConfig, RecoveringBackend};
 use crate::serialize::Serializer;
 use crate::session::{RoutineDef, SessionState, ShadowCatalog};
 use crate::tracker::WorkloadTracker;
@@ -140,11 +141,22 @@ impl HyperQ {
         let id = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
         let stages = StageHandles::new(&obs, id);
         let analyzer = Analyzer::new(AnalyzeMode::default(), &obs);
+        let session = SessionState::new(id, "APP");
+        // Backend stack, outermost first: instrumentation sees all traffic
+        // (including replay), recovery turns ConnectionLost into reconnect +
+        // journal replay, and whatever policy layers the caller wrapped
+        // (resilience, replication) sit below.
+        let recovering = RecoveringBackend::wrap(
+            backend,
+            session.journal.clone(),
+            RecoverConfig::default(),
+            Arc::clone(&obs),
+        );
         HyperQ {
-            backend: InstrumentedBackend::wrap(backend, &obs),
+            backend: InstrumentedBackend::wrap(recovering, &obs),
             caps,
             transformer: Transformer::standard().instrumented(&obs.metrics),
-            session: SessionState::new(id, "APP"),
+            session,
             dml_batching: true,
             obs,
             stages,
@@ -223,6 +235,16 @@ impl HyperQ {
         text: &str,
         total: Duration,
     ) -> Result<StatementOutcome> {
+        // Reconcile DTM state with what a mid-statement recovery did on the
+        // target: GTT instances whose replay failed must re-materialize on
+        // next touch, and a transaction that died with its connection is no
+        // longer open.
+        for gtt in self.session.journal.drain_invalidated_gtts() {
+            self.session.materialized_gtts.remove(&gtt);
+        }
+        if self.session.journal.take_txn_aborted() {
+            self.session.in_transaction = false;
+        }
         self.stages.statement.record(total);
         match processed {
             Ok(mut outcome) => {
@@ -519,9 +541,22 @@ impl HyperQ {
                     .iter_mut()
                     .find(|(k, _)| k.eq_ignore_ascii_case(&key))
                 {
-                    slot.1 = rendered;
+                    slot.1 = rendered.clone();
                 } else {
-                    self.session.settings.push((key, rendered));
+                    self.session.settings.push((key.clone(), rendered.clone()));
+                }
+                // Targets with session-scoped settings get the SET pushed
+                // through — and journaled, so a reconnect replays the final
+                // value. Mid-tier-only targets keep it in the DTM catalog.
+                if self.caps.session_settings {
+                    let sql = format!("SET {key} = {rendered}");
+                    self.backend
+                        .execute_ctx(&sql, self.request_ctx(true))
+                        .map_err(HyperQError::Backend)?;
+                    self.session.journal.record_setting(&key, &sql);
+                    let mut outcome = ack(features);
+                    outcome.sql_sent.push(sql);
+                    return Ok(outcome);
                 }
                 Ok(ack(features))
             }
@@ -812,7 +847,8 @@ impl HyperQ {
                     HyperQError::Emulation(format!("missing GTT definition {logical}"))
                 })?;
             let mut instance = def;
-            instance.name = self.session.gtt_target_name(&logical);
+            let instance_name = self.session.gtt_target_name(&logical);
+            instance.name = instance_name.clone();
             instance.kind = TableKind::Temporary;
             let ser_span = self.obs.traces.enter("serialize");
             let ddl = Serializer::new(&self.caps)
@@ -825,6 +861,9 @@ impl HyperQ {
             let d = exec_span.finish();
             self.stages.execute.record(d);
             timings.execution += d;
+            // Journal the materialization so a reconnect re-creates the
+            // per-session instance (guarded by its continued existence).
+            self.session.journal.record_gtt(&logical, &instance_name, &ddl);
             sql_sent.push(ddl);
             self.session.materialized_gtts.insert(logical);
         }
@@ -983,11 +1022,21 @@ impl HyperQ {
     ) {
         for name in live.iter().rev() {
             self.emu("cleanup");
-            let _ = self.exec_plan(
+            let dropped = self.exec_plan(
                 Plan::DropTable { name: name.clone(), if_exists: true },
                 timings,
                 sql_sent,
             );
+            if dropped.is_err() {
+                // The DROP itself failed (e.g. the connection died): journal
+                // the orphan so the next reconnect retires the name instead
+                // of resurrecting it.
+                if let Ok(drop_sql) = Serializer::new(&self.caps)
+                    .serialize_plan(&Plan::DropTable { name: name.clone(), if_exists: true })
+                {
+                    self.session.journal.record_orphan(name, drop_sql);
+                }
+            }
         }
     }
 

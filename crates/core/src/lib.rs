@@ -25,7 +25,10 @@
 //!   Tables 1–2),
 //! * [`analyze`] — the static-analysis layer: plan validation at stage
 //!   boundaries, per-rule transformation audits, and the serializer
-//!   round-trip check, in strict / log-only / off modes.
+//!   round-trip check, in strict / log-only / off modes,
+//! * [`recover`] — session continuity: a replay journal of target-side
+//!   session state and a reconnecting backend wrapper that restores it
+//!   transparently after a lost connection.
 
 #![forbid(unsafe_code)]
 
@@ -36,6 +39,7 @@ pub mod capability;
 pub mod crosscompiler;
 pub mod emulate;
 pub mod error;
+pub mod recover;
 pub mod replicate;
 pub mod resilience;
 pub mod serialize;
@@ -51,6 +55,10 @@ pub use capability::TargetCapabilities;
 pub use crosscompiler::{HyperQ, StageTimings, StatementOutcome, Timings, STAGE_DURATION_METRIC};
 pub use error::{HyperQError, Result};
 pub use hyperq_obs::{ObsContext, TraceId};
+pub use recover::{
+    JournalEntry, JournalEntryKind, RecoverConfig, RecoveringBackend, SessionJournal,
+    TXN_ABORT_MESSAGE,
+};
 pub use replicate::ReplicatedBackend;
 pub use resilience::{
     BreakerConfig, BreakerState, ResilienceConfig, ResilientBackend, RetryPolicy,

@@ -1,0 +1,649 @@
+//! Session continuity: transparent backend reconnection with DTM-state
+//! replay.
+//!
+//! The emulation layer works because "state information maintained in the
+//! application layer" (paper §2.1) lives in the mid-tier DTM catalog — but
+//! some of that state has *target-side* shadows: session settings pushed to
+//! the target, materialized per-session global-temp-table instances, and
+//! emulation scratch tables. A `ConnectionLost` from the target silently
+//! destroys all of it while the DTM catalog still believes it exists.
+//!
+//! This module closes the gap:
+//!
+//! * [`SessionJournal`] — an append-only journal of the session-establishing
+//!   actions with target-side effects, recorded by the crosscompiler as
+//!   replayable backend requests.
+//! * [`RecoveringBackend`] — a [`Backend`] wrapper (layered *outside*
+//!   [`crate::resilience::ResilientBackend`]) that, on `ConnectionLost`,
+//!   re-establishes the backend session, replays the journal in recording
+//!   order, invalidates `materialized_gtts` consistently on partial replay
+//!   failure, and only then re-issues the original request — and only when
+//!   [`RequestContext`] permits. If the session was inside an open
+//!   transaction, recovery restores the session but surfaces a clean
+//!   "transaction aborted" error instead of silently replaying
+//!   non-idempotent work.
+//!
+//! Replay ordering is the recording order (journal sequence): settings
+//! before the statements that depend on them, GTT DDL before anything that
+//! could reference the instance, orphan drops wherever the failed cleanup
+//! left them. Entries are keyed so re-recording (e.g. a `SET` overwriting an
+//! earlier value for the same setting) replaces in place and replay applies
+//! only the final value.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hyperq_obs::{Counter, Histogram, ObsContext};
+use hyperq_xtra::catalog::TableDef;
+use parking_lot::Mutex;
+
+use crate::backend::{Backend, BackendError, BackendErrorKind, ExecResult, RequestContext};
+
+/// Canonical message for a statement lost together with its open
+/// transaction. The wire layer maps this to its own error code; the soak
+/// harness asserts it appears exactly once per in-transaction kill.
+pub const TXN_ABORT_MESSAGE: &str =
+    "transaction aborted by connection loss, session restored";
+
+/// What a journal entry re-creates on the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEntryKind {
+    /// A session setting pushed to the target (`SET …`). Replayed verbatim.
+    Setting,
+    /// A per-session global-temp-table instance materialized on the target.
+    /// Replayed unless the guard table still exists (cloud targets that keep
+    /// session scope alive across a reconnect token).
+    GttMaterialize,
+    /// A temp table a best-effort emulation cleanup failed to drop. Replay
+    /// *drops* it (if it still exists) so a reconnect cannot resurrect the
+    /// orphaned name.
+    OrphanTemp,
+}
+
+impl JournalEntryKind {
+    /// Stable lowercase name, used as a metric label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JournalEntryKind::Setting => "setting",
+            JournalEntryKind::GttMaterialize => "gtt",
+            JournalEntryKind::OrphanTemp => "orphan_temp",
+        }
+    }
+}
+
+/// One replayable session-establishing action.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    pub kind: JournalEntryKind,
+    /// Dedup key within the kind: setting name, GTT logical name, or orphan
+    /// table name. Re-recording a key replaces the previous entry in place.
+    pub key: String,
+    /// The target-dialect SQL that re-creates (or, for orphans, removes) the
+    /// state.
+    pub sql: String,
+    /// For `GttMaterialize`: the target-side instance name. If the target
+    /// still knows the table after reconnect, replay skips the DDL.
+    pub guard_table: Option<String>,
+}
+
+#[derive(Default)]
+struct JournalInner {
+    entries: Vec<JournalEntry>,
+    /// GTT logical names whose replay failed; the session must drop them
+    /// from `materialized_gtts` so the next touch re-materializes.
+    invalidated_gtts: Vec<String>,
+    /// Set when a connection died inside an open transaction; the session
+    /// must clear `in_transaction` (the target rolled back with the
+    /// connection).
+    txn_aborted: bool,
+    recoveries: u64,
+}
+
+/// Shared, thread-safe journal of a session's target-side state. Cloning is
+/// cheap (an `Arc` handle): the crosscompiler records into it, the
+/// [`RecoveringBackend`] replays from it.
+#[derive(Clone, Default)]
+pub struct SessionJournal {
+    inner: Arc<Mutex<JournalInner>>,
+}
+
+impl SessionJournal {
+    pub fn new() -> SessionJournal {
+        SessionJournal::default()
+    }
+
+    fn upsert(&self, entry: JournalEntry) {
+        let mut inner = self.inner.lock();
+        match inner
+            .entries
+            .iter_mut()
+            .find(|e| e.kind == entry.kind && e.key == entry.key)
+        {
+            Some(slot) => *slot = entry,
+            None => inner.entries.push(entry),
+        }
+    }
+
+    /// Record a session setting pushed to the target.
+    pub fn record_setting(&self, name: &str, sql: impl Into<String>) {
+        self.upsert(JournalEntry {
+            kind: JournalEntryKind::Setting,
+            key: name.to_ascii_uppercase(),
+            sql: sql.into(),
+            guard_table: None,
+        });
+    }
+
+    /// Record a GTT materialization: `logical` is the DTM-catalog name,
+    /// `instance` the per-session target-side table, `ddl` the CREATE that
+    /// materialized it.
+    pub fn record_gtt(&self, logical: &str, instance: &str, ddl: impl Into<String>) {
+        self.upsert(JournalEntry {
+            kind: JournalEntryKind::GttMaterialize,
+            key: logical.to_ascii_uppercase(),
+            sql: ddl.into(),
+            guard_table: Some(instance.to_string()),
+        });
+    }
+
+    /// Record a temp table whose best-effort cleanup DROP failed, together
+    /// with the serialized DROP to retry on reconnect.
+    pub fn record_orphan(&self, table: &str, drop_sql: impl Into<String>) {
+        self.upsert(JournalEntry {
+            kind: JournalEntryKind::OrphanTemp,
+            key: table.to_ascii_uppercase(),
+            sql: drop_sql.into(),
+            guard_table: None,
+        });
+    }
+
+    /// Remove one entry (orphan finally dropped, GTT invalidated, …).
+    fn remove(&self, kind: JournalEntryKind, key: &str) {
+        self.inner.lock().entries.retain(|e| !(e.kind == kind && e.key == key));
+    }
+
+    /// Current entries in replay order.
+    pub fn snapshot(&self) -> Vec<JournalEntry> {
+        self.inner.lock().entries.clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of orphan-drop entries still pending.
+    pub fn pending_orphans(&self) -> usize {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|e| e.kind == JournalEntryKind::OrphanTemp)
+            .count()
+    }
+
+    /// Completed recovery cycles for this session.
+    pub fn recoveries(&self) -> u64 {
+        self.inner.lock().recoveries
+    }
+
+    /// GTT logical names invalidated by partial replay failure, drained by
+    /// the crosscompiler, which removes them from
+    /// `SessionState::materialized_gtts`.
+    pub fn drain_invalidated_gtts(&self) -> Vec<String> {
+        std::mem::take(&mut self.inner.lock().invalidated_gtts)
+    }
+
+    /// True once if a connection died inside an open transaction since the
+    /// last call; the crosscompiler clears `SessionState::in_transaction`.
+    pub fn take_txn_aborted(&self) -> bool {
+        std::mem::take(&mut self.inner.lock().txn_aborted)
+    }
+
+    fn note_txn_abort(&self) {
+        self.inner.lock().txn_aborted = true;
+    }
+
+    fn invalidate_gtt(&self, logical: &str) {
+        let mut inner = self.inner.lock();
+        inner
+            .entries
+            .retain(|e| !(e.kind == JournalEntryKind::GttMaterialize && e.key == logical));
+        inner.invalidated_gtts.push(logical.to_string());
+    }
+
+    fn note_recovery(&self) {
+        self.inner.lock().recoveries += 1;
+    }
+}
+
+/// Tuning for [`RecoveringBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverConfig {
+    /// Recovery cycles attempted per original request before the error is
+    /// surfaced as-is. Replay statements themselves still get the inner
+    /// resilience layer's retries.
+    pub max_recoveries: u32,
+}
+
+impl Default for RecoverConfig {
+    fn default() -> RecoverConfig {
+        RecoverConfig { max_recoveries: 1 }
+    }
+}
+
+/// A [`Backend`] wrapper that turns `ConnectionLost` into a reconnect +
+/// journal replay, so the layers above see an unbroken session.
+///
+/// Layering (outermost first): `InstrumentedBackend` → `RecoveringBackend`
+/// → `ResilientBackend` → driver. Recovery sits *outside* resilience so the
+/// replayed statements benefit from retry/backoff, and *inside*
+/// instrumentation so recovery traffic is counted like any other.
+pub struct RecoveringBackend {
+    inner: Arc<dyn Backend>,
+    journal: SessionJournal,
+    config: RecoverConfig,
+    obs: Arc<ObsContext>,
+    attempts_m: Arc<Counter>,
+    success_m: Arc<Counter>,
+    failures_m: Arc<Counter>,
+    txn_aborts_m: Arc<Counter>,
+    invalidated_m: Arc<Counter>,
+    replayed_m: [Arc<Counter>; 3],
+    duration_m: Arc<Histogram>,
+}
+
+impl RecoveringBackend {
+    pub fn wrap(
+        inner: Arc<dyn Backend>,
+        journal: SessionJournal,
+        config: RecoverConfig,
+        obs: Arc<ObsContext>,
+    ) -> Arc<RecoveringBackend> {
+        let m = &obs.metrics;
+        Arc::new(RecoveringBackend {
+            attempts_m: m.counter("hyperq_recovery_attempts_total", &[]),
+            success_m: m.counter("hyperq_recovery_success_total", &[]),
+            failures_m: m.counter("hyperq_recovery_failures_total", &[]),
+            txn_aborts_m: m.counter("hyperq_recovery_txn_aborts_total", &[]),
+            invalidated_m: m.counter("hyperq_recovery_invalidated_gtts_total", &[]),
+            replayed_m: [
+                JournalEntryKind::Setting,
+                JournalEntryKind::GttMaterialize,
+                JournalEntryKind::OrphanTemp,
+            ]
+            .map(|k| {
+                m.counter("hyperq_recovery_replayed_entries_total", &[("kind", k.as_str())])
+            }),
+            duration_m: m.histogram("hyperq_recovery_duration_seconds", &[]),
+            inner,
+            journal,
+            config,
+            obs,
+        })
+    }
+
+    /// The journal this backend replays from (shared with the session).
+    pub fn journal(&self) -> &SessionJournal {
+        &self.journal
+    }
+
+    fn replayed(&self, kind: JournalEntryKind) -> &Counter {
+        match kind {
+            JournalEntryKind::Setting => &self.replayed_m[0],
+            JournalEntryKind::GttMaterialize => &self.replayed_m[1],
+            JournalEntryKind::OrphanTemp => &self.replayed_m[2],
+        }
+    }
+
+    /// Reconnect and replay the journal. `Err` means the session could not
+    /// be faithfully restored (reconnect failed or a *setting* failed to
+    /// reapply); a GTT replay failure is downgraded to an invalidation and
+    /// an orphan-drop failure stays journaled for the next attempt.
+    fn recover(&self) -> Result<(), BackendError> {
+        let _span = self.obs.traces.enter("recover");
+        self.attempts_m.inc();
+        let t0 = Instant::now();
+        let result = self.replay();
+        self.duration_m.record(t0.elapsed());
+        match &result {
+            Ok(()) => {
+                self.success_m.inc();
+                self.journal.note_recovery();
+            }
+            Err(_) => self.failures_m.inc(),
+        }
+        result
+    }
+
+    fn replay(&self) -> Result<(), BackendError> {
+        self.inner.reset_session()?;
+        // Replay context: these statements re-establish session state a
+        // fresh connection lacks; they are replay-safe by construction.
+        let ctx = RequestContext { idempotent: true, in_transaction: false };
+        for entry in self.journal.snapshot() {
+            match entry.kind {
+                JournalEntryKind::Setting => {
+                    self.inner.execute_ctx(&entry.sql, ctx).map_err(|e| {
+                        BackendError::new(
+                            e.kind,
+                            format!("replaying setting {}: {}", entry.key, e.message),
+                        )
+                    })?;
+                    self.replayed(entry.kind).inc();
+                }
+                JournalEntryKind::GttMaterialize => {
+                    // Cloud targets can keep session scope alive across a
+                    // reconnect token — if the instance still exists, the
+                    // state is confirmed without re-running DDL.
+                    let alive = entry
+                        .guard_table
+                        .as_deref()
+                        .is_some_and(|t| self.inner.table_meta(t).is_some());
+                    if alive || self.inner.execute_ctx(&entry.sql, ctx).is_ok() {
+                        self.replayed(entry.kind).inc();
+                    } else {
+                        // Partial replay failure: drop the claim so the next
+                        // statement that touches the GTT re-materializes it.
+                        self.journal.invalidate_gtt(&entry.key);
+                        self.invalidated_m.inc();
+                    }
+                }
+                JournalEntryKind::OrphanTemp => {
+                    // Best effort, like the cleanup that failed: success
+                    // retires the entry, failure keeps it for next time.
+                    if self.inner.execute_ctx(&entry.sql, ctx).is_ok() {
+                        self.journal.remove(JournalEntryKind::OrphanTemp, &entry.key);
+                        self.replayed(entry.kind).inc();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Backend for RecoveringBackend {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        self.execute_ctx(sql, RequestContext::from_sql(sql))
+    }
+
+    fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+        let mut recoveries = 0;
+        loop {
+            let err = match self.inner.execute_ctx(sql, ctx) {
+                Ok(result) => return Ok(result),
+                Err(e) => e,
+            };
+            if err.kind != BackendErrorKind::ConnectionLost
+                || recoveries >= self.config.max_recoveries
+            {
+                return Err(err);
+            }
+            recoveries += 1;
+            if ctx.in_transaction {
+                // The target rolled the transaction back with the
+                // connection. Restore the session for the *next* statement,
+                // but never replay the non-idempotent work silently.
+                self.txn_aborts_m.inc();
+                self.journal.note_txn_abort();
+                let _ = self.recover();
+                return Err(BackendError::fatal(TXN_ABORT_MESSAGE));
+            }
+            if self.recover().is_err() {
+                // Session unrecoverable; surface the original failure.
+                return Err(err);
+            }
+            if !ctx.allows_retry() {
+                // Session restored, but the statement's outcome on the dead
+                // connection is unknown and it is not replay-safe.
+                return Err(BackendError::new(
+                    err.kind,
+                    format!("{}; session restored, statement outcome unknown", err.message),
+                ));
+            }
+            // Replay-safe: re-issue on the restored session.
+        }
+    }
+
+    fn table_meta(&self, name: &str) -> Option<TableDef> {
+        self.inner.table_meta(name)
+    }
+
+    fn reset_session(&self) -> Result<(), BackendError> {
+        self.inner.reset_session()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::testing::{ScriptedBackend, RESET_MARKER};
+    use hyperq_xtra::catalog::{ColumnDef, TableDef};
+    use hyperq_xtra::types::SqlType;
+
+    fn read_ctx() -> RequestContext {
+        RequestContext::read_only()
+    }
+
+    /// A scripted backend that fails the first `n` executes with
+    /// `ConnectionLost`, then serves everything (optionally failing SQL
+    /// containing `poison`).
+    fn flaky_scripted(n: u64, poison: Option<&'static str>) -> Arc<ScriptedBackend> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let left = AtomicU64::new(n);
+        Arc::new(ScriptedBackend {
+            log: parking_lot::Mutex::new(Vec::new()),
+            tables: vec![],
+            responder: Box::new(move |sql| {
+                if left.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    v.checked_sub(1)
+                })
+                .is_ok()
+                {
+                    return Err(BackendError::connection_lost("link down"));
+                }
+                if poison.is_some_and(|p| sql.contains(p)) {
+                    return Err(BackendError::fatal("poisoned"));
+                }
+                Ok(ExecResult::ack())
+            }),
+        })
+    }
+
+    #[test]
+    fn journal_upserts_by_kind_and_key() {
+        let j = SessionJournal::new();
+        j.record_setting("DATEFORM", "SET DATEFORM = 'ANSIDATE'");
+        j.record_setting("DATEFORM", "SET DATEFORM = 'INTEGERDATE'");
+        j.record_setting("COLLATION", "SET COLLATION = 'ASCII'");
+        j.record_gtt("STAGE", "GTT_STAGE_S1", "CREATE TABLE GTT_STAGE_S1 (A INTEGER)");
+        assert_eq!(j.len(), 3);
+        let snap = j.snapshot();
+        assert_eq!(snap[0].sql, "SET DATEFORM = 'INTEGERDATE'", "upsert replaces in place");
+        assert_eq!(snap[2].kind, JournalEntryKind::GttMaterialize);
+    }
+
+    #[test]
+    fn recovery_replays_journal_in_order_then_reissues() {
+        let obs = ObsContext::new();
+        let scripted = flaky_scripted(1, None);
+        let journal = SessionJournal::new();
+        journal.record_setting("DATEFORM", "SET DATEFORM = 'ANSIDATE'");
+        journal.record_gtt("STAGE", "GTT_STAGE_S1", "CREATE TABLE GTT_STAGE_S1 (A INTEGER)");
+        let rb = RecoveringBackend::wrap(
+            Arc::clone(&scripted) as Arc<dyn Backend>,
+            journal.clone(),
+            RecoverConfig::default(),
+            Arc::clone(&obs),
+        );
+
+        rb.execute_ctx("SEL 1", read_ctx()).expect("recovered and re-issued");
+        let log = scripted.sql_log();
+        assert_eq!(
+            log,
+            vec![
+                "SEL 1".to_string(), // killed attempt
+                RESET_MARKER.to_string(),
+                "SET DATEFORM = 'ANSIDATE'".to_string(),
+                "CREATE TABLE GTT_STAGE_S1 (A INTEGER)".to_string(),
+                "SEL 1".to_string(), // re-issue
+            ]
+        );
+        assert_eq!(journal.recoveries(), 1);
+        assert_eq!(obs.metrics.counter_value("hyperq_recovery_success_total", &[]), 1);
+        assert_eq!(
+            obs.metrics.counter_value(
+                "hyperq_recovery_replayed_entries_total",
+                &[("kind", "setting")]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn guard_table_existence_skips_gtt_ddl_replay() {
+        let obs = ObsContext::new();
+        let scripted = flaky_scripted(1, None);
+        // The instance survives on the target (session token kept alive).
+        let mut with_table = Arc::try_unwrap(scripted).ok().unwrap();
+        with_table.tables = vec![TableDef::new(
+            "GTT_STAGE_S1",
+            vec![ColumnDef::new("A", SqlType::Integer, true)],
+        )];
+        let scripted = Arc::new(with_table);
+        let journal = SessionJournal::new();
+        journal.record_gtt("STAGE", "GTT_STAGE_S1", "CREATE TABLE GTT_STAGE_S1 (A INTEGER)");
+        let rb = RecoveringBackend::wrap(
+            Arc::clone(&scripted) as Arc<dyn Backend>,
+            journal.clone(),
+            RecoverConfig::default(),
+            obs,
+        );
+        rb.execute_ctx("SEL 1", read_ctx()).unwrap();
+        assert!(
+            !scripted.sql_log().iter().any(|s| s.starts_with("CREATE TABLE")),
+            "guarded GTT replay must not re-run DDL: {:?}",
+            scripted.sql_log()
+        );
+        assert_eq!(journal.len(), 1, "entry stays journaled");
+    }
+
+    #[test]
+    fn partial_replay_failure_invalidates_gtt_but_restores_session() {
+        let obs = ObsContext::new();
+        let scripted = flaky_scripted(1, Some("GTT_BAD"));
+        let journal = SessionJournal::new();
+        journal.record_gtt("GOOD", "GTT_GOOD_S1", "CREATE TABLE GTT_GOOD_S1 (A INTEGER)");
+        journal.record_gtt("BAD", "GTT_BAD_S1", "CREATE TABLE GTT_BAD_S1 (A INTEGER)");
+        let rb = RecoveringBackend::wrap(
+            Arc::clone(&scripted) as Arc<dyn Backend>,
+            journal.clone(),
+            RecoverConfig::default(),
+            Arc::clone(&obs),
+        );
+        rb.execute_ctx("SEL 1", read_ctx()).expect("recovery survives GTT failure");
+        assert_eq!(journal.drain_invalidated_gtts(), vec!["BAD".to_string()]);
+        assert_eq!(journal.len(), 1, "failed entry removed from journal");
+        assert_eq!(
+            obs.metrics.counter_value("hyperq_recovery_invalidated_gtts_total", &[]),
+            1
+        );
+    }
+
+    #[test]
+    fn in_transaction_kill_aborts_cleanly_and_restores() {
+        let obs = ObsContext::new();
+        let scripted = flaky_scripted(1, None);
+        let journal = SessionJournal::new();
+        journal.record_setting("DATEFORM", "SET DATEFORM = 'ANSIDATE'");
+        let rb = RecoveringBackend::wrap(
+            Arc::clone(&scripted) as Arc<dyn Backend>,
+            journal.clone(),
+            RecoverConfig::default(),
+            Arc::clone(&obs),
+        );
+        let ctx = RequestContext { idempotent: false, in_transaction: true };
+        let err = rb.execute_ctx("INSERT INTO T VALUES (1)", ctx).unwrap_err();
+        assert_eq!(err.message, TXN_ABORT_MESSAGE);
+        assert_eq!(err.kind, BackendErrorKind::Fatal, "no layer may blind-retry this");
+        assert!(journal.take_txn_aborted(), "session must learn the txn died");
+        assert!(!journal.take_txn_aborted(), "flag is taken once");
+        // The session itself was restored for the next statement.
+        assert!(scripted.sql_log().contains(&RESET_MARKER.to_string()));
+        assert!(scripted.sql_log().contains(&"SET DATEFORM = 'ANSIDATE'".to_string()));
+        assert_eq!(obs.metrics.counter_value("hyperq_recovery_txn_aborts_total", &[]), 1);
+        // The INSERT was never replayed.
+        assert_eq!(
+            scripted.sql_log().iter().filter(|s| s.starts_with("INSERT")).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn non_idempotent_statement_not_reissued_but_session_restored() {
+        let obs = ObsContext::new();
+        let scripted = flaky_scripted(1, None);
+        let journal = SessionJournal::new();
+        let rb = RecoveringBackend::wrap(
+            Arc::clone(&scripted) as Arc<dyn Backend>,
+            journal,
+            RecoverConfig::default(),
+            obs,
+        );
+        let err = rb.execute_ctx("INSERT INTO T VALUES (1)", RequestContext::write()).unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::ConnectionLost);
+        assert!(err.message.contains("session restored"), "{}", err.message);
+        assert_eq!(
+            scripted.sql_log().iter().filter(|s| s.starts_with("INSERT")).count(),
+            1,
+            "write must not be replayed"
+        );
+        assert!(scripted.sql_log().contains(&RESET_MARKER.to_string()));
+    }
+
+    #[test]
+    fn orphan_drop_retires_entry_on_success() {
+        let obs = ObsContext::new();
+        let scripted = flaky_scripted(1, None);
+        let journal = SessionJournal::new();
+        journal.record_orphan("WT_S1_1", "DROP TABLE IF EXISTS WT_S1_1");
+        let rb = RecoveringBackend::wrap(
+            Arc::clone(&scripted) as Arc<dyn Backend>,
+            journal.clone(),
+            RecoverConfig::default(),
+            obs,
+        );
+        rb.execute_ctx("SEL 1", read_ctx()).unwrap();
+        assert_eq!(journal.pending_orphans(), 0, "dropped orphan leaves the journal");
+        assert!(scripted.sql_log().contains(&"DROP TABLE IF EXISTS WT_S1_1".to_string()));
+    }
+
+    #[test]
+    fn failed_reconnect_surfaces_original_error() {
+        let obs = ObsContext::new();
+        // Every execute fails; reset succeeds but the replayed probe dies
+        // again — recovery runs out of budget and the original error wins.
+        let scripted: Arc<ScriptedBackend> = Arc::new(ScriptedBackend {
+            log: parking_lot::Mutex::new(Vec::new()),
+            tables: vec![],
+            responder: Box::new(|_| Err(BackendError::connection_lost("still down"))),
+        });
+        let rb = RecoveringBackend::wrap(
+            scripted as Arc<dyn Backend>,
+            SessionJournal::new(),
+            RecoverConfig::default(),
+            Arc::clone(&obs),
+        );
+        let err = rb.execute_ctx("SEL 1", read_ctx()).unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::ConnectionLost);
+        assert!(obs.metrics.counter_value("hyperq_recovery_attempts_total", &[]) >= 1);
+    }
+}

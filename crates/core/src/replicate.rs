@@ -123,6 +123,30 @@ impl Backend for ReplicatedBackend {
             .find(|r| !*r.fenced.read())
             .and_then(|r| r.backend.table_meta(name))
     }
+
+    fn reset_session(&self) -> Result<(), BackendError> {
+        // Re-establish every healthy replica's session; one success keeps
+        // the replicated target usable (failed ones get fenced).
+        let mut last_err = None;
+        let mut any_ok = false;
+        for r in &self.replicas {
+            if *r.fenced.read() {
+                continue;
+            }
+            match r.backend.reset_session() {
+                Ok(()) => any_ok = true,
+                Err(e) => {
+                    *r.fenced.write() = true;
+                    last_err = Some(e);
+                }
+            }
+        }
+        match (any_ok, last_err) {
+            (true, _) => Ok(()),
+            (false, Some(e)) => Err(e),
+            (false, None) => Err(BackendError::rejected("no healthy replica available")),
+        }
+    }
 }
 
 #[cfg(test)]

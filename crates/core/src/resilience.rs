@@ -367,6 +367,10 @@ impl Backend for ResilientBackend {
     fn table_meta(&self, name: &str) -> Option<TableDef> {
         self.inner.table_meta(name)
     }
+
+    fn reset_session(&self) -> Result<(), BackendError> {
+        self.inner.reset_session()
+    }
 }
 
 #[cfg(test)]

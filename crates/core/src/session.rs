@@ -15,6 +15,7 @@ use hyperq_parser::ast as past;
 use hyperq_xtra::catalog::{MetadataProvider, TableDef, TableKind, ViewDef};
 
 use crate::backend::Backend;
+use crate::recover::SessionJournal;
 
 /// A stored macro or procedure definition.
 #[derive(Debug, Clone)]
@@ -53,6 +54,11 @@ pub struct SessionState {
     /// Counter for session-scoped generated object names.
     pub temp_counter: u64,
     pub in_transaction: bool,
+    /// Replay journal of target-side session state (settings pushed to the
+    /// target, GTT materializations, orphaned emulation temps) — shared
+    /// with the [`crate::recover::RecoveringBackend`] that replays it after
+    /// a lost connection.
+    pub journal: SessionJournal,
 }
 
 impl SessionState {
@@ -75,6 +81,7 @@ impl SessionState {
             materialized_gtts: HashSet::new(),
             temp_counter: 0,
             in_transaction: false,
+            journal: SessionJournal::new(),
         }
     }
 

@@ -55,6 +55,10 @@ impl Slots {
 pub struct EngineDb {
     tables: RwLock<HashMap<String, TableData>>,
     slots: Option<Slots>,
+    /// Session-scoped parameters applied via `SET name = value`. SimWH
+    /// models a warehouse whose settings live with the *instance* session;
+    /// Hyper-Q journals and replays the `SET`s after a reconnect.
+    session_params: RwLock<HashMap<String, String>>,
     /// Statements executed, reported into the process-wide metrics.
     statements: Arc<hyperq_obs::Counter>,
     /// Statements currently holding an execution slot (or running, when no
@@ -68,6 +72,7 @@ impl Default for EngineDb {
         EngineDb {
             tables: RwLock::new(HashMap::new()),
             slots: None,
+            session_params: RwLock::new(HashMap::new()),
             statements: metrics
                 .counter("hyperq_engine_statements_total", &[("engine", "SimWH")]),
             inflight: metrics
@@ -168,6 +173,17 @@ impl EngineDb {
     }
 
     fn execute_sql_inner(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        // `SET name = value` is session-parameter syntax, not ANSI DML —
+        // handled textually like a warehouse's session layer would.
+        if let Some(rest) = strip_keyword(sql, "SET") {
+            let (name, value) = rest
+                .split_once('=')
+                .ok_or_else(|| BackendError::fatal(format!("malformed SET statement: {sql}")))?;
+            self.session_params
+                .write()
+                .insert(name.trim().to_ascii_uppercase(), value.trim().to_string());
+            return Ok(ExecResult::ack());
+        }
         let stmts =
             parse_statements(sql, Dialect::Ansi).map_err(|e| BackendError::fatal(e.to_string()))?;
         let mut last = ExecResult::ack();
@@ -390,6 +406,34 @@ impl EngineDb {
         names.sort();
         names
     }
+
+    /// A session parameter applied via `SET name = value` (diagnostics /
+    /// tests).
+    pub fn session_param(&self, name: &str) -> Option<String> {
+        self.session_params.read().get(&name.to_ascii_uppercase()).cloned()
+    }
+
+    /// All session parameters, sorted by name (diagnostics / tests).
+    pub fn session_params(&self) -> Vec<(String, String)> {
+        let mut params: Vec<(String, String)> = self
+            .session_params
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        params.sort();
+        params
+    }
+}
+
+/// If `sql` starts with `keyword` (case-insensitive, followed by
+/// whitespace), return the remainder.
+fn strip_keyword<'a>(sql: &'a str, keyword: &str) -> Option<&'a str> {
+    let trimmed = sql.trim_start();
+    let head = trimmed.get(..keyword.len())?;
+    let rest = &trimmed[keyword.len()..];
+    (head.eq_ignore_ascii_case(keyword) && rest.starts_with(char::is_whitespace))
+        .then_some(rest)
 }
 
 /// Coerce a full-width row to the table's column types; enforces NOT NULL.

@@ -27,7 +27,12 @@ impl Parser {
     }
 
     pub(crate) fn parse_expr(&mut self) -> Result<Expr, ParseError> {
-        self.parse_or()
+        // Every nested expression re-enters through here, so this one guard
+        // bounds arbitrarily deep parentheses, CASE arms, function calls, …
+        self.nest()?;
+        let result = self.parse_or();
+        self.unnest();
+        result
     }
 
     fn parse_or(&mut self) -> Result<Expr, ParseError> {

@@ -59,11 +59,21 @@ pub fn parse_one(sql: &str, dialect: Dialect) -> Result<ParsedStatement, ParseEr
     }
 }
 
+/// Deepest allowed expression/query nesting. The recursive-descent parser
+/// recurses roughly a dozen stack frames per level; without a ceiling a
+/// pathological input like ten thousand opening parentheses overflows the
+/// stack and kills the whole process instead of failing the one statement.
+/// 64 keeps the worst case comfortably inside a 2 MiB thread stack (debug
+/// builds included) while far exceeding any real workload's nesting.
+pub const MAX_NESTING: usize = 64;
+
 pub struct Parser {
     tokens: Vec<Spanned>,
     pub(crate) pos: usize,
     pub dialect: Dialect,
     pub features: FeatureSet,
+    /// Current expression/query nesting depth (see [`MAX_NESTING`]).
+    pub(crate) depth: usize,
 }
 
 impl Parser {
@@ -73,7 +83,26 @@ impl Parser {
             pos: 0,
             dialect,
             features: FeatureSet::new(),
+            depth: 0,
         })
+    }
+
+    /// Enter one nesting level of expression/query recursion; errors out
+    /// (instead of overflowing the stack) past [`MAX_NESTING`].
+    pub(crate) fn nest(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            self.depth -= 1;
+            return Err(ParseError::new(
+                self.line(),
+                format!("statement nesting exceeds {MAX_NESTING} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn unnest(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
     }
 
     // --- token cursor -----------------------------------------------------

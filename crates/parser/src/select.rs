@@ -29,6 +29,15 @@ enum ClauseSlot {
 impl Parser {
     /// Parse a full query expression: `[WITH …] body [ORDER BY …] [LIMIT n]`.
     pub fn parse_query(&mut self) -> Result<Query, ParseError> {
+        // Nested subqueries (derived tables, IN/EXISTS, CTE bodies) re-enter
+        // here; bounded together with expression nesting.
+        self.nest()?;
+        let result = self.parse_query_inner();
+        self.unnest();
+        result
+    }
+
+    fn parse_query_inner(&mut self) -> Result<Query, ParseError> {
         let mut recursive = false;
         let mut ctes = Vec::new();
         if self.consume_kw("WITH") {

@@ -30,6 +30,24 @@ fn select_block(stmt: Statement) -> SelectBlock {
 }
 
 #[test]
+fn pathological_nesting_is_a_parse_error_not_a_stack_overflow() {
+    // Ten thousand opening parens used to overflow the recursive-descent
+    // stack and kill the whole process; now it fails the one statement.
+    let deep_parens = format!("SEL {}1{}", "(".repeat(10_000), ")".repeat(10_000));
+    let err = parse_statements(&deep_parens, Dialect::Teradata).unwrap_err();
+    assert!(err.message.contains("nesting"), "{err}");
+
+    let deep_subqueries =
+        format!("{}SELECT 1 FROM T{}", "SELECT * FROM (".repeat(10_000), ")".repeat(10_000));
+    let err = parse_statements(&deep_subqueries, Dialect::Ansi).unwrap_err();
+    assert!(err.message.contains("nesting"), "{err}");
+
+    // Deep-but-reasonable nesting still parses.
+    let fine = format!("SEL {}1{}", "(".repeat(40), ")".repeat(40));
+    assert!(parse_statements(&fine, Dialect::Teradata).is_ok());
+}
+
+#[test]
 fn paper_example_1_parses() {
     // Example 1 from the paper: SEL, named expressions, QUALIFY, ORDER BY
     // before WHERE.

@@ -130,12 +130,38 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Block until notified or `timeout` elapses; returns whether the wait
+    /// timed out (parking_lot's `wait_for` shape).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => p.into_inner(),
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Result of a timed [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -157,6 +183,16 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
+        drop(g);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Gateway admission control: bounded FIFO queueing in front of a
+//! concurrency cap.
+//!
+//! Cloud warehouses queue excess work into workload-management slots
+//! (modeled by `hyperq-engine`'s `Slots`); the gateway mirrors that shape at
+//! its own front door instead of hard-rejecting the moment a cap is hit.
+//! Connections and statements beyond the cap wait in a bounded FIFO for up
+//! to `admission_timeout` before being shed with a distinct wire error, so
+//! a short burst rides through while sustained overload still fails fast
+//! and visibly.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hyperq_obs::{Counter, Gauge, Histogram, ObsContext};
+use parking_lot::{Condvar, Mutex};
+
+/// Admission-queue tuning for the gateway.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Connections allowed to wait beyond `max_connections` before
+    /// queue-full shedding. `0` restores the pre-queue hard reject.
+    pub connection_queue: usize,
+    /// Cap on statements executing concurrently across the whole gateway;
+    /// `None` leaves statement concurrency to the backend.
+    pub statement_slots: Option<usize>,
+    /// Statements allowed to wait beyond `statement_slots`.
+    pub statement_queue: usize,
+    /// How long a queued connection or statement may wait before it is shed.
+    pub admission_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            connection_queue: 64,
+            statement_slots: None,
+            statement_queue: 64,
+            admission_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a request was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was already full on arrival.
+    QueueFull,
+    /// The request queued but `admission_timeout` elapsed first.
+    Timeout,
+}
+
+impl ShedReason {
+    /// Stable lowercase name, used as a metric label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Timeout => "timeout",
+        }
+    }
+
+    /// The TDWP error code the gateway surfaces for this shed reason —
+    /// distinct from the 3134 "at capacity" hard reject.
+    pub fn wire_code(self) -> u16 {
+        match self {
+            ShedReason::QueueFull => 3136,
+            ShedReason::Timeout => 3135,
+        }
+    }
+}
+
+struct GateState {
+    in_use: usize,
+    /// FIFO of waiting tickets; the front ticket owns the next free slot.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// A bounded-FIFO admission gate: up to `capacity` holders, up to
+/// `max_waiting` queued, first come first served, timed out waiters shed.
+pub struct AdmissionGate {
+    /// Gate label in metrics: `connection` or `statement`.
+    name: &'static str,
+    capacity: usize,
+    max_waiting: usize,
+    timeout: Duration,
+    state: Mutex<GateState>,
+    freed: Condvar,
+    depth: Arc<Gauge>,
+    wait: Arc<Histogram>,
+    admitted: Arc<Counter>,
+    queued: Arc<Counter>,
+    shed_full: Arc<Counter>,
+    shed_timeout: Arc<Counter>,
+}
+
+impl AdmissionGate {
+    pub fn new(
+        name: &'static str,
+        capacity: usize,
+        max_waiting: usize,
+        timeout: Duration,
+        obs: &ObsContext,
+    ) -> Arc<AdmissionGate> {
+        let m = &obs.metrics;
+        let labels = &[("gate", name)][..];
+        let shed = |reason: ShedReason| {
+            m.counter(
+                "hyperq_admission_shed_total",
+                &[("gate", name), ("reason", reason.as_str())],
+            )
+        };
+        Arc::new(AdmissionGate {
+            name,
+            capacity: capacity.max(1),
+            max_waiting,
+            timeout,
+            state: Mutex::new(GateState { in_use: 0, queue: VecDeque::new(), next_ticket: 0 }),
+            freed: Condvar::new(),
+            depth: m.gauge("hyperq_admission_queue_depth", labels),
+            wait: m.histogram("hyperq_admission_wait_seconds", labels),
+            admitted: m.counter("hyperq_admission_admitted_total", labels),
+            queued: m.counter("hyperq_admission_queued_total", labels),
+            shed_full: shed(ShedReason::QueueFull),
+            shed_timeout: shed(ShedReason::Timeout),
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquire a slot, queueing (bounded, FIFO) when the gate is at
+    /// capacity. Returns the permit, or the reason the request was shed.
+    pub fn try_admit(self: &Arc<Self>) -> Result<AdmissionPermit, ShedReason> {
+        let mut state = self.state.lock();
+        if state.in_use < self.capacity && state.queue.is_empty() {
+            state.in_use += 1;
+            self.admitted.inc();
+            self.wait.record(Duration::ZERO);
+            return Ok(AdmissionPermit { gate: Arc::clone(self) });
+        }
+        if state.queue.len() >= self.max_waiting {
+            self.shed_full.inc();
+            return Err(ShedReason::QueueFull);
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(ticket);
+        self.queued.inc();
+        self.depth.add(1);
+        let enqueued = Instant::now();
+        let deadline = enqueued + self.timeout;
+        loop {
+            if state.queue.front() == Some(&ticket) && state.in_use < self.capacity {
+                state.queue.pop_front();
+                state.in_use += 1;
+                self.depth.sub(1);
+                self.admitted.inc();
+                self.wait.record(enqueued.elapsed());
+                // The next waiter may also be admittable (several slots can
+                // free while the front waiter is scheduled out).
+                self.freed.notify_all();
+                return Ok(AdmissionPermit { gate: Arc::clone(self) });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                state.queue.retain(|t| *t != ticket);
+                self.depth.sub(1);
+                self.shed_timeout.inc();
+                self.wait.record(enqueued.elapsed());
+                // Removing a (possibly front) waiter can unblock the one
+                // behind it.
+                self.freed.notify_all();
+                return Err(ShedReason::Timeout);
+            }
+            self.freed.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock();
+        state.in_use = state.in_use.saturating_sub(1);
+        drop(state);
+        self.freed.notify_all();
+    }
+
+    /// Current queue length (tests / diagnostics).
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Currently admitted holders (tests / diagnostics).
+    pub fn in_use(&self) -> usize {
+        self.state.lock().in_use
+    }
+}
+
+/// RAII admission slot: releasing wakes the next queued waiter.
+pub struct AdmissionPermit {
+    gate: Arc<AdmissionGate>,
+}
+
+impl std::fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPermit").field("gate", &self.gate.name).finish()
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(capacity: usize, queue: usize, timeout_ms: u64) -> Arc<AdmissionGate> {
+        AdmissionGate::new(
+            "statement",
+            capacity,
+            queue,
+            Duration::from_millis(timeout_ms),
+            &ObsContext::new(),
+        )
+    }
+
+    #[test]
+    fn admits_up_to_capacity_without_queueing() {
+        let g = gate(2, 4, 50);
+        let a = g.try_admit().unwrap();
+        let b = g.try_admit().unwrap();
+        assert_eq!(g.in_use(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn queue_full_sheds_immediately() {
+        let g = gate(1, 0, 1_000);
+        let _held = g.try_admit().unwrap();
+        let t0 = Instant::now();
+        assert_eq!(g.try_admit().unwrap_err(), ShedReason::QueueFull);
+        assert!(t0.elapsed() < Duration::from_millis(500), "no waiting on a full queue");
+    }
+
+    #[test]
+    fn queued_waiter_sheds_only_after_timeout() {
+        let g = gate(1, 4, 60);
+        let _held = g.try_admit().unwrap();
+        let t0 = Instant::now();
+        assert_eq!(g.try_admit().unwrap_err(), ShedReason::Timeout);
+        assert!(t0.elapsed() >= Duration::from_millis(55), "shed before admission_timeout");
+        assert_eq!(g.queue_depth(), 0, "timed-out waiter leaves the queue");
+    }
+
+    #[test]
+    fn released_slot_admits_queued_waiter_fifo() {
+        let g = gate(1, 8, 2_000);
+        let held = g.try_admit().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut workers = Vec::new();
+        for i in 0..3 {
+            let g2 = Arc::clone(&g);
+            let order2 = Arc::clone(&order);
+            workers.push(std::thread::spawn(move || {
+                // Stagger arrivals so the FIFO order is deterministic.
+                std::thread::sleep(Duration::from_millis(20 * (i as u64 + 1)));
+                let permit = g2.try_admit().unwrap();
+                order2.lock().push(i);
+                drop(permit);
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        drop(held);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2], "admission must be first come first served");
+    }
+}

@@ -45,11 +45,43 @@ impl Default for ConverterConfig {
     }
 }
 
+/// RAII handle to one spill file: the file is deleted when the handle
+/// drops — after streaming, on partial consumption, on an error mid-spill,
+/// and when a `ConvertedResult` is abandoned without being read. No path
+/// escapes this type, so no code path can forget the cleanup.
+pub struct SpillFile {
+    path: PathBuf,
+}
+
+impl SpillFile {
+    /// Create the file and its guard together; if any later step fails, the
+    /// guard's drop removes whatever was written.
+    fn create(path: PathBuf) -> Result<(File, SpillFile), String> {
+        let file = File::create(&path).map_err(|e| format!("spill create failed: {e}"))?;
+        Ok((file, SpillFile { path }))
+    }
+
+    fn open(&self) -> std::io::Result<File> {
+        File::open(&self.path)
+    }
+
+    /// Where the rows were spilled (diagnostics).
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// One converted chunk: client-format row frames, in memory or spilled.
 pub enum Chunk {
     Mem(Vec<Vec<u8>>),
-    /// Spill file path + number of rows it holds.
-    Spilled(PathBuf, usize),
+    /// Spill file guard + number of rows it holds.
+    Spilled(SpillFile, usize),
 }
 
 /// The converted result, ready for the Protocol Handler to package into
@@ -63,7 +95,9 @@ pub struct ConvertedResult {
 
 impl ConvertedResult {
     /// Stream every converted row frame, reading spill files back on
-    /// demand, and delete them afterwards.
+    /// demand. Spill files are deleted by their [`SpillFile`] guards — as
+    /// each chunk finishes streaming, and for the rest when `self` drops on
+    /// an early error.
     pub fn for_each_row(
         mut self,
         mut f: impl FnMut(&[u8]) -> std::io::Result<()>,
@@ -75,8 +109,8 @@ impl ConvertedResult {
                         f(&r)?;
                     }
                 }
-                Chunk::Spilled(path, _) => {
-                    let mut file = File::open(&path)?;
+                Chunk::Spilled(spill, _) => {
+                    let mut file = spill.open()?;
                     let mut data = Vec::new();
                     file.read_to_end(&mut data)?;
                     let mut cursor = &data[..];
@@ -87,22 +121,10 @@ impl ConvertedResult {
                         f(&cursor[4..4 + len])?;
                         cursor = &cursor[4 + len..];
                     }
-                    let _ = std::fs::remove_file(&path);
                 }
             }
         }
         Ok(())
-    }
-}
-
-impl Drop for ConvertedResult {
-    fn drop(&mut self) {
-        // Remove any spill files that were never consumed.
-        for chunk in &self.chunks {
-            if let Chunk::Spilled(path, _) = chunk {
-                let _ = std::fs::remove_file(path);
-            }
-        }
     }
 }
 
@@ -178,8 +200,10 @@ pub fn convert(
                 std::process::id(),
                 crate::auth::fresh_salt()
             ));
-            let mut file =
-                File::create(&path).map_err(|e| format!("spill create failed: {e}"))?;
+            // The guard is created with the file: if a write fails here (or
+            // a later chunk fails to spill), dropping `chunks`/`guard`
+            // removes every file already on disk.
+            let (mut file, guard) = SpillFile::create(path)?;
             let n = chunk_rows.len();
             for r in &chunk_rows {
                 file.write_all(&(r.len() as u32).to_le_bytes())
@@ -187,7 +211,7 @@ pub fn convert(
                     .map_err(|e| format!("spill write failed: {e}"))?;
             }
             spilled_chunks += 1;
-            chunks.push(Chunk::Spilled(path, n));
+            chunks.push(Chunk::Spilled(guard, n));
         }
     }
     Ok(ConvertedResult { header, total_rows, chunks, spilled_chunks })
@@ -339,5 +363,60 @@ mod tests {
         let r = convert(&schema(), &[], &ConverterConfig::default()).unwrap();
         assert_eq!(r.total_rows, 0);
         assert!(collect(r).is_empty());
+    }
+
+    /// A fresh directory only this test writes to, so emptiness checks are
+    /// exact instead of counting against a shared temp dir.
+    fn private_spill_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hyperq_spill_test_{tag}_{}_{}",
+            std::process::id(),
+            crate::auth::fresh_salt()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spilling_config(dir: &std::path::Path) -> ConverterConfig {
+        ConverterConfig {
+            batch_size: 50,
+            memory_budget: 0, // every chunk spills
+            spill_dir: dir.to_path_buf(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn spill_dir_empty_after_failed_consumption() {
+        let dir = private_spill_dir("failed");
+        let result = convert(&schema(), &rows(1000), &spilling_config(&dir)).unwrap();
+        assert!(result.spilled_chunks > 1, "need several spill files on disk");
+        // The consumer dies mid-stream: the chunk being streamed AND the
+        // chunks never reached must all be cleaned up by their guards.
+        let err = result
+            .for_each_row(|_| Err(std::io::Error::other("client hung up")))
+            .unwrap_err();
+        assert_eq!(err.to_string(), "client hung up");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "failed conversion must leave the spill dir empty"
+        );
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn spill_dir_empty_after_unconsumed_result_drops() {
+        let dir = private_spill_dir("dropped");
+        let result = convert(&schema(), &rows(1000), &spilling_config(&dir)).unwrap();
+        assert!(result.spilled_chunks > 0);
+        assert!(std::fs::read_dir(&dir).unwrap().count() > 0, "files exist while live");
+        drop(result);
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "abandoned result must leave the spill dir empty"
+        );
+        let _ = std::fs::remove_dir(&dir);
     }
 }

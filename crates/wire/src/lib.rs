@@ -15,11 +15,14 @@
 //!   conversion with spill-to-disk,
 //! * [`server`] — the TCP gateway: one Hyper-Q session per connection, with
 //!   per-stage timing (the Figure 9 instrumentation),
+//! * [`admission`] — bounded-FIFO admission queueing in front of the
+//!   gateway's connection and statement caps,
 //! * [`client`] — a `bteq`-style client for tests, examples and the stress
 //!   benchmark.
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod auth;
 pub mod client;
 pub mod convert;
@@ -27,6 +30,7 @@ pub mod message;
 pub mod server;
 pub mod tdf;
 
+pub use admission::{AdmissionConfig, AdmissionGate, AdmissionPermit, ShedReason};
 pub use client::{Client, ClientResultSet};
 pub use convert::{convert, ConverterConfig};
 pub use message::{Message, WireError};

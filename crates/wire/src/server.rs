@@ -15,11 +15,12 @@ use std::time::{Duration, Instant};
 use hyperq_core::backend::Backend;
 use hyperq_core::capability::TargetCapabilities;
 use hyperq_core::resilience::{ResilienceConfig, ResilientBackend};
-use hyperq_core::{AnalyzeMode, HyperQ, ObsContext};
+use hyperq_core::{AnalyzeMode, HyperQ, ObsContext, TXN_ABORT_MESSAGE};
 use hyperq_obs::io::{CountingReader, CountingWriter};
 use hyperq_obs::Gauge;
 use parking_lot::Mutex;
 
+use crate::admission::{AdmissionConfig, AdmissionGate, ShedReason};
 use crate::auth::{fresh_salt, Credentials};
 use crate::convert::{convert_traced, ConverterConfig};
 use crate::message::{Message, WireError};
@@ -102,6 +103,12 @@ pub struct GatewayConfig {
     /// defaults to `LogOnly`: violations are counted in the metrics
     /// registry but never fail live traffic. CI and tests run `Strict`.
     pub analyze: AnalyzeMode,
+    /// Admission queueing in front of the connection cap (and optionally a
+    /// statement-concurrency cap): excess work waits in a bounded FIFO for
+    /// up to `admission_timeout` before being shed with a distinct wire
+    /// error. `None` (or a zero-length connection queue) hard-rejects at
+    /// the cap like the pre-queue gateway.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -115,6 +122,7 @@ impl Default for GatewayConfig {
             drain_timeout: Duration::ZERO,
             resilience: Some(ResilienceConfig::default()),
             analyze: AnalyzeMode::LogOnly,
+            admission: Some(AdmissionConfig::default()),
         }
     }
 }
@@ -127,6 +135,12 @@ pub struct Gateway {
     shutdown: AtomicBool,
     connections: AtomicU64,
     active: AtomicUsize,
+    /// Connection admission queue (capacity = `max_connections`); `None`
+    /// falls back to the hard reject.
+    conn_gate: Option<Arc<AdmissionGate>>,
+    /// Statement admission queue across all sessions; `None` leaves
+    /// statement concurrency to the backend.
+    stmt_gate: Option<Arc<AdmissionGate>>,
 }
 
 /// Decrements the gateway's active-session count when a worker exits,
@@ -157,6 +171,30 @@ impl Gateway {
             }
             None => backend,
         };
+        let obs = ObsContext::global();
+        let (conn_gate, stmt_gate) = match &config.admission {
+            Some(adm) => (
+                (adm.connection_queue > 0).then(|| {
+                    AdmissionGate::new(
+                        "connection",
+                        config.max_connections,
+                        adm.connection_queue,
+                        adm.admission_timeout,
+                        obs,
+                    )
+                }),
+                adm.statement_slots.map(|slots| {
+                    AdmissionGate::new(
+                        "statement",
+                        slots,
+                        adm.statement_queue,
+                        adm.admission_timeout,
+                        obs,
+                    )
+                }),
+            ),
+            None => (None, None),
+        };
         Arc::new(Gateway {
             backend,
             config,
@@ -164,6 +202,8 @@ impl Gateway {
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             active: AtomicUsize::new(0),
+            conn_gate,
+            stmt_gate,
         })
     }
 
@@ -191,6 +231,28 @@ impl Gateway {
                     Ok((stream, _)) => {
                         backoff = ACCEPT_BACKOFF_MIN;
                         stream.set_nonblocking(false).ok();
+                        if let Some(gate) = &g.conn_gate {
+                            // Admission may queue up to `admission_timeout`;
+                            // wait on the worker thread so the acceptor
+                            // never blocks behind a full gateway.
+                            let gate = Arc::clone(gate);
+                            let g2 = Arc::clone(&g);
+                            let rejected = Arc::clone(&rejected);
+                            std::thread::spawn(move || match gate.try_admit() {
+                                Ok(permit) => {
+                                    g2.active.fetch_add(1, Ordering::Relaxed);
+                                    let _guard = ActiveGuard(Arc::clone(&g2));
+                                    let _permit = permit;
+                                    g2.connections.fetch_add(1, Ordering::Relaxed);
+                                    let _ = g2.handle_connection(stream);
+                                }
+                                Err(reason) => {
+                                    rejected.inc();
+                                    g2.shed_connection(stream, reason);
+                                }
+                            });
+                            continue;
+                        }
                         if g.active.fetch_add(1, Ordering::Relaxed) >= g.config.max_connections {
                             g.active.fetch_sub(1, Ordering::Relaxed);
                             rejected.inc();
@@ -245,6 +307,36 @@ impl Gateway {
             ),
         }
         .write_to(&mut writer);
+        use std::io::Write as _;
+        let _ = writer.flush();
+    }
+
+    /// Turn away a connection the admission queue could not seat: same
+    /// read-pending-logon-then-error shape as [`Gateway::reject_connection`],
+    /// but with a per-reason wire code so clients can tell "queue overflowed
+    /// instantly" from "waited `admission_timeout` and gave up".
+    fn shed_connection(&self, stream: TcpStream, reason: ShedReason) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+        if let Ok(mut reader) = stream.try_clone() {
+            let _ = Message::read_from(&mut reader);
+        }
+        let mut writer = BufWriter::new(stream);
+        let message = match reason {
+            ShedReason::QueueFull => format!(
+                "gateway at capacity ({} sessions) and admission queue full; try again later",
+                self.config.max_connections
+            ),
+            ShedReason::Timeout => format!(
+                "gateway at capacity ({} sessions); admission wait exceeded {:?}",
+                self.config.max_connections,
+                self.config
+                    .admission
+                    .as_ref()
+                    .map(|a| a.admission_timeout)
+                    .unwrap_or_default()
+            ),
+        };
+        let _ = Message::ErrorResponse { code: reason.wire_code(), message }.write_to(&mut writer);
         use std::io::Write as _;
         let _ = writer.flush();
     }
@@ -308,6 +400,29 @@ impl Gateway {
             match Message::read_from(&mut reader) {
                 Ok(Message::SqlRequest { sql }) => {
                     queries.inc();
+                    // Statement admission: the permit spans translation,
+                    // execution and conversion, so `statement_slots` caps
+                    // gateway-wide statement concurrency end to end.
+                    let _stmt_permit = match &self.stmt_gate {
+                        Some(gate) => match gate.try_admit() {
+                            Ok(permit) => Some(permit),
+                            Err(reason) => {
+                                errors.inc();
+                                Message::ErrorResponse {
+                                    code: reason.wire_code(),
+                                    message: format!(
+                                        "statement shed by admission control ({}); try again later",
+                                        reason.as_str()
+                                    ),
+                                }
+                                .write_to(&mut writer)?;
+                                Message::EndRequest.write_to(&mut writer)?;
+                                writer.flush()?;
+                                continue;
+                            }
+                        },
+                        None => None,
+                    };
                     let mut request_stats = WireStats { requests: 1, ..Default::default() };
                     match hq.run_script(&sql) {
                         Ok(outcomes) => {
@@ -369,8 +484,13 @@ impl Gateway {
                         }
                         Err(e) => {
                             errors.inc();
-                            Message::ErrorResponse { code: 3807, message: e.to_string() }
-                                .write_to(&mut writer)?;
+                            let message = e.to_string();
+                            // A mid-transaction connection loss surfaces as
+                            // its own code: the session is usable again, but
+                            // the client must re-run the whole transaction.
+                            let code =
+                                if message.contains(TXN_ABORT_MESSAGE) { 2631 } else { 3807 };
+                            Message::ErrorResponse { code, message }.write_to(&mut writer)?;
                             Message::EndRequest.write_to(&mut writer)?;
                         }
                     }

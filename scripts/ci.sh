@@ -26,6 +26,13 @@ cargo test -q --offline --test analyze_strict
 # Validator metrics must surface in the exposition formats end to end.
 cargo test -q --offline --test observability validator_metrics_appear_in_exposition
 
+# Session continuity: the bounded chaos soak (kill-laden run must match a
+# fault-free baseline byte for byte, in-transaction kills abort exactly
+# once, overload sheds cleanly). Bounded well under 60s; the full
+# multi-config soak runs with `cargo test --test soak -- --ignored`.
+cargo test -q --offline --test soak
+cargo test -q --offline --test observability recovery_and_admission_metrics_appear_in_exposition
+
 # No unsafe code outside the vendored shims: every workspace crate roots
 # a `#![forbid(unsafe_code)]`, and nothing sneaks an `unsafe` block in.
 for lib in src/lib.rs crates/xtra/src/lib.rs crates/parser/src/lib.rs \

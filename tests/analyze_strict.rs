@@ -91,3 +91,42 @@ fn health_workload_passes_strict_analysis() {
 fn telco_workload_passes_strict_analysis() {
     run_strict(&telco(0.02));
 }
+
+/// A session that loses its backend mid-corpus and recovers transparently
+/// must keep passing strict analysis: the replayed journal restores the
+/// session environment, and every statement after the reconnect still
+/// crosses both validation boundaries with zero violations.
+#[test]
+fn recovered_session_passes_strict_analysis() {
+    use hyperq::core::backend::testing::{FaultInjectingBackend, FaultPlan};
+    use hyperq::core::backend::BackendErrorKind;
+
+    let db = Arc::new(EngineDb::new());
+    for ddl in tpch::ddl() {
+        db.execute_sql(&ddl).unwrap();
+    }
+    for (table, rows) in tpch::generate(SCALE, 1234).tables() {
+        db.load_rows(table, rows).unwrap();
+    }
+    let fault = FaultInjectingBackend::wrap(db as Arc<dyn Backend>, FaultPlan::none());
+    let obs = ObsContext::new();
+    let mut hq = HyperQ::with_obs(
+        Arc::clone(&fault) as Arc<dyn Backend>,
+        TargetCapabilities::simwh(),
+        Arc::clone(&obs),
+    )
+    .with_analysis(AnalyzeMode::Strict);
+
+    // Establish journaled session state, then kill the connection under
+    // every remaining TPC-H query so each one rides through a recovery.
+    hq.run_one("SET SESSION DATEFORM = 'ANSIDATE'").unwrap();
+    for (n, sql) in tpch::queries() {
+        fault.set_plan(FaultPlan::fail_n_then_succeed(1, BackendErrorKind::ConnectionLost));
+        hq.run_one(sql)
+            .unwrap_or_else(|e| panic!("Q{n} failed strict analysis after recovery: {e}"));
+    }
+
+    let recoveries = obs.metrics.counter_value("hyperq_recovery_success_total", &[]);
+    assert!(recoveries >= 22, "expected a recovery per query, saw {recoveries}");
+    assert_violation_free(&obs);
+}

@@ -334,3 +334,62 @@ fn slow_query_log_captures_span_tree() {
         assert!(tree.contains(&format!("  {stage} ")), "{stage} missing in:\n{tree}");
     }
 }
+
+/// A session that survives a backend kill and a gate that sheds a waiter
+/// must both surface in the Prometheus exposition: the
+/// `hyperq_recovery_*` family with the replayed-entry breakdown, and the
+/// `hyperq_admission_*` family with gate and shed-reason labels.
+#[test]
+fn recovery_and_admission_metrics_appear_in_exposition() {
+    use hyperq::core::backend::testing::{FaultInjectingBackend, FaultPlan};
+    use hyperq::core::backend::BackendErrorKind;
+    use hyperq::wire::AdmissionGate;
+
+    let obs = ObsContext::new();
+
+    // Drive one transparent recovery: journal a session setting, then kill
+    // the connection under the next query so the session reconnects and
+    // replays the setting before re-issuing the query.
+    let db = load();
+    let fault = FaultInjectingBackend::wrap(db as Arc<dyn Backend>, FaultPlan::none());
+    let plan_handle = Arc::clone(&fault);
+    let mut hq = HyperQ::with_obs(
+        fault as Arc<dyn Backend>,
+        TargetCapabilities::simwh(),
+        Arc::clone(&obs),
+    );
+    hq.run_one("SET SESSION DATEFORM = 'ANSIDATE'").unwrap();
+    plan_handle.set_plan(FaultPlan::fail_n_then_succeed(1, BackendErrorKind::ConnectionLost));
+    hq.run_one("SEL COUNT(*) FROM LINEITEM").unwrap();
+    assert_eq!(obs.metrics.counter_value("hyperq_recovery_success_total", &[]), 1);
+
+    // Drive one admission shed: hold the only slot, let a waiter time out,
+    // then admit it after the slot frees.
+    let gate = AdmissionGate::new("statement", 1, 1, Duration::from_millis(20), &obs);
+    let held = gate.try_admit().unwrap();
+    assert!(gate.try_admit().is_err(), "waiter must shed after admission_timeout");
+    drop(held);
+    drop(gate.try_admit().unwrap());
+
+    let prom = obs.metrics.render_prometheus();
+    for series in [
+        "hyperq_recovery_attempts_total 1",
+        "hyperq_recovery_success_total 1",
+        "hyperq_recovery_replayed_entries_total{kind=\"setting\"} 1",
+        "hyperq_recovery_duration_seconds_count 1",
+        "hyperq_admission_admitted_total{gate=\"statement\"} 2",
+        "hyperq_admission_queued_total{gate=\"statement\"} 1",
+        "hyperq_admission_shed_total{gate=\"statement\",reason=\"timeout\"} 1",
+        "hyperq_admission_shed_total{gate=\"statement\",reason=\"queue_full\"} 0",
+        "hyperq_admission_queue_depth{gate=\"statement\"} 0",
+        // Two immediate admits record a zero wait; the timed-out waiter
+        // records its full queue time.
+        "hyperq_admission_wait_seconds_count{gate=\"statement\"} 3",
+    ] {
+        assert!(prom.contains(series), "missing series `{series}` in exposition:\n{prom}");
+    }
+    // The JSON snapshot carries the same families.
+    let json = obs.metrics.render_json();
+    assert!(json.contains("hyperq_recovery_success_total"));
+    assert!(json.contains("hyperq_admission_shed_total"));
+}

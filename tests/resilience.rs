@@ -13,7 +13,7 @@ use hyperq::core::resilience::{
 };
 use hyperq::core::{Backend, HyperQ, ObsContext};
 use hyperq::engine::EngineDb;
-use hyperq::wire::{Client, Gateway, GatewayConfig};
+use hyperq::wire::{AdmissionConfig, Client, Gateway, GatewayConfig};
 use hyperq::workload::tpch;
 use hyperq::xtra::datum::Datum;
 
@@ -181,9 +181,11 @@ fn gateway_retries_transient_backend_faults_transparently() {
 
 #[test]
 fn connections_over_the_cap_are_rejected_gracefully() {
+    // `admission: None` exercises the legacy hard reject: over-cap
+    // connections fail immediately with code 3134 instead of queueing.
     let handle = Gateway::spawn(
         sales_db() as Arc<dyn Backend>,
-        GatewayConfig { max_connections: 1, ..Default::default() },
+        GatewayConfig { max_connections: 1, admission: None, ..Default::default() },
     )
     .unwrap();
     let mut first = Client::connect(handle.addr, "APP", "secret").unwrap();
@@ -194,6 +196,7 @@ fn connections_over_the_cap_are_rejected_gracefully() {
         Ok(_) => panic!("second connection must be rejected at capacity"),
     };
     assert!(err.to_string().contains("capacity"), "{err}");
+    assert!(err.to_string().contains("[3134]"), "hard reject keeps its own code: {err}");
 
     // The rejected connection freed nothing: the first session still works,
     // and once it logs off a new connection is admitted.
@@ -213,6 +216,144 @@ fn connections_over_the_cap_are_rejected_gracefully() {
             Err(e) => panic!("slot never freed after logoff: {e}"),
         }
     }
+    handle.shutdown();
+}
+
+#[test]
+fn queued_connection_is_admitted_when_a_slot_frees() {
+    let handle = Gateway::spawn(
+        sales_db() as Arc<dyn Backend>,
+        GatewayConfig {
+            max_connections: 1,
+            admission: Some(AdmissionConfig {
+                admission_timeout: Duration::from_secs(5),
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut first = Client::connect(handle.addr, "APP", "secret").unwrap();
+    first.run("SEL COUNT(*) FROM SALES").unwrap();
+
+    // The second connection queues instead of being rejected; once the
+    // first session logs off it is admitted and fully usable.
+    let addr = handle.addr;
+    let waiter = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, "APP", "secret").unwrap();
+        let rows = c.run("SEL COUNT(*) FROM SALES").unwrap();
+        c.logoff().unwrap();
+        rows[0].rows[0][0].clone()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    first.logoff().unwrap();
+    let count = waiter.join().unwrap();
+    assert_eq!(count, Datum::Int(3), "queued connection must run normally once admitted");
+    handle.shutdown();
+}
+
+#[test]
+fn queued_connection_sheds_with_distinct_code_after_admission_timeout() {
+    let timeout = Duration::from_millis(200);
+    let handle = Gateway::spawn(
+        sales_db() as Arc<dyn Backend>,
+        GatewayConfig {
+            max_connections: 1,
+            admission: Some(AdmissionConfig {
+                connection_queue: 1,
+                admission_timeout: timeout,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut first = Client::connect(handle.addr, "APP", "secret").unwrap();
+    first.run("SEL COUNT(*) FROM SALES").unwrap();
+
+    // Second connection queues, waits out the admission timeout, and is
+    // shed with the timeout code — not the instant hard reject.
+    let t0 = std::time::Instant::now();
+    let err = match Client::connect(handle.addr, "APP", "secret") {
+        Err(e) => e,
+        Ok(_) => panic!("second connection must be shed after the admission timeout"),
+    };
+    assert!(t0.elapsed() >= timeout, "shed before admission_timeout elapsed: {err}");
+    assert!(err.to_string().contains("[3135]"), "timeout shed carries its own code: {err}");
+
+    // A full queue sheds immediately with the queue-full code: occupy the
+    // single queue slot with a background waiter, then race a third
+    // connection against it.
+    let addr = handle.addr;
+    let queued = std::thread::spawn(move || Client::connect(addr, "APP", "secret"));
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = std::time::Instant::now();
+    let err = match Client::connect(handle.addr, "APP", "secret") {
+        Err(e) => e,
+        Ok(_) => panic!("third connection must be shed queue-full"),
+    };
+    assert!(err.to_string().contains("[3136]"), "queue-full shed carries its own code: {err}");
+    assert!(t0.elapsed() < timeout, "queue-full shed must not wait out the timeout");
+    assert!(queued.join().unwrap().is_err(), "background waiter itself times out");
+
+    // The session that held the slot the whole time is unaffected.
+    first.run("SEL COUNT(*) FROM SALES").unwrap();
+    first.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn statement_admission_cap_queues_and_sheds() {
+    let handle = Gateway::spawn(
+        sales_db() as Arc<dyn Backend>,
+        GatewayConfig {
+            admission: Some(AdmissionConfig {
+                statement_slots: Some(1),
+                statement_queue: 0,
+                admission_timeout: Duration::from_millis(200),
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // One slot and no queue: while a slow statement holds the slot, a
+    // concurrent statement is shed with the queue-full code, and the
+    // session that was shed stays usable afterwards.
+    let addr = handle.addr;
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, "APP", "secret").unwrap();
+        // SLEEP is not in the dialect; a self-join is slow enough to hold
+        // the slot while the other session collides with it.
+        let _ = c.run(
+            "SEL COUNT(*) FROM SALES A, SALES B, SALES C, SALES D, SALES E, SALES F, SALES G",
+        );
+        c.logoff().unwrap();
+    });
+    let mut other = Client::connect(handle.addr, "APP", "secret").unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let mut shed_seen = false;
+    for _ in 0..20 {
+        match other.run("SEL COUNT(*) FROM SALES") {
+            Ok(_) => {}
+            Err(e) => {
+                let text = e.to_string();
+                assert!(
+                    text.contains("[3136]") || text.contains("[3135]"),
+                    "statement shed must carry an admission code: {text}"
+                );
+                shed_seen = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    slow.join().unwrap();
+    // Whether or not the race produced a shed (the slow statement may
+    // finish first on a fast machine), the session must still work.
+    other.run("SEL COUNT(*) FROM SALES").unwrap();
+    other.logoff().unwrap();
+    let _ = shed_seen;
     handle.shutdown();
 }
 
