@@ -13,7 +13,7 @@ use hyperq_core::binder::Binder;
 use hyperq_core::capability::TargetCapabilities;
 use hyperq_core::session::{SessionState, ShadowCatalog};
 use hyperq_core::transform::Transformer;
-use hyperq_core::HyperQ;
+use hyperq_core::HyperQBuilder;
 use hyperq_engine::EngineDb;
 use hyperq_parser::{parse_one, Dialect};
 use hyperq_wire::{convert, ConverterConfig};
@@ -132,10 +132,10 @@ fn bench_dml_batching(c: &mut Criterion) {
                 || {
                     let db = EngineDb::new();
                     db.execute_sql("CREATE TABLE EVENTS (K INTEGER)").unwrap();
-                    let mut hq = HyperQ::new(
+                    let mut hq = HyperQBuilder::new(
                         Arc::new(db) as Arc<dyn Backend>,
                         TargetCapabilities::simwh(),
-                    );
+                    ).no_cache().build();
                     hq.dml_batching = batching;
                     hq
                 },

@@ -1,0 +1,89 @@
+//! Translation-cache benchmark: cold vs warm per-statement translation
+//! latency over the TPC-H corpus, plus the aggregate hit rate of a
+//! TPC-H×10 replay through one cache-enabled session. Writes
+//! `BENCH_cache.json` at the repo root (override dir with `BENCH_OUT`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hyperq_bench::harness::{load_tpch, scale_from_env};
+use hyperq_core::{Backend, HyperQBuilder, ObsContext, TargetCapabilities};
+use hyperq_workload::tpch;
+
+const WARM_REPEATS: usize = 5;
+const REPLAY_ROUNDS: usize = 10;
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let db = load_tpch(scale, None);
+
+    // Per-query cold (cache-off pipeline, min of repeats) vs warm (cache
+    // hit, min of repeats after the populating run) translation latency.
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (n, sql) in tpch::queries() {
+        let mut cold_hq =
+            HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+                .no_cache()
+                .build();
+        let mut cold = f64::MAX;
+        for _ in 0..WARM_REPEATS {
+            let o = cold_hq.run_one(sql).expect("cold run");
+            cold = cold.min(micros(o.timings.translation));
+        }
+
+        let mut warm_hq =
+            HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+                .build();
+        warm_hq.run_one(sql).expect("populating run");
+        let mut warm = f64::MAX;
+        for _ in 0..WARM_REPEATS {
+            let o = warm_hq.run_one(sql).expect("warm run");
+            warm = warm.min(micros(o.timings.translation));
+        }
+        let speedup = cold / warm.max(0.001);
+        speedups.push(speedup);
+        rows.push(format!(
+            "    {{\"query\": \"Q{n}\", \"cold_translate_us\": {cold:.1}, \
+             \"warm_translate_us\": {warm:.1}, \"speedup\": {speedup:.1}}}"
+        ));
+    }
+    speedups.sort_by(|a, b| a.total_cmp(b));
+    let median_speedup = speedups[speedups.len() / 2];
+
+    // TPC-H×10 replay through one cache-enabled session: round 1 populates,
+    // rounds 2..10 replay warm.
+    let obs = ObsContext::new();
+    let mut hq =
+        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            .obs(Arc::clone(&obs))
+            .build();
+    for _ in 0..REPLAY_ROUNDS {
+        for (_, sql) in tpch::queries() {
+            hq.run_one(sql).expect("replay run");
+        }
+    }
+    let hits = obs.metrics.counter_value("hyperq_cache_hits_total", &[]);
+    let misses = obs.metrics.counter_value("hyperq_cache_misses_total", &[]);
+    let bypass = obs.metrics.counter_value("hyperq_cache_bypass_total", &[]);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"scale_factor\": {scale},\n  \"warm_repeats\": {WARM_REPEATS},\n  \
+         \"median_warm_speedup\": {median_speedup:.1},\n  \"replay\": {{\n    \
+         \"rounds\": {REPLAY_ROUNDS},\n    \"hits\": {hits},\n    \"misses\": {misses},\n    \
+         \"bypass\": {bypass},\n    \"hit_rate\": {hit_rate:.3}\n  }},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+
+    let out_dir = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../..", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{out_dir}/BENCH_cache.json");
+    std::fs::write(&path, &json).expect("write BENCH_cache.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+}

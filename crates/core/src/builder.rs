@@ -1,0 +1,215 @@
+//! The engine's front door: [`HyperQBuilder`] and the canonical
+//! [`Request`]/[`Response`] pair.
+//!
+//! Earlier revisions accreted constructors (`HyperQ::new`, `with_obs`,
+//! `with_analysis`) and three run entry points with ad-hoc shapes. The
+//! builder replaces the constructor sprawl — one place to set backend,
+//! capabilities, observability, analyze mode, translation cache and
+//! recovery policy — and `HyperQ::run(Request)` is the single execution
+//! entry point that `run_one`/`run_script`/`run_with_params` wrap, so the
+//! translation cache keys off one canonical request shape.
+
+use std::sync::Arc;
+
+use hyperq_obs::ObsContext;
+use hyperq_xtra::datum::Datum;
+
+use crate::analyze::AnalyzeMode;
+use crate::backend::Backend;
+use crate::cache::{CacheConfig, TranslationCache};
+use crate::capability::TargetCapabilities;
+use crate::crosscompiler::{BuildSpec, HyperQ, StatementResult};
+use crate::error::{HyperQError, Result};
+use crate::recover::RecoverConfig;
+
+enum CacheChoice {
+    /// A private cache with default configuration (the default: caching is
+    /// transparent, so it is on unless the caller opts out).
+    Default,
+    Disabled,
+    Config(CacheConfig),
+    Shared(Arc<TranslationCache>),
+}
+
+/// Builder for a [`HyperQ`] session.
+///
+/// ```
+/// use std::sync::Arc;
+/// use hyperq_core::backend::testing::ScriptedBackend;
+/// use hyperq_core::{HyperQBuilder, TargetCapabilities};
+///
+/// let backend = ScriptedBackend::acking(vec![]);
+/// let mut hq = HyperQBuilder::new(Arc::new(backend), TargetCapabilities::simwh()).build();
+/// assert!(hq.run_script("BEGIN TRANSACTION; COMMIT").is_ok());
+/// ```
+pub struct HyperQBuilder {
+    backend: Arc<dyn Backend>,
+    caps: TargetCapabilities,
+    obs: Option<Arc<ObsContext>>,
+    analyze: AnalyzeMode,
+    cache: CacheChoice,
+    recover: RecoverConfig,
+    dml_batching: bool,
+}
+
+impl HyperQBuilder {
+    pub fn new(backend: Arc<dyn Backend>, caps: TargetCapabilities) -> Self {
+        HyperQBuilder {
+            backend,
+            caps,
+            obs: None,
+            analyze: AnalyzeMode::default(),
+            cache: CacheChoice::Default,
+            recover: RecoverConfig::default(),
+            dml_batching: true,
+        }
+    }
+
+    /// Report into the given observability context instead of the
+    /// process-wide one (isolated metrics/traces for tests).
+    pub fn obs(mut self, obs: Arc<ObsContext>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Static-analysis mode (`LogOnly` by default).
+    pub fn analyze(mut self, mode: AnalyzeMode) -> Self {
+        self.analyze = mode;
+        self
+    }
+
+    /// Use a private translation cache with the given configuration.
+    pub fn cache(mut self, config: CacheConfig) -> Self {
+        self.cache = CacheChoice::Config(config);
+        self
+    }
+
+    /// Disable the translation cache: every statement takes the full
+    /// pipeline (benchmark baselines, ablations).
+    pub fn no_cache(mut self) -> Self {
+        self.cache = CacheChoice::Disabled;
+        self
+    }
+
+    /// Share a translation cache with other sessions (the gateway gives
+    /// every connection the same cache; per-session state is part of the
+    /// cache key, not the cache identity).
+    pub fn shared_cache(mut self, cache: Arc<TranslationCache>) -> Self {
+        self.cache = CacheChoice::Shared(cache);
+        self
+    }
+
+    /// Session-continuity (reconnect + replay) policy.
+    pub fn recovery(mut self, config: RecoverConfig) -> Self {
+        self.recover = config;
+        self
+    }
+
+    /// Toggle the single-row DML batching transformation (§4.3). On by
+    /// default; the ablation benchmark turns it off.
+    pub fn dml_batching(mut self, on: bool) -> Self {
+        self.dml_batching = on;
+        self
+    }
+
+    pub fn build(self) -> HyperQ {
+        let obs = self.obs.unwrap_or_else(|| Arc::clone(ObsContext::global()));
+        let cache = match self.cache {
+            CacheChoice::Default => {
+                Some(Arc::new(TranslationCache::new(CacheConfig::default(), &obs)))
+            }
+            CacheChoice::Disabled => None,
+            CacheChoice::Config(cfg) => Some(Arc::new(TranslationCache::new(cfg, &obs))),
+            CacheChoice::Shared(cache) => Some(cache),
+        };
+        HyperQ::from_spec(BuildSpec {
+            backend: self.backend,
+            caps: self.caps,
+            obs,
+            analyze: self.analyze,
+            cache,
+            recover: self.recover,
+            dml_batching: self.dml_batching,
+        })
+    }
+}
+
+/// Per-request options.
+#[derive(Debug, Clone, Default)]
+pub struct RequestOptions {
+    /// Skip the translation cache for this request (both lookup and
+    /// population).
+    pub bypass_cache: bool,
+}
+
+/// The canonical execution request: one SQL text (possibly a
+/// multi-statement script), optional positional parameter values, and
+/// per-request options. All `run_*` entry points lower onto this.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub sql: String,
+    /// Positional (`?`) parameter values; non-empty restricts the request
+    /// to exactly one statement (the ODBC parameterized-query shape,
+    /// §4.5).
+    pub params: Vec<Datum>,
+    pub ctx: RequestOptions,
+}
+
+impl Request {
+    /// A script of one or more statements.
+    pub fn script(sql: impl Into<String>) -> Self {
+        Request { sql: sql.into(), params: Vec::new(), ctx: RequestOptions::default() }
+    }
+
+    /// One statement with positional parameter values.
+    pub fn with_params(sql: impl Into<String>, params: Vec<Datum>) -> Self {
+        Request { sql: sql.into(), params, ctx: RequestOptions::default() }
+    }
+
+    /// Skip the translation cache for this request.
+    pub fn bypass_cache(mut self) -> Self {
+        self.ctx.bypass_cache = true;
+        self
+    }
+}
+
+/// The result of a [`Request`]: one [`StatementResult`] per statement.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub statements: Vec<StatementResult>,
+}
+
+impl Response {
+    /// The last statement's result, consuming the response (the historical
+    /// `run_one` shape: a single-statement request has exactly one).
+    pub fn into_last(self) -> Result<StatementResult> {
+        self.statements
+            .into_iter()
+            .next_back()
+            .ok_or_else(|| HyperQError::Emulation("empty statement".into()))
+    }
+
+    pub fn last(&self) -> Option<&StatementResult> {
+        self.statements.last()
+    }
+
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, StatementResult> {
+        self.statements.iter()
+    }
+}
+
+impl IntoIterator for Response {
+    type Item = StatementResult;
+    type IntoIter = std::vec::IntoIter<StatementResult>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.statements.into_iter()
+    }
+}

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hyperq_parser::ast as past;
+use hyperq_parser::fingerprint::{fingerprint, fnv1a};
 use hyperq_parser::{parse_statements, Dialect, ParsedStatement};
 use hyperq_xtra::catalog::{ColumnDef, MetadataProvider, TableDef, TableKind, ViewDef};
 use hyperq_xtra::datum::Datum;
@@ -20,6 +21,8 @@ use hyperq_obs::{Counter, Histogram, ObsContext, TraceId};
 use crate::analyze::{AnalyzeMode, Analyzer};
 use crate::backend::{Backend, ExecResult, InstrumentedBackend, RequestContext};
 use crate::binder::Binder;
+use crate::builder::{HyperQBuilder, Request, Response};
+use crate::cache::{CacheFill, CacheKey, TranslationCache};
 use crate::capability::TargetCapabilities;
 use crate::emulate;
 use crate::error::{HyperQError, Result};
@@ -39,7 +42,7 @@ pub type Timings = StageTimings;
 
 /// The outcome of one application statement.
 #[derive(Debug, Clone)]
-pub struct StatementOutcome {
+pub struct StatementResult {
     pub result: ExecResult,
     /// All tracked features observed across parse, bind and transform.
     pub features: FeatureSet,
@@ -47,10 +50,13 @@ pub struct StatementOutcome {
     /// Every SQL request sent to the target for this statement (emulated
     /// features send several).
     pub sql_sent: Vec<String>,
-    /// Trace id of the statement's span tree (set by `run_script` /
-    /// `run_with_params`; `None` for internal sub-statements).
+    /// Trace id of the statement's span tree (set by `run` and its
+    /// wrappers; `None` for internal sub-statements).
     pub trace_id: Option<TraceId>,
 }
+
+/// Backwards-compatible alias for the pre-`Response` name.
+pub type StatementOutcome = StatementResult;
 
 static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
 
@@ -124,51 +130,93 @@ pub struct HyperQ {
     /// Static-analysis driver: plan validation at stage boundaries,
     /// per-rule transformation audits, serializer round-trip checks.
     analyzer: Analyzer,
+    /// The compiled-translation cache (possibly shared with other
+    /// sessions); `None` disables caching entirely.
+    cache: Option<Arc<TranslationCache>>,
+    /// Scratch: the cacheable artifacts of the most recent
+    /// `run_pipeline_with` run, consumed by `maybe_populate`.
+    cache_seed: Option<CacheSeed>,
+    /// FNV-1a signature of the capability profile, precomputed for the
+    /// cache-key context hash.
+    caps_sig: u64,
+}
+
+/// What a successful standard-path pipeline run leaves behind for the
+/// translation cache.
+struct CacheSeed {
+    sql: String,
+    is_query: bool,
+    tables: Vec<String>,
+    /// A mid-tier emulation injected a value that changes between
+    /// executions (e.g. a `DEFAULT CURRENT_DATE` column): never cache.
+    volatile: bool,
+}
+
+/// Everything [`HyperQBuilder`] resolved for a session.
+pub(crate) struct BuildSpec {
+    pub backend: Arc<dyn Backend>,
+    pub caps: TargetCapabilities,
+    pub obs: Arc<ObsContext>,
+    pub analyze: AnalyzeMode,
+    pub cache: Option<Arc<TranslationCache>>,
+    pub recover: RecoverConfig,
+    pub dml_batching: bool,
 }
 
 impl HyperQ {
-    pub fn new(backend: Arc<dyn Backend>, caps: TargetCapabilities) -> Self {
-        Self::with_obs(backend, caps, Arc::clone(ObsContext::global()))
-    }
-
-    /// A session reporting into the given observability context instead of
-    /// the process-wide one (isolated metrics/traces for tests).
-    pub fn with_obs(
-        backend: Arc<dyn Backend>,
-        caps: TargetCapabilities,
-        obs: Arc<ObsContext>,
-    ) -> Self {
+    pub(crate) fn from_spec(spec: BuildSpec) -> Self {
         let id = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let stages = StageHandles::new(&obs, id);
-        let analyzer = Analyzer::new(AnalyzeMode::default(), &obs);
+        let stages = StageHandles::new(&spec.obs, id);
+        let analyzer = Analyzer::new(spec.analyze, &spec.obs);
         let session = SessionState::new(id, "APP");
         // Backend stack, outermost first: instrumentation sees all traffic
         // (including replay), recovery turns ConnectionLost into reconnect +
         // journal replay, and whatever policy layers the caller wrapped
         // (resilience, replication) sit below.
         let recovering = RecoveringBackend::wrap(
-            backend,
+            spec.backend,
             session.journal.clone(),
-            RecoverConfig::default(),
-            Arc::clone(&obs),
+            spec.recover,
+            Arc::clone(&spec.obs),
         );
+        let caps_sig = fnv1a(format!("{:?}", spec.caps).as_bytes());
         HyperQ {
-            backend: InstrumentedBackend::wrap(recovering, &obs),
-            caps,
-            transformer: Transformer::standard().instrumented(&obs.metrics),
+            backend: InstrumentedBackend::wrap(recovering, &spec.obs),
+            caps: spec.caps,
+            transformer: Transformer::standard().instrumented(&spec.obs.metrics),
             session,
-            dml_batching: true,
-            obs,
+            dml_batching: spec.dml_batching,
+            obs: spec.obs,
             stages,
             tracker: WorkloadTracker::new(),
             analyzer,
+            cache: spec.cache,
+            cache_seed: None,
+            caps_sig,
         }
+    }
+
+    #[deprecated(note = "use HyperQBuilder::new(backend, caps).build()")]
+    pub fn new(backend: Arc<dyn Backend>, caps: TargetCapabilities) -> Self {
+        HyperQBuilder::new(backend, caps).build()
+    }
+
+    /// A session reporting into the given observability context instead of
+    /// the process-wide one (isolated metrics/traces for tests).
+    #[deprecated(note = "use HyperQBuilder::new(backend, caps).obs(obs).build()")]
+    pub fn with_obs(
+        backend: Arc<dyn Backend>,
+        caps: TargetCapabilities,
+        obs: Arc<ObsContext>,
+    ) -> Self {
+        HyperQBuilder::new(backend, caps).obs(obs).build()
     }
 
     /// Set the static-analysis mode: `Strict` fails statements on any
     /// invariant violation, rule-audit failure, or serializer round-trip
     /// divergence (tests, CI); `LogOnly` (the default) only counts them;
     /// `Off` skips the validation walks.
+    #[deprecated(note = "use HyperQBuilder::new(backend, caps).analyze(mode).build()")]
     pub fn with_analysis(mut self, mode: AnalyzeMode) -> Self {
         self.analyzer = Analyzer::new(mode, &self.obs);
         self
@@ -183,6 +231,11 @@ impl HyperQ {
         &self.caps
     }
 
+    /// The translation cache this session consults, if caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<TranslationCache>> {
+        self.cache.as_ref()
+    }
+
     /// The observability context this session reports into.
     pub fn obs(&self) -> &Arc<ObsContext> {
         &self.obs
@@ -194,8 +247,34 @@ impl HyperQ {
         &self.tracker
     }
 
+    /// Execute one canonical [`Request`] — the single entry point behind
+    /// `run_one`, `run_script` and `run_with_params`.
+    ///
+    /// Single-statement requests without parameters first consult the
+    /// translation cache: on a hit the entire parse → bind → transform →
+    /// serialize pipeline is skipped and the cached SQL-B (with the
+    /// statement's literals re-spliced) goes straight to the backend.
+    pub fn run(&mut self, req: Request) -> Result<Response> {
+        if !req.params.is_empty() {
+            let statement = self.run_parameterized(&req.sql, &req.params)?;
+            return Ok(Response { statements: vec![statement] });
+        }
+        if !req.ctx.bypass_cache {
+            if let Some(result) = self.try_cache_fast_path(&req.sql) {
+                return result.map(|s| Response { statements: vec![s] });
+            }
+        }
+        let statements = self.run_script_slow(&req.sql, !req.ctx.bypass_cache)?;
+        Ok(Response { statements })
+    }
+
     /// Run a script of one or more Teradata-dialect statements.
-    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementOutcome>> {
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>> {
+        Ok(self.run(Request::script(sql))?.statements)
+    }
+
+    /// The full pipeline path: parse the script, route every statement.
+    fn run_script_slow(&mut self, sql: &str, cache_ok: bool) -> Result<Vec<StatementResult>> {
         let t0 = Instant::now();
         let mut stmts = parse_statements(sql, Dialect::Teradata)?;
         if self.dml_batching {
@@ -215,7 +294,7 @@ impl HyperQ {
                 obs.traces.record_manual(trace, Some(root.id()), "parse", parse_time);
                 self.stages.parse.record(parse_time);
             }
-            let processed = self.process(ps);
+            let processed = self.process(ps, cache_ok);
             let total = root.finish();
             let mut outcome = self.observe_statement(processed, trace, &text, total)?;
             if i == 0 {
@@ -224,6 +303,143 @@ impl HyperQ {
             outcomes.push(outcome);
         }
         Ok(outcomes)
+    }
+
+    /// Try to answer a request from the translation cache without parsing.
+    /// `None` falls through to the slow path; `Some` is the statement's
+    /// final result (the hit executed, successfully or not).
+    fn try_cache_fast_path(&mut self, sql: &str) -> Option<Result<StatementResult>> {
+        let cache = Arc::clone(self.cache.as_ref()?);
+        if !fast_path_candidate(sql) {
+            return None;
+        }
+        let t0 = Instant::now();
+        let fp = fingerprint(sql).ok()?;
+        if fp.statements != 1 {
+            return None;
+        }
+        if fp.volatile {
+            cache.note_bypass();
+            return None;
+        }
+        let key = CacheKey { fingerprint: fp.hash, ctx: self.translation_ctx() };
+        let hit = cache.lookup(&key, &fp.literals, self.session.in_transaction)?;
+        if self.analyzer.mode() == AnalyzeMode::Strict
+            && hit.is_query
+            && hit.hit_seq % cache.revalidate_every() == 0
+        {
+            // Sampled revalidation: a full re-translation must reproduce
+            // the cached SQL byte-for-byte, or the entry dies and the
+            // statement takes the slow path.
+            if self.revalidate_hit(sql, &hit.sql) == Some(true) {
+                cache.note_revalidation(true);
+            } else {
+                cache.note_revalidation(false);
+                cache.invalidate_key(&key);
+                return None;
+            }
+        }
+        let lookup_time = t0.elapsed();
+        let obs = Arc::clone(&self.obs);
+        let root = obs.traces.enter("statement");
+        let trace = root.trace_id();
+        obs.traces.record_manual(trace, Some(root.id()), "cache", lookup_time);
+        let exec_span = obs.traces.enter("execute");
+        let exec = self.backend.execute_ctx(&hit.sql, self.request_ctx(hit.is_query));
+        let exec_time = exec_span.finish();
+        self.stages.execute.record(exec_time);
+        let processed = match exec {
+            Ok(result) => Ok(StatementResult {
+                result,
+                features: hit.features.clone(),
+                timings: Timings { translation: lookup_time, execution: exec_time },
+                sql_sent: vec![hit.sql],
+                trace_id: None,
+            }),
+            Err(e) => Err(HyperQError::from(e)),
+        };
+        let total = root.finish();
+        let text = statement_text(sql).to_string();
+        Some(self.observe_statement(processed, trace, &text, total))
+    }
+
+    /// Re-translate a cache hit through the full pipeline and compare.
+    /// `Some(true)` = byte-identical; anything else is a mismatch.
+    fn revalidate_hit(&mut self, sql: &str, cached: &str) -> Option<bool> {
+        let stmts = parse_statements(sql, Dialect::Teradata).ok()?;
+        let ps = stmts.into_iter().next()?;
+        let (fresh, _features) = self.translate_statement(&ps.stmt).ok()?;
+        Some(fresh == cached)
+    }
+
+    /// The cache-key context hash: everything besides the statement text
+    /// the translation output depends on.
+    fn translation_ctx(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(34);
+        bytes.extend_from_slice(&self.caps_sig.to_le_bytes());
+        bytes.push(match self.analyzer.mode() {
+            AnalyzeMode::Off => 0,
+            AnalyzeMode::LogOnly => 1,
+            AnalyzeMode::Strict => 2,
+        });
+        bytes.push(self.dml_batching as u8);
+        bytes.extend_from_slice(&self.session.settings_epoch().to_le_bytes());
+        bytes.extend_from_slice(&self.session.catalog_epoch().to_le_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Offer the most recent standard-path translation to the cache.
+    fn maybe_populate(&mut self, text: &str, features: &FeatureSet) {
+        let Some(seed) = self.cache_seed.take() else { return };
+        let Some(cache) = self.cache.clone() else { return };
+        if text.is_empty() {
+            // Internal sub-statements (routine bodies) carry no source
+            // text; they are driven by their caller, never cached.
+            return;
+        }
+        if seed.volatile {
+            cache.note_bypass();
+            return;
+        }
+        let Ok(fp) = fingerprint(text) else { return };
+        if fp.statements != 1 || fp.volatile {
+            cache.note_bypass();
+            return;
+        }
+        let key = CacheKey { fingerprint: fp.hash, ctx: self.translation_ctx() };
+        let fill = CacheFill {
+            sql: seed.sql,
+            features: features.clone(),
+            is_query: seed.is_query,
+            tables: seed.tables,
+        };
+        cache.populate(key, text, &fp.literals, fill, |src| self.probe_translate(src));
+    }
+
+    /// The probe translation used to verify splice templates: the full
+    /// bind → emulate → transform → serialize pipeline over `src`, with no
+    /// metrics, no analyzer, no execution — probes must not pollute
+    /// observability or touch the backend.
+    fn probe_translate(&self, src: &str) -> Option<String> {
+        let stmts = parse_statements(src, Dialect::Teradata).ok()?;
+        if stmts.len() != 1 {
+            return None;
+        }
+        let stmt = stmts.into_iter().next()?.stmt;
+        let backend = Arc::clone(&self.backend);
+        let catalog = ShadowCatalog::new(&*backend, &self.session);
+        let mut binder = Binder::new(&catalog);
+        let plan = binder.bind_statement(&stmt).ok()?;
+        let mut scratch = FeatureSet::new();
+        let mut volatile = false;
+        let plan = self
+            .apply_insert_emulations_inner(plan, &mut scratch, true, &mut volatile)
+            .ok()?;
+        if volatile {
+            return None;
+        }
+        let plan = Transformer::standard().run_all(plan, &self.caps, &mut scratch).ok()?;
+        Serializer::new(&self.caps).serialize_plan(&plan).ok()
     }
 
     /// Common statement epilogue: statement histogram and outcome counters,
@@ -274,11 +490,8 @@ impl HyperQ {
     }
 
     /// Run exactly one statement.
-    pub fn run_one(&mut self, sql: &str) -> Result<StatementOutcome> {
-        let mut outcomes = self.run_script(sql)?;
-        outcomes
-            .pop()
-            .ok_or_else(|| HyperQError::Emulation("empty statement".into()))
+    pub fn run_one(&mut self, sql: &str) -> Result<StatementResult> {
+        self.run(Request::script(sql))?.into_last()
     }
 
     /// Run one statement with positional (`?`) parameter values — the
@@ -288,7 +501,15 @@ impl HyperQ {
         &mut self,
         sql: &str,
         values: &[Datum],
-    ) -> Result<StatementOutcome> {
+    ) -> Result<StatementResult> {
+        self.run(Request::with_params(sql, values.to_vec()))?.into_last()
+    }
+
+    /// The parameterized-request path: exactly one statement, positional
+    /// values bound in the binder. Parameterized requests bypass the cache
+    /// — their literals arrive out-of-band, so the fingerprint would not
+    /// capture them.
+    fn run_parameterized(&mut self, sql: &str, values: &[Datum]) -> Result<StatementResult> {
         let t0 = Instant::now();
         let mut stmts = parse_statements(sql, Dialect::Teradata)?;
         let parse_time = t0.elapsed();
@@ -357,7 +578,7 @@ impl HyperQ {
             .inc();
     }
 
-    fn process(&mut self, ps: ParsedStatement) -> Result<StatementOutcome> {
+    fn process(&mut self, ps: ParsedStatement, cache_ok: bool) -> Result<StatementResult> {
         let mut features = ps.features.clone();
         match &ps.stmt {
             // --- E5: informational commands, answered mid-tier -------------
@@ -603,7 +824,10 @@ impl HyperQ {
             // --- standard path ----------------------------------------------
             stmt => {
                 let o = self.run_pipeline(stmt, HashMap::new(), &mut features)?;
-                Ok(StatementOutcome { features, ..o })
+                if cache_ok {
+                    self.maybe_populate(&ps.text, &features);
+                }
+                Ok(StatementResult { features, ..o })
             }
         }
     }
@@ -717,11 +941,14 @@ impl HyperQ {
                     "CREATE VIEW inside a macro/procedure body is not supported".into(),
                 ));
             }
-            let o = self.process(ParsedStatement {
-                stmt: substituted,
-                features: FeatureSet::new(),
-                text: String::new(),
-            })?;
+            let o = self.process(
+                ParsedStatement {
+                    stmt: substituted,
+                    features: FeatureSet::new(),
+                    text: String::new(),
+                },
+                false,
+            )?;
             features.union(&o.features);
             timings.merge(o.timings);
             sql_sent.extend(o.sql_sent);
@@ -753,16 +980,22 @@ impl HyperQ {
         positional: Vec<Datum>,
         features: &mut FeatureSet,
     ) -> Result<StatementOutcome> {
+        self.cache_seed = None;
+        let parameterized = !params.is_empty() || !positional.is_empty();
         let backend = Arc::clone(&self.backend);
         let bind_span = self.obs.traces.enter("bind");
-        let (plan, gtts) = {
+        let (plan, gtts, tables) = {
             let catalog = ShadowCatalog::new(&*backend, &self.session);
             let mut binder = Binder::new(&catalog)
                 .with_params(params)
                 .with_positional(positional);
             let plan = binder.bind_statement(stmt)?;
             features.union(&binder.features);
-            (plan, catalog.gtt_touched.into_inner())
+            (
+                plan,
+                catalog.gtt_touched.into_inner(),
+                catalog.tables_touched.into_inner(),
+            )
         };
         let bind_time = bind_span.finish();
         self.stages.bind.record(bind_time);
@@ -784,6 +1017,18 @@ impl HyperQ {
             _ => {}
         }
 
+        // Backend-visible DDL changes what other statements translate to:
+        // drop every cached translation that resolved the table. (Session
+        // -local catalog changes — views, GTT definitions, sidecars — are
+        // part of the cache key instead and need no invalidation.)
+        if let Some(cache) = &self.cache {
+            match &plan {
+                Plan::CreateTable { def, .. } => cache.invalidate_table(&def.name),
+                Plan::DropTable { name, .. } => cache.invalidate_table(name),
+                _ => {}
+            }
+        }
+
         // E7: definition of a global temporary table → DTM catalog only.
         if let Plan::CreateTable { def, source: None } = &plan {
             if def.kind == TableKind::GlobalTemporary {
@@ -803,7 +1048,9 @@ impl HyperQ {
         }
 
         let transform_span = self.obs.traces.enter("transform");
-        let plan = self.apply_insert_emulations(plan, features)?;
+        let mut volatile_default = false;
+        let plan =
+            self.apply_insert_emulations_inner(plan, features, false, &mut volatile_default)?;
         let plan = self
             .analyzer
             .transform(&self.transformer, plan, &self.caps, features)?;
@@ -830,7 +1077,8 @@ impl HyperQ {
         // E7: statements touching a global temporary table are emulated
         // through the per-session instance; record the tracked feature and
         // lazily materialize.
-        if !gtts.is_empty() {
+        let gtt_involved = !gtts.is_empty();
+        if gtt_involved {
             features.insert(Feature::GlobalTempTable);
         }
         for logical in gtts {
@@ -868,13 +1116,31 @@ impl HyperQ {
             self.session.materialized_gtts.insert(logical);
         }
 
+        let is_query = matches!(plan, Plan::Query(_));
         let exec_span = self.obs.traces.enter("execute");
-        let result = self.backend.execute_ctx(&sql, self.request_ctx(matches!(plan, Plan::Query(_))))?;
+        let result = self.backend.execute_ctx(&sql, self.request_ctx(is_query))?;
         let exec_time = exec_span.finish();
         self.stages.execute.record(exec_time);
         timings.execution += exec_time;
+
+        // Leave the translation behind for the cache. Only the standard
+        // single-request shapes qualify: GTT-touching statements run a
+        // multi-request materialization protocol, DDL mutates catalogs,
+        // parameterized requests carry literals out-of-band.
+        let cacheable_kind = matches!(
+            plan,
+            Plan::Query(_) | Plan::Insert { .. } | Plan::Update { .. } | Plan::Delete { .. }
+        );
+        if cacheable_kind && !gtt_involved && !parameterized {
+            self.cache_seed = Some(CacheSeed {
+                sql: sql.clone(),
+                is_query,
+                tables: tables.into_iter().collect(),
+                volatile: volatile_default,
+            });
+        }
         sql_sent.push(sql);
-        Ok(StatementOutcome {
+        Ok(StatementResult {
             result,
             features: features.clone(),
             timings,
@@ -884,7 +1150,17 @@ impl HyperQ {
     }
 
     /// E8 (SET-table dedup) and E9 (default injection) on INSERT plans.
-    fn apply_insert_emulations(&self, plan: Plan, features: &mut FeatureSet) -> Result<Plan> {
+    /// `quiet` suppresses the emulation counters (probe translations);
+    /// `volatile` is set when an injected default is not a constant — its
+    /// value changes between executions, so the translation must never be
+    /// cached.
+    fn apply_insert_emulations_inner(
+        &self,
+        plan: Plan,
+        features: &mut FeatureSet,
+        quiet: bool,
+        volatile: &mut bool,
+    ) -> Result<Plan> {
         let (table, mut columns, mut source) = match plan {
             Plan::Insert { table, columns, source } => (table, columns, source),
             other => return Ok(other),
@@ -914,7 +1190,9 @@ impl HyperQ {
             })
             .collect();
         if !missing.is_empty() {
-            self.emu("default_injection");
+            if !quiet {
+                self.emu("default_injection");
+            }
             let schema = source.schema();
             let mut exprs: Vec<(ScalarExpr, String)> = schema
                 .fields
@@ -934,6 +1212,7 @@ impl HyperQ {
                 let default = c.default.as_ref().expect("filtered on is_some");
                 if !matches!(default, ScalarExpr::Literal(..)) {
                     features.insert(Feature::ColumnProperties);
+                    *volatile = true;
                 }
                 let value = emulate::const_eval(default)?;
                 let ty = value.sql_type();
@@ -947,7 +1226,9 @@ impl HyperQ {
         // existing rows. (Comparison is over the inserted columns; with
         // constant defaults this matches full-row SET semantics.)
         if def.set_semantics {
-            self.emu("set_table_dedup");
+            if !quiet {
+                self.emu("set_table_dedup");
+            }
             features.insert(Feature::SetTableSemantics);
             let get = RelExpr::Get {
                 table: def.name.clone(),
@@ -1253,14 +1534,43 @@ impl HyperQ {
     }
 }
 
-fn ack(features: FeatureSet) -> StatementOutcome {
-    StatementOutcome {
+fn ack(features: FeatureSet) -> StatementResult {
+    StatementResult {
         result: ExecResult::ack(),
         features,
         timings: Timings::default(),
         sql_sent: Vec::new(),
         trace_id: None,
     }
+}
+
+/// Cheap pre-parse filter for the cache fast path: only leading keywords
+/// of statements the standard pipeline handles are worth a fingerprint +
+/// lookup. Everything else (DDL, SET, HELP, macros, …) goes straight to
+/// the router.
+fn fast_path_candidate(sql: &str) -> bool {
+    let trimmed = sql.trim_start();
+    let word: String = trimmed
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .take(8)
+        .collect();
+    matches!(
+        word.to_ascii_uppercase().as_str(),
+        "SELECT" | "SEL" | "INSERT" | "INS" | "UPDATE" | "UPD" | "DELETE" | "DEL" | "WITH"
+    )
+}
+
+/// The canonical statement text of a single-statement script: trimmed,
+/// trailing semicolons stripped — matching what the parser records as
+/// `ParsedStatement::text`, so cache-hit and slow-path statements report
+/// identical texts to the tracker and slow-query log.
+fn statement_text(sql: &str) -> &str {
+    let mut s = sql.trim();
+    while let Some(stripped) = s.strip_suffix(';') {
+        s = stripped.trim_end();
+    }
+    s
 }
 
 /// The Transformer's DML-batching example (§4.3): "if the target database
@@ -1293,6 +1603,12 @@ pub fn batch_single_row_inserts(stmts: Vec<ParsedStatement>) -> Vec<ParsedStatem
                         }
                     }
                     prev.features.union(&ps.features);
+                    // Keep the merged statement's text honest: it now
+                    // spans several source statements (which also makes
+                    // its fingerprint multi-statement, bypassing the
+                    // translation cache).
+                    prev.text.push_str("; ");
+                    prev.text.push_str(&ps.text);
                     continue;
                 }
             }

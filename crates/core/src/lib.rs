@@ -35,6 +35,8 @@
 pub mod analyze;
 pub mod backend;
 pub mod binder;
+pub mod builder;
+pub mod cache;
 pub mod capability;
 pub mod crosscompiler;
 pub mod emulate;
@@ -48,11 +50,15 @@ pub mod tracker;
 pub mod transform;
 
 pub use analyze::{AnalyzeMode, Analyzer};
+pub use builder::{HyperQBuilder, Request, RequestOptions, Response};
+pub use cache::{CacheConfig, TranslationCache};
 pub use backend::{
     Backend, BackendError, BackendErrorKind, ExecResult, InstrumentedBackend, RequestContext,
 };
 pub use capability::TargetCapabilities;
-pub use crosscompiler::{HyperQ, StageTimings, StatementOutcome, Timings, STAGE_DURATION_METRIC};
+pub use crosscompiler::{
+    HyperQ, StageTimings, StatementOutcome, StatementResult, Timings, STAGE_DURATION_METRIC,
+};
 pub use error::{HyperQError, Result};
 pub use hyperq_obs::{ObsContext, TraceId};
 pub use recover::{

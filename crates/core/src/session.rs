@@ -91,6 +91,57 @@ impl SessionState {
         format!("{prefix}_S{}_{}", self.session_id, self.temp_counter)
     }
 
+    /// The session's *settings epoch*: a hash over the effective session
+    /// settings that changes whenever a `SET` changes an effective value.
+    /// Part of the translation-cache key, so sessions with different
+    /// settings never share a cached translation while sessions with
+    /// identical settings do.
+    pub fn settings_epoch(&self) -> u64 {
+        let mut buf = String::new();
+        for (k, v) in &self.settings {
+            buf.push_str(k);
+            buf.push('\u{1f}');
+            buf.push_str(v);
+            buf.push('\u{1e}');
+        }
+        hyperq_parser::fingerprint::fnv1a(buf.as_bytes())
+    }
+
+    /// Order-independent hash over the session-local DTM catalog objects
+    /// the binder can see (views, global-temporary definitions, sidecar
+    /// table properties). Part of the translation-cache key: session-local
+    /// DDL moves the session to a fresh key space instead of invalidating
+    /// other sessions' entries.
+    pub fn catalog_epoch(&self) -> u64 {
+        use hyperq_parser::fingerprint::fnv1a;
+        let mut h = 0u64;
+        for (k, v) in &self.views {
+            h ^= fnv1a(format!("V\u{1f}{k}\u{1f}{:?}\u{1f}{}", v.columns, v.body_sql).as_bytes());
+        }
+        for (k, v) in &self.global_temp_defs {
+            h ^= fnv1a(format!("G\u{1f}{k}\u{1f}{v:?}").as_bytes());
+        }
+        for (k, v) in &self.dtm_tables {
+            h ^= fnv1a(format!("T\u{1f}{k}\u{1f}{v:?}").as_bytes());
+        }
+        h
+    }
+
+    /// The session's effective default database for unqualified table
+    /// names, or `None` for the factory default (`DBC`, which maps to the
+    /// target's own unqualified namespace). `SET SESSION DATABASE = '…'`
+    /// stores the quoted value; later entries win over earlier ones.
+    pub fn default_database(&self) -> Option<&str> {
+        self.settings
+            .iter()
+            .rev()
+            .find(|(k, _)| {
+                k.eq_ignore_ascii_case("DATABASE") || k.eq_ignore_ascii_case("DEFAULT DATABASE")
+            })
+            .map(|(_, v)| v.trim().trim_matches('\''))
+            .filter(|v| !v.is_empty() && !v.eq_ignore_ascii_case("DBC"))
+    }
+
     /// The per-session target-side name of a global temporary table.
     pub fn gtt_target_name(&self, logical: &str) -> String {
         format!("GTT_{}_S{}", logical.replace('.', "_"), self.session_id)
@@ -109,6 +160,9 @@ pub struct ShadowCatalog<'a> {
     pub overlay: HashMap<String, TableDef>,
     /// Logical names of GTTs this statement touched.
     pub gtt_touched: RefCell<HashSet<String>>,
+    /// Base names (uppercase, unqualified) of every table this statement
+    /// resolved — the invalidation scope of its cached translation.
+    pub tables_touched: RefCell<HashSet<String>>,
 }
 
 impl<'a> ShadowCatalog<'a> {
@@ -118,12 +172,18 @@ impl<'a> ShadowCatalog<'a> {
             session,
             overlay: HashMap::new(),
             gtt_touched: RefCell::new(HashSet::new()),
+            tables_touched: RefCell::new(HashSet::new()),
         }
     }
 
     pub fn with_overlay(mut self, name: &str, def: TableDef) -> Self {
         self.overlay.insert(name.to_ascii_uppercase(), def);
         self
+    }
+
+    fn record_table(&self, resolved: &str) {
+        let base = resolved.rsplit('.').next().unwrap_or(resolved);
+        self.tables_touched.borrow_mut().insert(base.to_string());
     }
 }
 
@@ -138,6 +198,7 @@ impl<'a> MetadataProvider for ShadowCatalog<'a> {
         if let Some(def) = self.session.dtm_tables.get(&upper) {
             // The table must still exist on the target.
             if self.backend.table_meta(&upper).is_some() {
+                self.record_table(&upper);
                 return Some(def.clone());
             }
         }
@@ -150,7 +211,24 @@ impl<'a> MetadataProvider for ShadowCatalog<'a> {
             instance.kind = TableKind::Temporary;
             return Some(instance);
         }
-        self.backend.table_meta(&upper)
+        // Unqualified names resolve against the session's default
+        // database first (Teradata `SET SESSION DATABASE` semantics),
+        // falling back to the target's bare namespace.
+        if !upper.contains('.') {
+            if let Some(db) = self.session.default_database() {
+                let qualified = format!("{}.{upper}", db.to_ascii_uppercase());
+                if let Some(mut def) = self.backend.table_meta(&qualified) {
+                    self.record_table(&qualified);
+                    def.name = qualified;
+                    return Some(def);
+                }
+            }
+        }
+        if let Some(def) = self.backend.table_meta(&upper) {
+            self.record_table(&upper);
+            return Some(def);
+        }
+        None
     }
 
     fn view(&self, name: &str) -> Option<ViewDef> {

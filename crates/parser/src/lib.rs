@@ -26,6 +26,7 @@
 pub mod ast;
 pub mod dialect;
 pub mod error;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod token;

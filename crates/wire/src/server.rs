@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 use hyperq_core::backend::Backend;
 use hyperq_core::capability::TargetCapabilities;
 use hyperq_core::resilience::{ResilienceConfig, ResilientBackend};
-use hyperq_core::{AnalyzeMode, HyperQ, ObsContext, TXN_ABORT_MESSAGE};
+use hyperq_core::{
+    AnalyzeMode, CacheConfig, HyperQBuilder, ObsContext, TranslationCache, TXN_ABORT_MESSAGE,
+};
 use hyperq_obs::io::{CountingReader, CountingWriter};
 use hyperq_obs::Gauge;
 use parking_lot::Mutex;
@@ -109,6 +111,11 @@ pub struct GatewayConfig {
     /// error. `None` (or a zero-length connection queue) hard-rejects at
     /// the cap like the pre-queue gateway.
     pub admission: Option<AdmissionConfig>,
+    /// Translation-cache configuration. One cache is shared by every
+    /// session the gateway serves — the cache key carries the per-session
+    /// settings and catalog epochs, so sharing is safe across sessions
+    /// with divergent `SET` state. `None` disables caching.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -123,6 +130,7 @@ impl Default for GatewayConfig {
             resilience: Some(ResilienceConfig::default()),
             analyze: AnalyzeMode::LogOnly,
             admission: Some(AdmissionConfig::default()),
+            cache: Some(CacheConfig::default()),
         }
     }
 }
@@ -141,6 +149,8 @@ pub struct Gateway {
     /// Statement admission queue across all sessions; `None` leaves
     /// statement concurrency to the backend.
     stmt_gate: Option<Arc<AdmissionGate>>,
+    /// Translation cache shared by every session this gateway serves.
+    cache: Option<Arc<TranslationCache>>,
 }
 
 /// Decrements the gateway's active-session count when a worker exits,
@@ -195,6 +205,13 @@ impl Gateway {
             ),
             None => (None, None),
         };
+        // One translation cache for the whole gateway: every session's
+        // compiled templates are visible to every other session, keyed by
+        // (fingerprint, capability signature, session settings epoch).
+        let cache = config
+            .cache
+            .clone()
+            .map(|cfg| Arc::new(TranslationCache::new(cfg, obs)));
         Arc::new(Gateway {
             backend,
             config,
@@ -204,6 +221,7 @@ impl Gateway {
             active: AtomicUsize::new(0),
             conn_gate,
             stmt_gate,
+            cache,
         })
     }
 
@@ -389,8 +407,14 @@ impl Gateway {
             return Ok(());
         }
 
-        let mut hq = HyperQ::new(Arc::clone(&self.backend), self.config.capabilities.clone())
-            .with_analysis(self.config.analyze);
+        let mut builder =
+            HyperQBuilder::new(Arc::clone(&self.backend), self.config.capabilities.clone())
+                .analyze(self.config.analyze);
+        builder = match &self.cache {
+            Some(cache) => builder.shared_cache(Arc::clone(cache)),
+            None => builder.no_cache(),
+        };
+        let mut hq = builder.build();
         hq.session.user = user;
         Message::LogonOk { session_id: hq.session.session_id }.write_to(&mut writer)?;
         writer.flush()?;

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use hyperq::core::capability::TargetCapabilities;
-use hyperq::core::{Backend, HyperQ};
+use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 
 const APP_QUERY: &str = "SEL REGION, SUM(AMOUNT) AS TOTAL FROM ORDERS_FACT \
@@ -31,7 +31,7 @@ fn provision() -> Arc<EngineDb> {
 }
 
 fn run_on(label: &str, caps: TargetCapabilities, backend: Arc<EngineDb>) -> Vec<(i64, String)> {
-    let mut hq = HyperQ::new(backend as Arc<dyn Backend>, caps.clone());
+    let mut hq = HyperQBuilder::new(backend as Arc<dyn Backend>, caps.clone()).build();
     let outcome = hq.run_one(APP_QUERY).expect("application query");
     println!("{label} (capability profile {}):", caps.name);
     println!("  SQL generated for this target: {}", outcome.sql_sent[0]);
@@ -51,10 +51,10 @@ fn main() {
 
     // The application text never changes; the serializer output differs per
     // target profile. `translate` shows what a TOP-style target would get:
-    let mut demo = HyperQ::new(
+    let mut demo = HyperQBuilder::new(
         Arc::clone(&primary) as Arc<dyn Backend>,
         TargetCapabilities::cloud_a(),
-    );
+    ).build();
     println!(
         "for a TOP-dialect target (CloudWH-A) the same query would serialize as:\n  {}\n",
         demo.translate(APP_QUERY).unwrap()[0]

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use hyperq::core::capability::TargetCapabilities;
-use hyperq::core::{Backend, HyperQ};
+use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,10 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // One virtualized session: the application side speaks Teradata SQL.
-    let mut hyperq = HyperQ::new(
+    let mut hyperq = HyperQBuilder::new(
         Arc::clone(&warehouse) as Arc<dyn Backend>,
         TargetCapabilities::simwh(),
-    );
+    ).build();
 
     // Teradata-isms everywhere: SEL, integer-encoded date comparison,
     // QUALIFY with the RANK(expr DESC) shorthand. None of this is valid on

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use hyperq::core::capability::TargetCapabilities;
-use hyperq::core::{Backend, HyperQ};
+use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,10 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         direct.err().map(|e| e.to_string()).unwrap_or_default()
     );
 
-    let mut hyperq = HyperQ::new(
+    let mut hyperq = HyperQBuilder::new(
         Arc::clone(&warehouse) as Arc<dyn Backend>,
         TargetCapabilities::simwh(),
-    );
+    ).build();
 
     // Example 4: all employees reporting directly or indirectly to emp 10.
     let outcome = hyperq.run_one(

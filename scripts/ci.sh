@@ -33,6 +33,18 @@ cargo test -q --offline --test observability validator_metrics_appear_in_exposit
 cargo test -q --offline --test soak
 cargo test -q --offline --test observability recovery_and_admission_metrics_appear_in_exposition
 
+# Translation cache: fingerprinting unit suite, the crosscompiler-level
+# invalidation/isolation suite, corpus-wide transcript equivalence
+# (cache-off vs cold vs warm must be byte-identical), the cache-enabled
+# chaos soak, and the exposition-format check for the cache metric
+# families.
+cargo test -q --offline -p hyperq-parser fingerprint
+cargo test -q --offline -p hyperq-core cache
+cargo test -q --offline -p hyperq-core --test cache
+cargo test -q --offline --test cache_equivalence
+cargo test -q --offline --test soak cache_enabled_chaos
+cargo test -q --offline --test observability cache_metric_families_expose_cleanly
+
 # No unsafe code outside the vendored shims: every workspace crate roots
 # a `#![forbid(unsafe_code)]`, and nothing sneaks an `unsafe` block in.
 for lib in src/lib.rs crates/xtra/src/lib.rs crates/parser/src/lib.rs \

@@ -6,7 +6,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use hyperq::core::{Backend, HyperQ, capability::TargetCapabilities};
+//! use hyperq::core::{Backend, HyperQBuilder, capability::TargetCapabilities};
 //! use hyperq::engine::EngineDb;
 //!
 //! let warehouse = Arc::new(EngineDb::new());
@@ -17,7 +17,8 @@
 //!     .execute_sql("INSERT INTO SALES VALUES (500, DATE '2014-03-01')")
 //!     .unwrap();
 //!
-//! let mut hq = HyperQ::new(warehouse as Arc<dyn Backend>, TargetCapabilities::simwh());
+//! let mut hq =
+//!     HyperQBuilder::new(warehouse as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
 //! // Teradata dialect in (SEL, integer-coded date, QUALIFY shorthand)…
 //! let out = hq
 //!     .run_one("SEL * FROM SALES WHERE SALES_DATE > 1140101 QUALIFY RANK(AMOUNT DESC) <= 10")

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use hyperq::core::capability::TargetCapabilities;
-use hyperq::core::{AnalyzeMode, Backend, HyperQ, ObsContext};
+use hyperq::core::{AnalyzeMode, Backend, HyperQ, HyperQBuilder, ObsContext};
 use hyperq::engine::EngineDb;
 use hyperq::workload::customer::{health, telco, CustomerWorkload};
 use hyperq::workload::tpch;
@@ -14,12 +14,7 @@ use hyperq::workload::tpch;
 const SCALE: f64 = 0.002;
 
 fn strict_session(db: Arc<EngineDb>, obs: &Arc<ObsContext>) -> HyperQ {
-    HyperQ::with_obs(
-        db as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
-        Arc::clone(obs),
-    )
-    .with_analysis(AnalyzeMode::Strict)
+    HyperQBuilder::new(db as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(obs)).analyze(AnalyzeMode::Strict).build()
 }
 
 #[test]
@@ -110,12 +105,7 @@ fn recovered_session_passes_strict_analysis() {
     }
     let fault = FaultInjectingBackend::wrap(db as Arc<dyn Backend>, FaultPlan::none());
     let obs = ObsContext::new();
-    let mut hq = HyperQ::with_obs(
-        Arc::clone(&fault) as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
-        Arc::clone(&obs),
-    )
-    .with_analysis(AnalyzeMode::Strict);
+    let mut hq = HyperQBuilder::new(Arc::clone(&fault) as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).analyze(AnalyzeMode::Strict).build();
 
     // Establish journaled session state, then kill the connection under
     // every remaining TPC-H query so each one rides through a recovery.

@@ -1,0 +1,141 @@
+//! Cache transparency: with the translation cache enabled, the SQL-B sent
+//! to the target must be **byte-identical** to the cache-off pipeline —
+//! cold (populating) and warm (replaying from a pre-seeded shared cache)
+//! alike — across the TPC-H corpus, both customer workloads, and literal
+//! variations that exercise template splicing.
+
+use std::sync::Arc;
+
+use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::{Backend, CacheConfig, HyperQBuilder, ObsContext, TranslationCache};
+use hyperq::engine::EngineDb;
+use hyperq::workload::customer::{health, telco};
+use hyperq::workload::tpch;
+
+/// Session-scoped generated names embed the session id (`GTT_X_S7`,
+/// `WT_S7_1`); three pipelines are three sessions, so normalize the id
+/// before comparing transcripts.
+fn scrub(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'_'
+            && i + 1 < bytes.len()
+            && bytes[i + 1] == b'S'
+            && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
+        {
+            out.push_str("_S#");
+            i += 2;
+            while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Run `corpus` through three pipelines — cache-off, cache-on-cold and
+/// cache-on-warm (same shared cache, second pass) — and compare the full
+/// per-statement SQL-B transcripts.
+fn assert_transcripts_identical(db: Arc<EngineDb>, setup: &[String], corpus: &[(String, String)]) {
+    let obs = ObsContext::new();
+    let cache = Arc::new(TranslationCache::new(CacheConfig::default(), &obs));
+
+    let run = |mut hq: hyperq::core::HyperQ, label: &str| -> Vec<(String, Vec<String>)> {
+        for s in setup {
+            hq.run_one(s).unwrap();
+        }
+        let mut transcript = Vec::new();
+        for (name, sql) in corpus {
+            let o = hq
+                .run_one(sql)
+                .unwrap_or_else(|e| panic!("[{label}] {name} failed: {e}"));
+            transcript.push((name.clone(), o.sql_sent.iter().map(|s| scrub(s)).collect::<Vec<_>>()));
+        }
+        transcript
+    };
+
+    let off = run(
+        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            .obs(Arc::clone(&obs))
+            .no_cache()
+            .build(),
+        "off",
+    );
+    let cold = run(
+        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            .obs(Arc::clone(&obs))
+            .shared_cache(Arc::clone(&cache))
+            .build(),
+        "cold",
+    );
+    let warm = run(
+        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            .obs(Arc::clone(&obs))
+            .shared_cache(Arc::clone(&cache))
+            .build(),
+        "warm",
+    );
+
+    for ((name, a), (_, b)) in off.iter().zip(cold.iter()) {
+        assert_eq!(a, b, "cache-on (cold) diverged from cache-off for {name}");
+    }
+    for ((name, a), (_, b)) in off.iter().zip(warm.iter()) {
+        assert_eq!(a, b, "cache-on (warm) diverged from cache-off for {name}");
+    }
+    assert!(
+        obs.metrics.counter_value("hyperq_cache_hits_total", &[]) > 0,
+        "warm pass never hit the cache — the comparison proved nothing"
+    );
+}
+
+#[test]
+fn tpch_corpus_with_literal_variations_is_transcript_identical() {
+    let db = Arc::new(EngineDb::new());
+    for ddl in tpch::ddl() {
+        db.execute_sql(&ddl).unwrap();
+    }
+    for (table, rows) in tpch::generate(0.001, 42).tables() {
+        db.load_rows(table, rows).unwrap();
+    }
+    let mut corpus: Vec<(String, String)> = tpch::queries()
+        .into_iter()
+        .map(|(n, sql)| (format!("Q{n}"), sql.to_string()))
+        .collect();
+    // Literal variations of one template: the warm pass serves these by
+    // splicing, which is exactly where an unsound template would diverge.
+    for qty in [5, 24, 31337] {
+        corpus.push((
+            format!("VAR_qty_{qty}"),
+            format!("SEL L_ORDERKEY FROM LINEITEM WHERE L_QUANTITY > {qty}"),
+        ));
+    }
+    for region in ["ASIA", "EUROPE", "O'HARE"] {
+        corpus.push((
+            format!("VAR_region_{region}"),
+            format!("SEL R_NAME FROM REGION WHERE R_NAME = '{}'", region.replace('\'', "''")),
+        ));
+    }
+    assert_transcripts_identical(db, &[], &corpus);
+}
+
+#[test]
+fn customer_workloads_are_transcript_identical() {
+    for w in [health(0.05), telco(0.02)] {
+        let db = Arc::new(EngineDb::new());
+        for ddl in &w.target_ddl {
+            db.execute_sql(ddl).unwrap();
+        }
+        let corpus: Vec<(String, String)> = w
+            .distinct
+            .iter()
+            .enumerate()
+            .map(|(i, sql)| (format!("{}#{i}", w.profile.name), sql.clone()))
+            .collect();
+        assert_transcripts_identical(db, &w.hyperq_setup, &corpus);
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::tracker::WorkloadTracker;
-use hyperq::core::{Backend, HyperQ};
+use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 use hyperq::workload::customer::{health, telco, CustomerWorkload};
 use hyperq::xtra::feature::FeatureClass;
@@ -16,7 +16,7 @@ fn run_workload(w: &CustomerWorkload) -> (WorkloadTracker, u64) {
     for ddl in &w.target_ddl {
         db.execute_sql(ddl).unwrap();
     }
-    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     for setup in &w.hyperq_setup {
         hq.run_one(setup).unwrap();
     }

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use hyperq::core::capability::TargetCapabilities;
-use hyperq::core::{Backend, HyperQ};
+use hyperq::core::{Backend, HyperQ, HyperQBuilder};
 use hyperq::engine::EngineDb;
 use hyperq::xtra::datum::{Datum, teradata_int_from_date};
 use hyperq::xtra::Row;
@@ -37,7 +37,7 @@ fn setup(sales: Vec<Row>, history: Vec<Row>) -> (HyperQ, Arc<EngineDb>) {
     db.execute_sql("CREATE TABLE SALES_HISTORY (GROSS INTEGER, NET INTEGER)").unwrap();
     db.load_rows("SALES", sales).unwrap();
     db.load_rows("SALES_HISTORY", history).unwrap();
-    let hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     (hq, db)
 }
 

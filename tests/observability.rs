@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hyperq::core::capability::TargetCapabilities;
-use hyperq::core::{Backend, HyperQ, ObsContext, STAGE_DURATION_METRIC};
+use hyperq::core::{Backend, HyperQ, HyperQBuilder, ObsContext, STAGE_DURATION_METRIC};
 use hyperq::engine::EngineDb;
 use hyperq::wire::convert::{convert_traced, ConverterConfig};
 use hyperq::workload::tpch;
@@ -27,11 +27,7 @@ fn load() -> Arc<EngineDb> {
 
 fn session(obs: &Arc<ObsContext>) -> HyperQ {
     let db = load();
-    HyperQ::with_obs(
-        db as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
-        Arc::clone(obs),
-    )
+    HyperQBuilder::new(db as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(obs)).build()
 }
 
 /// The acceptance path: translate and execute TPC-H Q1, convert its result,
@@ -353,11 +349,7 @@ fn recovery_and_admission_metrics_appear_in_exposition() {
     let db = load();
     let fault = FaultInjectingBackend::wrap(db as Arc<dyn Backend>, FaultPlan::none());
     let plan_handle = Arc::clone(&fault);
-    let mut hq = HyperQ::with_obs(
-        fault as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
-        Arc::clone(&obs),
-    );
+    let mut hq = HyperQBuilder::new(fault as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).build();
     hq.run_one("SET SESSION DATEFORM = 'ANSIDATE'").unwrap();
     plan_handle.set_plan(FaultPlan::fail_n_then_succeed(1, BackendErrorKind::ConnectionLost));
     hq.run_one("SEL COUNT(*) FROM LINEITEM").unwrap();
@@ -392,4 +384,39 @@ fn recovery_and_admission_metrics_appear_in_exposition() {
     let json = obs.metrics.render_json();
     assert!(json.contains("hyperq_recovery_success_total"));
     assert!(json.contains("hyperq_admission_shed_total"));
+}
+
+#[test]
+fn cache_metric_families_expose_cleanly() {
+    let obs = ObsContext::new();
+    let mut hq = session(&obs);
+    // One miss + populate, one warm hit, and a script whose statements are
+    // cached individually — three entries total.
+    hq.run_one("SEL L_ORDERKEY FROM LINEITEM WHERE L_QUANTITY > 10").unwrap();
+    hq.run_one("SEL L_ORDERKEY FROM LINEITEM WHERE L_QUANTITY > 10").unwrap();
+    hq.run_script("SEL COUNT(*) FROM REGION; SEL COUNT(*) FROM NATION").unwrap();
+
+    let prom = obs.metrics.render_prometheus();
+    for series in [
+        "hyperq_cache_hits_total 1",
+        "hyperq_cache_misses_total",
+        "hyperq_cache_bypass_total",
+        "hyperq_cache_entries 3",
+        "hyperq_cache_lookup_seconds_count",
+        "hyperq_cache_lookup_seconds_bucket",
+    ] {
+        assert!(prom.contains(series), "missing series `{series}` in exposition:\n{prom}");
+    }
+    // Every cache sample line is `name{labels} value` with a finite value —
+    // the format the scrape endpoint and CI's exposition check rely on.
+    for line in prom.lines().filter(|l| l.starts_with("hyperq_cache_")) {
+        let (_, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line must be `series value`: {line}"));
+        let v: f64 = value.parse().unwrap_or_else(|_| panic!("unparseable value: {line}"));
+        assert!(v.is_finite(), "{line}");
+    }
+    let json = obs.metrics.render_json();
+    assert!(json.contains("hyperq_cache_hits_total"));
+    assert!(json.contains("hyperq_cache_entries"));
 }

@@ -11,7 +11,7 @@ use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::resilience::{
     BreakerConfig, BreakerState, ResilienceConfig, ResilientBackend, RetryPolicy,
 };
-use hyperq::core::{Backend, HyperQ, ObsContext};
+use hyperq::core::{Backend, HyperQ, HyperQBuilder, ObsContext};
 use hyperq::engine::EngineDb;
 use hyperq::wire::{AdmissionConfig, Client, Gateway, GatewayConfig};
 use hyperq::workload::tpch;
@@ -55,11 +55,7 @@ fn stack(
         ResilienceConfig { retry, breaker },
         &obs,
     );
-    let hq = HyperQ::with_obs(
-        Arc::clone(&resilient) as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
-        Arc::clone(&obs),
-    );
+    let hq = HyperQBuilder::new(Arc::clone(&resilient) as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).build();
     (hq, fault, resilient, obs)
 }
 

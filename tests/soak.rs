@@ -22,7 +22,9 @@ use std::time::Duration;
 use hyperq::core::backend::testing::{FaultInjectingBackend, FaultPlan, FaultScope};
 use hyperq::core::backend::BackendErrorKind;
 use hyperq::core::capability::TargetCapabilities;
-use hyperq::core::{Backend, HyperQ, ObsContext, TXN_ABORT_MESSAGE};
+use hyperq::core::{
+    Backend, CacheConfig, HyperQBuilder, ObsContext, TranslationCache, TXN_ABORT_MESSAGE,
+};
 use hyperq::engine::EngineDb;
 use hyperq::wire::{AdmissionConfig, Client, Gateway, GatewayConfig};
 
@@ -115,8 +117,18 @@ fn render(outcome: Result<hyperq::core::StatementOutcome, hyperq::core::HyperQEr
     }
 }
 
-fn run_session(backend: Arc<dyn Backend>, script: &[String], obs: &Arc<ObsContext>) -> Vec<String> {
-    let mut hq = HyperQ::with_obs(backend, TargetCapabilities::simwh(), Arc::clone(obs));
+fn run_session(
+    backend: Arc<dyn Backend>,
+    script: &[String],
+    obs: &Arc<ObsContext>,
+    cache: Option<&Arc<TranslationCache>>,
+) -> Vec<String> {
+    let builder = HyperQBuilder::new(backend, TargetCapabilities::simwh()).obs(Arc::clone(obs));
+    let builder = match cache {
+        Some(c) => builder.shared_cache(Arc::clone(c)),
+        None => builder.no_cache(),
+    };
+    let mut hq = builder.build();
     script.iter().map(|stmt| render(hq.run_one(stmt))).collect()
 }
 
@@ -164,14 +176,21 @@ fn state_snapshot(db: &EngineDb) -> BTreeMap<String, Vec<String>> {
 }
 
 /// Per-session client transcripts plus the final (normalized) backend state.
-type RunOutput = (Vec<Vec<String>>, BTreeMap<String, Vec<String>>, u64, u64);
+type RunOutput = (Vec<Vec<String>>, BTreeMap<String, Vec<String>>, u64, u64, u64);
 
 /// One full soak run: all sessions concurrently, optional per-session kill
-/// schedule. Returns (per-session transcripts, final state, faults injected,
-/// recoveries completed).
+/// schedule, optionally one translation cache shared across all sessions
+/// (the gateway topology). Returns (per-session transcripts, final state,
+/// faults injected, recoveries completed, cache hits).
 fn soak_run(cfg: SoakConfig, chaos: bool) -> RunOutput {
+    soak_run_with(cfg, chaos, false)
+}
+
+fn soak_run_with(cfg: SoakConfig, chaos: bool, shared_cache: bool) -> RunOutput {
     let db = seed_db();
     let obs = ObsContext::new();
+    let cache = shared_cache
+        .then(|| Arc::new(TranslationCache::new(CacheConfig::default(), &obs)));
     let mut transcripts = Vec::new();
     let mut kills = 0;
     std::thread::scope(|s| {
@@ -179,6 +198,7 @@ fn soak_run(cfg: SoakConfig, chaos: bool) -> RunOutput {
             .map(|i| {
                 let db = Arc::clone(&db);
                 let obs = Arc::clone(&obs);
+                let cache = cache.clone();
                 let script = script_for(i, cfg);
                 s.spawn(move || {
                     if chaos {
@@ -197,10 +217,11 @@ fn soak_run(cfg: SoakConfig, chaos: bool) -> RunOutput {
                             Arc::clone(&fault) as Arc<dyn Backend>,
                             &script,
                             &obs,
+                            cache.as_ref(),
                         );
                         (t, fault.injected_faults())
                     } else {
-                        (run_session(db as Arc<dyn Backend>, &script, &obs), 0)
+                        (run_session(db as Arc<dyn Backend>, &script, &obs, cache.as_ref()), 0)
                     }
                 })
             })
@@ -212,12 +233,13 @@ fn soak_run(cfg: SoakConfig, chaos: bool) -> RunOutput {
         }
     });
     let recoveries = obs.metrics.counter_value("hyperq_recovery_success_total", &[]);
-    (transcripts, state_snapshot(&db), kills, recoveries)
+    let hits = obs.metrics.counter_value("hyperq_cache_hits_total", &[]);
+    (transcripts, state_snapshot(&db), kills, recoveries, hits)
 }
 
 fn assert_zero_divergence(cfg: SoakConfig) {
-    let (base_t, base_s, _, _) = soak_run(cfg, false);
-    let (chaos_t, chaos_s, kills, recoveries) = soak_run(cfg, true);
+    let (base_t, base_s, _, _, _) = soak_run(cfg, false);
+    let (chaos_t, chaos_s, kills, recoveries, _) = soak_run(cfg, true);
     assert!(kills > 0, "soak must actually inject kills");
     assert!(recoveries > 0, "kills must drive the recovery path");
     for (i, (b, c)) in base_t.iter().zip(chaos_t.iter()).enumerate() {
@@ -231,6 +253,24 @@ fn soak_chaos_run_matches_fault_free_baseline() {
     // CI-bounded: finishes in seconds while still covering every statement
     // class and several kills per session.
     assert_zero_divergence(SoakConfig { sessions: 8, rounds: 6, seed: 0xC0FFEE });
+}
+
+/// The translation cache under chaos: a cache-off fault-free baseline
+/// versus a chaos run where every session shares one cache (the gateway
+/// topology). Kills, recoveries and warm hits all fire, and neither the
+/// client transcripts nor the final target state may diverge.
+#[test]
+fn cache_enabled_chaos_soak_matches_cache_off_baseline() {
+    let cfg = SoakConfig { sessions: 8, rounds: 6, seed: 0xCAC4E };
+    let (base_t, base_s, _, _, _) = soak_run_with(cfg, false, false);
+    let (chaos_t, chaos_s, kills, recoveries, hits) = soak_run_with(cfg, true, true);
+    assert!(kills > 0, "soak must actually inject kills");
+    assert!(recoveries > 0, "kills must drive the recovery path");
+    assert!(hits > 0, "the shared cache must serve warm hits during the soak");
+    for (i, (b, c)) in base_t.iter().zip(chaos_t.iter()).enumerate() {
+        assert_eq!(b, c, "session {i}: cached chaos transcript diverged from cache-off baseline");
+    }
+    assert_eq!(base_s, chaos_s, "final target state diverged");
 }
 
 #[test]
@@ -279,11 +319,7 @@ fn kill_during_recursion_cleanup_journals_orphan_and_reconnect_retires_it() {
         FaultPlan::kill_on_sql("WT_", 2),
     );
     let obs = ObsContext::new();
-    let mut hq = HyperQ::with_obs(
-        Arc::clone(&fault) as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
-        Arc::clone(&obs),
-    );
+    let mut hq = HyperQBuilder::new(Arc::clone(&fault) as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).build();
 
     hq.run_one(RECURSIVE_REPORTS)
         .expect_err("CTAS and its cleanup were both killed");

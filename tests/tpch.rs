@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use hyperq::core::capability::TargetCapabilities;
-use hyperq::core::{Backend, HyperQ};
+use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 use hyperq::workload::tpch;
 
@@ -25,7 +25,7 @@ fn load() -> Arc<EngineDb> {
 #[test]
 fn all_22_queries_run_through_hyperq() {
     let db = load();
-    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     for (n, sql) in tpch::queries() {
         let outcome = hq
             .run_one(sql)
@@ -45,7 +45,7 @@ fn all_22_queries_run_through_hyperq() {
 #[test]
 fn q1_aggregates_are_plausible() {
     let db = load();
-    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     let o = hq.run_one(tpch::query(1)).unwrap();
     // Four flag/status groups at most (R/F, A/F, N/O, N/F).
     assert!((1..=4).contains(&o.result.rows.len()), "{:?}", o.result.rows.len());
@@ -68,7 +68,7 @@ fn q6_revenue_matches_direct_engine_execution() {
     // The virtualized result must be identical to running the equivalent
     // ANSI query directly on the target.
     let db = load();
-    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     let via_hyperq = hq.run_one(tpch::query(6)).unwrap();
     let direct = db
         .execute_sql(
@@ -86,7 +86,7 @@ fn q4_exists_decorrelation_gives_same_answer_as_naive() {
     // Compare the optimized EXISTS path against a manual semi-join-free
     // formulation (IN over DISTINCT keys).
     let db = load();
-    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     let q4 = hq.run_one(tpch::query(4)).unwrap();
     let manual = db
         .execute_sql(
@@ -104,7 +104,7 @@ fn q4_exists_decorrelation_gives_same_answer_as_naive() {
 #[test]
 fn q21_anti_join_consistency() {
     let db = load();
-    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     let o = hq.run_one(tpch::query(21)).unwrap();
     // Sanity: counts positive, sorted descending.
     let counts: Vec<i64> = o
@@ -121,7 +121,7 @@ fn q21_anti_join_consistency() {
 #[test]
 fn tpch_features_tracked() {
     let db = load();
-    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     let o1 = hq.run_one(tpch::query(1)).unwrap();
     assert!(o1.features.contains(hyperq::xtra::Feature::KeywordShortcut));
     assert!(o1.features.contains(hyperq::xtra::Feature::OrdinalGroupBy));
@@ -176,7 +176,7 @@ fn q1_matches_direct_rust_computation() {
     }
 
     let db = load();
-    let mut hq = HyperQ::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh());
+    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
     let o = hq.run_one(tpch::query(1)).unwrap();
     assert_eq!(o.result.rows.len(), groups.len());
     for row in &o.result.rows {
