@@ -1,0 +1,90 @@
+//! Provenance-capture overhead: per-statement pipeline latency with the
+//! forensic recorder on vs off over a TPC-H replay. The capture path is a
+//! thread-local builder plus one ring append per statement, so the budget
+//! is tight: the report flags anything above a 2% translation-time
+//! overhead. Writes `BENCH_provenance.json` at the repo root (override
+//! dir with `BENCH_OUT`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hyperq_bench::harness::{load_tpch, scale_from_env};
+use hyperq_core::{Backend, HyperQBuilder, ObsContext, ProvenanceConfig, TargetCapabilities};
+use hyperq_obs::WorkloadReport;
+use hyperq_workload::tpch;
+
+const ROUNDS: usize = 7;
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// One full TPC-H replay round; returns summed translation time.
+fn replay_round(hq: &mut hyperq_core::HyperQ) -> Duration {
+    let mut total = Duration::ZERO;
+    for (_, sql) in tpch::queries() {
+        let o = hq.run_one(sql).expect("replay run");
+        total += o.timings.translation;
+    }
+    total
+}
+
+/// Min-of-rounds translation time for a session with the given provenance
+/// setting. A fresh context per mode keeps ring growth and metrics
+/// identical across arms.
+fn measure(db: &Arc<dyn Backend>, enabled: bool) -> f64 {
+    let obs = ObsContext::new();
+    let mut hq = HyperQBuilder::new(Arc::clone(db), TargetCapabilities::simwh())
+        .obs(Arc::clone(&obs))
+        .provenance(ProvenanceConfig { enabled, ..ProvenanceConfig::default() })
+        .no_cache()
+        .build();
+    replay_round(&mut hq); // warm-up round, not measured
+    let mut best = f64::MAX;
+    for _ in 0..ROUNDS {
+        best = best.min(micros(replay_round(&mut hq)));
+    }
+    best
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let db = load_tpch(scale, None);
+    let db: Arc<dyn Backend> = db;
+
+    let off = measure(&db, false);
+    let on = measure(&db, true);
+    let overhead_pct = (on - off) / off.max(0.001) * 100.0;
+
+    // Report-fold cost for the records the instrumented replay left
+    // behind (the /report endpoint's work, measured off the hot path).
+    let obs = ObsContext::new();
+    let mut hq = HyperQBuilder::new(Arc::clone(&db), TargetCapabilities::simwh())
+        .obs(Arc::clone(&obs))
+        .build();
+    replay_round(&mut hq);
+    let records = obs.provenance.snapshot();
+    let t0 = Instant::now();
+    let report = WorkloadReport::from_records(&records);
+    let fold_us = micros(t0.elapsed());
+
+    let json = format!(
+        "{{\n  \"scale_factor\": {scale},\n  \"rounds\": {ROUNDS},\n  \
+         \"translation_us_per_replay_off\": {off:.1},\n  \
+         \"translation_us_per_replay_on\": {on:.1},\n  \
+         \"capture_overhead_pct\": {overhead_pct:.2},\n  \
+         \"within_2pct_budget\": {},\n  \
+         \"records_folded\": {},\n  \"report_fold_us\": {fold_us:.1},\n  \
+         \"report_statements\": {}\n}}\n",
+        overhead_pct < 2.0,
+        records.len(),
+        report.statements
+    );
+
+    let out_dir = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../..", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{out_dir}/BENCH_provenance.json");
+    std::fs::write(&path, &json).expect("write BENCH_provenance.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+}

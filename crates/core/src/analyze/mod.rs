@@ -64,6 +64,15 @@ impl AnalyzeMode {
     pub fn is_strict(&self) -> bool {
         matches!(self, AnalyzeMode::Strict)
     }
+
+    /// Stable lowercase name, used as the provenance-record verdict label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AnalyzeMode::Off => "off",
+            AnalyzeMode::LogOnly => "log_only",
+            AnalyzeMode::Strict => "strict",
+        }
+    }
 }
 
 /// The per-session analysis driver: mode + pre-resolved metric handles.
@@ -110,6 +119,7 @@ impl Analyzer {
     }
 
     fn count_violation(&self, invariant: Invariant) {
+        hyperq_obs::provenance::note_violation();
         self.obs
             .metrics
             .counter(
@@ -135,7 +145,9 @@ impl Analyzer {
         }
         let t0 = Instant::now();
         let report = validate_plan(plan, &ValidateOptions::default());
-        self.duration.record(t0.elapsed());
+        let d = t0.elapsed();
+        self.duration.record(d);
+        hyperq_obs::provenance::note_stage("validate", d);
         self.count_check(stage);
         if report.is_clean() {
             return Ok(());
@@ -172,7 +184,9 @@ impl Analyzer {
                 (Some(before), Some(after)) => schema_drift(before, after),
                 _ => None,
             };
-            self.duration.record(t0.elapsed());
+            let d = t0.elapsed();
+            self.duration.record(d);
+            hyperq_obs::provenance::note_stage("validate", d);
             // The next rule is audited against the tree this one produced,
             // even in log-only mode, so one bad rule is blamed exactly once.
             expected = now;
@@ -219,7 +233,9 @@ impl Analyzer {
         };
         let t0 = Instant::now();
         let outcome = self.roundtrip_inner(sql, &expected, catalog);
-        self.duration.record(t0.elapsed());
+        let d = t0.elapsed();
+        self.duration.record(d);
+        hyperq_obs::provenance::note_stage("validate", d);
         self.count_check("roundtrip");
         if let Err(detail) = outcome {
             self.count_violation(Invariant::RoundTrip);

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use hyperq_obs::ObsContext;
+use hyperq_obs::{ObsContext, ProvenanceConfig};
 use hyperq_xtra::datum::Datum;
 
 use crate::analyze::AnalyzeMode;
@@ -50,6 +50,7 @@ pub struct HyperQBuilder {
     cache: CacheChoice,
     recover: RecoverConfig,
     dml_batching: bool,
+    provenance: Option<ProvenanceConfig>,
 }
 
 impl HyperQBuilder {
@@ -62,6 +63,7 @@ impl HyperQBuilder {
             cache: CacheChoice::Default,
             recover: RecoverConfig::default(),
             dml_batching: true,
+            provenance: None,
         }
     }
 
@@ -112,8 +114,20 @@ impl HyperQBuilder {
         self
     }
 
+    /// Per-statement provenance capture knobs (enable/disable, ring
+    /// capacity, raw-SQL opt-in), applied to the session's observability
+    /// context at build time. Without this the context's existing settings
+    /// stand (capture on, 1024 records, literal-redacted SQL).
+    pub fn provenance(mut self, config: ProvenanceConfig) -> Self {
+        self.provenance = Some(config);
+        self
+    }
+
     pub fn build(self) -> HyperQ {
         let obs = self.obs.unwrap_or_else(|| Arc::clone(ObsContext::global()));
+        if let Some(cfg) = self.provenance {
+            cfg.apply(&obs.provenance);
+        }
         let cache = match self.cache {
             CacheChoice::Default => {
                 Some(Arc::new(TranslationCache::new(CacheConfig::default(), &obs)))

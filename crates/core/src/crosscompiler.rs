@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hyperq_parser::ast as past;
-use hyperq_parser::fingerprint::{fingerprint, fnv1a};
+use hyperq_parser::fingerprint::{fingerprint, fnv1a, redact_literals};
 use hyperq_parser::{parse_statements, Dialect, ParsedStatement};
 use hyperq_xtra::catalog::{ColumnDef, MetadataProvider, TableDef, TableKind, ViewDef};
 use hyperq_xtra::datum::Datum;
@@ -16,6 +16,7 @@ use hyperq_xtra::expr::ScalarExpr;
 use hyperq_xtra::feature::{Feature, FeatureSet};
 use hyperq_xtra::rel::{Plan, RelExpr, SetOpKind};
 
+use hyperq_obs::provenance::{self, CacheOutcome, FinishedStatement};
 use hyperq_obs::{Counter, Histogram, ObsContext, TraceId};
 
 use crate::analyze::{AnalyzeMode, Analyzer};
@@ -180,6 +181,12 @@ impl HyperQ {
             Arc::clone(&spec.obs),
         );
         let caps_sig = fnv1a(format!("{:?}", spec.caps).as_bytes());
+        // Slow-query-log entries store literal-redacted SQL unless raw
+        // capture was opted into; the redactor reuses the fingerprinter's
+        // literal spans so it stays in lockstep with the lexer.
+        if !spec.obs.slowlog.has_redactor() {
+            spec.obs.slowlog.install_redactor(redact_literals);
+        }
         HyperQ {
             backend: InstrumentedBackend::wrap(recovering, &spec.obs),
             caps: spec.caps,
@@ -287,15 +294,21 @@ impl HyperQ {
             let text = ps.text.clone();
             let root = obs.traces.enter("statement");
             let trace = root.trace_id();
+            obs.provenance.begin();
             if i == 0 {
                 // Script parsing happened before any statement trace
                 // existed; charge it to the first statement, mirroring the
                 // timings accounting below.
                 obs.traces.record_manual(trace, Some(root.id()), "parse", parse_time);
                 self.stages.parse.record(parse_time);
+                provenance::note_stage("parse", parse_time);
             }
             let processed = self.process(ps, cache_ok);
-            let total = root.finish();
+            // Script parse time happened outside the root span but is
+            // charged to the first statement's stages, so fold it into that
+            // statement's end-to-end time too.
+            let total =
+                root.finish() + if i == 0 { parse_time } else { Duration::ZERO };
             let mut outcome = self.observe_statement(processed, trace, &text, total)?;
             if i == 0 {
                 outcome.timings.translation += parse_time;
@@ -319,6 +332,8 @@ impl HyperQ {
             return None;
         }
         if fp.volatile {
+            // The slow path opens the record; park the reason for it.
+            provenance::pend_cache_bypass("volatile");
             cache.note_bypass();
             return None;
         }
@@ -331,7 +346,7 @@ impl HyperQ {
             // Sampled revalidation: a full re-translation must reproduce
             // the cached SQL byte-for-byte, or the entry dies and the
             // statement takes the slow path.
-            if self.revalidate_hit(sql, &hit.sql) == Some(true) {
+            if provenance::suspended(|| self.revalidate_hit(sql, &hit.sql)) == Some(true) {
                 cache.note_revalidation(true);
             } else {
                 cache.note_revalidation(false);
@@ -343,11 +358,15 @@ impl HyperQ {
         let obs = Arc::clone(&self.obs);
         let root = obs.traces.enter("statement");
         let trace = root.trace_id();
+        obs.provenance.begin();
+        provenance::note_cache(CacheOutcome::Hit);
+        provenance::note_stage("cache", lookup_time);
         obs.traces.record_manual(trace, Some(root.id()), "cache", lookup_time);
         let exec_span = obs.traces.enter("execute");
         let exec = self.backend.execute_ctx(&hit.sql, self.request_ctx(hit.is_query));
         let exec_time = exec_span.finish();
         self.stages.execute.record(exec_time);
+        provenance::note_stage("execute", exec_time);
         let processed = match exec {
             Ok(result) => Ok(StatementResult {
                 result,
@@ -358,7 +377,9 @@ impl HyperQ {
             }),
             Err(e) => Err(HyperQError::from(e)),
         };
-        let total = root.finish();
+        // The lookup ran before the root span opened; it is part of the
+        // statement's end-to-end time all the same.
+        let total = root.finish() + lookup_time;
         let text = statement_text(sql).to_string();
         Some(self.observe_statement(processed, trace, &text, total))
     }
@@ -398,14 +419,24 @@ impl HyperQ {
             return;
         }
         if seed.volatile {
+            provenance::note_cache(CacheOutcome::Bypass("volatile_default"));
             cache.note_bypass();
             return;
         }
-        let Ok(fp) = fingerprint(text) else { return };
+        let Ok(fp) = fingerprint(text) else {
+            provenance::note_cache(CacheOutcome::Bypass("unfingerprintable"));
+            return;
+        };
         if fp.statements != 1 || fp.volatile {
+            provenance::note_cache(CacheOutcome::Bypass(if fp.statements != 1 {
+                "multi_statement"
+            } else {
+                "volatile"
+            }));
             cache.note_bypass();
             return;
         }
+        provenance::note_cache(CacheOutcome::Miss);
         let key = CacheKey { fingerprint: fp.hash, ctx: self.translation_ctx() };
         let fill = CacheFill {
             sql: seed.sql,
@@ -478,15 +509,53 @@ impl HyperQ {
                         .inc();
                 }
                 self.obs.slowlog.observe(&self.obs.traces, trace, text, total);
+                self.finish_provenance(trace, text, total, Some(&outcome), None);
                 outcome.trace_id = Some(trace);
                 Ok(outcome)
             }
             Err(e) => {
                 self.stages.statements_err.inc();
                 self.obs.slowlog.observe(&self.obs.traces, trace, text, total);
+                let msg = e.to_string();
+                self.finish_provenance(trace, text, total, None, Some(&msg));
                 Err(e)
             }
         }
+    }
+
+    /// Seal the statement's provenance record (opened by `begin` at the
+    /// statement head; a no-op when capture is disabled). The fingerprint
+    /// and literal-redacted text are computed here, once, off the
+    /// translation hot path.
+    fn finish_provenance(
+        &self,
+        trace: TraceId,
+        text: &str,
+        total: Duration,
+        outcome: Option<&StatementResult>,
+        error: Option<&str>,
+    ) {
+        let prov = &self.obs.provenance;
+        if !prov.is_enabled() {
+            return;
+        }
+        let hash = fingerprint(text).map(|f| f.hash).unwrap_or(0);
+        let sql = if prov.capture_raw() { text.to_string() } else { redact_literals(text) };
+        let features: Vec<&'static str> = outcome
+            .map(|o| o.features.iter().map(|f| f.code()).collect())
+            .unwrap_or_default();
+        let rows = outcome.map(|o| o.result.row_count).unwrap_or(0);
+        prov.finish(FinishedStatement {
+            trace,
+            fingerprint: hash,
+            kind: statement_kind(text),
+            sql: &sql,
+            total,
+            features,
+            analyze_mode: self.analyzer.mode().as_str(),
+            rows,
+            error,
+        });
     }
 
     /// Run exactly one statement.
@@ -523,12 +592,17 @@ impl HyperQ {
         let obs = Arc::clone(&self.obs);
         let root = obs.traces.enter("statement");
         let trace = root.trace_id();
+        obs.provenance.begin();
+        provenance::note_cache(CacheOutcome::Bypass("parameterized"));
+        provenance::note_stage("parse", parse_time);
         obs.traces.record_manual(trace, Some(root.id()), "parse", parse_time);
         self.stages.parse.record(parse_time);
         let processed = self
             .run_pipeline_with(&ps.stmt, HashMap::new(), values.to_vec(), &mut features)
             .map(|o| StatementOutcome { features, ..o });
-        let total = root.finish();
+        // As above: parsing preceded the root span but belongs to this
+        // statement's end-to-end time.
+        let total = root.finish() + parse_time;
         let mut outcome = self.observe_statement(processed, trace, &ps.text, total)?;
         outcome.timings.translation += parse_time;
         Ok(outcome)
@@ -572,6 +646,7 @@ impl HyperQ {
     /// `hyperq_emulation_requests_total`). Cold paths only, so the registry
     /// lookup per call is fine.
     fn emu(&self, kind: &'static str) {
+        provenance::note_emulation(kind);
         self.obs
             .metrics
             .counter("hyperq_emulation_requests_total", &[("kind", kind)])
@@ -999,6 +1074,7 @@ impl HyperQ {
         };
         let bind_time = bind_span.finish();
         self.stages.bind.record(bind_time);
+        provenance::note_stage("bind", bind_time);
         self.analyzer.check_plan(&plan, "bind")?;
         let mut timings = Timings { translation: bind_time, execution: Duration::ZERO };
 
@@ -1056,6 +1132,7 @@ impl HyperQ {
             .transform(&self.transformer, plan, &self.caps, features)?;
         let transform_time = transform_span.finish();
         self.stages.transform.record(transform_time);
+        provenance::note_stage("transform", transform_time);
         timings.translation += transform_time;
 
         self.analyzer.check_plan(&plan, "serializer")?;
@@ -1063,6 +1140,7 @@ impl HyperQ {
         let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
         let serialize_time = serialize_span.finish();
         self.stages.serialize.record(serialize_time);
+        provenance::note_stage("serialize", serialize_time);
         timings.translation += serialize_time;
 
         // Strict mode: the serializer round-trip audit. Restricted to plain
@@ -1103,11 +1181,13 @@ impl HyperQ {
                 .serialize_plan(&Plan::CreateTable { def: instance, source: None })?;
             let d = ser_span.finish();
             self.stages.serialize.record(d);
+            provenance::note_stage("serialize", d);
             timings.translation += d;
             let exec_span = self.obs.traces.enter("execute");
             self.backend.execute_ctx(&ddl, self.request_ctx(false))?;
             let d = exec_span.finish();
             self.stages.execute.record(d);
+            provenance::note_stage("execute", d);
             timings.execution += d;
             // Journal the materialization so a reconnect re-creates the
             // per-session instance (guarded by its continued existence).
@@ -1121,6 +1201,7 @@ impl HyperQ {
         let result = self.backend.execute_ctx(&sql, self.request_ctx(is_query))?;
         let exec_time = exec_span.finish();
         self.stages.execute.record(exec_time);
+        provenance::note_stage("execute", exec_time);
         timings.execution += exec_time;
 
         // Leave the translation behind for the cache. Only the standard
@@ -1514,6 +1595,7 @@ impl HyperQ {
             .transform(&self.transformer, plan, &self.caps, &mut scratch)?;
         let d = span.finish();
         self.stages.transform.record(d);
+        provenance::note_stage("transform", d);
         timings.translation += d;
         // No round-trip audit here: emulation plans reference freshly
         // created per-session temp tables the shadow catalog cannot rebind.
@@ -1522,12 +1604,14 @@ impl HyperQ {
         let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
         let d = span.finish();
         self.stages.serialize.record(d);
+        provenance::note_stage("serialize", d);
         timings.translation += d;
         let span = self.obs.traces.enter("execute");
         let result =
             self.backend.execute_ctx(&sql, self.request_ctx(matches!(plan, Plan::Query(_))))?;
         let d = span.finish();
         self.stages.execute.record(d);
+        provenance::note_stage("execute", d);
         timings.execution += d;
         sql_sent.push(sql);
         Ok(result)
@@ -1559,6 +1643,34 @@ fn fast_path_candidate(sql: &str) -> bool {
         word.to_ascii_uppercase().as_str(),
         "SELECT" | "SEL" | "INSERT" | "INS" | "UPDATE" | "UPD" | "DELETE" | "DEL" | "WITH"
     )
+}
+
+/// Coarse statement kind from the leading keyword, recorded in provenance
+/// records (Teradata shorthands normalized onto the long forms).
+fn statement_kind(sql: &str) -> &'static str {
+    let word: String = sql
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .take(12)
+        .collect();
+    match word.to_ascii_uppercase().as_str() {
+        "SELECT" | "SEL" | "WITH" => "select",
+        "INSERT" | "INS" => "insert",
+        "UPDATE" | "UPD" => "update",
+        "DELETE" | "DEL" => "delete",
+        "MERGE" => "merge",
+        "CREATE" | "REPLACE" => "create",
+        "DROP" => "drop",
+        "ALTER" => "alter",
+        "EXEC" | "EXECUTE" => "execute",
+        "CALL" => "call",
+        "HELP" => "help",
+        "EXPLAIN" => "explain",
+        "SET" => "set",
+        "BT" | "BEGIN" | "ET" | "COMMIT" | "END" | "ROLLBACK" | "ABORT" => "transaction",
+        _ => "other",
+    }
 }
 
 /// The canonical statement text of a single-statement script: trimmed,

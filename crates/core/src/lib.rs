@@ -60,7 +60,7 @@ pub use crosscompiler::{
     HyperQ, StageTimings, StatementOutcome, StatementResult, Timings, STAGE_DURATION_METRIC,
 };
 pub use error::{HyperQError, Result};
-pub use hyperq_obs::{ObsContext, TraceId};
+pub use hyperq_obs::{ObsContext, ProvenanceConfig, TraceId};
 pub use recover::{
     JournalEntry, JournalEntryKind, RecoverConfig, RecoveringBackend, SessionJournal,
     TXN_ABORT_MESSAGE,

@@ -313,6 +313,7 @@ impl RecoveringBackend {
             Ok(()) => {
                 self.success_m.inc();
                 self.journal.note_recovery();
+                hyperq_obs::provenance::note_recovery();
             }
             Err(_) => self.failures_m.inc(),
         }

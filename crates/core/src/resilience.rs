@@ -360,6 +360,7 @@ impl Backend for ResilientBackend {
                 }
             }
             self.retries.inc();
+            hyperq_obs::provenance::note_retry();
             std::thread::sleep(backoff);
         }
     }

@@ -215,10 +215,14 @@ impl Transformer {
     }
 
     fn flush_rule_counters(&self, active: &[(usize, &dyn TransformRule)], fires: &[u64]) {
-        for (slot, &(idx, _)) in active.iter().enumerate() {
+        for (slot, &(idx, rule)) in active.iter().enumerate() {
             if let Some((fired, noop)) = &self.rule_counters[idx] {
                 if fires[slot] > 0 {
                     fired.add(fires[slot]);
+                    // Probe translations run an uninstrumented transformer
+                    // (no counters), so this branch naturally excludes them
+                    // from the statement's provenance trail too.
+                    hyperq_obs::provenance::note_rule(rule.name(), fires[slot]);
                 } else {
                     noop.inc();
                 }

@@ -19,7 +19,10 @@
 #![forbid(unsafe_code)]
 
 pub mod io;
+pub mod json;
 pub mod metrics;
+pub mod provenance;
+pub mod report;
 pub mod slowlog;
 pub mod trace;
 
@@ -27,6 +30,8 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use provenance::{CacheOutcome, ConvertStats, ProvenanceLog, ProvenanceRecord};
+pub use report::WorkloadReport;
 pub use slowlog::{SlowQueryEntry, SlowQueryLog};
 pub use trace::{Span, SpanId, SpanRecord, TraceId, TraceSink};
 
@@ -48,12 +53,43 @@ impl StageTimings {
     }
 }
 
-/// Shared observability state: metrics registry, trace sink, slow-query log.
+/// Shared observability state: metrics registry, trace sink, slow-query
+/// log, per-statement provenance ring.
 #[derive(Debug, Default)]
 pub struct ObsContext {
     pub metrics: MetricsRegistry,
     pub traces: TraceSink,
     pub slowlog: SlowQueryLog,
+    pub provenance: ProvenanceLog,
+}
+
+/// Provenance capture knobs, applied through `HyperQBuilder` or directly
+/// on an [`ObsContext`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProvenanceConfig {
+    pub enabled: bool,
+    /// Total ring capacity across shards.
+    pub capacity: usize,
+    /// Store raw SQL in records instead of literal-redacted text.
+    pub capture_raw_sql: bool,
+}
+
+impl Default for ProvenanceConfig {
+    fn default() -> Self {
+        ProvenanceConfig {
+            enabled: true,
+            capacity: provenance::DEFAULT_PROVENANCE_CAPACITY,
+            capture_raw_sql: false,
+        }
+    }
+}
+
+impl ProvenanceConfig {
+    pub fn apply(&self, log: &ProvenanceLog) {
+        log.set_enabled(self.enabled);
+        log.set_capacity(self.capacity);
+        log.set_capture_raw(self.capture_raw_sql);
+    }
 }
 
 impl ObsContext {
@@ -68,6 +104,10 @@ impl ObsContext {
     /// * `HYPERQ_SLOW_QUERY_MS` — slow-query log threshold in milliseconds
     ///   (unset or 0 disables capture).
     /// * `HYPERQ_TRACE` — set to `0` or `off` to disable span buffering.
+    /// * `HYPERQ_PROVENANCE` — set to `0` or `off` to disable per-statement
+    ///   provenance capture.
+    /// * `HYPERQ_RAW_SQL` — set to `1` or `on` to store raw (unredacted)
+    ///   SQL in the slow-query log and provenance records.
     pub fn global() -> &'static Arc<ObsContext> {
         static GLOBAL: OnceLock<Arc<ObsContext>> = OnceLock::new();
         GLOBAL.get_or_init(|| {
@@ -79,11 +119,23 @@ impl ObsContext {
                     }
                 }
             }
-            if let Ok(v) = std::env::var("HYPERQ_TRACE") {
+            let off = |v: String| {
                 let v = v.trim().to_ascii_lowercase();
-                if v == "0" || v == "off" || v == "false" {
-                    ctx.traces.set_enabled(false);
-                }
+                v == "0" || v == "off" || v == "false"
+            };
+            let on = |v: String| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "1" || v == "on" || v == "true"
+            };
+            if std::env::var("HYPERQ_TRACE").map(off).unwrap_or(false) {
+                ctx.traces.set_enabled(false);
+            }
+            if std::env::var("HYPERQ_PROVENANCE").map(off).unwrap_or(false) {
+                ctx.provenance.set_enabled(false);
+            }
+            if std::env::var("HYPERQ_RAW_SQL").map(on).unwrap_or(false) {
+                ctx.provenance.set_capture_raw(true);
+                ctx.slowlog.set_capture_raw(true);
             }
             ctx
         })

@@ -247,6 +247,18 @@ impl MetricsRegistry {
             let sum = h.sum().as_micros() as f64 / 1e6;
             out.push_str(&format!("{}_sum{} {}\n", k.name, label_set(&k.labels, None), sum));
             out.push_str(&format!("{}_count{} {}\n", k.name, label_set(&k.labels, None), h.count()));
+            // Pre-computed quantile gauges (seconds), so scrapers get
+            // latency percentiles without doing histogram math.
+            for (suffix, v) in
+                [("p50", h.p50()), ("p95", h.p95()), ("p99", h.p99())]
+            {
+                out.push_str(&format!(
+                    "{}_{suffix}{} {}\n",
+                    k.name,
+                    label_set(&k.labels, None),
+                    v.as_micros() as f64 / 1e6
+                ));
+            }
         }
         out
     }
@@ -322,7 +334,7 @@ fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -415,21 +427,24 @@ mod tests {
     #[test]
     fn prometheus_exposition_golden() {
         let r = MetricsRegistry::default();
-        r.counter("hyperq_queries_total", &[("session", "1")]).add(5);
-        r.gauge("hyperq_sessions_active", &[]).set(2);
+        r.counter("demo_queries_total", &[("session", "1")]).add(5);
+        r.gauge("demo_sessions_active", &[]).set(2);
         let h = r.histogram("hyperq_stage_duration_seconds", &[("stage", "parse")]);
         h.record_micros(1); // bucket 0 (le = 1µs)
         h.record_micros(3); // bucket 2 (le = 4µs)
         let text = r.render_prometheus();
         let expected = "\
-hyperq_queries_total{session=\"1\"} 5
-hyperq_sessions_active 2
+demo_queries_total{session=\"1\"} 5
+demo_sessions_active 2
 hyperq_stage_duration_seconds_bucket{stage=\"parse\",le=\"0.000001\"} 1
 hyperq_stage_duration_seconds_bucket{stage=\"parse\",le=\"0.000002\"} 1
 hyperq_stage_duration_seconds_bucket{stage=\"parse\",le=\"0.000004\"} 2
 hyperq_stage_duration_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 2
 hyperq_stage_duration_seconds_sum{stage=\"parse\"} 0.000004
 hyperq_stage_duration_seconds_count{stage=\"parse\"} 2
+hyperq_stage_duration_seconds_p50{stage=\"parse\"} 0.000001
+hyperq_stage_duration_seconds_p95{stage=\"parse\"} 0.000004
+hyperq_stage_duration_seconds_p99{stage=\"parse\"} 0.000004
 ";
         assert_eq!(text, expected);
     }

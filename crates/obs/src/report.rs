@@ -1,0 +1,678 @@
+//! Workload intelligence: fold provenance records into the paper's
+//! evaluation artifacts.
+//!
+//! * **Figure 7 analog** — where time goes: aggregate stage shares plus
+//!   the distribution of per-query translation-overhead ratios
+//!   (translation time relative to end-to-end time).
+//! * **Figure 8 analog** — feature usage: for every tracked non-standard
+//!   feature code, how many statements and how many distinct queries used
+//!   it.
+//! * Top-N queries by latency, by volume and by emulation cost, and cache
+//!   efficiency by fingerprint.
+//!
+//! Everything is computed from live [`ProvenanceRecord`]s only — nothing
+//! here re-parses SQL or consults other registries — and renders as both
+//! JSON and aligned plain text.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::metrics::json_str;
+use crate::provenance::{CacheOutcome, ProvenanceRecord};
+
+/// Stages counted as translation overhead (everything Hyper-Q adds in
+/// front of the target database). `execute` is the backend's time;
+/// `convert` is accounted from the attached conversion stats.
+const TRANSLATION_STAGES: [&str; 6] =
+    ["parse", "bind", "transform", "serialize", "validate", "cache"];
+
+/// Upper bounds (percent) of the overhead-ratio distribution bands.
+const BAND_BOUNDS: [f64; 7] = [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0];
+const BAND_LABELS: [&str; 8] =
+    ["<=0.5%", "0.5-1%", "1-2%", "2-5%", "5-10%", "10-25%", "25-50%", ">50%"];
+
+/// Aggregate time spent in one pipeline stage across the workload.
+#[derive(Debug, Clone)]
+pub struct StageShare {
+    pub stage: String,
+    pub total: Duration,
+    /// Share of the summed end-to-end time, in percent.
+    pub share_pct: f64,
+}
+
+/// One band of the per-query overhead-ratio distribution (Figure 7
+/// analog): how many queries spent this fraction of their end-to-end time
+/// in translation.
+#[derive(Debug, Clone)]
+pub struct OverheadBand {
+    pub label: &'static str,
+    pub queries: u64,
+    pub share_pct: f64,
+}
+
+/// Feature-usage frequency (Figure 8 analog) for one tracked feature code.
+#[derive(Debug, Clone)]
+pub struct FeatureRow {
+    pub code: String,
+    pub statements: u64,
+    pub statement_pct: f64,
+    pub distinct_queries: u64,
+    pub distinct_pct: f64,
+}
+
+/// Per-fingerprint aggregate used by the top-N tables.
+#[derive(Debug, Clone)]
+pub struct QueryAgg {
+    pub fingerprint: u64,
+    pub sample: String,
+    pub executions: u64,
+    pub total: Duration,
+    pub mean: Duration,
+    pub max: Duration,
+    pub rows: u64,
+    /// Total emulation requests across all executions.
+    pub emulations: u64,
+}
+
+/// Cache behavior of one fingerprint.
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    pub fingerprint: u64,
+    pub sample: String,
+    pub hits: u64,
+    pub misses: u64,
+    pub bypasses: u64,
+    pub hit_rate_pct: f64,
+}
+
+/// The folded workload analytics.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    pub statements: u64,
+    pub errors: u64,
+    pub distinct_fingerprints: u64,
+    pub retries: u64,
+    pub recoveries: u64,
+    pub admission_wait: Duration,
+    pub stage_shares: Vec<StageShare>,
+    /// Mean per-query translation-overhead ratio, percent.
+    pub mean_overhead_pct: f64,
+    pub overhead_bands: Vec<OverheadBand>,
+    pub features: Vec<FeatureRow>,
+    pub top_latency: Vec<QueryAgg>,
+    pub top_volume: Vec<QueryAgg>,
+    pub top_emulation: Vec<QueryAgg>,
+    pub cache_rows: Vec<CacheRow>,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_bypasses: u64,
+}
+
+const TOP_N: usize = 5;
+const CACHE_ROWS: usize = 10;
+
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole <= 0.0 {
+        0.0
+    } else {
+        part / whole * 100.0
+    }
+}
+
+/// Order feature codes T1…T9, X1…X9, E1…E9, then anything unknown.
+fn feature_order(code: &str) -> (u8, u32, String) {
+    let class = match code.as_bytes().first() {
+        Some(b'T') => 0,
+        Some(b'X') => 1,
+        Some(b'E') => 2,
+        _ => 3,
+    };
+    let num = code.get(1..).and_then(|s| s.parse().ok()).unwrap_or(u32::MAX);
+    (class, num, code.to_string())
+}
+
+impl WorkloadReport {
+    pub fn from_records(records: &[ProvenanceRecord]) -> WorkloadReport {
+        let statements = records.len() as u64;
+        let errors = records.iter().filter(|r| !r.ok).count() as u64;
+        let retries: u64 = records.iter().map(|r| r.retries).sum();
+        let recoveries: u64 = records.iter().map(|r| r.recoveries).sum();
+        let admission_wait: Duration = records.iter().map(|r| r.admission_wait).sum();
+
+        // Figure 7 analog: aggregate stage shares plus per-query overhead
+        // ratio bands.
+        let mut stage_totals: BTreeMap<&str, Duration> = BTreeMap::new();
+        let mut grand_total = Duration::ZERO;
+        let mut bands = [0u64; BAND_LABELS.len()];
+        let mut overhead_sum = 0.0f64;
+        let mut overhead_n = 0u64;
+        for r in records {
+            grand_total += r.total;
+            for (stage, d) in &r.stages {
+                *stage_totals.entry(stage).or_default() += *d;
+            }
+            if let Some(c) = &r.convert {
+                *stage_totals.entry("convert").or_default() += c.duration;
+            }
+            let translation: Duration = r
+                .stages
+                .iter()
+                .filter(|(s, _)| TRANSLATION_STAGES.contains(s))
+                .map(|(_, d)| *d)
+                .sum();
+            if !r.total.is_zero() {
+                let ratio = pct(translation.as_secs_f64(), r.total.as_secs_f64());
+                let band = BAND_BOUNDS.iter().position(|&b| ratio <= b).unwrap_or(BAND_BOUNDS.len());
+                bands[band] += 1;
+                overhead_sum += ratio;
+                overhead_n += 1;
+            }
+        }
+        let stage_shares = stage_totals
+            .into_iter()
+            .map(|(stage, total)| StageShare {
+                stage: stage.to_string(),
+                total,
+                share_pct: pct(total.as_secs_f64(), grand_total.as_secs_f64()),
+            })
+            .collect();
+        let overhead_bands = BAND_LABELS
+            .iter()
+            .zip(bands)
+            .map(|(label, queries)| OverheadBand {
+                label,
+                queries,
+                share_pct: pct(queries as f64, overhead_n as f64),
+            })
+            .collect();
+
+        // Figure 8 analog: statements and distinct fingerprints per
+        // feature code.
+        let mut per_fingerprint: BTreeMap<u64, QueryAggBuilder> = BTreeMap::new();
+        let mut feature_statements: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut feature_distinct: BTreeMap<&str, std::collections::BTreeSet<u64>> =
+            BTreeMap::new();
+        for r in records {
+            for code in &r.features {
+                *feature_statements.entry(code).or_default() += 1;
+                feature_distinct.entry(code).or_default().insert(r.fingerprint);
+            }
+            let agg = per_fingerprint.entry(r.fingerprint).or_insert_with(|| {
+                QueryAggBuilder { sample: r.sql.clone(), ..QueryAggBuilder::default() }
+            });
+            agg.observe(r);
+        }
+        let distinct_fingerprints = per_fingerprint.len() as u64;
+        let mut features: Vec<FeatureRow> = feature_statements
+            .iter()
+            .map(|(code, &count)| {
+                let distinct = feature_distinct.get(code).map_or(0, |s| s.len() as u64);
+                FeatureRow {
+                    code: code.to_string(),
+                    statements: count,
+                    statement_pct: pct(count as f64, statements as f64),
+                    distinct_queries: distinct,
+                    distinct_pct: pct(distinct as f64, distinct_fingerprints as f64),
+                }
+            })
+            .collect();
+        features.sort_by_key(|f| feature_order(&f.code));
+
+        // Top-N and cache efficiency over the per-fingerprint aggregates.
+        let aggs: Vec<QueryAgg> =
+            per_fingerprint.iter().map(|(&fp, b)| b.build(fp)).collect();
+        let mut top_latency = aggs.clone();
+        top_latency.sort_by(|a, b| b.total.cmp(&a.total).then(a.fingerprint.cmp(&b.fingerprint)));
+        top_latency.truncate(TOP_N);
+        let mut top_volume = aggs.clone();
+        top_volume.sort_by(|a, b| {
+            b.executions.cmp(&a.executions).then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        top_volume.truncate(TOP_N);
+        let mut top_emulation: Vec<QueryAgg> =
+            aggs.iter().filter(|a| a.emulations > 0).cloned().collect();
+        top_emulation.sort_by(|a, b| {
+            b.emulations.cmp(&a.emulations).then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        top_emulation.truncate(TOP_N);
+
+        let mut cache_rows: Vec<CacheRow> = per_fingerprint
+            .iter()
+            .filter(|(_, b)| b.hits + b.misses + b.bypasses > 0)
+            .map(|(&fp, b)| CacheRow {
+                fingerprint: fp,
+                sample: b.sample.clone(),
+                hits: b.hits,
+                misses: b.misses,
+                bypasses: b.bypasses,
+                hit_rate_pct: pct(b.hits as f64, (b.hits + b.misses) as f64),
+            })
+            .collect();
+        cache_rows.sort_by(|a, b| {
+            (b.hits + b.misses + b.bypasses)
+                .cmp(&(a.hits + a.misses + a.bypasses))
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        cache_rows.truncate(CACHE_ROWS);
+        let cache_hits = records.iter().filter(|r| r.cache == CacheOutcome::Hit).count() as u64;
+        let cache_misses =
+            records.iter().filter(|r| r.cache == CacheOutcome::Miss).count() as u64;
+        let cache_bypasses = records
+            .iter()
+            .filter(|r| matches!(r.cache, CacheOutcome::Bypass(_)))
+            .count() as u64;
+
+        WorkloadReport {
+            statements,
+            errors,
+            distinct_fingerprints,
+            retries,
+            recoveries,
+            admission_wait,
+            stage_shares,
+            mean_overhead_pct: if overhead_n == 0 { 0.0 } else { overhead_sum / overhead_n as f64 },
+            overhead_bands,
+            features,
+            top_latency,
+            top_volume,
+            top_emulation,
+            cache_rows,
+            cache_hits,
+            cache_misses,
+            cache_bypasses,
+        }
+    }
+
+    /// Render the full report as JSON.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"statements\":{},", self.statements));
+        out.push_str(&format!("\"errors\":{},", self.errors));
+        out.push_str(&format!("\"distinct_fingerprints\":{},", self.distinct_fingerprints));
+        out.push_str(&format!("\"retries\":{},", self.retries));
+        out.push_str(&format!("\"recoveries\":{},", self.recoveries));
+        out.push_str(&format!(
+            "\"admission_wait_seconds\":{},",
+            self.admission_wait.as_secs_f64()
+        ));
+        out.push_str(&format!("\"mean_overhead_pct\":{},", self.mean_overhead_pct));
+        out.push_str("\"stage_shares\":[");
+        for (i, s) in self.stage_shares.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":{},\"total_seconds\":{},\"share_pct\":{}}}",
+                json_str(&s.stage),
+                s.total.as_secs_f64(),
+                s.share_pct
+            ));
+        }
+        out.push_str("],\"overhead_bands\":[");
+        for (i, b) in self.overhead_bands.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"band\":{},\"queries\":{},\"share_pct\":{}}}",
+                json_str(b.label),
+                b.queries,
+                b.share_pct
+            ));
+        }
+        out.push_str("],\"features\":[");
+        for (i, f) in self.features.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"statements\":{},\"statement_pct\":{},\
+                 \"distinct_queries\":{},\"distinct_pct\":{}}}",
+                json_str(&f.code),
+                f.statements,
+                f.statement_pct,
+                f.distinct_queries,
+                f.distinct_pct
+            ));
+        }
+        out.push_str("],");
+        for (key, list) in [
+            ("top_latency", &self.top_latency),
+            ("top_volume", &self.top_volume),
+            ("top_emulation", &self.top_emulation),
+        ] {
+            out.push_str(&format!("\"{key}\":["));
+            for (i, q) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"fingerprint\":\"{:016x}\",\"sample\":{},\"executions\":{},\
+                     \"total_seconds\":{},\"mean_seconds\":{},\"max_seconds\":{},\
+                     \"rows\":{},\"emulations\":{}}}",
+                    q.fingerprint,
+                    json_str(&q.sample),
+                    q.executions,
+                    q.total.as_secs_f64(),
+                    q.mean.as_secs_f64(),
+                    q.max.as_secs_f64(),
+                    q.rows,
+                    q.emulations
+                ));
+            }
+            out.push_str("],");
+        }
+        out.push_str("\"cache\":{");
+        out.push_str(&format!("\"hits\":{},", self.cache_hits));
+        out.push_str(&format!("\"misses\":{},", self.cache_misses));
+        out.push_str(&format!("\"bypasses\":{},", self.cache_bypasses));
+        out.push_str("\"by_fingerprint\":[");
+        for (i, c) in self.cache_rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"fingerprint\":\"{:016x}\",\"sample\":{},\"hits\":{},\"misses\":{},\
+                 \"bypasses\":{},\"hit_rate_pct\":{}}}",
+                c.fingerprint,
+                json_str(&c.sample),
+                c.hits,
+                c.misses,
+                c.bypasses,
+                c.hit_rate_pct
+            ));
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Render the full report as aligned plain text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("workload report\n");
+        out.push_str(&format!(
+            "  statements {}  errors {}  distinct {}  retries {}  recoveries {}\n",
+            self.statements, self.errors, self.distinct_fingerprints, self.retries,
+            self.recoveries
+        ));
+        out.push_str(&format!(
+            "  cache hits {}  misses {}  bypasses {}  admission wait {:.3?}\n\n",
+            self.cache_hits, self.cache_misses, self.cache_bypasses, self.admission_wait
+        ));
+
+        out.push_str("stage shares (figure 7 analog)\n");
+        out.push_str(&format!("  {:<10} {:>12} {:>8}\n", "stage", "total", "share"));
+        for s in &self.stage_shares {
+            out.push_str(&format!(
+                "  {:<10} {:>12} {:>7.1}%\n",
+                s.stage,
+                format!("{:.3?}", s.total),
+                s.share_pct
+            ));
+        }
+        out.push_str(&format!(
+            "  mean per-query translation overhead: {:.2}%\n",
+            self.mean_overhead_pct
+        ));
+        out.push_str("  overhead-ratio distribution:\n");
+        for b in &self.overhead_bands {
+            out.push_str(&format!(
+                "    {:<8} {:>8} {:>7.1}%\n",
+                b.label, b.queries, b.share_pct
+            ));
+        }
+        out.push('\n');
+
+        out.push_str(&self.render_feature_table());
+        out.push('\n');
+
+        for (title, list) in [
+            ("top queries by latency", &self.top_latency),
+            ("top queries by volume", &self.top_volume),
+            ("top queries by emulation cost", &self.top_emulation),
+        ] {
+            out.push_str(&format!("{title}\n"));
+            if list.is_empty() {
+                out.push_str("  (none)\n");
+            } else {
+                out.push_str(&format!(
+                    "  {:<16} {:>6} {:>12} {:>12} {:>6} {}\n",
+                    "fingerprint", "execs", "total", "mean", "emul", "sample"
+                ));
+                for q in list {
+                    out.push_str(&format!(
+                        "  {:016x} {:>6} {:>12} {:>12} {:>6} {}\n",
+                        q.fingerprint,
+                        q.executions,
+                        format!("{:.3?}", q.total),
+                        format!("{:.3?}", q.mean),
+                        q.emulations,
+                        clip(&q.sample, 48)
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+
+        out.push_str("cache efficiency by fingerprint\n");
+        if self.cache_rows.is_empty() {
+            out.push_str("  (none)\n");
+        } else {
+            out.push_str(&format!(
+                "  {:<16} {:>6} {:>6} {:>8} {:>8} {}\n",
+                "fingerprint", "hits", "miss", "bypass", "hitrate", "sample"
+            ));
+            for c in &self.cache_rows {
+                out.push_str(&format!(
+                    "  {:016x} {:>6} {:>6} {:>8} {:>7.1}% {}\n",
+                    c.fingerprint,
+                    c.hits,
+                    c.misses,
+                    c.bypasses,
+                    c.hit_rate_pct,
+                    clip(&c.sample, 48)
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render only the Figure 8 analog feature table. Contains counts and
+    /// fixed-precision shares, so the output is byte-stable for a fixed
+    /// workload.
+    pub fn render_feature_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("feature usage (figure 8 analog)\n");
+        out.push_str(&format!(
+            "  {:<6} {:>10} {:>8} {:>10} {:>8}\n",
+            "code", "stmts", "stmt%", "distinct", "dist%"
+        ));
+        for f in &self.features {
+            out.push_str(&format!(
+                "  {:<6} {:>10} {:>7.2}% {:>10} {:>7.2}%\n",
+                f.code, f.statements, f.statement_pct, f.distinct_queries, f.distinct_pct
+            ));
+        }
+        out
+    }
+}
+
+fn clip(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        return s.to_string();
+    }
+    let clipped: String = s.chars().take(max).collect();
+    format!("{clipped}…")
+}
+
+#[derive(Debug, Default)]
+struct QueryAggBuilder {
+    sample: String,
+    executions: u64,
+    total: Duration,
+    max: Duration,
+    rows: u64,
+    emulations: u64,
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+}
+
+impl QueryAggBuilder {
+    fn observe(&mut self, r: &ProvenanceRecord) {
+        self.executions += 1;
+        self.total += r.total;
+        self.max = self.max.max(r.total);
+        self.rows += r.rows;
+        self.emulations += r.emulations.iter().map(|(_, n)| n).sum::<u64>();
+        match r.cache {
+            CacheOutcome::Hit => self.hits += 1,
+            CacheOutcome::Miss => self.misses += 1,
+            CacheOutcome::Bypass(_) => self.bypasses += 1,
+            CacheOutcome::Uncached => {}
+        }
+    }
+
+    fn build(&self, fingerprint: u64) -> QueryAgg {
+        QueryAgg {
+            fingerprint,
+            sample: self.sample.clone(),
+            executions: self.executions,
+            total: self.total,
+            mean: if self.executions == 0 {
+                Duration::ZERO
+            } else {
+                self.total / self.executions as u32
+            },
+            max: self.max,
+            rows: self.rows,
+            emulations: self.emulations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::{ConvertStats, ProvenanceRecord};
+    use crate::trace::TraceId;
+
+    fn record(
+        seq: u64,
+        fp: u64,
+        features: Vec<&'static str>,
+        cache: CacheOutcome,
+        translation_micros: u64,
+        execute_micros: u64,
+    ) -> ProvenanceRecord {
+        ProvenanceRecord {
+            seq,
+            trace: TraceId(seq),
+            fingerprint: fp,
+            kind: "select",
+            sql: format!("SELECT {fp}"),
+            total: Duration::from_micros(translation_micros + execute_micros),
+            stages: vec![
+                ("bind", Duration::from_micros(translation_micros)),
+                ("execute", Duration::from_micros(execute_micros)),
+            ],
+            rules: vec![("r", 1)],
+            emulations: if fp == 2 { vec![("macro", 2)] } else { Vec::new() },
+            features,
+            cache,
+            retries: 0,
+            recoveries: 0,
+            admission_wait: Duration::ZERO,
+            analyze_mode: "log_only",
+            violations: 0,
+            ok: true,
+            error: None,
+            rows: 4,
+            convert: Some(ConvertStats {
+                rows: 4,
+                bytes: 100,
+                duration: Duration::from_micros(2),
+            }),
+        }
+    }
+
+    fn sample_records() -> Vec<ProvenanceRecord> {
+        vec![
+            record(0, 1, vec!["X1"], CacheOutcome::Miss, 10, 990),
+            record(1, 1, vec!["X1"], CacheOutcome::Hit, 5, 995),
+            record(2, 2, vec!["E2", "X1"], CacheOutcome::Bypass("volatile"), 500, 500),
+            record(3, 3, vec![], CacheOutcome::Uncached, 1, 999),
+        ]
+    }
+
+    #[test]
+    fn folds_figure7_and_figure8_analogs() {
+        let report = WorkloadReport::from_records(&sample_records());
+        assert_eq!(report.statements, 4);
+        assert_eq!(report.distinct_fingerprints, 3);
+        assert_eq!(
+            (report.cache_hits, report.cache_misses, report.cache_bypasses),
+            (1, 1, 1)
+        );
+        // Feature table: X1 in 3 statements / 2 distinct; E2 in 1/1;
+        // ordered T < X < E... X before E.
+        let codes: Vec<&str> = report.features.iter().map(|f| f.code.as_str()).collect();
+        assert_eq!(codes, vec!["X1", "E2"]);
+        let x1 = &report.features[0];
+        assert_eq!(x1.statements, 3);
+        assert_eq!(x1.distinct_queries, 2);
+        assert!((x1.statement_pct - 75.0).abs() < 1e-9);
+        // Overhead bands: ratios 1%, 0.5%, 50%, 0.1% => one per band.
+        let total_banded: u64 = report.overhead_bands.iter().map(|b| b.queries).sum();
+        assert_eq!(total_banded, 4);
+        let band = |label: &str| {
+            report.overhead_bands.iter().find(|b| b.label == label).unwrap().queries
+        };
+        assert_eq!(band("<=0.5%"), 2);
+        assert_eq!(band("0.5-1%"), 1);
+        assert_eq!(band("25-50%"), 1);
+        // Stage shares include the convert stage from attached stats.
+        assert!(report.stage_shares.iter().any(|s| s.stage == "convert"));
+    }
+
+    #[test]
+    fn top_n_and_cache_rows_are_ranked() {
+        let report = WorkloadReport::from_records(&sample_records());
+        assert_eq!(report.top_volume[0].fingerprint, 1);
+        assert_eq!(report.top_volume[0].executions, 2);
+        assert_eq!(report.top_latency[0].fingerprint, 1, "2 execs of fp 1 dominate total");
+        assert_eq!(report.top_emulation.len(), 1);
+        assert_eq!(report.top_emulation[0].fingerprint, 2);
+        assert_eq!(report.top_emulation[0].emulations, 2);
+        let fp1 = report.cache_rows.iter().find(|c| c.fingerprint == 1).unwrap();
+        assert_eq!((fp1.hits, fp1.misses), (1, 1));
+        assert!((fp1.hit_rate_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders_json_text_and_stable_feature_table() {
+        let records = sample_records();
+        let report = WorkloadReport::from_records(&records);
+        let json = report.render_json();
+        crate::json::validate(&json).expect("report JSON must parse");
+        assert!(json.contains("\"features\":"));
+        assert!(json.contains("\"overhead_bands\":"));
+        let text = report.render_text();
+        assert!(text.contains("figure 7 analog"), "{text}");
+        assert!(text.contains("figure 8 analog"), "{text}");
+        assert!(text.contains("cache efficiency by fingerprint"), "{text}");
+        // Same records, same bytes.
+        let again = WorkloadReport::from_records(&records);
+        assert_eq!(report.render_feature_table(), again.render_feature_table());
+        assert_eq!(text, again.render_text());
+    }
+
+    #[test]
+    fn empty_records_fold_without_panicking() {
+        let report = WorkloadReport::from_records(&[]);
+        assert_eq!(report.statements, 0);
+        assert_eq!(report.mean_overhead_pct, 0.0);
+        crate::json::validate(&report.render_json()).unwrap();
+        assert!(report.render_text().contains("(none)"));
+    }
+}

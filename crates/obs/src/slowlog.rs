@@ -1,9 +1,16 @@
 //! Slow-query log: statements whose end-to-end latency crosses a threshold
 //! are captured with their full span tree for post-hoc inspection.
+//!
+//! Captured SQL is passed through an installable redactor before storage
+//! (the session builder installs a literal-redacting one based on the
+//! parser's fingerprint spans), so literal values from user queries do not
+//! sit in process memory or leak through the observability endpoint. Raw
+//! capture is an explicit opt-in ([`SlowQueryLog::set_capture_raw`]).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::trace::{TraceId, TraceSink};
@@ -20,19 +27,34 @@ pub struct SlowQueryEntry {
 
 pub const DEFAULT_SLOWLOG_CAPACITY: usize = 128;
 
+type Redactor = Arc<dyn Fn(&str) -> String + Send + Sync>;
+
 /// Bounded ring of slow statements. The threshold check on the hot path is
 /// a single relaxed atomic load; 0 means disabled.
-#[derive(Debug)]
 pub struct SlowQueryLog {
     threshold_micros: AtomicU64,
+    capture_raw: AtomicBool,
+    redactor: Mutex<Option<Redactor>>,
     ring: Mutex<VecDeque<SlowQueryEntry>>,
     capacity: usize,
+}
+
+impl fmt::Debug for SlowQueryLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlowQueryLog")
+            .field("threshold", &self.threshold())
+            .field("capture_raw", &self.capture_raw())
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for SlowQueryLog {
     fn default() -> Self {
         SlowQueryLog {
             threshold_micros: AtomicU64::new(0),
+            capture_raw: AtomicBool::new(false),
+            redactor: Mutex::new(None),
             ring: Mutex::new(VecDeque::new()),
             capacity: DEFAULT_SLOWLOG_CAPACITY,
         }
@@ -54,6 +76,27 @@ impl SlowQueryLog {
         }
     }
 
+    /// Opt in to storing raw SQL, bypassing the installed redactor.
+    pub fn set_capture_raw(&self, on: bool) {
+        self.capture_raw.store(on, Ordering::Relaxed);
+    }
+
+    pub fn capture_raw(&self) -> bool {
+        self.capture_raw.load(Ordering::Relaxed)
+    }
+
+    /// Install the redaction function applied to SQL before storage.
+    /// Without one, text is stored as given (the core session builder
+    /// installs a parser-backed literal redactor on every context it
+    /// uses). Runs only on capture, never on the hot path.
+    pub fn install_redactor(&self, f: impl Fn(&str) -> String + Send + Sync + 'static) {
+        *self.redactor.lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(f));
+    }
+
+    pub fn has_redactor(&self) -> bool {
+        self.redactor.lock().unwrap_or_else(|p| p.into_inner()).is_some()
+    }
+
     /// Capture `sql` if it ran longer than the threshold. Returns whether
     /// it was captured.
     pub fn observe(
@@ -67,9 +110,18 @@ impl SlowQueryLog {
         if threshold == 0 || (total.as_micros() as u64) < threshold {
             return false;
         }
+        let stored = if self.capture_raw() {
+            sql.to_string()
+        } else {
+            let redactor = self.redactor.lock().unwrap_or_else(|p| p.into_inner()).clone();
+            match redactor {
+                Some(r) => r(sql),
+                None => sql.to_string(),
+            }
+        };
         let entry = SlowQueryEntry {
             trace,
-            sql: sql.to_string(),
+            sql: stored,
             total,
             spans: traces.render_tree(trace),
         };
@@ -91,6 +143,26 @@ impl SlowQueryLog {
     }
 }
 
+/// Render entries as a JSON array for the observability endpoint.
+pub fn render_json(entries: &[SlowQueryEntry]) -> String {
+    use crate::metrics::json_str;
+    let mut out = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"trace\":\"{}\",\"sql\":{},\"total_seconds\":{},\"spans\":{}}}",
+            e.trace,
+            json_str(&e.sql),
+            e.total.as_secs_f64(),
+            json_str(&e.spans)
+        ));
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +182,32 @@ mod tests {
         assert!(entries[0].spans.starts_with("statement "), "{}", entries[0].spans);
         log.set_threshold(None);
         assert!(!log.observe(&traces, trace, "SELECT 1", Duration::from_secs(9)));
+    }
+
+    #[test]
+    fn redactor_applies_unless_raw_capture_opted_in() {
+        let log = SlowQueryLog::default();
+        let traces = TraceSink::default();
+        let trace = traces.enter("statement").trace_id();
+        log.set_threshold(Some(Duration::from_millis(1)));
+        log.install_redactor(|sql| sql.replace("42", "?"));
+        assert!(log.has_redactor());
+        log.observe(&traces, trace, "SELECT 42", Duration::from_secs(1));
+        assert_eq!(log.entries()[0].sql, "SELECT ?");
+        log.set_capture_raw(true);
+        log.observe(&traces, trace, "SELECT 42", Duration::from_secs(1));
+        assert_eq!(log.entries()[1].sql, "SELECT 42");
+    }
+
+    #[test]
+    fn entries_render_as_json() {
+        let log = SlowQueryLog::default();
+        let traces = TraceSink::default();
+        let trace = traces.enter("statement").trace_id();
+        log.set_threshold(Some(Duration::from_millis(1)));
+        log.observe(&traces, trace, "SELECT \"q\"", Duration::from_secs(1));
+        let json = render_json(&log.entries());
+        crate::json::validate(&json).expect("slowlog JSON must parse");
+        assert!(json.contains("\"total_seconds\":1"));
     }
 }

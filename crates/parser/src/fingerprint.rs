@@ -232,6 +232,32 @@ pub fn splice_source(sql: &str, slots: &[LiteralSlot], replacements: &[String]) 
     out
 }
 
+/// Redact every literal in `sql` with a class tag — numbers become `?`,
+/// strings become `'?'` — via the fingerprint's literal spans. Statement
+/// shape, identifiers and keywords survive untouched, so redacted text is
+/// still useful for forensics. Text that does not tokenize is replaced
+/// wholesale: if the literal spans are unknown, nothing of the text can be
+/// trusted not to be a literal.
+pub fn redact_literals(sql: &str) -> String {
+    match fingerprint(sql) {
+        Ok(fp) => {
+            if fp.literals.is_empty() {
+                return sql.to_string();
+            }
+            let reps: Vec<String> = fp
+                .literals
+                .iter()
+                .map(|l| match l.kind {
+                    LiteralKind::Number => "?".to_string(),
+                    LiteralKind::String => "'?'".to_string(),
+                })
+                .collect();
+            splice_source(sql, &fp.literals, &reps)
+        }
+        Err(_) => "<unlexable statement redacted>".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +330,19 @@ mod tests {
             splice_source(sql, &fp.literals, &reps),
             "SELECT 'no', 1 FROM T WHERE X = 2"
         );
+    }
+
+    #[test]
+    fn redaction_replaces_literals_with_class_tags() {
+        assert_eq!(
+            redact_literals("SELECT NAME FROM T WHERE ID = 42 AND CITY = 'Ber''lin'"),
+            "SELECT NAME FROM T WHERE ID = ? AND CITY = '?'"
+        );
+        // No literals: text passes through.
+        assert_eq!(redact_literals("SELECT A FROM T"), "SELECT A FROM T");
+        // Unlexable text is dropped entirely rather than stored raw.
+        let redacted = redact_literals("SELECT 'unterminated");
+        assert!(!redacted.contains("unterminated"), "{redacted}");
     }
 
     #[test]

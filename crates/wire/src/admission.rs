@@ -158,7 +158,12 @@ impl AdmissionGate {
                 state.in_use += 1;
                 self.depth.sub(1);
                 self.admitted.inc();
-                self.wait.record(enqueued.elapsed());
+                let waited = enqueued.elapsed();
+                self.wait.record(waited);
+                // The statement's provenance record does not exist yet
+                // (admission precedes the pipeline); park the wait on this
+                // thread for the record opened next.
+                hyperq_obs::provenance::pend_admission_wait(waited);
                 // The next waiter may also be admittable (several slots can
                 // free while the front waiter is scheduled out).
                 self.freed.notify_all();

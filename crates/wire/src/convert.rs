@@ -89,6 +89,8 @@ pub enum Chunk {
 pub struct ConvertedResult {
     pub header: Vec<(String, u8)>,
     pub total_rows: u64,
+    /// Converted client-format payload bytes (excluding frame headers).
+    pub total_bytes: u64,
     chunks: Vec<Chunk>,
     pub spilled_chunks: usize,
 }
@@ -188,8 +190,10 @@ pub fn convert(
     let mut in_memory = 0usize;
     let mut spilled_chunks = 0usize;
     let mut total_rows = 0u64;
+    let mut total_bytes = 0u64;
     for (i, chunk_rows) in converted.into_iter().enumerate() {
         total_rows += chunk_rows.len() as u64;
+        total_bytes += chunk_rows.iter().map(|r| r.len() as u64).sum::<u64>();
         let bytes: usize = chunk_rows.iter().map(|r| r.len() + 4).sum();
         if in_memory + bytes <= config.memory_budget {
             in_memory += bytes;
@@ -214,7 +218,7 @@ pub fn convert(
             chunks.push(Chunk::Spilled(guard, n));
         }
     }
-    Ok(ConvertedResult { header, total_rows, chunks, spilled_chunks })
+    Ok(ConvertedResult { header, total_rows, total_bytes, chunks, spilled_chunks })
 }
 
 /// [`convert`] wrapped in observability: emits a `convert` span (attached to
@@ -236,6 +240,12 @@ pub fn convert_traced(
     obs.metrics
         .histogram(hyperq_core::STAGE_DURATION_METRIC, &[("stage", "convert")])
         .record(d);
+    // The statement's provenance record was sealed when the pipeline
+    // returned; conversion happens afterwards, so its stats are attached to
+    // the existing record by trace id.
+    if let (Ok(res), Some(t)) = (&result, trace) {
+        obs.provenance.attach_convert(t, res.total_rows, res.total_bytes, d);
+    }
     result
 }
 

@@ -17,6 +17,9 @@
 //!   per-stage timing (the Figure 9 instrumentation),
 //! * [`admission`] — bounded-FIFO admission queueing in front of the
 //!   gateway's connection and statement caps,
+//! * [`obs_http`] — a read-only HTTP observability endpoint on its own
+//!   port: Prometheus metrics, per-statement provenance, live workload
+//!   reports and the slow-query log, all served with plain `curl`,
 //! * [`client`] — a `bteq`-style client for tests, examples and the stress
 //!   benchmark.
 
@@ -27,10 +30,12 @@ pub mod auth;
 pub mod client;
 pub mod convert;
 pub mod message;
+pub mod obs_http;
 pub mod server;
 pub mod tdf;
 
 pub use admission::{AdmissionConfig, AdmissionGate, AdmissionPermit, ShedReason};
+pub use obs_http::ObsHttpHandle;
 pub use client::{Client, ClientResultSet};
 pub use convert::{convert, ConverterConfig};
 pub use message::{Message, WireError};

@@ -116,6 +116,10 @@ pub struct GatewayConfig {
     /// settings and catalog epochs, so sharing is safe across sessions
     /// with divergent `SET` state. `None` disables caching.
     pub cache: Option<CacheConfig>,
+    /// Bind address for the read-only observability HTTP endpoint
+    /// (`/metrics`, `/provenance`, `/report`, …), e.g. `"127.0.0.1:0"`
+    /// for an ephemeral port. `None` (the default) serves no endpoint.
+    pub obs_http: Option<String>,
 }
 
 impl Default for GatewayConfig {
@@ -131,6 +135,7 @@ impl Default for GatewayConfig {
             analyze: AnalyzeMode::LogOnly,
             admission: Some(AdmissionConfig::default()),
             cache: Some(CacheConfig::default()),
+            obs_http: None,
         }
     }
 }
@@ -168,6 +173,7 @@ pub struct GatewayHandle {
     pub addr: std::net::SocketAddr,
     gateway: Arc<Gateway>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    obs_http: Option<crate::obs_http::ObsHttpHandle>,
 }
 
 impl Gateway {
@@ -231,6 +237,13 @@ impl Gateway {
         config: GatewayConfig,
     ) -> std::io::Result<GatewayHandle> {
         let gateway = Gateway::new(backend, config);
+        // The observability endpoint serves the same global context the
+        // sessions record into, on its own port so scraping never contends
+        // with the TDWP front door.
+        let obs_http = match &gateway.config.obs_http {
+            Some(bind) => Some(crate::obs_http::spawn(bind, Arc::clone(ObsContext::global()))?),
+            None => None,
+        };
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -303,7 +316,7 @@ impl Gateway {
                 }
             }
         });
-        Ok(GatewayHandle { addr, gateway, accept_thread: Some(accept_thread) })
+        Ok(GatewayHandle { addr, gateway, accept_thread: Some(accept_thread), obs_http })
     }
 
     /// Turn away a connection over the cap: best-effort wire error so the
@@ -572,6 +585,11 @@ impl GatewayHandle {
         self.gateway.active.load(Ordering::Relaxed)
     }
 
+    /// Address of the observability HTTP endpoint, if one was configured.
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs_http.as_ref().map(|h| h.addr)
+    }
+
     /// Stop accepting new connections, then wait up to
     /// `GatewayConfig::drain_timeout` for in-flight sessions to finish.
     /// With the default zero drain budget this only stops the acceptor;
@@ -580,6 +598,9 @@ impl GatewayHandle {
         self.gateway.shutdown.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        if let Some(obs) = self.obs_http.take() {
+            obs.shutdown();
         }
         let deadline = Instant::now() + self.gateway.config.drain_timeout;
         while self.gateway.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {

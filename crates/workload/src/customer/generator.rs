@@ -18,6 +18,28 @@ pub struct WorkloadProfile {
     pub emulation_share: f64,
 }
 
+/// Which rewrite class a distinct query was drawn from during synthesis
+/// (Figure 8b's categories). `Plain` queries use only standard SQL and
+/// should exercise no tracked feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    Translation,
+    Transformation,
+    Emulation,
+    Plain,
+}
+
+impl QueryClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryClass::Translation => "translation",
+            QueryClass::Transformation => "transformation",
+            QueryClass::Emulation => "emulation",
+            QueryClass::Plain => "plain",
+        }
+    }
+}
+
 /// A fully generated workload.
 pub struct CustomerWorkload {
     pub profile: WorkloadProfile,
@@ -29,6 +51,10 @@ pub struct CustomerWorkload {
     pub hyperq_setup: Vec<String>,
     /// The distinct application queries.
     pub distinct: Vec<String>,
+    /// Per-distinct-query class tag, parallel to `distinct` — ground truth
+    /// for validating downstream feature measurement (the Figure 8 analog
+    /// report) against what the generator actually injected.
+    pub classes: Vec<QueryClass>,
     /// Replay order: indices into `distinct`, `total_queries` long.
     pub sequence: Vec<u32>,
 }
@@ -38,6 +64,38 @@ impl CustomerWorkload {
     pub fn replay(&self) -> impl Iterator<Item = &str> {
         self.sequence.iter().map(|&i| self.distinct[i as usize].as_str())
     }
+
+    /// Distinct-query count per class.
+    pub fn class_counts(&self) -> [(QueryClass, usize); 4] {
+        let mut counts = [
+            (QueryClass::Translation, 0),
+            (QueryClass::Transformation, 0),
+            (QueryClass::Emulation, 0),
+            (QueryClass::Plain, 0),
+        ];
+        for c in &self.classes {
+            counts.iter_mut().find(|(k, _)| k == c).unwrap().1 += 1;
+        }
+        counts
+    }
+}
+
+/// Class tags mirroring generation order: the distinct list is built
+/// class-by-class (translation, transformation, emulation, then plain
+/// filler), so tags follow from the per-class counts.
+fn class_tags(
+    d: usize,
+    n_translation: usize,
+    n_transformation: usize,
+    n_emulation: usize,
+) -> Vec<QueryClass> {
+    let mut classes = Vec::with_capacity(d);
+    classes.resize(n_translation, QueryClass::Translation);
+    classes.resize(n_translation + n_transformation, QueryClass::Transformation);
+    classes.resize(n_translation + n_transformation + n_emulation, QueryClass::Emulation);
+    classes.resize(classes.len().max(d), QueryClass::Plain);
+    classes.truncate(d);
+    classes
 }
 
 fn scaled(n: u64, scale: f64) -> u64 {
@@ -234,8 +292,9 @@ pub fn health(scale: f64) -> CustomerWorkload {
     }
     distinct.truncate(d);
 
+    let classes = class_tags(distinct.len(), n_translation, n_transformation, n_emulation);
     let sequence = build_sequence(distinct.len(), profile.total_queries, 0x48454C54);
-    CustomerWorkload { profile, target_ddl, hyperq_setup, distinct, sequence }
+    CustomerWorkload { profile, target_ddl, hyperq_setup, distinct, classes, sequence }
 }
 
 // ---------------------------------------------------------------------------
@@ -403,8 +462,9 @@ pub fn telco(scale: f64) -> CustomerWorkload {
     }
     distinct.truncate(d);
 
+    let classes = class_tags(distinct.len(), n_translation, n_transformation, n_emulation);
     let sequence = build_sequence(distinct.len(), profile.total_queries, 0x54454C43);
-    CustomerWorkload { profile, target_ddl, hyperq_setup, distinct, sequence }
+    CustomerWorkload { profile, target_ddl, hyperq_setup, distinct, classes, sequence }
 }
 
 #[cfg(test)]
@@ -443,6 +503,31 @@ mod tests {
             seen[i as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn class_tags_parallel_distinct_and_match_shares() {
+        for w in [health(0.2), telco(0.05)] {
+            assert_eq!(w.classes.len(), w.distinct.len());
+            let counts = w.class_counts();
+            let d = w.distinct.len() as f64;
+            let share = |class: QueryClass| {
+                counts.iter().find(|(k, _)| *k == class).unwrap().1 as f64 / d
+            };
+            // Generated shares track the profile calibration targets
+            // (exact up to rounding and the small-count floors).
+            assert!(
+                (share(QueryClass::Transformation) - w.profile.transformation_share).abs() < 0.01,
+                "{}: transformation share off",
+                w.profile.sector
+            );
+            assert!(
+                (share(QueryClass::Emulation) - w.profile.emulation_share).abs() < 0.01
+                    || counts.iter().find(|(k, _)| *k == QueryClass::Emulation).unwrap().1 <= 4,
+                "{}: emulation share off",
+                w.profile.sector
+            );
+        }
     }
 
     #[test]

@@ -10,4 +10,4 @@
 
 mod generator;
 
-pub use generator::{health, telco, CustomerWorkload, WorkloadProfile};
+pub use generator::{health, telco, CustomerWorkload, QueryClass, WorkloadProfile};

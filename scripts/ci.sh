@@ -45,6 +45,33 @@ cargo test -q --offline --test cache_equivalence
 cargo test -q --offline --test soak cache_enabled_chaos
 cargo test -q --offline --test observability cache_metric_families_expose_cleanly
 
+# Provenance & workload intelligence: per-statement forensics with an
+# injected fault (record fields must match independently observed
+# metrics), redaction opt-in semantics, the Figure 8 analog replay with
+# generator ground truth, the byte-stable report snapshot, and the
+# observability endpoint against a live gateway.
+cargo test -q --offline -p hyperq-obs provenance
+cargo test -q --offline -p hyperq-obs report
+cargo test -q --offline -p hyperq-wire obs_http
+cargo test -q --offline --test provenance
+cargo test -q --offline --test obs_http
+
+# Every registered hyperq_* metric family must be documented in the
+# DESIGN.md inventory table. Pull quoted family-name literals out of the
+# source (suffix-filtered: spill-file name prefixes and other non-metric
+# literals share the hyperq_ namespace) and require each in the table.
+families=$(grep -rhoE '"hyperq_[a-z0-9_]+"' src crates --include='*.rs' \
+    | tr -d '"' \
+    | grep -E '_(total|seconds|state|entries|inflight|depth|queries|active)$' \
+    | sort -u)
+[ -n "$families" ] || { echo 'metric inventory grep found nothing' >&2; exit 1; }
+for family in $families; do
+    grep -q "\`$family\`" DESIGN.md || {
+        echo "metric family $family missing from the DESIGN.md inventory" >&2
+        exit 1
+    }
+done
+
 # No unsafe code outside the vendored shims: every workspace crate roots
 # a `#![forbid(unsafe_code)]`, and nothing sneaks an `unsafe` block in.
 for lib in src/lib.rs crates/xtra/src/lib.rs crates/parser/src/lib.rs \

@@ -1,0 +1,112 @@
+//! The observability endpoint against a live gateway: drive TPC-H and a
+//! customer-corpus slice through the wire protocol, then watch the same
+//! workload through plain HTTP GETs — Prometheus metrics with quantile
+//! gauges, per-statement provenance, the Figure 7/8 analog report built
+//! from live records only, the slow-query log, and the health probe.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use hyperq::core::Backend;
+use hyperq::engine::EngineDb;
+use hyperq::wire::{Client, Gateway, GatewayConfig};
+use hyperq::workload::{customer::health, tpch};
+
+fn get(addr: SocketAddr, target: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+    (head.to_string(), body.to_string())
+}
+
+/// One big scenario instead of parallel small tests: the gateway reports
+/// into the process-global observability context, so concurrent tests in
+/// this binary would race each other's metrics.
+#[test]
+fn gateway_observability_endpoint_serves_live_workload_intelligence() {
+    let db = Arc::new(EngineDb::new());
+    for ddl in tpch::ddl() {
+        db.execute_sql(&ddl).unwrap();
+    }
+    for (table, rows) in tpch::generate(0.002, 1234).tables() {
+        db.load_rows(table, rows).unwrap();
+    }
+    let corpus = health(0.01);
+    for ddl in &corpus.target_ddl {
+        db.execute_sql(ddl).unwrap();
+    }
+
+    let config = GatewayConfig { obs_http: Some("127.0.0.1:0".to_string()), ..Default::default() };
+    let handle = Gateway::spawn(Arc::clone(&db) as Arc<dyn Backend>, config).unwrap();
+    let obs_addr = handle.obs_addr().expect("obs_http config must yield an endpoint");
+
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    // TPC-H through the wire — Q1 twice so the translation cache records a
+    // hit alongside the misses.
+    for q in [1, 1, 3, 6] {
+        client.run(tpch::query(q)).unwrap();
+    }
+    // Customer-corpus slice on the same session (its setup views included).
+    for setup in &corpus.hyperq_setup {
+        client.run(setup).unwrap();
+    }
+    for text in &corpus.distinct {
+        client.run(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+    }
+
+    // /healthz — liveness.
+    let (head, body) = get(obs_addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ok\n");
+
+    // /metrics — Prometheus exposition with the wire families and the
+    // pre-computed latency quantile gauges.
+    let (_, prom) = get(obs_addr, "/metrics");
+    for needle in [
+        "hyperq_wire_requests_total",
+        "hyperq_statements_total",
+        "hyperq_cache_hits_total",
+        "hyperq_stage_duration_seconds_p50",
+        "hyperq_stage_duration_seconds_p95",
+        "hyperq_stage_duration_seconds_p99",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in /metrics");
+    }
+
+    // /metrics.json — same registry, parseable JSON.
+    let (_, metrics_json) = get(obs_addr, "/metrics.json");
+    hyperq::obs::json::validate(&metrics_json).expect("/metrics.json must parse");
+
+    // /provenance — the most recent per-statement records.
+    let (_, prov) = get(obs_addr, "/provenance?n=5");
+    hyperq::obs::json::validate(&prov).expect("/provenance must parse");
+    assert!(prov.contains("\"fingerprint\""), "{prov}");
+    assert!(prov.matches("\"seq\"").count() <= 5, "n= must cap the record count");
+
+    // /report — Figure 7/8 analog shapes folded from live records only.
+    let (_, report) = get(obs_addr, "/report");
+    hyperq::obs::json::validate(&report).expect("/report must parse");
+    for shape in ["\"stage_shares\":", "\"overhead_bands\":", "\"features\":", "\"cache\":"] {
+        assert!(report.contains(shape), "missing {shape} in /report");
+    }
+    // The corpus exercises transformation features; the report must list
+    // at least one X-class code with a nonzero count.
+    assert!(report.contains("\"code\":\"X"), "no transformation feature in: {report}");
+    let (_, text) = get(obs_addr, "/report?format=text");
+    assert!(text.contains("figure 7 analog"), "{text}");
+    assert!(text.contains("figure 8 analog"), "{text}");
+
+    // /slowlog — parseable even when empty (default threshold is off).
+    let (_, slow) = get(obs_addr, "/slowlog");
+    hyperq::obs::json::validate(&slow).expect("/slowlog must parse");
+
+    // Unknown routes and non-GET methods are refused, not crashed on.
+    let (head, _) = get(obs_addr, "/admin");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    client.logoff().unwrap();
+    handle.shutdown();
+}
