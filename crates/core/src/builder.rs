@@ -154,6 +154,15 @@ pub struct RequestOptions {
     /// Skip the translation cache for this request (both lookup and
     /// population).
     pub bypass_cache: bool,
+    /// Wall-clock deadline for the whole request. When set (and no
+    /// gateway governor is already installed on the thread), `run`
+    /// installs a standalone [`hyperq_governor::QueryGovernor`] so every
+    /// pipeline checkpoint observes it; expiry surfaces as
+    /// [`HyperQError::Cancelled`].
+    pub timeout: Option<std::time::Duration>,
+    /// Per-request memory budget in bytes (0 = unlimited), enforced the
+    /// same way via a standalone governor.
+    pub memory_budget: u64,
 }
 
 /// The canonical execution request: one SQL text (possibly a
@@ -183,6 +192,21 @@ impl Request {
     /// Skip the translation cache for this request.
     pub fn bypass_cache(mut self) -> Self {
         self.ctx.bypass_cache = true;
+        self
+    }
+
+    /// Bound the whole request by a wall-clock deadline; expiry cancels
+    /// the request with [`HyperQError::Cancelled`].
+    pub fn timeout(mut self, limit: std::time::Duration) -> Self {
+        self.ctx.timeout = Some(limit);
+        self
+    }
+
+    /// Bound the request's charged memory (engine hash tables and
+    /// materialized rows); exceeding it cancels with
+    /// [`HyperQError::Cancelled`].
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.ctx.memory_budget = bytes;
         self
     }
 }

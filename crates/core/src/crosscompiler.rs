@@ -262,6 +262,20 @@ impl HyperQ {
     /// serialize pipeline is skipped and the cached SQL-B (with the
     /// statement's literals re-spliced) goes straight to the backend.
     pub fn run(&mut self, req: Request) -> Result<Response> {
+        // Library callers can bound a request by deadline/memory without a
+        // gateway: install a standalone governor for the request's scope.
+        // When the gateway already installed one (or neither bound is
+        // set), this is a no-op and the existing governor stands.
+        let _scope = if (req.ctx.timeout.is_some() || req.ctx.memory_budget != 0)
+            && hyperq_governor::current().is_none()
+        {
+            Some(hyperq_governor::install(hyperq_governor::QueryGovernor::standalone(
+                req.ctx.timeout,
+                req.ctx.memory_budget,
+            )))
+        } else {
+            None
+        };
         if !req.params.is_empty() {
             let statement = self.run_parameterized(&req.sql, &req.params)?;
             return Ok(Response { statements: vec![statement] });
@@ -514,6 +528,19 @@ impl HyperQ {
                 Ok(outcome)
             }
             Err(e) => {
+                // Canonicalize cancellation: whichever layer noticed first
+                // (parser, transformer, backend, engine, converter)
+                // surfaced *some* error — when the statement's governor
+                // token is cancelled, the one well-defined error every
+                // caller sees is `HyperQError::Cancelled`.
+                let e = match hyperq_governor::cancel_error() {
+                    Some(c) => {
+                        hyperq_obs::provenance::note_cancelled(c.reason.as_str());
+                        hyperq_governor::note_stage(hyperq_governor::Stage::Cancelled);
+                        HyperQError::Cancelled(c)
+                    }
+                    None => e,
+                };
                 self.stages.statements_err.inc();
                 self.obs.slowlog.observe(&self.obs.traces, trace, text, total);
                 let msg = e.to_string();
@@ -540,6 +567,11 @@ impl HyperQ {
             return;
         }
         let hash = fingerprint(text).map(|f| f.hash).unwrap_or(0);
+        // Surface the fingerprint on the in-flight query table too (the
+        // governor's `/queries` snapshot keys on it).
+        if let Some(gov) = hyperq_governor::current() {
+            gov.set_fingerprint(hash);
+        }
         let sql = if prov.capture_raw() { text.to_string() } else { redact_literals(text) };
         let features: Vec<&'static str> = outcome
             .map(|o| o.features.iter().map(|f| f.code()).collect())
@@ -1056,6 +1088,8 @@ impl HyperQ {
         features: &mut FeatureSet,
     ) -> Result<StatementOutcome> {
         self.cache_seed = None;
+        hyperq_governor::note_stage(hyperq_governor::Stage::Translating);
+        hyperq_governor::checkpoint()?;
         let parameterized = !params.is_empty() || !positional.is_empty();
         let backend = Arc::clone(&self.backend);
         let bind_span = self.obs.traces.enter("bind");
@@ -1151,6 +1185,7 @@ impl HyperQ {
             self.analyzer.audit_roundtrip(&sql, &plan, &catalog)?;
         }
         let mut sql_sent = Vec::new();
+        hyperq_governor::note_stage(hyperq_governor::Stage::Executing);
 
         // E7: statements touching a global temporary table are emulated
         // through the per-session instance; record the tracked feature and
@@ -1382,24 +1417,30 @@ impl HyperQ {
         timings: &mut Timings,
         sql_sent: &mut Vec<String>,
     ) {
-        for name in live.iter().rev() {
-            self.emu("cleanup");
-            let dropped = self.exec_plan(
-                Plan::DropTable { name: name.clone(), if_exists: true },
-                timings,
-                sql_sent,
-            );
-            if dropped.is_err() {
-                // The DROP itself failed (e.g. the connection died): journal
-                // the orphan so the next reconnect retires the name instead
-                // of resurrecting it.
-                if let Ok(drop_sql) = Serializer::new(&self.caps)
-                    .serialize_plan(&Plan::DropTable { name: name.clone(), if_exists: true })
-                {
-                    self.session.journal.record_orphan(name, drop_sql);
+        // Cleanup must succeed even when the statement was just cancelled:
+        // the governor checkpoints inside the backend stack would refuse
+        // the DROPs, leaking emulation temp tables. Shield the governor for
+        // the duration (mirroring provenance::suspended for probes).
+        hyperq_governor::shielded(|| {
+            for name in live.iter().rev() {
+                self.emu("cleanup");
+                let dropped = self.exec_plan(
+                    Plan::DropTable { name: name.clone(), if_exists: true },
+                    timings,
+                    sql_sent,
+                );
+                if dropped.is_err() {
+                    // The DROP itself failed (e.g. the connection died): journal
+                    // the orphan so the next reconnect retires the name instead
+                    // of resurrecting it.
+                    if let Ok(drop_sql) = Serializer::new(&self.caps)
+                        .serialize_plan(&Plan::DropTable { name: name.clone(), if_exists: true })
+                    {
+                        self.session.journal.record_orphan(name, drop_sql);
+                    }
                 }
             }
-        }
+        })
     }
 
     fn emulate_recursive_inner(
@@ -1479,6 +1520,10 @@ impl HyperQ {
         // until it produces no new rows (paper §6, steps 2–4).
         let mut converged = false;
         for _ in 0..MAX_RECURSION_STEPS {
+            // Cooperative cancellation between recursion steps; the caller
+            // runs cleanup_temp_tables (shielded) on the error path, so a
+            // cancelled recursion leaves no WT/TT tables behind.
+            hyperq_governor::checkpoint()?;
             let next_table = self.session.fresh_name("TT");
             let t = Instant::now();
             let step_rel = {

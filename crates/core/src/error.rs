@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::backend::BackendError;
+use hyperq_governor::CancelError;
 use hyperq_parser::ParseError;
 use hyperq_xtra::ValueError;
 
@@ -25,6 +26,11 @@ pub enum HyperQError {
     /// rewrite rule was caught changing plan semantics, or the serializer
     /// round-trip diverged (strict analysis mode only).
     Validation(String),
+    /// The statement was cancelled by the lifecycle governor: client
+    /// abort, deadline expiry, budget kill or shutdown. This is the one
+    /// well-defined error a cancelled statement surfaces — whichever
+    /// layer noticed first, `observe_statement` canonicalizes to it.
+    Cancelled(CancelError),
 }
 
 impl fmt::Display for HyperQError {
@@ -37,6 +43,7 @@ impl fmt::Display for HyperQError {
             HyperQError::Emulation(m) => write!(f, "emulation error: {m}"),
             HyperQError::Value(e) => write!(f, "{e}"),
             HyperQError::Validation(m) => write!(f, "validation error: {m}"),
+            HyperQError::Cancelled(e) => write!(f, "{e}"),
         }
     }
 }
@@ -58,6 +65,12 @@ impl From<BackendError> for HyperQError {
 impl From<ValueError> for HyperQError {
     fn from(e: ValueError) -> Self {
         HyperQError::Value(e)
+    }
+}
+
+impl From<CancelError> for HyperQError {
+    fn from(e: CancelError) -> Self {
+        HyperQError::Cancelled(e)
     }
 }
 

@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
+use hyperq_governor::QueryDeadline;
 use hyperq_obs::{Counter, Gauge, Histogram, ObsContext};
 use hyperq_xtra::catalog::TableDef;
 
@@ -319,10 +320,19 @@ impl Backend for ResilientBackend {
     }
 
     fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
-        let start = Instant::now();
+        // The per-request budget and the statement's governor deadline are
+        // both expressed as the shared `QueryDeadline`; the retry loop
+        // consults whichever is tighter.
+        let budget = QueryDeadline::new(self.policy.deadline);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
+            // Cooperative cancellation: a cancelled (or past-deadline)
+            // statement must not start another attempt. Fatal is never
+            // retried and does not touch the breaker.
+            if let Err(c) = hyperq_governor::checkpoint() {
+                return Err(BackendError::fatal(c.to_string()));
+            }
             if !self.breaker.try_acquire() {
                 self.fast_fails.inc();
                 return Err(BackendError::rejected(format!(
@@ -349,16 +359,23 @@ impl Backend for ResilientBackend {
                 return Err(err);
             }
             let backoff = self.backoff(attempt);
-            if let Some(deadline) = self.policy.deadline {
-                if start.elapsed() + backoff >= deadline {
-                    self.deadline_exceeded.inc();
-                    return Err(BackendError::timeout(format!(
-                        "request deadline of {deadline:?} exceeded after {attempt} attempt(s); \
-                         last error: {}",
-                        err.message
-                    )));
-                }
+            if budget.would_exceed(backoff) {
+                self.deadline_exceeded.inc();
+                return Err(BackendError::timeout(format!(
+                    "request deadline of {:?} exceeded after {attempt} attempt(s); \
+                     last error: {}",
+                    self.policy.deadline.unwrap_or_default(),
+                    err.message
+                )));
             }
+            // Never sleep past the statement's own deadline either: clamp
+            // the backoff to what the governor allows and let the
+            // checkpoint at the top of the next iteration surface the
+            // cancellation.
+            let backoff = match hyperq_governor::deadline_remaining() {
+                Some(rem) => backoff.min(rem),
+                None => backoff,
+            };
             self.retries.inc();
             hyperq_obs::provenance::note_retry();
             std::thread::sleep(backoff);

@@ -159,6 +159,10 @@ impl Transformer {
         // passes and flushed to the rule counters on exit.
         let mut fires = vec![0u64; active.len()];
         for _pass in 0..self.max_passes {
+            // Cooperative cancellation between fixed-point passes: a
+            // pathological rule cascade must not outlive the statement's
+            // deadline or a client abort.
+            hyperq_governor::checkpoint()?;
             // Both rewrite closures need shared access to the pass state,
             // so it lives in cells.
             let changed = std::cell::Cell::new(false);
@@ -267,6 +271,7 @@ impl Transformer {
         let mut fires = vec![0u64; active.len()];
         let mut last_changed: Vec<&'static str> = Vec::new();
         for _pass in 0..self.max_passes {
+            hyperq_governor::checkpoint()?;
             last_changed.clear();
             for (slot, (_, rule)) in active.iter().enumerate() {
                 let rewrites = std::cell::Cell::new(0u64);

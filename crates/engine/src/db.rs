@@ -36,12 +36,26 @@ struct Slots {
 }
 
 impl Slots {
-    fn acquire(&self) {
+    /// How long one slot wait sleeps before re-checking the governor; a
+    /// cancelled or past-deadline statement leaves the queue within this
+    /// bound even if no slot ever frees.
+    const POLL: std::time::Duration = std::time::Duration::from_millis(20);
+
+    fn acquire(&self) -> Result<(), EvalError> {
         let mut in_use = self.in_use.lock();
         while *in_use >= self.max {
-            self.available.wait(&mut in_use);
+            hyperq_governor::checkpoint().map_err(|c| c.to_string())?;
+            let wait = hyperq_governor::deadline_remaining()
+                .map(|rem| rem.min(Self::POLL))
+                .unwrap_or(Self::POLL);
+            if wait.is_zero() {
+                // Deadline just expired: loop straight into the checkpoint.
+                continue;
+            }
+            self.available.wait_for(&mut in_use, wait);
         }
         *in_use += 1;
+        Ok(())
     }
 
     fn release(&self) {
@@ -160,7 +174,7 @@ impl EngineDb {
     /// control is configured.
     pub fn execute_sql(&self, sql: &str) -> Result<ExecResult, BackendError> {
         if let Some(slots) = &self.slots {
-            slots.acquire();
+            slots.acquire().map_err(BackendError::timeout)?;
         }
         self.statements.inc();
         self.inflight.add(1);

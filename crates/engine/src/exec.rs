@@ -14,6 +14,58 @@ use crate::eval::{eval, eval_truth, AggState, EvalContext, EvalError};
 
 type Scopes<'a> = [(&'a Schema, &'a Row)];
 
+/// Rough heap footprint of one materialized row of `width` columns: the
+/// `Vec<Datum>` header plus a per-datum estimate. Deliberately coarse —
+/// the governor ledger wants an early, cheap bound, not an allocator.
+fn row_bytes(width: usize) -> u64 {
+    48 + 24 * width as u64
+}
+
+/// Charge an operator's materialized output to the statement's resource
+/// ledger (no-op without an installed governor). A denied charge cancels
+/// the statement, surfacing the budget error instead of an engine OOM.
+fn charge_rows(rows: &[Row]) -> Result<(), EvalError> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let width = rows[0].len();
+    hyperq_governor::charge(rows.len() as u64 * row_bytes(width)).map_err(|c| c.to_string())
+}
+
+/// Incremental governor accounting inside a single operator's row loop:
+/// charges and checkpoints every `BATCH` produced rows, so a huge cross
+/// join is cancelled (or budget-killed) *mid-materialization* instead of
+/// after it has already allocated everything.
+struct ChargeTicker {
+    pending: u64,
+    row_bytes: u64,
+}
+
+impl ChargeTicker {
+    const BATCH: u64 = 1024;
+
+    fn new(width: usize) -> ChargeTicker {
+        ChargeTicker { pending: 0, row_bytes: row_bytes(width) }
+    }
+
+    fn produced(&mut self) -> Result<(), EvalError> {
+        self.pending += 1;
+        if self.pending >= Self::BATCH {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), EvalError> {
+        if self.pending > 0 {
+            hyperq_governor::charge(self.pending * self.row_bytes)
+                .map_err(|c| c.to_string())?;
+            self.pending = 0;
+        }
+        hyperq_governor::checkpoint().map_err(|c| c.to_string())
+    }
+}
+
 /// Execute a relational tree, with `outer` scopes available for correlated
 /// column references.
 pub fn execute_rel(
@@ -21,7 +73,10 @@ pub fn execute_rel(
     db: &EngineDb,
     outer: &Scopes<'_>,
 ) -> Result<Vec<Row>, EvalError> {
-    match rel {
+    // Cooperative cancellation at every operator boundary; joins and
+    // aggregates additionally tick inside their row loops.
+    hyperq_governor::checkpoint().map_err(|c| c.to_string())?;
+    let out = match rel {
         RelExpr::Get { table, .. } => {
             let data = db.scan(table)?;
             Ok(data.iter().cloned().collect())
@@ -110,7 +165,13 @@ pub fn execute_rel(
             Ok(execute_setop(*kind, *all, l, r))
         }
         RelExpr::Alias { input, .. } => execute_rel(input, db, outer),
+    }?;
+    // Joins charge incrementally while producing (see ChargeTicker);
+    // every other operator charges its materialized output here, once.
+    if !matches!(rel, RelExpr::Join { .. }) {
+        charge_rows(&out)?;
     }
+    Ok(out)
 }
 
 /// Sort rows by the given keys. NULL placement defaults to "NULLs high"
@@ -364,7 +425,15 @@ fn execute_aggregate(
     // Group — preserving first-seen order for determinism.
     let mut groups: HashMap<Vec<Datum>, Vec<AggState>> = HashMap::new();
     let mut order: Vec<Vec<Datum>> = Vec::new();
+    // Each distinct group holds a key vector plus aggregate states; the
+    // ticker charges that hash-table growth and checkpoints the loop.
+    let mut ticker = ChargeTicker::new(group_by.len() + aggs.len());
+    let mut rows_seen = 0u64;
     for row in &rows {
+        rows_seen += 1;
+        if rows_seen.is_multiple_of(ChargeTicker::BATCH) {
+            hyperq_governor::checkpoint().map_err(|c| c.to_string())?;
+        }
         let mut scopes = outer.to_vec();
         scopes.push((&schema, row));
         let mut ctx = EvalContext { db, scopes };
@@ -375,6 +444,7 @@ fn execute_aggregate(
         let states = match groups.get_mut(&key) {
             Some(s) => s,
             None => {
+                ticker.produced()?;
                 order.push(key.clone());
                 groups.entry(key.clone()).or_insert_with(|| {
                     specs
@@ -397,6 +467,7 @@ fn execute_aggregate(
             }
         }
     }
+    ticker.flush()?;
 
     // Global aggregate over empty input still produces one row.
     if groups.is_empty() && group_by.is_empty() {
@@ -483,8 +554,13 @@ fn execute_join(
 
     let mut out: Vec<Row> = Vec::new();
     let mut right_matched = vec![false; rrows.len()];
-
+    // Semi/anti joins output left-width rows; everything else the
+    // concatenated width. The ticker charges the join's output
+    // incrementally so a runaway cross join dies mid-build.
     let semi_anti = matches!(kind, JoinKind::Semi | JoinKind::Anti);
+    let out_width = if semi_anti { lwidth } else { lwidth + rwidth };
+    let mut ticker = ChargeTicker::new(out_width);
+
     if !lkeys.is_empty() {
         // Hash join: build on the right.
         let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
@@ -493,6 +569,10 @@ fn execute_join(
                 table.entry(key).or_default().push(i);
             }
         }
+        // The build side holds one key vector per right row on top of the
+        // already-charged input; account for it up front.
+        hyperq_governor::charge(rrows.len() as u64 * row_bytes(rkeys.len()))
+            .map_err(|c| c.to_string())?;
         for lrow in &lrows {
             let mut matched = false;
             if let Some(key) = eval_keys(&lkeys, &lschema, lrow)? {
@@ -505,6 +585,7 @@ fn execute_join(
                             right_matched[ri] = true;
                             if !semi_anti {
                                 out.push(combined);
+                                ticker.produced()?;
                             } else {
                                 break;
                             }
@@ -522,6 +603,7 @@ fn execute_join(
                 }
                 _ => {}
             }
+            ticker.produced()?;
         }
     } else {
         // Nested-loop join.
@@ -539,6 +621,7 @@ fn execute_join(
                     right_matched[ri] = true;
                     if !semi_anti {
                         out.push(combined);
+                        ticker.produced()?;
                     } else {
                         break;
                     }
@@ -554,6 +637,7 @@ fn execute_join(
                 }
                 _ => {}
             }
+            ticker.produced()?;
         }
     }
 
@@ -563,9 +647,11 @@ fn execute_join(
                 let mut padded: Row = std::iter::repeat_n(Datum::Null, lwidth).collect();
                 padded.extend(rrows[ri].iter().cloned());
                 out.push(padded);
+                ticker.produced()?;
             }
         }
     }
+    ticker.flush()?;
     Ok(out)
 }
 

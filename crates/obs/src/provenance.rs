@@ -108,6 +108,9 @@ pub struct ProvenanceRecord {
     pub violations: u64,
     pub ok: bool,
     pub error: Option<String>,
+    /// Why the governor cancelled this statement (`client_abort`,
+    /// `deadline`, `budget`, `shutdown`), if it was cancelled.
+    pub cancelled: Option<&'static str>,
     /// Rows produced by the backend.
     pub rows: u64,
     /// Wire-format conversion stats, if the result was converted.
@@ -125,6 +128,7 @@ struct Builder {
     recoveries: u64,
     violations: u64,
     admission_wait: Duration,
+    cancelled: Option<&'static str>,
 }
 
 thread_local! {
@@ -190,6 +194,16 @@ pub fn note_recovery() {
 /// Record one validator invariant violation.
 pub fn note_violation() {
     with_active(|b| b.violations += 1);
+}
+
+/// Record that the governor cancelled this statement, with the stable
+/// cancel-reason label (first writer wins, matching the sticky token).
+pub fn note_cancelled(reason: &'static str) {
+    with_active(|b| {
+        if b.cancelled.is_none() {
+            b.cancelled = Some(reason);
+        }
+    });
 }
 
 /// Record time spent queued at an admission gate. Safe to call before the
@@ -341,6 +355,7 @@ impl ProvenanceLog {
             violations: builder.violations,
             ok: f.error.is_none(),
             error: f.error.map(|e| truncate(e, 240)),
+            cancelled: builder.cancelled,
             rows: f.rows,
             convert: None,
         };
@@ -494,6 +509,10 @@ fn render_record_json(r: &ProvenanceRecord) -> String {
     out.push_str(&format!(
         "\"error\":{},",
         r.error.as_deref().map_or("null".to_string(), json_str)
+    ));
+    out.push_str(&format!(
+        "\"cancelled\":{},",
+        r.cancelled.map_or("null".to_string(), json_str)
     ));
     out.push_str(&format!("\"rows\":{},", r.rows));
     match &r.convert {

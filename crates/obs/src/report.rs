@@ -587,6 +587,7 @@ mod tests {
             violations: 0,
             ok: true,
             error: None,
+            cancelled: None,
             rows: 4,
             convert: Some(ConvertStats {
                 rows: 4,

@@ -98,6 +98,12 @@ impl Parser {
                 format!("statement nesting exceeds {MAX_NESTING} levels"),
             ));
         }
+        // Cooperative cancellation: deeply recursive parses of adversarial
+        // input observe the statement governor at every nesting level.
+        if let Err(c) = hyperq_governor::checkpoint() {
+            self.depth -= 1;
+            return Err(ParseError::new(self.line(), c.to_string()));
+        }
         Ok(())
     }
 

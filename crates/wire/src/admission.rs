@@ -151,7 +151,14 @@ impl AdmissionGate {
         self.queued.inc();
         self.depth.add(1);
         let enqueued = Instant::now();
-        let deadline = enqueued + self.timeout;
+        // The queue wait is bounded by the *earlier* of the gate's own
+        // admission timeout and the statement's governor deadline: a query
+        // whose deadline expires while queued is shed immediately instead
+        // of sleeping on towards a wait it can never use.
+        let deadline = match hyperq_governor::deadline_instant() {
+            Some(d) => d.min(enqueued + self.timeout),
+            None => enqueued + self.timeout,
+        };
         loop {
             if state.queue.front() == Some(&ticket) && state.in_use < self.capacity {
                 state.queue.pop_front();
@@ -175,6 +182,9 @@ impl AdmissionGate {
                 self.depth.sub(1);
                 self.shed_timeout.inc();
                 self.wait.record(enqueued.elapsed());
+                // Fold an expired governor deadline into the cancel token so
+                // the caller reports the cancel code, not generic shedding.
+                let _ = hyperq_governor::checkpoint();
                 // Removing a (possibly front) waiter can unblock the one
                 // behind it.
                 self.freed.notify_all();

@@ -79,8 +79,32 @@ impl Client {
     /// Submit a request (one or more statements) and collect all result
     /// sets. Statement errors surface as `Err`.
     pub fn run(&mut self, sql: &str) -> Result<Vec<ClientResultSet>, WireError> {
+        self.request(Message::SqlRequest { sql: sql.to_string() })
+    }
+
+    /// Submit a request under a client-side response-time limit: the
+    /// gateway cancels the statement when the limit expires and answers
+    /// with wire code 3156, leaving the session usable.
+    pub fn run_timed(
+        &mut self,
+        sql: &str,
+        timeout: std::time::Duration,
+    ) -> Result<Vec<ClientResultSet>, WireError> {
+        let timeout_ms = timeout.as_millis().min(u32::MAX as u128) as u32;
+        self.request(Message::SqlRequestTimed { timeout_ms, sql: sql.to_string() })
+    }
+
+    /// An out-of-band abort handle for this session: call
+    /// [`Aborter::abort`] from another thread while `run` blocks to cancel
+    /// the statement in flight (the gateway answers it with wire code
+    /// 3110).
+    pub fn aborter(&self) -> Result<Aborter, WireError> {
+        Ok(Aborter { stream: self.reader.try_clone()? })
+    }
+
+    fn request(&mut self, message: Message) -> Result<Vec<ClientResultSet>, WireError> {
         use std::io::Write as _;
-        Message::SqlRequest { sql: sql.to_string() }.write_to(&mut self.writer)?;
+        message.write_to(&mut self.writer)?;
         self.writer.flush()?;
         // (header columns, decoded schema, accumulated rows) of the result
         // set currently streaming in.
@@ -136,6 +160,24 @@ impl Client {
         use std::io::Write as _;
         Message::Logoff.write_to(&mut self.writer)?;
         self.writer.flush()?;
+        Ok(())
+    }
+}
+
+/// Out-of-band cancel handle for a [`Client`] session (the `ABORT` key of
+/// a `bteq` user): a clone of the session socket that can inject an
+/// [`Message::AbortRequest`] while the owning thread is blocked in
+/// [`Client::run`].
+pub struct Aborter {
+    stream: TcpStream,
+}
+
+impl Aborter {
+    /// Ask the gateway to cancel the request currently in flight on this
+    /// session. The blocked `run` call returns the cancel error (wire code
+    /// 3110); aborting an idle session is an acknowledged no-op.
+    pub fn abort(&mut self) -> Result<(), WireError> {
+        Message::AbortRequest.write_to(&mut self.stream)?;
         Ok(())
     }
 }

@@ -139,6 +139,16 @@ pub fn convert(
     rows: &[Row],
     config: &ConverterConfig,
 ) -> Result<ConvertedResult, String> {
+    // Conversion runs under the statement's governor when one is installed
+    // on the session thread: workers observe its cancel token between
+    // batches (the token must be passed explicitly — worker threads do not
+    // inherit the thread-local), and in-memory buffering charges its
+    // resource ledger so a huge result spills early under memory pressure
+    // instead of blowing past the query's budget.
+    let gov = hyperq_governor::current();
+    if let Some(g) = &gov {
+        g.checkpoint().map_err(|c| c.to_string())?;
+    }
     let header = header_columns(schema);
     // Step 1: package into TDF batches (paper §4.5: results are retrieved
     // "in one or more batches depending on the result size").
@@ -151,7 +161,12 @@ pub fn convert(
     let converted: Vec<Vec<Vec<u8>>> = if config.parallelism <= 1 || batches.len() <= 1 {
         batches
             .iter()
-            .map(|b| convert_batch(b))
+            .map(|b| {
+                if let Some(g) = &gov {
+                    g.checkpoint().map_err(|c| c.to_string())?;
+                }
+                convert_batch(b)
+            })
             .collect::<Result<_, _>>()?
     } else {
         let workers = config.parallelism.min(batches.len());
@@ -159,6 +174,7 @@ pub fn convert(
             (0..batches.len()).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results_mutex = parking_lot::Mutex::new(&mut results);
+        let gov_ref = gov.as_deref();
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -167,7 +183,13 @@ pub fn convert(
                         if i >= batches.len() {
                             break;
                         }
-                        let r = convert_batch(&batches[i]);
+                        // A cancelled statement stops dispatching further
+                        // batches; already-finished ones are discarded by
+                        // the error below.
+                        let r = match gov_ref.map(|g| g.checkpoint()) {
+                            Some(Err(c)) => Err(c.to_string()),
+                            _ => convert_batch(&batches[i]),
+                        };
                         results_mutex.lock()[i] = Some(r);
                     });
                 }
@@ -185,17 +207,33 @@ pub fn convert(
             .collect::<Result<_, _>>()?
     };
 
-    // Step 3: buffer within the memory budget; spill beyond it.
+    // Step 3: buffer within the memory budget; spill beyond it. Under a
+    // governor the in-memory bytes are also charged against the query's
+    // ledger (and the gateway-global pool); a chunk the ledger refuses is
+    // spilled to disk instead of killing the query — spilling *earlier*
+    // under pressure is the graceful degradation, the budget kill is
+    // reserved for allocations that cannot degrade (engine state).
     let mut chunks = Vec::with_capacity(converted.len());
     let mut in_memory = 0usize;
     let mut spilled_chunks = 0usize;
     let mut total_rows = 0u64;
     let mut total_bytes = 0u64;
     for (i, chunk_rows) in converted.into_iter().enumerate() {
+        if let Some(g) = &gov {
+            g.checkpoint().map_err(|c| c.to_string())?;
+        }
         total_rows += chunk_rows.len() as u64;
         total_bytes += chunk_rows.iter().map(|r| r.len() as u64).sum::<u64>();
         let bytes: usize = chunk_rows.iter().map(|r| r.len() + 4).sum();
-        if in_memory + bytes <= config.memory_budget {
+        let fits_budget = in_memory + bytes <= config.memory_budget;
+        let charged = fits_budget
+            && match &gov {
+                // `ResourceLedger::charge` (not `QueryGovernor::charge`):
+                // a denial here must NOT cancel the query, just spill.
+                Some(g) => g.ledger().charge(bytes as u64).is_ok(),
+                None => true,
+            };
+        if charged {
             in_memory += bytes;
             chunks.push(Chunk::Mem(chunk_rows));
         } else {

@@ -36,7 +36,7 @@ pub mod tdf;
 
 pub use admission::{AdmissionConfig, AdmissionGate, AdmissionPermit, ShedReason};
 pub use obs_http::ObsHttpHandle;
-pub use client::{Client, ClientResultSet};
+pub use client::{Aborter, Client, ClientResultSet};
 pub use convert::{convert, ConverterConfig};
 pub use message::{Message, WireError};
 pub use server::{Gateway, GatewayConfig, GatewayHandle, WireStats};

@@ -54,6 +54,15 @@ pub enum Message {
     SqlRequest { sql: String },
     /// Close the session.
     Logoff,
+    /// Asynchronously abort the request currently executing on this
+    /// session (the Teradata `ABORT`/async-abort shape). Sent out-of-band
+    /// while a `SqlRequest` is in flight; the gateway answers the aborted
+    /// request with error 3110 and the session stays usable.
+    AbortRequest,
+    /// Execute a request under a client-supplied response-time limit
+    /// (milliseconds; 0 = unlimited). Expiry cancels the request with
+    /// error 3156 without tearing down the session.
+    SqlRequestTimed { timeout_ms: u32, sql: String },
     // --- gateway → client -------------------------------------------------
     /// Authentication challenge with a per-session salt.
     AuthChallenge { salt: u64 },
@@ -78,6 +87,8 @@ impl Message {
             Message::LogonDigest { .. } => 0x02,
             Message::SqlRequest { .. } => 0x03,
             Message::Logoff => 0x04,
+            Message::AbortRequest => 0x05,
+            Message::SqlRequestTimed { .. } => 0x06,
             Message::AuthChallenge { .. } => 0x81,
             Message::LogonOk { .. } => 0x82,
             Message::RecordSetHeader { .. } => 0x83,
@@ -95,7 +106,11 @@ impl Message {
             Message::LogonRequest { user } => put_str(&mut payload, user),
             Message::LogonDigest { digest } => payload.put_u64_le(*digest),
             Message::SqlRequest { sql } => put_str(&mut payload, sql),
-            Message::Logoff | Message::EndRequest => {}
+            Message::Logoff | Message::AbortRequest | Message::EndRequest => {}
+            Message::SqlRequestTimed { timeout_ms, sql } => {
+                payload.put_u32_le(*timeout_ms);
+                put_str(&mut payload, sql);
+            }
             Message::AuthChallenge { salt } => payload.put_u64_le(*salt),
             Message::LogonOk { session_id } => payload.put_u64_le(*session_id),
             Message::RecordSetHeader { columns } => {
@@ -136,6 +151,14 @@ impl Message {
             0x02 => Message::LogonDigest { digest: get_u64(&mut buf)? },
             0x03 => Message::SqlRequest { sql: get_str(&mut buf)? },
             0x04 => Message::Logoff,
+            0x05 => Message::AbortRequest,
+            0x06 => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Protocol("truncated timed request".into()));
+                }
+                let timeout_ms = buf.get_u32_le();
+                Message::SqlRequestTimed { timeout_ms, sql: get_str(&mut buf)? }
+            }
             0x81 => Message::AuthChallenge { salt: get_u64(&mut buf)? },
             0x82 => Message::LogonOk { session_id: get_u64(&mut buf)? },
             0x83 => {
@@ -386,6 +409,8 @@ mod tests {
             Message::LogonDigest { digest: 0xDEADBEEF },
             Message::SqlRequest { sql: "SEL * FROM T".into() },
             Message::Logoff,
+            Message::AbortRequest,
+            Message::SqlRequestTimed { timeout_ms: 1500, sql: "SEL * FROM T".into() },
             Message::AuthChallenge { salt: 42 },
             Message::LogonOk { session_id: 7 },
             Message::RecordSetHeader {

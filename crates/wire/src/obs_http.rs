@@ -15,11 +15,15 @@
 //!   plain-text report instead.
 //! * `/slowlog` — captured slow statements (literal-redacted SQL unless
 //!   raw capture was opted into) as JSON.
+//! * `/queries` — the governor's in-flight query table (id, session,
+//!   fingerprint, stage, elapsed, charged memory) as JSON, when a
+//!   [`GovernorRegistry`] is attached. `?cancel=<id>` cancels that query —
+//!   but only when the gateway opted in via
+//!   `GovernorConfig::allow_http_cancel`; otherwise it answers 403.
 //!
 //! The server is std-only (no HTTP framework): it parses just the request
 //! line, answers with `Content-Length` + `Connection: close`, and closes.
-//! Everything served is a read-only snapshot — no route mutates state, so
-//! exposing the port is safe wherever the metrics are.
+//! Every route except the gated `?cancel=` serves a read-only snapshot.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -27,6 +31,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use hyperq_governor::{CancelReason, GovernorRegistry, QuerySnapshot};
 use hyperq_obs::{provenance, slowlog, ObsContext, WorkloadReport};
 
 /// Default cap on `/provenance` records per response.
@@ -65,8 +70,20 @@ impl Drop for ObsHttpHandle {
 }
 
 /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve the
-/// observability routes from `obs` in the background.
+/// observability routes from `obs` in the background. `/queries` answers
+/// 404 — no governor registry is attached on this path.
 pub fn spawn(addr: &str, obs: Arc<ObsContext>) -> std::io::Result<ObsHttpHandle> {
+    spawn_with_governor(addr, obs, None)
+}
+
+/// [`spawn`] with the gateway's governor registry attached, enabling the
+/// `/queries` in-flight table (and, when the registry's config allows it,
+/// `?cancel=<id>`).
+pub fn spawn_with_governor(
+    addr: &str,
+    obs: Arc<ObsContext>,
+    governor: Option<Arc<GovernorRegistry>>,
+) -> std::io::Result<ObsHttpHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -81,7 +98,7 @@ pub fn spawn(addr: &str, obs: Arc<ObsContext>) -> std::io::Result<ObsHttpHandle>
                     // Requests are tiny and responses are snapshots;
                     // serving inline keeps the server single-threaded and
                     // the accept loop responsive enough for scrapers.
-                    let _ = serve_one(stream, &obs);
+                    let _ = serve_one(stream, &obs, governor.as_deref());
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -93,7 +110,11 @@ pub fn spawn(addr: &str, obs: Arc<ObsContext>) -> std::io::Result<ObsHttpHandle>
     Ok(ObsHttpHandle { addr, shutdown, thread: Some(thread) })
 }
 
-fn serve_one(stream: TcpStream, obs: &ObsContext) -> std::io::Result<()> {
+fn serve_one(
+    stream: TcpStream,
+    obs: &ObsContext,
+    governor: Option<&GovernorRegistry>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
     stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -153,8 +174,72 @@ fn serve_one(stream: TcpStream, obs: &ObsContext) -> std::io::Result<()> {
             let body = slowlog::render_json(&obs.slowlog.entries());
             respond(stream, "200 OK", "application/json", &body)
         }
+        "/queries" => match governor {
+            None => respond(
+                stream,
+                "404 Not Found",
+                "text/plain",
+                "no query governor attached to this endpoint\n",
+            ),
+            Some(reg) => {
+                if let Some(raw) = query_param(query, "cancel") {
+                    if !reg.config().allow_http_cancel {
+                        return respond(
+                            stream,
+                            "403 Forbidden",
+                            "text/plain",
+                            "query cancellation over HTTP is disabled \
+                             (GovernorConfig::allow_http_cancel)\n",
+                        );
+                    }
+                    let Ok(id) = raw.parse::<u64>() else {
+                        return respond(
+                            stream,
+                            "400 Bad Request",
+                            "text/plain",
+                            "cancel takes a numeric query id\n",
+                        );
+                    };
+                    let hit = reg.cancel(
+                        id,
+                        CancelReason::ClientAbort,
+                        "cancelled via observability endpoint",
+                    );
+                    let body = format!("{{\"query\":{id},\"cancelled\":{hit}}}\n");
+                    return respond(stream, "200 OK", "application/json", &body);
+                }
+                respond(stream, "200 OK", "application/json", &render_queries_json(&reg.snapshot()))
+            }
+        },
         _ => respond(stream, "404 Not Found", "text/plain", "unknown route\n"),
     }
+}
+
+/// The in-flight query table as JSON, one object per statement, sorted by
+/// query id (the registry's snapshot order).
+fn render_queries_json(queries: &[QuerySnapshot]) -> String {
+    let mut out = String::from("[");
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"session\":{},\"fingerprint\":\"{:016x}\",\"stage\":\"{}\",\
+             \"elapsed_ms\":{:.3},\"mem_bytes\":{},\"cancelled\":{}}}",
+            q.id,
+            q.session,
+            q.fingerprint,
+            q.stage,
+            q.elapsed.as_secs_f64() * 1e3,
+            q.mem_bytes,
+            match q.cancelled {
+                Some(reason) => format!("\"{reason}\""),
+                None => "null".to_string(),
+            },
+        ));
+    }
+    out.push_str("]\n");
+    out
 }
 
 fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {

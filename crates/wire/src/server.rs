@@ -6,7 +6,8 @@
 //! **execution** (target database), and **result transformation**
 //! (TDF → client binary format, including spill handling).
 
-use std::io::BufWriter;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Read};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -16,8 +17,10 @@ use hyperq_core::backend::Backend;
 use hyperq_core::capability::TargetCapabilities;
 use hyperq_core::resilience::{ResilienceConfig, ResilientBackend};
 use hyperq_core::{
-    AnalyzeMode, CacheConfig, HyperQBuilder, ObsContext, TranslationCache, TXN_ABORT_MESSAGE,
+    AnalyzeMode, CacheConfig, HyperQ, HyperQBuilder, HyperQError, ObsContext, TranslationCache,
+    TXN_ABORT_MESSAGE,
 };
+use hyperq_governor::{CancelReason, GovernorConfig, GovernorRegistry, QueryGovernor};
 use hyperq_obs::io::{CountingReader, CountingWriter};
 use hyperq_obs::Gauge;
 use parking_lot::Mutex;
@@ -120,6 +123,10 @@ pub struct GatewayConfig {
     /// (`/metrics`, `/provenance`, `/report`, …), e.g. `"127.0.0.1:0"`
     /// for an ephemeral port. `None` (the default) serves no endpoint.
     pub obs_http: Option<String>,
+    /// Per-query lifecycle governance: default deadlines, per-query and
+    /// gateway-global memory budgets, watchdog sweep cadence, and whether
+    /// the observability endpoint may cancel queries.
+    pub governor: GovernorConfig,
 }
 
 impl Default for GatewayConfig {
@@ -136,6 +143,7 @@ impl Default for GatewayConfig {
             admission: Some(AdmissionConfig::default()),
             cache: Some(CacheConfig::default()),
             obs_http: None,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -156,6 +164,9 @@ pub struct Gateway {
     stmt_gate: Option<Arc<AdmissionGate>>,
     /// Translation cache shared by every session this gateway serves.
     cache: Option<Arc<TranslationCache>>,
+    /// Per-query lifecycle governor: every statement registers here, the
+    /// watchdog sweeps it, and `/queries` snapshots it.
+    governor: Arc<GovernorRegistry>,
 }
 
 /// Decrements the gateway's active-session count when a worker exits,
@@ -174,6 +185,157 @@ pub struct GatewayHandle {
     gateway: Arc<Gateway>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     obs_http: Option<crate::obs_http::ObsHttpHandle>,
+    /// Governor watchdog; dropping it stops and joins the sweep thread.
+    watchdog: Option<hyperq_governor::WatchdogHandle>,
+}
+
+/// Session reader that replays bytes handed back by an [`AbortWatcher`]
+/// before resuming from the socket: a frame the watcher had only partially
+/// read when its statement finished is completed by the request loop
+/// instead of being lost (or treated as a protocol error).
+struct SessionReader<R> {
+    replay: VecDeque<u8>,
+    inner: R,
+}
+
+impl<R: Read> Read for SessionReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if !self.replay.is_empty() {
+            let n = buf.len().min(self.replay.len());
+            for b in buf.iter_mut().take(n) {
+                *b = self.replay.pop_front().unwrap_or_default();
+            }
+            return Ok(n);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// What an abort-watcher stint observed while a statement executed.
+struct WatcherOutcome {
+    /// Complete non-abort frames the client pipelined during execution,
+    /// to be served by the request loop in arrival order.
+    messages: VecDeque<Message>,
+    /// Raw bytes of a frame still incomplete when the watcher stopped.
+    leftover: Vec<u8>,
+    /// The client vanished (EOF or hard socket error) mid-statement.
+    disconnected: bool,
+}
+
+impl WatcherOutcome {
+    fn empty() -> WatcherOutcome {
+        WatcherOutcome { messages: VecDeque::new(), leftover: Vec::new(), disconnected: false }
+    }
+}
+
+/// How often the abort watcher wakes to poll its stop flag. This is also
+/// the read timeout it installs on the (shared) socket, so the session
+/// restores `io_timeout` after every stint — and the bound on how long
+/// `finish()` blocks the response tail, so it is kept small: every wire
+/// statement pays up to one poll interval joining its watcher.
+const ABORT_POLL: Duration = Duration::from_millis(5);
+
+/// Length of the complete TDWP frame at the head of `buf`, if one is there.
+fn complete_frame_len(buf: &[u8]) -> Option<usize> {
+    if buf.len() < 5 {
+        return None;
+    }
+    let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+    (buf.len() >= 5 + len).then_some(5 + len)
+}
+
+/// Watches the client socket for out-of-band frames while a statement
+/// executes on the session thread — the TDWP async-abort path. An
+/// [`Message::AbortRequest`] cancels the statement's governor token (the
+/// next checkpoint in parser/transformer/engine/converter aborts the
+/// work); any other frame is kept for the request loop. Reads poll with a
+/// short timeout and accumulate bytes, so a timeout mid-frame on a
+/// cancelled query resumes cleanly instead of desynchronizing the
+/// protocol.
+struct AbortWatcher {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<WatcherOutcome>,
+}
+
+impl AbortWatcher {
+    fn spawn(stream: TcpStream, gov: Arc<QueryGovernor>) -> std::io::Result<AbortWatcher> {
+        stream.set_read_timeout(Some(ABORT_POLL))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut stream = stream;
+            let mut outcome = WatcherOutcome::empty();
+            let mut tmp = [0u8; 4096];
+            loop {
+                match stream.read(&mut tmp) {
+                    Ok(0) => {
+                        gov.cancel(CancelReason::ClientAbort, "client disconnected mid-request");
+                        outcome.disconnected = true;
+                        break;
+                    }
+                    Ok(n) => outcome.leftover.extend_from_slice(&tmp[..n]),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if stop2.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(_) => {
+                        gov.cancel(CancelReason::ClientAbort, "client socket error mid-request");
+                        outcome.disconnected = true;
+                        break;
+                    }
+                }
+                while let Some(frame_len) = complete_frame_len(&outcome.leftover) {
+                    let frame: Vec<u8> = outcome.leftover.drain(..frame_len).collect();
+                    let mut cursor = std::io::Cursor::new(frame);
+                    match Message::read_from(&mut cursor) {
+                        Ok(Message::AbortRequest) => {
+                            gov.cancel(CancelReason::ClientAbort, "aborted by client request");
+                        }
+                        Ok(m) => outcome.messages.push_back(m),
+                        // An undecodable frame is dropped here; the request
+                        // loop reports subsequent desync as a protocol
+                        // error on its own reads.
+                        Err(_) => {}
+                    }
+                }
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            outcome
+        });
+        Ok(AbortWatcher { stop, thread })
+    }
+
+    /// Stop watching (at most one `ABORT_POLL` later) and hand back
+    /// everything read from the socket.
+    fn finish(self) -> WatcherOutcome {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread.join().unwrap_or_else(|_| WatcherOutcome::empty())
+    }
+}
+
+/// Record end-of-statement cancel accounting: one counter bump per
+/// cancelled statement labelled by reason, plus the cancel-to-kill latency
+/// (cancel request → statement actually dead).
+fn note_cancel_metrics(obs: &ObsContext, gov: &QueryGovernor) {
+    if let Some(reason) = gov.token().reason() {
+        obs.metrics
+            .counter("hyperq_governor_cancels_total", &[("reason", reason.as_str())])
+            .inc();
+        if let Some(latency) = gov.cancel_latency() {
+            obs.metrics
+                .histogram("hyperq_governor_cancel_latency_seconds", &[])
+                .record(latency);
+        }
+    }
 }
 
 impl Gateway {
@@ -218,6 +380,7 @@ impl Gateway {
             .cache
             .clone()
             .map(|cfg| Arc::new(TranslationCache::new(cfg, obs)));
+        let governor = GovernorRegistry::new(config.governor.clone(), obs);
         Arc::new(Gateway {
             backend,
             config,
@@ -228,6 +391,7 @@ impl Gateway {
             conn_gate,
             stmt_gate,
             cache,
+            governor,
         })
     }
 
@@ -241,9 +405,17 @@ impl Gateway {
         // sessions record into, on its own port so scraping never contends
         // with the TDWP front door.
         let obs_http = match &gateway.config.obs_http {
-            Some(bind) => Some(crate::obs_http::spawn(bind, Arc::clone(ObsContext::global()))?),
+            Some(bind) => Some(crate::obs_http::spawn_with_governor(
+                bind,
+                Arc::clone(ObsContext::global()),
+                Some(Arc::clone(&gateway.governor)),
+            )?),
             None => None,
         };
+        // The watchdog sweeps the in-flight query table on its own thread,
+        // cancelling statements that outlive their deadline even when the
+        // executing thread is between checkpoints.
+        let watchdog = Some(gateway.governor.spawn_watchdog());
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -316,7 +488,7 @@ impl Gateway {
                 }
             }
         });
-        Ok(GatewayHandle { addr, gateway, accept_thread: Some(accept_thread), obs_http })
+        Ok(GatewayHandle { addr, gateway, accept_thread: Some(accept_thread), obs_http, watchdog })
     }
 
     /// Turn away a connection over the cap: best-effort wire error so the
@@ -383,10 +555,18 @@ impl Gateway {
         let _session = GaugeGuard::acquire(obs.metrics.gauge("hyperq_wire_sessions_active", &[]));
         let queries = obs.metrics.counter("hyperq_wire_requests_total", &[]);
         let errors = obs.metrics.counter("hyperq_wire_errors_total", &[]);
-        let mut reader = CountingReader::new(
-            stream.try_clone()?,
-            obs.metrics.counter("hyperq_wire_bytes_total", &[("direction", "in")]),
-        );
+        // Extra clone for socket-option control (read-timeout restore after
+        // an abort-watcher stint) and for spawning the per-statement
+        // watchers; SO_RCVTIMEO is a property of the underlying socket, so
+        // any clone can set and restore it.
+        let ctrl = stream.try_clone()?;
+        let mut reader = SessionReader {
+            replay: VecDeque::new(),
+            inner: CountingReader::new(
+                stream.try_clone()?,
+                obs.metrics.counter("hyperq_wire_bytes_total", &[("direction", "in")]),
+            ),
+        };
         let mut writer = CountingWriter::new(
             BufWriter::new(stream),
             obs.metrics.counter("hyperq_wire_bytes_total", &[("direction", "out")]),
@@ -433,108 +613,39 @@ impl Gateway {
         writer.flush()?;
 
         // --- request loop ---------------------------------------------------
+        // Frames an abort watcher captured beyond its own statement are
+        // served from here before the socket is read again.
+        let mut pending: VecDeque<Message> = VecDeque::new();
         loop {
-            match Message::read_from(&mut reader) {
+            let next = match pending.pop_front() {
+                Some(m) => Ok(m),
+                None => Message::read_from(&mut reader),
+            };
+            match next {
                 Ok(Message::SqlRequest { sql }) => {
                     queries.inc();
-                    // Statement admission: the permit spans translation,
-                    // execution and conversion, so `statement_slots` caps
-                    // gateway-wide statement concurrency end to end.
-                    let _stmt_permit = match &self.stmt_gate {
-                        Some(gate) => match gate.try_admit() {
-                            Ok(permit) => Some(permit),
-                            Err(reason) => {
-                                errors.inc();
-                                Message::ErrorResponse {
-                                    code: reason.wire_code(),
-                                    message: format!(
-                                        "statement shed by admission control ({}); try again later",
-                                        reason.as_str()
-                                    ),
-                                }
-                                .write_to(&mut writer)?;
-                                Message::EndRequest.write_to(&mut writer)?;
-                                writer.flush()?;
-                                continue;
-                            }
-                        },
-                        None => None,
-                    };
-                    let mut request_stats = WireStats { requests: 1, ..Default::default() };
-                    match hq.run_script(&sql) {
-                        Ok(outcomes) => {
-                            for outcome in outcomes {
-                                request_stats.translation += outcome.timings.translation;
-                                request_stats.execution += outcome.timings.execution;
-                                let t0 = Instant::now();
-                                if outcome.result.schema.is_empty() {
-                                    Message::StatementOk {
-                                        activity_count: outcome.result.row_count,
-                                    }
-                                    .write_to(&mut writer)?;
-                                } else {
-                                    let converted = convert_traced(
-                                        &outcome.result.schema,
-                                        &outcome.result.rows,
-                                        &self.config.converter,
-                                        &obs,
-                                        outcome.trace_id,
-                                    )
-                                    .map_err(WireError::Protocol)?;
-                                    request_stats.conversion += t0.elapsed();
-                                    request_stats.rows_returned += converted.total_rows;
-                                    request_stats.spilled_chunks +=
-                                        converted.spilled_chunks as u64;
-                                    Message::RecordSetHeader {
-                                        columns: converted.header.clone(),
-                                    }
-                                    .write_to(&mut writer)?;
-                                    let total = converted.total_rows;
-                                    let t1 = Instant::now();
-                                    let mut werr: Option<std::io::Error> = None;
-                                    {
-                                        let w = &mut writer;
-                                        converted
-                                            .for_each_row(|frame| {
-                                                Message::Record {
-                                                    row_bytes: frame.to_vec(),
-                                                }
-                                                .write_to(w)
-                                                .map_err(|e| match e {
-                                                    WireError::Io(io) => io,
-                                                    WireError::Protocol(p) => {
-                                                        std::io::Error::other(p)
-                                                    }
-                                                })
-                                            })
-                                            .unwrap_or_else(|e| werr = Some(e));
-                                    }
-                                    if let Some(e) = werr {
-                                        return Err(WireError::Io(e));
-                                    }
-                                    request_stats.conversion += t1.elapsed();
-                                    Message::StatementOk { activity_count: total }
-                                        .write_to(&mut writer)?;
-                                }
-                            }
-                            Message::EndRequest.write_to(&mut writer)?;
-                        }
-                        Err(e) => {
-                            errors.inc();
-                            let message = e.to_string();
-                            // A mid-transaction connection loss surfaces as
-                            // its own code: the session is usable again, but
-                            // the client must re-run the whole transaction.
-                            let code =
-                                if message.contains(TXN_ABORT_MESSAGE) { 2631 } else { 3807 };
-                            Message::ErrorResponse { code, message }.write_to(&mut writer)?;
-                            Message::EndRequest.write_to(&mut writer)?;
-                        }
+                    if !self.serve_statement(
+                        &mut hq, &sql, None, &ctrl, &mut reader, &mut writer, &obs, &mut pending,
+                    )? {
+                        break;
                     }
-                    // Publish stats before the client can observe the
-                    // response (tests read them right after EndRequest).
-                    self.stats.lock().merge(&request_stats);
-                    writer.flush()?;
+                }
+                Ok(Message::SqlRequestTimed { timeout_ms, sql }) => {
+                    queries.inc();
+                    let limit = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms as u64));
+                    if !self.serve_statement(
+                        &mut hq, &sql, limit, &ctrl, &mut reader, &mut writer, &obs, &mut pending,
+                    )? {
+                        break;
+                    }
+                }
+                Ok(Message::AbortRequest) => {
+                    // Abort with nothing in flight (or whose statement
+                    // finished first): nothing to cancel, and no response
+                    // of its own — an abort is answered on the request it
+                    // kills, so an unpaired one is silently dropped to keep
+                    // the client's request/response pairing intact.
+                    obs.metrics.counter("hyperq_governor_idle_aborts_total", &[]).inc();
                 }
                 Ok(Message::Logoff) => break,
                 Err(WireError::Io(e)) => {
@@ -568,6 +679,205 @@ impl Gateway {
         }
         Ok(())
     }
+
+    /// Serve one SQL request under a query governor: register it (deadline
+    /// from the client's limit or the gateway default, memory budget from
+    /// config), watch the socket for an async abort while it runs, and map
+    /// a cancelled statement onto its single well-defined wire code — 3110
+    /// client abort, 3156 deadline, 2646 memory budget — leaving the
+    /// session usable. Returns `Ok(false)` when the client disconnected
+    /// mid-statement and the session should end.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_statement(
+        &self,
+        hq: &mut HyperQ,
+        sql: &str,
+        client_timeout: Option<Duration>,
+        ctrl: &TcpStream,
+        reader: &mut SessionReader<CountingReader<TcpStream>>,
+        writer: &mut CountingWriter<BufWriter<TcpStream>>,
+        obs: &Arc<ObsContext>,
+        pending: &mut VecDeque<Message>,
+    ) -> Result<bool, WireError> {
+        use std::io::Write as _;
+        let errors = obs.metrics.counter("hyperq_wire_errors_total", &[]);
+
+        // Register before admission so time spent queueing counts against
+        // the statement's deadline (and an expired deadline sheds the
+        // queued statement immediately — see `AdmissionGate::try_admit`).
+        let registration = self.governor.begin(hq.session.session_id, client_timeout);
+        let gov = Arc::clone(registration.governor());
+        let _scope = hyperq_governor::install(Arc::clone(&gov));
+
+        // Statement admission: the permit spans translation, execution and
+        // conversion, so `statement_slots` caps gateway-wide statement
+        // concurrency end to end.
+        let stmt_permit = match &self.stmt_gate {
+            Some(gate) => match gate.try_admit() {
+                Ok(permit) => Some(permit),
+                Err(reason) => {
+                    errors.inc();
+                    // A shed whose true cause is the statement's own
+                    // deadline reports the cancel code, not admission noise.
+                    let (code, message) = match gov.token().error() {
+                        Some(c) => (c.reason.wire_code(), c.to_string()),
+                        None => (
+                            reason.wire_code(),
+                            format!(
+                                "statement shed by admission control ({}); try again later",
+                                reason.as_str()
+                            ),
+                        ),
+                    };
+                    note_cancel_metrics(obs, &gov);
+                    Message::ErrorResponse { code, message }.write_to(writer)?;
+                    Message::EndRequest.write_to(writer)?;
+                    writer.flush()?;
+                    return Ok(true);
+                }
+            },
+            None => None,
+        };
+
+        // Watch for an out-of-band AbortRequest while the statement runs.
+        // If the socket cannot be cloned the statement still runs — it just
+        // cannot be client-aborted (deadline and budget still apply).
+        let watcher = ctrl
+            .try_clone()
+            .ok()
+            .and_then(|s| AbortWatcher::spawn(s, Arc::clone(&gov)).ok());
+
+        let run_result = hq.run_script(sql);
+
+        // Stop the watcher *before* writing the response: once the client
+        // sees EndRequest it may send its next request, which must be read
+        // by the request loop, not swallowed here. Hand back everything the
+        // watcher read and restore the session's io timeout (the watcher
+        // shortened the shared socket's).
+        let outcome = match watcher {
+            Some(w) => w.finish(),
+            None => WatcherOutcome::empty(),
+        };
+        let _ = ctrl.set_read_timeout(self.config.io_timeout);
+        reader.replay.extend(outcome.leftover.iter().copied());
+        pending.extend(outcome.messages);
+        if outcome.disconnected {
+            note_cancel_metrics(obs, &gov);
+            return Ok(false);
+        }
+
+        let mut request_stats = WireStats { requests: 1, ..Default::default() };
+        match run_result {
+            Ok(outcomes) => {
+                let mut failed: Option<(u16, String)> = None;
+                for outcome in outcomes {
+                    request_stats.translation += outcome.timings.translation;
+                    request_stats.execution += outcome.timings.execution;
+                    let t0 = Instant::now();
+                    if outcome.result.schema.is_empty() {
+                        Message::StatementOk { activity_count: outcome.result.row_count }
+                            .write_to(writer)?;
+                        continue;
+                    }
+                    hyperq_governor::note_stage(hyperq_governor::Stage::Converting);
+                    let converted = match convert_traced(
+                        &outcome.result.schema,
+                        &outcome.result.rows,
+                        &self.config.converter,
+                        obs,
+                        outcome.trace_id,
+                    ) {
+                        Ok(c) => c,
+                        Err(msg) => {
+                            // A conversion abandoned because the statement
+                            // was cancelled is an ordinary statement error
+                            // on the wire — the session survives. Only a
+                            // genuinely broken conversion is a protocol
+                            // failure.
+                            match hyperq_governor::cancel_error() {
+                                Some(c) => {
+                                    failed = Some((c.reason.wire_code(), c.to_string()));
+                                    break;
+                                }
+                                None => return Err(WireError::Protocol(msg)),
+                            }
+                        }
+                    };
+                    request_stats.conversion += t0.elapsed();
+                    request_stats.rows_returned += converted.total_rows;
+                    request_stats.spilled_chunks += converted.spilled_chunks as u64;
+                    Message::RecordSetHeader { columns: converted.header.clone() }
+                        .write_to(writer)?;
+                    let total = converted.total_rows;
+                    let t1 = Instant::now();
+                    let mut werr: Option<std::io::Error> = None;
+                    {
+                        let w = &mut *writer;
+                        converted
+                            .for_each_row(|frame| {
+                                // A statement cancelled mid-stream stops
+                                // sending records; the client gets the
+                                // cancel code instead of StatementOk.
+                                if let Some(c) = hyperq_governor::cancel_error() {
+                                    return Err(std::io::Error::other(c.to_string()));
+                                }
+                                Message::Record { row_bytes: frame.to_vec() }
+                                    .write_to(w)
+                                    .map_err(|e| match e {
+                                        WireError::Io(io) => io,
+                                        WireError::Protocol(p) => std::io::Error::other(p),
+                                    })
+                            })
+                            .unwrap_or_else(|e| werr = Some(e));
+                    }
+                    if let Some(e) = werr {
+                        match gov.token().error() {
+                            Some(c) => {
+                                failed = Some((c.reason.wire_code(), c.to_string()));
+                                break;
+                            }
+                            None => return Err(WireError::Io(e)),
+                        }
+                    }
+                    request_stats.conversion += t1.elapsed();
+                    Message::StatementOk { activity_count: total }.write_to(writer)?;
+                }
+                if let Some((code, message)) = failed {
+                    errors.inc();
+                    Message::ErrorResponse { code, message }.write_to(writer)?;
+                }
+                Message::EndRequest.write_to(writer)?;
+            }
+            Err(e) => {
+                errors.inc();
+                let (code, message) = match &e {
+                    // The one well-defined cancel path: every cancelled
+                    // statement — client abort, deadline, memory budget —
+                    // funnels through `HyperQError::Cancelled` and maps to
+                    // its reason's wire code.
+                    HyperQError::Cancelled(c) => (c.reason.wire_code(), e.to_string()),
+                    _ => {
+                        let message = e.to_string();
+                        // A mid-transaction connection loss surfaces as its
+                        // own code: the session is usable again, but the
+                        // client must re-run the whole transaction.
+                        let code = if message.contains(TXN_ABORT_MESSAGE) { 2631 } else { 3807 };
+                        (code, message)
+                    }
+                };
+                Message::ErrorResponse { code, message }.write_to(writer)?;
+                Message::EndRequest.write_to(writer)?;
+            }
+        }
+        note_cancel_metrics(obs, &gov);
+        // Publish stats — and release the statement slot — before the flush
+        // unblocks the client: a client that has seen EndRequest must never
+        // find the gate still held by the statement it just finished.
+        self.stats.lock().merge(&request_stats);
+        drop(stmt_permit);
+        writer.flush()?;
+        Ok(true)
+    }
 }
 
 impl GatewayHandle {
@@ -590,6 +900,12 @@ impl GatewayHandle {
         self.obs_http.as_ref().map(|h| h.addr)
     }
 
+    /// The gateway's query-governor registry (in-flight snapshots,
+    /// operator cancels, pool usage).
+    pub fn governor(&self) -> &Arc<GovernorRegistry> {
+        &self.gateway.governor
+    }
+
     /// Stop accepting new connections, then wait up to
     /// `GatewayConfig::drain_timeout` for in-flight sessions to finish.
     /// With the default zero drain budget this only stops the acceptor;
@@ -606,5 +922,7 @@ impl GatewayHandle {
         while self.gateway.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
+        // Stop the watchdog last so statements still draining stay governed.
+        drop(self.watchdog.take());
     }
 }

@@ -56,6 +56,14 @@ cargo test -q --offline -p hyperq-wire obs_http
 cargo test -q --offline --test provenance
 cargo test -q --offline --test obs_http
 
+# Query lifecycle governance: cancellation (client abort / deadline /
+# memory budget) end to end over the wire and at the library level, the
+# governor unit suites, and the bounded cancel-chaos soak — seeded kill
+# schedules with survivors pinned byte-identical to a kill-free baseline.
+cargo test -q --offline -p hyperq-governor
+cargo test -q --offline --test cancel
+cargo test -q --offline --test soak cancel_soak
+
 # Every registered hyperq_* metric family must be documented in the
 # DESIGN.md inventory table. Pull quoted family-name literals out of the
 # source (suffix-filtered: spill-file name prefixes and other non-metric
@@ -76,7 +84,8 @@ done
 # a `#![forbid(unsafe_code)]`, and nothing sneaks an `unsafe` block in.
 for lib in src/lib.rs crates/xtra/src/lib.rs crates/parser/src/lib.rs \
     crates/core/src/lib.rs crates/engine/src/lib.rs crates/wire/src/lib.rs \
-    crates/workload/src/lib.rs crates/obs/src/lib.rs crates/bench/src/lib.rs; do
+    crates/workload/src/lib.rs crates/obs/src/lib.rs crates/bench/src/lib.rs \
+    crates/governor/src/lib.rs; do
     grep -q '#!\[forbid(unsafe_code)\]' "$lib" || {
         echo "missing #![forbid(unsafe_code)] in $lib" >&2
         exit 1

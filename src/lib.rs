@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub use hyperq_core as core;
+pub use hyperq_governor as governor;
 pub use hyperq_obs as obs;
 pub use hyperq_engine as engine;
 pub use hyperq_parser as parser;

@@ -1,0 +1,343 @@
+//! End-to-end query cancellation: client aborts over the wire (3110),
+//! deadline expiry (3156), and memory-budget kills (2646), each leaving a
+//! usable session, zero temp-table leaks, and a drained memory pool.
+//!
+//! The governor's contract under test: one well-defined error code per
+//! cancel reason, visible end to end — bteq-style client → TCP gateway →
+//! Hyper-Q pipeline → SimWH — and at the library level via
+//! `Request::timeout` / `Request::memory_budget`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hyperq::core::backend::{Backend, BackendError, ExecResult, RequestContext};
+use hyperq::xtra::catalog::TableDef;
+use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::{HyperQBuilder, HyperQError, ObsContext, Request};
+use hyperq::engine::EngineDb;
+use hyperq::governor::{CancelReason, GovernorConfig};
+use hyperq::wire::{AdmissionConfig, Client, Gateway, GatewayConfig, GatewayHandle};
+use hyperq::xtra::Datum;
+
+/// Backend wrapper that sleeps before every execute: makes statements take
+/// deterministically long enough for aborts, deadlines, and the watchdog
+/// to land mid-flight, in debug and release builds alike.
+struct SlowBackend {
+    inner: Arc<EngineDb>,
+    delay: Duration,
+}
+
+impl SlowBackend {
+    fn wrap(inner: Arc<EngineDb>, delay: Duration) -> Arc<SlowBackend> {
+        Arc::new(SlowBackend { inner, delay })
+    }
+}
+
+impl Backend for SlowBackend {
+    fn name(&self) -> &str {
+        "slow-simwh"
+    }
+
+    fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+        std::thread::sleep(self.delay);
+        self.inner.execute(sql)
+    }
+
+    fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+        std::thread::sleep(self.delay);
+        self.inner.execute_ctx(sql, ctx)
+    }
+
+    fn table_meta(&self, name: &str) -> Option<TableDef> {
+        self.inner.table_meta(name)
+    }
+
+    fn reset_session(&self) -> Result<(), BackendError> {
+        self.inner.reset_session()
+    }
+}
+
+fn seed_db() -> Arc<EngineDb> {
+    let db = Arc::new(EngineDb::new());
+    db.execute_sql("CREATE TABLE SALES (STORE INTEGER, AMOUNT INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO SALES VALUES (1, 500), (2, 300), (3, 700)").unwrap();
+    db.execute_sql("CREATE TABLE EMP (EMPNO INTEGER, MGRNO INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO EMP VALUES (1,7),(7,8),(8,10),(9,10),(10,11)").unwrap();
+    db
+}
+
+/// Wait for the registration table to drain: the gateway drops a query's
+/// registration just after flushing its response, so the client can observe
+/// the response a moment before the books close.
+fn assert_governor_drained(handle: &GatewayHandle) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if handle.governor().inflight() == 0 && handle.governor().pool().used() == 0 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "governor still holds queries or memory");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn client_abort_mid_query_returns_3110_and_session_survives() {
+    let db = seed_db();
+    let tables_before = db.table_names();
+    let backend = SlowBackend::wrap(Arc::clone(&db), Duration::from_millis(400));
+    let handle = Gateway::spawn(backend as Arc<dyn Backend>, GatewayConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+
+    let mut aborter = client.aborter().unwrap();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(80));
+        aborter.abort().unwrap();
+    });
+    let err = client.run("SEL STORE, AMOUNT FROM SALES ORDER BY AMOUNT").unwrap_err();
+    killer.join().unwrap();
+    let err = err.to_string();
+    assert!(err.contains("[3110]"), "client abort must surface wire code 3110: {err}");
+    assert!(err.contains("client_abort"), "{err}");
+
+    // The single well-defined error was the whole story: the session is
+    // immediately usable and answers correctly.
+    let rows = client.run("SEL COUNT(*) FROM SALES").unwrap();
+    assert_eq!(rows[0].rows[0][0], Datum::Int(3));
+
+    assert_eq!(db.table_names(), tables_before, "cancelled query must not leak tables");
+    assert_governor_drained(&handle);
+    client.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn gateway_default_deadline_cancels_with_3156() {
+    let db = seed_db();
+    let backend = SlowBackend::wrap(Arc::clone(&db), Duration::from_millis(500));
+    let handle = Gateway::spawn(
+        backend as Arc<dyn Backend>,
+        GatewayConfig {
+            governor: GovernorConfig {
+                default_query_timeout: Some(Duration::from_millis(100)),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+
+    let err = client.run("SEL * FROM SALES").unwrap_err().to_string();
+    assert!(err.contains("[3156]"), "deadline expiry must surface wire code 3156: {err}");
+    assert!(err.contains("deadline"), "{err}");
+
+    // The deadline is per statement, not per session: the next statement
+    // gets a fresh 100ms budget, so a fast one (no table access after the
+    // cache warms nothing — keep it under the budget via the engine's
+    // speed) still completes when it fits.
+    let cancels = ObsContext::global()
+        .metrics
+        .counter_value("hyperq_governor_cancels_total", &[("reason", "deadline")]);
+    assert!(cancels >= 1, "the deadline cancel must be counted");
+    assert_governor_drained(&handle);
+    client.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn client_requested_timeout_cancels_with_3156_and_session_survives() {
+    let db = seed_db();
+    let backend = SlowBackend::wrap(Arc::clone(&db), Duration::from_millis(400));
+    // No gateway-wide default: the limit rides in on SqlRequestTimed.
+    let handle = Gateway::spawn(backend as Arc<dyn Backend>, GatewayConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+
+    let err = client
+        .run_timed("SEL * FROM SALES", Duration::from_millis(100))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("[3156]"), "client-requested timeout must map to 3156: {err}");
+
+    // An untimed request on the same session has no deadline at all.
+    let rows = client.run("SEL COUNT(*) FROM SALES").unwrap();
+    assert_eq!(rows[0].rows[0][0], Datum::Int(3));
+    assert_governor_drained(&handle);
+    client.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn memory_budget_kill_returns_2646_without_leaks() {
+    let db = Arc::new(EngineDb::new());
+    db.execute_sql("CREATE TABLE T (N INTEGER)").unwrap();
+    let values: Vec<String> = (0..400).map(|i| format!("({i})")).collect();
+    db.execute_sql(&format!("INSERT INTO T VALUES {}", values.join(", "))).unwrap();
+    let tables_before = db.table_names();
+
+    let handle = Gateway::spawn(
+        Arc::clone(&db) as Arc<dyn Backend>,
+        GatewayConfig {
+            governor: GovernorConfig { per_query_memory: 64 * 1024, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+
+    // 400 × 400 × 400 rows of cross join: the engine charges materialized
+    // join output incrementally and trips the 64 KiB budget mid-build, long
+    // before the process feels any memory pressure.
+    let err = client
+        .run("SEL A.N FROM T A, T B, T C WHERE A.N = B.N")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("[2646]"), "budget kill must surface wire code 2646: {err}");
+    assert!(err.contains("budget"), "{err}");
+
+    // Small statements fit the same budget and the session stays usable.
+    let rows = client.run("SEL COUNT(*) FROM T").unwrap();
+    assert_eq!(rows[0].rows[0][0], Datum::Int(400));
+    assert_eq!(db.table_names(), tables_before, "budget kill must not leak tables");
+    assert_governor_drained(&handle);
+    client.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn library_level_timeout_cancels_request() {
+    let db = seed_db();
+    let backend = SlowBackend::wrap(Arc::clone(&db), Duration::from_millis(300));
+    let mut hq =
+        HyperQBuilder::new(backend as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+
+    let err = hq
+        .run(Request::script("SEL * FROM SALES").timeout(Duration::from_millis(60)))
+        .unwrap_err();
+    match &err {
+        HyperQError::Cancelled(c) => assert_eq!(c.reason, CancelReason::DeadlineExceeded),
+        other => panic!("expected Cancelled(deadline), got {other}"),
+    }
+
+    // Same session, no timeout: runs to completion.
+    let out = hq.run(Request::script("SEL COUNT(*) FROM SALES")).unwrap();
+    assert_eq!(out.last().unwrap().result.rows[0][0], Datum::Int(3));
+}
+
+#[test]
+fn library_level_memory_budget_cancels_request() {
+    let db = Arc::new(EngineDb::new());
+    db.execute_sql("CREATE TABLE T (N INTEGER)").unwrap();
+    let values: Vec<String> = (0..400).map(|i| format!("({i})")).collect();
+    db.execute_sql(&format!("INSERT INTO T VALUES {}", values.join(", "))).unwrap();
+    let mut hq =
+        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            .build();
+
+    let err = hq
+        .run(Request::script("SEL A.N FROM T A, T B, T C").memory_budget(32 * 1024))
+        .unwrap_err();
+    match &err {
+        HyperQError::Cancelled(c) => assert_eq!(c.reason, CancelReason::BudgetExceeded),
+        other => panic!("expected Cancelled(budget), got {other}"),
+    }
+    let out = hq.run(Request::script("SEL COUNT(*) FROM T")).unwrap();
+    assert_eq!(out.last().unwrap().result.rows[0][0], Datum::Int(400));
+}
+
+const RECURSIVE_REPORTS: &str = "WITH RECURSIVE REPORTS (EMPNO, MGRNO) AS ( \
+     SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 10 \
+     UNION ALL \
+     SELECT EMP.EMPNO, EMP.MGRNO FROM EMP, REPORTS \
+     WHERE REPORTS.EMPNO = EMP.MGRNO ) \
+   SELECT EMPNO FROM REPORTS ORDER BY EMPNO";
+
+#[test]
+fn deadline_mid_recursion_drops_emulation_temps() {
+    let db = seed_db();
+    let backend = SlowBackend::wrap(Arc::clone(&db), Duration::from_millis(60));
+    let mut hq =
+        HyperQBuilder::new(backend as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+
+    // The recursion emulation issues several backend statements (work-table
+    // CTAS, per-step inserts); at 60ms each the 130ms deadline expires
+    // mid-sequence. The shielded cleanup must still drop every temp table
+    // — a cancelled statement may not leak target-side state (the PR4
+    // journal invariant).
+    let err = hq
+        .run(Request::script(RECURSIVE_REPORTS).timeout(Duration::from_millis(130)))
+        .unwrap_err();
+    assert!(matches!(err, HyperQError::Cancelled(_)), "expected cancel, got {err}");
+    assert!(
+        db.table_names().iter().all(|t| !t.starts_with("WT_") && !t.starts_with("TT_")),
+        "cancelled recursion leaked temps: {:?}",
+        db.table_names()
+    );
+
+    // The same recursion without a deadline completes on this session.
+    let out = hq.run(Request::script(RECURSIVE_REPORTS)).unwrap();
+    assert_eq!(out.last().unwrap().result.rows.len(), 4);
+}
+
+#[test]
+fn queued_statement_sheds_at_its_deadline_not_admission_timeout() {
+    let db = seed_db();
+    let backend = SlowBackend::wrap(Arc::clone(&db), Duration::from_millis(600));
+    let handle = Gateway::spawn(
+        backend as Arc<dyn Backend>,
+        GatewayConfig {
+            admission: Some(AdmissionConfig {
+                statement_slots: Some(1),
+                statement_queue: 8,
+                // Far longer than any statement deadline in this test: a
+                // shed before this elapses proves the governor clamped it.
+                admission_timeout: Duration::from_secs(30),
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let addr = handle.addr;
+    let holder = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, "APP", "secret").unwrap();
+        c.run("SEL * FROM SALES").unwrap();
+        c.logoff().unwrap();
+    });
+    // Let the holder win the single statement slot.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = Client::connect(addr, "APP", "secret").unwrap();
+    let t0 = Instant::now();
+    let err = client
+        .run_timed("SEL * FROM SALES", Duration::from_millis(100))
+        .unwrap_err()
+        .to_string();
+    let waited = t0.elapsed();
+    assert!(err.contains("[3156]"), "queued-past-deadline must report the cancel code: {err}");
+    assert!(
+        waited < Duration::from_secs(5),
+        "statement must shed at its deadline, not the 30s admission timeout ({waited:?})"
+    );
+
+    holder.join().unwrap();
+    assert_governor_drained(&handle);
+    client.logoff().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn idle_abort_is_ignored_and_session_unaffected() {
+    let db = seed_db();
+    let handle = Gateway::spawn(db as Arc<dyn Backend>, GatewayConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+
+    // Nothing is running: the abort pairs with no request and must produce
+    // no response — the next query's reply is its own, undisturbed.
+    client.aborter().unwrap().abort().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let rows = client.run("SEL COUNT(*) FROM SALES").unwrap();
+    assert_eq!(rows[0].rows[0][0], Datum::Int(3));
+    client.logoff().unwrap();
+    handle.shutdown();
+}

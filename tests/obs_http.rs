@@ -103,10 +103,121 @@ fn gateway_observability_endpoint_serves_live_workload_intelligence() {
     let (_, slow) = get(obs_addr, "/slowlog");
     hyperq::obs::json::validate(&slow).expect("/slowlog must parse");
 
+    // /queries — the governor's in-flight table (idle here, so an empty
+    // array) is attached whenever the gateway serves the endpoint.
+    let (head, queries) = get(obs_addr, "/queries");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    hyperq::obs::json::validate(&queries).expect("/queries must parse");
+
+    // Cancel-over-HTTP is config-gated and off by default: the route
+    // refuses rather than exposing a kill switch on a read-only port.
+    let (head, _) = get(obs_addr, "/queries?cancel=1");
+    assert!(head.starts_with("HTTP/1.1 403"), "{head}");
+
     // Unknown routes and non-GET methods are refused, not crashed on.
     let (head, _) = get(obs_addr, "/admin");
     assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
     client.logoff().unwrap();
+    handle.shutdown();
+}
+
+/// A standalone endpoint spawned without a gateway has no governor to ask:
+/// `/queries` answers 404, everything else still serves.
+#[test]
+fn queries_route_without_governor_is_absent() {
+    let handle = hyperq::wire::obs_http::spawn(
+        "127.0.0.1:0",
+        Arc::clone(hyperq::core::ObsContext::global()),
+    )
+    .unwrap();
+    let (head, body) = get(handle.addr, "/queries");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    assert!(body.contains("no query governor"), "{body}");
+    let (head, _) = get(handle.addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    handle.shutdown();
+}
+
+/// With `allow_http_cancel` enabled, an operator can watch a runaway query
+/// on `/queries` and kill it with a plain `curl` — the client gets the
+/// client-abort wire code and keeps its session.
+#[test]
+fn http_cancel_kills_live_query_when_enabled() {
+    use std::time::Duration;
+
+    use hyperq::core::backend::{BackendError, ExecResult, RequestContext};
+    use hyperq::governor::GovernorConfig;
+
+    struct SlowBackend {
+        inner: Arc<EngineDb>,
+    }
+    impl Backend for SlowBackend {
+        fn name(&self) -> &str {
+            "slow-simwh"
+        }
+        fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+            std::thread::sleep(Duration::from_millis(400));
+            self.inner.execute(sql)
+        }
+        fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+            std::thread::sleep(Duration::from_millis(400));
+            self.inner.execute_ctx(sql, ctx)
+        }
+        fn table_meta(&self, name: &str) -> Option<hyperq::xtra::catalog::TableDef> {
+            self.inner.table_meta(name)
+        }
+        fn reset_session(&self) -> Result<(), BackendError> {
+            self.inner.reset_session()
+        }
+    }
+
+    let db = Arc::new(EngineDb::new());
+    db.execute_sql("CREATE TABLE SALES (STORE INTEGER, AMOUNT INTEGER)").unwrap();
+    db.execute_sql("INSERT INTO SALES VALUES (1, 500), (2, 300)").unwrap();
+    let backend = Arc::new(SlowBackend { inner: db });
+    let handle = Gateway::spawn(
+        backend as Arc<dyn Backend>,
+        GatewayConfig {
+            obs_http: Some("127.0.0.1:0".to_string()),
+            governor: GovernorConfig { allow_http_cancel: true, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let obs_addr = handle.obs_addr().unwrap();
+
+    let addr = handle.addr;
+    let victim = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, "APP", "secret").unwrap();
+        let err = c.run("SEL * FROM SALES").unwrap_err().to_string();
+        // The session survives the kill: same connection, correct answer.
+        let rows = c.run("SEL COUNT(*) FROM SALES").unwrap();
+        c.logoff().unwrap();
+        (err, format!("{:?}", rows[0].rows[0][0]))
+    });
+
+    // Watch /queries until the statement shows up in the executing stages,
+    // then kill it by id.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let id = loop {
+        let (_, body) = get(obs_addr, "/queries");
+        if let Some(pos) = body.find("\"id\":") {
+            let digits: String =
+                body[pos + 5..].chars().take_while(|c| c.is_ascii_digit()).collect();
+            if !digits.is_empty() {
+                break digits.parse::<u64>().unwrap();
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "query never appeared on /queries");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let (head, body) = get(obs_addr, &format!("/queries?cancel={id}"));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("\"cancelled\":true"), "{body}");
+
+    let (err, follow_up) = victim.join().unwrap();
+    assert!(err.contains("[3110]"), "HTTP cancel must surface the abort code: {err}");
+    assert_eq!(follow_up, "Int(2)");
     handle.shutdown();
 }

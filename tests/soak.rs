@@ -421,3 +421,202 @@ fn overload_soak_sheds_cleanly_and_serves_survivors_identically() {
     }
     handle.shutdown();
 }
+
+/// Backend wrapper for the cancel soak: statements touching the
+/// `SLOW_EVENTS` marker table stall long enough for aborts and deadlines to
+/// land mid-flight; everything else runs at full speed so survivor
+/// schedules stay cheap and deterministic.
+struct MarkerSlowBackend {
+    inner: Arc<EngineDb>,
+}
+
+impl Backend for MarkerSlowBackend {
+    fn name(&self) -> &str {
+        "marker-slow-simwh"
+    }
+
+    fn execute(
+        &self,
+        sql: &str,
+    ) -> Result<hyperq::core::backend::ExecResult, hyperq::core::backend::BackendError> {
+        if sql.contains("SLOW_EVENTS") {
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        self.inner.execute(sql)
+    }
+
+    fn execute_ctx(
+        &self,
+        sql: &str,
+        ctx: hyperq::core::backend::RequestContext,
+    ) -> Result<hyperq::core::backend::ExecResult, hyperq::core::backend::BackendError> {
+        if sql.contains("SLOW_EVENTS") {
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        self.inner.execute_ctx(sql, ctx)
+    }
+
+    fn table_meta(&self, name: &str) -> Option<hyperq::xtra::catalog::TableDef> {
+        self.inner.table_meta(name)
+    }
+
+    fn reset_session(&self) -> Result<(), hyperq::core::backend::BackendError> {
+        self.inner.reset_session()
+    }
+}
+
+/// Seeded cancel/timeout/budget-kill soak over the wire: concurrent
+/// sessions interleave survivor statements with scheduled kills (client
+/// aborts, per-request deadlines, memory-budget trips). Every kill must
+/// surface its one well-defined wire code, every survivor must produce
+/// bytes identical to a kill-free baseline, and the run must end with zero
+/// leaks: no emulation temps, an empty in-flight table, a drained memory
+/// pool.
+#[test]
+fn cancel_soak_survivors_match_baseline_with_zero_leaks() {
+    use hyperq::governor::GovernorConfig;
+
+    fn seed_cancel_db() -> Arc<EngineDb> {
+        let db = seed_db();
+        db.execute_sql("CREATE TABLE SLOW_EVENTS (N INTEGER)").unwrap();
+        db.execute_sql("INSERT INTO SLOW_EVENTS VALUES (1), (2)").unwrap();
+        let vals: Vec<String> = (0..64).map(|i| format!("({i})")).collect();
+        db.execute_sql("CREATE TABLE B64 (N INTEGER)").unwrap();
+        db.execute_sql(&format!("INSERT INTO B64 VALUES {}", vals.join(", "))).unwrap();
+        db
+    }
+
+    /// Survivor statement `r` of session `i` — read-only, so concurrent
+    /// sessions cannot perturb each other's bytes.
+    fn survivor_stmt(rng: &mut Lcg) -> String {
+        match rng.next() % 3 {
+            0 => "SEL COUNT(*) FROM SHARED_SALES".to_string(),
+            1 => "SEL STORE, SUM(AMOUNT) FROM SHARED_SALES GROUP BY STORE ORDER BY STORE"
+                .to_string(),
+            _ => RECURSIVE_REPORTS.to_string(),
+        }
+    }
+
+    let sessions = 6;
+    let rounds = 5;
+    let seed = 0xC0FFEE_u64;
+
+    // ---- fault-free baseline: survivor statements only, plain gateway ----
+    let base_db = seed_cancel_db();
+    let base_handle =
+        Gateway::spawn(Arc::clone(&base_db) as Arc<dyn Backend>, GatewayConfig::default())
+            .unwrap();
+    let mut baseline: Vec<Vec<String>> = Vec::new();
+    for i in 0..sessions {
+        let mut rng = Lcg::new(seed ^ (i as u64).wrapping_mul(0x5851F42D4C957F2D));
+        let mut c = Client::connect(base_handle.addr, "APP", "secret").unwrap();
+        let mut t = Vec::new();
+        for _ in 0..rounds {
+            t.push(format!("{:?}", c.run(&survivor_stmt(&mut rng)).unwrap()));
+            rng.next(); // burn the kill-schedule draw so streams stay aligned
+        }
+        c.logoff().unwrap();
+        baseline.push(t);
+    }
+    base_handle.shutdown();
+
+    // ---- chaos run: same survivor schedule + seeded kills in between ----
+    let db = seed_cancel_db();
+    let tables_before = db.table_names();
+    let backend = Arc::new(MarkerSlowBackend { inner: Arc::clone(&db) });
+    let handle = Gateway::spawn(
+        backend as Arc<dyn Backend>,
+        GatewayConfig {
+            governor: GovernorConfig { per_query_memory: 256 * 1024, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let addr = handle.addr;
+    let barrier = Arc::new(Barrier::new(sessions));
+    let outcomes: Vec<(Vec<String>, [u32; 3])> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut rng =
+                        Lcg::new(seed ^ (i as u64).wrapping_mul(0x5851F42D4C957F2D));
+                    barrier.wait();
+                    let mut c = Client::connect(addr, "APP", "secret").unwrap();
+                    let mut transcript = Vec::new();
+                    // kills seen per reason: [abort, deadline, budget]
+                    let mut kills = [0u32; 3];
+                    for _ in 0..rounds {
+                        transcript
+                            .push(format!("{:?}", c.run(&survivor_stmt(&mut rng)).unwrap()));
+                        match rng.next() % 4 {
+                            0 => {
+                                let mut aborter = c.aborter().unwrap();
+                                let killer = std::thread::spawn(move || {
+                                    std::thread::sleep(Duration::from_millis(50));
+                                    aborter.abort().unwrap();
+                                });
+                                let e = c
+                                    .run("SEL COUNT(*) FROM SLOW_EVENTS")
+                                    .unwrap_err()
+                                    .to_string();
+                                killer.join().unwrap();
+                                assert!(e.contains("[3110]"), "abort kill: {e}");
+                                kills[0] += 1;
+                            }
+                            1 => {
+                                let e = c
+                                    .run_timed(
+                                        "SEL COUNT(*) FROM SLOW_EVENTS",
+                                        Duration::from_millis(50),
+                                    )
+                                    .unwrap_err()
+                                    .to_string();
+                                assert!(e.contains("[3156]"), "deadline kill: {e}");
+                                kills[1] += 1;
+                            }
+                            2 => {
+                                let e = c
+                                    .run("SEL A.N FROM B64 A, B64 B, B64 C")
+                                    .unwrap_err()
+                                    .to_string();
+                                assert!(e.contains("[2646]"), "budget kill: {e}");
+                                kills[2] += 1;
+                            }
+                            _ => {} // kill-free round
+                        }
+                    }
+                    c.logoff().unwrap();
+                    (transcript, kills)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut total = [0u32; 3];
+    for (i, (transcript, kills)) in outcomes.iter().enumerate() {
+        assert_eq!(
+            transcript, &baseline[i],
+            "session {i}: survivor bytes diverged from the kill-free baseline"
+        );
+        for r in 0..3 {
+            total[r] += kills[r];
+        }
+    }
+    assert!(
+        total.iter().all(|&k| k > 0),
+        "the seeded schedule must exercise every kill reason, got {total:?}"
+    );
+
+    // Zero leaks: no emulation temps on the target, no in-flight entries,
+    // a fully drained memory pool.
+    assert_eq!(db.table_names(), tables_before, "cancel soak leaked target-side tables");
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while handle.governor().inflight() != 0 || handle.governor().pool().used() != 0 {
+        assert!(std::time::Instant::now() < deadline, "governor books did not drain");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown();
+}
