@@ -1,0 +1,1131 @@
+//! # hyperq-assess — static workload assessment (paper §3, "rapid
+//! assessment of workload compatibility")
+//!
+//! Before any gateway is deployed, the adoption methodology starts with a
+//! *static* pass over a captured workload: every statement is parsed and
+//! bind-checked against a catalog inferred from the corpus itself, and
+//! classified as directly translatable, translatable with mid-tier
+//! emulation (and at what cost), or unsupported. The aggregate report —
+//! supported percentage, emulation histogram, ranked blockers — is the
+//! migration-assessment artifact the paper describes producing in days
+//! instead of the months a manual inventory takes.
+//!
+//! The assessor is a *dry* mirror of the `hyperq-core` crosscompiler: it
+//! routes statements through the same per-variant decision tree (macros,
+//! views, `MERGE` decomposition, recursion splitting, GTT definition and
+//! materialization, SET-table/default sidecars), runs the real binder,
+//! transformer and serializer, but never talks to a backend. Its verdicts
+//! are therefore checkable against the live pipeline — the differential
+//! oracle in `tests/assess_oracle.rs` holds them to 100% agreement over
+//! TPC-H and the customer corpora.
+//!
+//! Catalog inference: in-corpus DDL is ingested first; tables that are
+//! only ever *used* are fabricated on demand from the binder's own
+//! "not found" errors plus qualified column references in the statement
+//! text, so a bare query log still assesses instead of erroring out.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::conformance::{self, Finding};
+use hyperq_core::emulate::{self, CostTier, EmulationKind};
+use hyperq_core::error::{HyperQError, Result};
+use hyperq_core::binder::Binder;
+use hyperq_core::serialize::Serializer;
+use hyperq_core::session::RoutineDef;
+use hyperq_core::transform::Transformer;
+use hyperq_parser::ast as past;
+use hyperq_parser::{parse_statements, Dialect, ParsedStatement, StmtSpan};
+use hyperq_xtra::catalog::{ColumnDef, MetadataProvider, TableDef, TableKind, ViewDef};
+use hyperq_xtra::expr::ScalarExpr;
+use hyperq_xtra::feature::{Feature, FeatureSet};
+use hyperq_xtra::rel::{Plan, RelExpr, SetOpKind};
+use hyperq_xtra::types::SqlType;
+
+pub use report::Report;
+
+/// Per-statement classification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Translates to a single target statement; no mid-tier machinery.
+    Translatable,
+    /// Executable, but only through mid-tier emulation of the listed
+    /// kinds; `tier` is the worst per-request cost among them.
+    NeedsEmulation {
+        kinds: Vec<EmulationKind>,
+        tier: CostTier,
+    },
+    /// The pipeline would reject the statement.
+    Unsupported { reason: String, span: StmtSpan },
+}
+
+impl Verdict {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Translatable => "translatable",
+            Verdict::NeedsEmulation { .. } => "needs_emulation",
+            Verdict::Unsupported { .. } => "unsupported",
+        }
+    }
+}
+
+/// One assessed statement: its source span, tracked features, verdict and
+/// advisory lint findings (conformance over the projected target SQL plus
+/// anti-pattern lints over the source text).
+#[derive(Debug, Clone)]
+pub struct StatementAssessment {
+    pub index: usize,
+    pub text: String,
+    pub span: StmtSpan,
+    pub features: FeatureSet,
+    pub verdict: Verdict,
+    pub findings: Vec<Finding>,
+}
+
+/// How many binder round-trips the catalog-inference loop may take for a
+/// single statement (each round learns one table or one column).
+const MAX_INFERENCE_STEPS: usize = 64;
+
+/// The static assessor: crosscompiler session state without a backend.
+pub struct Assessor {
+    caps: TargetCapabilities,
+    /// Stand-in for the target catalog: definitions as the *target* would
+    /// hold them (sidecar-only properties stripped), from in-corpus DDL
+    /// and usage-driven inference.
+    tables: HashMap<String, TableDef>,
+    /// Mirror of the session's sidecar definitions (SET semantics,
+    /// defaults, case-insensitivity the target cannot hold).
+    sidecars: HashMap<String, TableDef>,
+    gtt_defs: HashMap<String, TableDef>,
+    materialized_gtts: HashSet<String>,
+    views: HashMap<String, ViewDef>,
+    macros: HashMap<String, RoutineDef>,
+    procedures: HashMap<String, RoutineDef>,
+    settings: Vec<(String, String)>,
+    in_transaction: bool,
+    /// Names fabricated from usage (no DDL in the corpus) — reported so
+    /// the assessment's confidence is visible.
+    inferred: HashSet<String>,
+    /// Names seen in a `DROP TABLE`; never re-fabricated.
+    dropped: HashSet<String>,
+    transformer: Transformer,
+    fresh: u64,
+}
+
+impl Assessor {
+    pub fn new(caps: TargetCapabilities) -> Self {
+        Assessor {
+            caps,
+            tables: HashMap::new(),
+            sidecars: HashMap::new(),
+            gtt_defs: HashMap::new(),
+            materialized_gtts: HashSet::new(),
+            views: HashMap::new(),
+            macros: HashMap::new(),
+            procedures: HashMap::new(),
+            settings: Vec::new(),
+            in_transaction: false,
+            inferred: HashSet::new(),
+            dropped: HashSet::new(),
+            transformer: Transformer::standard(),
+            fresh: 0,
+        }
+    }
+
+    pub fn capabilities(&self) -> &TargetCapabilities {
+        &self.caps
+    }
+
+    /// Tables fabricated from usage alone, sorted.
+    pub fn inferred_tables(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inferred.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Ingest schema DDL without producing verdicts: `CREATE TABLE` /
+    /// `CREATE VIEW` statements populate the catalog exactly as assessing
+    /// them would; everything else is ignored. Returns how many
+    /// definitions were registered. Parse or bind failures in individual
+    /// statements are skipped (the corpus proper will surface them).
+    pub fn ingest_ddl(&mut self, sql: &str) -> usize {
+        let Ok(parsed) = parse_statements(sql, Dialect::Teradata) else {
+            return 0;
+        };
+        let mut n = 0;
+        for ps in parsed {
+            let is_def = matches!(
+                ps.stmt,
+                past::Statement::CreateTable { .. } | past::Statement::CreateView { .. }
+            );
+            if !is_def {
+                continue;
+            }
+            let mut kinds = Vec::new();
+            let mut features = ps.features.clone();
+            let mut out_sql = Vec::new();
+            if self.route(&ps, &mut kinds, &mut features, &mut out_sql).is_ok() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Assess a script: one [`StatementAssessment`] per statement. A
+    /// script that does not parse yields a single `Unsupported` verdict
+    /// covering the whole input.
+    pub fn assess_script(&mut self, sql: &str) -> Vec<StatementAssessment> {
+        let parsed = match parse_statements(sql, Dialect::Teradata) {
+            Ok(p) => p,
+            Err(e) => {
+                return vec![StatementAssessment {
+                    index: 0,
+                    text: sql.to_string(),
+                    span: StmtSpan { start: 0, end: sql.len(), line: 1 },
+                    features: FeatureSet::new(),
+                    verdict: Verdict::Unsupported {
+                        reason: format!("parse error: {e}"),
+                        span: StmtSpan { start: 0, end: sql.len(), line: 1 },
+                    },
+                    findings: Vec::new(),
+                }]
+            }
+        };
+        parsed
+            .into_iter()
+            .enumerate()
+            .map(|(i, ps)| self.assess_statement(ps, i))
+            .collect()
+    }
+
+    /// Assess one parsed statement, updating catalog/session state the
+    /// same way executing it would.
+    pub fn assess_statement(&mut self, ps: ParsedStatement, index: usize) -> StatementAssessment {
+        let txn_before = self.in_transaction;
+        let mut kinds: Vec<EmulationKind> = Vec::new();
+        let mut features = ps.features.clone();
+        let mut out_sql: Vec<String> = Vec::new();
+        let outcome = self.route(&ps, &mut kinds, &mut features, &mut out_sql);
+
+        let mut findings = conformance::lint_source(&ps.text, &features, txn_before);
+        for sql in &out_sql {
+            findings.extend(conformance::lint_serialized(sql, &self.caps));
+        }
+
+        let verdict = match outcome {
+            Err(e) => Verdict::Unsupported { reason: e.to_string(), span: ps.span },
+            Ok(()) if kinds.is_empty() => Verdict::Translatable,
+            Ok(()) => {
+                kinds.sort();
+                kinds.dedup();
+                let tier = kinds
+                    .iter()
+                    .map(hyperq_core::EmulationKind::cost_tier)
+                    .max()
+                    .unwrap_or(CostTier::Low);
+                Verdict::NeedsEmulation { kinds, tier }
+            }
+        };
+        StatementAssessment {
+            index,
+            text: ps.text,
+            span: ps.span,
+            features,
+            verdict,
+            findings,
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Statement routing — a dry mirror of `HyperQ::process`
+    // -------------------------------------------------------------------
+
+    fn route(
+        &mut self,
+        ps: &ParsedStatement,
+        kinds: &mut Vec<EmulationKind>,
+        features: &mut FeatureSet,
+        out_sql: &mut Vec<String>,
+    ) -> Result<()> {
+        match &ps.stmt {
+            past::Statement::Help(target) => {
+                kinds.push(EmulationKind::Help);
+                if let past::HelpTarget::Table(name) = target {
+                    let found = {
+                        let shadow = self.shadow(HashMap::new());
+                        shadow.table(&name.canonical()).is_some()
+                    };
+                    if !found {
+                        return Err(HyperQError::Emulation(format!("table {name} not found")));
+                    }
+                }
+                Ok(())
+            }
+            past::Statement::Explain(inner) => {
+                kinds.push(EmulationKind::Explain);
+                self.assess_explain(inner, features)
+            }
+            past::Statement::CreateMacro { name, params, body } => {
+                kinds.push(EmulationKind::Macro);
+                self.macros.insert(
+                    name.canonical(),
+                    RoutineDef {
+                        name: name.canonical(),
+                        params: params.clone(),
+                        body: body.clone(),
+                        features: ps.features.clone(),
+                    },
+                );
+                Ok(())
+            }
+            past::Statement::DropMacro { name } => {
+                kinds.push(EmulationKind::Macro);
+                self.macros.remove(&name.canonical());
+                Ok(())
+            }
+            past::Statement::CreateProcedure { name, params, body } => {
+                kinds.push(EmulationKind::Procedure);
+                self.procedures.insert(
+                    name.canonical(),
+                    RoutineDef {
+                        name: name.canonical(),
+                        params: params.clone(),
+                        body: body.clone(),
+                        features: ps.features.clone(),
+                    },
+                );
+                Ok(())
+            }
+            past::Statement::ExecuteMacro { name, args } => {
+                kinds.push(EmulationKind::Macro);
+                let routine = self.macros.get(&name.canonical()).cloned().ok_or_else(|| {
+                    HyperQError::Emulation(format!("macro {name} is not defined"))
+                })?;
+                self.assess_routine(&routine, args, kinds, features, out_sql)
+            }
+            past::Statement::Call { name, args } => {
+                kinds.push(EmulationKind::Procedure);
+                let routine =
+                    self.procedures.get(&name.canonical()).cloned().ok_or_else(|| {
+                        HyperQError::Emulation(format!("procedure {name} is not defined"))
+                    })?;
+                let wrapped: Vec<(Option<String>, past::Expr)> =
+                    args.iter().map(|a| (None, a.clone())).collect();
+                self.assess_routine(&routine, &wrapped, kinds, features, out_sql)
+            }
+            past::Statement::CreateView { name, columns, or_replace, .. } => {
+                kinds.push(EmulationKind::View);
+                let key = name.canonical();
+                if !or_replace && self.views.contains_key(&key) {
+                    return Err(HyperQError::Emulation(format!("view {key} already exists")));
+                }
+                self.views.insert(
+                    key.clone(),
+                    ViewDef {
+                        name: key,
+                        columns: columns.iter().map(|c| c.to_ascii_uppercase()).collect(),
+                        body_sql: ps.text.clone(),
+                    },
+                );
+                Ok(())
+            }
+            past::Statement::DropView { name, if_exists } => {
+                kinds.push(EmulationKind::View);
+                let existed = self.views.remove(&name.canonical()).is_some();
+                if !existed && !if_exists {
+                    return Err(HyperQError::Emulation(format!("view {name} not found")));
+                }
+                Ok(())
+            }
+            past::Statement::Merge(m) => {
+                kinds.push(EmulationKind::Merge);
+                features.insert(Feature::MergeStatement);
+                for step in emulate::decompose_merge(m)? {
+                    self.assess_standard(&step, &ps.text, kinds, features, out_sql)?;
+                }
+                Ok(())
+            }
+            past::Statement::Query(q) if q.recursive => {
+                kinds.push(EmulationKind::Recursive);
+                features.insert(Feature::RecursiveQuery);
+                self.assess_recursive(q, features, out_sql)
+            }
+            past::Statement::SetSession { name, value } => {
+                kinds.push(EmulationKind::SetSession);
+                let rendered = match emulate::ast_const(value) {
+                    Ok(d) => d.to_sql_string(),
+                    Err(_) => format!("{value:?}"),
+                };
+                let key = name.to_ascii_uppercase();
+                if let Some(slot) = self
+                    .settings
+                    .iter_mut()
+                    .find(|(k, _)| k.eq_ignore_ascii_case(&key))
+                {
+                    slot.1 = rendered.clone();
+                } else {
+                    self.settings.push((key.clone(), rendered.clone()));
+                }
+                if self.caps.session_settings {
+                    out_sql.push(format!("SET {key} = {rendered}"));
+                }
+                Ok(())
+            }
+            past::Statement::BeginTransaction => {
+                kinds.push(EmulationKind::Transaction);
+                self.in_transaction = true;
+                Ok(())
+            }
+            past::Statement::Commit | past::Statement::Rollback => {
+                kinds.push(EmulationKind::Transaction);
+                self.in_transaction = false;
+                Ok(())
+            }
+            past::Statement::Update { table, .. }
+            | past::Statement::Delete { table, .. }
+            | past::Statement::Insert { table, .. }
+                if self.views.contains_key(&table.canonical()) =>
+            {
+                kinds.push(EmulationKind::ViewDml);
+                features.insert(Feature::DmlOnView);
+                let view = self.views[&table.canonical()].clone();
+                let parsed = parse_statements(&view.body_sql, Dialect::Teradata)
+                    .map_err(HyperQError::Parse)?;
+                let view_query = match parsed.into_iter().next().map(|p| p.stmt) {
+                    Some(past::Statement::CreateView { query, .. }) => *query,
+                    Some(past::Statement::Query(q)) => *q,
+                    _ => {
+                        return Err(HyperQError::Emulation(format!(
+                            "stored view {} body is not a query",
+                            view.name
+                        )))
+                    }
+                };
+                let rewritten =
+                    emulate::rewrite_dml_on_view(&ps.stmt, &view_query, &view.columns)?;
+                self.assess_standard(&rewritten, &ps.text, kinds, features, out_sql)
+            }
+            stmt => self.assess_standard(stmt, &ps.text, kinds, features, out_sql),
+        }
+    }
+
+    /// Mirror of `run_routine`: substitute arguments and route each body
+    /// statement, accumulating emulation kinds across the whole body.
+    fn assess_routine(
+        &mut self,
+        routine: &RoutineDef,
+        args: &[(Option<String>, past::Expr)],
+        kinds: &mut Vec<EmulationKind>,
+        features: &mut FeatureSet,
+        out_sql: &mut Vec<String>,
+    ) -> Result<()> {
+        features.union(&routine.features);
+        let env = emulate::bind_routine_args(routine, args)?;
+        for stmt in &routine.body {
+            let substituted = emulate::substitute_params(stmt, &env);
+            if matches!(substituted, past::Statement::CreateView { .. }) {
+                return Err(HyperQError::Emulation(
+                    "CREATE VIEW inside a macro/procedure body is not supported".into(),
+                ));
+            }
+            let sub_ps = ParsedStatement {
+                stmt: substituted,
+                features: FeatureSet::new(),
+                text: String::new(),
+                span: StmtSpan::default(),
+            };
+            self.route(&sub_ps, kinds, features, out_sql)?;
+        }
+        Ok(())
+    }
+
+    /// Mirror of `HyperQ::explain`: emulated statements report their
+    /// decomposition without touching the catalog; everything else is
+    /// bound, transformed and serialized (but adds no emulation kinds —
+    /// EXPLAIN itself is the only mid-tier request).
+    fn assess_explain(
+        &mut self,
+        stmt: &past::Statement,
+        features: &mut FeatureSet,
+    ) -> Result<()> {
+        match stmt {
+            past::Statement::Merge(m) => {
+                features.insert(Feature::MergeStatement);
+                for step in emulate::decompose_merge(m)? {
+                    self.assess_explain(&step, features)?;
+                }
+                Ok(())
+            }
+            past::Statement::Query(q) if q.recursive => {
+                features.insert(Feature::RecursiveQuery);
+                let parts = emulate::split_recursive(q)?;
+                self.assess_explain(&past::Statement::Query(Box::new(parts.seed)), features)
+            }
+            past::Statement::Help(_)
+            | past::Statement::CreateMacro { .. }
+            | past::Statement::ExecuteMacro { .. }
+            | past::Statement::CreateProcedure { .. }
+            | past::Statement::Call { .. }
+            | past::Statement::CreateView { .. } => Ok(()),
+            _ => {
+                let plan = {
+                    let shadow = self.shadow(HashMap::new());
+                    let mut binder = Binder::new(&shadow);
+                    let plan = binder.bind_statement(stmt)?;
+                    features.union(&binder.features);
+                    plan
+                };
+                let plan = self.transformer.run_all(plan, &self.caps, features)?;
+                Serializer::new(&self.caps).serialize_plan(&plan)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Mirror of `run_pipeline_with`: bind (with usage-driven catalog
+    /// inference), sidecar bookkeeping, E7 define/materialize, E8/E9
+    /// insert emulations, transform, serialize.
+    fn assess_standard(
+        &mut self,
+        stmt: &past::Statement,
+        text: &str,
+        kinds: &mut Vec<EmulationKind>,
+        features: &mut FeatureSet,
+        out_sql: &mut Vec<String>,
+    ) -> Result<()> {
+        let (plan, gtts) = self.bind_with_inference(stmt, text, features)?;
+
+        // Sidecar properties the target cannot hold (recorded pre-execute,
+        // exactly like the live session).
+        match &plan {
+            Plan::CreateTable { def, .. } if def.kind != TableKind::GlobalTemporary => {
+                let interesting = def.set_semantics
+                    || def
+                        .columns
+                        .iter()
+                        .any(|c| c.default.is_some() || c.case_insensitive);
+                if interesting {
+                    self.sidecars.insert(def.name.clone(), def.clone());
+                }
+            }
+            Plan::DropTable { name, .. } => {
+                self.sidecars.remove(name);
+            }
+            _ => {}
+        }
+
+        // E7: GTT definition lives in the mid-tier catalog only.
+        if let Plan::CreateTable { def, source: None } = &plan {
+            if def.kind == TableKind::GlobalTemporary {
+                kinds.push(EmulationKind::GttDefine);
+                features.insert(Feature::GlobalTempTable);
+                self.gtt_defs.insert(def.name.clone(), def.clone());
+                return Ok(());
+            }
+        }
+
+        // E8/E9 on INSERT plans.
+        let plan = self.apply_insert_emulations(plan, kinds, features)?;
+
+        let plan = self.transformer.run_all(plan, &self.caps, features)?;
+        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+
+        // E7: lazily materialize per-session instances of touched GTTs.
+        if !gtts.is_empty() {
+            features.insert(Feature::GlobalTempTable);
+        }
+        for logical in gtts {
+            if self.materialized_gtts.contains(&logical) {
+                continue;
+            }
+            kinds.push(EmulationKind::GttMaterialize);
+            let def = self.gtt_defs.get(&logical).cloned().ok_or_else(|| {
+                HyperQError::Emulation(format!("missing GTT definition {logical}"))
+            })?;
+            let mut instance = def;
+            instance.name = gtt_instance_name(&logical);
+            instance.kind = TableKind::Temporary;
+            let ddl = Serializer::new(&self.caps)
+                .serialize_plan(&Plan::CreateTable { def: instance, source: None })?;
+            out_sql.push(ddl);
+            self.materialized_gtts.insert(logical);
+        }
+
+        // Target-catalog bookkeeping happens only once the statement is
+        // known to reach the backend (i.e. after serialization succeeds).
+        match &plan {
+            Plan::CreateTable { def, .. } => {
+                let mut stripped = def.clone();
+                stripped.set_semantics = false;
+                for c in &mut stripped.columns {
+                    c.default = None;
+                    c.case_insensitive = false;
+                }
+                self.tables.insert(stripped.name.clone(), stripped);
+            }
+            Plan::DropTable { name, if_exists } => {
+                let existed = self.tables.remove(name).is_some();
+                self.dropped.insert(name.clone());
+                self.inferred.remove(name);
+                if !existed && !if_exists {
+                    return Err(HyperQError::Bind(format!("table {name} not found")));
+                }
+            }
+            _ => {}
+        }
+
+        out_sql.push(sql);
+        Ok(())
+    }
+
+    /// Mirror of `apply_insert_emulations_inner` (E9 default injection,
+    /// E8 SET-table dedup).
+    fn apply_insert_emulations(
+        &mut self,
+        plan: Plan,
+        kinds: &mut Vec<EmulationKind>,
+        features: &mut FeatureSet,
+    ) -> Result<Plan> {
+        let (table, mut columns, mut source) = match plan {
+            Plan::Insert { table, columns, source } => (table, columns, source),
+            other => return Ok(other),
+        };
+        let def = self
+            .sidecars
+            .get(&table)
+            .cloned()
+            .or_else(|| self.tables.get(&table).cloned())
+            .or_else(|| {
+                self.gtt_defs
+                    .values()
+                    .find(|d| gtt_instance_name(&d.name) == table)
+                    .cloned()
+            })
+            .ok_or_else(|| HyperQError::Bind(format!("table {table} not found")))?;
+
+        let missing: Vec<ColumnDef> = def
+            .columns
+            .iter()
+            .filter(|c| {
+                c.default.is_some() && !columns.iter().any(|x| x.eq_ignore_ascii_case(&c.name))
+            })
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            kinds.push(EmulationKind::DefaultInjection);
+            let schema = source.schema();
+            let mut exprs: Vec<(ScalarExpr, String)> = schema
+                .fields
+                .iter()
+                .map(|f| {
+                    (
+                        ScalarExpr::Column {
+                            qualifier: f.qualifier.clone(),
+                            name: f.name.clone(),
+                            ty: f.ty.clone(),
+                        },
+                        f.name.clone(),
+                    )
+                })
+                .collect();
+            for c in &missing {
+                let default = c.default.as_ref().expect("filtered on is_some");
+                if !matches!(default, ScalarExpr::Literal(..)) {
+                    features.insert(Feature::ColumnProperties);
+                }
+                let value = emulate::const_eval(default)?;
+                let ty = value.sql_type();
+                exprs.push((ScalarExpr::Literal(value, ty), c.name.clone()));
+                columns.push(c.name.clone());
+            }
+            source = RelExpr::Project { input: Box::new(source), exprs };
+        }
+
+        if def.set_semantics {
+            kinds.push(EmulationKind::SetTableDedup);
+            features.insert(Feature::SetTableSemantics);
+            let get = RelExpr::Get {
+                table: def.name.clone(),
+                alias: Some(def.base_name().to_string()),
+                schema: def.schema(None),
+            };
+            let existing = RelExpr::Project {
+                input: Box::new(get),
+                exprs: columns
+                    .iter()
+                    .map(|c| {
+                        let col = def
+                            .columns
+                            .iter()
+                            .find(|d| d.name.eq_ignore_ascii_case(c))
+                            .expect("insert columns validated by binder");
+                        (
+                            ScalarExpr::Column {
+                                qualifier: Some(def.base_name().to_string()),
+                                name: col.name.clone(),
+                                ty: col.ty.clone(),
+                            },
+                            col.name.clone(),
+                        )
+                    })
+                    .collect(),
+            };
+            source = RelExpr::SetOp {
+                kind: SetOpKind::Except,
+                all: false,
+                left: Box::new(RelExpr::Distinct { input: Box::new(source) }),
+                right: Box::new(existing),
+            };
+        }
+
+        Ok(Plan::Insert { table, columns, source })
+    }
+
+    /// Mirror of `emulate_recursive_inner`: split the recursive query,
+    /// bind the seed to learn the CTE schema, then validate that every
+    /// plan of the WorkTable/TempTable protocol transforms and serializes
+    /// for this target.
+    fn assess_recursive(
+        &mut self,
+        q: &past::Query,
+        features: &mut FeatureSet,
+        out_sql: &mut Vec<String>,
+    ) -> Result<()> {
+        let parts = emulate::split_recursive(q)?;
+        let seed_rel = {
+            let shadow = self.shadow(HashMap::new());
+            let mut binder = Binder::new(&shadow);
+            let rel = binder.bind_query(&parts.seed)?;
+            features.union(&binder.features);
+            rel
+        };
+        let seed_schema = seed_rel.schema();
+        let columns: Vec<String> = if parts.columns.is_empty() {
+            seed_schema.fields.iter().map(|f| f.name.clone()).collect()
+        } else {
+            parts.columns.clone()
+        };
+        if columns.len() != seed_schema.len() {
+            return Err(HyperQError::Emulation(format!(
+                "recursive CTE {} declares {} columns but its seed produces {}",
+                parts.name,
+                columns.len(),
+                seed_schema.len()
+            )));
+        }
+        let col_defs: Vec<ColumnDef> = columns
+            .iter()
+            .zip(seed_schema.fields.iter())
+            .map(|(name, f)| ColumnDef::new(name, f.ty.clone(), true))
+            .collect();
+        let work_table = self.fresh_name("WT");
+        let temp_table = self.fresh_name("TT");
+        let table_def = |name: &str| TableDef {
+            name: name.to_string(),
+            columns: col_defs.clone(),
+            set_semantics: false,
+            kind: TableKind::Temporary,
+        };
+
+        // Seed CTAS into WorkTable, copy into TempTable.
+        self.dry_exec(
+            Plan::CreateTable { def: table_def(&work_table), source: Some(seed_rel) },
+            out_sql,
+        )?;
+        self.dry_exec(
+            Plan::CreateTable {
+                def: table_def(&temp_table),
+                source: Some(RelExpr::Get {
+                    table: work_table.clone(),
+                    alias: Some(work_table.clone()),
+                    schema: table_def(&work_table).schema(None),
+                }),
+            },
+            out_sql,
+        )?;
+
+        // One recursive step: the recursive expression with the CTE name
+        // mapped onto TempTable, materialized and appended to WorkTable.
+        let step_rel = {
+            let mut overlay = HashMap::new();
+            overlay.insert(parts.name.to_ascii_uppercase(), table_def(&temp_table));
+            let shadow = self.shadow(overlay);
+            let mut binder = Binder::new(&shadow);
+            let rel = binder.bind_query(&parts.recursive)?;
+            features.union(&binder.features);
+            rel
+        };
+        let next_table = self.fresh_name("TT");
+        self.dry_exec(
+            Plan::CreateTable { def: table_def(&next_table), source: Some(step_rel) },
+            out_sql,
+        )?;
+        self.dry_exec(
+            Plan::Insert {
+                table: work_table.clone(),
+                columns: Vec::new(),
+                source: RelExpr::Get {
+                    table: next_table.clone(),
+                    alias: Some(next_table.clone()),
+                    schema: table_def(&next_table).schema(None),
+                },
+            },
+            out_sql,
+        )?;
+
+        // The main query with the CTE name mapped onto WorkTable.
+        let main_plan = {
+            let mut overlay = HashMap::new();
+            overlay.insert(parts.name.to_ascii_uppercase(), table_def(&work_table));
+            let shadow = self.shadow(overlay);
+            let mut binder = Binder::new(&shadow);
+            let plan = Plan::Query(binder.bind_query(&parts.main)?);
+            features.union(&binder.features);
+            plan
+        };
+        self.dry_exec(main_plan, out_sql)?;
+        self.dry_exec(
+            Plan::DropTable { name: next_table, if_exists: false },
+            out_sql,
+        )?;
+        self.dry_exec(Plan::DropTable { name: temp_table, if_exists: false }, out_sql)?;
+        self.dry_exec(Plan::DropTable { name: work_table, if_exists: false }, out_sql)?;
+        Ok(())
+    }
+
+    /// Mirror of `exec_plan`: transform + serialize one already-bound
+    /// plan, keeping the SQL for advisory lints.
+    fn dry_exec(&mut self, plan: Plan, out_sql: &mut Vec<String>) -> Result<()> {
+        let mut scratch = FeatureSet::new();
+        let plan = self.transformer.run_all(plan, &self.caps, &mut scratch)?;
+        out_sql.push(Serializer::new(&self.caps).serialize_plan(&plan)?);
+        Ok(())
+    }
+
+    // -------------------------------------------------------------------
+    // Binding with usage-driven catalog inference
+    // -------------------------------------------------------------------
+
+    fn shadow(&self, overlay: HashMap<String, TableDef>) -> AssessShadow<'_> {
+        AssessShadow {
+            tables: &self.tables,
+            sidecars: &self.sidecars,
+            gtt_defs: &self.gtt_defs,
+            views: &self.views,
+            default_database: default_database(&self.settings).map(str::to_string),
+            overlay,
+            gtt_touched: RefCell::new(HashSet::new()),
+        }
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("DTM_{prefix}_A{}", self.fresh)
+    }
+
+    /// Bind, fabricating unknown tables (and their columns) from the
+    /// binder's own errors plus qualified references in the statement
+    /// text. Each round learns one fact; statements whose tables all have
+    /// in-corpus DDL bind on the first round.
+    fn bind_with_inference(
+        &mut self,
+        stmt: &past::Statement,
+        text: &str,
+        features: &mut FeatureSet,
+    ) -> Result<(Plan, Vec<String>)> {
+        let mut attempts = 0;
+        loop {
+            let outcome = {
+                let shadow = self.shadow(HashMap::new());
+                let mut binder = Binder::new(&shadow);
+                match binder.bind_statement(stmt) {
+                    Ok(plan) => {
+                        features.union(&binder.features);
+                        Ok((plan, shadow.gtt_touched.into_inner()))
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            match outcome {
+                Ok((plan, touched)) => {
+                    let mut gtts: Vec<String> = touched.into_iter().collect();
+                    gtts.sort();
+                    return Ok((plan, gtts));
+                }
+                Err(HyperQError::Bind(msg)) => {
+                    attempts += 1;
+                    if attempts > MAX_INFERENCE_STEPS || !self.learn_from(&msg, text) {
+                        return Err(HyperQError::Bind(msg));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Interpret one binder error as a missing catalog fact and record
+    /// it. Returns false when nothing new can be learned (the error then
+    /// stands as the verdict).
+    fn learn_from(&mut self, msg: &str, text: &str) -> bool {
+        if let Some(name) = msg
+            .strip_prefix("table ")
+            .and_then(|r| r.strip_suffix(" not found"))
+        {
+            let upper = name.to_ascii_uppercase();
+            if self.dropped.contains(&upper)
+                || self.tables.contains_key(&upper)
+                || self.gtt_defs.contains_key(&upper)
+            {
+                return false;
+            }
+            let columns = harvest_columns(text, &upper);
+            self.tables.insert(upper.clone(), TableDef::new(&upper, columns));
+            self.inferred.insert(upper);
+            return true;
+        }
+        // "column C not found in T" (relational lookup) or
+        // "column Q.C not found" (scalar reference).
+        if let Some(rest) = msg.strip_prefix("column ") {
+            let rest = rest.strip_suffix(" not found").unwrap_or(rest);
+            let (column, table_hint) = match rest.split_once(" not found in ") {
+                Some((c, t)) => (c, Some(t)),
+                None => match rest.rsplit_once('.') {
+                    Some((q, c)) => (c, Some(q)),
+                    None => (rest, None),
+                },
+            };
+            let column = column.trim().to_ascii_uppercase();
+            if column.is_empty() {
+                return false;
+            }
+            let target = table_hint
+                .map(|t| base_name(&t.to_ascii_uppercase()).to_string())
+                .filter(|t| self.inferred.contains(t))
+                .or_else(|| {
+                    // An unqualified (or alias-qualified) reference: only
+                    // unambiguous if exactly one table was fabricated.
+                    let mut it = self.inferred.iter();
+                    match (it.next(), it.next()) {
+                        (Some(only), None) => Some(only.clone()),
+                        _ => None,
+                    }
+                });
+            if let Some(t) = target {
+                if let Some(def) = self.tables.get_mut(&t) {
+                    if !def.columns.iter().any(|c| c.name == column) {
+                        def.columns
+                            .push(ColumnDef::new(&column, SqlType::Unknown, true));
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The per-session target-side name of a GTT instance. The live session
+/// appends its session id; the assessor is one logical session.
+fn gtt_instance_name(logical: &str) -> String {
+    format!("GTT_{}_SA", logical.replace('.', "_"))
+}
+
+fn base_name(name: &str) -> &str {
+    name.rsplit('.').next().unwrap_or(name)
+}
+
+/// Mirror of `SessionState::default_database`.
+fn default_database(settings: &[(String, String)]) -> Option<&str> {
+    settings
+        .iter()
+        .rev()
+        .find(|(k, _)| {
+            k.eq_ignore_ascii_case("DATABASE") || k.eq_ignore_ascii_case("DEFAULT DATABASE")
+        })
+        .map(|(_, v)| v.trim().trim_matches('\''))
+        .filter(|v| !v.is_empty() && !v.eq_ignore_ascii_case("DBC"))
+}
+
+/// Harvest `TBL.COL` references for a fabricated table from the statement
+/// text (the only schema evidence a usage-only corpus offers).
+fn harvest_columns(text: &str, table: &str) -> Vec<ColumnDef> {
+    use hyperq_parser::token::Token;
+    let base = base_name(table);
+    let Ok(toks) = hyperq_parser::lexer::tokenize(text) else {
+        return Vec::new();
+    };
+    let mut cols: Vec<ColumnDef> = Vec::new();
+    for w in toks.windows(3) {
+        let (Token::Word(q) | Token::QuotedIdent(q)) = &w[0].token else {
+            continue;
+        };
+        if !matches!(w[1].token, Token::Dot) {
+            continue;
+        }
+        let (Token::Word(c) | Token::QuotedIdent(c)) = &w[2].token else {
+            continue;
+        };
+        if q.eq_ignore_ascii_case(base) {
+            let upper = c.to_ascii_uppercase();
+            if !cols.iter().any(|existing| existing.name == upper) {
+                cols.push(ColumnDef::new(&upper, SqlType::Unknown, true));
+            }
+        }
+    }
+    cols
+}
+
+/// The assessor's binder catalog: the same layering as the session's
+/// `ShadowCatalog` — overlay, sidecars, GTT instances, default-database
+/// qualification — over the inferred table map instead of a live backend.
+struct AssessShadow<'a> {
+    tables: &'a HashMap<String, TableDef>,
+    sidecars: &'a HashMap<String, TableDef>,
+    gtt_defs: &'a HashMap<String, TableDef>,
+    views: &'a HashMap<String, ViewDef>,
+    default_database: Option<String>,
+    overlay: HashMap<String, TableDef>,
+    gtt_touched: RefCell<HashSet<String>>,
+}
+
+impl MetadataProvider for AssessShadow<'_> {
+    fn table(&self, name: &str) -> Option<TableDef> {
+        let upper = name.to_ascii_uppercase();
+        if let Some(def) = self.overlay.get(&upper) {
+            return Some(def.clone());
+        }
+        if let Some(def) = self.sidecars.get(&upper) {
+            if self.tables.contains_key(&upper) {
+                return Some(def.clone());
+            }
+        }
+        if let Some(def) = self.gtt_defs.get(&upper) {
+            self.gtt_touched.borrow_mut().insert(upper.clone());
+            let mut instance = def.clone();
+            instance.name = gtt_instance_name(&upper);
+            instance.kind = TableKind::Temporary;
+            return Some(instance);
+        }
+        if !upper.contains('.') {
+            if let Some(db) = &self.default_database {
+                let qualified = format!("{}.{upper}", db.to_ascii_uppercase());
+                if let Some(def) = self.tables.get(&qualified) {
+                    let mut def = def.clone();
+                    def.name = qualified;
+                    return Some(def);
+                }
+            }
+        }
+        self.tables.get(&upper).cloned()
+    }
+
+    fn view(&self, name: &str) -> Option<ViewDef> {
+        let upper = name.to_ascii_uppercase();
+        self.views
+            .get(&upper)
+            .or_else(|| self.views.get(base_name(&upper)))
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assessor() -> Assessor {
+        Assessor::new(TargetCapabilities::simwh())
+    }
+
+    #[test]
+    fn ddl_then_query_is_translatable() {
+        let mut a = assessor();
+        a.ingest_ddl("CREATE TABLE T (A INTEGER, B VARCHAR(10))");
+        let out = a.assess_script("SELECT A, B FROM T WHERE A > 1");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].verdict, Verdict::Translatable);
+        assert!(a.inferred_tables().is_empty());
+    }
+
+    #[test]
+    fn usage_only_tables_are_inferred() {
+        let mut a = assessor();
+        let out =
+            a.assess_script("SELECT ORDERS.ID, ORDERS.TOTAL FROM ORDERS WHERE ORDERS.TOTAL > 5");
+        assert_eq!(out[0].verdict, Verdict::Translatable, "{:?}", out[0].verdict);
+        assert_eq!(a.inferred_tables(), vec!["ORDERS".to_string()]);
+    }
+
+    #[test]
+    fn macro_lifecycle_is_needs_emulation() {
+        let mut a = assessor();
+        a.ingest_ddl("CREATE TABLE T (A INTEGER)");
+        let out = a.assess_script(
+            "CREATE MACRO M (X INTEGER) AS (SELECT A FROM T WHERE A = :X;); EXEC M(4)",
+        );
+        assert_eq!(out.len(), 2);
+        for sa in &out {
+            match &sa.verdict {
+                Verdict::NeedsEmulation { kinds, tier } => {
+                    assert_eq!(kinds, &vec![EmulationKind::Macro]);
+                    assert_eq!(*tier, CostTier::Medium);
+                }
+                v => panic!("expected emulation verdict, got {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn undefined_macro_is_unsupported() {
+        let mut a = assessor();
+        let out = a.assess_script("EXEC NOPE(1)");
+        match &out[0].verdict {
+            Verdict::Unsupported { reason, .. } => {
+                assert!(reason.contains("not defined"), "{reason}");
+            }
+            v => panic!("expected unsupported, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn gtt_define_then_touch_predicts_materialization_once() {
+        let mut a = assessor();
+        let out = a.assess_script(
+            "CREATE GLOBAL TEMPORARY TABLE G (A INTEGER); \
+             INSERT INTO G SELECT 1; \
+             SELECT COUNT(*) FROM G",
+        );
+        assert_eq!(out.len(), 3);
+        match &out[0].verdict {
+            Verdict::NeedsEmulation { kinds, .. } => {
+                assert_eq!(kinds, &vec![EmulationKind::GttDefine]);
+            }
+            v => panic!("{v:?}"),
+        }
+        match &out[1].verdict {
+            Verdict::NeedsEmulation { kinds, tier } => {
+                assert_eq!(kinds, &vec![EmulationKind::GttMaterialize]);
+                assert_eq!(*tier, CostTier::High);
+            }
+            v => panic!("{v:?}"),
+        }
+        // Second touch: the instance is already materialized.
+        assert_eq!(out[2].verdict, Verdict::Translatable);
+    }
+
+    #[test]
+    fn span_points_at_statement_in_script() {
+        let mut a = assessor();
+        a.ingest_ddl("CREATE TABLE T (A INTEGER)");
+        let script = "SELECT A FROM T; SELECT ZZZ FROM T";
+        let out = a.assess_script(script);
+        assert_eq!(out[0].verdict, Verdict::Translatable);
+        assert!(matches!(out[1].verdict, Verdict::Unsupported { .. }));
+        let span = &out[1].span;
+        assert!(span.start >= 17 && span.end <= script.len(), "{span:?}");
+    }
+}

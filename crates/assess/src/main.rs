@@ -1,0 +1,140 @@
+//! `hyperq-assess` — static workload assessment from the command line.
+//!
+//! ```text
+//! hyperq-assess [--target simwh|cloud-a..cloud-f] [--format text|json]
+//!               (--corpus tpch|health|telco | FILE...)
+//! ```
+//!
+//! Files are SQL scripts (statements separated by `;`); `--ddl FILE` adds
+//! schema-only inputs that populate the catalog without being assessed.
+//! With `--corpus`, the built-in workload generators supply both DDL and
+//! statements, so a report is reproducible with no inputs at all.
+
+use std::process::ExitCode;
+
+use hyperq_assess::{Assessor, Report, StatementAssessment};
+use hyperq_core::capability::TargetCapabilities;
+use hyperq_workload::{customer, tpch};
+
+fn target_by_name(name: &str) -> Option<TargetCapabilities> {
+    match name.to_ascii_lowercase().as_str() {
+        "simwh" => Some(TargetCapabilities::simwh()),
+        "cloud-a" | "cloud_a" => Some(TargetCapabilities::cloud_a()),
+        "cloud-b" | "cloud_b" => Some(TargetCapabilities::cloud_b()),
+        "cloud-c" | "cloud_c" => Some(TargetCapabilities::cloud_c()),
+        "cloud-d" | "cloud_d" => Some(TargetCapabilities::cloud_d()),
+        "cloud-e" | "cloud_e" => Some(TargetCapabilities::cloud_e()),
+        "cloud-f" | "cloud_f" => Some(TargetCapabilities::cloud_f()),
+        _ => None,
+    }
+}
+
+const USAGE: &str = "usage: hyperq-assess [--target NAME] [--format text|json] \
+                     [--fail-on-unsupported] (--corpus tpch|health|telco | [--ddl FILE]... FILE...)";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("hyperq-assess: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut target = "simwh".to_string();
+    let mut format = "text".to_string();
+    let mut corpus: Option<String> = None;
+    let mut ddl_files: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut fail_on_unsupported = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--target" => target = it.next().ok_or("--target needs a value")?,
+            "--format" => format = it.next().ok_or("--format needs a value")?,
+            "--corpus" => corpus = Some(it.next().ok_or("--corpus needs a value")?),
+            "--ddl" => ddl_files.push(it.next().ok_or("--ddl needs a value")?),
+            "--fail-on-unsupported" => fail_on_unsupported = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if !matches!(format.as_str(), "text" | "json") {
+        return Err(format!("unknown format {format}"));
+    }
+    let caps =
+        target_by_name(&target).ok_or_else(|| format!("unknown target {target}"))?;
+    let target_name = caps.name;
+    let mut assessor = Assessor::new(caps);
+    let mut assessments: Vec<StatementAssessment> = Vec::new();
+
+    match corpus.as_deref() {
+        Some("tpch") => {
+            for ddl in tpch::ddl() {
+                assessor.ingest_ddl(&ddl);
+            }
+            for (_, q) in tpch::queries() {
+                append(&mut assessments, assessor.assess_script(q));
+            }
+        }
+        Some("health" | "telco") => {
+            let w = if corpus.as_deref() == Some("health") {
+                customer::health(0.05)
+            } else {
+                customer::telco(0.02)
+            };
+            for ddl in &w.target_ddl {
+                assessor.ingest_ddl(ddl);
+            }
+            for setup in &w.hyperq_setup {
+                append(&mut assessments, assessor.assess_script(setup));
+            }
+            for text in &w.distinct {
+                append(&mut assessments, assessor.assess_script(text));
+            }
+        }
+        Some(other) => return Err(format!("unknown corpus {other}")),
+        None => {
+            if files.is_empty() && ddl_files.is_empty() {
+                return Err("no inputs: pass --corpus or at least one SQL file".into());
+            }
+            for f in &ddl_files {
+                let sql = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+                assessor.ingest_ddl(&sql);
+            }
+            for f in &files {
+                let sql = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+                append(&mut assessments, assessor.assess_script(&sql));
+            }
+        }
+    }
+
+    let report = Report::build(target_name, &assessments, assessor.inferred_tables());
+    report.record_metrics(hyperq_obs::ObsContext::global());
+    match format.as_str() {
+        "json" => println!("{}", report.to_json()),
+        _ => print!("{}", report.to_text()),
+    }
+    if fail_on_unsupported && report.unsupported > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn append(into: &mut Vec<StatementAssessment>, mut batch: Vec<StatementAssessment>) {
+    let base = into.len();
+    for sa in &mut batch {
+        sa.index += base;
+    }
+    into.append(&mut batch);
+}

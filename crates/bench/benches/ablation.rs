@@ -57,14 +57,14 @@ fn bench_fixed_point(c: &mut Criterion) {
         b.iter(|| {
             let mut fired = FeatureSet::new();
             fixed_point.run_all(plan.clone(), &caps, &mut fired).unwrap()
-        })
+        });
     });
     let single_pass = Transformer::standard().with_max_passes(1);
     group.bench_function("single_pass", |b| {
         b.iter(|| {
             let mut fired = FeatureSet::new();
             single_pass.run_all(plan.clone(), &caps, &mut fired).unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -81,7 +81,7 @@ fn bench_conversion_parallelism(c: &mut Criterion) {
     for &threads in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
             let config = ConverterConfig { parallelism: t, batch_size: 2048, ..Default::default() };
-            b.iter(|| convert(&schema, &rows, &config).unwrap())
+            b.iter(|| convert(&schema, &rows, &config).unwrap());
         });
     }
     group.finish();
@@ -115,7 +115,7 @@ fn bench_spill(c: &mut Criterion) {
                     })
                     .unwrap();
                 n
-            })
+            });
         });
     }
     group.finish();
@@ -141,7 +141,7 @@ fn bench_dml_batching(c: &mut Criterion) {
                 },
                 |mut hq| hq.run_script(&script).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

@@ -25,10 +25,10 @@ fn bench_translation_vs_execution(c: &mut Criterion) {
     for q in [1usize, 6] {
         let translated = hq.translate(tpch::query(q)).unwrap();
         group.bench_with_input(BenchmarkId::new("translation", q), &q, |b, &q| {
-            b.iter(|| hq.translate(tpch::query(q)).unwrap())
+            b.iter(|| hq.translate(tpch::query(q)).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("execution", q), &q, |b, _| {
-            b.iter(|| db.execute_sql(&translated[0]).unwrap())
+            b.iter(|| db.execute_sql(&translated[0]).unwrap());
         });
     }
     group.finish();
@@ -52,7 +52,7 @@ fn bench_result_conversion(c: &mut Criterion) {
             })
             .collect();
         group.bench_with_input(BenchmarkId::new("rows", n), &rows, |b, rows| {
-            b.iter(|| convert(&schema, rows, &ConverterConfig::default()).unwrap())
+            b.iter(|| convert(&schema, rows, &ConverterConfig::default()).unwrap());
         });
     }
     group.finish();

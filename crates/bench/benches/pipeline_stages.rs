@@ -39,7 +39,7 @@ fn bench_stages(c: &mut Criterion) {
     let transformer = Transformer::standard();
 
     c.bench_function("parse/example2", |b| {
-        b.iter(|| parse_one(EXAMPLE2, Dialect::Teradata).unwrap())
+        b.iter(|| parse_one(EXAMPLE2, Dialect::Teradata).unwrap());
     });
 
     let parsed = parse_one(EXAMPLE2, Dialect::Teradata).unwrap();
@@ -48,7 +48,7 @@ fn bench_stages(c: &mut Criterion) {
             let catalog = ShadowCatalog::new(&*backend, &session);
             let mut binder = Binder::new(&catalog);
             binder.bind_statement(&parsed.stmt).unwrap()
-        })
+        });
     });
 
     let catalog = ShadowCatalog::new(&*backend, &session);
@@ -58,13 +58,13 @@ fn bench_stages(c: &mut Criterion) {
         b.iter(|| {
             let mut fired = FeatureSet::new();
             transformer.run_all(plan.clone(), &caps, &mut fired).unwrap()
-        })
+        });
     });
 
     let mut fired = FeatureSet::new();
     let transformed = transformer.run_all(plan, &caps, &mut fired).unwrap();
     c.bench_function("serialize/example2", |b| {
-        b.iter(|| Serializer::new(&caps).serialize_plan(&transformed).unwrap())
+        b.iter(|| Serializer::new(&caps).serialize_plan(&transformed).unwrap());
     });
 }
 
@@ -79,10 +79,10 @@ fn bench_observability_overhead(c: &mut Criterion) {
     off.traces.set_enabled(false);
     let mut hq_off = HyperQBuilder::new(sales_backend(), caps).obs(Arc::clone(&off)).no_cache().build();
     c.bench_function("run/example2_tracing_on", |b| {
-        b.iter(|| hq_on.run_one(EXAMPLE2).unwrap())
+        b.iter(|| hq_on.run_one(EXAMPLE2).unwrap());
     });
     c.bench_function("run/example2_tracing_off", |b| {
-        b.iter(|| hq_off.run_one(EXAMPLE2).unwrap())
+        b.iter(|| hq_off.run_one(EXAMPLE2).unwrap());
     });
 }
 
@@ -93,7 +93,7 @@ fn bench_full_translation(c: &mut Criterion) {
     let mut hq = HyperQBuilder::new(db as Arc<dyn Backend>, TargetCapabilities::simwh()).no_cache().build();
     for q in [1usize, 3, 6, 13, 21] {
         c.bench_function(format!("translate/tpch_q{q}"), |b| {
-            b.iter(|| hq.translate(hyperq_workload::tpch::query(q)).unwrap())
+            b.iter(|| hq.translate(hyperq_workload::tpch::query(q)).unwrap());
         });
     }
 }

@@ -39,7 +39,7 @@ fn bench_concurrency(c: &mut Criterion) {
                     for t in threads {
                         t.join().unwrap();
                     }
-                })
+                });
             },
         );
     }

@@ -52,7 +52,7 @@ fn main() {
              \"warm_translate_us\": {warm:.1}, \"speedup\": {speedup:.1}}}"
         ));
     }
-    speedups.sort_by(|a, b| a.total_cmp(b));
+    speedups.sort_by(f64::total_cmp);
     let median_speedup = speedups[speedups.len() / 2];
 
     // TPC-H×10 replay through one cache-enabled session: round 1 populates,

@@ -61,7 +61,7 @@ fn main() {
              \"governed_us\": {governed:.1}, \"overhead_pct\": {overhead_pct:.2}}}"
         ));
     }
-    overheads.sort_by(|a, b| a.total_cmp(b));
+    overheads.sort_by(f64::total_cmp);
     let median_overhead = overheads[overheads.len() / 2];
     let max_overhead = overheads[overheads.len() - 1];
 
@@ -104,7 +104,7 @@ fn main() {
             Ok(_) => { /* statement beat the 2ms fuse — skip the sample */ }
         }
     }
-    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    latencies_us.sort_by(f64::total_cmp);
     let (p50, p99, samples) = if latencies_us.is_empty() {
         (0.0, 0.0, 0)
     } else {

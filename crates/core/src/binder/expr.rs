@@ -413,8 +413,7 @@ impl<'a> Binder<'a> {
                 c == name
                     && qualifier
                         .as_deref()
-                        .map(|qq| qq.eq_ignore_ascii_case(q))
-                        .unwrap_or(true)
+                        .is_none_or(|qq| qq.eq_ignore_ascii_case(q))
             }),
             _ => false,
         }

@@ -197,7 +197,7 @@ impl<'a> Binder<'a> {
             .transpose()?;
         Ok(Plan::Update {
             table: def.name.clone(),
-            alias: alias.map(|a| a.to_ascii_uppercase()),
+            alias: alias.map(str::to_ascii_uppercase),
             assignments: bound,
             predicate,
         })
@@ -218,7 +218,7 @@ impl<'a> Binder<'a> {
             .transpose()?;
         Ok(Plan::Delete {
             table: def.name.clone(),
-            alias: alias.map(|a| a.to_ascii_uppercase()),
+            alias: alias.map(str::to_ascii_uppercase),
             predicate,
         })
     }
@@ -316,9 +316,7 @@ impl<'a> Binder<'a> {
     }
 
     pub(crate) fn register_ci_columns(&mut self, def: &TableDef, alias: Option<&str>) {
-        let qualifier = alias
-            .map(|a| a.to_ascii_uppercase())
-            .unwrap_or_else(|| def.base_name().to_string());
+        let qualifier = alias.map_or_else(|| def.base_name().to_string(), str::to_ascii_uppercase);
         for c in &def.columns {
             if c.case_insensitive {
                 self.ci_columns.push((qualifier.clone(), c.name.clone()));

@@ -257,12 +257,10 @@ impl<'a> Binder<'a> {
                 past::SelectItem::Expr { expr, alias } => {
                     let bound = self.bind_expr(expr, &ctx)?;
                     let name = alias
-                        .as_ref()
-                        .map(|a| a.to_ascii_uppercase())
-                        .unwrap_or_else(|| match &bound {
+                        .as_ref().map_or_else(|| match &bound {
                             ScalarExpr::Column { name, .. } => name.clone(),
                             _ => format!("EXPR_{}", i + 1),
-                        });
+                        }, |a| a.to_ascii_uppercase());
                     if let Some(a) = alias {
                         // Later items (and other clauses) may reference this
                         // alias — Teradata chained projections (X3).
@@ -321,11 +319,11 @@ impl<'a> Binder<'a> {
         let mut windows = mem::take(&mut self.pending_windows);
         let has_aggregates = !group_bound.is_empty()
             || projections.iter().any(|(e, _)| e.contains_aggregate())
-            || having.as_ref().map(|h| h.contains_aggregate()).unwrap_or(false)
+            || having.as_ref().is_some_and(hyperq_xtra::ScalarExpr::contains_aggregate)
             || order_keys.iter().any(|(e, ..)| e.contains_aggregate())
             || windows.iter().any(|w| {
-                w.arg.as_ref().map(|a| a.contains_aggregate()).unwrap_or(false)
-                    || w.partition_by.iter().any(|p| p.contains_aggregate())
+                w.arg.as_ref().is_some_and(hyperq_xtra::ScalarExpr::contains_aggregate)
+                    || w.partition_by.iter().any(hyperq_xtra::ScalarExpr::contains_aggregate)
                     || w.order_by.iter().any(|k| k.expr.contains_aggregate())
             });
 
@@ -582,10 +580,10 @@ impl<'a> Binder<'a> {
             if let Some(a) = w.arg.take() {
                 w.arg = Some(replace(a));
             }
-            for p in w.partition_by.iter_mut() {
+            for p in &mut w.partition_by {
                 *p = replace(p.clone());
             }
-            for k in w.order_by.iter_mut() {
+            for k in &mut w.order_by {
                 k.expr = replace(k.expr.clone());
             }
         }
@@ -608,7 +606,7 @@ impl<'a> Binder<'a> {
             }
             rows.push(bound);
         }
-        let width = rows.first().map(|r| r.len()).unwrap_or(0);
+        let width = rows.first().map_or(0, std::vec::Vec::len);
         if rows.iter().any(|r| r.len() != width) {
             return self.err("VALUES rows must all have the same width");
         }
@@ -658,9 +656,8 @@ impl<'a> Binder<'a> {
                 let offset = plain.len();
                 let n = exprs.len();
                 plain.extend(exprs.iter().cloned());
-                let sets = match Grouping::rollup(n) {
-                    Grouping::Sets(s) => s,
-                    _ => unreachable!("rollup returns sets"),
+                let Grouping::Sets(sets) = Grouping::rollup(n) else {
+                    unreachable!("rollup returns sets");
                 };
                 Ok((plain, Grouping::Sets(prefix_sets(sets, offset))))
             }
@@ -669,9 +666,8 @@ impl<'a> Binder<'a> {
                 let offset = plain.len();
                 let n = exprs.len();
                 plain.extend(exprs.iter().cloned());
-                let sets = match Grouping::cube(n) {
-                    Grouping::Sets(s) => s,
-                    _ => unreachable!("cube returns sets"),
+                let Grouping::Sets(sets) = Grouping::cube(n) else {
+                    unreachable!("cube returns sets");
                 };
                 Ok((plain, Grouping::Sets(prefix_sets(sets, offset))))
             }

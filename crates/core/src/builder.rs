@@ -18,6 +18,7 @@ use crate::analyze::AnalyzeMode;
 use crate::backend::Backend;
 use crate::cache::{CacheConfig, TranslationCache};
 use crate::capability::TargetCapabilities;
+use crate::conformance::ConformanceMode;
 use crate::crosscompiler::{BuildSpec, HyperQ, StatementResult};
 use crate::error::{HyperQError, Result};
 use crate::recover::RecoverConfig;
@@ -47,6 +48,7 @@ pub struct HyperQBuilder {
     caps: TargetCapabilities,
     obs: Option<Arc<ObsContext>>,
     analyze: AnalyzeMode,
+    conformance: ConformanceMode,
     cache: CacheChoice,
     recover: RecoverConfig,
     dml_batching: bool,
@@ -60,6 +62,7 @@ impl HyperQBuilder {
             caps,
             obs: None,
             analyze: AnalyzeMode::default(),
+            conformance: ConformanceMode::default(),
             cache: CacheChoice::Default,
             recover: RecoverConfig::default(),
             dml_batching: true,
@@ -77,6 +80,14 @@ impl HyperQBuilder {
     /// Static-analysis mode (`LogOnly` by default).
     pub fn analyze(mut self, mode: AnalyzeMode) -> Self {
         self.analyze = mode;
+        self
+    }
+
+    /// Capability-conformance lint mode over serialized SQL (`LogOnly` by
+    /// default; `Strict` fails statements whose emitted SQL uses a
+    /// construct the target lacks).
+    pub fn conformance(mut self, mode: ConformanceMode) -> Self {
+        self.conformance = mode;
         self
     }
 
@@ -141,6 +152,7 @@ impl HyperQBuilder {
             caps: self.caps,
             obs,
             analyze: self.analyze,
+            conformance: self.conformance,
             cache,
             recover: self.recover,
             dml_batching: self.dml_batching,

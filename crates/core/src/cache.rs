@@ -638,7 +638,7 @@ mod tests {
             sql: sql.to_string(),
             features: FeatureSet::new(),
             is_query: true,
-            tables: tables.iter().map(|t| t.to_string()).collect(),
+            tables: tables.iter().map(std::string::ToString::to_string).collect(),
         }
     }
 

@@ -81,6 +81,11 @@ pub struct TargetCapabilities {
     pub top_clause: bool,
     pub with_ties: bool,
     pub limit_clause: bool,
+    /// The target accepts a `RETURNING` clause on DML. No Teradata source
+    /// feature maps onto it — it exists purely as an *output* capability the
+    /// conformance linter checks emitted SQL against (and the knob the
+    /// reduced-signature acceptance profile removes).
+    pub returning_clause: bool,
     /// The target accepts session-scoped `SET <name> = <value>` statements,
     /// so Hyper-Q pushes settings through (and journals them for replay on
     /// reconnect) instead of keeping them purely mid-tier.
@@ -165,6 +170,7 @@ impl TargetCapabilities {
             top_clause: false,
             with_ties: false,
             limit_clause: true,
+            returning_clause: false,
             session_settings: true,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::PlusInteger,
@@ -207,6 +213,7 @@ impl TargetCapabilities {
             top_clause: true,
             with_ties: true,
             limit_clause: false,
+            returning_clause: false,
             session_settings: false,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::DateAddFn,
@@ -250,6 +257,7 @@ impl TargetCapabilities {
             top_clause: true,
             with_ties: false,
             limit_clause: true,
+            returning_clause: true,
             session_settings: false,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::PlusInteger,
@@ -293,6 +301,7 @@ impl TargetCapabilities {
             top_clause: false,
             with_ties: false,
             limit_clause: true,
+            returning_clause: false,
             session_settings: false,
             mod_style: ModStyle::Function,
             date_add_style: DateAddStyle::IntervalFn,
@@ -335,6 +344,7 @@ impl TargetCapabilities {
             top_clause: true,
             with_ties: false,
             limit_clause: true,
+            returning_clause: false,
             session_settings: false,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::DateAddFn,
@@ -377,6 +387,7 @@ impl TargetCapabilities {
             top_clause: false,
             with_ties: false,
             limit_clause: true,
+            returning_clause: false,
             session_settings: false,
             mod_style: ModStyle::Function,
             date_add_style: DateAddStyle::IntervalLiteral,
@@ -419,6 +430,7 @@ impl TargetCapabilities {
             top_clause: false,
             with_ties: false,
             limit_clause: true,
+            returning_clause: true,
             session_settings: false,
             mod_style: ModStyle::Percent,
             date_add_style: DateAddStyle::IntervalLiteral,
@@ -471,10 +483,9 @@ pub struct SupportRow {
     pub supporting: Vec<&'static str>,
 }
 
-/// Compute Figure 2 from the capability profiles.
-pub fn figure2_rows() -> Vec<SupportRow> {
+fn rows_for(features: impl IntoIterator<Item = Feature>) -> Vec<SupportRow> {
     let targets = TargetCapabilities::surveyed();
-    figure2_features()
+    features
         .into_iter()
         .map(|feature| {
             let supporting: Vec<&'static str> = targets
@@ -491,9 +502,35 @@ pub fn figure2_rows() -> Vec<SupportRow> {
         .collect()
 }
 
+/// Compute Figure 2 from the capability profiles.
+pub fn figure2_rows() -> Vec<SupportRow> {
+    rows_for(figure2_features())
+}
+
+/// Cloud-support rows for *every* tracked feature (T1..E9), not just the
+/// Figure 2 selection — the full table the assessment report and the
+/// conformance exhaustiveness audit consume.
+pub fn support_rows() -> Vec<SupportRow> {
+    rows_for(Feature::ALL)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn support_rows_cover_every_feature_exactly_once() {
+        let rows = support_rows();
+        for f in Feature::ALL {
+            assert_eq!(
+                rows.iter().filter(|r| r.feature == f).count(),
+                1,
+                "feature {} ({f:?}) must have exactly one support row",
+                f.code()
+            );
+        }
+        assert_eq!(rows.len(), Feature::ALL.len());
+    }
 
     #[test]
     fn no_cloud_target_supports_macros_or_help() {

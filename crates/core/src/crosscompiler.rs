@@ -25,7 +25,8 @@ use crate::binder::Binder;
 use crate::builder::{HyperQBuilder, Request, Response};
 use crate::cache::{CacheFill, CacheKey, TranslationCache};
 use crate::capability::TargetCapabilities;
-use crate::emulate;
+use crate::conformance::{Conformance, ConformanceMode};
+use crate::emulate::{self, EmulationKind};
 use crate::error::{HyperQError, Result};
 use crate::recover::{RecoverConfig, RecoveringBackend};
 use crate::serialize::Serializer;
@@ -131,6 +132,10 @@ pub struct HyperQ {
     /// Static-analysis driver: plan validation at stage boundaries,
     /// per-rule transformation audits, serializer round-trip checks.
     analyzer: Analyzer,
+    /// Capability-conformance linter: token walk over serialized SQL
+    /// against the target's capability signature, plus advisory
+    /// anti-pattern lints over source statements.
+    conformance: Conformance,
     /// The compiled-translation cache (possibly shared with other
     /// sessions); `None` disables caching entirely.
     cache: Option<Arc<TranslationCache>>,
@@ -159,6 +164,7 @@ pub(crate) struct BuildSpec {
     pub caps: TargetCapabilities,
     pub obs: Arc<ObsContext>,
     pub analyze: AnalyzeMode,
+    pub conformance: ConformanceMode,
     pub cache: Option<Arc<TranslationCache>>,
     pub recover: RecoverConfig,
     pub dml_batching: bool,
@@ -169,6 +175,7 @@ impl HyperQ {
         let id = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
         let stages = StageHandles::new(&spec.obs, id);
         let analyzer = Analyzer::new(spec.analyze, &spec.obs);
+        let conformance = Conformance::new(spec.conformance, &spec.obs);
         let session = SessionState::new(id, "APP");
         // Backend stack, outermost first: instrumentation sees all traffic
         // (including replay), recovery turns ConnectionLost into reconnect +
@@ -197,6 +204,7 @@ impl HyperQ {
             stages,
             tracker: WorkloadTracker::new(),
             analyzer,
+            conformance,
             cache: spec.cache,
             cache_seed: None,
             caps_sig,
@@ -232,6 +240,11 @@ impl HyperQ {
     /// The active static-analysis mode.
     pub fn analysis_mode(&self) -> AnalyzeMode {
         self.analyzer.mode()
+    }
+
+    /// The active capability-conformance lint mode.
+    pub fn conformance_mode(&self) -> ConformanceMode {
+        self.conformance.mode()
     }
 
     pub fn capabilities(&self) -> &TargetCapabilities {
@@ -417,6 +430,11 @@ impl HyperQ {
             AnalyzeMode::LogOnly => 1,
             AnalyzeMode::Strict => 2,
         });
+        bytes.push(match self.conformance.mode() {
+            ConformanceMode::Off => 0,
+            ConformanceMode::LogOnly => 1,
+            ConformanceMode::Strict => 2,
+        });
         bytes.push(self.dml_batching as u8);
         bytes.extend_from_slice(&self.session.settings_epoch().to_le_bytes());
         bytes.extend_from_slice(&self.session.catalog_epoch().to_le_bytes());
@@ -566,7 +584,7 @@ impl HyperQ {
         if !prov.is_enabled() {
             return;
         }
-        let hash = fingerprint(text).map(|f| f.hash).unwrap_or(0);
+        let hash = fingerprint(text).map_or(0, |f| f.hash);
         // Surface the fingerprint on the in-flight query table too (the
         // governor's `/queries` snapshot keys on it).
         if let Some(gov) = hyperq_governor::current() {
@@ -576,7 +594,7 @@ impl HyperQ {
         let features: Vec<&'static str> = outcome
             .map(|o| o.features.iter().map(|f| f.code()).collect())
             .unwrap_or_default();
-        let rows = outcome.map(|o| o.result.row_count).unwrap_or(0);
+        let rows = outcome.map_or(0, |o| o.result.row_count);
         prov.finish(FinishedStatement {
             trace,
             fingerprint: hash,
@@ -667,6 +685,7 @@ impl HyperQ {
         self.analyzer.check_plan(&plan, "serializer")?;
         let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
         self.analyzer.audit_roundtrip(&sql, &plan, &catalog)?;
+        self.conformance.check_serialized(&sql, &self.caps)?;
         Ok((sql, features))
     }
 
@@ -677,20 +696,24 @@ impl HyperQ {
     /// Count one emulated-feature request (the per-emulation fan-out of
     /// `hyperq_emulation_requests_total`). Cold paths only, so the registry
     /// lookup per call is fine.
-    fn emu(&self, kind: &'static str) {
-        provenance::note_emulation(kind);
+    fn emu(&self, kind: EmulationKind) {
+        provenance::note_emulation(kind.as_str());
         self.obs
             .metrics
-            .counter("hyperq_emulation_requests_total", &[("kind", kind)])
+            .counter("hyperq_emulation_requests_total", &[("kind", kind.as_str())])
             .inc();
     }
 
     fn process(&mut self, ps: ParsedStatement, cache_ok: bool) -> Result<StatementResult> {
         let mut features = ps.features.clone();
+        // Advisory anti-pattern lints over the client's source text (empty
+        // for internal sub-statements, which are driven by their caller).
+        self.conformance
+            .check_source(&ps.text, &ps.features, self.session.in_transaction);
         match &ps.stmt {
             // --- E5: informational commands, answered mid-tier -------------
             past::Statement::Help(target) => {
-                self.emu("help");
+                self.emu(EmulationKind::Help);
                 let result = match target {
                     past::HelpTarget::Session => emulate::help_session(&self.session),
                     past::HelpTarget::Table(name) => {
@@ -713,7 +736,7 @@ impl HyperQ {
 
             // --- EXPLAIN: answered by the mid tier ---------------------------
             past::Statement::Explain(inner) => {
-                self.emu("explain");
+                self.emu(EmulationKind::Explain);
                 let report = self.explain(inner, &mut features)?;
                 let schema = hyperq_xtra::schema::Schema::new(vec![
                     hyperq_xtra::schema::Field::new(
@@ -738,7 +761,7 @@ impl HyperQ {
 
             // --- E2/E3: routine definitions ---------------------------------
             past::Statement::CreateMacro { name, params, body } => {
-                self.emu("macro");
+                self.emu(EmulationKind::Macro);
                 self.session.macros.insert(
                     name.canonical(),
                     RoutineDef {
@@ -751,12 +774,12 @@ impl HyperQ {
                 Ok(ack(features))
             }
             past::Statement::DropMacro { name } => {
-                self.emu("macro");
+                self.emu(EmulationKind::Macro);
                 self.session.macros.remove(&name.canonical());
                 Ok(ack(features))
             }
             past::Statement::CreateProcedure { name, params, body } => {
-                self.emu("procedure");
+                self.emu(EmulationKind::Procedure);
                 self.session.procedures.insert(
                     name.canonical(),
                     RoutineDef {
@@ -769,7 +792,7 @@ impl HyperQ {
                 Ok(ack(features))
             }
             past::Statement::ExecuteMacro { name, args } => {
-                self.emu("macro");
+                self.emu(EmulationKind::Macro);
                 let routine = self
                     .session
                     .macros
@@ -781,7 +804,7 @@ impl HyperQ {
                 self.run_routine(&routine, args, features)
             }
             past::Statement::Call { name, args } => {
-                self.emu("procedure");
+                self.emu(EmulationKind::Procedure);
                 let routine = self
                     .session
                     .procedures
@@ -797,7 +820,7 @@ impl HyperQ {
 
             // --- E6 substrate: views live in the DTM catalog -----------------
             past::Statement::CreateView { name, columns, or_replace, .. } => {
-                self.emu("view");
+                self.emu(EmulationKind::View);
                 let key = name.canonical();
                 if !or_replace && self.session.views.contains_key(&key) {
                     return Err(HyperQError::Emulation(format!(
@@ -817,7 +840,7 @@ impl HyperQ {
                 Ok(ack(features))
             }
             past::Statement::DropView { name, if_exists } => {
-                self.emu("view");
+                self.emu(EmulationKind::View);
                 let existed = self.session.views.remove(&name.canonical()).is_some();
                 if !existed && !if_exists {
                     return Err(HyperQError::Emulation(format!("view {name} not found")));
@@ -827,7 +850,7 @@ impl HyperQ {
 
             // --- E4: MERGE → UPDATE + guarded INSERT -------------------------
             past::Statement::Merge(m) => {
-                self.emu("merge");
+                self.emu(EmulationKind::Merge);
                 features.insert(Feature::MergeStatement);
                 let steps = emulate::decompose_merge(m)?;
                 let mut timings = Timings::default();
@@ -850,14 +873,14 @@ impl HyperQ {
 
             // --- E1: recursive queries ---------------------------------------
             past::Statement::Query(q) if q.recursive => {
-                self.emu("recursive");
+                self.emu(EmulationKind::Recursive);
                 features.insert(Feature::RecursiveQuery);
                 self.emulate_recursive(q, features)
             }
 
             // --- session settings (reflected by HELP SESSION) ----------------
             past::Statement::SetSession { name, value } => {
-                self.emu("set_session");
+                self.emu(EmulationKind::SetSession);
                 let rendered = match emulate::ast_const(value) {
                     Ok(d) => d.to_sql_string(),
                     Err(_) => format!("{value:?}"),
@@ -891,12 +914,12 @@ impl HyperQ {
 
             // --- transactions ------------------------------------------------
             past::Statement::BeginTransaction => {
-                self.emu("transaction");
+                self.emu(EmulationKind::Transaction);
                 self.session.in_transaction = true;
                 Ok(ack(features))
             }
             past::Statement::Commit | past::Statement::Rollback => {
-                self.emu("transaction");
+                self.emu(EmulationKind::Transaction);
                 self.session.in_transaction = false;
                 Ok(ack(features))
             }
@@ -907,7 +930,7 @@ impl HyperQ {
             | past::Statement::Insert { table, .. }
                 if self.session.views.contains_key(&table.canonical()) =>
             {
-                self.emu("view_dml");
+                self.emu(EmulationKind::ViewDml);
                 features.insert(Feature::DmlOnView);
                 let view = self.session.views[&table.canonical()].clone();
                 let parsed = parse_statements(&view.body_sql, Dialect::Teradata)
@@ -1053,6 +1076,7 @@ impl HyperQ {
                     stmt: substituted,
                     features: FeatureSet::new(),
                     text: String::new(),
+                    span: hyperq_parser::StmtSpan::default(),
                 },
                 false,
             )?;
@@ -1142,7 +1166,7 @@ impl HyperQ {
         // E7: definition of a global temporary table → DTM catalog only.
         if let Plan::CreateTable { def, source: None } = &plan {
             if def.kind == TableKind::GlobalTemporary {
-                self.emu("gtt_define");
+                self.emu(EmulationKind::GttDefine);
                 features.insert(Feature::GlobalTempTable);
                 self.session
                     .global_temp_defs
@@ -1176,6 +1200,7 @@ impl HyperQ {
         self.stages.serialize.record(serialize_time);
         provenance::note_stage("serialize", serialize_time);
         timings.translation += serialize_time;
+        self.conformance.check_serialized(&sql, &self.caps)?;
 
         // Strict mode: the serializer round-trip audit. Restricted to plain
         // queries with no GTT involvement — GTT instance names resolve
@@ -1198,7 +1223,7 @@ impl HyperQ {
             if self.session.materialized_gtts.contains(&logical) {
                 continue;
             }
-            self.emu("gtt_materialize");
+            self.emu(EmulationKind::GttMaterialize);
             let def = self
                 .session
                 .global_temp_defs
@@ -1218,6 +1243,7 @@ impl HyperQ {
             self.stages.serialize.record(d);
             provenance::note_stage("serialize", d);
             timings.translation += d;
+            self.conformance.check_serialized(&ddl, &self.caps)?;
             let exec_span = self.obs.traces.enter("execute");
             self.backend.execute_ctx(&ddl, self.request_ctx(false))?;
             let d = exec_span.finish();
@@ -1307,7 +1333,7 @@ impl HyperQ {
             .collect();
         if !missing.is_empty() {
             if !quiet {
-                self.emu("default_injection");
+                self.emu(EmulationKind::DefaultInjection);
             }
             let schema = source.schema();
             let mut exprs: Vec<(ScalarExpr, String)> = schema
@@ -1343,7 +1369,7 @@ impl HyperQ {
         // constant defaults this matches full-row SET semantics.)
         if def.set_semantics {
             if !quiet {
-                self.emu("set_table_dedup");
+                self.emu(EmulationKind::SetTableDedup);
             }
             features.insert(Feature::SetTableSemantics);
             let get = RelExpr::Get {
@@ -1423,7 +1449,7 @@ impl HyperQ {
         // the duration (mirroring provenance::suspended for probes).
         hyperq_governor::shielded(|| {
             for name in live.iter().rev() {
-                self.emu("cleanup");
+                self.emu(EmulationKind::Cleanup);
                 let dropped = self.exec_plan(
                     Plan::DropTable { name: name.clone(), if_exists: true },
                     timings,
@@ -1440,7 +1466,7 @@ impl HyperQ {
                     }
                 }
             }
-        })
+        });
     }
 
     fn emulate_recursive_inner(
@@ -1651,6 +1677,7 @@ impl HyperQ {
         self.stages.serialize.record(d);
         provenance::note_stage("serialize", d);
         timings.translation += d;
+        self.conformance.check_serialized(&sql, &self.caps)?;
         let span = self.obs.traces.enter("execute");
         let result =
             self.backend.execute_ctx(&sql, self.request_ctx(matches!(plan, Plan::Query(_))))?;
@@ -1681,7 +1708,7 @@ fn fast_path_candidate(sql: &str) -> bool {
     let trimmed = sql.trim_start();
     let word: String = trimmed
         .chars()
-        .take_while(|c| c.is_ascii_alphabetic())
+        .take_while(char::is_ascii_alphabetic)
         .take(8)
         .collect();
     matches!(
@@ -1696,7 +1723,7 @@ fn statement_kind(sql: &str) -> &'static str {
     let word: String = sql
         .trim_start()
         .chars()
-        .take_while(|c| c.is_ascii_alphabetic())
+        .take_while(char::is_ascii_alphabetic)
         .take(12)
         .collect();
     match word.to_ascii_uppercase().as_str() {
@@ -1766,6 +1793,8 @@ pub fn batch_single_row_inserts(stmts: Vec<ParsedStatement>) -> Vec<ParsedStatem
                     // translation cache).
                     prev.text.push_str("; ");
                     prev.text.push_str(&ps.text);
+                    // The merged statement now covers both source ranges.
+                    prev.span.end = prev.span.end.max(ps.span.end);
                     continue;
                 }
             }

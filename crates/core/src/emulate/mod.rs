@@ -22,6 +22,136 @@ use crate::error::{HyperQError, Result};
 use crate::session::{RoutineDef, SessionState};
 
 // ---------------------------------------------------------------------------
+// Emulation taxonomy
+// ---------------------------------------------------------------------------
+
+/// Relative runtime cost of one emulation kind: how many extra target
+/// requests (and how much mid-tier work) the emulation spends per source
+/// statement. Drives the migration-assessment cost tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CostTier {
+    /// Answered mid-tier or a single rewritten request.
+    Low,
+    /// A bounded handful of extra requests or catalog bookkeeping.
+    Medium,
+    /// Unbounded request sequences (iteration, per-session materialization).
+    High,
+}
+
+impl CostTier {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CostTier::Low => "low",
+            CostTier::Medium => "medium",
+            CostTier::High => "high",
+        }
+    }
+}
+
+/// Every kind of mid-tier emulation the crosscompiler can perform, one per
+/// `hyperq_emulation_requests_total{kind}` label. An enum (rather than the
+/// historical string literals) so the conformance exhaustiveness audit can
+/// prove every kind has a lint rule and a cost tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EmulationKind {
+    /// E5: `HELP SESSION` / `HELP TABLE`, answered from the DTM catalog.
+    Help,
+    /// `EXPLAIN`, answered with the translation plan.
+    Explain,
+    /// E2: macro definition/execution via the DTM catalog.
+    Macro,
+    /// E3: stored-procedure definition/CALL via the DTM catalog.
+    Procedure,
+    /// E6 substrate: view definitions kept mid-tier and inlined at bind.
+    View,
+    /// E4: `MERGE` decomposed into `UPDATE` + guarded `INSERT`.
+    Merge,
+    /// E1: recursion via WorkTable/TempTable iteration.
+    Recursive,
+    /// Session settings kept (or journaled) mid-tier.
+    SetSession,
+    /// Transaction bracketing tracked in session state.
+    Transaction,
+    /// E6: DML against a DTM-cataloged view, rewritten onto base tables.
+    ViewDml,
+    /// E7: global-temporary-table definition recorded in the DTM catalog.
+    GttDefine,
+    /// E7: lazy per-session materialization of a GTT instance.
+    GttMaterialize,
+    /// E9: mid-tier injection of defaults the target cannot express.
+    DefaultInjection,
+    /// E8: SET-table semantics via dedup + anti-join on insert.
+    SetTableDedup,
+    /// Best-effort teardown of emulation temp tables after a failure.
+    Cleanup,
+}
+
+impl EmulationKind {
+    /// Every kind, in a stable order (reports iterate this).
+    pub const ALL: [EmulationKind; 15] = [
+        EmulationKind::Help,
+        EmulationKind::Explain,
+        EmulationKind::Macro,
+        EmulationKind::Procedure,
+        EmulationKind::View,
+        EmulationKind::Merge,
+        EmulationKind::Recursive,
+        EmulationKind::SetSession,
+        EmulationKind::Transaction,
+        EmulationKind::ViewDml,
+        EmulationKind::GttDefine,
+        EmulationKind::GttMaterialize,
+        EmulationKind::DefaultInjection,
+        EmulationKind::SetTableDedup,
+        EmulationKind::Cleanup,
+    ];
+
+    /// The metric/provenance label (the historical string literal).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EmulationKind::Help => "help",
+            EmulationKind::Explain => "explain",
+            EmulationKind::Macro => "macro",
+            EmulationKind::Procedure => "procedure",
+            EmulationKind::View => "view",
+            EmulationKind::Merge => "merge",
+            EmulationKind::Recursive => "recursive",
+            EmulationKind::SetSession => "set_session",
+            EmulationKind::Transaction => "transaction",
+            EmulationKind::ViewDml => "view_dml",
+            EmulationKind::GttDefine => "gtt_define",
+            EmulationKind::GttMaterialize => "gtt_materialize",
+            EmulationKind::DefaultInjection => "default_injection",
+            EmulationKind::SetTableDedup => "set_table_dedup",
+            EmulationKind::Cleanup => "cleanup",
+        }
+    }
+
+    /// How expensive this emulation is at runtime, for assessment reports.
+    pub fn cost_tier(&self) -> CostTier {
+        match self {
+            // Answered entirely mid-tier, or one bookkeeping entry.
+            EmulationKind::Help
+            | EmulationKind::Explain
+            | EmulationKind::SetSession
+            | EmulationKind::Transaction
+            | EmulationKind::Cleanup => CostTier::Low,
+            // A bounded number of extra requests or rewritten plans.
+            EmulationKind::Macro
+            | EmulationKind::Procedure
+            | EmulationKind::View
+            | EmulationKind::ViewDml
+            | EmulationKind::Merge
+            | EmulationKind::GttDefine
+            | EmulationKind::DefaultInjection
+            | EmulationKind::SetTableDedup => CostTier::Medium,
+            // Unbounded request sequences (iteration, per-session DDL).
+            EmulationKind::Recursive | EmulationKind::GttMaterialize => CostTier::High,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Constant evaluation (macro defaults, non-constant column defaults)
 // ---------------------------------------------------------------------------
 
@@ -68,8 +198,7 @@ pub fn current_timestamp_micros() -> i64 {
     use std::time::{SystemTime, UNIX_EPOCH};
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_micros() as i64)
-        .unwrap_or(0)
+        .map_or(0, |d| d.as_micros() as i64)
 }
 
 // ---------------------------------------------------------------------------
@@ -619,9 +748,7 @@ pub fn rewrite_dml_on_view(
     let remap_ident = |name: &str| -> past::ObjectName {
         mapping
             .iter()
-            .find(|(exposed, _)| exposed.eq_ignore_ascii_case(name))
-            .map(|(_, base)| base.clone())
-            .unwrap_or_else(|| past::ObjectName::single(name))
+            .find(|(exposed, _)| exposed.eq_ignore_ascii_case(name)).map_or_else(|| past::ObjectName::single(name), |(_, base)| base.clone())
     };
     let mut remap_expr = |e: past::Expr| -> past::Expr {
         match e {
@@ -756,15 +883,16 @@ pub fn split_recursive(q: &past::Query) -> Result<RecursiveParts> {
         ));
     }
     let cte = &q.ctes[0];
-    let (left, right) = match &cte.query.body {
-        past::QueryBody::SetOp { kind: hyperq_xtra::rel::SetOpKind::Union, all: true, left, right } => {
-            (left, right)
-        }
-        _ => {
-            return Err(HyperQError::Emulation(
-                "recursive CTE body must be `seed UNION ALL recursive-step`".into(),
-            ))
-        }
+    let past::QueryBody::SetOp {
+        kind: hyperq_xtra::rel::SetOpKind::Union,
+        all: true,
+        left,
+        right,
+    } = &cte.query.body
+    else {
+        return Err(HyperQError::Emulation(
+            "recursive CTE body must be `seed UNION ALL recursive-step`".into(),
+        ));
     };
     let wrap = |body: &past::QueryBody| past::Query {
         recursive: false,

@@ -26,6 +26,9 @@
 //! * [`analyze`] — the static-analysis layer: plan validation at stage
 //!   boundaries, per-rule transformation audits, and the serializer
 //!   round-trip check, in strict / log-only / off modes,
+//! * [`conformance`] — the post-serializer sibling of [`analyze`]: a
+//!   capability-conformance lint over the exact SQL bytes sent to the
+//!   target, plus advisory anti-pattern lints over source statements,
 //! * [`recover`] — session continuity: a replay journal of target-side
 //!   session state and a reconnecting backend wrapper that restores it
 //!   transparently after a lost connection.
@@ -38,6 +41,7 @@ pub mod binder;
 pub mod builder;
 pub mod cache;
 pub mod capability;
+pub mod conformance;
 pub mod crosscompiler;
 pub mod emulate;
 pub mod error;
@@ -56,6 +60,8 @@ pub use backend::{
     Backend, BackendError, BackendErrorKind, ExecResult, InstrumentedBackend, RequestContext,
 };
 pub use capability::TargetCapabilities;
+pub use conformance::{Conformance, ConformanceMode, Finding, Severity};
+pub use emulate::{CostTier, EmulationKind};
 pub use crosscompiler::{
     HyperQ, StageTimings, StatementOutcome, StatementResult, Timings, STAGE_DURATION_METRIC,
 };

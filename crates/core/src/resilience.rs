@@ -198,8 +198,7 @@ impl CircuitBreaker {
             BreakerState::Open => {
                 let cooled = inner
                     .opened_at
-                    .map(|t| t.elapsed() >= self.config.cooldown)
-                    .unwrap_or(true);
+                    .is_none_or(|t| t.elapsed() >= self.config.cooldown);
                 if cooled {
                     self.transition(&mut inner, BreakerState::HalfOpen);
                     true

@@ -404,9 +404,7 @@ impl<'a> Serializer<'a> {
                         .map(|(i, e)| {
                             let name = schema
                                 .fields
-                                .get(i)
-                                .map(|f| f.name.clone())
-                                .unwrap_or_else(|| format!("COL{}", i + 1));
+                                .get(i).map_or_else(|| format!("COL{}", i + 1), |f| f.name.clone());
                             Ok(format!("{} AS {name}", self.expr(e)?))
                         })
                         .collect();
@@ -426,9 +424,7 @@ impl<'a> Serializer<'a> {
                                 .map(|(i, e)| {
                                     let name = schema
                                         .fields
-                                        .get(i)
-                                        .map(|f| f.name.clone())
-                                        .unwrap_or_else(|| format!("COL{}", i + 1));
+                                        .get(i).map_or_else(|| format!("COL{}", i + 1), |f| f.name.clone());
                                     Ok(format!("{} AS {name}", self.expr(e)?))
                                 })
                                 .collect();
@@ -648,7 +644,7 @@ impl<'a> Serializer<'a> {
                 let r = self.render_from_item_nested(right)?;
                 match (kind, condition) {
                     (JoinKind::Cross, None) => format!("{l} CROSS JOIN {r}"),
-                    (JoinKind::Cross, Some(c)) | (JoinKind::Inner, Some(c)) => {
+                    (JoinKind::Cross | JoinKind::Inner, Some(c)) => {
                         format!("{l} INNER JOIN {r} ON {}", self.expr(c)?)
                     }
                     (JoinKind::Inner, None) => format!("{l} CROSS JOIN {r}"),

@@ -46,8 +46,7 @@ impl Slots {
         while *in_use >= self.max {
             hyperq_governor::checkpoint().map_err(|c| c.to_string())?;
             let wait = hyperq_governor::deadline_remaining()
-                .map(|rem| rem.min(Self::POLL))
-                .unwrap_or(Self::POLL);
+                .map_or(Self::POLL, |rem| rem.min(Self::POLL));
             if wait.is_zero() {
                 // Deadline just expired: loop straight into the checkpoint.
                 continue;

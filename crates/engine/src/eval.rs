@@ -360,7 +360,7 @@ fn eval_func(func: &ScalarFunc, args: &[ScalarExpr], ctx: &mut EvalContext<'_>) 
         return Ok(Datum::Null);
     }
     if matches!(func, ScalarFunc::Concat) {
-        if vals.iter().any(|v| v.is_null()) {
+        if vals.iter().any(hyperq_xtra::Datum::is_null) {
             return Ok(Datum::Null);
         }
         let mut out = String::new();
@@ -370,7 +370,7 @@ fn eval_func(func: &ScalarFunc, args: &[ScalarExpr], ctx: &mut EvalContext<'_>) 
         return Ok(Datum::str(out));
     }
     // NULL propagation for everything else.
-    if vals.iter().any(|v| v.is_null())
+    if vals.iter().any(hyperq_xtra::Datum::is_null)
         && !matches!(func, ScalarFunc::CurrentDate | ScalarFunc::CurrentTimestamp)
     {
         return Ok(Datum::Null);
@@ -496,8 +496,7 @@ fn now_micros() -> i64 {
     use std::time::{SystemTime, UNIX_EPOCH};
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_micros() as i64)
-        .unwrap_or(0)
+        .map_or(0, |d| d.as_micros() as i64)
 }
 
 /// Accumulator for one aggregate function.

@@ -300,11 +300,10 @@ fn execute_window(
                     let mut prev: Option<&Vec<Datum>> = None;
                     for (pos, &i) in indices.iter().enumerate() {
                         let tie = prev
-                            .map(|p| {
+                            .is_some_and(|p| {
                                 compare_key_rows(p, &order_keys[i], &w.order_by)
                                     == Ordering::Equal
-                            })
-                            .unwrap_or(false);
+                            });
                         if !tie {
                             rank = pos as i64 + 1;
                             dense_rank += 1;

@@ -231,8 +231,7 @@ fn in_subquery_decorrelatable(
                 .try_resolve(qualifier.as_deref(), name)
                 .ok()
                 .flatten()
-                .map(|i| outer.fields[i].nullable)
-                .unwrap_or(true),
+                .is_none_or(|i| outer.fields[i].nullable),
             ScalarExpr::Literal(d, _) => d.is_null(),
             _ => true,
         });
@@ -287,8 +286,7 @@ fn rel_self_contained(rel: &RelExpr) -> bool {
                 && exprs.iter().all(|w| {
                     w.arg
                         .as_ref()
-                        .map(|a| refs_resolve_in_or_no_columns(a, &schema))
-                        .unwrap_or(true)
+                        .is_none_or(|a| refs_resolve_in_or_no_columns(a, &schema))
                         && w.partition_by
                             .iter()
                             .all(|p| refs_resolve_in_or_no_columns(p, &schema))
@@ -303,8 +301,7 @@ fn rel_self_contained(rel: &RelExpr) -> bool {
                 && rel_self_contained(right)
                 && condition
                     .as_ref()
-                    .map(|c| refs_resolve_in_or_no_columns(c, &combined))
-                    .unwrap_or(true)
+                    .is_none_or(|c| refs_resolve_in_or_no_columns(c, &combined))
         }
         RelExpr::Aggregate { input, group_by, aggs, .. } => {
             let schema = input.schema();

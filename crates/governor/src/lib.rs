@@ -201,7 +201,7 @@ impl CancelToken {
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// An `Instant`-anchored per-statement deadline. `limit = None` never
@@ -568,11 +568,14 @@ impl QueryGovernor {
         }
         if self.deadline.expired() {
             let limit = self.deadline.limit().unwrap_or_default();
-            self.cancel(
-                CancelReason::DeadlineExceeded,
-                format!("query deadline of {limit:?} exceeded"),
-            );
-            return Err(self.token.error().expect("just cancelled"));
+            let detail = format!("query deadline of {limit:?} exceeded");
+            self.cancel(CancelReason::DeadlineExceeded, detail.clone());
+            // The token holds whichever cancellation won the race; fall
+            // back to the deadline error rather than asserting on it.
+            return Err(self.token.error().unwrap_or(CancelError {
+                reason: CancelReason::DeadlineExceeded,
+                detail,
+            }));
         }
         Ok(())
     }

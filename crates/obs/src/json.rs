@@ -136,7 +136,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     }
     let digits = |b: &[u8], pos: &mut usize| {
         let from = *pos;
-        while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
             *pos += 1;
         }
         *pos > from

@@ -127,13 +127,13 @@ impl ObsContext {
                 let v = v.trim().to_ascii_lowercase();
                 v == "1" || v == "on" || v == "true"
             };
-            if std::env::var("HYPERQ_TRACE").map(off).unwrap_or(false) {
+            if std::env::var("HYPERQ_TRACE").is_ok_and(off) {
                 ctx.traces.set_enabled(false);
             }
-            if std::env::var("HYPERQ_PROVENANCE").map(off).unwrap_or(false) {
+            if std::env::var("HYPERQ_PROVENANCE").is_ok_and(off) {
                 ctx.provenance.set_enabled(false);
             }
-            if std::env::var("HYPERQ_RAW_SQL").map(on).unwrap_or(false) {
+            if std::env::var("HYPERQ_RAW_SQL").is_ok_and(on) {
                 ctx.provenance.set_capture_raw(true);
                 ctx.slowlog.set_capture_raw(true);
             }

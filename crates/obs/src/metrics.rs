@@ -207,20 +207,20 @@ impl MetricsRegistry {
 
     /// Read a counter's current value without creating it; 0 if absent.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
-        let map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
-        map.get(&key(name, labels)).map(|c| c.get()).unwrap_or(0)
+        let map = self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.get(&key(name, labels)).map_or(0, |c| c.get())
     }
 
     /// Render every metric in the Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (k, c) in self.counters.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+        for (k, c) in self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter() {
             out.push_str(&format!("{}{} {}\n", k.name, label_set(&k.labels, None), c.get()));
         }
-        for (k, g) in self.gauges.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+        for (k, g) in self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter() {
             out.push_str(&format!("{}{} {}\n", k.name, label_set(&k.labels, None), g.get()));
         }
-        for (k, h) in self.histograms.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+        for (k, h) in self.histograms.lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter() {
             let (buckets, overflow) = h.bucket_counts();
             let mut cumulative = 0u64;
             // Emit finite buckets up to the one covering the observed max
@@ -267,7 +267,7 @@ impl MetricsRegistry {
     /// no serde).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"counters\":[");
-        let counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        let counters = self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for (i, (k, c)) in counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -281,7 +281,7 @@ impl MetricsRegistry {
         }
         drop(counters);
         out.push_str("],\"gauges\":[");
-        let gauges = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        let gauges = self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for (i, (k, g)) in gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -295,7 +295,7 @@ impl MetricsRegistry {
         }
         drop(gauges);
         out.push_str("],\"histograms\":[");
-        let histograms = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        let histograms = self.histograms.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for (i, (k, h)) in histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');

@@ -366,7 +366,7 @@ impl ProvenanceLog {
     fn push(&self, record: ProvenanceRecord) {
         let cap = self.shard_capacity();
         let shard = &self.shards[record.trace.0 as usize % SHARDS];
-        let mut ring = shard.lock().unwrap_or_else(|p| p.into_inner());
+        let mut ring = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         while ring.len() >= cap {
             ring.pop_front();
         }
@@ -383,7 +383,7 @@ impl ProvenanceLog {
         duration: Duration,
     ) -> bool {
         let shard = &self.shards[trace.0 as usize % SHARDS];
-        let mut ring = shard.lock().unwrap_or_else(|p| p.into_inner());
+        let mut ring = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for rec in ring.iter_mut().rev() {
             if rec.trace == trace && rec.convert.is_none() {
                 rec.convert = Some(ConvertStats { rows, bytes, duration });
@@ -397,7 +397,7 @@ impl ProvenanceLog {
     pub fn snapshot(&self) -> Vec<ProvenanceRecord> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let ring = shard.lock().unwrap_or_else(|p| p.into_inner());
+            let ring = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             out.extend(ring.iter().cloned());
         }
         out.sort_by_key(|r| r.seq);
@@ -415,7 +415,7 @@ impl ProvenanceLog {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len())
             .sum()
     }
 
@@ -425,7 +425,7 @@ impl ProvenanceLog {
 
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().unwrap_or_else(|p| p.into_inner()).clear();
+            shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
         }
     }
 }

@@ -64,8 +64,7 @@ impl Default for SlowQueryLog {
 impl SlowQueryLog {
     pub fn set_threshold(&self, threshold: Option<Duration>) {
         let micros = threshold
-            .map(|d| (d.as_micros().min(u64::MAX as u128) as u64).max(1))
-            .unwrap_or(0);
+            .map_or(0, |d| (d.as_micros().min(u64::MAX as u128) as u64).max(1));
         self.threshold_micros.store(micros, Ordering::Relaxed);
     }
 
@@ -125,7 +124,7 @@ impl SlowQueryLog {
             total,
             spans: traces.render_tree(trace),
         };
-        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let mut ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -134,12 +133,12 @@ impl SlowQueryLog {
     }
 
     pub fn entries(&self) -> Vec<SlowQueryEntry> {
-        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         ring.iter().cloned().collect()
     }
 
     pub fn clear(&self) {
-        self.ring.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 }
 

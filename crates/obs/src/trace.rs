@@ -91,9 +91,9 @@ impl TraceSink {
     /// one joins that trace as a child; otherwise it roots a fresh trace.
     pub fn enter(&self, name: &'static str) -> Span<'_> {
         let (trace, parent) = SPAN_STACK.with(|s| {
-            s.borrow().last().map(|&(t, id)| (t, Some(id))).unwrap_or_else(|| {
+            s.borrow().last().map_or_else(|| {
                 (TraceId(self.fresh_id()), None)
-            })
+            }, |&(t, id)| (t, Some(id)))
         });
         self.open(trace, parent, name)
     }
@@ -155,7 +155,7 @@ impl TraceSink {
         if !self.is_enabled() {
             return;
         }
-        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let mut ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -165,18 +165,18 @@ impl TraceSink {
     /// All buffered spans for a trace, in completion order (children finish
     /// before their parents).
     pub fn spans_for(&self, trace: TraceId) -> Vec<SpanRecord> {
-        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         ring.iter().filter(|r| r.trace == trace).cloned().collect()
     }
 
     /// The most recent `n` spans across all traces.
     pub fn recent(&self, n: usize) -> Vec<SpanRecord> {
-        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         ring.iter().rev().take(n).cloned().collect()
     }
 
     pub fn clear(&self) {
-        self.ring.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 
     /// Render the span tree of a trace as an indented text outline —

@@ -322,9 +322,8 @@ impl Parser {
             }
             "INTERVAL" if matches!(self.peek_at(1), Token::StringLit(_)) => {
                 self.advance();
-                let value = match self.advance() {
-                    Token::StringLit(s) => s,
-                    _ => unreachable!("peeked string literal"),
+                let Token::StringLit(value) = self.advance() else {
+                    unreachable!("peeked string literal");
                 };
                 let unit = if self.consume_kw("YEAR") {
                     IntervalUnit::Year

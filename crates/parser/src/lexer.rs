@@ -25,9 +25,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
     while i < bytes.len() {
         // Decode the full character at this position (the input is UTF-8;
         // treating a continuation byte as a char would split sequences).
-        let c = match input[i..].chars().next() {
-            Some(c) => c,
-            None => break,
+        let Some(c) = input[i..].chars().next() else {
+            break;
         };
         let start = i;
         match c {

@@ -35,7 +35,7 @@ mod select;
 
 pub use dialect::Dialect;
 pub use error::ParseError;
-pub use parser::{parse_one, parse_statements, ParsedStatement};
+pub use parser::{parse_one, parse_statements, ParsedStatement, StmtSpan};
 
 #[cfg(test)]
 mod tests;

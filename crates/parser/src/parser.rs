@@ -13,6 +13,29 @@ use crate::error::ParseError;
 use crate::lexer::tokenize;
 use crate::token::{Spanned, Token};
 
+/// Byte range (plus starting line) of one statement within its source
+/// script. Offsets index the *original* input, so diagnostics and lint
+/// findings can point at the exact source slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StmtSpan {
+    /// Byte offset of the statement's first token.
+    pub start: usize,
+    /// Byte offset one past the statement's last token.
+    pub end: usize,
+    /// 1-based line of the statement's first token.
+    pub line: u32,
+}
+
+impl StmtSpan {
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
 /// A parsed statement together with the tracked features the parser
 /// observed in it. Binder and transformer add their own observations later;
 /// the union feeds the Figure 8 instrumentation.
@@ -22,6 +45,8 @@ pub struct ParsedStatement {
     pub features: FeatureSet,
     /// Source text of the statement (trimmed slice of the input script).
     pub text: String,
+    /// Where the statement sits in the source script.
+    pub span: StmtSpan,
 }
 
 /// Parse a semicolon-separated script into statements.
@@ -35,12 +60,14 @@ pub fn parse_statements(sql: &str, dialect: Dialect) -> Result<Vec<ParsedStateme
         }
         p.features = FeatureSet::new();
         let start = p.current_offset();
+        let line = p.line();
         let stmt = p.parse_statement()?;
         let end = p.current_offset();
         out.push(ParsedStatement {
             stmt,
             features: p.features.clone(),
             text: sql[start..end.max(start)].trim().to_string(),
+            span: StmtSpan { start, end: end.max(start), line },
         });
         if !p.peek_is(&Token::Semicolon) && !p.peek_is(&Token::Eof) {
             return Err(p.err("expected ';' or end of input after statement"));

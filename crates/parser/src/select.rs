@@ -208,7 +208,7 @@ impl Parser {
                     self.record(Feature::NonAnsiWindowSyntax);
                 }
             }
-            if max_slot.map(|p| (p as u8) < (slot as u8)).unwrap_or(true) {
+            if max_slot.is_none_or(|p| (p as u8) < (slot as u8)) {
                 max_slot = Some(slot);
             }
             match slot {

@@ -42,8 +42,7 @@ impl Credentials {
         self.users
             .iter()
             .find(|(u, _)| u.eq_ignore_ascii_case(user))
-            .map(|(_, p)| digest(p, salt) == presented)
-            .unwrap_or(false)
+            .is_some_and(|(_, p)| digest(p, salt) == presented)
     }
 }
 
@@ -55,8 +54,7 @@ pub fn fresh_salt() -> u64 {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let t = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_nanos() as u64);
     t ^ COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
 }
 

@@ -186,14 +186,14 @@ pub fn convert(
                         // A cancelled statement stops dispatching further
                         // batches; already-finished ones are discarded by
                         // the error below.
-                        let r = match gov_ref.map(|g| g.checkpoint()) {
+                        let r = match gov_ref.map(hyperq_governor::QueryGovernor::checkpoint) {
                             Some(Err(c)) => Err(c.to_string()),
                             _ => convert_batch(&batches[i]),
                         };
                         results_mutex.lock()[i] = Some(r);
                     });
                 }
-            })
+            });
         }))
         .map_err(|_| "converter worker panicked".to_string())?;
         results
@@ -379,8 +379,7 @@ mod tests {
             .unwrap()
             .filter(|e| {
                 e.as_ref()
-                    .map(|e| e.file_name().to_string_lossy().starts_with("hyperq_spill_"))
-                    .unwrap_or(false)
+                    .is_ok_and(|e| e.file_name().to_string_lossy().starts_with("hyperq_spill_"))
             })
             .count();
         let result = convert(
@@ -399,8 +398,7 @@ mod tests {
             .unwrap()
             .filter(|e| {
                 e.as_ref()
-                    .map(|e| e.file_name().to_string_lossy().starts_with("hyperq_spill_"))
-                    .unwrap_or(false)
+                    .is_ok_and(|e| e.file_name().to_string_lossy().starts_with("hyperq_spill_"))
             })
             .count();
         assert!(after <= before, "spill files must be cleaned up");

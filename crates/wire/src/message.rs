@@ -265,7 +265,7 @@ pub fn encode_client_row(row: &Row, schema: &Schema) -> Vec<u8> {
                 buf.put_u8(d.scale);
             }
             (Datum::Date(days), _) => {
-                buf.put_i32_le(hyperq_xtra::datum::teradata_int_from_date(*days) as i32)
+                buf.put_i32_le(hyperq_xtra::datum::teradata_int_from_date(*days) as i32);
             }
             (Datum::Timestamp(t), _) => buf.put_i64_le(*t),
             (Datum::Interval(iv), _) => {

@@ -129,9 +129,8 @@ fn serve_one(
         }
     }
     let mut parts = request_line.split_whitespace();
-    let (method, target) = match (parts.next(), parts.next()) {
-        (Some(m), Some(t)) => (m, t),
-        _ => return respond(stream, "400 Bad Request", "text/plain", "bad request\n"),
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return respond(stream, "400 Bad Request", "text/plain", "bad request\n");
     };
     if method != "GET" {
         return respond(

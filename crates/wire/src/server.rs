@@ -17,7 +17,8 @@ use hyperq_core::backend::Backend;
 use hyperq_core::capability::TargetCapabilities;
 use hyperq_core::resilience::{ResilienceConfig, ResilientBackend};
 use hyperq_core::{
-    AnalyzeMode, CacheConfig, HyperQ, HyperQBuilder, HyperQError, ObsContext, TranslationCache,
+    AnalyzeMode, CacheConfig, ConformanceMode, HyperQ, HyperQBuilder, HyperQError, ObsContext,
+    TranslationCache,
     TXN_ABORT_MESSAGE,
 };
 use hyperq_governor::{CancelReason, GovernorConfig, GovernorRegistry, QueryGovernor};
@@ -108,6 +109,9 @@ pub struct GatewayConfig {
     /// defaults to `LogOnly`: violations are counted in the metrics
     /// registry but never fail live traffic. CI and tests run `Strict`.
     pub analyze: AnalyzeMode,
+    /// Capability-conformance lint mode over serialized SQL for every
+    /// session's pipeline, same Off/LogOnly/Strict ladder as `analyze`.
+    pub conformance: ConformanceMode,
     /// Admission queueing in front of the connection cap (and optionally a
     /// statement-concurrency cap): excess work waits in a bounded FIFO for
     /// up to `admission_timeout` before being shed with a distinct wire
@@ -140,6 +144,7 @@ impl Default for GatewayConfig {
             drain_timeout: Duration::ZERO,
             resilience: Some(ResilienceConfig::default()),
             analyze: AnalyzeMode::LogOnly,
+            conformance: ConformanceMode::LogOnly,
             admission: Some(AdmissionConfig::default()),
             cache: Some(CacheConfig::default()),
             obs_http: None,
@@ -602,7 +607,8 @@ impl Gateway {
 
         let mut builder =
             HyperQBuilder::new(Arc::clone(&self.backend), self.config.capabilities.clone())
-                .analyze(self.config.analyze);
+                .analyze(self.config.analyze)
+                .conformance(self.config.conformance);
         builder = match &self.cache {
             Some(cache) => builder.shared_cache(Arc::clone(cache)),
             None => builder.no_cache(),

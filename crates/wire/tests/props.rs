@@ -81,7 +81,7 @@ proptest! {
                 match (x, y) {
                     // Doubles survive bit-exactly.
                     (Datum::Double(p), Datum::Double(q)) => {
-                        prop_assert_eq!(p.to_bits(), q.to_bits())
+                        prop_assert_eq!(p.to_bits(), q.to_bits());
                     }
                     _ => prop_assert_eq!(x, y),
                 }
@@ -117,7 +117,7 @@ proptest! {
             for (x, y) in row.iter().zip(back.iter()) {
                 match (x, y) {
                     (Datum::Double(p), Datum::Double(q)) => {
-                        prop_assert_eq!(p.to_bits(), q.to_bits())
+                        prop_assert_eq!(p.to_bits(), q.to_bits());
                     }
                     _ => prop_assert_eq!(x, y),
                 }

@@ -343,13 +343,11 @@ mod tests {
     fn lineitem_dates_consistent() {
         let d = generate(0.001, 9);
         for row in d.lineitem.iter().take(100) {
-            let ship = match row[10] {
-                Datum::Date(d) => d,
-                _ => panic!(),
+            let Datum::Date(ship) = row[10] else {
+                panic!();
             };
-            let receipt = match row[12] {
-                Datum::Date(d) => d,
-                _ => panic!(),
+            let Datum::Date(receipt) = row[12] else {
+                panic!();
             };
             assert!(receipt > ship);
         }

@@ -75,9 +75,7 @@ impl TableDef {
     /// The schema exposed when this table is scanned under `alias` (or its
     /// own unqualified name).
     pub fn schema(&self, alias: Option<&str>) -> Schema {
-        let qualifier = alias
-            .map(str::to_string)
-            .unwrap_or_else(|| self.base_name().to_string());
+        let qualifier = alias.map_or_else(|| self.base_name().to_string(), str::to_string);
         Schema::new(
             self.columns
                 .iter()

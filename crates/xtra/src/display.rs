@@ -260,7 +260,7 @@ fn expr_node(expr: &ScalarExpr) -> TreeNode {
             TreeNode::node(if *negated { "subq(NOT IN)" } else { "subq(IN)" }, children)
         }
         ScalarExpr::QuantifiedCmp { left, op, quantifier, subquery } => {
-            let cols: Vec<String> = left.iter().map(|e| e.to_string()).collect();
+            let cols: Vec<String> = left.iter().map(std::string::ToString::to_string).collect();
             let mut children = vec![rel_node(subquery)];
             children.push(TreeNode::node(
                 "list",

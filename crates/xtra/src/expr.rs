@@ -289,7 +289,7 @@ impl WindowExpr {
                 SqlType::Integer
             }
             WindowFuncKind::Agg(agg) => {
-                agg_result_type(*agg, self.arg.as_ref().map(|a| a.ty()))
+                agg_result_type(*agg, self.arg.as_ref().map(ScalarExpr::ty))
             }
         }
     }
@@ -545,10 +545,10 @@ impl ScalarExpr {
                     SqlType::Integer
                 }
                 ScalarFunc::Coalesce | ScalarFunc::NullIf => {
-                    args.first().map(|a| a.ty()).unwrap_or(SqlType::Unknown)
+                    args.first().map_or(SqlType::Unknown, ScalarExpr::ty)
                 }
                 ScalarFunc::Abs | ScalarFunc::Round | ScalarFunc::Floor | ScalarFunc::Ceil => {
-                    args.first().map(|a| a.ty()).unwrap_or(SqlType::Unknown)
+                    args.first().map_or(SqlType::Unknown, ScalarExpr::ty)
                 }
                 ScalarFunc::Sqrt | ScalarFunc::Exp | ScalarFunc::Ln | ScalarFunc::Power => {
                     SqlType::Double
@@ -566,8 +566,7 @@ impl ScalarExpr {
                 .schema()
                 .fields
                 .first()
-                .map(|f| f.ty.clone())
-                .unwrap_or(SqlType::Unknown),
+                .map_or(SqlType::Unknown, |f| f.ty.clone()),
         }
     }
 
@@ -616,7 +615,7 @@ impl ScalarExpr {
                 }
             }
             ScalarExpr::Cast { expr, .. } | ScalarExpr::Extract { expr, .. } => {
-                expr.visit(exprv, relv)
+                expr.visit(exprv, relv);
             }
             ScalarExpr::Func { args, .. } => {
                 for a in args {
@@ -918,7 +917,7 @@ impl ScalarExpr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             ScalarExpr::Neg(e) | ScalarExpr::Not(e) => e.contains_aggregate(),
-            ScalarExpr::BoolExpr { args, .. } => args.iter().any(|a| a.contains_aggregate()),
+            ScalarExpr::BoolExpr { args, .. } => args.iter().any(ScalarExpr::contains_aggregate),
             ScalarExpr::IsNull { expr, .. }
             | ScalarExpr::Cast { expr, .. }
             | ScalarExpr::Extract { expr, .. } => expr.contains_aggregate(),
@@ -926,27 +925,26 @@ impl ScalarExpr {
                 expr.contains_aggregate() || pattern.contains_aggregate()
             }
             ScalarExpr::InList { expr, list, .. } => {
-                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+                expr.contains_aggregate() || list.iter().any(ScalarExpr::contains_aggregate)
             }
             ScalarExpr::Between { expr, low, high, .. } => {
                 expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
             }
             ScalarExpr::Case { operand, branches, else_expr } => {
-                operand.as_ref().map(|o| o.contains_aggregate()).unwrap_or(false)
+                operand.as_ref().is_some_and(|o| o.contains_aggregate())
                     || branches
                         .iter()
                         .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
                     || else_expr
                         .as_ref()
-                        .map(|e| e.contains_aggregate())
-                        .unwrap_or(false)
+                        .is_some_and(|e| e.contains_aggregate())
             }
-            ScalarExpr::Func { args, .. } => args.iter().any(|a| a.contains_aggregate()),
+            ScalarExpr::Func { args, .. } => args.iter().any(ScalarExpr::contains_aggregate),
             ScalarExpr::InSubquery { exprs, .. } => {
-                exprs.iter().any(|e| e.contains_aggregate())
+                exprs.iter().any(ScalarExpr::contains_aggregate)
             }
             ScalarExpr::QuantifiedCmp { left, .. } => {
-                left.iter().any(|e| e.contains_aggregate())
+                left.iter().any(ScalarExpr::contains_aggregate)
             }
         }
     }

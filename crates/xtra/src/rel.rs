@@ -189,8 +189,7 @@ impl RelExpr {
                                     .try_resolve(qualifier.as_deref(), name)
                                     .ok()
                                     .flatten()
-                                    .map(|i| input_schema.fields[i].nullable)
-                                    .unwrap_or(true),
+                                    .is_none_or(|i| input_schema.fields[i].nullable),
                                 ScalarExpr::Literal(d, _) => d.is_null(),
                                 _ => true,
                             },

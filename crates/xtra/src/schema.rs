@@ -18,7 +18,7 @@ pub struct Field {
 impl Field {
     pub fn new(qualifier: Option<&str>, name: &str, ty: SqlType, nullable: bool) -> Self {
         Field {
-            qualifier: qualifier.map(|s| s.to_string()),
+            qualifier: qualifier.map(std::string::ToString::to_string),
             name: name.to_string(),
             ty,
             nullable,
@@ -35,8 +35,7 @@ impl Field {
             Some(q) => self
                 .qualifier
                 .as_deref()
-                .map(|fq| fq.eq_ignore_ascii_case(q))
-                .unwrap_or(false),
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
         }
     }
 }
@@ -134,9 +133,7 @@ impl Schema {
                 .enumerate()
                 .map(|(i, f)| Field {
                     qualifier: Some(alias.to_string()),
-                    name: column_names
-                        .map(|n| n[i].clone())
-                        .unwrap_or_else(|| f.name.clone()),
+                    name: column_names.map_or_else(|| f.name.clone(), |n| n[i].clone()),
                     ty: f.ty.clone(),
                     nullable: f.nullable,
                 })

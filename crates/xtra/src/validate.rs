@@ -488,8 +488,7 @@ impl Walker<'_> {
                 g.name.eq_ignore_ascii_case(&f.name)
                     && g.qualifier
                         .as_deref()
-                        .map(|gq| gq.eq_ignore_ascii_case(q))
-                        .unwrap_or(false)
+                        .is_some_and(|gq| gq.eq_ignore_ascii_case(q))
             });
             if dup {
                 self.push(
@@ -537,7 +536,7 @@ impl Walker<'_> {
                 }
             }
             ScalarExpr::Neg(inner) | ScalarExpr::Not(inner) => {
-                self.expr(inner, scope, op, allow_agg)
+                self.expr(inner, scope, op, allow_agg);
             }
             ScalarExpr::Cmp { left, right, .. } => {
                 self.expr(left, scope, op, allow_agg);
@@ -585,7 +584,7 @@ impl Walker<'_> {
                 }
             }
             ScalarExpr::Cast { expr, .. } | ScalarExpr::Extract { expr, .. } => {
-                self.expr(expr, scope, op, allow_agg)
+                self.expr(expr, scope, op, allow_agg);
             }
             ScalarExpr::Func { args, .. } => {
                 for a in args {

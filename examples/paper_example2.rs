@@ -48,9 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = ShadowCatalog::new(&*backend, &session);
     let mut binder = Binder::new(&catalog);
     let plan = binder.bind_statement(&parsed.stmt)?;
-    let rel = match &plan {
-        Plan::Query(rel) => rel,
-        _ => unreachable!("Example 2 is a query"),
+    let Plan::Query(rel) = &plan else {
+        unreachable!("Example 2 is a query");
     };
     println!("\n── XTRA after binding (cf. Figure 5) ────────────────────────────");
     print!("{}", render_rel(rel));

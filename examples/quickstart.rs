@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("  {}", names.join(" | "));
     for row in &outcome.result.rows {
-        let values: Vec<String> = row.iter().map(|v| v.to_sql_string()).collect();
+        let values: Vec<String> = row.iter().map(hyperq::xtra::datum::Datum::to_sql_string).collect();
         println!("  {}", values.join(" | "));
     }
     println!();

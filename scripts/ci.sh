@@ -5,9 +5,16 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-cargo clippy --offline --workspace --all-targets -- -D warnings
+# Lint gate: warnings plus a promoted slice of clippy's pedantic group.
+cargo clippy --offline --workspace --all-targets -- -D warnings \
+    -D clippy::semicolon_if_nothing_returned \
+    -D clippy::redundant_closure_for_method_calls \
+    -D clippy::map_unwrap_or \
+    -D clippy::manual_let_else \
+    -D clippy::explicit_iter_loop \
+    -D clippy::unnested_or_patterns
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
-cargo build --offline --release
+cargo build --offline --release --workspace
 cargo test -q --offline --workspace
 
 # Fault-injection suites explicitly (retry/backoff, deadlines, breaker,
@@ -64,6 +71,43 @@ cargo test -q --offline -p hyperq-governor
 cargo test -q --offline --test cancel
 cargo test -q --offline --test soak cancel_soak
 
+# Static workload assessment + capability conformance: assessor unit and
+# report-snapshot suites, the differential oracle (assessor verdicts must
+# agree with live pipeline behavior statement by statement over TPC-H and
+# both customer corpora), and the conformance lint suite (Strict-clean
+# corpora, reduced-signature attribution, span validity, verdict
+# property).
+cargo test -q --offline -p hyperq-assess
+cargo test -q --offline -p hyperq-core conformance
+cargo test -q --offline --test assess_oracle
+cargo test -q --offline --test conformance
+
+# The hyperq-assess CLI reports over the built-in corpora must match the
+# committed golden snapshots byte for byte (the report format is
+# deliberately byte-stable so drift is an intentional, reviewed change).
+for corpus in tpch health telco; do
+    target/release/hyperq-assess --corpus "$corpus" \
+        | diff -u "tests/snapshots/assess_$corpus.txt" - || {
+        echo "hyperq-assess --corpus $corpus drifted from its golden snapshot" >&2
+        exit 1
+    }
+done
+
+# Production-path panic hygiene: no `.unwrap()` / `.expect(` in non-test
+# code of the gateway-facing crates (wire, governor). The awk strips
+# everything from the first `#[cfg(test)]` module onward.
+for src in crates/wire/src crates/governor/src; do
+    offenders=$(find "$src" -name '*.rs' -exec awk '
+        /#\[cfg\(test\)\]/ { intest = 1 }
+        !intest && /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }
+    ' {} \;)
+    if [ -n "$offenders" ]; then
+        echo "unwrap/expect in non-test code under $src:" >&2
+        echo "$offenders" >&2
+        exit 1
+    fi
+done
+
 # Every registered hyperq_* metric family must be documented in the
 # DESIGN.md inventory table. Pull quoted family-name literals out of the
 # source (suffix-filtered: spill-file name prefixes and other non-metric
@@ -85,7 +129,7 @@ done
 for lib in src/lib.rs crates/xtra/src/lib.rs crates/parser/src/lib.rs \
     crates/core/src/lib.rs crates/engine/src/lib.rs crates/wire/src/lib.rs \
     crates/workload/src/lib.rs crates/obs/src/lib.rs crates/bench/src/lib.rs \
-    crates/governor/src/lib.rs; do
+    crates/governor/src/lib.rs crates/assess/src/lib.rs; do
     grep -q '#!\[forbid(unsafe_code)\]' "$lib" || {
         echo "missing #![forbid(unsafe_code)] in $lib" >&2
         exit 1

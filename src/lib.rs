@@ -30,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use hyperq_assess as assess;
 pub use hyperq_core as core;
 pub use hyperq_governor as governor;
 pub use hyperq_obs as obs;

@@ -44,7 +44,7 @@ fn setup(sales: Vec<Row>, history: Vec<Row>) -> (HyperQ, Arc<EngineDb>) {
 fn sorted(mut rows: Vec<Row>) -> Vec<Vec<String>> {
     let mut out: Vec<Vec<String>> = rows
         .drain(..)
-        .map(|r| r.iter().map(|v| v.to_sql_string()).collect())
+        .map(|r| r.iter().map(Datum::to_sql_string).collect())
         .collect();
     out.sort();
     out
@@ -163,7 +163,7 @@ proptest! {
         // And the count equals the number of distinct rows.
         let distinct: std::collections::HashSet<Vec<String>> = history
             .iter()
-            .map(|r| r.iter().map(|v| v.to_sql_string()).collect())
+            .map(|r| r.iter().map(Datum::to_sql_string).collect())
             .collect();
         prop_assert_eq!(first as usize, distinct.len());
     }

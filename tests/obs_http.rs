@@ -204,7 +204,7 @@ fn http_cancel_kills_live_query_when_enabled() {
         let (_, body) = get(obs_addr, "/queries");
         if let Some(pos) = body.find("\"id\":") {
             let digits: String =
-                body[pos + 5..].chars().take_while(|c| c.is_ascii_digit()).collect();
+                body[pos + 5..].chars().take_while(char::is_ascii_digit).collect();
             if !digits.is_empty() {
                 break digits.parse::<u64>().unwrap();
             }

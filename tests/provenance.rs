@@ -233,13 +233,13 @@ fn figure8_report_matches_tracker_and_generator_tags() {
             let has = |prefix: char| record.features.iter().any(|c| c.starts_with(prefix));
             match class {
                 QueryClass::Translation => {
-                    assert!(has('T'), "translation query without T feature: {}", record.sql)
+                    assert!(has('T'), "translation query without T feature: {}", record.sql);
                 }
                 QueryClass::Transformation => {
-                    assert!(has('X'), "transformation query without X feature: {}", record.sql)
+                    assert!(has('X'), "transformation query without X feature: {}", record.sql);
                 }
                 QueryClass::Emulation => {
-                    assert!(has('E'), "emulation query without E feature: {}", record.sql)
+                    assert!(has('E'), "emulation query without E feature: {}", record.sql);
                 }
                 QueryClass::Plain => assert!(
                     record.features.is_empty(),

@@ -187,9 +187,8 @@ fn connections_over_the_cap_are_rejected_gracefully() {
     let mut first = Client::connect(handle.addr, "APP", "secret").unwrap();
     first.run("SEL COUNT(*) FROM SALES").unwrap();
 
-    let err = match Client::connect(handle.addr, "APP", "secret") {
-        Err(e) => e,
-        Ok(_) => panic!("second connection must be rejected at capacity"),
+    let Err(err) = Client::connect(handle.addr, "APP", "secret") else {
+        panic!("second connection must be rejected at capacity");
     };
     assert!(err.to_string().contains("capacity"), "{err}");
     assert!(err.to_string().contains("[3134]"), "hard reject keeps its own code: {err}");
@@ -270,9 +269,8 @@ fn queued_connection_sheds_with_distinct_code_after_admission_timeout() {
     // Second connection queues, waits out the admission timeout, and is
     // shed with the timeout code — not the instant hard reject.
     let t0 = std::time::Instant::now();
-    let err = match Client::connect(handle.addr, "APP", "secret") {
-        Err(e) => e,
-        Ok(_) => panic!("second connection must be shed after the admission timeout"),
+    let Err(err) = Client::connect(handle.addr, "APP", "secret") else {
+        panic!("second connection must be shed after the admission timeout");
     };
     assert!(t0.elapsed() >= timeout, "shed before admission_timeout elapsed: {err}");
     assert!(err.to_string().contains("[3135]"), "timeout shed carries its own code: {err}");
@@ -284,9 +282,8 @@ fn queued_connection_sheds_with_distinct_code_after_admission_timeout() {
     let queued = std::thread::spawn(move || Client::connect(addr, "APP", "secret"));
     std::thread::sleep(Duration::from_millis(50));
     let t0 = std::time::Instant::now();
-    let err = match Client::connect(handle.addr, "APP", "secret") {
-        Err(e) => e,
-        Ok(_) => panic!("third connection must be shed queue-full"),
+    let Err(err) = Client::connect(handle.addr, "APP", "secret") else {
+        panic!("third connection must be shed queue-full");
     };
     assert!(err.to_string().contains("[3136]"), "queue-full shed carries its own code: {err}");
     assert!(t0.elapsed() < timeout, "queue-full shed must not wait out the timeout");

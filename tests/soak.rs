@@ -142,10 +142,10 @@ fn normalize(name: &str) -> String {
         if bytes[i] == b'_'
             && i + 2 < bytes.len() + 1
             && bytes.get(i + 1) == Some(&b'S')
-            && bytes.get(i + 2).is_some_and(|c| c.is_ascii_digit())
+            && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
         {
             let mut j = i + 2;
-            while bytes.get(j).is_some_and(|c| c.is_ascii_digit()) {
+            while bytes.get(j).is_some_and(u8::is_ascii_digit) {
                 j += 1;
             }
             out.push_str("_S#");
@@ -415,7 +415,7 @@ fn overload_soak_sheds_cleanly_and_serves_survivors_identically() {
     solo.logoff().unwrap();
     for t in &served {
         assert_eq!(t.len(), 3);
-        for one in t.iter() {
+        for one in *t {
             assert_eq!(one, &baseline);
         }
     }

@@ -147,9 +147,8 @@ fn q1_matches_direct_rust_computation() {
     }
     let mut groups: BTreeMap<(String, String), Acc> = BTreeMap::new();
     for row in &data.lineitem {
-        let shipdate = match row[10] {
-            Datum::Date(d) => d,
-            _ => panic!(),
+        let Datum::Date(shipdate) = row[10] else {
+            panic!();
         };
         if shipdate > cutoff {
             continue;

@@ -46,9 +46,8 @@ fn logon_and_query_round_trip() {
 #[test]
 fn wrong_password_rejected() {
     let (handle, _db) = gateway();
-    let err = match Client::connect(handle.addr, "APP", "wrong") {
-        Err(e) => e,
-        Ok(_) => panic!("wrong password must be rejected"),
+    let Err(err) = Client::connect(handle.addr, "APP", "wrong") else {
+        panic!("wrong password must be rejected");
     };
     assert!(err.to_string().contains("logon"), "{err}");
     handle.shutdown();
