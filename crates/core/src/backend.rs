@@ -450,6 +450,11 @@ pub mod testing {
         /// `needle` (case-insensitive) — kills a specific step of a
         /// multi-statement emulation sequence.
         KillOnSqlMatch { needle: String, remaining: u64, kind: BackendErrorKind },
+        /// Fail exactly the in-scope calls whose 1-based sequence numbers
+        /// are in `calls` — an explicit per-replica kill schedule, so a
+        /// multi-replica soak can target individual replicas with
+        /// deterministic, uncorrelated fault timelines.
+        KillList { calls: std::collections::BTreeSet<u64>, seen: u64, kind: BackendErrorKind },
     }
 
     /// Which requests a fault schedule may hit, by replay-safety context.
@@ -481,6 +486,10 @@ pub mod testing {
         pub mode: FaultMode,
         /// Injected before every call (models a slow target).
         pub latency: Duration,
+        /// Seeded per-call latency jitter: each call additionally sleeps a
+        /// uniform duration in `[0, max]` drawn from a deterministic
+        /// generator (models per-replica response-time skew).
+        pub latency_jitter: Option<(StdRng, Duration)>,
         /// Which calls the mode may fault (default: all).
         pub scope: FaultScope,
     }
@@ -491,7 +500,12 @@ pub mod testing {
         }
 
         fn with_mode(mode: FaultMode) -> FaultPlan {
-            FaultPlan { mode, latency: Duration::ZERO, scope: FaultScope::All }
+            FaultPlan {
+                mode,
+                latency: Duration::ZERO,
+                latency_jitter: None,
+                scope: FaultScope::All,
+            }
         }
 
         /// Fail the first `n` calls with `kind`, then succeed.
@@ -532,9 +546,40 @@ pub mod testing {
             })
         }
 
+        /// Kill the connection on exactly the given 1-based in-scope call
+        /// numbers (duplicates collapse; order is irrelevant).
+        pub fn kill_at(calls: impl IntoIterator<Item = u64>) -> FaultPlan {
+            FaultPlan::with_mode(FaultMode::KillList {
+                calls: calls.into_iter().collect(),
+                seen: 0,
+                kind: BackendErrorKind::ConnectionLost,
+            })
+        }
+
+        /// A seeded kill schedule: each of the first `horizon` in-scope
+        /// calls is killed independently with probability `rate`, with the
+        /// whole schedule drawn up front from a deterministic generator.
+        /// Distinct seeds give distinct replicas uncorrelated fault
+        /// timelines that replay identically run over run.
+        pub fn seeded_kills(seed: u64, rate: f64, horizon: u64) -> FaultPlan {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let calls = (1..=horizon).filter(|_| rng.gen_bool(rate)).collect();
+            FaultPlan::with_mode(FaultMode::KillList {
+                calls,
+                seen: 0,
+                kind: BackendErrorKind::ConnectionLost,
+            })
+        }
+
         /// Add per-call latency injection to this plan.
         pub fn with_latency(mut self, latency: Duration) -> FaultPlan {
             self.latency = latency;
+            self
+        }
+
+        /// Add seeded uniform latency jitter in `[0, max]` per call.
+        pub fn with_seeded_latency(mut self, seed: u64, max: Duration) -> FaultPlan {
+            self.latency_jitter = Some((StdRng::seed_from_u64(seed), max));
             self
         }
 
@@ -603,6 +648,12 @@ pub mod testing {
             if !plan.latency.is_zero() {
                 std::thread::sleep(plan.latency);
             }
+            if let Some((rng, max)) = plan.latency_jitter.as_mut() {
+                if !max.is_zero() {
+                    let nanos = rng.gen_range(0..=u64::try_from(max.as_nanos()).unwrap_or(u64::MAX));
+                    std::thread::sleep(Duration::from_nanos(nanos));
+                }
+            }
             if !plan.scope.matches(ctx) {
                 return None;
             }
@@ -632,6 +683,10 @@ pub mod testing {
                     } else {
                         None
                     }
+                }
+                FaultMode::KillList { calls, seen, kind } => {
+                    *seen += 1;
+                    calls.contains(seen).then_some(*kind)
                 }
             }
         }

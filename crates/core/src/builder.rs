@@ -22,6 +22,7 @@ use crate::conformance::ConformanceMode;
 use crate::crosscompiler::{BuildSpec, HyperQ, StatementResult};
 use crate::error::{HyperQError, Result};
 use crate::recover::RecoverConfig;
+use crate::replicate::{ReplicaConfig, ReplicatedBackend};
 
 enum CacheChoice {
     /// A private cache with default configuration (the default: caching is
@@ -53,6 +54,8 @@ pub struct HyperQBuilder {
     recover: RecoverConfig,
     dml_batching: bool,
     provenance: Option<ProvenanceConfig>,
+    replicas: Vec<Arc<dyn Backend>>,
+    replica_config: ReplicaConfig,
 }
 
 impl HyperQBuilder {
@@ -67,7 +70,22 @@ impl HyperQBuilder {
             recover: RecoverConfig::default(),
             dml_batching: true,
             provenance: None,
+            replicas: Vec::new(),
+            replica_config: ReplicaConfig::default(),
         }
+    }
+
+    /// Run against a replicated warehouse: the primary backend becomes
+    /// replica `r0` and each entry of `replicas` an additional replica.
+    /// Reads load-balance, writes broadcast, fenced replicas self-heal via
+    /// the write-repair journal, and a background health prober runs at
+    /// `config.probe_interval` (set it to zero to drive
+    /// [`ReplicatedBackend::probe_and_repair`] manually). An empty
+    /// `replicas` keeps the plain single-backend stack.
+    pub fn replicas(mut self, replicas: Vec<Arc<dyn Backend>>, config: ReplicaConfig) -> Self {
+        self.replicas = replicas;
+        self.replica_config = config;
+        self
     }
 
     /// Report into the given observability context instead of the
@@ -147,8 +165,25 @@ impl HyperQBuilder {
             CacheChoice::Config(cfg) => Some(Arc::new(TranslationCache::new(cfg, &obs))),
             CacheChoice::Shared(cache) => Some(cache),
         };
+        let (backend, replication, prober) = if self.replicas.is_empty() {
+            (self.backend, None, None)
+        } else {
+            let mut set: Vec<Arc<dyn Backend>> = vec![self.backend];
+            set.extend(self.replicas);
+            let spawn_prober = !self.replica_config.probe_interval.is_zero();
+            match ReplicatedBackend::with_config(set, self.replica_config, &obs) {
+                Ok(rep) => {
+                    let rep = Arc::new(rep);
+                    let prober = spawn_prober.then(|| rep.spawn_prober());
+                    (Arc::clone(&rep) as Arc<dyn Backend>, Some(rep), prober)
+                }
+                // `with_config` only fails on an empty set, and `set`
+                // always holds the primary.
+                Err(_) => unreachable!("replica set always contains the primary backend"),
+            }
+        };
         HyperQ::from_spec(BuildSpec {
-            backend: self.backend,
+            backend,
             caps: self.caps,
             obs,
             analyze: self.analyze,
@@ -156,6 +191,8 @@ impl HyperQBuilder {
             cache,
             recover: self.recover,
             dml_batching: self.dml_batching,
+            replication,
+            prober,
         })
     }
 }

@@ -145,6 +145,12 @@ pub struct HyperQ {
     /// FNV-1a signature of the capability profile, precomputed for the
     /// cache-key context hash.
     caps_sig: u64,
+    /// The replica set behind this session's backend stack, when built via
+    /// `HyperQBuilder::replicas` (exposed for health snapshots).
+    replication: Option<Arc<crate::replicate::ReplicatedBackend>>,
+    /// Keeps the background health prober alive for the session's
+    /// lifetime; dropping the session stops and joins it.
+    _replica_prober: Option<crate::repair::ProberHandle>,
 }
 
 /// What a successful standard-path pipeline run leaves behind for the
@@ -168,6 +174,11 @@ pub(crate) struct BuildSpec {
     pub cache: Option<Arc<TranslationCache>>,
     pub recover: RecoverConfig,
     pub dml_batching: bool,
+    /// When the builder assembled a replica set, the replicated backend
+    /// itself (already part of `backend`'s stack) plus its health prober,
+    /// so the session can expose replica state and owns the prober thread.
+    pub replication: Option<Arc<crate::replicate::ReplicatedBackend>>,
+    pub prober: Option<crate::repair::ProberHandle>,
 }
 
 impl HyperQ {
@@ -208,6 +219,8 @@ impl HyperQ {
             cache: spec.cache,
             cache_seed: None,
             caps_sig,
+            replication: spec.replication,
+            _replica_prober: spec.prober,
         }
     }
 
@@ -254,6 +267,12 @@ impl HyperQ {
     /// The translation cache this session consults, if caching is enabled.
     pub fn cache(&self) -> Option<&Arc<TranslationCache>> {
         self.cache.as_ref()
+    }
+
+    /// The replica set behind this session, when one was configured via
+    /// [`HyperQBuilder::replicas`](crate::builder::HyperQBuilder::replicas).
+    pub fn replication(&self) -> Option<&Arc<crate::replicate::ReplicatedBackend>> {
+        self.replication.as_ref()
     }
 
     /// The observability context this session reports into.

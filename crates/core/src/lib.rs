@@ -46,6 +46,7 @@ pub mod crosscompiler;
 pub mod emulate;
 pub mod error;
 pub mod recover;
+pub mod repair;
 pub mod replicate;
 pub mod resilience;
 pub mod serialize;
@@ -71,7 +72,8 @@ pub use recover::{
     JournalEntry, JournalEntryKind, RecoverConfig, RecoveringBackend, SessionJournal,
     TXN_ABORT_MESSAGE,
 };
-pub use replicate::ReplicatedBackend;
+pub use repair::{ProberHandle, RepairReport};
+pub use replicate::{ReplicaConfig, ReplicaHealth, ReplicaSnapshot, ReplicatedBackend};
 pub use resilience::{
     BreakerConfig, BreakerState, ResilienceConfig, ResilientBackend, RetryPolicy,
 };

@@ -7,77 +7,716 @@
 //! application logic."
 //!
 //! [`ReplicatedBackend`] implements exactly that behind the ordinary
-//! [`Backend`] interface: reads round-robin across replicas; writes (DML,
-//! DDL) are applied to **every** replica in order, and a replica that
-//! fails a write is fenced off from further routing rather than allowed to
-//! serve stale data.
+//! [`Backend`] interface, and — unlike the earlier stub — it *self-heals*:
+//!
+//! * **Routing.** Reads round-robin across healthy replicas; writes (DML,
+//!   DDL) broadcast to every healthy replica. Statement classification is
+//!   parser-backed: `WITH x AS (…) DELETE FROM t` is a write, not a read.
+//! * **Error-class-aware fencing.** Each replica sits behind its own
+//!   [`ResilientBackend`], so transient blips and timeouts are retried
+//!   per replica before the replication layer ever sees them. A replica is
+//!   fenced only when it demonstrably missed an applied write, when its
+//!   connection is lost, or when its write result diverges from the
+//!   majority. Plain statement errors (bad SQL is bad SQL on every
+//!   replica) never fence.
+//! * **Write-repair journal.** Writes applied while a replica is fenced
+//!   are journaled per replica and drained by [`probe_and_repair`]
+//!   (`crate::repair`) under an idempotent [`RequestContext`]; the replica
+//!   is re-admitted only after a clean drain. The journal is bounded: on
+//!   overflow the replica flips to the explicit
+//!   [`ReplicaHealth::NeedsResync`] state and stays out of rotation until
+//!   an operator rebuilds it.
+//! * **Transaction-pinned routing.** In-transaction statements pin the
+//!   session to one replica so every read inside the transaction observes
+//!   a single replica's state. Losing the pinned replica mid-transaction
+//!   surfaces as a connection-class error, which the recovery layer turns
+//!   into exactly one 2631 transaction abort.
+//! * **Divergence detection.** Broadcast writes compare affected-row
+//!   counts across replicas; a minority result flips that replica to
+//!   `NeedsResync` and counts `hyperq_replica_divergence_total` — journal
+//!   replay cannot reconcile a write that *applied* differently.
+//!
+//! [`probe_and_repair`]: ReplicatedBackend::probe_and_repair
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
-use crate::backend::{Backend, BackendError, ExecResult, RequestContext};
+use crate::backend::{Backend, BackendError, BackendErrorKind, ExecResult, RequestContext};
+use crate::resilience::{ResilienceConfig, ResilientBackend};
+use hyperq_obs::{provenance, Counter, Gauge, ObsContext};
+use hyperq_parser::ast::Statement;
+use hyperq_parser::{parse_one, Dialect};
 use hyperq_xtra::catalog::TableDef;
 
-/// Statement classification for routing.
-fn is_read_only(sql: &str) -> bool {
-    let trimmed = sql.trim_start();
-    let first = trimmed
-        .split_whitespace()
-        .next()
-        .unwrap_or("")
-        .to_ascii_uppercase();
-    matches!(first.as_str(), "SELECT" | "SEL" | "WITH")
+/// Statement classification for routing: `true` routes to one replica,
+/// `false` broadcasts. Parser-backed so a data-modifying CTE
+/// (`WITH x AS (…) DELETE FROM t`) is recognized as a write; statements the
+/// parser cannot handle fall back to a CTE-aware keyword scan, and anything
+/// still ambiguous defaults to write (broadcast is always state-safe).
+pub(crate) fn is_read_only(sql: &str) -> bool {
+    match parse_one(sql, Dialect::Teradata) {
+        Ok(parsed) => matches!(
+            parsed.stmt,
+            Statement::Query(_) | Statement::Help(_) | Statement::Explain(_)
+        ),
+        Err(_) => matches!(
+            keyword_after_ctes(sql).as_deref(),
+            Some("SELECT" | "SEL" | "HELP" | "SHOW" | "EXPLAIN")
+        ),
+    }
 }
 
-struct Replica {
-    backend: Arc<dyn Backend>,
-    /// A replica that failed a write is fenced: it no longer serves reads
-    /// (it may be stale) and is skipped by subsequent writes.
-    fenced: RwLock<bool>,
+/// The leading statement keyword, skipping a `WITH … AS (…)` prefix.
+/// Quoted strings and identifiers are opaque; parenthesized groups (CTE
+/// bodies, column lists) are swallowed whole.
+fn keyword_after_ctes(sql: &str) -> Option<String> {
+    let toks = top_level_tokens(sql);
+    let mut i = 0;
+    let first = toks.first()?;
+    if !first.eq_ignore_ascii_case("WITH") {
+        return Some(first.to_ascii_uppercase());
+    }
+    i += 1;
+    if toks.get(i).is_some_and(|t| t.eq_ignore_ascii_case("RECURSIVE")) {
+        i += 1;
+    }
+    loop {
+        // CTE name (its column list, if any, was swallowed with the parens).
+        i += 1;
+        if !toks.get(i)?.eq_ignore_ascii_case("AS") {
+            return None;
+        }
+        i += 1;
+        match toks.get(i)?.as_str() {
+            "," => i += 1,
+            t => return Some(t.to_ascii_uppercase()),
+        }
+    }
+}
+
+/// Words and commas at paren depth 0, with quoted regions skipped.
+fn top_level_tokens(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let mut depth = 0usize;
+    let mut chars = sql.chars().peekable();
+    let flush = |word: &mut String, out: &mut Vec<String>| {
+        if !word.is_empty() {
+            out.push(std::mem::take(word));
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                flush(&mut word, &mut out);
+                // Consume the string literal, honouring '' escapes.
+                while let Some(q) = chars.next() {
+                    if q == '\'' {
+                        if chars.peek() == Some(&'\'') {
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            '"' => {
+                flush(&mut word, &mut out);
+                for q in chars.by_ref() {
+                    if q == '"' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                flush(&mut word, &mut out);
+                depth += 1;
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+            }
+            _ if depth > 0 => {}
+            ',' => {
+                flush(&mut word, &mut out);
+                out.push(",".to_string());
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '$' || c == '#' => word.push(c),
+            _ => flush(&mut word, &mut out),
+        }
+    }
+    flush(&mut word, &mut out);
+    out
+}
+
+/// A replica's routing state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// In rotation: serves reads, receives broadcast writes.
+    Healthy,
+    /// Out of rotation; missed writes accumulate in its repair journal and
+    /// the prober re-admits it after a clean drain.
+    Fenced,
+    /// Out of rotation and beyond journal repair (overflowed journal or a
+    /// diverged write result); stays fenced until rebuilt out of band.
+    NeedsResync,
+}
+
+impl ReplicaHealth {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Fenced => "fenced",
+            ReplicaHealth::NeedsResync => "needs_resync",
+        }
+    }
+
+    fn gauge_value(self) -> i64 {
+        match self {
+            ReplicaHealth::Healthy => 0,
+            ReplicaHealth::Fenced => 1,
+            ReplicaHealth::NeedsResync => 2,
+        }
+    }
+}
+
+/// Replication tuning.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Bound on each replica's write-repair journal; overflow flips the
+    /// replica to [`ReplicaHealth::NeedsResync`].
+    pub journal_capacity: usize,
+    /// Health-prober cadence. `Duration::ZERO` disables the background
+    /// thread (repair then runs only via explicit
+    /// [`ReplicatedBackend::probe_and_repair`] sweeps, as the tests do).
+    pub probe_interval: Duration,
+    /// The probe statement sent to a fenced replica before draining its
+    /// journal; must be cheap and read-only.
+    pub probe_sql: String,
+    /// Per-replica retry/breaker policy applied beneath the replication
+    /// layer, so transient faults are absorbed before fencing decisions.
+    pub resilience: ResilienceConfig,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            journal_capacity: 256,
+            probe_interval: Duration::from_millis(200),
+            probe_sql: "SELECT 1".to_string(),
+            resilience: ResilienceConfig::default(),
+        }
+    }
+}
+
+/// A point-in-time view of one replica, served on `/replicas`.
+#[derive(Debug, Clone)]
+pub struct ReplicaSnapshot {
+    pub name: String,
+    pub health: ReplicaHealth,
+    /// Whether any live session is currently transaction-pinned here.
+    pub pinned: bool,
+    pub journal_depth: usize,
+    pub fences: u64,
+    pub heals: u64,
+}
+
+/// A write the replica missed while fenced, replayed in order on repair.
+#[derive(Debug, Clone)]
+pub(crate) enum RepairOp {
+    Write(String),
+    Reset,
+}
+
+#[derive(Debug)]
+pub(crate) struct ReplicaState {
+    pub(crate) health: ReplicaHealth,
+    pub(crate) journal: VecDeque<RepairOp>,
+}
+
+pub(crate) struct Replica {
+    pub(crate) name: String,
+    pub(crate) backend: Arc<dyn Backend>,
+    pub(crate) state: Mutex<ReplicaState>,
+    /// Sessions currently transaction-pinned to this replica (best-effort,
+    /// for observability).
+    pinned_sessions: AtomicUsize,
+    pub(crate) health_state: Arc<Gauge>,
+    pub(crate) depth_gauge: Arc<Gauge>,
+    pub(crate) fences: Arc<Counter>,
+    pub(crate) heals: Arc<Counter>,
+    pub(crate) probes_ok: Arc<Counter>,
+    pub(crate) probes_fail: Arc<Counter>,
+    pub(crate) repairs: Arc<Counter>,
+    reads: Arc<Counter>,
+    writes: Arc<Counter>,
+}
+
+/// Distinguishes pins of different `ReplicatedBackend` instances sharing a
+/// thread (each instance only honours its own pins).
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The session's transaction pin: `(instance id, replica index)`.
+    /// One statement runs on one thread end to end (the same invariant the
+    /// provenance builder relies on), so a thread-local carries the pin
+    /// across statements of the session without touching the `Backend`
+    /// trait surface.
+    static PIN: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
 }
 
 /// A set of replicas behind one [`Backend`] face.
 pub struct ReplicatedBackend {
     name: String,
-    replicas: Vec<Replica>,
+    instance: u64,
+    pub(crate) replicas: Vec<Replica>,
     next: AtomicUsize,
+    pub(crate) config: ReplicaConfig,
+    healthy_gauge: Arc<Gauge>,
+    divergence: Arc<Counter>,
 }
 
 impl ReplicatedBackend {
-    /// Build from at least one replica.
+    /// Build from at least one replica with default tuning, reporting to
+    /// the global observability context.
     pub fn new(replicas: Vec<Arc<dyn Backend>>) -> Result<Self, BackendError> {
+        ReplicatedBackend::with_config(replicas, ReplicaConfig::default(), ObsContext::global())
+    }
+
+    /// Build with explicit tuning. Each replica is wrapped in its own
+    /// [`ResilientBackend`] so retries and breaker state are per replica.
+    pub fn with_config(
+        replicas: Vec<Arc<dyn Backend>>,
+        config: ReplicaConfig,
+        obs: &Arc<ObsContext>,
+    ) -> Result<Self, BackendError> {
         if replicas.is_empty() {
             return Err(BackendError::fatal("replica set must not be empty"));
         }
+        let m = &obs.metrics;
+        let replicas: Vec<Replica> = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(i, raw)| {
+                let name = format!("r{i}");
+                let backend: Arc<dyn Backend> =
+                    ResilientBackend::wrap(raw, config.resilience.clone(), obs);
+                let labels = &[("replica", name.as_str())][..];
+                let health_state = m.gauge("hyperq_replica_health_state", labels);
+                let depth_gauge = m.gauge("hyperq_replica_repair_depth", labels);
+                health_state.set(ReplicaHealth::Healthy.gauge_value());
+                depth_gauge.set(0);
+                Replica {
+                    backend,
+                    state: Mutex::new(ReplicaState {
+                        health: ReplicaHealth::Healthy,
+                        journal: VecDeque::new(),
+                    }),
+                    pinned_sessions: AtomicUsize::new(0),
+                    health_state,
+                    depth_gauge,
+                    fences: m.counter("hyperq_replica_fences_total", labels),
+                    heals: m.counter("hyperq_replica_heals_total", labels),
+                    probes_ok: m.counter(
+                        "hyperq_replica_probes_total",
+                        &[("replica", &name), ("outcome", "ok")],
+                    ),
+                    probes_fail: m.counter(
+                        "hyperq_replica_probes_total",
+                        &[("replica", &name), ("outcome", "fail")],
+                    ),
+                    repairs: m.counter("hyperq_replica_repairs_total", labels),
+                    reads: m.counter(
+                        "hyperq_replica_statements_total",
+                        &[("replica", &name), ("kind", "read")],
+                    ),
+                    writes: m.counter(
+                        "hyperq_replica_statements_total",
+                        &[("replica", &name), ("kind", "write")],
+                    ),
+                    name,
+                }
+            })
+            .collect();
+        let healthy_gauge = m.gauge("hyperq_replica_healthy", &[]);
+        healthy_gauge.set(replicas.len() as i64);
         Ok(ReplicatedBackend {
             name: format!("replicated({})", replicas.len()),
-            replicas: replicas
-                .into_iter()
-                .map(|backend| Replica { backend, fenced: RwLock::new(false) })
-                .collect(),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            replicas,
             next: AtomicUsize::new(0),
+            config,
+            healthy_gauge,
+            divergence: m.counter("hyperq_replica_divergence_total", &[]),
         })
     }
 
-    /// Number of replicas still serving traffic.
+    /// Number of replicas in rotation.
     pub fn healthy_replicas(&self) -> usize {
-        self.replicas.iter().filter(|r| !*r.fenced.read()).count()
+        self.replicas
+            .iter()
+            .filter(|r| r.state.lock().health == ReplicaHealth::Healthy)
+            .count()
     }
 
-    /// Pick the next healthy replica round-robin.
-    fn route_read(&self) -> Result<&Replica, BackendError> {
+    /// Per-replica state for operators (`/replicas`).
+    pub fn snapshot(&self) -> Vec<ReplicaSnapshot> {
+        self.replicas
+            .iter()
+            .map(|r| {
+                let st = r.state.lock();
+                ReplicaSnapshot {
+                    name: r.name.clone(),
+                    health: st.health,
+                    pinned: r.pinned_sessions.load(Ordering::Relaxed) > 0,
+                    journal_depth: st.journal.len(),
+                    fences: r.fences.get(),
+                    heals: r.heals.get(),
+                }
+            })
+            .collect()
+    }
+
+    /// Total write-result divergences detected across the set's lifetime.
+    pub fn divergences(&self) -> u64 {
+        self.divergence.get()
+    }
+
+    /// The replica the calling session is transaction-pinned to, if any.
+    pub fn pinned_replica(&self) -> Option<String> {
+        self.current_pin().map(|i| self.replicas[i].name.clone())
+    }
+
+    fn current_pin(&self) -> Option<usize> {
+        PIN.with(|p| p.get().filter(|(id, _)| *id == self.instance).map(|(_, i)| i))
+    }
+
+    fn set_pin(&self, idx: Option<usize>) {
+        let old = self.current_pin();
+        if old == idx {
+            return;
+        }
+        if let Some(o) = old {
+            self.replicas[o].pinned_sessions.fetch_sub(1, Ordering::Relaxed);
+        }
+        if let Some(n) = idx {
+            self.replicas[n].pinned_sessions.fetch_add(1, Ordering::Relaxed);
+        }
+        PIN.with(|p| p.set(idx.map(|i| (self.instance, i))));
+    }
+
+    /// The session's pinned replica for an in-transaction statement,
+    /// choosing (and pinning) one round-robin on first use.
+    fn ensure_pin(&self) -> Result<usize, BackendError> {
+        if let Some(i) = self.current_pin() {
+            if self.replicas[i].state.lock().health == ReplicaHealth::Healthy {
+                return Ok(i);
+            }
+            // The pinned replica left rotation between statements; the
+            // transaction cannot move without giving up its snapshot.
+            self.set_pin(None);
+            return Err(BackendError::connection_lost(format!(
+                "pinned replica {} lost mid-transaction",
+                self.replicas[i].name
+            )));
+        }
+        let i = self.pick_healthy()?;
+        self.set_pin(Some(i));
+        Ok(i)
+    }
+
+    fn pick_healthy(&self) -> Result<usize, BackendError> {
         let n = self.replicas.len();
         let start = self.next.fetch_add(1, Ordering::Relaxed);
         for k in 0..n {
-            let r = &self.replicas[(start + k) % n];
-            if !*r.fenced.read() {
-                return Ok(r);
+            let i = (start + k) % n;
+            if self.replicas[i].state.lock().health == ReplicaHealth::Healthy {
+                return Ok(i);
             }
         }
         Err(BackendError::rejected("no healthy replica available"))
     }
+
+    /// Take a replica out of rotation (idempotent).
+    pub(crate) fn fence(&self, i: usize) {
+        let r = &self.replicas[i];
+        let mut st = r.state.lock();
+        if st.health != ReplicaHealth::Healthy {
+            return;
+        }
+        st.health = ReplicaHealth::Fenced;
+        r.health_state.set(ReplicaHealth::Fenced.gauge_value());
+        r.fences.inc();
+        drop(st);
+        self.refresh_healthy_gauge();
+    }
+
+    /// Flip a replica to the terminal needs-resync state: its journal can
+    /// no longer reconcile it (overflow, or an applied-but-divergent
+    /// write).
+    fn mark_needs_resync(&self, i: usize) {
+        let r = &self.replicas[i];
+        let mut st = r.state.lock();
+        if st.health == ReplicaHealth::NeedsResync {
+            return;
+        }
+        if st.health == ReplicaHealth::Healthy {
+            r.fences.inc();
+        }
+        st.health = ReplicaHealth::NeedsResync;
+        st.journal.clear();
+        r.health_state.set(ReplicaHealth::NeedsResync.gauge_value());
+        r.depth_gauge.set(0);
+        drop(st);
+        self.refresh_healthy_gauge();
+    }
+
+    pub(crate) fn refresh_healthy_gauge(&self) {
+        self.healthy_gauge.set(self.healthy_replicas() as i64);
+    }
+
+    /// Deliver a write a replica missed because it was out of rotation (or
+    /// failed the broadcast): journal it when fenced, apply it directly
+    /// when the replica healed between dispatch and delivery.
+    fn deliver_missed(&self, i: usize, op: RepairOp) {
+        let r = &self.replicas[i];
+        {
+            let mut st = r.state.lock();
+            match st.health {
+                ReplicaHealth::NeedsResync => return,
+                ReplicaHealth::Fenced => {
+                    if st.journal.len() >= self.config.journal_capacity {
+                        drop(st);
+                        self.mark_needs_resync(i);
+                        return;
+                    }
+                    st.journal.push_back(op);
+                    r.depth_gauge.set(st.journal.len() as i64);
+                    return;
+                }
+                ReplicaHealth::Healthy => {}
+            }
+        }
+        // Healed concurrently (the prober drained the journal after we
+        // dispatched): apply in place to keep the replica converged.
+        let applied = match &op {
+            RepairOp::Write(sql) => r
+                .backend
+                .execute_ctx(sql, RequestContext { idempotent: true, in_transaction: false })
+                .is_ok(),
+            RepairOp::Reset => r.backend.reset_session().is_ok(),
+        };
+        if !applied {
+            self.fence(i);
+            let mut st = r.state.lock();
+            if st.health == ReplicaHealth::Fenced {
+                st.journal.push_back(op);
+                r.depth_gauge.set(st.journal.len() as i64);
+            }
+        }
+    }
+
+    fn execute_read(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+        if ctx.in_transaction {
+            let i = self.ensure_pin()?;
+            let r = &self.replicas[i];
+            return match r.backend.execute_ctx(sql, ctx) {
+                Ok(res) => {
+                    r.reads.inc();
+                    provenance::note_replica(&r.name);
+                    Ok(res)
+                }
+                Err(e) => {
+                    if matches!(
+                        e.kind,
+                        BackendErrorKind::ConnectionLost | BackendErrorKind::Timeout
+                    ) {
+                        // The replica is gone, and with it the transaction's
+                        // snapshot: fence it, drop the pin, and let the
+                        // recovery layer abort the transaction (one 2631).
+                        self.fence(i);
+                        self.set_pin(None);
+                    }
+                    Err(e)
+                }
+            };
+        }
+        let n = self.replicas.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut last_err: Option<BackendError> = None;
+        for k in 0..n {
+            let i = (start + k) % n;
+            let r = &self.replicas[i];
+            if r.state.lock().health != ReplicaHealth::Healthy {
+                continue;
+            }
+            match r.backend.execute_ctx(sql, ctx) {
+                Ok(res) => {
+                    r.reads.inc();
+                    provenance::note_replica(&r.name);
+                    return Ok(res);
+                }
+                // A fatal error is the statement's fault (bad SQL fails
+                // identically everywhere): surface it, keep the replica.
+                Err(e) if e.kind == BackendErrorKind::Fatal => return Err(e),
+                // Rejected (breaker open, admission) — replica is saturated
+                // but not stale; fail over without fencing.
+                Err(e) if e.kind == BackendErrorKind::Rejected => last_err = Some(e),
+                // Connection lost / timeout / exhausted transient retries:
+                // the replica itself is unhealthy.
+                Err(e) => {
+                    self.fence(i);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| BackendError::rejected("no healthy replica available")))
+    }
+
+    fn execute_write(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+        let pin = if ctx.in_transaction { Some(self.ensure_pin()?) } else { None };
+        // The replication layer owns replay safety for broadcast writes: a
+        // replica whose write fails (or times out) is fenced and the write
+        // is journaled for at-least-once repair, so letting the per-replica
+        // resilience layer retry transient write failures cannot fork
+        // replica states. In-transaction writes still never blind-retry
+        // (`allows_retry` checks the transaction flag).
+        let wctx = RequestContext { idempotent: true, in_transaction: ctx.in_transaction };
+        let mut attempted: Vec<(usize, Result<ExecResult, BackendError>)> = Vec::new();
+        let mut missed: Vec<usize> = Vec::new();
+        for (i, r) in self.replicas.iter().enumerate() {
+            match r.state.lock().health {
+                ReplicaHealth::Healthy => {}
+                ReplicaHealth::Fenced => {
+                    missed.push(i);
+                    continue;
+                }
+                ReplicaHealth::NeedsResync => continue,
+            }
+            attempted.push((i, r.backend.execute_ctx(sql, wctx)));
+        }
+        let ok_count = attempted.iter().filter(|(_, res)| res.is_ok()).count();
+        if ok_count == 0 {
+            // Nothing applied the write; the client sees a failure and the
+            // journal records nothing. Replicas whose outcome is *unknown*
+            // (the connection died or timed out mid-write — it may have
+            // applied) are fenced; if they did apply it, the next broadcast
+            // write's row-count comparison flags them as diverged.
+            for (i, res) in &attempted {
+                if let Err(e) = res {
+                    if matches!(
+                        e.kind,
+                        BackendErrorKind::ConnectionLost | BackendErrorKind::Timeout
+                    ) {
+                        self.fence(*i);
+                    }
+                }
+            }
+            if let Some(p) = pin {
+                if attempted.iter().any(|(i, res)| *i == p && res.is_err()) {
+                    self.set_pin(None);
+                }
+            }
+            return Err(attempted
+                .into_iter()
+                .find_map(|(_, res)| res.err())
+                .unwrap_or_else(|| BackendError::rejected("no healthy replica available")));
+        }
+        // At least one replica applied the write: every replica that did
+        // not (fenced at dispatch, or failed the broadcast) must replay it.
+        for (i, res) in &attempted {
+            if res.is_err() {
+                self.fence(*i);
+                missed.push(*i);
+            }
+        }
+        for i in missed {
+            self.deliver_missed(i, RepairOp::Write(sql.to_string()));
+        }
+        // Divergence check: an applied write must affect the same number of
+        // rows everywhere. The majority count wins (ties break toward the
+        // lowest replica index, deterministically); minority replicas hold
+        // state no journal replay can fix.
+        let ok_results: Vec<(usize, &ExecResult)> = attempted
+            .iter()
+            .filter_map(|(i, res)| res.as_ref().ok().map(|r| (*i, r)))
+            .collect();
+        let majority_count = majority_row_count(&ok_results);
+        let mut winner: Option<usize> = None;
+        for (i, res) in &ok_results {
+            if res.row_count == majority_count {
+                if winner.is_none() {
+                    winner = Some(*i);
+                }
+                self.replicas[*i].writes.inc();
+            } else {
+                self.divergence.inc();
+                self.mark_needs_resync(*i);
+            }
+        }
+        if let Some(p) = pin {
+            match attempted.iter().find(|(i, _)| *i == p) {
+                Some((_, Ok(res))) if res.row_count == majority_count => {
+                    provenance::note_replica(&self.replicas[p].name);
+                    return Ok(res.clone());
+                }
+                Some((_, Ok(_))) => {
+                    // The pinned replica applied the write but disagrees
+                    // with the majority: its transaction snapshot is not
+                    // trustworthy. Abort the transaction.
+                    self.set_pin(None);
+                    return Err(BackendError::connection_lost(format!(
+                        "pinned replica {} diverged mid-transaction",
+                        self.replicas[p].name
+                    )));
+                }
+                Some((_, Err(e))) => {
+                    self.set_pin(None);
+                    return Err(e.clone());
+                }
+                // `ensure_pin` only returns healthy replicas, which are all
+                // in `attempted`.
+                None => {}
+            }
+        }
+        match winner {
+            Some(i) => {
+                provenance::note_replica(&self.replicas[i].name);
+                // Only the winner's result reaches the client; find it
+                // again by index to hand ownership out.
+                match attempted.into_iter().find(|(j, _)| *j == i) {
+                    Some((_, Ok(res))) => Ok(res),
+                    _ => Err(BackendError::rejected("no healthy replica available")),
+                }
+            }
+            None => Err(BackendError::rejected("no healthy replica available")),
+        }
+    }
+}
+
+/// The affected-row count reported by the majority of successful replicas;
+/// ties break toward the earliest replica's count.
+fn majority_row_count(ok_results: &[(usize, &ExecResult)]) -> u64 {
+    let mut counts: Vec<(u64, usize)> = Vec::new();
+    for (_, res) in ok_results {
+        match counts.iter_mut().find(|(c, _)| *c == res.row_count) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((res.row_count, 1)),
+        }
+    }
+    // Strict `>` keeps the first-seen count on ties, i.e. the earliest
+    // replica's answer — deterministic regardless of replica count.
+    let mut best = (0u64, 0usize);
+    for &(c, n) in &counts {
+        if n > best.1 {
+            best = (c, n);
+        }
+    }
+    best.0
 }
 
 impl Backend for ReplicatedBackend {
@@ -86,60 +725,60 @@ impl Backend for ReplicatedBackend {
     }
 
     fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
-        self.execute_ctx(sql, RequestContext::from_sql(sql))
+        let read = is_read_only(sql);
+        self.execute_ctx(sql, RequestContext { idempotent: read, in_transaction: false })
     }
 
     fn execute_ctx(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+        if !ctx.in_transaction {
+            // First statement after a transaction closes releases the pin.
+            self.set_pin(None);
+        }
         if is_read_only(sql) {
-            return self.route_read()?.backend.execute_ctx(sql, ctx);
-        }
-        // Writes: apply to every healthy replica; fence replicas whose
-        // write fails so they cannot serve stale reads. The write succeeds
-        // if at least one replica applied it.
-        let mut last_ok: Option<ExecResult> = None;
-        let mut last_err: Option<BackendError> = None;
-        for r in &self.replicas {
-            if *r.fenced.read() {
-                continue;
-            }
-            match r.backend.execute_ctx(sql, ctx) {
-                Ok(res) => last_ok = Some(res),
-                Err(e) => {
-                    *r.fenced.write() = true;
-                    last_err = Some(e);
-                }
-            }
-        }
-        match (last_ok, last_err) {
-            (Some(res), _) => Ok(res),
-            (None, Some(e)) => Err(e),
-            (None, None) => Err(BackendError::rejected("no healthy replica available")),
+            self.execute_read(sql, ctx)
+        } else {
+            self.execute_write(sql, ctx)
         }
     }
 
     fn table_meta(&self, name: &str) -> Option<TableDef> {
-        self.replicas
+        let first_healthy = self
+            .replicas
             .iter()
-            .find(|r| !*r.fenced.read())
-            .and_then(|r| r.backend.table_meta(name))
+            .find(|r| r.state.lock().health == ReplicaHealth::Healthy);
+        match first_healthy {
+            Some(r) => r.backend.table_meta(name),
+            // Degraded: answer from the first replica rather than losing
+            // catalog access entirely (metadata is replicated DDL).
+            None => self.replicas.first().and_then(|r| r.backend.table_meta(name)),
+        }
     }
 
     fn reset_session(&self) -> Result<(), BackendError> {
-        // Re-establish every healthy replica's session; one success keeps
-        // the replicated target usable (failed ones get fenced).
-        let mut last_err = None;
+        self.set_pin(None);
         let mut any_ok = false;
-        for r in &self.replicas {
-            if *r.fenced.read() {
-                continue;
+        let mut last_err = None;
+        let mut missed: Vec<usize> = Vec::new();
+        for (i, r) in self.replicas.iter().enumerate() {
+            match r.state.lock().health {
+                ReplicaHealth::Healthy => {}
+                ReplicaHealth::Fenced => {
+                    missed.push(i);
+                    continue;
+                }
+                ReplicaHealth::NeedsResync => continue,
             }
             match r.backend.reset_session() {
                 Ok(()) => any_ok = true,
                 Err(e) => {
-                    *r.fenced.write() = true;
+                    self.fence(i);
+                    missed.push(i);
                     last_err = Some(e);
                 }
             }
+        }
+        for i in missed {
+            self.deliver_missed(i, RepairOp::Reset);
         }
         match (any_ok, last_err) {
             (true, _) => Ok(()),
@@ -152,19 +791,29 @@ impl Backend for ReplicatedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::testing::{FaultInjectingBackend, FaultPlan, ScriptedBackend};
     use hyperq_xtra::schema::Schema;
-    use parking_lot::Mutex;
 
     /// Counting fake backend.
     struct Counting {
         reads: Mutex<u64>,
         writes: Mutex<u64>,
         fail_writes: bool,
+        affected: u64,
     }
 
     impl Counting {
         fn new(fail_writes: bool) -> Arc<Self> {
-            Arc::new(Counting { reads: Mutex::new(0), writes: Mutex::new(0), fail_writes })
+            Counting::with_affected(fail_writes, 1)
+        }
+
+        fn with_affected(fail_writes: bool, affected: u64) -> Arc<Self> {
+            Arc::new(Counting {
+                reads: Mutex::new(0),
+                writes: Mutex::new(0),
+                fail_writes,
+                affected,
+            })
         }
     }
 
@@ -181,7 +830,7 @@ mod tests {
                 Err(BackendError::fatal("disk full"))
             } else {
                 *self.writes.lock() += 1;
-                Ok(ExecResult::affected(1))
+                Ok(ExecResult::affected(self.affected))
             }
         }
 
@@ -190,14 +839,18 @@ mod tests {
         }
     }
 
+    fn pair(a: &Arc<Counting>, b: &Arc<Counting>) -> ReplicatedBackend {
+        ReplicatedBackend::new(vec![
+            Arc::clone(a) as Arc<dyn Backend>,
+            Arc::clone(b) as Arc<dyn Backend>,
+        ])
+        .unwrap()
+    }
+
     #[test]
     fn reads_round_robin() {
         let (a, b) = (Counting::new(false), Counting::new(false));
-        let rep = ReplicatedBackend::new(vec![
-            Arc::clone(&a) as Arc<dyn Backend>,
-            Arc::clone(&b) as Arc<dyn Backend>,
-        ])
-        .unwrap();
+        let rep = pair(&a, &b);
         for _ in 0..10 {
             rep.execute("SELECT 1").unwrap();
         }
@@ -208,11 +861,7 @@ mod tests {
     #[test]
     fn writes_broadcast() {
         let (a, b) = (Counting::new(false), Counting::new(false));
-        let rep = ReplicatedBackend::new(vec![
-            Arc::clone(&a) as Arc<dyn Backend>,
-            Arc::clone(&b) as Arc<dyn Backend>,
-        ])
-        .unwrap();
+        let rep = pair(&a, &b);
         rep.execute("INSERT INTO T VALUES (1)").unwrap();
         assert_eq!(*a.writes.lock(), 1);
         assert_eq!(*b.writes.lock(), 1);
@@ -221,11 +870,7 @@ mod tests {
     #[test]
     fn failed_write_fences_replica_from_reads() {
         let (good, bad) = (Counting::new(false), Counting::new(true));
-        let rep = ReplicatedBackend::new(vec![
-            Arc::clone(&good) as Arc<dyn Backend>,
-            Arc::clone(&bad) as Arc<dyn Backend>,
-        ])
-        .unwrap();
+        let rep = pair(&good, &bad);
         assert_eq!(rep.healthy_replicas(), 2);
         // The write succeeds overall (one replica applied it), the bad
         // replica is fenced.
@@ -244,11 +889,145 @@ mod tests {
         let bad = Counting::new(true);
         let rep = ReplicatedBackend::new(vec![Arc::clone(&bad) as Arc<dyn Backend>]).unwrap();
         assert!(rep.execute("DELETE FROM T").is_err());
-        assert!(rep.execute("SELECT 1").is_err(), "fenced replica must not serve reads");
+        // A clean (fatal) write failure with zero successes does not fence:
+        // the replicas are still mutually consistent.
+        assert_eq!(rep.healthy_replicas(), 1);
+        assert!(rep.execute("SELECT 1").is_ok());
     }
 
     #[test]
     fn empty_replica_set_rejected() {
         assert!(ReplicatedBackend::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn data_modifying_cte_is_classified_as_a_write() {
+        // Regression: the keyword classifier routed `WITH … DELETE` to a
+        // single replica, silently forking replica states.
+        for sql in [
+            "WITH x AS (SELECT 1 AS c) DELETE FROM t WHERE a IN (SELECT c FROM x)",
+            "WITH x (a, b) AS (SELECT 1, 2), y AS (SELECT 3) UPDATE t SET a = 1",
+            "WITH x AS (SELECT 'it''s, quoted' AS c) INSERT INTO t SELECT c FROM x",
+        ] {
+            assert!(!is_read_only(sql), "{sql} must route as a write");
+        }
+        for sql in [
+            "WITH x AS (SELECT 1 AS c) SELECT * FROM x",
+            "WITH RECURSIVE r (n) AS (SELECT 1) SEL n FROM r",
+            "SELECT 1",
+            "SEL 1",
+            "HELP SESSION",
+        ] {
+            assert!(is_read_only(sql), "{sql} must route as a read");
+        }
+        // Unclassifiable text defaults to write (broadcast is state-safe).
+        assert!(!is_read_only("FROBNICATE ALL THE THINGS"));
+        assert!(!is_read_only("SET QUERY_BAND = 'x' FOR SESSION"));
+    }
+
+    #[test]
+    fn data_modifying_cte_broadcasts() {
+        let (a, b) = (Counting::new(false), Counting::new(false));
+        let rep = pair(&a, &b);
+        rep.execute("WITH x AS (SELECT 1 AS c) DELETE FROM t WHERE a IN (SELECT c FROM x)")
+            .unwrap();
+        assert_eq!(*a.writes.lock(), 1);
+        assert_eq!(*b.writes.lock(), 1);
+    }
+
+    #[test]
+    fn divergent_write_result_flags_minority_for_resync() {
+        let a = Counting::with_affected(false, 3);
+        let b = Counting::with_affected(false, 3);
+        let c = Counting::with_affected(false, 7); // disagrees
+        let rep = ReplicatedBackend::new(vec![
+            Arc::clone(&a) as Arc<dyn Backend>,
+            Arc::clone(&b) as Arc<dyn Backend>,
+            Arc::clone(&c) as Arc<dyn Backend>,
+        ])
+        .unwrap();
+        let res = rep.execute("DELETE FROM T").unwrap();
+        assert_eq!(res.row_count, 3, "majority count wins");
+        assert_eq!(rep.divergences(), 1);
+        let snap = rep.snapshot();
+        assert_eq!(snap[2].health, ReplicaHealth::NeedsResync);
+        assert_eq!(snap[2].journal_depth, 0, "resync replicas journal nothing");
+        assert_eq!(rep.healthy_replicas(), 2);
+        // Further writes skip the diverged replica entirely.
+        rep.execute("DELETE FROM T").unwrap();
+        assert_eq!(*c.writes.lock(), 1);
+    }
+
+    #[test]
+    fn fenced_replica_journals_writes_and_overflow_flips_to_resync() {
+        let good: Arc<dyn Backend> = Arc::new(ScriptedBackend::acking(vec![]));
+        let flaky = FaultInjectingBackend::wrap(
+            Arc::new(ScriptedBackend::acking(vec![])),
+            FaultPlan::fail_n_then_succeed(1, BackendErrorKind::Transient),
+        );
+        let rep = ReplicatedBackend::with_config(
+            vec![good, flaky as Arc<dyn Backend>],
+            ReplicaConfig {
+                journal_capacity: 3,
+                probe_interval: Duration::ZERO,
+                resilience: ResilienceConfig {
+                    retry: crate::resilience::RetryPolicy {
+                        max_attempts: 1,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ObsContext::global(),
+        )
+        .unwrap();
+        rep.execute("INSERT INTO T VALUES (1)").unwrap();
+        let snap = rep.snapshot();
+        assert_eq!(snap[1].health, ReplicaHealth::Fenced);
+        assert_eq!(snap[1].journal_depth, 1, "the failed write is journaled");
+        rep.execute("INSERT INTO T VALUES (2)").unwrap();
+        rep.execute("INSERT INTO T VALUES (3)").unwrap();
+        assert_eq!(rep.snapshot()[1].journal_depth, 3);
+        // Capacity is 3: the next missed write overflows the journal and
+        // the replica stops pretending repair can save it.
+        rep.execute("INSERT INTO T VALUES (4)").unwrap();
+        let snap = rep.snapshot();
+        assert_eq!(snap[1].health, ReplicaHealth::NeedsResync);
+        assert_eq!(snap[1].journal_depth, 0);
+    }
+
+    #[test]
+    fn transaction_pins_reads_to_one_replica() {
+        let (a, b) = (Counting::new(false), Counting::new(false));
+        let rep = pair(&a, &b);
+        let txn = RequestContext { idempotent: true, in_transaction: true };
+        for _ in 0..6 {
+            rep.execute_ctx("SELECT 1", txn).unwrap();
+        }
+        let (ra, rb) = (*a.reads.lock(), *b.reads.lock());
+        assert!(
+            (ra == 6 && rb == 0) || (ra == 0 && rb == 6),
+            "in-transaction reads must stick to one replica, got {ra}/{rb}"
+        );
+        assert!(rep.pinned_replica().is_some());
+        // The first statement outside the transaction releases the pin.
+        rep.execute_ctx("SELECT 1", RequestContext::read_only()).unwrap();
+        assert!(rep.pinned_replica().is_none());
+    }
+
+    #[test]
+    fn losing_the_pinned_replica_mid_transaction_is_a_connection_error() {
+        let (a, b) = (Counting::new(false), Counting::new(false));
+        let rep = pair(&a, &b);
+        let txn = RequestContext { idempotent: true, in_transaction: true };
+        rep.execute_ctx("SELECT 1", txn).unwrap();
+        let pinned = rep.pinned_replica().unwrap();
+        let idx = if pinned == "r0" { 0 } else { 1 };
+        rep.fence(idx);
+        let err = rep.execute_ctx("SELECT 1", txn).unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::ConnectionLost);
+        assert!(err.message.contains("mid-transaction"), "{}", err.message);
+        assert!(rep.pinned_replica().is_none(), "the dead pin must be released");
     }
 }

@@ -111,6 +111,9 @@ pub struct ProvenanceRecord {
     /// Why the governor cancelled this statement (`client_abort`,
     /// `deadline`, `budget`, `shutdown`), if it was cancelled.
     pub cancelled: Option<&'static str>,
+    /// Which replica served this statement, when a replicated backend
+    /// routed it (`r0`, `r1`, …); `None` on single-backend paths.
+    pub replica: Option<String>,
     /// Rows produced by the backend.
     pub rows: u64,
     /// Wire-format conversion stats, if the result was converted.
@@ -129,6 +132,7 @@ struct Builder {
     violations: u64,
     admission_wait: Duration,
     cancelled: Option<&'static str>,
+    replica: Option<String>,
 }
 
 thread_local! {
@@ -204,6 +208,12 @@ pub fn note_cancelled(reason: &'static str) {
             b.cancelled = Some(reason);
         }
     });
+}
+
+/// Record which replica served the statement (last writer wins: a write
+/// broadcast notes the replica whose result was returned to the client).
+pub fn note_replica(name: &str) {
+    with_active(|b| b.replica = Some(name.to_string()));
 }
 
 /// Record time spent queued at an admission gate. Safe to call before the
@@ -356,6 +366,7 @@ impl ProvenanceLog {
             ok: f.error.is_none(),
             error: f.error.map(|e| truncate(e, 240)),
             cancelled: builder.cancelled,
+            replica: builder.replica,
             rows: f.rows,
             convert: None,
         };
@@ -513,6 +524,10 @@ fn render_record_json(r: &ProvenanceRecord) -> String {
     out.push_str(&format!(
         "\"cancelled\":{},",
         r.cancelled.map_or("null".to_string(), json_str)
+    ));
+    out.push_str(&format!(
+        "\"replica\":{},",
+        r.replica.as_deref().map_or("null".to_string(), json_str)
     ));
     out.push_str(&format!("\"rows\":{},", r.rows));
     match &r.convert {

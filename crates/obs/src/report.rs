@@ -588,6 +588,7 @@ mod tests {
             ok: true,
             error: None,
             cancelled: None,
+            replica: None,
             rows: 4,
             convert: Some(ConvertStats {
                 rows: 4,

@@ -20,6 +20,9 @@
 //!   [`GovernorRegistry`] is attached. `?cancel=<id>` cancels that query —
 //!   but only when the gateway opted in via
 //!   `GovernorConfig::allow_http_cancel`; otherwise it answers 403.
+//! * `/replicas` — per-replica health (healthy / fenced / needs-resync),
+//!   pinned-session and repair-journal state as JSON, when the gateway is
+//!   replicated; 404 otherwise.
 //!
 //! The server is std-only (no HTTP framework): it parses just the request
 //! line, answers with `Content-Length` + `Connection: close`, and closes.
@@ -31,6 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use hyperq_core::replicate::{ReplicaSnapshot, ReplicatedBackend};
 use hyperq_governor::{CancelReason, GovernorRegistry, QuerySnapshot};
 use hyperq_obs::{provenance, slowlog, ObsContext, WorkloadReport};
 
@@ -84,6 +88,17 @@ pub fn spawn_with_governor(
     obs: Arc<ObsContext>,
     governor: Option<Arc<GovernorRegistry>>,
 ) -> std::io::Result<ObsHttpHandle> {
+    spawn_with_state(addr, obs, governor, None)
+}
+
+/// [`spawn_with_governor`] with the gateway's replica set also attached,
+/// enabling the `/replicas` health table.
+pub fn spawn_with_state(
+    addr: &str,
+    obs: Arc<ObsContext>,
+    governor: Option<Arc<GovernorRegistry>>,
+    replication: Option<Arc<ReplicatedBackend>>,
+) -> std::io::Result<ObsHttpHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -98,7 +113,7 @@ pub fn spawn_with_governor(
                     // Requests are tiny and responses are snapshots;
                     // serving inline keeps the server single-threaded and
                     // the accept loop responsive enough for scrapers.
-                    let _ = serve_one(stream, &obs, governor.as_deref());
+                    let _ = serve_one(stream, &obs, governor.as_deref(), replication.as_deref());
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -114,6 +129,7 @@ fn serve_one(
     stream: TcpStream,
     obs: &ObsContext,
     governor: Option<&GovernorRegistry>,
+    replication: Option<&ReplicatedBackend>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
     stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
@@ -210,6 +226,17 @@ fn serve_one(
                 respond(stream, "200 OK", "application/json", &render_queries_json(&reg.snapshot()))
             }
         },
+        "/replicas" => match replication {
+            None => respond(
+                stream,
+                "404 Not Found",
+                "text/plain",
+                "no replica set attached to this endpoint\n",
+            ),
+            Some(rep) => {
+                respond(stream, "200 OK", "application/json", &render_replicas_json(&rep.snapshot()))
+            }
+        },
         _ => respond(stream, "404 Not Found", "text/plain", "unknown route\n"),
     }
 }
@@ -235,6 +262,29 @@ fn render_queries_json(queries: &[QuerySnapshot]) -> String {
                 Some(reason) => format!("\"{reason}\""),
                 None => "null".to_string(),
             },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The replica health table as JSON, one object per replica in set order
+/// (`r0` is the gateway's primary backend).
+fn render_replicas_json(replicas: &[ReplicaSnapshot]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in replicas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"health\":\"{}\",\"pinned_sessions\":{},\
+             \"journal_depth\":{},\"fences\":{},\"heals\":{}}}",
+            r.name,
+            r.health.as_str(),
+            r.pinned,
+            r.journal_depth,
+            r.fences,
+            r.heals,
         ));
     }
     out.push_str("]\n");

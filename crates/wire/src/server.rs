@@ -15,6 +15,8 @@ use std::time::{Duration, Instant};
 
 use hyperq_core::backend::Backend;
 use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::repair::ProberHandle;
+use hyperq_core::replicate::{ReplicaConfig, ReplicatedBackend};
 use hyperq_core::resilience::{ResilienceConfig, ResilientBackend};
 use hyperq_core::{
     AnalyzeMode, CacheConfig, ConformanceMode, HyperQ, HyperQBuilder, HyperQError, ObsContext,
@@ -131,6 +133,17 @@ pub struct GatewayConfig {
     /// gateway-global memory budgets, watchdog sweep cadence, and whether
     /// the observability endpoint may cancel queries.
     pub governor: GovernorConfig,
+    /// Additional warehouse replicas. When non-empty, the gateway serves
+    /// a [`ReplicatedBackend`] over the primary (replica `r0`) plus these:
+    /// reads load-balance, writes broadcast, fenced replicas self-heal via
+    /// the write-repair journal and the background health prober. The
+    /// `resilience` policy then applies *per replica* inside the replica
+    /// set instead of as one shared wrapper, so a retry storm against a
+    /// sick replica cannot trip the breaker for its healthy peers.
+    pub replicas: Vec<Arc<dyn Backend>>,
+    /// Journal capacity, probe cadence and per-replica retry policy for
+    /// the replica set. Ignored when `replicas` is empty.
+    pub replica_config: ReplicaConfig,
 }
 
 impl Default for GatewayConfig {
@@ -149,6 +162,8 @@ impl Default for GatewayConfig {
             cache: Some(CacheConfig::default()),
             obs_http: None,
             governor: GovernorConfig::default(),
+            replicas: Vec::new(),
+            replica_config: ReplicaConfig::default(),
         }
     }
 }
@@ -172,6 +187,9 @@ pub struct Gateway {
     /// Per-query lifecycle governor: every statement registers here, the
     /// watchdog sweeps it, and `/queries` snapshots it.
     governor: Arc<GovernorRegistry>,
+    /// The replica set behind `backend` when the gateway is replicated;
+    /// `/replicas` snapshots it and the prober sweeps it.
+    replication: Option<Arc<ReplicatedBackend>>,
 }
 
 /// Decrements the gateway's active-session count when a worker exits,
@@ -192,6 +210,10 @@ pub struct GatewayHandle {
     obs_http: Option<crate::obs_http::ObsHttpHandle>,
     /// Governor watchdog; dropping it stops and joins the sweep thread.
     watchdog: Option<hyperq_governor::WatchdogHandle>,
+    /// Replica health prober; dropping it stops and joins the sweep
+    /// thread. `None` when the gateway is not replicated (or the probe
+    /// interval is zero).
+    prober: Option<ProberHandle>,
 }
 
 /// Session reader that replays bytes handed back by an [`AbortWatcher`]
@@ -344,17 +366,37 @@ fn note_cancel_metrics(obs: &ObsContext, gov: &QueryGovernor) {
 }
 
 impl Gateway {
-    pub fn new(backend: Arc<dyn Backend>, config: GatewayConfig) -> Arc<Self> {
-        // One resilience wrapper shared by every session: retries and
-        // deadlines apply per request, while the circuit breaker tracks
-        // the target's aggregate health across the whole gateway.
-        let backend: Arc<dyn Backend> = match &config.resilience {
-            Some(resilience) => {
-                ResilientBackend::wrap(backend, resilience.clone(), ObsContext::global())
-            }
-            None => backend,
-        };
+    pub fn new(backend: Arc<dyn Backend>, mut config: GatewayConfig) -> Arc<Self> {
         let obs = ObsContext::global();
+        let replicas = std::mem::take(&mut config.replicas);
+        // Replicated gateway: the replica set wraps each member in its own
+        // resilience layer (from `replica_config`), so the shared wrapper
+        // below would double-retry every statement — skip it. Single
+        // backend: one resilience wrapper shared by every session, so
+        // retries and deadlines apply per request while the circuit
+        // breaker tracks the target's aggregate health.
+        let (backend, replication): (Arc<dyn Backend>, Option<Arc<ReplicatedBackend>>) =
+            if replicas.is_empty() {
+                let backend = match &config.resilience {
+                    Some(resilience) => {
+                        ResilientBackend::wrap(backend, resilience.clone(), obs)
+                    }
+                    None => backend,
+                };
+                (backend, None)
+            } else {
+                let mut set: Vec<Arc<dyn Backend>> = vec![backend];
+                set.extend(replicas);
+                match ReplicatedBackend::with_config(set, config.replica_config.clone(), obs) {
+                    Ok(rep) => {
+                        let rep = Arc::new(rep);
+                        (Arc::clone(&rep) as Arc<dyn Backend>, Some(rep))
+                    }
+                    // `with_config` only fails on an empty set, and `set`
+                    // always holds the primary.
+                    Err(_) => unreachable!("replica set always contains the primary backend"),
+                }
+            };
         let (conn_gate, stmt_gate) = match &config.admission {
             Some(adm) => (
                 (adm.connection_queue > 0).then(|| {
@@ -397,6 +439,7 @@ impl Gateway {
             stmt_gate,
             cache,
             governor,
+            replication,
         })
     }
 
@@ -410,10 +453,11 @@ impl Gateway {
         // sessions record into, on its own port so scraping never contends
         // with the TDWP front door.
         let obs_http = match &gateway.config.obs_http {
-            Some(bind) => Some(crate::obs_http::spawn_with_governor(
+            Some(bind) => Some(crate::obs_http::spawn_with_state(
                 bind,
                 Arc::clone(ObsContext::global()),
                 Some(Arc::clone(&gateway.governor)),
+                gateway.replication.clone(),
             )?),
             None => None,
         };
@@ -421,6 +465,12 @@ impl Gateway {
         // cancelling statements that outlive their deadline even when the
         // executing thread is between checkpoints.
         let watchdog = Some(gateway.governor.spawn_watchdog());
+        // Replicated gateway: the health prober sweeps fenced replicas at
+        // the configured cadence (zero = manual `probe_and_repair` only).
+        let prober = gateway.replication.as_ref().and_then(|rep| {
+            (!gateway.config.replica_config.probe_interval.is_zero())
+                .then(|| rep.spawn_prober())
+        });
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -493,7 +543,14 @@ impl Gateway {
                 }
             }
         });
-        Ok(GatewayHandle { addr, gateway, accept_thread: Some(accept_thread), obs_http, watchdog })
+        Ok(GatewayHandle {
+            addr,
+            gateway,
+            accept_thread: Some(accept_thread),
+            obs_http,
+            watchdog,
+            prober,
+        })
     }
 
     /// Turn away a connection over the cap: best-effort wire error so the
@@ -912,6 +969,13 @@ impl GatewayHandle {
         &self.gateway.governor
     }
 
+    /// The gateway's replica set, when it was configured with
+    /// [`GatewayConfig::replicas`] (health snapshots, manual repair
+    /// sweeps).
+    pub fn replication(&self) -> Option<&Arc<ReplicatedBackend>> {
+        self.gateway.replication.as_ref()
+    }
+
     /// Stop accepting new connections, then wait up to
     /// `GatewayConfig::drain_timeout` for in-flight sessions to finish.
     /// With the default zero drain budget this only stops the acceptor;
@@ -928,7 +992,10 @@ impl GatewayHandle {
         while self.gateway.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
-        // Stop the watchdog last so statements still draining stay governed.
+        // The drain is over: stop the health prober (in-flight statements
+        // have finished, so nothing new lands in the repair journals), then
+        // the watchdog last so statements still draining stayed governed.
+        drop(self.prober.take());
         drop(self.watchdog.take());
     }
 }

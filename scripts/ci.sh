@@ -71,6 +71,16 @@ cargo test -q --offline -p hyperq-governor
 cargo test -q --offline --test cancel
 cargo test -q --offline --test soak cancel_soak
 
+# Replica HA & self-healing failover: routing/fencing/journal/pinning
+# unit suites, the repair-and-prober suite, the `/replicas` endpoint
+# coverage, and the bounded replica-kill chaos soak — seeded kills over a
+# three-replica set with transcripts pinned byte-identical to a
+# single-backend fault-free baseline and post-heal state convergence.
+cargo test -q --offline -p hyperq-core replicate
+cargo test -q --offline -p hyperq-core repair
+cargo test -q --offline --test obs_http replicas_route
+cargo test -q --offline --test soak replica
+
 # Static workload assessment + capability conformance: assessor unit and
 # report-snapshot suites, the differential oracle (assessor verdicts must
 # agree with live pipeline behavior statement by statement over TPC-H and
@@ -94,9 +104,11 @@ for corpus in tpch health telco; do
 done
 
 # Production-path panic hygiene: no `.unwrap()` / `.expect(` in non-test
-# code of the gateway-facing crates (wire, governor). The awk strips
-# everything from the first `#[cfg(test)]` module onward.
-for src in crates/wire/src crates/governor/src; do
+# code of the gateway-facing crates (wire, governor) and the replica
+# HA modules. The awk strips everything from the first `#[cfg(test)]`
+# module onward.
+for src in crates/wire/src crates/governor/src \
+    crates/core/src/replicate.rs crates/core/src/repair.rs; do
     offenders=$(find "$src" -name '*.rs' -exec awk '
         /#\[cfg\(test\)\]/ { intest = 1 }
         !intest && /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }

@@ -114,6 +114,12 @@ fn gateway_observability_endpoint_serves_live_workload_intelligence() {
     let (head, _) = get(obs_addr, "/queries?cancel=1");
     assert!(head.starts_with("HTTP/1.1 403"), "{head}");
 
+    // /replicas — this gateway serves a single backend, so there is no
+    // replica set to report on.
+    let (head, body) = get(obs_addr, "/replicas");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    assert!(body.contains("no replica set"), "{body}");
+
     // Unknown routes and non-GET methods are refused, not crashed on.
     let (head, _) = get(obs_addr, "/admin");
     assert!(head.starts_with("HTTP/1.1 404"), "{head}");
@@ -136,6 +142,74 @@ fn queries_route_without_governor_is_absent() {
     assert!(body.contains("no query governor"), "{body}");
     let (head, _) = get(handle.addr, "/healthz");
     assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    handle.shutdown();
+}
+
+/// A replicated gateway reports per-replica health on `/replicas`: an
+/// operator watching the endpoint sees the fence after a replica dies and
+/// the journal drain back to zero after the prober heals it.
+#[test]
+fn replicas_route_reports_health_and_journal_depth() {
+    use hyperq::core::backend::testing::{FaultInjectingBackend, FaultPlan, FaultScope};
+    use hyperq::core::{BackendErrorKind, ReplicaConfig};
+
+    let primary = Arc::new(EngineDb::new());
+    let standby = Arc::new(EngineDb::new());
+    let injector = FaultInjectingBackend::wrap(
+        Arc::clone(&standby) as Arc<dyn Backend>,
+        FaultPlan::none(),
+    );
+    let handle = Gateway::spawn(
+        Arc::clone(&primary) as Arc<dyn Backend>,
+        GatewayConfig {
+            obs_http: Some("127.0.0.1:0".to_string()),
+            replicas: vec![Arc::clone(&injector) as Arc<dyn Backend>],
+            replica_config: ReplicaConfig {
+                probe_interval: std::time::Duration::from_millis(10),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let obs_addr = handle.obs_addr().unwrap();
+
+    let mut client = Client::connect(handle.addr, "APP", "secret").unwrap();
+    client.run("CREATE TABLE ORDERS_HA (ID INTEGER, TOTAL INTEGER)").unwrap();
+    client.run("INSERT INTO ORDERS_HA VALUES (1, 100)").unwrap();
+
+    // Both replicas healthy, journals empty.
+    let (head, body) = get(obs_addr, "/replicas");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    hyperq::obs::json::validate(&body).expect("/replicas must parse");
+    assert!(body.contains("\"name\":\"r0\"") && body.contains("\"name\":\"r1\""), "{body}");
+    assert_eq!(body.matches("\"health\":\"healthy\"").count(), 2, "{body}");
+
+    // Kill the standby: the next broadcast fences it and the route shows
+    // the fence (the 10ms prober may heal it between writes, so hold the
+    // fault across the observation).
+    injector.set_plan(
+        FaultPlan::always_fail(BackendErrorKind::ConnectionLost).with_scope(FaultScope::All),
+    );
+    client.run("INSERT INTO ORDERS_HA VALUES (2, 200)").unwrap();
+    let (_, body) = get(obs_addr, "/replicas");
+    assert!(body.contains("\"health\":\"fenced\""), "{body}");
+
+    // Restore the link: the background prober drains the journal and
+    // re-admits the standby without any operator action.
+    injector.set_plan(FaultPlan::none());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let (_, body) = get(obs_addr, "/replicas");
+        if body.matches("\"health\":\"healthy\"").count() == 2 {
+            assert!(body.contains("\"journal_depth\":0"), "{body}");
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "prober never healed r1: {body}");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    client.logoff().unwrap();
     handle.shutdown();
 }
 

@@ -280,6 +280,188 @@ fn soak_full_chaos_many_sessions() {
     assert_zero_divergence(SoakConfig { sessions: 32, rounds: 12, seed: 7 });
 }
 
+/// Self-healing replica soak: the same concurrent session schedules as the
+/// recovery soak, but served by a three-replica set where one replica dies
+/// on a seeded kill schedule and another is hard-down for the whole run.
+/// The replication layer must mask every fault (client transcripts
+/// byte-identical to a fault-free single-backend baseline), and after the
+/// links heal the background prober must drain every write-repair journal
+/// so all three replica states converge to the baseline state.
+#[test]
+fn replica_kill_soak_matches_single_backend_baseline_and_converges() {
+    use hyperq::core::resilience::{ResilienceConfig, RetryPolicy};
+    use hyperq::core::{ReplicaConfig, ReplicatedBackend};
+
+    let cfg = SoakConfig { sessions: 6, rounds: 5, seed: 0x5EED5 };
+
+    // ---- fault-free single-backend baseline ----
+    let base_db = seed_db();
+    let base_obs = ObsContext::new();
+    let baseline: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.sessions)
+            .map(|i| {
+                let db = Arc::clone(&base_db);
+                let obs = Arc::clone(&base_obs);
+                let script = script_for(i, cfg);
+                s.spawn(move || run_session(db as Arc<dyn Backend>, &script, &obs, None))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let base_state = state_snapshot(&base_db);
+
+    // ---- chaos: three identically seeded replicas, two of them faulty ----
+    let dbs: Vec<Arc<EngineDb>> = (0..3).map(|_| seed_db()).collect();
+    let injectors: Vec<Arc<FaultInjectingBackend>> = dbs
+        .iter()
+        .map(|db| FaultInjectingBackend::wrap(Arc::clone(db) as Arc<dyn Backend>, FaultPlan::none()))
+        .collect();
+    // r1 dies on a seeded schedule and recovers when it runs out; r2 is
+    // hard-down for the whole run. `IdempotentOnly` mirrors the recovery
+    // soak: every injected kill fires before the inner engine executes, so
+    // a fenced replica missed the statement entirely and journal replay is
+    // exact.
+    injectors[1].set_plan(
+        FaultPlan::seeded_kills(cfg.seed, 0.12, 400).with_scope(FaultScope::IdempotentOnly),
+    );
+    injectors[2].set_plan(
+        FaultPlan::always_fail(BackendErrorKind::ConnectionLost)
+            .with_scope(FaultScope::IdempotentOnly),
+    );
+    let obs = ObsContext::new();
+    let rep = Arc::new(
+        ReplicatedBackend::with_config(
+            injectors.iter().map(|f| Arc::clone(f) as Arc<dyn Backend>).collect(),
+            ReplicaConfig {
+                probe_interval: Duration::from_millis(20),
+                journal_capacity: 4096,
+                resilience: ResilienceConfig {
+                    retry: RetryPolicy {
+                        max_attempts: 2,
+                        base_backoff: Duration::from_millis(1),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            &obs,
+        )
+        .unwrap(),
+    );
+    let prober = rep.spawn_prober();
+    let transcripts: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.sessions)
+            .map(|i| {
+                let rep = Arc::clone(&rep);
+                let obs = Arc::clone(&obs);
+                let script = script_for(i, cfg);
+                s.spawn(move || run_session(rep as Arc<dyn Backend>, &script, &obs, None))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every client saw exactly the fault-free bytes.
+    for (i, (b, c)) in baseline.iter().zip(transcripts.iter()).enumerate() {
+        assert_eq!(b, c, "session {i}: replicated chaos transcript diverged from baseline");
+    }
+
+    // Heal the links and let the background prober drain the journals.
+    injectors[1].set_plan(FaultPlan::none());
+    injectors[2].set_plan(FaultPlan::none());
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while rep.healthy_replicas() < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "prober never healed the replica set: {:?}",
+            rep.snapshot()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(prober);
+
+    let snaps = rep.snapshot();
+    for snap in &snaps {
+        assert_eq!(snap.journal_depth, 0, "journal leak on {}: {snaps:?}", snap.name);
+    }
+    assert!(snaps.iter().map(|s| s.fences).sum::<u64>() >= 1, "soak must fence a replica");
+    assert!(snaps.iter().map(|s| s.heals).sum::<u64>() >= 1, "soak must heal a replica");
+    assert_eq!(rep.divergences(), 0, "identical replicas must never diverge");
+    for (i, db) in dbs.iter().enumerate() {
+        assert_eq!(
+            state_snapshot(db),
+            base_state,
+            "replica r{i} state diverged from the fault-free baseline"
+        );
+    }
+}
+
+/// Losing the transaction-pinned replica mid-transaction surfaces exactly
+/// one 2631-style abort through the recovery layer, the session stays
+/// usable, and a repair sweep re-converges the fenced replica.
+#[test]
+fn losing_pinned_replica_mid_transaction_aborts_once_then_recovers() {
+    use hyperq::core::resilience::{ResilienceConfig, RetryPolicy};
+    use hyperq::core::ReplicaConfig;
+
+    let mk = || {
+        let db = Arc::new(EngineDb::new());
+        db.execute_sql("CREATE TABLE TXN_T (A INTEGER)").unwrap();
+        let injector =
+            FaultInjectingBackend::wrap(Arc::clone(&db) as Arc<dyn Backend>, FaultPlan::none());
+        (db, injector)
+    };
+    let (db_a, inj_a) = mk();
+    let (db_b, inj_b) = mk();
+    let obs = ObsContext::new();
+    let mut hq = HyperQBuilder::new(
+        Arc::clone(&inj_a) as Arc<dyn Backend>,
+        TargetCapabilities::simwh(),
+    )
+    .replicas(
+        vec![Arc::clone(&inj_b) as Arc<dyn Backend>],
+        ReplicaConfig {
+            probe_interval: Duration::ZERO,
+            resilience: ResilienceConfig {
+                retry: RetryPolicy { max_attempts: 1, ..Default::default() },
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .obs(Arc::clone(&obs))
+    .build();
+    let rep = Arc::clone(hq.replication().expect("builder must assemble the replica set"));
+
+    hq.run_one("BT").unwrap();
+    hq.run_one("INS TXN_T (1)").unwrap();
+    let pinned = rep.pinned_replica().expect("in-transaction statements must pin a replica");
+    let pinned_injector = if pinned == "r0" { &inj_a } else { &inj_b };
+    pinned_injector
+        .set_plan(FaultPlan::always_fail(BackendErrorKind::ConnectionLost));
+
+    // One clean abort: the pinned replica is gone, so the open transaction
+    // cannot be transparently moved to a peer.
+    let err = hq.run_one("INS TXN_T (2)").unwrap_err().to_string();
+    assert!(err.contains(TXN_ABORT_MESSAGE), "expected a txn abort, got: {err}");
+    assert!(rep.pinned_replica().is_none(), "the dead pin must be released");
+
+    // The session is immediately usable (reads route to the survivor;
+    // backend transactions are emulated in-tier, so the survivor applied
+    // the broadcast before the pinned failure surfaced the abort) …
+    let o = hq.run_one("SEL COUNT(*) FROM TXN_T").unwrap();
+    assert_eq!(format!("{:?}", o.result.rows[0][0]), "Int(2)");
+
+    // … and after the link heals, one repair sweep re-converges the
+    // fenced replica with the survivor.
+    pinned_injector.set_plan(FaultPlan::none());
+    let report = rep.probe_and_repair();
+    assert_eq!(report.healed, 1, "{report:?}");
+    assert_eq!(rep.healthy_replicas(), 2);
+    assert_eq!(state_snapshot(&db_a), state_snapshot(&db_b), "replicas must re-converge");
+}
+
 #[test]
 fn in_transaction_kill_yields_single_txn_abort_wire_error() {
     let db = Arc::new(EngineDb::new());
