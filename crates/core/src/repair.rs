@@ -4,9 +4,12 @@
 //! loop: [`ReplicatedBackend::probe_and_repair`] probes each fenced
 //! replica with a cheap read, drains its write-repair journal in order
 //! under an idempotent [`RequestContext`], and re-admits the replica only
-//! after a clean drain (the journal is checked empty under the state lock,
-//! so a write racing the drain either lands in the journal before the
-//! check or broadcasts to the already-healed replica — never lost).
+//! after a clean drain. Re-admission requires, under the state lock, an
+//! empty journal *and* no outstanding pending-miss tickets (a broadcast
+//! that observed the fence but has not yet journaled its op): a write
+//! racing the drain therefore either lands in the journal before the
+//! check, or defers the heal to the next sweep — it is never applied out
+//! of order and never lost.
 //!
 //! [`ReplicatedBackend::spawn_prober`] runs the sweep on a background
 //! thread with a configurable interval, mirroring the governor watchdog's
@@ -91,17 +94,30 @@ impl ReplicatedBackend {
                 st.journal.front().cloned()
             };
             let Some(op) = front else {
-                // Empty under the lock ⇒ nothing raced in ⇒ re-admit.
                 let mut st = r.state.lock();
-                if st.health == ReplicaHealth::Fenced && st.journal.is_empty() {
-                    st.health = ReplicaHealth::Healthy;
-                    r.health_state.set(0);
-                    r.heals.inc();
-                    drop(st);
-                    self.refresh_healthy_gauge();
-                    return true;
+                if st.health != ReplicaHealth::Fenced {
+                    return st.health == ReplicaHealth::Healthy;
                 }
-                continue;
+                if !st.journal.is_empty() {
+                    // A write raced in between the peek and this check;
+                    // keep draining.
+                    continue;
+                }
+                if st.pending_misses > 0 {
+                    // An in-flight broadcast observed the fence and will
+                    // journal its op momentarily. Re-admitting now would
+                    // let newer broadcasts apply before that older op —
+                    // stay fenced, the next sweep drains it.
+                    return false;
+                }
+                // Empty journal, no pending misses, all under one lock ⇒
+                // nothing raced in ⇒ re-admit.
+                st.health = ReplicaHealth::Healthy;
+                r.health_state.set(0);
+                r.heals.inc();
+                drop(st);
+                self.refresh_healthy_gauge();
+                return true;
             };
             let replayed = hyperq_obs::provenance::suspended(|| match &op {
                 RepairOp::Write(sql) => r
@@ -211,10 +227,10 @@ mod tests {
     fn no_retry_config() -> ReplicaConfig {
         ReplicaConfig {
             probe_interval: Duration::ZERO,
-            resilience: ResilienceConfig {
+            resilience: Some(ResilienceConfig {
                 retry: RetryPolicy { max_attempts: 1, ..Default::default() },
                 ..Default::default()
-            },
+            }),
             ..Default::default()
         }
     }
@@ -251,6 +267,32 @@ mod tests {
         // The healed replica participates in the next broadcast directly.
         rep.execute("INSERT INTO T VALUES (4)").unwrap();
         assert_eq!(*a.log.lock(), *b.log.lock());
+    }
+
+    #[test]
+    fn prober_defers_readmission_while_a_broadcast_miss_is_pending() {
+        // A broadcast that saw the fence holds a pending-miss ticket until
+        // its op lands in the journal. The prober must not re-admit the
+        // replica in that window, even with an empty journal — a heal there
+        // would let newer writes apply before the older in-flight op.
+        let (a, b) = (LogDb::new(), LogDb::new());
+        let rep = ReplicatedBackend::with_config(
+            vec![Arc::clone(&a) as Arc<dyn Backend>, Arc::clone(&b) as Arc<dyn Backend>],
+            no_retry_config(),
+            &ObsContext::new(),
+        )
+        .unwrap();
+        rep.fence(1);
+        rep.replicas[1].state.lock().pending_misses += 1;
+        let report = rep.probe_and_repair();
+        assert_eq!((report.healed, report.still_fenced), (0, 1), "{report:?}");
+        assert_eq!(rep.healthy_replicas(), 1);
+        // Ticket released (the broadcast journaled or applied nowhere):
+        // the next sweep re-admits.
+        rep.replicas[1].state.lock().pending_misses -= 1;
+        let report = rep.probe_and_repair();
+        assert_eq!(report.healed, 1, "{report:?}");
+        assert_eq!(rep.healthy_replicas(), 2);
     }
 
     #[test]

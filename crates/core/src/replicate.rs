@@ -13,12 +13,15 @@
 //!   DDL) broadcast to every healthy replica. Statement classification is
 //!   parser-backed: `WITH x AS (…) DELETE FROM t` is a write, not a read.
 //! * **Error-class-aware fencing.** Each replica sits behind its own
-//!   [`ResilientBackend`], so transient blips and timeouts are retried
-//!   per replica before the replication layer ever sees them. A replica is
-//!   fenced only when it demonstrably missed an applied write, when its
-//!   connection is lost, or when its write result diverges from the
-//!   majority. Plain statement errors (bad SQL is bad SQL on every
-//!   replica) never fence.
+//!   [`ResilientBackend`], so transient read blips and timeouts are
+//!   retried per replica before the replication layer ever sees them.
+//!   Writes keep the caller's (non-idempotent) [`RequestContext`] and are
+//!   never blind-retried — a retry after an ambiguous failure could apply
+//!   the write twice on one replica, a fork the row-count divergence check
+//!   cannot see. A replica is fenced only when it demonstrably missed an
+//!   applied write, when its connection is lost, or when its write result
+//!   diverges from the majority. Plain statement errors (bad SQL is bad
+//!   SQL on every replica) never fence.
 //! * **Write-repair journal.** Writes applied while a replica is fenced
 //!   are journaled per replica and drained by [`probe_and_repair`]
 //!   (`crate::repair`) under an idempotent [`RequestContext`]; the replica
@@ -199,7 +202,10 @@ pub struct ReplicaConfig {
     pub probe_sql: String,
     /// Per-replica retry/breaker policy applied beneath the replication
     /// layer, so transient faults are absorbed before fencing decisions.
-    pub resilience: ResilienceConfig,
+    /// `None` applies [`ResilienceConfig::default`]; the wire gateway
+    /// substitutes its own gateway-level policy for `None`, so tuning
+    /// `GatewayConfig::resilience` carries over to a replicated gateway.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for ReplicaConfig {
@@ -208,7 +214,7 @@ impl Default for ReplicaConfig {
             journal_capacity: 256,
             probe_interval: Duration::from_millis(200),
             probe_sql: "SELECT 1".to_string(),
-            resilience: ResilienceConfig::default(),
+            resilience: None,
         }
     }
 }
@@ -218,8 +224,9 @@ impl Default for ReplicaConfig {
 pub struct ReplicaSnapshot {
     pub name: String,
     pub health: ReplicaHealth,
-    /// Whether any live session is currently transaction-pinned here.
-    pub pinned: bool,
+    /// Number of live sessions currently transaction-pinned here
+    /// (best-effort, for observability).
+    pub pinned_sessions: usize,
     pub journal_depth: usize,
     pub fences: u64,
     pub heals: u64,
@@ -236,6 +243,13 @@ pub(crate) enum RepairOp {
 pub(crate) struct ReplicaState {
     pub(crate) health: ReplicaHealth,
     pub(crate) journal: VecDeque<RepairOp>,
+    /// Broadcasts that observed this replica fenced at dispatch and have
+    /// not yet appended their op to the journal. While any ticket is
+    /// outstanding the prober must not re-admit the replica: an empty
+    /// journal does not mean "caught up", it means an older op is still in
+    /// flight toward it, and re-admitting would let newer writes apply
+    /// before it.
+    pub(crate) pending_misses: usize,
 }
 
 pub(crate) struct Replica {
@@ -298,13 +312,14 @@ impl ReplicatedBackend {
             return Err(BackendError::fatal("replica set must not be empty"));
         }
         let m = &obs.metrics;
+        let resilience = config.resilience.clone().unwrap_or_default();
         let replicas: Vec<Replica> = replicas
             .into_iter()
             .enumerate()
             .map(|(i, raw)| {
                 let name = format!("r{i}");
                 let backend: Arc<dyn Backend> =
-                    ResilientBackend::wrap(raw, config.resilience.clone(), obs);
+                    ResilientBackend::wrap(raw, resilience.clone(), obs);
                 let labels = &[("replica", name.as_str())][..];
                 let health_state = m.gauge("hyperq_replica_health_state", labels);
                 let depth_gauge = m.gauge("hyperq_replica_repair_depth", labels);
@@ -315,6 +330,7 @@ impl ReplicatedBackend {
                     state: Mutex::new(ReplicaState {
                         health: ReplicaHealth::Healthy,
                         journal: VecDeque::new(),
+                        pending_misses: 0,
                     }),
                     pinned_sessions: AtomicUsize::new(0),
                     health_state,
@@ -372,7 +388,7 @@ impl ReplicatedBackend {
                 ReplicaSnapshot {
                     name: r.name.clone(),
                     health: st.health,
-                    pinned: r.pinned_sessions.load(Ordering::Relaxed) > 0,
+                    pinned_sessions: r.pinned_sessions.load(Ordering::Relaxed),
                     journal_depth: st.journal.len(),
                     fences: r.fences.get(),
                     heals: r.heals.get(),
@@ -389,6 +405,15 @@ impl ReplicatedBackend {
     /// The replica the calling session is transaction-pinned to, if any.
     pub fn pinned_replica(&self) -> Option<String> {
         self.current_pin().map(|i| self.replicas[i].name.clone())
+    }
+
+    /// Release the calling thread's transaction pin, if any. The pin is
+    /// thread-local, so session owners (the wire worker's exit guard) must
+    /// call this from the session's own thread on teardown — a client that
+    /// disconnects mid-transaction would otherwise leave the replica's
+    /// pinned-session count elevated forever.
+    pub fn release_pin(&self) {
+        self.set_pin(None);
     }
 
     fn current_pin(&self) -> Option<usize> {
@@ -479,44 +504,80 @@ impl ReplicatedBackend {
         self.healthy_gauge.set(self.healthy_replicas() as i64);
     }
 
-    /// Deliver a write a replica missed because it was out of rotation (or
-    /// failed the broadcast): journal it when fenced, apply it directly
-    /// when the replica healed between dispatch and delivery.
-    fn deliver_missed(&self, i: usize, op: RepairOp) {
+    /// Fence a replica that just failed a broadcast and journal the op it
+    /// missed, atomically under its state lock. Fencing and journaling in
+    /// one critical section closes the race where the prober probes the
+    /// freshly fenced replica, finds an empty journal, re-admits it, and a
+    /// concurrent broadcast applies a *newer* write before this op lands —
+    /// out-of-order application the row counts would never reveal.
+    fn fence_and_journal(&self, i: usize, op: RepairOp) {
         let r = &self.replicas[i];
+        let fenced_now;
         {
             let mut st = r.state.lock();
             match st.health {
                 ReplicaHealth::NeedsResync => return,
-                ReplicaHealth::Fenced => {
-                    if st.journal.len() >= self.config.journal_capacity {
-                        drop(st);
-                        self.mark_needs_resync(i);
-                        return;
-                    }
-                    st.journal.push_back(op);
-                    r.depth_gauge.set(st.journal.len() as i64);
-                    return;
+                ReplicaHealth::Healthy => {
+                    st.health = ReplicaHealth::Fenced;
+                    r.health_state.set(ReplicaHealth::Fenced.gauge_value());
+                    r.fences.inc();
+                    fenced_now = true;
                 }
-                ReplicaHealth::Healthy => {}
+                ReplicaHealth::Fenced => fenced_now = false,
             }
+            if st.journal.len() >= self.config.journal_capacity {
+                drop(st);
+                self.mark_needs_resync(i);
+                return;
+            }
+            st.journal.push_back(op);
+            r.depth_gauge.set(st.journal.len() as i64);
         }
-        // Healed concurrently (the prober drained the journal after we
-        // dispatched): apply in place to keep the replica converged.
-        let applied = match &op {
-            RepairOp::Write(sql) => r
-                .backend
-                .execute_ctx(sql, RequestContext { idempotent: true, in_transaction: false })
-                .is_ok(),
-            RepairOp::Reset => r.backend.reset_session().is_ok(),
-        };
-        if !applied {
-            self.fence(i);
+        if fenced_now {
+            self.refresh_healthy_gauge();
+        }
+    }
+
+    /// Land a broadcast op in the journal of a replica that was already
+    /// fenced at dispatch, releasing the pending-miss ticket taken under
+    /// the dispatch-time health check (`op` `None` releases the ticket
+    /// without journaling — the broadcast applied nowhere). The prober
+    /// refuses re-admission while a ticket is outstanding, so the append
+    /// cannot lose a race against a premature heal.
+    fn journal_missed(&self, i: usize, op: Option<RepairOp>) {
+        let r = &self.replicas[i];
+        let refenced;
+        {
             let mut st = r.state.lock();
-            if st.health == ReplicaHealth::Fenced {
-                st.journal.push_back(op);
-                r.depth_gauge.set(st.journal.len() as i64);
+            debug_assert!(st.pending_misses > 0, "pending-miss ticket double-released");
+            st.pending_misses = st.pending_misses.saturating_sub(1);
+            if st.health == ReplicaHealth::NeedsResync {
+                return;
             }
+            let Some(op) = op else { return };
+            // The outstanding ticket keeps the prober from re-admitting
+            // the replica, so it is still fenced here; if that invariant
+            // is ever broken, re-fence rather than strand the op in the
+            // journal of a healthy replica (drain only runs on fenced
+            // ones).
+            if st.health == ReplicaHealth::Healthy {
+                st.health = ReplicaHealth::Fenced;
+                r.health_state.set(ReplicaHealth::Fenced.gauge_value());
+                r.fences.inc();
+                refenced = true;
+            } else {
+                refenced = false;
+            }
+            if st.journal.len() >= self.config.journal_capacity {
+                drop(st);
+                self.mark_needs_resync(i);
+                return;
+            }
+            st.journal.push_back(op);
+            r.depth_gauge.set(st.journal.len() as i64);
+        }
+        if refenced {
+            self.refresh_healthy_gauge();
         }
     }
 
@@ -579,33 +640,47 @@ impl ReplicatedBackend {
 
     fn execute_write(&self, sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
         let pin = if ctx.in_transaction { Some(self.ensure_pin()?) } else { None };
-        // The replication layer owns replay safety for broadcast writes: a
-        // replica whose write fails (or times out) is fenced and the write
-        // is journaled for at-least-once repair, so letting the per-replica
-        // resilience layer retry transient write failures cannot fork
-        // replica states. In-transaction writes still never blind-retry
-        // (`allows_retry` checks the transaction flag).
-        let wctx = RequestContext { idempotent: true, in_transaction: ctx.in_transaction };
+        // The caller's idempotence flag passes through untouched. Granting
+        // idempotence here would let each replica's resilience layer
+        // blind-retry DML after an ambiguous failure (connection lost or
+        // timeout mid-write) whose first attempt may already have applied —
+        // a duplicated effect on one replica that the row-count divergence
+        // check cannot see, because the retry reports the same count.
+        // Failed or missed writes instead reach fenced replicas through
+        // the repair journal, whose replay is explicitly at-least-once.
         let mut attempted: Vec<(usize, Result<ExecResult, BackendError>)> = Vec::new();
         let mut missed: Vec<usize> = Vec::new();
         for (i, r) in self.replicas.iter().enumerate() {
-            match r.state.lock().health {
-                ReplicaHealth::Healthy => {}
-                ReplicaHealth::Fenced => {
-                    missed.push(i);
-                    continue;
+            {
+                let mut st = r.state.lock();
+                match st.health {
+                    ReplicaHealth::Healthy => {}
+                    ReplicaHealth::Fenced => {
+                        // Take a pending-miss ticket under the same lock
+                        // that observed the fence: until `journal_missed`
+                        // releases it the prober will not re-admit this
+                        // replica, so the journal append below cannot race
+                        // a heal and land after newer writes.
+                        st.pending_misses += 1;
+                        missed.push(i);
+                        continue;
+                    }
+                    ReplicaHealth::NeedsResync => continue,
                 }
-                ReplicaHealth::NeedsResync => continue,
             }
-            attempted.push((i, r.backend.execute_ctx(sql, wctx)));
+            attempted.push((i, r.backend.execute_ctx(sql, ctx)));
         }
         let ok_count = attempted.iter().filter(|(_, res)| res.is_ok()).count();
         if ok_count == 0 {
             // Nothing applied the write; the client sees a failure and the
-            // journal records nothing. Replicas whose outcome is *unknown*
-            // (the connection died or timed out mid-write — it may have
-            // applied) are fenced; if they did apply it, the next broadcast
-            // write's row-count comparison flags them as diverged.
+            // journal records nothing (tickets are released unjournaled).
+            // Replicas whose outcome is *unknown* (the connection died or
+            // timed out mid-write — it may have applied) are fenced; if
+            // they did apply it, the next broadcast write's row-count
+            // comparison flags them as diverged.
+            for i in missed {
+                self.journal_missed(i, None);
+            }
             for (i, res) in &attempted {
                 if let Err(e) = res {
                     if matches!(
@@ -627,15 +702,15 @@ impl ReplicatedBackend {
                 .unwrap_or_else(|| BackendError::rejected("no healthy replica available")));
         }
         // At least one replica applied the write: every replica that did
-        // not (fenced at dispatch, or failed the broadcast) must replay it.
+        // not must replay it. Failures fence and journal in one critical
+        // section; replicas fenced at dispatch journal under their ticket.
         for (i, res) in &attempted {
             if res.is_err() {
-                self.fence(*i);
-                missed.push(*i);
+                self.fence_and_journal(*i, RepairOp::Write(sql.to_string()));
             }
         }
         for i in missed {
-            self.deliver_missed(i, RepairOp::Write(sql.to_string()));
+            self.journal_missed(i, Some(RepairOp::Write(sql.to_string())));
         }
         // Divergence check: an applied write must affect the same number of
         // rows everywhere. The majority count wins (ties break toward the
@@ -760,25 +835,28 @@ impl Backend for ReplicatedBackend {
         let mut last_err = None;
         let mut missed: Vec<usize> = Vec::new();
         for (i, r) in self.replicas.iter().enumerate() {
-            match r.state.lock().health {
-                ReplicaHealth::Healthy => {}
-                ReplicaHealth::Fenced => {
-                    missed.push(i);
-                    continue;
+            {
+                let mut st = r.state.lock();
+                match st.health {
+                    ReplicaHealth::Healthy => {}
+                    ReplicaHealth::Fenced => {
+                        st.pending_misses += 1;
+                        missed.push(i);
+                        continue;
+                    }
+                    ReplicaHealth::NeedsResync => continue,
                 }
-                ReplicaHealth::NeedsResync => continue,
             }
             match r.backend.reset_session() {
                 Ok(()) => any_ok = true,
                 Err(e) => {
-                    self.fence(i);
-                    missed.push(i);
+                    self.fence_and_journal(i, RepairOp::Reset);
                     last_err = Some(e);
                 }
             }
         }
         for i in missed {
-            self.deliver_missed(i, RepairOp::Reset);
+            self.journal_missed(i, Some(RepairOp::Reset));
         }
         match (any_ok, last_err) {
             (true, _) => Ok(()),
@@ -970,13 +1048,13 @@ mod tests {
             ReplicaConfig {
                 journal_capacity: 3,
                 probe_interval: Duration::ZERO,
-                resilience: ResilienceConfig {
+                resilience: Some(ResilienceConfig {
                     retry: crate::resilience::RetryPolicy {
                         max_attempts: 1,
                         ..Default::default()
                     },
                     ..Default::default()
-                },
+                }),
                 ..Default::default()
             },
             ObsContext::global(),
@@ -995,6 +1073,67 @@ mod tests {
         let snap = rep.snapshot();
         assert_eq!(snap[1].health, ReplicaHealth::NeedsResync);
         assert_eq!(snap[1].journal_depth, 0);
+    }
+
+    /// Records the [`RequestContext`] each call arrives with.
+    struct CtxCapture {
+        ctxs: Mutex<Vec<RequestContext>>,
+    }
+
+    impl CtxCapture {
+        fn new() -> Arc<Self> {
+            Arc::new(CtxCapture { ctxs: Mutex::new(Vec::new()) })
+        }
+    }
+
+    impl Backend for CtxCapture {
+        fn name(&self) -> &str {
+            "ctx-capture"
+        }
+
+        fn execute(&self, sql: &str) -> Result<ExecResult, BackendError> {
+            self.execute_ctx(sql, RequestContext::default())
+        }
+
+        fn execute_ctx(&self, _sql: &str, ctx: RequestContext) -> Result<ExecResult, BackendError> {
+            self.ctxs.lock().push(ctx);
+            Ok(ExecResult::affected(1))
+        }
+
+        fn table_meta(&self, _name: &str) -> Option<TableDef> {
+            None
+        }
+    }
+
+    #[test]
+    fn broadcast_writes_keep_the_callers_idempotence_flag() {
+        // Regression: the broadcast used to force `idempotent: true`, which
+        // let the per-replica resilience layer blind-retry non-idempotent
+        // DML after an ambiguous failure — a possible double apply on one
+        // replica that divergence detection cannot see.
+        let cap = CtxCapture::new();
+        let rep = ReplicatedBackend::new(vec![Arc::clone(&cap) as Arc<dyn Backend>]).unwrap();
+        rep.execute("INSERT INTO T VALUES (1)").unwrap();
+        rep.execute_ctx("DELETE FROM T", RequestContext::write()).unwrap();
+        for ctx in cap.ctxs.lock().iter() {
+            assert!(!ctx.idempotent, "broadcast writes must stay non-idempotent: {ctx:?}");
+        }
+    }
+
+    #[test]
+    fn release_pin_clears_a_leaked_session_pin() {
+        let (a, b) = (Counting::new(false), Counting::new(false));
+        let rep = pair(&a, &b);
+        let txn = RequestContext { idempotent: true, in_transaction: true };
+        rep.execute_ctx("SELECT 1", txn).unwrap();
+        let pinned: usize = rep.snapshot().iter().map(|s| s.pinned_sessions).sum();
+        assert_eq!(pinned, 1);
+        // Session teardown (wire worker exit guard) releases the pin even
+        // when the client vanished mid-transaction without a reset.
+        rep.release_pin();
+        let pinned: usize = rep.snapshot().iter().map(|s| s.pinned_sessions).sum();
+        assert_eq!(pinned, 0, "teardown must return the pinned-session count");
+        assert!(rep.pinned_replica().is_none());
     }
 
     #[test]

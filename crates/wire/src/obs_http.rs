@@ -281,7 +281,7 @@ fn render_replicas_json(replicas: &[ReplicaSnapshot]) -> String {
              \"journal_depth\":{},\"fences\":{},\"heals\":{}}}",
             r.name,
             r.health.as_str(),
-            r.pinned,
+            r.pinned_sessions,
             r.journal_depth,
             r.fences,
             r.heals,

@@ -105,7 +105,10 @@ pub struct GatewayConfig {
     pub drain_timeout: Duration,
     /// Retry/breaker policy wrapped around the backend, shared by all
     /// sessions so the breaker sees the target's aggregate health.
-    /// `None` executes against the backend unwrapped.
+    /// `None` executes against the backend unwrapped. On a replicated
+    /// gateway (`replicas` non-empty) this same policy is applied *per
+    /// replica* inside the replica set, unless `replica_config.resilience`
+    /// explicitly overrides it.
     pub resilience: Option<ResilienceConfig>,
     /// Static-analysis mode for every session's pipeline. The gateway
     /// defaults to `LogOnly`: violations are counted in the metrics
@@ -142,7 +145,10 @@ pub struct GatewayConfig {
     /// sick replica cannot trip the breaker for its healthy peers.
     pub replicas: Vec<Arc<dyn Backend>>,
     /// Journal capacity, probe cadence and per-replica retry policy for
-    /// the replica set. Ignored when `replicas` is empty.
+    /// the replica set. Its `resilience: None` (the default) inherits the
+    /// gateway-level `resilience` policy, so tuning that policy carries
+    /// over to a replicated gateway; set it to `Some(…)` to give replicas
+    /// their own policy. Ignored when `replicas` is empty.
     pub replica_config: ReplicaConfig,
 }
 
@@ -193,11 +199,19 @@ pub struct Gateway {
 }
 
 /// Decrements the gateway's active-session count when a worker exits,
-/// on every path (clean logoff, protocol error, panic unwind).
+/// on every path (clean logoff, protocol error, panic unwind). On a
+/// replicated gateway it also releases the worker thread's transaction
+/// pin: a client that disconnects mid-transaction would otherwise leave
+/// the replica's pinned-session count elevated forever (the pin is
+/// thread-local, so this relies on the guard dropping on the session's
+/// own thread).
 struct ActiveGuard(Arc<Gateway>);
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
+        if let Some(rep) = &self.0.replication {
+            rep.release_pin();
+        }
         self.0.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -387,7 +401,15 @@ impl Gateway {
             } else {
                 let mut set: Vec<Arc<dyn Backend>> = vec![backend];
                 set.extend(replicas);
-                match ReplicatedBackend::with_config(set, config.replica_config.clone(), obs) {
+                let mut replica_config = config.replica_config.clone();
+                // An explicitly set per-replica policy wins; otherwise the
+                // gateway-level `resilience` policy carries over, so an
+                // operator's tuned retry/breaker settings are never
+                // silently dropped by adding replicas.
+                if replica_config.resilience.is_none() {
+                    replica_config.resilience = config.resilience.clone();
+                }
+                match ReplicatedBackend::with_config(set, replica_config, obs) {
                     Ok(rep) => {
                         let rep = Arc::new(rep);
                         (Arc::clone(&rep) as Arc<dyn Backend>, Some(rep))

@@ -317,17 +317,15 @@ fn replica_kill_soak_matches_single_backend_baseline_and_converges() {
         .map(|db| FaultInjectingBackend::wrap(Arc::clone(db) as Arc<dyn Backend>, FaultPlan::none()))
         .collect();
     // r1 dies on a seeded schedule and recovers when it runs out; r2 is
-    // hard-down for the whole run. `IdempotentOnly` mirrors the recovery
-    // soak: every injected kill fires before the inner engine executes, so
-    // a fenced replica missed the statement entirely and journal replay is
-    // exact.
-    injectors[1].set_plan(
-        FaultPlan::seeded_kills(cfg.seed, 0.12, 400).with_scope(FaultScope::IdempotentOnly),
-    );
-    injectors[2].set_plan(
-        FaultPlan::always_fail(BackendErrorKind::ConnectionLost)
-            .with_scope(FaultScope::IdempotentOnly),
-    );
+    // hard-down for the whole run. Every injected kill fires before the
+    // inner engine executes, so a killed replica missed the statement
+    // entirely and journal replay is exact: reads fail over (and may
+    // retry — they are idempotent), killed broadcast writes fence the
+    // replica and land in its repair journal. The scripts run no
+    // transactions, so the default all-calls scope kills reads and writes
+    // alike.
+    injectors[1].set_plan(FaultPlan::seeded_kills(cfg.seed, 0.12, 400));
+    injectors[2].set_plan(FaultPlan::always_fail(BackendErrorKind::ConnectionLost));
     let obs = ObsContext::new();
     let rep = Arc::new(
         ReplicatedBackend::with_config(
@@ -335,14 +333,14 @@ fn replica_kill_soak_matches_single_backend_baseline_and_converges() {
             ReplicaConfig {
                 probe_interval: Duration::from_millis(20),
                 journal_capacity: 4096,
-                resilience: ResilienceConfig {
+                resilience: Some(ResilienceConfig {
                     retry: RetryPolicy {
                         max_attempts: 2,
                         base_backoff: Duration::from_millis(1),
                         ..Default::default()
                     },
                     ..Default::default()
-                },
+                }),
                 ..Default::default()
             },
             &obs,
@@ -423,10 +421,10 @@ fn losing_pinned_replica_mid_transaction_aborts_once_then_recovers() {
         vec![Arc::clone(&inj_b) as Arc<dyn Backend>],
         ReplicaConfig {
             probe_interval: Duration::ZERO,
-            resilience: ResilienceConfig {
+            resilience: Some(ResilienceConfig {
                 retry: RetryPolicy { max_attempts: 1, ..Default::default() },
                 ..Default::default()
-            },
+            }),
             ..Default::default()
         },
     )
