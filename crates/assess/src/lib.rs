@@ -36,7 +36,8 @@ use hyperq_core::conformance::{self, Finding};
 use hyperq_core::emulate::{self, CostTier, EmulationKind};
 use hyperq_core::error::{HyperQError, Result};
 use hyperq_core::binder::Binder;
-use hyperq_core::serialize::Serializer;
+use hyperq_core::serialize::{LimitSpelling, Serializer};
+use hyperq_core::targets::TargetProfile;
 use hyperq_core::session::RoutineDef;
 use hyperq_core::transform::Transformer;
 use hyperq_parser::ast as past;
@@ -93,7 +94,7 @@ const MAX_INFERENCE_STEPS: usize = 64;
 
 /// The static assessor: crosscompiler session state without a backend.
 pub struct Assessor {
-    caps: TargetCapabilities,
+    profile: TargetProfile,
     /// Stand-in for the target catalog: definitions as the *target* would
     /// hold them (sidecar-only properties stripped), from in-corpus DDL
     /// and usage-driven inference.
@@ -118,9 +119,16 @@ pub struct Assessor {
 }
 
 impl Assessor {
+    /// Assess for a bare capability signature (resolved to a registry
+    /// profile when one matches, an anonymous custom profile otherwise).
     pub fn new(caps: TargetCapabilities) -> Self {
+        Self::for_target(TargetProfile::from_caps(caps))
+    }
+
+    /// Assess for a named target profile — the primary constructor.
+    pub fn for_target(profile: TargetProfile) -> Self {
         Assessor {
-            caps,
+            profile,
             tables: HashMap::new(),
             sidecars: HashMap::new(),
             gtt_defs: HashMap::new(),
@@ -138,7 +146,12 @@ impl Assessor {
     }
 
     pub fn capabilities(&self) -> &TargetCapabilities {
-        &self.caps
+        &self.profile.caps
+    }
+
+    /// The full target profile this assessor evaluates against.
+    pub fn profile(&self) -> &TargetProfile {
+        &self.profile
     }
 
     /// Tables fabricated from usage alone, sorted.
@@ -214,7 +227,7 @@ impl Assessor {
 
         let mut findings = conformance::lint_source(&ps.text, &features, txn_before);
         for sql in &out_sql {
-            findings.extend(conformance::lint_serialized(sql, &self.caps));
+            findings.extend(conformance::lint_serialized(sql, &self.profile.caps));
         }
 
         let verdict = match outcome {
@@ -353,7 +366,7 @@ impl Assessor {
             past::Statement::Query(q) if q.recursive => {
                 kinds.push(EmulationKind::Recursive);
                 features.insert(Feature::RecursiveQuery);
-                self.assess_recursive(q, features, out_sql)
+                self.assess_recursive(q, kinds, features, out_sql)
             }
             past::Statement::SetSession { name, value } => {
                 kinds.push(EmulationKind::SetSession);
@@ -371,7 +384,7 @@ impl Assessor {
                 } else {
                     self.settings.push((key.clone(), rendered.clone()));
                 }
-                if self.caps.session_settings {
+                if self.profile.caps.session_settings {
                     out_sql.push(format!("SET {key} = {rendered}"));
                 }
                 Ok(())
@@ -480,8 +493,11 @@ impl Assessor {
                     features.union(&binder.features);
                     plan
                 };
-                let plan = self.transformer.run_all(plan, &self.caps, features)?;
-                Serializer::new(&self.caps).serialize_plan(&plan)?;
+                let plan = self.transformer.run_all(plan, &self.profile.caps, features)?;
+                // EXPLAIN mirrors the live path: the peel is quiet (the
+                // query is not executed, so LimitFetch never fires).
+                let (plan, _fetch_limit) = self.peel_fetch_limit(plan);
+                Serializer::for_profile(&self.profile).serialize_plan(&plan)?;
                 Ok(())
             }
         }
@@ -532,8 +548,14 @@ impl Assessor {
         // E8/E9 on INSERT plans.
         let plan = self.apply_insert_emulations(plan, kinds, features)?;
 
-        let plan = self.transformer.run_all(plan, &self.caps, features)?;
-        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        let plan = self.transformer.run_all(plan, &self.profile.caps, features)?;
+        // Mirror of the live pipeline's LimitFetch: the row bound peels
+        // off and the mid tier would truncate the executed result.
+        let (plan, fetch_limit) = self.peel_fetch_limit(plan);
+        if fetch_limit.is_some() {
+            kinds.push(EmulationKind::LimitFetch);
+        }
+        let sql = Serializer::for_profile(&self.profile).serialize_plan(&plan)?;
 
         // E7: lazily materialize per-session instances of touched GTTs.
         if !gtts.is_empty() {
@@ -550,7 +572,7 @@ impl Assessor {
             let mut instance = def;
             instance.name = gtt_instance_name(&logical);
             instance.kind = TableKind::Temporary;
-            let ddl = Serializer::new(&self.caps)
+            let ddl = Serializer::for_profile(&self.profile)
                 .serialize_plan(&Plan::CreateTable { def: instance, source: None })?;
             out_sql.push(ddl);
             self.materialized_gtts.insert(logical);
@@ -693,6 +715,7 @@ impl Assessor {
     fn assess_recursive(
         &mut self,
         q: &past::Query,
+        kinds: &mut Vec<EmulationKind>,
         features: &mut FeatureSet,
         out_sql: &mut Vec<String>,
     ) -> Result<()> {
@@ -735,6 +758,7 @@ impl Assessor {
         // Seed CTAS into WorkTable, copy into TempTable.
         self.dry_exec(
             Plan::CreateTable { def: table_def(&work_table), source: Some(seed_rel) },
+            kinds,
             out_sql,
         )?;
         self.dry_exec(
@@ -746,6 +770,7 @@ impl Assessor {
                     schema: table_def(&work_table).schema(None),
                 }),
             },
+            kinds,
             out_sql,
         )?;
 
@@ -763,6 +788,7 @@ impl Assessor {
         let next_table = self.fresh_name("TT");
         self.dry_exec(
             Plan::CreateTable { def: table_def(&next_table), source: Some(step_rel) },
+            kinds,
             out_sql,
         )?;
         self.dry_exec(
@@ -775,6 +801,7 @@ impl Assessor {
                     schema: table_def(&next_table).schema(None),
                 },
             },
+            kinds,
             out_sql,
         )?;
 
@@ -788,23 +815,61 @@ impl Assessor {
             features.union(&binder.features);
             plan
         };
-        self.dry_exec(main_plan, out_sql)?;
+        self.dry_exec(main_plan, kinds, out_sql)?;
         self.dry_exec(
             Plan::DropTable { name: next_table, if_exists: false },
+            kinds,
             out_sql,
         )?;
-        self.dry_exec(Plan::DropTable { name: temp_table, if_exists: false }, out_sql)?;
-        self.dry_exec(Plan::DropTable { name: work_table, if_exists: false }, out_sql)?;
+        self.dry_exec(Plan::DropTable { name: temp_table, if_exists: false }, kinds, out_sql)?;
+        self.dry_exec(Plan::DropTable { name: work_table, if_exists: false }, kinds, out_sql)?;
         Ok(())
     }
 
     /// Mirror of `exec_plan`: transform + serialize one already-bound
-    /// plan, keeping the SQL for advisory lints.
-    fn dry_exec(&mut self, plan: Plan, out_sql: &mut Vec<String>) -> Result<()> {
+    /// plan, keeping the SQL for advisory lints. Like the live
+    /// `exec_plan`, a top-level row bound peels into a LimitFetch
+    /// prediction (recursion's main query can carry one).
+    fn dry_exec(
+        &mut self,
+        plan: Plan,
+        kinds: &mut Vec<EmulationKind>,
+        out_sql: &mut Vec<String>,
+    ) -> Result<()> {
         let mut scratch = FeatureSet::new();
-        let plan = self.transformer.run_all(plan, &self.caps, &mut scratch)?;
-        out_sql.push(Serializer::new(&self.caps).serialize_plan(&plan)?);
+        let plan = self.transformer.run_all(plan, &self.profile.caps, &mut scratch)?;
+        let (plan, fetch_limit) = self.peel_fetch_limit(plan);
+        if fetch_limit.is_some() {
+            kinds.push(EmulationKind::LimitFetch);
+        }
+        out_sql.push(Serializer::for_profile(&self.profile).serialize_plan(&plan)?);
         Ok(())
+    }
+
+    /// Mirror of the crosscompiler's `peel_fetch_limit`: on a target that
+    /// spells neither `LIMIT` nor `TOP`, a plain top-level row bound (no
+    /// OFFSET, no WITH TIES) peels off for mid-tier truncation.
+    fn peel_fetch_limit(&self, plan: Plan) -> (Plan, Option<u64>) {
+        if self.profile.flavor.limit != LimitSpelling::None {
+            return (plan, None);
+        }
+        match plan {
+            Plan::Query(RelExpr::Limit { input, limit: Some(n), with_ties: false, offset: 0 }) => {
+                (Plan::Query(*input), Some(n))
+            }
+            // Hidden ORDER BY sort columns wrap a rename/strip projection
+            // above the bound; the projection is row-preserving, so
+            // truncating after it equals truncating before it.
+            Plan::Query(RelExpr::Project { input, exprs }) => match *input {
+                RelExpr::Limit { input, limit: Some(n), with_ties: false, offset: 0 } => {
+                    (Plan::Query(RelExpr::Project { input, exprs }), Some(n))
+                }
+                other => {
+                    (Plan::Query(RelExpr::Project { input: Box::new(other), exprs }), None)
+                }
+            },
+            other => (other, None),
+        }
     }
 
     // -------------------------------------------------------------------

@@ -1,35 +1,26 @@
 //! `hyperq-assess` — static workload assessment from the command line.
 //!
 //! ```text
-//! hyperq-assess [--target simwh|cloud-a..cloud-f] [--format text|json]
+//! hyperq-assess [--target NAME]... [--format text|json]
 //!               (--corpus tpch|health|telco | FILE...)
 //! ```
 //!
-//! Files are SQL scripts (statements separated by `;`); `--ddl FILE` adds
-//! schema-only inputs that populate the catalog without being assessed.
-//! With `--corpus`, the built-in workload generators supply both DDL and
-//! statements, so a report is reproducible with no inputs at all.
+//! `--target` takes any name from the target-profile registry (`simwh`,
+//! `simwh-reduced`, `cloud-a`..`cloud-f`) and repeats: each named profile
+//! gets its own verdict section in the report. `--target all` assesses
+//! every registered profile. Files are SQL scripts (statements separated
+//! by `;`); `--ddl FILE` adds schema-only inputs that populate the
+//! catalog without being assessed. With `--corpus`, the built-in workload
+//! generators supply both DDL and statements, so a report is reproducible
+//! with no inputs at all.
 
 use std::process::ExitCode;
 
 use hyperq_assess::{Assessor, Report, StatementAssessment};
-use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::targets::{self, TargetProfile};
 use hyperq_workload::{customer, tpch};
 
-fn target_by_name(name: &str) -> Option<TargetCapabilities> {
-    match name.to_ascii_lowercase().as_str() {
-        "simwh" => Some(TargetCapabilities::simwh()),
-        "cloud-a" | "cloud_a" => Some(TargetCapabilities::cloud_a()),
-        "cloud-b" | "cloud_b" => Some(TargetCapabilities::cloud_b()),
-        "cloud-c" | "cloud_c" => Some(TargetCapabilities::cloud_c()),
-        "cloud-d" | "cloud_d" => Some(TargetCapabilities::cloud_d()),
-        "cloud-e" | "cloud_e" => Some(TargetCapabilities::cloud_e()),
-        "cloud-f" | "cloud_f" => Some(TargetCapabilities::cloud_f()),
-        _ => None,
-    }
-}
-
-const USAGE: &str = "usage: hyperq-assess [--target NAME] [--format text|json] \
+const USAGE: &str = "usage: hyperq-assess [--target NAME]... [--format text|json] \
                      [--fail-on-unsupported] (--corpus tpch|health|telco | [--ddl FILE]... FILE...)";
 
 fn main() -> ExitCode {
@@ -43,8 +34,14 @@ fn main() -> ExitCode {
     }
 }
 
+/// The corpus to assess, read once and replayed per target profile.
+enum Inputs {
+    Corpus(String),
+    Files { ddl: Vec<String>, scripts: Vec<String> },
+}
+
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
-    let mut target = "simwh".to_string();
+    let mut target_names: Vec<String> = Vec::new();
     let mut format = "text".to_string();
     let mut corpus: Option<String> = None;
     let mut ddl_files: Vec<String> = Vec::new();
@@ -54,7 +51,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--target" => target = it.next().ok_or("--target needs a value")?,
+            "--target" => target_names.push(it.next().ok_or("--target needs a value")?),
             "--format" => format = it.next().ok_or("--format needs a value")?,
             "--corpus" => corpus = Some(it.next().ok_or("--corpus needs a value")?),
             "--ddl" => ddl_files.push(it.next().ok_or("--ddl needs a value")?),
@@ -72,14 +69,79 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     if !matches!(format.as_str(), "text" | "json") {
         return Err(format!("unknown format {format}"));
     }
-    let caps =
-        target_by_name(&target).ok_or_else(|| format!("unknown target {target}"))?;
-    let target_name = caps.name;
-    let mut assessor = Assessor::new(caps);
-    let mut assessments: Vec<StatementAssessment> = Vec::new();
 
-    match corpus.as_deref() {
-        Some("tpch") => {
+    // Resolve --target through the profile registry; no flag means the
+    // default target, "all" expands to every registered profile.
+    let mut profiles: Vec<TargetProfile> = Vec::new();
+    if target_names.is_empty() {
+        profiles.push(targets::simwh());
+    }
+    for name in &target_names {
+        if name.eq_ignore_ascii_case("all") {
+            profiles.extend(targets::all());
+        } else {
+            profiles
+                .push(targets::lookup(name).ok_or_else(|| format!("unknown target {name}"))?);
+        }
+    }
+    profiles.dedup_by(|a, b| a.name == b.name);
+
+    let inputs = match corpus {
+        Some(name) => {
+            if !matches!(name.as_str(), "tpch" | "health" | "telco") {
+                return Err(format!("unknown corpus {name}"));
+            }
+            Inputs::Corpus(name)
+        }
+        None => {
+            if files.is_empty() && ddl_files.is_empty() {
+                return Err("no inputs: pass --corpus or at least one SQL file".into());
+            }
+            let mut ddl = Vec::new();
+            for f in &ddl_files {
+                ddl.push(std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?);
+            }
+            let mut scripts = Vec::new();
+            for f in &files {
+                scripts.push(std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?);
+            }
+            Inputs::Files { ddl, scripts }
+        }
+    };
+
+    let reports: Vec<Report> =
+        profiles.iter().map(|p| assess_for(p.clone(), &inputs)).collect();
+    for report in &reports {
+        report.record_metrics(hyperq_obs::ObsContext::global());
+    }
+    match format.as_str() {
+        "json" if reports.len() == 1 => println!("{}", reports[0].to_json()),
+        "json" => {
+            let body: Vec<String> = reports.iter().map(Report::to_json).collect();
+            println!("[{}]", body.join(","));
+        }
+        _ => {
+            for (i, report) in reports.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", report.to_text());
+            }
+        }
+    }
+    if fail_on_unsupported && reports.iter().any(|r| r.unsupported > 0) {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One target's verdict section: a fresh assessor fed the whole corpus.
+fn assess_for(profile: TargetProfile, inputs: &Inputs) -> Report {
+    let target = profile.name.clone();
+    let mut assessor = Assessor::for_target(profile);
+    let mut assessments: Vec<StatementAssessment> = Vec::new();
+    match inputs {
+        Inputs::Corpus(name) if name == "tpch" => {
             for ddl in tpch::ddl() {
                 assessor.ingest_ddl(&ddl);
             }
@@ -87,12 +149,8 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 append(&mut assessments, assessor.assess_script(q));
             }
         }
-        Some("health" | "telco") => {
-            let w = if corpus.as_deref() == Some("health") {
-                customer::health(0.05)
-            } else {
-                customer::telco(0.02)
-            };
+        Inputs::Corpus(name) => {
+            let w = if name == "health" { customer::health(0.05) } else { customer::telco(0.02) };
             for ddl in &w.target_ddl {
                 assessor.ingest_ddl(ddl);
             }
@@ -103,32 +161,16 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 append(&mut assessments, assessor.assess_script(text));
             }
         }
-        Some(other) => return Err(format!("unknown corpus {other}")),
-        None => {
-            if files.is_empty() && ddl_files.is_empty() {
-                return Err("no inputs: pass --corpus or at least one SQL file".into());
+        Inputs::Files { ddl, scripts } => {
+            for sql in ddl {
+                assessor.ingest_ddl(sql);
             }
-            for f in &ddl_files {
-                let sql = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-                assessor.ingest_ddl(&sql);
-            }
-            for f in &files {
-                let sql = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-                append(&mut assessments, assessor.assess_script(&sql));
+            for sql in scripts {
+                append(&mut assessments, assessor.assess_script(sql));
             }
         }
     }
-
-    let report = Report::build(target_name, &assessments, assessor.inferred_tables());
-    report.record_metrics(hyperq_obs::ObsContext::global());
-    match format.as_str() {
-        "json" => println!("{}", report.to_json()),
-        _ => print!("{}", report.to_text()),
-    }
-    if fail_on_unsupported && report.unsupported > 0 {
-        return Ok(ExitCode::FAILURE);
-    }
-    Ok(ExitCode::SUCCESS)
+    Report::build(&target, &assessments, assessor.inferred_tables())
 }
 
 fn append(into: &mut Vec<StatementAssessment>, mut batch: Vec<StatementAssessment>) {

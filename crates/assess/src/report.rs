@@ -112,15 +112,28 @@ impl Report {
     /// context.
     pub fn record_metrics(&self, obs: &ObsContext) {
         let m = &obs.metrics;
-        m.counter("hyperq_assess_statements_total", &[("verdict", "translatable")])
-            .add(self.translatable as u64);
-        m.counter("hyperq_assess_statements_total", &[("verdict", "needs_emulation")])
-            .add(self.needs_emulation as u64);
-        m.counter("hyperq_assess_statements_total", &[("verdict", "unsupported")])
-            .add(self.unsupported as u64);
+        let target = self.target.as_str();
+        m.counter(
+            "hyperq_assess_statements_total",
+            &[("verdict", "translatable"), ("target", target)],
+        )
+        .add(self.translatable as u64);
+        m.counter(
+            "hyperq_assess_statements_total",
+            &[("verdict", "needs_emulation"), ("target", target)],
+        )
+        .add(self.needs_emulation as u64);
+        m.counter(
+            "hyperq_assess_statements_total",
+            &[("verdict", "unsupported"), ("target", target)],
+        )
+        .add(self.unsupported as u64);
         for (kind, n) in &self.emulation_counts {
-            m.counter("hyperq_assess_emulation_predicted_total", &[("kind", kind.as_str())])
-                .add(*n as u64);
+            m.counter(
+                "hyperq_assess_emulation_predicted_total",
+                &[("kind", kind.as_str()), ("target", target)],
+            )
+            .add(*n as u64);
         }
     }
 

@@ -132,9 +132,9 @@ fn bench_dml_batching(c: &mut Criterion) {
                 || {
                     let db = EngineDb::new();
                     db.execute_sql("CREATE TABLE EVENTS (K INTEGER)").unwrap();
-                    let mut hq = HyperQBuilder::new(
+                    let mut hq = HyperQBuilder::for_target(
                         Arc::new(db) as Arc<dyn Backend>,
-                        TargetCapabilities::simwh(),
+                        hyperq_core::targets::simwh(),
                     ).no_cache().build();
                     hq.dml_batching = batching;
                     hq

@@ -10,7 +10,6 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hyperq_bench::harness::load_tpch;
 use hyperq_core::backend::Backend;
-use hyperq_core::capability::TargetCapabilities;
 use hyperq_core::HyperQBuilder;
 use hyperq_wire::{convert, ConverterConfig};
 use hyperq_workload::tpch;
@@ -20,7 +19,7 @@ use hyperq_xtra::types::SqlType;
 
 fn bench_translation_vs_execution(c: &mut Criterion) {
     let db = load_tpch(0.002, None);
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).no_cache().build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq_core::targets::simwh()).no_cache().build();
     let mut group = c.benchmark_group("overhead");
     for q in [1usize, 6] {
         let translated = hq.translate(tpch::query(q)).unwrap();

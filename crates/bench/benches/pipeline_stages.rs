@@ -72,12 +72,18 @@ fn bench_observability_overhead(c: &mut Criterion) {
     // The same end-to-end statement against an instrumented session with
     // span tracing on vs off; the difference is the observability tax
     // (histogram atomics are always on).
-    let caps = TargetCapabilities::simwh();
+    let _caps = TargetCapabilities::simwh();
     let on = hyperq_obs::ObsContext::new();
-    let mut hq_on = HyperQBuilder::new(sales_backend(), caps.clone()).obs(Arc::clone(&on)).no_cache().build();
+    let mut hq_on = HyperQBuilder::for_target(sales_backend(), hyperq_core::targets::simwh())
+        .obs(Arc::clone(&on))
+        .no_cache()
+        .build();
     let off = hyperq_obs::ObsContext::new();
     off.traces.set_enabled(false);
-    let mut hq_off = HyperQBuilder::new(sales_backend(), caps).obs(Arc::clone(&off)).no_cache().build();
+    let mut hq_off = HyperQBuilder::for_target(sales_backend(), hyperq_core::targets::simwh())
+        .obs(Arc::clone(&off))
+        .no_cache()
+        .build();
     c.bench_function("run/example2_tracing_on", |b| {
         b.iter(|| hq_on.run_one(EXAMPLE2).unwrap());
     });
@@ -90,7 +96,7 @@ fn bench_full_translation(c: &mut Criterion) {
     // End-to-end translation time of TPC-H queries (no execution): the
     // per-query cost Hyper-Q adds before the target sees SQL.
     let db = load_tpch(0.0001, None);
-    let mut hq = HyperQBuilder::new(db as Arc<dyn Backend>, TargetCapabilities::simwh()).no_cache().build();
+    let mut hq = HyperQBuilder::for_target(db as Arc<dyn Backend>, hyperq_core::targets::simwh()).no_cache().build();
     for q in [1usize, 3, 6, 13, 21] {
         c.bench_function(format!("translate/tpch_q{q}"), |b| {
             b.iter(|| hq.translate(hyperq_workload::tpch::query(q)).unwrap());

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hyperq_bench::harness::{load_tpch, scale_from_env};
-use hyperq_core::{Backend, HyperQBuilder, ObsContext, TargetCapabilities};
+use hyperq_core::{Backend, HyperQBuilder, ObsContext};
 use hyperq_workload::tpch;
 
 const WARM_REPEATS: usize = 5;
@@ -27,7 +27,7 @@ fn main() {
     let mut speedups = Vec::new();
     for (n, sql) in tpch::queries() {
         let mut cold_hq =
-            HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq_core::targets::simwh())
                 .no_cache()
                 .build();
         let mut cold = f64::MAX;
@@ -37,7 +37,7 @@ fn main() {
         }
 
         let mut warm_hq =
-            HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq_core::targets::simwh())
                 .build();
         warm_hq.run_one(sql).expect("populating run");
         let mut warm = f64::MAX;
@@ -59,7 +59,7 @@ fn main() {
     // rounds 2..10 replay warm.
     let obs = ObsContext::new();
     let mut hq =
-        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+        HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq_core::targets::simwh())
             .obs(Arc::clone(&obs))
             .build();
     for _ in 0..REPLAY_ROUNDS {

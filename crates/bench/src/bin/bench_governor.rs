@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hyperq_bench::harness::{load_tpch, scale_from_env};
-use hyperq_core::{Backend, HyperQBuilder, Request, TargetCapabilities};
+use hyperq_core::{Backend, HyperQBuilder, Request};
 use hyperq_engine::EngineDb;
 use hyperq_governor::{CancelReason, QueryGovernor};
 use hyperq_workload::tpch;
@@ -35,7 +35,7 @@ fn main() {
     let mut overheads = Vec::new();
     for (n, sql) in tpch::queries() {
         let mut hq =
-            HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq_core::targets::simwh())
                 .build();
         hq.run_one(sql).expect("warmup");
 
@@ -74,9 +74,9 @@ fn main() {
     kill_db.execute_sql("CREATE TABLE K (N INTEGER)").expect("ddl");
     let vals: Vec<String> = (0..400).map(|i| format!("({i})")).collect();
     kill_db.execute_sql(&format!("INSERT INTO K VALUES {}", vals.join(", "))).expect("load");
-    let mut hq = HyperQBuilder::new(
+    let mut hq = HyperQBuilder::for_target(
         Arc::clone(&kill_db) as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
+        hyperq_core::targets::simwh(),
     )
     .no_cache()
     .build();

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hyperq_bench::harness::{load_tpch, scale_from_env};
-use hyperq_core::{Backend, HyperQBuilder, ObsContext, ProvenanceConfig, TargetCapabilities};
+use hyperq_core::{Backend, HyperQBuilder, ObsContext, ProvenanceConfig};
 use hyperq_obs::WorkloadReport;
 use hyperq_workload::tpch;
 
@@ -34,7 +34,7 @@ fn replay_round(hq: &mut hyperq_core::HyperQ) -> Duration {
 /// identical across arms.
 fn measure(db: &Arc<dyn Backend>, enabled: bool) -> f64 {
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(Arc::clone(db), TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(db), hyperq_core::targets::simwh())
         .obs(Arc::clone(&obs))
         .provenance(ProvenanceConfig { enabled, ..ProvenanceConfig::default() })
         .no_cache()
@@ -59,7 +59,7 @@ fn main() {
     // Report-fold cost for the records the instrumented replay left
     // behind (the /report endpoint's work, measured off the hot path).
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(Arc::clone(&db), TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db), hyperq_core::targets::simwh())
         .obs(Arc::clone(&obs))
         .build();
     replay_round(&mut hq);

@@ -97,7 +97,7 @@ pub fn measure_workload(w: &CustomerWorkload) -> WorkloadTracker {
     for ddl in &w.target_ddl {
         db.execute_sql(ddl).expect("workload DDL");
     }
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).no_cache().build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq_core::targets::simwh()).no_cache().build();
     for setup in &w.hyperq_setup {
         hq.run_one(setup).expect("workload setup through Hyper-Q");
     }
@@ -346,7 +346,7 @@ pub fn table2_report() -> String {
 /// execution time; used by tests to check the overhead shape cheaply.
 pub fn tpch_overhead_inprocess(scale: f64) -> (Duration, Duration) {
     let db = load_tpch(scale, None);
-    let mut hq = HyperQBuilder::new(db as Arc<dyn Backend>, TargetCapabilities::simwh()).no_cache().build();
+    let mut hq = HyperQBuilder::for_target(db as Arc<dyn Backend>, hyperq_core::targets::simwh()).no_cache().build();
     let mut translation = Duration::ZERO;
     let mut execution = Duration::ZERO;
     for (n, sql) in tpch::queries() {

@@ -23,6 +23,7 @@ use crate::crosscompiler::{BuildSpec, HyperQ, StatementResult};
 use crate::error::{HyperQError, Result};
 use crate::recover::RecoverConfig;
 use crate::replicate::{ReplicaConfig, ReplicatedBackend};
+use crate::targets::TargetProfile;
 
 enum CacheChoice {
     /// A private cache with default configuration (the default: caching is
@@ -38,15 +39,15 @@ enum CacheChoice {
 /// ```
 /// use std::sync::Arc;
 /// use hyperq_core::backend::testing::ScriptedBackend;
-/// use hyperq_core::{HyperQBuilder, TargetCapabilities};
+/// use hyperq_core::{targets, HyperQBuilder};
 ///
 /// let backend = ScriptedBackend::acking(vec![]);
-/// let mut hq = HyperQBuilder::new(Arc::new(backend), TargetCapabilities::simwh()).build();
+/// let mut hq = HyperQBuilder::for_target(Arc::new(backend), targets::simwh()).build();
 /// assert!(hq.run_script("BEGIN TRANSACTION; COMMIT").is_ok());
 /// ```
 pub struct HyperQBuilder {
     backend: Arc<dyn Backend>,
-    caps: TargetCapabilities,
+    profile: TargetProfile,
     obs: Option<Arc<ObsContext>>,
     analyze: AnalyzeMode,
     conformance: ConformanceMode,
@@ -59,10 +60,15 @@ pub struct HyperQBuilder {
 }
 
 impl HyperQBuilder {
-    pub fn new(backend: Arc<dyn Backend>, caps: TargetCapabilities) -> Self {
+    /// Start a builder for the given target profile (the primary
+    /// constructor). Profiles come from the registry
+    /// ([`crate::targets::lookup`], [`crate::targets::simwh`], ...) or
+    /// from [`TargetProfile::from_caps`] for a hand-rolled capability
+    /// signature.
+    pub fn for_target(backend: Arc<dyn Backend>, profile: TargetProfile) -> Self {
         HyperQBuilder {
             backend,
-            caps,
+            profile,
             obs: None,
             analyze: AnalyzeMode::default(),
             conformance: ConformanceMode::default(),
@@ -73,6 +79,22 @@ impl HyperQBuilder {
             replicas: Vec::new(),
             replica_config: ReplicaConfig::default(),
         }
+    }
+
+    /// Start a builder from a bare capability signature.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `HyperQBuilder::for_target` with a `TargetProfile` (e.g. \
+                `targets::lookup(\"simwh\")` or `TargetProfile::from_caps`)"
+    )]
+    pub fn new(backend: Arc<dyn Backend>, caps: TargetCapabilities) -> Self {
+        Self::for_target(backend, TargetProfile::from_caps(caps))
+    }
+
+    /// Replace the target profile chosen at construction time.
+    pub fn target(mut self, profile: TargetProfile) -> Self {
+        self.profile = profile;
+        self
     }
 
     /// Run against a replicated warehouse: the primary backend becomes
@@ -184,7 +206,7 @@ impl HyperQBuilder {
         };
         HyperQ::from_spec(BuildSpec {
             backend,
-            caps: self.caps,
+            profile: self.profile,
             obs,
             analyze: self.analyze,
             conformance: self.conformance,
@@ -212,6 +234,10 @@ pub struct RequestOptions {
     /// Per-request memory budget in bytes (0 = unlimited), enforced the
     /// same way via a standalone governor.
     pub memory_budget: u64,
+    /// Run this request against a different registered target profile
+    /// (by registry name, e.g. `"simwh-reduced"`). The session's profile
+    /// is restored afterwards; an unknown name fails the request.
+    pub target: Option<String>,
 }
 
 /// The canonical execution request: one SQL text (possibly a
@@ -256,6 +282,14 @@ impl Request {
     /// [`HyperQError::Cancelled`].
     pub fn memory_budget(mut self, bytes: u64) -> Self {
         self.ctx.memory_budget = bytes;
+        self
+    }
+
+    /// Run this request against a different registered target profile
+    /// (looked up by name in [`crate::targets::lookup`]); the session's
+    /// profile is restored once the request completes.
+    pub fn target(mut self, name: impl Into<String>) -> Self {
+        self.ctx.target = Some(name.into());
         self
     }
 }

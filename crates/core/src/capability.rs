@@ -178,6 +178,29 @@ impl TargetCapabilities {
         }
     }
 
+    /// The engine substrate behind a deliberately reduced dialect: the
+    /// same executable backend as [`simwh`](Self::simwh), but the
+    /// signature withholds derived-table column aliases, both row-bound
+    /// spellings (`LIMIT` *and* `TOP`), native date arithmetic and the
+    /// `ADD_MONTHS` function, and spells modulo as `MOD(a, b)` and date
+    /// math as `DATEADD`. Every translation-class rewrite that the default
+    /// target never triggers — alias normalization, the `DATEADD` family,
+    /// the `LimitFetch` emulation — fires here on live corpus traffic.
+    pub fn simwh_reduced() -> TargetCapabilities {
+        TargetCapabilities {
+            name: "SimWH-Reduced",
+            date_arithmetic: false,
+            derived_table_column_aliases: false,
+            add_months_function: false,
+            limit_clause: false,
+            top_clause: false,
+            mod_style: ModStyle::Function,
+            date_add_style: DateAddStyle::DateAddFn,
+            add_months_style: AddMonthsStyle::DateAddFn,
+            ..Self::simwh()
+        }
+    }
+
     /// Modeled on a 2017-era MPP SQL warehouse with T-SQL heritage.
     pub fn cloud_a() -> TargetCapabilities {
         TargetCapabilities {
@@ -484,14 +507,17 @@ pub struct SupportRow {
 }
 
 fn rows_for(features: impl IntoIterator<Item = Feature>) -> Vec<SupportRow> {
-    let targets = TargetCapabilities::surveyed();
+    // Figure 2's population comes from the target registry (the surveyed
+    // cloud profiles), not an ad-hoc list: registering a profile is enough
+    // to put it in the chart.
+    let targets = crate::targets::surveyed();
     features
         .into_iter()
         .map(|feature| {
             let supporting: Vec<&'static str> = targets
                 .iter()
-                .filter(|t| t.supports(feature))
-                .map(|t| t.name)
+                .filter(|t| t.caps.supports(feature))
+                .map(|t| t.caps.name)
                 .collect();
             SupportRow {
                 feature,

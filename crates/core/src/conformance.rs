@@ -387,16 +387,20 @@ pub const RULES: &[RuleSpec] = &[
         severity: Severity::Error,
         check: RuleCheck::Serialized,
         features: &[],
-        emulations: &[],
-        description: "SELECT TOP n on a target without the TOP clause",
+        emulations: &[EmulationKind::LimitFetch],
+        description: "SELECT TOP n on a target without the TOP clause (a \
+                      target with neither spelling gets the bound peeled \
+                      and the result truncated mid-tier)",
     },
     RuleSpec {
         name: "limit-clause",
         severity: Severity::Error,
         check: RuleCheck::Serialized,
         features: &[],
-        emulations: &[],
-        description: "LIMIT n on a target without the LIMIT clause",
+        emulations: &[EmulationKind::LimitFetch],
+        description: "LIMIT n on a target without the LIMIT clause (a \
+                      target with neither spelling gets the bound peeled \
+                      and the result truncated mid-tier)",
     },
     RuleSpec {
         name: "with-ties",
@@ -1242,18 +1246,27 @@ impl Conformance {
         self.mode
     }
 
-    fn count(&self, findings: &[Finding]) {
+    /// Count findings attributed to the rule *and* the target profile
+    /// that tripped it — a multi-target gateway (or a session serving
+    /// per-request target overrides) needs both coordinates to tell which
+    /// profile a violation belongs to.
+    fn count(&self, findings: &[Finding], target: &str) {
         for f in findings {
             self.obs
                 .metrics
-                .counter("hyperq_conformance_violations_total", &[("rule", f.rule)])
+                .counter(
+                    "hyperq_conformance_violations_total",
+                    &[("rule", f.rule), ("target", target)],
+                )
                 .inc();
         }
     }
 
     /// Lint serialized SQL on its way to the target. In strict mode, an
-    /// error-severity finding fails the statement.
-    pub fn check_serialized(&self, sql: &str, caps: &TargetCapabilities) -> Result<()> {
+    /// error-severity finding fails the statement. `target` is the
+    /// registry name of the profile the SQL was serialized for — the
+    /// violation counter's `target` label.
+    pub fn check_serialized(&self, sql: &str, caps: &TargetCapabilities, target: &str) -> Result<()> {
         if self.mode == ConformanceMode::Off {
             return Ok(());
         }
@@ -1266,7 +1279,7 @@ impl Conformance {
         if findings.is_empty() {
             return Ok(());
         }
-        self.count(&findings);
+        self.count(&findings, target);
         if self.mode.is_strict() {
             if let Some(f) = findings.iter().find(|f| f.severity == Severity::Error) {
                 return Err(HyperQError::Validation(format!(
@@ -1280,7 +1293,13 @@ impl Conformance {
 
     /// Run the advisory anti-pattern lints over a source statement. Never
     /// fails; findings are only counted.
-    pub fn check_source(&self, sql: &str, features: &FeatureSet, in_transaction: bool) {
+    pub fn check_source(
+        &self,
+        sql: &str,
+        features: &FeatureSet,
+        in_transaction: bool,
+        target: &str,
+    ) {
         if self.mode == ConformanceMode::Off || sql.is_empty() {
             return;
         }
@@ -1290,7 +1309,7 @@ impl Conformance {
         self.duration.record(d);
         hyperq_obs::provenance::note_stage("conformance", d);
         self.checks_source.inc();
-        self.count(&findings);
+        self.count(&findings, target);
     }
 }
 

@@ -25,11 +25,12 @@ use crate::binder::Binder;
 use crate::builder::{HyperQBuilder, Request, Response};
 use crate::cache::{CacheFill, CacheKey, TranslationCache};
 use crate::capability::TargetCapabilities;
+use crate::targets::TargetProfile;
 use crate::conformance::{Conformance, ConformanceMode};
 use crate::emulate::{self, EmulationKind};
 use crate::error::{HyperQError, Result};
 use crate::recover::{RecoverConfig, RecoveringBackend};
-use crate::serialize::Serializer;
+use crate::serialize::{LimitSpelling, Serializer};
 use crate::session::{RoutineDef, SessionState, ShadowCatalog};
 use crate::tracker::WorkloadTracker;
 use crate::transform::Transformer;
@@ -118,7 +119,10 @@ impl StageHandles {
 /// out.
 pub struct HyperQ {
     backend: Arc<dyn Backend>,
-    caps: TargetCapabilities,
+    /// The session's target: capability signature + dialect flavor +
+    /// registry name (the value of every `target` metric label). A
+    /// [`Request`] may override it for one request via `ctx.target`.
+    profile: TargetProfile,
     transformer: Transformer,
     pub session: SessionState,
     /// The single-row DML batching transformation (§4.3). On by default;
@@ -142,8 +146,8 @@ pub struct HyperQ {
     /// Scratch: the cacheable artifacts of the most recent
     /// `run_pipeline_with` run, consumed by `maybe_populate`.
     cache_seed: Option<CacheSeed>,
-    /// FNV-1a signature of the capability profile, precomputed for the
-    /// cache-key context hash.
+    /// FNV-1a signature of the target profile (registry name, capability
+    /// signature and flavor), precomputed for the cache-key context hash.
     caps_sig: u64,
     /// The replica set behind this session's backend stack, when built via
     /// `HyperQBuilder::replicas` (exposed for health snapshots).
@@ -167,7 +171,7 @@ struct CacheSeed {
 /// Everything [`HyperQBuilder`] resolved for a session.
 pub(crate) struct BuildSpec {
     pub backend: Arc<dyn Backend>,
-    pub caps: TargetCapabilities,
+    pub profile: TargetProfile,
     pub obs: Arc<ObsContext>,
     pub analyze: AnalyzeMode,
     pub conformance: ConformanceMode,
@@ -198,7 +202,7 @@ impl HyperQ {
             spec.recover,
             Arc::clone(&spec.obs),
         );
-        let caps_sig = fnv1a(format!("{:?}", spec.caps).as_bytes());
+        let caps_sig = profile_sig(&spec.profile);
         // Slow-query-log entries store literal-redacted SQL unless raw
         // capture was opted into; the redactor reuses the fingerprinter's
         // literal spans so it stays in lockstep with the lexer.
@@ -207,7 +211,7 @@ impl HyperQ {
         }
         HyperQ {
             backend: InstrumentedBackend::wrap(recovering, &spec.obs),
-            caps: spec.caps,
+            profile: spec.profile,
             transformer: Transformer::standard().instrumented(&spec.obs.metrics),
             session,
             dml_batching: spec.dml_batching,
@@ -224,27 +228,27 @@ impl HyperQ {
         }
     }
 
-    #[deprecated(note = "use HyperQBuilder::new(backend, caps).build()")]
+    #[deprecated(note = "use HyperQBuilder::for_target(backend, profile).build()")]
     pub fn new(backend: Arc<dyn Backend>, caps: TargetCapabilities) -> Self {
-        HyperQBuilder::new(backend, caps).build()
+        HyperQBuilder::for_target(backend, TargetProfile::from_caps(caps)).build()
     }
 
     /// A session reporting into the given observability context instead of
     /// the process-wide one (isolated metrics/traces for tests).
-    #[deprecated(note = "use HyperQBuilder::new(backend, caps).obs(obs).build()")]
+    #[deprecated(note = "use HyperQBuilder::for_target(backend, profile).obs(obs).build()")]
     pub fn with_obs(
         backend: Arc<dyn Backend>,
         caps: TargetCapabilities,
         obs: Arc<ObsContext>,
     ) -> Self {
-        HyperQBuilder::new(backend, caps).obs(obs).build()
+        HyperQBuilder::for_target(backend, TargetProfile::from_caps(caps)).obs(obs).build()
     }
 
     /// Set the static-analysis mode: `Strict` fails statements on any
     /// invariant violation, rule-audit failure, or serializer round-trip
     /// divergence (tests, CI); `LogOnly` (the default) only counts them;
     /// `Off` skips the validation walks.
-    #[deprecated(note = "use HyperQBuilder::new(backend, caps).analyze(mode).build()")]
+    #[deprecated(note = "use HyperQBuilder::for_target(backend, profile).analyze(mode).build()")]
     pub fn with_analysis(mut self, mode: AnalyzeMode) -> Self {
         self.analyzer = Analyzer::new(mode, &self.obs);
         self
@@ -261,7 +265,18 @@ impl HyperQ {
     }
 
     pub fn capabilities(&self) -> &TargetCapabilities {
-        &self.caps
+        &self.profile.caps
+    }
+
+    /// The session's target profile (capabilities + dialect flavor).
+    pub fn profile(&self) -> &TargetProfile {
+        &self.profile
+    }
+
+    /// The session's target registry name (`"simwh"`, `"cloud-a"`, …) —
+    /// the value carried on `target` metric labels and provenance records.
+    pub fn target(&self) -> &str {
+        &self.profile.name
     }
 
     /// The translation cache this session consults, if caching is enabled.
@@ -294,6 +309,33 @@ impl HyperQ {
     /// serialize pipeline is skipped and the cached SQL-B (with the
     /// statement's literals re-spliced) goes straight to the backend.
     pub fn run(&mut self, req: Request) -> Result<Response> {
+        // Per-request target override: swap the session's profile (and the
+        // cache-key signature derived from it) for the request's scope and
+        // restore it on every exit path. Translations for the override
+        // target key the cache under its own signature, so cross-target
+        // pollution is impossible.
+        let saved = match req.ctx.target.as_deref() {
+            Some(name) if name != self.profile.name => {
+                let p = crate::targets::lookup(name).ok_or_else(|| {
+                    HyperQError::Transform(format!("unknown target profile '{name}'"))
+                })?;
+                let sig = profile_sig(&p);
+                Some((
+                    std::mem::replace(&mut self.profile, p),
+                    std::mem::replace(&mut self.caps_sig, sig),
+                ))
+            }
+            _ => None,
+        };
+        let out = self.run_on_active_profile(req);
+        if let Some((profile, sig)) = saved {
+            self.profile = profile;
+            self.caps_sig = sig;
+        }
+        out
+    }
+
+    fn run_on_active_profile(&mut self, req: Request) -> Result<Response> {
         // Library callers can bound a request by deadline/memory without a
         // gateway: install a standalone governor for the request's scope.
         // When the gateway already installed one (or neither bound is
@@ -520,8 +562,9 @@ impl HyperQ {
         if volatile {
             return None;
         }
-        let plan = Transformer::standard().run_all(plan, &self.caps, &mut scratch).ok()?;
-        Serializer::new(&self.caps).serialize_plan(&plan).ok()
+        let plan = Transformer::standard().run_all(plan, &self.profile.caps, &mut scratch).ok()?;
+        let (plan, _fetch_limit) = self.peel_fetch_limit(plan);
+        Serializer::for_profile(&self.profile).serialize_plan(&plan).ok()
     }
 
     /// Common statement epilogue: statement histogram and outcome counters,
@@ -618,6 +661,7 @@ impl HyperQ {
             trace,
             fingerprint: hash,
             kind: statement_kind(text),
+            target: &self.profile.name,
             sql: &sql,
             total,
             features,
@@ -700,11 +744,15 @@ impl HyperQ {
         self.analyzer.check_plan(&plan, "bind")?;
         let plan = self
             .analyzer
-            .transform(&self.transformer, plan, &self.caps, &mut features)?;
+            .transform(&self.transformer, plan, &self.profile.caps, &mut features)?;
+        // Translation-only path: peel quietly (no emulation counter — the
+        // statement is not being executed) so `translate()` shows the SQL
+        // the LimitFetch emulation would actually send.
+        let (plan, _fetch_limit) = self.peel_fetch_limit(plan);
         self.analyzer.check_plan(&plan, "serializer")?;
-        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        let sql = Serializer::for_profile(&self.profile).serialize_plan(&plan)?;
         self.analyzer.audit_roundtrip(&sql, &plan, &catalog)?;
-        self.conformance.check_serialized(&sql, &self.caps)?;
+        self.conformance.check_serialized(&sql, &self.profile.caps, &self.profile.name)?;
         Ok((sql, features))
     }
 
@@ -728,7 +776,7 @@ impl HyperQ {
         // Advisory anti-pattern lints over the client's source text (empty
         // for internal sub-statements, which are driven by their caller).
         self.conformance
-            .check_source(&ps.text, &ps.features, self.session.in_transaction);
+            .check_source(&ps.text, &ps.features, self.session.in_transaction, &self.profile.name);
         match &ps.stmt {
             // --- E5: informational commands, answered mid-tier -------------
             past::Statement::Help(target) => {
@@ -918,7 +966,7 @@ impl HyperQ {
                 // Targets with session-scoped settings get the SET pushed
                 // through — and journaled, so a reconnect replays the final
                 // value. Mid-tier-only targets keep it in the DTM catalog.
-                if self.caps.session_settings {
+                if self.profile.caps.session_settings {
                     let sql = format!("SET {key} = {rendered}");
                     self.backend
                         .execute_ctx(&sql, self.request_ctx(true))
@@ -999,7 +1047,7 @@ impl HyperQ {
                     out,
                     "MERGE is emulated as {} request(s) against {}:",
                     emulate::decompose_merge(m)?.len(),
-                    self.caps.name
+                    self.profile.caps.name
                 );
                 for step in emulate::decompose_merge(m)? {
                     let _ = writeln!(out, "--- step ---");
@@ -1015,7 +1063,7 @@ impl HyperQ {
                     out,
                     "recursive query emulated via WorkTable/TempTable on {} \
                      (requests repeat until the step produces no rows):",
-                    self.caps.name
+                    self.profile.caps.name
                 );
                 let _ = writeln!(out, "--- seed (initializes WorkTable and TempTable) ---");
                 out.push_str(&self.explain(
@@ -1047,10 +1095,18 @@ impl HyperQ {
             features.union(&binder.features);
             plan
         };
-        let plan = self.transformer.run_all(plan, &self.caps, features)?;
-        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        let plan = self.transformer.run_all(plan, &self.profile.caps, features)?;
+        let (plan, fetch_limit) = self.peel_fetch_limit(plan);
+        let sql = Serializer::for_profile(&self.profile).serialize_plan(&plan)?;
         let mut out = String::new();
-        let _ = writeln!(out, "Hyper-Q translation for target {}", self.caps.name);
+        let _ = writeln!(out, "Hyper-Q translation for target {}", self.profile.caps.name);
+        if let Some(n) = fetch_limit {
+            let _ = writeln!(
+                out,
+                "mid-tier fetch limit: {n} row(s) (LimitFetch emulation; the \
+                 target spells neither LIMIT nor TOP)"
+            );
+        }
         if !features.is_empty() {
             let _ = writeln!(out, "tracked features:");
             for f in features.iter() {
@@ -1206,20 +1262,27 @@ impl HyperQ {
             self.apply_insert_emulations_inner(plan, features, false, &mut volatile_default)?;
         let plan = self
             .analyzer
-            .transform(&self.transformer, plan, &self.caps, features)?;
+            .transform(&self.transformer, plan, &self.profile.caps, features)?;
         let transform_time = transform_span.finish();
         self.stages.transform.record(transform_time);
         provenance::note_stage("transform", transform_time);
         timings.translation += transform_time;
 
+        // LimitFetch: a target with neither LIMIT nor TOP executes the
+        // query unbounded and the mid tier truncates the result below.
+        let (plan, fetch_limit) = self.peel_fetch_limit(plan);
+        if fetch_limit.is_some() {
+            self.emu(EmulationKind::LimitFetch);
+        }
+
         self.analyzer.check_plan(&plan, "serializer")?;
         let serialize_span = self.obs.traces.enter("serialize");
-        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        let sql = Serializer::for_profile(&self.profile).serialize_plan(&plan)?;
         let serialize_time = serialize_span.finish();
         self.stages.serialize.record(serialize_time);
         provenance::note_stage("serialize", serialize_time);
         timings.translation += serialize_time;
-        self.conformance.check_serialized(&sql, &self.caps)?;
+        self.conformance.check_serialized(&sql, &self.profile.caps, &self.profile.name)?;
 
         // Strict mode: the serializer round-trip audit. Restricted to plain
         // queries with no GTT involvement — GTT instance names resolve
@@ -1256,13 +1319,13 @@ impl HyperQ {
             instance.name = instance_name.clone();
             instance.kind = TableKind::Temporary;
             let ser_span = self.obs.traces.enter("serialize");
-            let ddl = Serializer::new(&self.caps)
+            let ddl = Serializer::for_profile(&self.profile)
                 .serialize_plan(&Plan::CreateTable { def: instance, source: None })?;
             let d = ser_span.finish();
             self.stages.serialize.record(d);
             provenance::note_stage("serialize", d);
             timings.translation += d;
-            self.conformance.check_serialized(&ddl, &self.caps)?;
+            self.conformance.check_serialized(&ddl, &self.profile.caps, &self.profile.name)?;
             let exec_span = self.obs.traces.enter("execute");
             self.backend.execute_ctx(&ddl, self.request_ctx(false))?;
             let d = exec_span.finish();
@@ -1278,11 +1341,18 @@ impl HyperQ {
 
         let is_query = matches!(plan, Plan::Query(_));
         let exec_span = self.obs.traces.enter("execute");
-        let result = self.backend.execute_ctx(&sql, self.request_ctx(is_query))?;
+        let mut result = self.backend.execute_ctx(&sql, self.request_ctx(is_query))?;
         let exec_time = exec_span.finish();
         self.stages.execute.record(exec_time);
         provenance::note_stage("execute", exec_time);
         timings.execution += exec_time;
+        if let Some(n) = fetch_limit {
+            // The LimitFetch truncation: the client sees exactly the rows
+            // a native LIMIT/TOP would have returned (the ORDER BY, if
+            // any, was serialized, so the prefix is well-defined).
+            result.rows.truncate(n as usize);
+            result.row_count = result.rows.len() as u64;
+        }
 
         // Leave the translation behind for the cache. Only the standard
         // single-request shapes qualify: GTT-touching statements run a
@@ -1292,7 +1362,9 @@ impl HyperQ {
             plan,
             Plan::Query(_) | Plan::Insert { .. } | Plan::Update { .. } | Plan::Delete { .. }
         );
-        if cacheable_kind && !gtt_involved && !parameterized {
+        // LimitFetch translations never seed the cache: a hit would replay
+        // the unbounded SQL with nobody left to truncate the result.
+        if cacheable_kind && !gtt_involved && !parameterized && fetch_limit.is_none() {
             self.cache_seed = Some(CacheSeed {
                 sql: sql.clone(),
                 is_query,
@@ -1478,7 +1550,7 @@ impl HyperQ {
                     // The DROP itself failed (e.g. the connection died): journal
                     // the orphan so the next reconnect retires the name instead
                     // of resurrecting it.
-                    if let Ok(drop_sql) = Serializer::new(&self.caps)
+                    if let Ok(drop_sql) = Serializer::for_profile(&self.profile)
                         .serialize_plan(&Plan::DropTable { name: name.clone(), if_exists: true })
                     {
                         self.session.journal.record_orphan(name, drop_sql);
@@ -1661,6 +1733,34 @@ impl HyperQ {
         RequestContext { idempotent, in_transaction: self.session.in_transaction }
     }
 
+    /// Peel a top-level row bound off a query plan when the target spells
+    /// neither `LIMIT` nor `TOP` (the `LimitFetch` emulation): the query
+    /// executes unbounded and the mid tier truncates the result set to
+    /// `n` rows. Only the plain shape (no OFFSET, no WITH TIES) peels —
+    /// anything else still fails in the serializer.
+    fn peel_fetch_limit(&self, plan: Plan) -> (Plan, Option<u64>) {
+        if self.profile.flavor.limit != LimitSpelling::None {
+            return (plan, None);
+        }
+        match plan {
+            Plan::Query(RelExpr::Limit { input, limit: Some(n), with_ties: false, offset: 0 }) => {
+                (Plan::Query(*input), Some(n))
+            }
+            // Hidden ORDER BY sort columns wrap a rename/strip projection
+            // above the bound; the projection is row-preserving, so
+            // truncating after it equals truncating before it.
+            Plan::Query(RelExpr::Project { input, exprs }) => match *input {
+                RelExpr::Limit { input, limit: Some(n), with_ties: false, offset: 0 } => {
+                    (Plan::Query(RelExpr::Project { input, exprs }), Some(n))
+                }
+                other => {
+                    (Plan::Query(RelExpr::Project { input: Box::new(other), exprs }), None)
+                }
+            },
+            other => (other, None),
+        }
+    }
+
     /// Transform, serialize and execute one already-bound plan, charging
     /// the stage timers.
     fn exec_plan(
@@ -1682,31 +1782,50 @@ impl HyperQ {
         let mut scratch = FeatureSet::new();
         let plan = self
             .analyzer
-            .transform(&self.transformer, plan, &self.caps, &mut scratch)?;
+            .transform(&self.transformer, plan, &self.profile.caps, &mut scratch)?;
         let d = span.finish();
         self.stages.transform.record(d);
         provenance::note_stage("transform", d);
         timings.translation += d;
+        // Recursion's main query can carry a row bound too: same
+        // LimitFetch peel-and-truncate as the standard path.
+        let (plan, fetch_limit) = self.peel_fetch_limit(plan);
+        if fetch_limit.is_some() {
+            self.emu(EmulationKind::LimitFetch);
+        }
         // No round-trip audit here: emulation plans reference freshly
         // created per-session temp tables the shadow catalog cannot rebind.
         self.analyzer.check_plan(&plan, "serializer")?;
         let span = self.obs.traces.enter("serialize");
-        let sql = Serializer::new(&self.caps).serialize_plan(&plan)?;
+        let sql = Serializer::for_profile(&self.profile).serialize_plan(&plan)?;
         let d = span.finish();
         self.stages.serialize.record(d);
         provenance::note_stage("serialize", d);
         timings.translation += d;
-        self.conformance.check_serialized(&sql, &self.caps)?;
+        self.conformance.check_serialized(&sql, &self.profile.caps, &self.profile.name)?;
         let span = self.obs.traces.enter("execute");
-        let result =
+        let mut result =
             self.backend.execute_ctx(&sql, self.request_ctx(matches!(plan, Plan::Query(_))))?;
         let d = span.finish();
         self.stages.execute.record(d);
         provenance::note_stage("execute", d);
         timings.execution += d;
+        if let Some(n) = fetch_limit {
+            result.rows.truncate(n as usize);
+            result.row_count = result.rows.len() as u64;
+        }
         sql_sent.push(sql);
         Ok(result)
     }
+}
+
+/// The profile's contribution to the cache-key context hash: registry
+/// name, capability signature, and dialect flavor. Two profiles sharing a
+/// capability signature (or even a name) still key distinctly if any
+/// component differs, so cross-target cache pollution is structurally
+/// impossible.
+fn profile_sig(profile: &TargetProfile) -> u64 {
+    fnv1a(format!("{}|{:?}|{:?}", profile.name, profile.caps, profile.flavor).as_bytes())
 }
 
 fn ack(features: FeatureSet) -> StatementResult {

@@ -84,11 +84,15 @@ pub enum EmulationKind {
     SetTableDedup,
     /// Best-effort teardown of emulation temp tables after a failure.
     Cleanup,
+    /// A row bound (`TOP n` / `LIMIT n`) on a target that spells neither:
+    /// the bound is peeled, the query executes unbounded, and the mid
+    /// tier truncates the result set.
+    LimitFetch,
 }
 
 impl EmulationKind {
     /// Every kind, in a stable order (reports iterate this).
-    pub const ALL: [EmulationKind; 15] = [
+    pub const ALL: [EmulationKind; 16] = [
         EmulationKind::Help,
         EmulationKind::Explain,
         EmulationKind::Macro,
@@ -104,6 +108,7 @@ impl EmulationKind {
         EmulationKind::DefaultInjection,
         EmulationKind::SetTableDedup,
         EmulationKind::Cleanup,
+        EmulationKind::LimitFetch,
     ];
 
     /// The metric/provenance label (the historical string literal).
@@ -124,6 +129,7 @@ impl EmulationKind {
             EmulationKind::DefaultInjection => "default_injection",
             EmulationKind::SetTableDedup => "set_table_dedup",
             EmulationKind::Cleanup => "cleanup",
+            EmulationKind::LimitFetch => "limit_fetch",
         }
     }
 
@@ -131,11 +137,15 @@ impl EmulationKind {
     pub fn cost_tier(&self) -> CostTier {
         match self {
             // Answered entirely mid-tier, or one bookkeeping entry.
+            // LimitFetch is one unbounded request with a mid-tier
+            // truncation — no extra round trips, but the target computes
+            // (and ships) rows the client never sees.
             EmulationKind::Help
             | EmulationKind::Explain
             | EmulationKind::SetSession
             | EmulationKind::Transaction
-            | EmulationKind::Cleanup => CostTier::Low,
+            | EmulationKind::Cleanup
+            | EmulationKind::LimitFetch => CostTier::Low,
             // A bounded number of extra requests or rewritten plans.
             EmulationKind::Macro
             | EmulationKind::Procedure

@@ -12,8 +12,12 @@
 //! * [`transform`] — the Transformer: pluggable rewrite rules cascaded to a
 //!   fixed point, split into target-agnostic (binding-stage) and
 //!   target-specific (serialization-stage) phases,
-//! * [`serialize`] — per-target SQL serializers driven by
-//!   [`capability::TargetCapabilities`],
+//! * [`targets`] — the named target-profile registry: each
+//!   [`targets::TargetProfile`] bundles a capability signature with the
+//!   dialect spellings ([`serialize::Flavor`]) the serializer consumes,
+//! * [`serialize`] — per-target SQL serializers driven by a
+//!   [`targets::TargetProfile`] (capabilities decide *what* to emit, the
+//!   [`serialize::Flavor`] decides *how to spell it*),
 //! * [`emulate`] — the mid-tier emulation layer (§6): recursion via
 //!   temporary tables, macros, procedures, `MERGE`, `HELP`, views, global
 //!   temporary tables, SET-table semantics,
@@ -51,6 +55,7 @@ pub mod replicate;
 pub mod resilience;
 pub mod serialize;
 pub mod session;
+pub mod targets;
 pub mod tracker;
 pub mod transform;
 
@@ -62,6 +67,8 @@ pub use backend::{
 };
 pub use capability::TargetCapabilities;
 pub use conformance::{Conformance, ConformanceMode, Finding, Severity};
+pub use serialize::Flavor;
+pub use targets::TargetProfile;
 pub use emulate::{CostTier, EmulationKind};
 pub use crosscompiler::{
     HyperQ, StageTimings, StatementOutcome, StatementResult, Timings, STAGE_DURATION_METRIC,

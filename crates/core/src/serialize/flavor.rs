@@ -1,0 +1,160 @@
+//! The dialect-spelling half of a target profile.
+//!
+//! [`TargetCapabilities`] answers *whether* a target supports a construct
+//! (driving the transformer and the emulation layer); a [`Flavor`] answers
+//! *how the target spells* what it does support: identifier quoting, the
+//! parameter-marker style, type-name overrides, `LIMIT` vs `TOP`, and the
+//! modulo / date-add function families. The [`Serializer`] consumes a
+//! `Flavor` for every spelling decision, so "each target database has its
+//! own Serializer implementation … sharing a common interface" (§4.4)
+//! is realized as one walker parameterized by a flavor value.
+//!
+//! Every flavor is derivable from a capability signature via
+//! [`Flavor::from_caps`] (the historical behavior, byte-for-byte), and a
+//! [`TargetProfile`](crate::targets::TargetProfile) bundles the two so
+//! they cannot drift apart.
+//!
+//! [`Serializer`]: crate::serialize::Serializer
+
+use crate::capability::TargetCapabilities;
+
+// The spelling enums predate this module (they lived on the capability
+// struct); they remain defined in `capability` so its `Debug` format —
+// which seeds the translation-cache context hash — is unchanged, and are
+// re-exported here as part of the flavor vocabulary.
+pub use crate::capability::{AddMonthsStyle, DateAddStyle, ModStyle};
+
+/// How the target quotes identifiers that need quoting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentQuoting {
+    /// Emit identifiers bare (the mid tier already normalizes names to
+    /// unquoted uppercase, so nothing needs quoting).
+    Bare,
+    /// Wrap every identifier in ANSI double quotes, doubling embedded
+    /// quotes.
+    Double,
+}
+
+/// How the target spells a positional parameter marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamStyle {
+    /// `?` (the ODBC shape, §4.5).
+    Question,
+    /// `$1`, `$2`, … (one-based).
+    Dollar,
+}
+
+/// How the target spells a row-count bound on a query block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitSpelling {
+    /// Trailing `LIMIT n`.
+    Limit,
+    /// `SELECT TOP n …`.
+    Top,
+    /// Neither: the mid tier must peel the bound and truncate the result
+    /// itself (the `LimitFetch` emulation).
+    None,
+}
+
+/// The dialect spellings of one target, consumed by the serializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flavor {
+    pub ident_quoting: IdentQuoting,
+    pub param_style: ParamStyle,
+    pub limit: LimitSpelling,
+    pub mod_style: ModStyle,
+    pub date_add_style: DateAddStyle,
+    pub add_months_style: AddMonthsStyle,
+    /// Column-type spelling overrides, `(canonical, target)` pairs matched
+    /// case-insensitively against the canonical rendering. Empty for every
+    /// built-in profile (the bundled engine parses the canonical names).
+    pub type_overrides: &'static [(&'static str, &'static str)],
+}
+
+impl Flavor {
+    /// The flavor a capability signature has always implied: bare
+    /// identifiers, `?` markers, canonical type names, and the spelling
+    /// enums carried on the signature itself. `Serializer::new(caps)`
+    /// output is byte-identical before and after the flavor split.
+    pub fn from_caps(caps: &TargetCapabilities) -> Flavor {
+        Flavor {
+            ident_quoting: IdentQuoting::Bare,
+            param_style: ParamStyle::Question,
+            limit: if caps.limit_clause {
+                LimitSpelling::Limit
+            } else if caps.top_clause {
+                LimitSpelling::Top
+            } else {
+                LimitSpelling::None
+            },
+            mod_style: caps.mod_style,
+            date_add_style: caps.date_add_style,
+            add_months_style: caps.add_months_style,
+            type_overrides: &[],
+        }
+    }
+
+    /// Spell an identifier for this target.
+    pub fn ident(&self, name: &str) -> String {
+        match self.ident_quoting {
+            IdentQuoting::Bare => name.to_string(),
+            IdentQuoting::Double => format!("\"{}\"", name.replace('"', "\"\"")),
+        }
+    }
+
+    /// Spell the `i`-th (zero-based) positional parameter marker.
+    pub fn param_marker(&self, i: usize) -> String {
+        match self.param_style {
+            ParamStyle::Question => "?".to_string(),
+            ParamStyle::Dollar => format!("${}", i + 1),
+        }
+    }
+
+    /// Spell a column type, applying any per-target override to the
+    /// canonical rendering.
+    pub fn type_name(&self, canonical: &str) -> String {
+        for (from, to) in self.type_overrides {
+            if from.eq_ignore_ascii_case(canonical) {
+                return (*to).to_string();
+            }
+        }
+        canonical.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_caps_mirrors_the_capability_spellings() {
+        let caps = TargetCapabilities::simwh();
+        let f = Flavor::from_caps(&caps);
+        assert_eq!(f.limit, LimitSpelling::Limit);
+        assert_eq!(f.mod_style, caps.mod_style);
+        assert_eq!(f.date_add_style, caps.date_add_style);
+        assert_eq!(f.add_months_style, caps.add_months_style);
+        assert_eq!(f.ident("R_NAME"), "R_NAME");
+        assert_eq!(f.param_marker(0), "?");
+        assert_eq!(f.type_name("INTEGER"), "INTEGER");
+
+        let mut top = TargetCapabilities::cloud_b();
+        top.limit_clause = false;
+        top.top_clause = true;
+        assert_eq!(Flavor::from_caps(&top).limit, LimitSpelling::Top);
+        top.top_clause = false;
+        assert_eq!(Flavor::from_caps(&top).limit, LimitSpelling::None);
+    }
+
+    #[test]
+    fn non_default_spellings_render() {
+        let mut f = Flavor::from_caps(&TargetCapabilities::simwh());
+        f.ident_quoting = IdentQuoting::Double;
+        f.param_style = ParamStyle::Dollar;
+        f.type_overrides = &[("DOUBLE PRECISION", "FLOAT8")];
+        assert_eq!(f.ident("weird\"name"), "\"weird\"\"name\"");
+        assert_eq!(f.param_marker(1), "$2");
+        assert_eq!(f.type_name("double precision"), "FLOAT8");
+        assert_eq!(f.type_name("INTEGER"), "INTEGER");
+    }
+}

@@ -4,9 +4,11 @@
 //! different serializers share a common interface: the input is an XTRA
 //! expression, and the output is the serialized SQL statement of that
 //! XTRA." We realize the family of serializers as one engine parameterized
-//! by [`TargetCapabilities`], which controls dialect spellings (`LIMIT` vs
-//! `TOP`, `%` vs `MOD()`, the date-add family) exactly where real targets
-//! differ.
+//! by a target profile: [`TargetCapabilities`] decides *what* must be
+//! rewritten away before serialization, and the profile's [`Flavor`]
+//! decides every dialect spelling (`LIMIT` vs `TOP` vs neither, `%` vs
+//! `MOD()`, the date-add family, identifier quoting, type names) exactly
+//! where real targets differ.
 //!
 //! Serialization "takes place by walking through the XTRA expression,
 //! generating a SQL block for each operator": the walker assembles
@@ -25,10 +27,15 @@ use hyperq_xtra::rel::{Grouping, JoinKind, Plan, RelExpr};
 
 use crate::capability::{AddMonthsStyle, DateAddStyle, ModStyle, TargetCapabilities};
 use crate::error::{HyperQError, Result};
+use crate::targets::TargetProfile;
+
+pub mod flavor;
+pub use flavor::{Flavor, IdentQuoting, LimitSpelling, ParamStyle};
 
 /// Serializes plans for one target.
 pub struct Serializer<'a> {
     caps: &'a TargetCapabilities,
+    flavor: Flavor,
     counter: std::cell::Cell<usize>,
     /// Qualifier-rename frames. Wrapping a block into a derived table
     /// `_Tn` makes the original range variables invisible to the enclosing
@@ -68,9 +75,23 @@ impl Block {
 }
 
 impl<'a> Serializer<'a> {
+    /// Serialize for a bare capability signature, with the flavor the
+    /// signature has always implied ([`Flavor::from_caps`]).
     pub fn new(caps: &'a TargetCapabilities) -> Self {
         Serializer {
             caps,
+            flavor: Flavor::from_caps(caps),
+            counter: std::cell::Cell::new(0),
+            frames: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Serialize for a registered [`TargetProfile`], taking both the
+    /// capability signature and the dialect flavor from the profile.
+    pub fn for_profile(profile: &'a TargetProfile) -> Self {
+        Serializer {
+            caps: &profile.caps,
+            flavor: profile.flavor.clone(),
             counter: std::cell::Cell::new(0),
             frames: std::cell::RefCell::new(Vec::new()),
         }
@@ -226,7 +247,11 @@ impl<'a> Serializer<'a> {
             .columns
             .iter()
             .map(|c| {
-                let mut s = format!("{} {}", c.name, c.ty);
+                let mut s = format!(
+                    "{} {}",
+                    self.flavor.ident(&c.name),
+                    self.flavor.type_name(&c.ty.to_string())
+                );
                 if !c.nullable {
                     s.push_str(" NOT NULL");
                 }
@@ -310,12 +335,13 @@ impl<'a> Serializer<'a> {
     }
 
     fn limit_suffix(&self, n: u64) -> String {
-        if self.caps.limit_clause {
-            format!(" LIMIT {n}")
-        } else {
+        match self.flavor.limit {
+            LimitSpelling::Limit => format!(" LIMIT {n}"),
             // TOP targets get the limit injected after SELECT in render();
             // reaching here means a set-operation limit, which needs a wrap.
-            format!(" LIMIT {n}")
+            // LimitSpelling::None never reaches this point: `build()`
+            // rejects any Limit operator for such targets.
+            LimitSpelling::Top | LimitSpelling::None => format!(" LIMIT {n}"),
         }
     }
 
@@ -343,7 +369,7 @@ impl<'a> Serializer<'a> {
         if b.distinct {
             sql.push_str("DISTINCT ");
         }
-        if !self.caps.limit_clause && self.caps.top_clause {
+        if self.flavor.limit == LimitSpelling::Top {
             if let Some(n) = b.limit {
                 let _ = write!(sql, "TOP {n} ");
             }
@@ -367,7 +393,7 @@ impl<'a> Serializer<'a> {
         if let Some(o) = &b.order_by {
             let _ = write!(sql, " ORDER BY {o}");
         }
-        if self.caps.limit_clause {
+        if self.flavor.limit == LimitSpelling::Limit {
             if let Some(n) = b.limit {
                 let _ = write!(sql, " LIMIT {n}");
             }
@@ -574,6 +600,13 @@ impl<'a> Serializer<'a> {
                         "OFFSET serialization is not supported".into(),
                     ));
                 }
+                if self.flavor.limit == LimitSpelling::None {
+                    return Err(HyperQError::Transform(format!(
+                        "{} spells neither LIMIT nor TOP; the LimitFetch \
+                         emulation should have peeled this bound",
+                        self.caps.name
+                    )));
+                }
                 let mut b = self.build(input)?;
                 if b.limit.is_some() {
                     b = self.wrap(b, input);
@@ -735,7 +768,7 @@ impl<'a> Serializer<'a> {
             },
             ScalarExpr::Literal(d, _) => self.literal(d),
             ScalarExpr::Arith { op, left, right } => match op {
-                ArithOp::Mod => match self.caps.mod_style {
+                ArithOp::Mod => match self.flavor.mod_style {
                     ModStyle::Percent => {
                         format!("({} % {})", self.expr(left)?, self.expr(right)?)
                     }
@@ -902,7 +935,7 @@ impl<'a> Serializer<'a> {
             ScalarFunc::Position => {
                 format!("POSITION({} IN {})", rendered[0], rendered[1])
             }
-            ScalarFunc::DateAddDays => match self.caps.date_add_style {
+            ScalarFunc::DateAddDays => match self.flavor.date_add_style {
                 DateAddStyle::PlusInteger => format!("({} + {})", rendered[0], rendered[1]),
                 DateAddStyle::DateAddFn => {
                     format!("DATEADD(DAY, {}, {})", rendered[1], rendered[0])
@@ -914,7 +947,7 @@ impl<'a> Serializer<'a> {
                     format!("({} + INTERVAL '{}' DAY)", rendered[0], rendered[1])
                 }
             },
-            ScalarFunc::AddMonths => match self.caps.add_months_style {
+            ScalarFunc::AddMonths => match self.flavor.add_months_style {
                 AddMonthsStyle::AddMonthsFn => {
                     format!("ADD_MONTHS({}, {})", rendered[0], rendered[1])
                 }
@@ -925,7 +958,7 @@ impl<'a> Serializer<'a> {
                     format!("({} + INTERVAL '{}' MONTH)", rendered[0], rendered[1])
                 }
             },
-            ScalarFunc::Mod => match self.caps.mod_style {
+            ScalarFunc::Mod => match self.flavor.mod_style {
                 ModStyle::Percent => format!("({} % {})", rendered[0], rendered[1]),
                 ModStyle::Function => format!("MOD({}, {})", rendered[0], rendered[1]),
             },

@@ -1,0 +1,199 @@
+//! First-class target profiles: the named registry behind
+//! `HyperQBuilder::for_target`, the gateway's `target` setting, and the
+//! `hyperq-assess --target` flag.
+//!
+//! The paper's premise is one Teradata frontend adapting to *many* cloud
+//! targets (§4.4, Figure 2). A [`TargetProfile`] is everything the
+//! pipeline needs to know about one of them: a stable registry name, the
+//! capability signature ([`TargetCapabilities`], *whether* a construct is
+//! supported — drives the transformer, the emulation layer, and the
+//! conformance lints) and the dialect [`Flavor`] (*how* supported
+//! constructs are spelled — drives the serializer), plus whether the
+//! bundled `hyperq-engine` can actually execute the profile's output.
+//!
+//! Two profiles are executable: `simwh`, the historical default, and
+//! `simwh-reduced`, a deliberately poorer signature (no derived-table
+//! column aliases, function-style `MOD`, `DATEADD` date math, and neither
+//! `LIMIT` nor `TOP`) that forces the transformer and the emulation layer
+//! down genuinely different rewrite paths while the engine still executes
+//! every corpus — the cross-target differential suite pins both profiles'
+//! client-visible transcripts byte-for-byte against each other.
+
+use crate::capability::TargetCapabilities;
+use crate::serialize::Flavor;
+
+/// One named target: capabilities + dialect flavor + execution substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetProfile {
+    /// The registry key (`"simwh"`, `"cloud-a"`, …): stable, lowercase,
+    /// and the value of every `target` metric label and provenance field.
+    pub name: String,
+    /// Feature support: what the transformer/emulation layer must rewrite.
+    pub caps: TargetCapabilities,
+    /// Dialect spellings: how the serializer writes what is supported.
+    pub flavor: Flavor,
+    /// Whether the bundled `hyperq-engine` executes this profile's output
+    /// (the surveyed cloud profiles are assess/serialize-only).
+    pub executable: bool,
+    /// One-line description for reports and docs.
+    pub description: &'static str,
+}
+
+impl TargetProfile {
+    /// Bridge from a raw capability signature (the pre-registry API): a
+    /// signature matching a registered profile resolves to that profile;
+    /// anything else becomes an anonymous, non-executable custom profile
+    /// whose flavor is derived from the signature.
+    pub fn from_caps(caps: TargetCapabilities) -> TargetProfile {
+        for p in all() {
+            if p.caps == caps {
+                return p;
+            }
+        }
+        TargetProfile {
+            name: slug(caps.name),
+            flavor: Flavor::from_caps(&caps),
+            executable: false,
+            description: "custom capability signature",
+            caps,
+        }
+    }
+
+    /// The display name carried on the capability signature (`"SimWH"`,
+    /// `"Cloud A"`, …) — the registry `name` is the lookup key.
+    pub fn display_name(&self) -> &'static str {
+        self.caps.name
+    }
+}
+
+fn slug(display: &str) -> String {
+    display
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
+fn profile(
+    name: &str,
+    caps: TargetCapabilities,
+    executable: bool,
+    description: &'static str,
+) -> TargetProfile {
+    let flavor = Flavor::from_caps(&caps);
+    TargetProfile { name: name.to_string(), caps, flavor, executable, description }
+}
+
+/// The default executable profile: the bundled engine substrate.
+pub fn simwh() -> TargetProfile {
+    profile(
+        "simwh",
+        TargetCapabilities::simwh(),
+        true,
+        "bundled ANSI engine substrate (default target)",
+    )
+}
+
+/// The second executable profile: the engine substrate behind a
+/// deliberately reduced dialect, so emulations and spellings that the
+/// default target never needs (`LimitFetch`, `MOD(a, b)`, `DATEADD`,
+/// derived-table alias normalization) fire on live corpus traffic.
+pub fn simwh_reduced() -> TargetProfile {
+    profile(
+        "simwh-reduced",
+        TargetCapabilities::simwh_reduced(),
+        true,
+        "engine substrate with a reduced dialect: no LIMIT/TOP, no \
+         derived-table column aliases, MOD(a, b), DATEADD date math",
+    )
+}
+
+/// Every registered profile, registry order: the executable pair first,
+/// then the six surveyed cloud profiles of Figure 2.
+pub fn all() -> Vec<TargetProfile> {
+    vec![
+        simwh(),
+        simwh_reduced(),
+        profile("cloud-a", TargetCapabilities::cloud_a(), false, "2017-era MPP warehouse, T-SQL heritage"),
+        profile("cloud-b", TargetCapabilities::cloud_b(), false, "serverless query service over object storage"),
+        profile("cloud-c", TargetCapabilities::cloud_c(), false, "distributed Postgres-heritage warehouse"),
+        profile("cloud-d", TargetCapabilities::cloud_d(), false, "elastic data warehouse, ANSI-leaning"),
+        profile("cloud-e", TargetCapabilities::cloud_e(), false, "managed columnar warehouse"),
+        profile("cloud-f", TargetCapabilities::cloud_f(), false, "SQL-on-Hadoop engine"),
+    ]
+}
+
+/// The profiles whose serialized SQL the bundled engine executes.
+pub fn executable() -> Vec<TargetProfile> {
+    all().into_iter().filter(|p| p.executable).collect()
+}
+
+/// The six surveyed cloud profiles (Figure 2's population).
+pub fn surveyed() -> Vec<TargetProfile> {
+    all().into_iter().filter(|p| p.name.starts_with("cloud-")).collect()
+}
+
+/// Look a profile up by registry name, case-insensitively; `_` and `-`
+/// are interchangeable (`cloud_a` resolves like `cloud-a`).
+pub fn lookup(name: &str) -> Option<TargetProfile> {
+    let key: String = name
+        .chars()
+        .map(|c| if c == '_' { '-' } else { c.to_ascii_lowercase() })
+        .collect();
+    all().into_iter().find(|p| p.name == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::LimitSpelling;
+
+    #[test]
+    fn lookup_resolves_every_registered_name() {
+        for p in all() {
+            assert_eq!(lookup(&p.name).as_ref(), Some(&p));
+        }
+        assert_eq!(lookup("SIMWH").map(|p| p.name), Some("simwh".into()));
+        assert_eq!(lookup("cloud_a").map(|p| p.name), Some("cloud-a".into()));
+        assert_eq!(lookup("SimWH-Reduced").map(|p| p.name), Some("simwh-reduced".into()));
+        assert!(lookup("no-such-target").is_none());
+    }
+
+    #[test]
+    fn exactly_two_profiles_are_executable_and_they_differ() {
+        let exec = executable();
+        assert_eq!(
+            exec.iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+            ["simwh", "simwh-reduced"]
+        );
+        let [a, b] = &exec[..] else { unreachable!() };
+        assert_ne!(a.caps, b.caps, "executable profiles must differ in capabilities");
+        assert_eq!(a.flavor.limit, LimitSpelling::Limit);
+        assert_eq!(b.flavor.limit, LimitSpelling::None);
+    }
+
+    #[test]
+    fn from_caps_round_trips_registered_signatures() {
+        for p in all() {
+            assert_eq!(TargetProfile::from_caps(p.caps.clone()), p);
+        }
+        let mut custom = TargetCapabilities::cloud_d();
+        custom.grouping_sets = false;
+        custom.returning_clause = false;
+        let p = TargetProfile::from_caps(custom.clone());
+        assert!(!p.executable);
+        assert_eq!(p.name, "cloudwh-d", "anonymous profiles slug their display name");
+        assert_eq!(p.display_name(), "CloudWH-D");
+        assert_eq!(p.caps, custom);
+    }
+
+    #[test]
+    fn registry_names_are_stable_slugs() {
+        for p in all() {
+            assert!(
+                p.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{}",
+                p.name
+            );
+        }
+    }
+}

@@ -30,7 +30,7 @@ fn counter(obs: &Arc<ObsContext>, name: &str) -> u64 {
 fn warm_hit_replays_byte_identical_sql_without_retranslating() {
     let obs = ObsContext::new();
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .obs(Arc::clone(&obs))
         .build();
     let sql = "SEL STORE FROM SALES WHERE AMOUNT > 10";
@@ -46,7 +46,7 @@ fn warm_hit_replays_byte_identical_sql_without_retranslating() {
 #[test]
 fn literal_variation_upgrades_to_a_spliced_template() {
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .build();
     // Two distinct literal vectors under one fingerprint: the second
     // populate builds (and probe-verifies) a spliced template.
@@ -60,7 +60,7 @@ fn literal_variation_upgrades_to_a_spliced_template() {
         o.sql_sent
     );
     // …and byte-match what a cold pipeline produces for the same text.
-    let mut cold = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut cold = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .no_cache()
         .build();
     let c = cold.run_one("SEL STORE FROM SALES WHERE AMOUNT > 31337").unwrap();
@@ -70,7 +70,7 @@ fn literal_variation_upgrades_to_a_spliced_template() {
 #[test]
 fn ddl_invalidates_cached_translations_for_the_table() {
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .build();
     hq.run_one("SEL STORE FROM SALES WHERE AMOUNT > 10").unwrap();
     let cache = Arc::clone(hq.cache().expect("cache on by default"));
@@ -83,7 +83,7 @@ fn ddl_invalidates_cached_translations_for_the_table() {
 fn set_session_moves_the_session_to_a_fresh_key_space() {
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .obs(Arc::clone(&obs))
         .build();
     let sql = "SEL STORE FROM SALES WHERE AMOUNT > 10";
@@ -110,7 +110,7 @@ fn shared_cache_respects_per_session_settings() {
     let obs = ObsContext::new();
     let cache = Arc::new(TranslationCache::new(CacheConfig::default(), &obs));
     let mk = || {
-        HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+        HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
             .obs(Arc::clone(&obs))
             .shared_cache(Arc::clone(&cache))
             .build()
@@ -139,7 +139,7 @@ fn gtt_statements_are_never_cached() {
     // re-materialized after recovery); caching their translation could
     // replay a pre-recovery instance name. They must bypass entirely.
     let backend = Arc::new(ScriptedBackend::acking(vec![]));
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .build();
     hq.run_one("CREATE GLOBAL TEMPORARY TABLE STAGE (K INTEGER, V INTEGER)").unwrap();
     let cache = Arc::clone(hq.cache().unwrap());
@@ -156,7 +156,7 @@ fn gtt_statements_are_never_cached() {
 fn in_transaction_dml_takes_the_slow_path() {
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .obs(Arc::clone(&obs))
         .dml_batching(false)
         .build();
@@ -177,7 +177,7 @@ fn in_transaction_dml_takes_the_slow_path() {
 fn strict_mode_revalidates_sampled_hits() {
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .obs(Arc::clone(&obs))
         .analyze(AnalyzeMode::Strict)
         .cache(CacheConfig { revalidate_every: 1, ..CacheConfig::default() })
@@ -199,7 +199,7 @@ fn bypass_request_skips_lookup_and_population() {
     use hyperq_core::Request;
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh())
         .obs(Arc::clone(&obs))
         .build();
     let sql = "SEL STORE FROM SALES WHERE AMOUNT > 10";
@@ -207,6 +207,40 @@ fn bypass_request_skips_lookup_and_population() {
     hq.run(Request::script(sql).bypass_cache()).unwrap();
     assert_eq!(counter(&obs, "hyperq_cache_hits_total"), 0);
     assert_eq!(hq.cache().unwrap().len(), 0);
+}
+
+/// Two sessions on one shared cache, same statement text, different
+/// target profiles: each target must populate and replay *its own*
+/// entry — a `simwh` translation served to a `simwh-reduced` session
+/// would ship the wrong dialect to the target.
+#[test]
+fn shared_cache_isolates_entries_per_target() {
+    let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
+    let obs = ObsContext::new();
+    let cache = Arc::new(TranslationCache::new(CacheConfig::default(), &obs));
+    let mk = |profile| {
+        HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, profile)
+            .obs(Arc::clone(&obs))
+            .shared_cache(Arc::clone(&cache))
+            .build()
+    };
+    let mut full = mk(hyperq_core::targets::simwh());
+    let mut reduced = mk(hyperq_core::targets::simwh_reduced());
+
+    // A statement whose spelling differs between the flavors.
+    let sql = "SEL STORE FROM SALES WHERE STORE MOD 3 = 1";
+    let full_cold = full.run_one(sql).unwrap().sql_sent;
+    let reduced_cold = reduced.run_one(sql).unwrap().sql_sent;
+    assert_eq!(counter(&obs, "hyperq_cache_hits_total"), 0);
+    assert_eq!(cache.len(), 2, "one entry per target, never shared");
+    assert!(full_cold[0].contains('%'), "{full_cold:?}");
+    assert!(reduced_cold[0].contains("MOD("), "{reduced_cold:?}");
+
+    // Warm replays stay within their target's key space.
+    assert_eq!(full.run_one(sql).unwrap().sql_sent, full_cold);
+    assert_eq!(reduced.run_one(sql).unwrap().sql_sent, reduced_cold);
+    assert_eq!(counter(&obs, "hyperq_cache_hits_total"), 2);
+    assert_eq!(cache.len(), 2);
 }
 
 #[test]

@@ -8,7 +8,6 @@ use std::time::Duration;
 
 use hyperq_core::backend::testing::{FaultInjectingBackend, FaultPlan, ScriptedBackend};
 use hyperq_core::backend::{Backend, BackendError, BackendErrorKind, ExecResult};
-use hyperq_core::capability::TargetCapabilities;
 use hyperq_core::resilience::{BreakerConfig, ResilienceConfig, ResilientBackend, RetryPolicy};
 use hyperq_core::{HyperQ, HyperQBuilder, ObsContext};
 use hyperq_xtra::catalog::{ColumnDef, TableDef};
@@ -31,7 +30,7 @@ fn backend_error_propagates_with_message() {
         tables: vec![sales_table()],
         responder: Box::new(|_| Err(BackendError::fatal("disk quota exceeded"))),
     };
-    let mut hq = HyperQBuilder::new(Arc::new(backend), TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::new(backend), hyperq_core::targets::simwh()).build();
     let err = hq.run_one("SEL * FROM SALES").unwrap_err();
     assert!(err.to_string().contains("disk quota exceeded"), "{err}");
 }
@@ -39,7 +38,7 @@ fn backend_error_propagates_with_message() {
 #[test]
 fn translation_errors_do_not_reach_the_backend() {
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh()).build();
     // Bind error: unknown column.
     assert!(hq.run_one("SEL NOPE FROM SALES").is_err());
     // Parse error.
@@ -54,7 +53,7 @@ fn translation_errors_do_not_reach_the_backend() {
 #[test]
 fn exactly_one_request_for_a_simple_query() {
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh()).build();
     hq.run_one("SEL STORE FROM SALES WHERE AMOUNT > 10").unwrap();
     assert_eq!(backend.sql_log().len(), 1);
 }
@@ -75,7 +74,7 @@ fn merge_generates_update_then_insert() {
         ],
         responder: Box::new(|_| Ok(ExecResult::affected(1))),
     });
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh()).build();
     hq.run_one(
         "MERGE INTO SALES S USING FEED F ON S.STORE = F.STORE \
          WHEN MATCHED THEN UPDATE SET AMOUNT = F.AMOUNT \
@@ -114,7 +113,7 @@ fn recursion_failure_mid_emulation_surfaces() {
             }
         }),
     };
-    let mut hq = HyperQBuilder::new(Arc::new(backend), TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::new(backend), hyperq_core::targets::simwh()).build();
     let err = hq
         .run_one(
             "WITH RECURSIVE R (EMPNO, MGRNO) AS ( \
@@ -138,7 +137,7 @@ fn runaway_recursion_hits_the_step_limit() {
         )],
         responder: Box::new(|_| Ok(ExecResult::affected(1))),
     };
-    let mut hq = HyperQBuilder::new(Arc::new(backend), TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::new(backend), hyperq_core::targets::simwh()).build();
     let err = hq
         .run_one(
             "WITH RECURSIVE R (EMPNO) AS ( \
@@ -152,7 +151,7 @@ fn runaway_recursion_hits_the_step_limit() {
 #[test]
 fn unknown_macro_and_procedure_errors() {
     let backend = ScriptedBackend::acking(vec![]);
-    let mut hq = HyperQBuilder::new(Arc::new(backend), TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::new(backend), hyperq_core::targets::simwh()).build();
     assert!(hq.run_one("EXEC NO_SUCH_MACRO(1)").unwrap_err().to_string().contains("NO_SUCH_MACRO"));
     assert!(hq.run_one("CALL NO_SUCH_PROC(1)").unwrap_err().to_string().contains("NO_SUCH_PROC"));
 }
@@ -160,7 +159,7 @@ fn unknown_macro_and_procedure_errors() {
 #[test]
 fn duplicate_view_without_replace_is_error() {
     let backend = ScriptedBackend::acking(vec![sales_table()]);
-    let mut hq = HyperQBuilder::new(Arc::new(backend), TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::new(backend), hyperq_core::targets::simwh()).build();
     hq.run_one("CREATE VIEW V AS SEL STORE FROM SALES").unwrap();
     assert!(hq.run_one("CREATE VIEW V AS SEL AMOUNT FROM SALES").is_err());
     // REPLACE VIEW succeeds.
@@ -172,8 +171,8 @@ fn session_isolation_of_dtm_objects() {
     // Two sessions against the same backend: DTM objects (macros, views)
     // are per-session state, like Teradata volatile objects.
     let backend = Arc::new(ScriptedBackend::acking(vec![sales_table()]));
-    let mut s1 = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
-    let mut s2 = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut s1 = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh()).build();
+    let mut s2 = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh()).build();
     s1.run_one("CREATE MACRO M AS (SEL STORE FROM SALES;)").unwrap();
     assert!(s1.run_one("EXEC M").is_ok());
     assert!(s2.run_one("EXEC M").is_err(), "macros are session-scoped DTM state");
@@ -196,7 +195,7 @@ fn procedure_body_may_contain_emulated_statements() {
         ],
         responder: Box::new(|_| Ok(ExecResult::affected(1))),
     });
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh()).build();
     hq.run_one(
         "CREATE PROCEDURE SYNC (S INTEGER) BEGIN \
            MERGE INTO SALES T USING FEED F ON T.STORE = F.STORE AND T.STORE = :S \
@@ -241,7 +240,7 @@ fn resilient_session(
         ResilienceConfig { retry, breaker },
         &obs,
     );
-    let hq = HyperQBuilder::new(resilient as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).build();
+    let hq = HyperQBuilder::for_target(resilient as Arc<dyn Backend>, hyperq_core::targets::simwh()).obs(Arc::clone(&obs)).build();
     (hq, fault, obs)
 }
 
@@ -418,7 +417,7 @@ fn failed_recursion_drops_its_temp_tables() {
             }
         }),
     });
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend) as Arc<dyn Backend>, hyperq_core::targets::simwh()).build();
     hq.run_one(
         "WITH RECURSIVE R (EMPNO, MGRNO) AS ( \
            SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 1 \
@@ -435,7 +434,7 @@ fn failed_recursion_drops_its_temp_tables() {
 #[test]
 fn create_view_in_macro_body_is_a_clear_error() {
     let backend = ScriptedBackend::acking(vec![sales_table()]);
-    let mut hq = HyperQBuilder::new(Arc::new(backend), TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::new(backend), hyperq_core::targets::simwh()).build();
     hq.run_one("CREATE MACRO M AS (CREATE VIEW V AS SEL STORE FROM SALES;)").unwrap();
     let err = hq.run_one("EXEC M").unwrap_err();
     assert!(err.to_string().contains("not supported"), "{err}");

@@ -83,6 +83,9 @@ pub struct ProvenanceRecord {
     pub fingerprint: u64,
     /// Coarse statement kind from the leading keyword.
     pub kind: &'static str,
+    /// Registry name of the target profile the statement was translated
+    /// for (`simwh`, `simwh-reduced`, ...).
+    pub target: String,
     /// Statement text, literal-redacted unless raw capture is enabled.
     pub sql: String,
     pub total: Duration,
@@ -252,6 +255,8 @@ pub struct FinishedStatement<'a> {
     pub trace: TraceId,
     pub fingerprint: u64,
     pub kind: &'static str,
+    /// Registry name of the target profile in effect for the statement.
+    pub target: &'a str,
     pub sql: &'a str,
     pub total: Duration,
     pub features: Vec<&'static str>,
@@ -351,6 +356,7 @@ impl ProvenanceLog {
             trace: f.trace,
             fingerprint: f.fingerprint,
             kind: f.kind,
+            target: f.target.to_string(),
             sql: f.sql.to_string(),
             total: f.total,
             stages: builder.stages,
@@ -472,6 +478,7 @@ fn render_record_json(r: &ProvenanceRecord) -> String {
     out.push_str(&format!("\"trace\":\"{}\",", r.trace));
     out.push_str(&format!("\"fingerprint\":\"{:016x}\",", r.fingerprint));
     out.push_str(&format!("\"kind\":{},", json_str(r.kind)));
+    out.push_str(&format!("\"target\":{},", json_str(&r.target)));
     out.push_str(&format!("\"sql\":{},", json_str(&r.sql)));
     out.push_str(&format!("\"total_seconds\":{},", r.total.as_secs_f64()));
     out.push_str("\"stages\":{");
@@ -552,6 +559,7 @@ mod tests {
             trace: TraceId(trace),
             fingerprint: 0xabcd,
             kind: "select",
+            target: "simwh",
             sql,
             total: Duration::from_micros(500),
             features: vec!["X1"],
@@ -685,6 +693,7 @@ mod tests {
             trace: TraceId(5),
             fingerprint: 1,
             kind: "select",
+            target: "simwh",
             sql: "SELECT 1",
             total: Duration::from_micros(10),
             features: Vec::new(),

@@ -570,6 +570,7 @@ mod tests {
             trace: TraceId(seq),
             fingerprint: fp,
             kind: "select",
+            target: "simwh".to_string(),
             sql: format!("SELECT {fp}"),
             total: Duration::from_micros(translation_micros + execute_micros),
             stages: vec![

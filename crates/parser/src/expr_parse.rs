@@ -550,6 +550,33 @@ impl Parser {
             self.record(Feature::AddMonths);
         }
 
+        // DATEADD(DAY|MONTH, n, d): the cloud-dialect date-math spelling,
+        // accepted in every dialect so serialized SQL from a
+        // `DateAddStyle::DateAddFn` target round-trips through the engine.
+        // Normalized to the engine's shape — note the argument swap
+        // (unit, amount, date → date, amount).
+        if upper == "DATEADD" {
+            let months = if self.consume_kw("MONTH") {
+                true
+            } else if self.consume_kw("DAY") {
+                false
+            } else {
+                return Err(self.err("expected DAY or MONTH as the DATEADD unit"));
+            };
+            self.expect(&Token::Comma)?;
+            let amount = self.parse_expr()?;
+            self.expect(&Token::Comma)?;
+            let date = self.parse_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Function {
+                name: ObjectName::single(if months { "ADD_MONTHS" } else { "DATE_ADD_DAYS" }),
+                args: vec![date, amount],
+                distinct: false,
+                over: None,
+                td_sort_arg: None,
+            });
+        }
+
         let distinct = self.consume_kw("DISTINCT");
 
         // Empty argument list: RANK() OVER (...), CURRENT_DATE() etc.

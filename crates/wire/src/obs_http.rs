@@ -337,6 +337,7 @@ mod tests {
             trace: hyperq_obs::TraceId(1),
             fingerprint: 7,
             kind: "select",
+            target: "simwh",
             sql: "SELECT ?",
             total: Duration::from_micros(100),
             features: vec!["T1"],

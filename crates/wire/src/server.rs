@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hyperq_core::backend::Backend;
-use hyperq_core::capability::TargetCapabilities;
+use hyperq_core::targets::TargetProfile;
 use hyperq_core::repair::ProberHandle;
 use hyperq_core::replicate::{ReplicaConfig, ReplicatedBackend};
 use hyperq_core::resilience::{ResilienceConfig, ResilientBackend};
@@ -90,7 +90,11 @@ impl WireStats {
 /// Gateway configuration.
 pub struct GatewayConfig {
     pub credentials: Credentials,
-    pub capabilities: TargetCapabilities,
+    /// Registry name of the target profile every session translates for
+    /// (`"simwh"`, `"simwh-reduced"`, `"cloud-a"`, ... — see
+    /// [`hyperq_core::targets::lookup`]). An unrecognized name falls back
+    /// to the default `simwh` profile at gateway construction.
+    pub target: String,
     pub converter: ConverterConfig,
     /// Hard cap on concurrent sessions; connections beyond it are answered
     /// with a wire error and closed instead of queueing unboundedly.
@@ -156,7 +160,7 @@ impl Default for GatewayConfig {
     fn default() -> Self {
         GatewayConfig {
             credentials: Credentials::new().with_user("APP", "secret"),
-            capabilities: TargetCapabilities::simwh(),
+            target: "simwh".to_string(),
             converter: ConverterConfig::default(),
             max_connections: 256,
             io_timeout: Some(Duration::from_secs(120)),
@@ -178,6 +182,9 @@ impl Default for GatewayConfig {
 pub struct Gateway {
     backend: Arc<dyn Backend>,
     config: GatewayConfig,
+    /// Target profile resolved from `config.target` at construction; every
+    /// session translates for this profile.
+    profile: TargetProfile,
     stats: Mutex<WireStats>,
     shutdown: AtomicBool,
     connections: AtomicU64,
@@ -450,9 +457,19 @@ impl Gateway {
             .clone()
             .map(|cfg| Arc::new(TranslationCache::new(cfg, obs)));
         let governor = GovernorRegistry::new(config.governor.clone(), obs);
+        // Resolve the configured target once; a typo'd name falls back to
+        // the default profile rather than refusing to serve, and the
+        // counter makes the fallback visible to operators.
+        let profile = hyperq_core::targets::lookup(&config.target).unwrap_or_else(|| {
+            obs.metrics
+                .counter("hyperq_wire_unknown_target_total", &[])
+                .inc();
+            hyperq_core::targets::simwh()
+        });
         Arc::new(Gateway {
             backend,
             config,
+            profile,
             stats: Mutex::new(WireStats::default()),
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
@@ -685,7 +702,7 @@ impl Gateway {
         }
 
         let mut builder =
-            HyperQBuilder::new(Arc::clone(&self.backend), self.config.capabilities.clone())
+            HyperQBuilder::for_target(Arc::clone(&self.backend), self.profile.clone())
                 .analyze(self.config.analyze)
                 .conformance(self.config.conformance);
         builder = match &self.cache {

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::targets::{self, TargetProfile};
 use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 
@@ -30,10 +30,11 @@ fn provision() -> Arc<EngineDb> {
     db
 }
 
-fn run_on(label: &str, caps: TargetCapabilities, backend: Arc<EngineDb>) -> Vec<(i64, String)> {
-    let mut hq = HyperQBuilder::new(backend as Arc<dyn Backend>, caps.clone()).build();
+fn run_on(label: &str, profile: TargetProfile, backend: Arc<EngineDb>) -> Vec<(i64, String)> {
+    let display = profile.display_name().to_string();
+    let mut hq = HyperQBuilder::for_target(backend as Arc<dyn Backend>, profile).build();
     let outcome = hq.run_one(APP_QUERY).expect("application query");
-    println!("{label} (capability profile {}):", caps.name);
+    println!("{label} (capability profile {display}):");
     println!("  SQL generated for this target: {}", outcome.sql_sent[0]);
     outcome
         .result
@@ -51,18 +52,18 @@ fn main() {
 
     // The application text never changes; the serializer output differs per
     // target profile. `translate` shows what a TOP-style target would get:
-    let mut demo = HyperQBuilder::new(
+    let mut demo = HyperQBuilder::for_target(
         Arc::clone(&primary) as Arc<dyn Backend>,
-        TargetCapabilities::cloud_a(),
+        targets::lookup("cloud-a").expect("registered profile"),
     ).build();
     println!(
         "for a TOP-dialect target (CloudWH-A) the same query would serialize as:\n  {}\n",
         demo.translate(APP_QUERY).unwrap()[0]
     );
 
-    let on_primary = run_on("PRIMARY", TargetCapabilities::simwh(), primary);
+    let on_primary = run_on("PRIMARY", targets::simwh(), primary);
     println!();
-    let on_standby = run_on("STANDBY", TargetCapabilities::simwh(), standby);
+    let on_standby = run_on("STANDBY", targets::simwh(), standby);
 
     assert_eq!(on_primary, on_standby, "failover must be invisible to the application");
     println!("\nfailover check: identical results on primary and standby ✓");

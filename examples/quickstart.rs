@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::targets;
 use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 
@@ -28,9 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // One virtualized session: the application side speaks Teradata SQL.
-    let mut hyperq = HyperQBuilder::new(
+    let mut hyperq = HyperQBuilder::for_target(
         Arc::clone(&warehouse) as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
+        targets::simwh(),
     ).build();
 
     // Teradata-isms everywhere: SEL, integer-encoded date comparison,

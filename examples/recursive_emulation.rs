@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use hyperq::core::capability::TargetCapabilities;
+use hyperq::core::targets;
 use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 
@@ -27,9 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         direct.err().map(|e| e.to_string()).unwrap_or_default()
     );
 
-    let mut hyperq = HyperQBuilder::new(
+    let mut hyperq = HyperQBuilder::for_target(
         Arc::clone(&warehouse) as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
+        targets::simwh(),
     ).build();
 
     // Example 4: all employees reporting directly or indirectly to emp 10.

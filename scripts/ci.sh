@@ -84,13 +84,21 @@ cargo test -q --offline --test soak replica
 # Static workload assessment + capability conformance: assessor unit and
 # report-snapshot suites, the differential oracle (assessor verdicts must
 # agree with live pipeline behavior statement by statement over TPC-H and
-# both customer corpora), and the conformance lint suite (Strict-clean
-# corpora, reduced-signature attribution, span validity, verdict
-# property).
+# both customer corpora, on simwh and simwh-reduced), and the conformance
+# lint suite (Strict-clean corpora on every executable target,
+# reduced-signature attribution, span validity, verdict property).
 cargo test -q --offline -p hyperq-assess
 cargo test -q --offline -p hyperq-core conformance
 cargo test -q --offline --test assess_oracle
 cargo test -q --offline --test conformance
+
+# Target profiles: the registry/flavor unit suites and the cross-target
+# differential suite — every corpus against every executable profile,
+# client-visible transcripts byte-identical, and the limit_fetch
+# emulation firing on simwh-reduced but never on simwh.
+cargo test -q --offline -p hyperq-core targets
+cargo test -q --offline -p hyperq-core serialize
+cargo test -q --offline --test target_differential
 
 # The hyperq-assess CLI reports over the built-in corpora must match the
 # committed golden snapshots byte for byte (the report format is
@@ -104,11 +112,12 @@ for corpus in tpch health telco; do
 done
 
 # Production-path panic hygiene: no `.unwrap()` / `.expect(` in non-test
-# code of the gateway-facing crates (wire, governor) and the replica
-# HA modules. The awk strips everything from the first `#[cfg(test)]`
-# module onward.
+# code of the gateway-facing crates (wire, governor), the replica
+# HA modules, and the target-profile registry/flavor modules. The awk
+# strips everything from the first `#[cfg(test)]` module onward.
 for src in crates/wire/src crates/governor/src \
-    crates/core/src/replicate.rs crates/core/src/repair.rs; do
+    crates/core/src/replicate.rs crates/core/src/repair.rs \
+    crates/core/src/targets.rs crates/core/src/serialize/flavor.rs; do
     offenders=$(find "$src" -name '*.rs' -exec awk '
         /#\[cfg\(test\)\]/ { intest = 1 }
         !intest && /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }

@@ -6,7 +6,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use hyperq::core::{Backend, HyperQBuilder, capability::TargetCapabilities};
+//! use hyperq::core::{targets, Backend, HyperQBuilder};
 //! use hyperq::engine::EngineDb;
 //!
 //! let warehouse = Arc::new(EngineDb::new());
@@ -18,7 +18,7 @@
 //!     .unwrap();
 //!
 //! let mut hq =
-//!     HyperQBuilder::new(warehouse as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+//!     HyperQBuilder::for_target(warehouse as Arc<dyn Backend>, targets::simwh()).build();
 //! // Teradata dialect in (SEL, integer-coded date, QUALIFY shorthand)…
 //! let out = hq
 //!     .run_one("SEL * FROM SALES WHERE SALES_DATE > 1140101 QUALIFY RANK(AMOUNT DESC) <= 10")

@@ -5,7 +5,6 @@
 
 use std::sync::Arc;
 
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{AnalyzeMode, Backend, HyperQ, HyperQBuilder, ObsContext};
 use hyperq::engine::EngineDb;
 use hyperq::workload::customer::{health, telco, CustomerWorkload};
@@ -14,7 +13,7 @@ use hyperq::workload::tpch;
 const SCALE: f64 = 0.002;
 
 fn strict_session(db: Arc<EngineDb>, obs: &Arc<ObsContext>) -> HyperQ {
-    HyperQBuilder::new(db as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(obs)).analyze(AnalyzeMode::Strict).build()
+    HyperQBuilder::for_target(db as Arc<dyn Backend>, hyperq::core::targets::simwh()).obs(Arc::clone(obs)).analyze(AnalyzeMode::Strict).build()
 }
 
 #[test]
@@ -105,7 +104,7 @@ fn recovered_session_passes_strict_analysis() {
     }
     let fault = FaultInjectingBackend::wrap(db as Arc<dyn Backend>, FaultPlan::none());
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(Arc::clone(&fault) as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).analyze(AnalyzeMode::Strict).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&fault) as Arc<dyn Backend>, hyperq::core::targets::simwh()).obs(Arc::clone(&obs)).analyze(AnalyzeMode::Strict).build();
 
     // Establish journaled session state, then kill the connection under
     // every remaining TPC-H query so each one rides through a recovery.

@@ -20,6 +20,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use hyperq::assess::{Assessor, Verdict};
+use hyperq::core::targets::TargetProfile;
 use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{Backend, EmulationKind, HyperQBuilder, HyperQ, ObsContext};
 use hyperq::engine::EngineDb;
@@ -85,16 +86,24 @@ fn check_entry(hq: &mut HyperQ, a: &mut Assessor, obs: &ObsContext, text: &str) 
 }
 
 fn oracle_over(ddl: &[String], entries: impl Iterator<Item = String>) -> usize {
+    oracle_over_target(hyperq::core::targets::simwh(), ddl, entries)
+}
+
+fn oracle_over_target(
+    profile: TargetProfile,
+    ddl: &[String],
+    entries: impl Iterator<Item = String>,
+) -> usize {
     let db = Arc::new(EngineDb::new());
     let obs = ObsContext::new();
     for d in ddl {
         db.execute_sql(d).unwrap();
     }
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, profile.clone())
         .obs(Arc::clone(&obs))
         .no_cache()
         .build();
-    let mut assessor = Assessor::new(TargetCapabilities::simwh());
+    let mut assessor = Assessor::for_target(profile);
     for d in ddl {
         assessor.ingest_ddl(d);
     }
@@ -137,6 +146,33 @@ fn telco_verdicts_agree_with_pipeline() {
     assert_eq!(n, w.hyperq_setup.len() + w.distinct.len());
 }
 
+/// The second executable registry profile: the assessor must predict the
+/// `simwh-reduced` pipeline exactly — including `LimitFetch` for the
+/// corpus's `SEL TOP n` queries, an emulation the default target never
+/// needs (the per-statement kind-set equality in `check_entry` is exact,
+/// so a missed or spurious LimitFetch prediction fails here).
+#[test]
+fn tpch_verdicts_agree_on_simwh_reduced() {
+    let n = oracle_over_target(
+        hyperq::core::targets::simwh_reduced(),
+        &tpch::ddl(),
+        tpch::queries().into_iter().map(|(_, q)| q.to_string()),
+    );
+    assert_eq!(n, 22);
+}
+
+#[test]
+fn customer_verdicts_agree_on_simwh_reduced() {
+    for w in [health(0.05), telco(0.02)] {
+        let n = oracle_over_target(
+            hyperq::core::targets::simwh_reduced(),
+            &w.target_ddl,
+            customer_entries(&w),
+        );
+        assert_eq!(n, w.hyperq_setup.len() + w.distinct.len());
+    }
+}
+
 /// The assessor against a deliberately-reduced capability profile: a
 /// target without RETURNING or GROUPING SETS still executes the corpora
 /// (neither corpus uses those constructs), and verdicts still agree.
@@ -151,7 +187,10 @@ fn telco_verdicts_agree_on_reduced_profile() {
     for d in &w.target_ddl {
         db.execute_sql(d).unwrap();
     }
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, caps.clone())
+    let mut hq = HyperQBuilder::for_target(
+        Arc::clone(&db) as Arc<dyn Backend>,
+        TargetProfile::from_caps(caps.clone()),
+    )
         .obs(Arc::clone(&obs))
         .no_cache()
         .build();

@@ -6,7 +6,6 @@
 
 use std::sync::Arc;
 
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{Backend, CacheConfig, HyperQBuilder, ObsContext, TranslationCache};
 use hyperq::engine::EngineDb;
 use hyperq::workload::customer::{health, telco};
@@ -60,21 +59,21 @@ fn assert_transcripts_identical(db: Arc<EngineDb>, setup: &[String], corpus: &[(
     };
 
     let off = run(
-        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+        HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh())
             .obs(Arc::clone(&obs))
             .no_cache()
             .build(),
         "off",
     );
     let cold = run(
-        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+        HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh())
             .obs(Arc::clone(&obs))
             .shared_cache(Arc::clone(&cache))
             .build(),
         "cold",
     );
     let warm = run(
-        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+        HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh())
             .obs(Arc::clone(&obs))
             .shared_cache(Arc::clone(&cache))
             .build(),

@@ -12,7 +12,6 @@ use std::time::{Duration, Instant};
 
 use hyperq::core::backend::{Backend, BackendError, ExecResult, RequestContext};
 use hyperq::xtra::catalog::TableDef;
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{HyperQBuilder, HyperQError, ObsContext, Request};
 use hyperq::engine::EngineDb;
 use hyperq::governor::{CancelReason, GovernorConfig};
@@ -208,7 +207,7 @@ fn library_level_timeout_cancels_request() {
     let db = seed_db();
     let backend = SlowBackend::wrap(Arc::clone(&db), Duration::from_millis(300));
     let mut hq =
-        HyperQBuilder::new(backend as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+        HyperQBuilder::for_target(backend as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
 
     let err = hq
         .run(Request::script("SEL * FROM SALES").timeout(Duration::from_millis(60)))
@@ -230,7 +229,7 @@ fn library_level_memory_budget_cancels_request() {
     let values: Vec<String> = (0..400).map(|i| format!("({i})")).collect();
     db.execute_sql(&format!("INSERT INTO T VALUES {}", values.join(", "))).unwrap();
     let mut hq =
-        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+        HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh())
             .build();
 
     let err = hq
@@ -256,7 +255,7 @@ fn deadline_mid_recursion_drops_emulation_temps() {
     let db = seed_db();
     let backend = SlowBackend::wrap(Arc::clone(&db), Duration::from_millis(60));
     let mut hq =
-        HyperQBuilder::new(backend as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+        HyperQBuilder::for_target(backend as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
 
     // The recursion emulation issues several backend statements (work-table
     // CTAS, per-step inserts); at 60ms each the 130ms deadline expires

@@ -19,36 +19,43 @@ use hyperq::workload::customer::{health, telco};
 use hyperq::workload::tpch;
 use proptest::prelude::*;
 
-/// Every statement of every corpus must pass Strict conformance on the
-/// default target: the serializer never emits a construct its own
-/// capability signature says the target lacks.
+/// Every statement of every corpus must pass Strict conformance on every
+/// **executable** target profile: the serializer never emits a construct
+/// the profile's own capability signature says the target lacks — on the
+/// default `simwh` and on the reduced dialect alike (where e.g. the
+/// `DATEADD` spelling and the peeled row bounds must still lint clean).
 #[test]
 fn corpora_are_conformance_clean_under_strict() {
-    // TPC-H.
-    let db = Arc::new(EngineDb::new());
-    for ddl in tpch::ddl() {
-        db.execute_sql(&ddl).unwrap();
-    }
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
-        .conformance(ConformanceMode::Strict)
-        .build();
-    for (n, q) in tpch::queries() {
-        hq.run_script(q).unwrap_or_else(|e| panic!("TPC-H Q{n} under Strict conformance: {e}"));
-    }
+    for profile in hyperq::core::targets::executable() {
+        let target = profile.name.clone();
 
-    // Customer corpora.
-    for w in [health(0.05), telco(0.02)] {
+        // TPC-H.
         let db = Arc::new(EngineDb::new());
-        for ddl in &w.target_ddl {
-            db.execute_sql(ddl).unwrap();
+        for ddl in tpch::ddl() {
+            db.execute_sql(&ddl).unwrap();
         }
-        let mut hq =
-            HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
-                .conformance(ConformanceMode::Strict)
-                .build();
-        for text in w.hyperq_setup.iter().chain(w.distinct.iter()) {
-            hq.run_script(text)
-                .unwrap_or_else(|e| panic!("under Strict conformance: {text}: {e}"));
+        let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, profile.clone())
+            .conformance(ConformanceMode::Strict)
+            .build();
+        for (n, q) in tpch::queries() {
+            hq.run_script(q)
+                .unwrap_or_else(|e| panic!("[{target}] TPC-H Q{n} under Strict conformance: {e}"));
+        }
+
+        // Customer corpora.
+        for w in [health(0.05), telco(0.02)] {
+            let db = Arc::new(EngineDb::new());
+            for ddl in &w.target_ddl {
+                db.execute_sql(ddl).unwrap();
+            }
+            let mut hq =
+                HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, profile.clone())
+                    .conformance(ConformanceMode::Strict)
+                    .build();
+            for text in w.hyperq_setup.iter().chain(w.distinct.iter()) {
+                hq.run_script(text)
+                    .unwrap_or_else(|e| panic!("[{target}] under Strict conformance: {text}: {e}"));
+            }
         }
     }
 }
@@ -87,11 +94,13 @@ fn reduced_signature_is_flagged_with_attributed_rules() {
     // counts it, attributed to the rule.
     let obs = ObsContext::new();
     let strict = Conformance::new(ConformanceMode::Strict, &obs);
-    let err = strict.check_serialized(grouping, &reduced).unwrap_err();
+    let err = strict.check_serialized(grouping, &reduced, "cloud-d-reduced").unwrap_err();
     assert!(err.to_string().contains("conformance rule 'grouping-sets'"), "{err}");
     assert_eq!(
-        obs.metrics
-            .counter_value("hyperq_conformance_violations_total", &[("rule", "grouping-sets")]),
+        obs.metrics.counter_value(
+            "hyperq_conformance_violations_total",
+            &[("rule", "grouping-sets"), ("target", "cloud-d-reduced")]
+        ),
         1
     );
     assert_eq!(
@@ -129,7 +138,7 @@ fn lint_spans_are_real_source_ranges_over_corpus_sql() {
         db.execute_sql(ddl).unwrap();
     }
     let mut hq =
-        HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+        HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     let mut findings = 0usize;
     for text in w.hyperq_setup.iter().chain(w.distinct.iter()) {
         findings += check(text);
@@ -187,7 +196,7 @@ proptest! {
         db.execute_sql("CREATE TABLE STORES (STORE_ID INTEGER, REGION INTEGER)").unwrap();
         let obs = ObsContext::new();
         let mut hq =
-            HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+            HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh())
                 .obs(Arc::clone(&obs))
                 .no_cache()
                 .build();

@@ -4,7 +4,6 @@
 
 use std::sync::Arc;
 
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::tracker::WorkloadTracker;
 use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
@@ -16,7 +15,7 @@ fn run_workload(w: &CustomerWorkload) -> (WorkloadTracker, u64) {
     for ddl in &w.target_ddl {
         db.execute_sql(ddl).unwrap();
     }
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     for setup in &w.hyperq_setup {
         hq.run_one(setup).unwrap();
     }

@@ -7,7 +7,6 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{Backend, HyperQ, HyperQBuilder};
 use hyperq::engine::EngineDb;
 use hyperq::xtra::datum::{Datum, teradata_int_from_date};
@@ -37,7 +36,7 @@ fn setup(sales: Vec<Row>, history: Vec<Row>) -> (HyperQ, Arc<EngineDb>) {
     db.execute_sql("CREATE TABLE SALES_HISTORY (GROSS INTEGER, NET INTEGER)").unwrap();
     db.load_rows("SALES", sales).unwrap();
     db.load_rows("SALES_HISTORY", history).unwrap();
-    let hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     (hq, db)
 }
 

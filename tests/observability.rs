@@ -6,7 +6,6 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{Backend, HyperQ, HyperQBuilder, ObsContext, STAGE_DURATION_METRIC};
 use hyperq::engine::EngineDb;
 use hyperq::wire::convert::{convert_traced, ConverterConfig};
@@ -27,7 +26,7 @@ fn load() -> Arc<EngineDb> {
 
 fn session(obs: &Arc<ObsContext>) -> HyperQ {
     let db = load();
-    HyperQBuilder::new(db as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(obs)).build()
+    HyperQBuilder::for_target(db as Arc<dyn Backend>, hyperq::core::targets::simwh()).obs(Arc::clone(obs)).build()
 }
 
 /// The acceptance path: translate and execute TPC-H Q1, convert its result,
@@ -349,7 +348,7 @@ fn recovery_and_admission_metrics_appear_in_exposition() {
     let db = load();
     let fault = FaultInjectingBackend::wrap(db as Arc<dyn Backend>, FaultPlan::none());
     let plan_handle = Arc::clone(&fault);
-    let mut hq = HyperQBuilder::new(fault as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).build();
+    let mut hq = HyperQBuilder::for_target(fault as Arc<dyn Backend>, hyperq::core::targets::simwh()).obs(Arc::clone(&obs)).build();
     hq.run_one("SET SESSION DATEFORM = 'ANSIDATE'").unwrap();
     plan_handle.set_plan(FaultPlan::fail_n_then_succeed(1, BackendErrorKind::ConnectionLost));
     hq.run_one("SEL COUNT(*) FROM LINEITEM").unwrap();

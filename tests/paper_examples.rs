@@ -130,7 +130,7 @@ fn example3_sql_executes_on_target_with_paper_semantics() {
     // History: (200, 100): amount=200 ties on gross, 200*0.85=170 > 100 → keep.
     db.execute_sql("INSERT INTO SALES_HISTORY VALUES (200, 100), (150, 149)").unwrap();
     let backend: Arc<dyn Backend> = Arc::new(db);
-    let mut hq = HyperQBuilder::new(Arc::clone(&backend), TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&backend), hyperq::core::targets::simwh()).build();
     let outcome = hq.run_one(EXAMPLE2).unwrap();
     // Expected: rows after 2014-01-01 with (amount, amount*.85) > ANY
     // {(200,100),(150,149)}:
@@ -159,7 +159,7 @@ fn example1_runs_end_to_end() {
     )
     .unwrap();
     let backend: Arc<dyn Backend> = Arc::new(db);
-    let mut hq = HyperQBuilder::new(backend, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(backend, hyperq::core::targets::simwh()).build();
     let outcome = hq
         .run_one(
             "SEL PRODUCT_NAME, SALES AS SALES_BASE, SALES_BASE + 100 AS SALES_OFFSET \
@@ -195,7 +195,7 @@ fn figure7_recursion_trace() {
     db.execute_sql("CREATE TABLE EMP (EMPNO INTEGER, MGRNO INTEGER)").unwrap();
     db.execute_sql("INSERT INTO EMP VALUES (1,7),(7,8),(8,10),(9,10),(10,11)").unwrap();
     let backend: Arc<dyn Backend> = Arc::new(db);
-    let mut hq = HyperQBuilder::new(backend, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(backend, hyperq::core::targets::simwh()).build();
     let outcome = hq
         .run_one(
             "WITH RECURSIVE REPORTS (EMPNO, MGRNO) AS ( \

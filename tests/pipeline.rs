@@ -4,7 +4,6 @@
 
 use std::sync::Arc;
 
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{HyperQ, HyperQBuilder};
 use hyperq::engine::EngineDb;
 use hyperq::xtra::datum::{Datum, Decimal};
@@ -27,7 +26,7 @@ fn setup() -> (HyperQ, Arc<EngineDb>) {
     .unwrap();
     db.execute_sql("CREATE TABLE SALES_HISTORY (GROSS INTEGER, NET INTEGER)").unwrap();
     db.execute_sql("INSERT INTO SALES_HISTORY VALUES (400, 350), (500, 420)").unwrap();
-    let hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn hyperq::core::Backend>, TargetCapabilities::simwh()).build();
+    let hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn hyperq::core::Backend>, hyperq::core::targets::simwh()).build();
     (hq, db)
 }
 
@@ -463,9 +462,9 @@ fn dml_batching_merges_consecutive_inserts() {
     assert_eq!(outcomes[0].result.row_count, 3);
     assert_eq!(int_col(&outcomes[1], 0), vec![3]);
     // Ablation: turning batching off sends them separately.
-    let mut hq2 = HyperQBuilder::new(
+    let mut hq2 = HyperQBuilder::for_target(
         Arc::clone(&db) as Arc<dyn hyperq::core::Backend>,
-        TargetCapabilities::simwh(),
+        hyperq::core::targets::simwh(),
     ).build();
     hq2.dml_batching = false;
     let outcomes2 = hq2
@@ -558,7 +557,7 @@ fn replicated_backend_scale_out() {
         Arc::clone(&r2) as Arc<dyn hyperq::core::Backend>,
     ])
     .unwrap();
-    let mut hq = HyperQBuilder::new(Arc::new(replicated), TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::new(replicated), hyperq::core::targets::simwh()).build();
     // Reads load-balance; writes broadcast — consistency preserved.
     hq.run_one("INS SALES (3, 700, DATE '2015-01-01')").unwrap();
     for _ in 0..4 {

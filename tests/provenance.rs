@@ -9,7 +9,6 @@ use std::time::Duration;
 
 use hyperq::core::backend::testing::{FaultInjectingBackend, FaultPlan};
 use hyperq::core::backend::BackendErrorKind;
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::resilience::{BreakerConfig, ResilienceConfig, ResilientBackend, RetryPolicy};
 use hyperq::core::tracker::WorkloadTracker;
 use hyperq::core::{Backend, HyperQBuilder, ObsContext};
@@ -47,7 +46,7 @@ fn cache_miss_then_hit_with_injected_fault_leaves_matching_forensics() {
         ResilienceConfig { retry: fast_retry(), breaker: BreakerConfig::default() },
         &obs,
     );
-    let mut hq = HyperQBuilder::new(resilient as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(resilient as Arc<dyn Backend>, hyperq::core::targets::simwh())
         .obs(Arc::clone(&obs))
         .build();
 
@@ -121,7 +120,7 @@ fn captured_sql_is_literal_redacted_unless_raw_capture_opted_in() {
         let db = Arc::new(EngineDb::new());
         db.execute_sql("CREATE TABLE USERS (UID INTEGER NOT NULL, TOKEN VARCHAR(40))")
             .unwrap();
-        let mut hq = HyperQBuilder::new(db as Arc<dyn Backend>, TargetCapabilities::simwh())
+        let mut hq = HyperQBuilder::for_target(db as Arc<dyn Backend>, hyperq::core::targets::simwh())
             .obs(Arc::clone(&obs))
             .build();
         hq.run_one("SELECT UID FROM USERS WHERE TOKEN = 'SECRET-TOKEN' AND UID = 98765")
@@ -151,7 +150,7 @@ fn replay_distinct(w: &CustomerWorkload) -> (Arc<ObsContext>, WorkloadTracker) {
     for ddl in &w.target_ddl {
         db.execute_sql(ddl).unwrap();
     }
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh())
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh())
         .obs(Arc::clone(&obs))
         .build();
     for setup in &w.hyperq_setup {

@@ -7,7 +7,6 @@ use std::time::Duration;
 
 use hyperq::core::backend::testing::{FaultInjectingBackend, FaultPlan};
 use hyperq::core::backend::BackendErrorKind;
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::resilience::{
     BreakerConfig, BreakerState, ResilienceConfig, ResilientBackend, RetryPolicy,
 };
@@ -55,7 +54,7 @@ fn stack(
         ResilienceConfig { retry, breaker },
         &obs,
     );
-    let hq = HyperQBuilder::new(Arc::clone(&resilient) as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).build();
+    let hq = HyperQBuilder::for_target(Arc::clone(&resilient) as Arc<dyn Backend>, hyperq::core::targets::simwh()).obs(Arc::clone(&obs)).build();
     (hq, fault, resilient, obs)
 }
 

@@ -21,7 +21,6 @@ use std::time::Duration;
 
 use hyperq::core::backend::testing::{FaultInjectingBackend, FaultPlan, FaultScope};
 use hyperq::core::backend::BackendErrorKind;
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{
     Backend, CacheConfig, HyperQBuilder, ObsContext, TranslationCache, TXN_ABORT_MESSAGE,
 };
@@ -123,7 +122,7 @@ fn run_session(
     obs: &Arc<ObsContext>,
     cache: Option<&Arc<TranslationCache>>,
 ) -> Vec<String> {
-    let builder = HyperQBuilder::new(backend, TargetCapabilities::simwh()).obs(Arc::clone(obs));
+    let builder = HyperQBuilder::for_target(backend, hyperq::core::targets::simwh()).obs(Arc::clone(obs));
     let builder = match cache {
         Some(c) => builder.shared_cache(Arc::clone(c)),
         None => builder.no_cache(),
@@ -413,9 +412,9 @@ fn losing_pinned_replica_mid_transaction_aborts_once_then_recovers() {
     let (db_a, inj_a) = mk();
     let (db_b, inj_b) = mk();
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(
+    let mut hq = HyperQBuilder::for_target(
         Arc::clone(&inj_a) as Arc<dyn Backend>,
-        TargetCapabilities::simwh(),
+        hyperq::core::targets::simwh(),
     )
     .replicas(
         vec![Arc::clone(&inj_b) as Arc<dyn Backend>],
@@ -499,7 +498,7 @@ fn kill_during_recursion_cleanup_journals_orphan_and_reconnect_retires_it() {
         FaultPlan::kill_on_sql("WT_", 2),
     );
     let obs = ObsContext::new();
-    let mut hq = HyperQBuilder::new(Arc::clone(&fault) as Arc<dyn Backend>, TargetCapabilities::simwh()).obs(Arc::clone(&obs)).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&fault) as Arc<dyn Backend>, hyperq::core::targets::simwh()).obs(Arc::clone(&obs)).build();
 
     hq.run_one(RECURSIVE_REPORTS)
         .expect_err("CTAS and its cleanup were both killed");

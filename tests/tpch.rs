@@ -3,7 +3,6 @@
 
 use std::sync::Arc;
 
-use hyperq::core::capability::TargetCapabilities;
 use hyperq::core::{Backend, HyperQBuilder};
 use hyperq::engine::EngineDb;
 use hyperq::workload::tpch;
@@ -25,7 +24,7 @@ fn load() -> Arc<EngineDb> {
 #[test]
 fn all_22_queries_run_through_hyperq() {
     let db = load();
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     for (n, sql) in tpch::queries() {
         let outcome = hq
             .run_one(sql)
@@ -45,7 +44,7 @@ fn all_22_queries_run_through_hyperq() {
 #[test]
 fn q1_aggregates_are_plausible() {
     let db = load();
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     let o = hq.run_one(tpch::query(1)).unwrap();
     // Four flag/status groups at most (R/F, A/F, N/O, N/F).
     assert!((1..=4).contains(&o.result.rows.len()), "{:?}", o.result.rows.len());
@@ -68,7 +67,7 @@ fn q6_revenue_matches_direct_engine_execution() {
     // The virtualized result must be identical to running the equivalent
     // ANSI query directly on the target.
     let db = load();
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     let via_hyperq = hq.run_one(tpch::query(6)).unwrap();
     let direct = db
         .execute_sql(
@@ -86,7 +85,7 @@ fn q4_exists_decorrelation_gives_same_answer_as_naive() {
     // Compare the optimized EXISTS path against a manual semi-join-free
     // formulation (IN over DISTINCT keys).
     let db = load();
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     let q4 = hq.run_one(tpch::query(4)).unwrap();
     let manual = db
         .execute_sql(
@@ -104,7 +103,7 @@ fn q4_exists_decorrelation_gives_same_answer_as_naive() {
 #[test]
 fn q21_anti_join_consistency() {
     let db = load();
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     let o = hq.run_one(tpch::query(21)).unwrap();
     // Sanity: counts positive, sorted descending.
     let counts: Vec<i64> = o
@@ -121,7 +120,7 @@ fn q21_anti_join_consistency() {
 #[test]
 fn tpch_features_tracked() {
     let db = load();
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     let o1 = hq.run_one(tpch::query(1)).unwrap();
     assert!(o1.features.contains(hyperq::xtra::Feature::KeywordShortcut));
     assert!(o1.features.contains(hyperq::xtra::Feature::OrdinalGroupBy));
@@ -175,7 +174,7 @@ fn q1_matches_direct_rust_computation() {
     }
 
     let db = load();
-    let mut hq = HyperQBuilder::new(Arc::clone(&db) as Arc<dyn Backend>, TargetCapabilities::simwh()).build();
+    let mut hq = HyperQBuilder::for_target(Arc::clone(&db) as Arc<dyn Backend>, hyperq::core::targets::simwh()).build();
     let o = hq.run_one(tpch::query(1)).unwrap();
     assert_eq!(o.result.rows.len(), groups.len());
     for row in &o.result.rows {
